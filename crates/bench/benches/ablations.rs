@@ -1,0 +1,200 @@
+//! Ablation benches (DESIGN.md A1–A3): design-choice comparisons the
+//! experiment index calls out.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use seqhide_core::post::{delete_markers, replace_markers};
+use seqhide_core::{GlobalStrategy, LocalStrategy, Sanitizer};
+use seqhide_data::trucks_like;
+use seqhide_match::{
+    delta_all, delta_by_deletion, delta_by_marking, supporters, SensitiveSet,
+};
+use seqhide_num::{BigCount, Sat64};
+
+const SEED: u64 = 42;
+
+/// A1 — global selector alternatives: one full sanitization per strategy.
+fn ablation_global_selectors(c: &mut Criterion) {
+    let dataset = trucks_like(SEED);
+    let mut group = c.benchmark_group("ablation_global_selectors");
+    for (name, strategy) in [
+        ("matching-size", GlobalStrategy::Heuristic),
+        ("auto-correlation", GlobalStrategy::AutoCorrelation),
+        ("length", GlobalStrategy::Length),
+        ("random", GlobalStrategy::Random),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut db = dataset.db.clone();
+                let r = Sanitizer::new(LocalStrategy::Heuristic, strategy, 10)
+                    .run(&mut db, &dataset.sensitive);
+                black_box(r.marks_introduced)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A2 — δ computation methods over every supporter sequence: the paper's
+/// O(n²m)-style deletion device vs the constraint-safe marking device vs
+/// the O(nm) forward–backward pass, with fast and exact counters.
+fn ablation_delta_methods(c: &mut Criterion) {
+    let dataset = trucks_like(SEED);
+    let sh = &dataset.sensitive;
+    let rows: Vec<_> = supporters(&dataset.db, sh)
+        .into_iter()
+        .map(|i| dataset.db.sequences()[i].clone())
+        .collect();
+    let mut group = c.benchmark_group("ablation_delta_methods");
+    group.bench_function(BenchmarkId::new("deletion", "Sat64"), |b| {
+        b.iter(|| {
+            for t in &rows {
+                black_box(delta_by_deletion::<Sat64>(sh, t));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("marking", "Sat64"), |b| {
+        b.iter(|| {
+            for t in &rows {
+                black_box(delta_by_marking::<Sat64>(sh, t));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("forward-backward", "Sat64"), |b| {
+        b.iter(|| {
+            for t in &rows {
+                black_box(delta_all::<Sat64>(sh, t));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("forward-backward", "BigCount"), |b| {
+        b.iter(|| {
+            for t in &rows {
+                black_box(delta_all::<BigCount>(sh, t));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// A3 — post-processing strategies: cost of producing each release.
+fn ablation_postprocessing(c: &mut Criterion) {
+    let dataset = trucks_like(SEED);
+    let mut sanitized = dataset.db.clone();
+    Sanitizer::hh(10).run(&mut sanitized, &dataset.sensitive);
+    let mut group = c.benchmark_group("ablation_postprocessing");
+    group.bench_function("delete", |b| {
+        b.iter(|| black_box(delete_markers(&sanitized)))
+    });
+    group.bench_function("replace", |b| {
+        b.iter(|| {
+            let mut db = sanitized.clone();
+            black_box(replace_markers(&mut db, &dataset.sensitive, 0))
+        })
+    });
+    group.finish();
+}
+
+/// Exact vs saturating counting inside the full HH pipeline.
+fn ablation_count_types(c: &mut Criterion) {
+    let dataset = trucks_like(SEED);
+    let mut group = c.benchmark_group("ablation_count_types");
+    group.bench_function("Sat64", |b| {
+        b.iter(|| {
+            let mut db = dataset.db.clone();
+            black_box(Sanitizer::hh(0).run(&mut db, &dataset.sensitive))
+        })
+    });
+    group.bench_function("BigCount", |b| {
+        b.iter(|| {
+            let mut db = dataset.db.clone();
+            black_box(
+                Sanitizer::hh(0)
+                    .with_exact_counts(true)
+                    .run(&mut db, &dataset.sensitive),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// A5 — spatio-temporal operator mix under tightening plausibility
+/// budgets: a generous speed budget lets displacement do everything; a
+/// starved one forces suppression.
+fn st_operators(c: &mut Criterion) {
+    use rand::{Rng, SeedableRng};
+    use seqhide_st::{sanitize_st_db, PlausibilityModel, Region, StPattern, Trajectory};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+    let clinic = Region::rect(0.30, 0.60, 0.45, 0.75);
+    let pharmacy = Region::rect(0.55, 0.60, 0.70, 0.72);
+    let make_db = |rng: &mut rand_chacha::ChaCha8Rng| -> Vec<Trajectory> {
+        (0..10)
+            .map(|_| {
+                let wp = vec![
+                    (rng.random::<f64>(), rng.random::<f64>() * 0.3),
+                    clinic.center(),
+                    pharmacy.center(),
+                    (rng.random::<f64>(), rng.random::<f64>()),
+                ];
+                let pts = seqhide_data::waypoint_trajectory(rng, &wp, 24, 0.004);
+                Trajectory::from_triples(
+                    pts.into_iter().enumerate().map(|(i, (x, y))| (x, y, i as u64)),
+                )
+            })
+            .collect()
+    };
+    let db = make_db(&mut rng);
+    let pattern = StPattern::new(vec![clinic, pharmacy]).with_max_window(60);
+    let mut group = c.benchmark_group("st_operators");
+    for (name, speed) in [("generous", 0.08), ("tight", 1e-6)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut work = db.clone();
+                let model = PlausibilityModel::new(speed);
+                black_box(sanitize_st_db(&mut work, std::slice::from_ref(&pattern), 0, &model))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The multiple-threshold scheduler vs the min-reduction (§8).
+fn ablation_multi_threshold(c: &mut Criterion) {
+    let dataset = trucks_like(SEED);
+    let thresholds =
+        seqhide_core::DisclosureThresholds::new(vec![5, 30]);
+    let sh: &SensitiveSet = &dataset.sensitive;
+    let mut group = c.benchmark_group("ablation_multi_threshold");
+    group.bench_function("scheduler", |b| {
+        b.iter(|| {
+            let mut db = dataset.db.clone();
+            black_box(Sanitizer::hh(0).run_multi(&mut db, sh, &thresholds))
+        })
+    });
+    group.bench_function("min-reduction", |b| {
+        b.iter(|| {
+            let mut db = dataset.db.clone();
+            black_box(Sanitizer::hh(0).run_multi_min(&mut db, sh, &thresholds))
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = ablations;
+    config = config();
+    targets = ablation_global_selectors, ablation_delta_methods,
+        ablation_postprocessing, ablation_count_types, ablation_multi_threshold,
+        st_operators
+}
+criterion_main!(ablations);

@@ -1,0 +1,146 @@
+//! Microbenchmarks of the computational kernels: counting DPs, δ scaling,
+//! subsequence tests and the miners — the "Efficiency" axis §8 flags for
+//! future work.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use seqhide_data::{markov_db, random_db};
+use seqhide_match::{
+    count_embeddings, count_matches, delta_all, delta_by_marking, is_subsequence,
+    ConstraintSet, Gap, SensitivePattern, SensitiveSet,
+};
+use seqhide_mine::{Gsp, MinerConfig, PrefixSpan};
+use seqhide_num::{BigCount, Sat64};
+use seqhide_types::Sequence;
+
+/// Lemma 2 counting across sequence lengths and counter types.
+fn count_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_embeddings");
+    for n in [64usize, 256, 1024] {
+        // worst case: unary alphabet, |M| = C(n, 4)
+        let s = Sequence::from_ids(vec![0; 4]);
+        let t = Sequence::from_ids(vec![0; n]);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("Sat64", n), &n, |b, _| {
+            b.iter(|| black_box(count_embeddings::<Sat64>(&s, &t)))
+        });
+        group.bench_with_input(BenchmarkId::new("BigCount", n), &n, |b, _| {
+            b.iter(|| black_box(count_embeddings::<BigCount>(&s, &t)))
+        });
+    }
+    group.finish();
+}
+
+/// δ for all positions: the O(nm) forward–backward pass vs the O(n·nm)
+/// marking device, across lengths.
+fn delta_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_scaling");
+    for n in [64usize, 256] {
+        let db = markov_db(7, 1, (n, n), 20, 0.8);
+        let t = db.sequences()[0].clone();
+        let s = Sequence::new(t.symbols()[..3].to_vec());
+        let sh = SensitiveSet::new(vec![s]);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("forward-backward", n), &n, |b, _| {
+            b.iter(|| black_box(delta_all::<Sat64>(&sh, &t)))
+        });
+        group.bench_with_input(BenchmarkId::new("marking", n), &n, |b, _| {
+            b.iter(|| black_box(delta_by_marking::<Sat64>(&sh, &t)))
+        });
+    }
+    group.finish();
+}
+
+/// Constrained counting: gap-only vs max-window (per-slice) evaluation.
+fn constrained_counting(c: &mut Criterion) {
+    let db = markov_db(9, 1, (512, 512), 20, 0.8);
+    let t = db.sequences()[0].clone();
+    let seq = Sequence::new(t.symbols()[..3].to_vec());
+    let gap = SensitivePattern::new(
+        seq.clone(),
+        ConstraintSet::uniform_gap(Gap::bounded(0, 8)),
+    )
+    .unwrap();
+    let window = SensitivePattern::new(seq, ConstraintSet::with_max_window(24)).unwrap();
+    let mut group = c.benchmark_group("constrained_counting");
+    group.bench_function("gap", |b| {
+        b.iter(|| black_box(count_matches::<Sat64>(&gap, &t)))
+    });
+    group.bench_function("window", |b| {
+        b.iter(|| black_box(count_matches::<Sat64>(&window, &t)))
+    });
+    group.finish();
+}
+
+/// Subsequence containment scan.
+fn subsequence_scan(c: &mut Criterion) {
+    let db = random_db(3, 1000, (20, 40), 50);
+    let mut sigma = db.alphabet().clone();
+    let needle = Sequence::parse("s1 s5 s9", &mut sigma);
+    let mut group = c.benchmark_group("subsequence_scan");
+    group.throughput(Throughput::Elements(db.len() as u64));
+    group.bench_function("1000-sequences", |b| {
+        b.iter(|| {
+            black_box(
+                db.sequences()
+                    .iter()
+                    .filter(|t| is_subsequence(&needle, t))
+                    .count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Regex occurrence counting vs the equivalent plain-pattern DP.
+fn regex_counting(c: &mut Criterion) {
+    use seqhide_re::{count_occurrences, RegexPattern};
+    let db = markov_db(13, 1, (512, 512), 20, 0.8);
+    let t = db.sequences()[0].clone();
+    let mut sigma = db.alphabet().clone();
+    let re_literal = RegexPattern::compile("s1 s2 s3", &mut sigma).unwrap();
+    let re_alt = RegexPattern::compile("s1 (s2 | s3)+ s4", &mut sigma).unwrap();
+    let plain = seqhide_types::Sequence::from_ids([1, 2, 3]);
+    let mut group = c.benchmark_group("regex_counting");
+    group.bench_function("plain-dp", |b| {
+        b.iter(|| black_box(count_embeddings::<Sat64>(&plain, &t)))
+    });
+    group.bench_function("regex-literal", |b| {
+        b.iter(|| black_box(count_occurrences::<Sat64>(&re_literal, &t)))
+    });
+    group.bench_function("regex-alt-plus", |b| {
+        b.iter(|| black_box(count_occurrences::<Sat64>(&re_alt, &t)))
+    });
+    group.finish();
+}
+
+/// The two miners on the same workload.
+fn miners(c: &mut Criterion) {
+    let db = markov_db(11, 200, (8, 16), 30, 0.7);
+    let cfg = MinerConfig::new(20);
+    let mut group = c.benchmark_group("miners");
+    group.bench_function("prefixspan", |b| {
+        b.iter(|| black_box(PrefixSpan::mine(&db, &cfg).len()))
+    });
+    group.bench_function("gsp", |b| {
+        b.iter(|| black_box(Gsp::mine(&db, &cfg).len()))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = micro;
+    config = config();
+    targets = count_scaling, delta_scaling, constrained_counting, subsequence_scan, regex_counting, miners
+}
+criterion_main!(micro);

@@ -1,0 +1,143 @@
+//! One bench per paper artefact: times the workload that regenerates each
+//! table/figure (see DESIGN.md's experiment index). Run with
+//! `cargo bench -p seqhide-bench --bench paper`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use seqhide_core::Sanitizer;
+use seqhide_data::{synthetic_like, trucks_like, Dataset};
+use seqhide_experiments::{fig1_constraints, ConstraintKind};
+use seqhide_mine::{MinerConfig, PrefixSpan};
+
+const SEED: u64 = 42;
+
+fn datasets() -> (Dataset, Dataset) {
+    (trucks_like(SEED), synthetic_like(SEED))
+}
+
+/// T1 — support-table computation (constraint-aware support counting over
+/// both databases).
+fn table1_supports(c: &mut Criterion) {
+    let (trucks, synthetic) = datasets();
+    c.bench_function("table1_supports", |b| {
+        b.iter(|| {
+            black_box(trucks.support_table());
+            black_box(synthetic.support_table());
+        })
+    });
+}
+
+/// One M1 point of a Figure-1 panel: a full sanitization run of the given
+/// algorithm at a representative ψ.
+fn bench_m1(c: &mut Criterion, name: &str, dataset: &Dataset, make: fn(usize) -> Sanitizer, psi: usize) {
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let mut db = dataset.db.clone();
+            let report = make(psi).run(&mut db, &dataset.sensitive);
+            black_box(report.marks_introduced)
+        })
+    });
+}
+
+fn fig1a_m1_trucks(c: &mut Criterion) {
+    let (trucks, _) = datasets();
+    bench_m1(c, "fig1a_m1_trucks/HH", &trucks, Sanitizer::hh, 10);
+    bench_m1(c, "fig1a_m1_trucks/HR", &trucks, Sanitizer::hr, 10);
+    bench_m1(c, "fig1a_m1_trucks/RH", &trucks, Sanitizer::rh, 10);
+    bench_m1(c, "fig1a_m1_trucks/RR", &trucks, Sanitizer::rr, 10);
+}
+
+fn fig1d_m1_synthetic(c: &mut Criterion) {
+    let (_, synthetic) = datasets();
+    bench_m1(c, "fig1d_m1_synthetic/HH", &synthetic, Sanitizer::hh, 50);
+    bench_m1(c, "fig1d_m1_synthetic/RR", &synthetic, Sanitizer::rr, 50);
+}
+
+/// One M2/M3 point: sanitize + mine before/after at σ = ψ.
+fn bench_mining_measure(c: &mut Criterion, name: &str, dataset: &Dataset, psi: usize) {
+    let before = PrefixSpan::mine(&dataset.db, &MinerConfig::new(psi));
+    assert!(!before.truncated);
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let mut db = dataset.db.clone();
+            Sanitizer::hh(psi).run(&mut db, &dataset.sensitive);
+            let after = PrefixSpan::mine(&db, &MinerConfig::new(psi));
+            black_box((
+                seqhide_core::metrics::m2(&before, &after),
+                seqhide_core::metrics::m3(&before, &after),
+            ))
+        })
+    });
+}
+
+fn fig1b_m2_trucks(c: &mut Criterion) {
+    let (trucks, _) = datasets();
+    bench_mining_measure(c, "fig1b_m2_trucks", &trucks, 16);
+}
+
+fn fig1c_m3_trucks(c: &mut Criterion) {
+    let (trucks, _) = datasets();
+    bench_mining_measure(c, "fig1c_m3_trucks", &trucks, 24);
+}
+
+fn fig1e_m2_synthetic(c: &mut Criterion) {
+    let (_, synthetic) = datasets();
+    bench_mining_measure(c, "fig1e_m2_synthetic", &synthetic, 50);
+}
+
+fn fig1f_m3_synthetic(c: &mut Criterion) {
+    let (_, synthetic) = datasets();
+    bench_mining_measure(c, "fig1f_m3_synthetic", &synthetic, 75);
+}
+
+/// One constraint panel: HH across the ψ grid for one constraint sweep.
+fn bench_constraints(c: &mut Criterion, name: &str, kinds: Vec<ConstraintKind>) {
+    let (trucks, _) = datasets();
+    let psis = [0usize, 24, 48];
+    c.bench_function(name, |b| {
+        b.iter(|| black_box(fig1_constraints(&trucks, &kinds, &psis, name)))
+    });
+}
+
+fn fig1g_mingap(c: &mut Criterion) {
+    bench_constraints(
+        c,
+        "fig1g_mingap",
+        vec![ConstraintKind::None, ConstraintKind::MinGap(2)],
+    );
+}
+
+fn fig1h_maxgap(c: &mut Criterion) {
+    bench_constraints(
+        c,
+        "fig1h_maxgap",
+        vec![ConstraintKind::None, ConstraintKind::MaxGap(1)],
+    );
+}
+
+fn fig1i_maxwindow(c: &mut Criterion) {
+    bench_constraints(
+        c,
+        "fig1i_maxwindow",
+        vec![ConstraintKind::None, ConstraintKind::MaxWindow(2)],
+    );
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = paper_artefacts;
+    config = config();
+    targets = table1_supports, fig1a_m1_trucks, fig1b_m2_trucks, fig1c_m3_trucks,
+        fig1d_m1_synthetic, fig1e_m2_synthetic, fig1f_m3_synthetic,
+        fig1g_mingap, fig1h_maxgap, fig1i_maxwindow
+}
+criterion_main!(paper_artefacts);

@@ -1,0 +1,1 @@
+//! Criterion benches for every paper figure/table live in `benches/`.

@@ -1,0 +1,190 @@
+//! Global (across-sequence) sanitization: which sequences to sanitize (§4).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use seqhide_match::{matching_size, SensitiveSet};
+use seqhide_num::Count;
+use seqhide_types::SequenceDb;
+
+/// How victim sequences are selected from the supporters of `S_h`.
+///
+/// With disclosure threshold `ψ`, all but `ψ` supporting sequences must be
+/// sanitized (the paper's global rule guarantees `sup_{D'}(Sᵢ) ≤ ψ` for
+/// every sensitive pattern simultaneously, since each pattern's supporters
+/// are a subset of the survivors). The strategy decides *which* `ψ`
+/// supporters survive untouched.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GlobalStrategy {
+    /// The paper's global heuristic: sort supporters in **ascending order
+    /// of matching-set size** and sanitize from the cheap end, leaving the
+    /// `ψ` sequences with the largest matching sets (the most expensive to
+    /// sanitize) undisturbed. Ties break to database order.
+    Heuristic,
+    /// The random baseline (the second letter of HR/RR): a uniformly random
+    /// subset of supporters survives.
+    Random,
+    /// §8 alternative: prefer sanitizing highly **auto-correlated**
+    /// sequences — few distinct symbols relative to length means few
+    /// distinct subsequences, hence less collateral damage per mark.
+    /// Supporters are sorted by ascending distinct-symbol ratio.
+    AutoCorrelation,
+    /// §8 alternative: prefer sanitizing **short** sequences — long
+    /// sequences potentially support many non-sensitive subsequences, so
+    /// the `ψ` longest survive. Supporters are sorted by ascending length.
+    Length,
+}
+
+/// Selects the supporter indices to sanitize: `max(0, supporters − ψ)` of
+/// them, per `strategy`. `supporters` must be the indices of sequences
+/// supporting at least one sensitive pattern (see
+/// [`seqhide_match::supporters`]).
+pub fn select_victims<C: Count, R: Rng + ?Sized>(
+    db: &SequenceDb,
+    sh: &SensitiveSet,
+    supporters: &[usize],
+    psi: usize,
+    strategy: GlobalStrategy,
+    rng: &mut R,
+) -> Vec<usize> {
+    let n_victims = supporters.len().saturating_sub(psi);
+    if n_victims == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = supporters.to_vec();
+    match strategy {
+        GlobalStrategy::Heuristic => {
+            let sizes: Vec<C> = order
+                .iter()
+                .map(|&i| matching_size::<C>(sh, &db.sequences()[i]))
+                .collect();
+            let mut keyed: Vec<(usize, usize)> = (0..order.len()).map(|k| (k, order[k])).collect();
+            keyed.sort_by(|a, b| sizes[a.0].cmp(&sizes[b.0]).then(a.1.cmp(&b.1)));
+            order = keyed.into_iter().map(|(_, i)| i).collect();
+        }
+        GlobalStrategy::Random => {
+            order.shuffle(rng);
+        }
+        GlobalStrategy::AutoCorrelation => {
+            // ascending distinct-symbol ratio = descending auto-correlation
+            let mut keyed: Vec<(f64, usize)> = order
+                .iter()
+                .map(|&i| {
+                    let t = &db.sequences()[i];
+                    let mut syms: Vec<_> =
+                        t.iter().filter(|s| !s.is_mark()).copied().collect();
+                    syms.sort_unstable();
+                    syms.dedup();
+                    let ratio = if t.is_empty() {
+                        1.0
+                    } else {
+                        syms.len() as f64 / t.len() as f64
+                    };
+                    (ratio, i)
+                })
+                .collect();
+            keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            order = keyed.into_iter().map(|(_, i)| i).collect();
+        }
+        GlobalStrategy::Length => {
+            order.sort_by_key(|&i| (db.sequences()[i].len(), i));
+        }
+    }
+    order.truncate(n_victims);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use seqhide_match::supporters;
+    use seqhide_num::Sat64;
+    use seqhide_types::Sequence;
+
+    /// db rows: 0 has 1 match, 1 has 4 matches, 2 has 2 matches, 3 none.
+    fn setup() -> (SequenceDb, SensitiveSet) {
+        let mut db = SequenceDb::parse("a b\na a b b\na b b\nc c\n");
+        let s = Sequence::parse("a b", db.alphabet_mut());
+        let sh = SensitiveSet::new(vec![s]);
+        (db, sh)
+    }
+
+    #[test]
+    fn heuristic_sanitizes_cheapest_first() {
+        let (db, sh) = setup();
+        let sup = supporters(&db, &sh);
+        assert_eq!(sup, vec![0, 1, 2]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        // ψ = 1: sanitize 2 of 3; survivors must be the largest matching set (row 1).
+        let v = select_victims::<Sat64, _>(&db, &sh, &sup, 1, GlobalStrategy::Heuristic, &mut rng);
+        assert_eq!(v, vec![0, 2]);
+        // ψ = 0: everyone, cheapest first.
+        let v0 = select_victims::<Sat64, _>(&db, &sh, &sup, 0, GlobalStrategy::Heuristic, &mut rng);
+        assert_eq!(v0, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn psi_at_least_supporters_selects_none() {
+        let (db, sh) = setup();
+        let sup = supporters(&db, &sh);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for strategy in [
+            GlobalStrategy::Heuristic,
+            GlobalStrategy::Random,
+            GlobalStrategy::AutoCorrelation,
+            GlobalStrategy::Length,
+        ] {
+            let v = select_victims::<Sat64, _>(&db, &sh, &sup, 3, strategy, &mut rng);
+            assert!(v.is_empty(), "{strategy:?}");
+            let v = select_victims::<Sat64, _>(&db, &sh, &sup, 10, strategy, &mut rng);
+            assert!(v.is_empty(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn random_selects_correct_count_from_supporters() {
+        let (db, sh) = setup();
+        let sup = supporters(&db, &sh);
+        for seed in 0..10 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let v =
+                select_victims::<Sat64, _>(&db, &sh, &sup, 1, GlobalStrategy::Random, &mut rng);
+            assert_eq!(v.len(), 2);
+            assert!(v.iter().all(|i| sup.contains(i)));
+            let mut uniq = v.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 2);
+        }
+    }
+
+    #[test]
+    fn length_strategy_spares_longest() {
+        let (db, sh) = setup();
+        let sup = supporters(&db, &sh);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let v = select_victims::<Sat64, _>(&db, &sh, &sup, 1, GlobalStrategy::Length, &mut rng);
+        // lengths: row0=2, row1=4, row2=3 ⇒ sanitize rows 0 and 2
+        assert_eq!(v, vec![0, 2]);
+    }
+
+    #[test]
+    fn autocorrelation_prefers_repetitive() {
+        let mut db = SequenceDb::parse("a b c d\na a a b\n");
+        let s = Sequence::parse("a b", db.alphabet_mut());
+        let sh = SensitiveSet::new(vec![s]);
+        let sup = supporters(&db, &sh);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let v = select_victims::<Sat64, _>(
+            &db,
+            &sh,
+            &sup,
+            1,
+            GlobalStrategy::AutoCorrelation,
+            &mut rng,
+        );
+        // row 1 (ratio 2/4) is more auto-correlated than row 0 (4/4)
+        assert_eq!(v, vec![1]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Sanitization of itemset sequences (§7.1) with the paper's two-level
+//! hierarchical heuristic.
+//!
+//! For itemset sequences "the marking operation … is more challenging …
+//! One possible solution is first choosing the position in `T` to sanitize
+//! using the same heuristic proposed for simple sequences, and then,
+//! choosing a subset of items for marking in this itemset which reduces the
+//! matching set most." That is exactly what [`sanitize_itemset_sequence`]
+//! does:
+//!
+//! 1. **level 1** — pick the element position with the largest element-`δ`
+//!    (occurrences through that element);
+//! 2. **level 2** — inside that element, greedily mark the item with the
+//!    largest item-`δ` until the element participates in no occurrence;
+//! 3. repeat until the matching set is empty.
+
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use seqhide_match::itemset::{
+    delta_elements_itemset, delta_item_itemset, matching_size_itemset, supports_itemset,
+    ItemsetPattern,
+};
+use seqhide_num::{Count, Sat64};
+use seqhide_types::{ItemsetSequence, Symbol};
+
+use crate::local::LocalStrategy;
+
+/// Sanitizes one itemset sequence in place until no pattern occurrence
+/// remains, returning the number of item marks introduced.
+pub fn sanitize_itemset_sequence<R: Rng + ?Sized>(
+    t: &mut ItemsetSequence,
+    patterns: &[ItemsetPattern],
+    strategy: LocalStrategy,
+    rng: &mut R,
+) -> usize {
+    let mut marks = 0;
+    loop {
+        let elem_delta = delta_elements_itemset::<Sat64>(patterns, t);
+        // level 1: element choice
+        let elem = match strategy {
+            LocalStrategy::Heuristic => elem_delta
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| !d.is_zero())
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                .map(|(i, _)| i),
+            LocalStrategy::Random => {
+                let candidates: Vec<usize> = elem_delta
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, d)| (!d.is_zero()).then_some(i))
+                    .collect();
+                candidates.choose(rng).copied()
+            }
+        };
+        let Some(elem) = elem else {
+            return marks; // matching set empty
+        };
+        // level 2: greedily mark items inside `elem` until it contributes
+        // no occurrence anymore.
+        loop {
+            let live: Vec<Symbol> = t.elements()[elem].live_items().collect();
+            let mut best: Option<(Symbol, Sat64)> = None;
+            for &item in &live {
+                let d = delta_item_itemset::<Sat64>(patterns, t, elem, item);
+                if d.is_zero() {
+                    continue;
+                }
+                match best {
+                    Some((_, bd)) if d <= bd => {}
+                    _ => best = Some((item, d)),
+                }
+            }
+            let chosen = match strategy {
+                LocalStrategy::Heuristic => best.map(|(s, _)| s),
+                LocalStrategy::Random => {
+                    let candidates: Vec<Symbol> = live
+                        .iter()
+                        .copied()
+                        .filter(|&item| {
+                            !delta_item_itemset::<Sat64>(patterns, t, elem, item).is_zero()
+                        })
+                        .collect();
+                    candidates.choose(rng).copied()
+                }
+            };
+            let Some(item) = chosen else { break };
+            t.elements_mut()[elem].mark_item(item);
+            marks += 1;
+            if delta_elements_itemset::<Sat64>(patterns, t)[elem].is_zero() {
+                break;
+            }
+        }
+    }
+}
+
+/// Report of an itemset-database sanitization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ItemsetSanitizeReport {
+    /// Item marks introduced (the itemset analogue of M1).
+    pub marks_introduced: usize,
+    /// Sequences sanitized.
+    pub sequences_sanitized: usize,
+    /// Post-sanitization support of each pattern.
+    pub residual_supports: Vec<usize>,
+    /// Whether every pattern ended at or below `ψ`.
+    pub hidden: bool,
+}
+
+/// Sanitizes a database of itemset sequences: the global rule is the same
+/// as for plain sequences (ascending matching-set size, spare the `ψ` most
+/// expensive supporters).
+///
+/// ```
+/// use seqhide_types::ItemsetSequence;
+/// use seqhide_match::itemset::{support_itemset, ItemsetPattern};
+/// use seqhide_core::{itemset::sanitize_itemset_db, LocalStrategy};
+/// let pattern = ItemsetPattern::unconstrained(
+///     ItemsetSequence::from_ids([vec![1], vec![2]]),
+/// ).unwrap();
+/// let mut db = vec![
+///     ItemsetSequence::from_ids([vec![1, 9], vec![2]]),
+///     ItemsetSequence::from_ids([vec![3], vec![4]]),
+/// ];
+/// let report = sanitize_itemset_db(&mut db, &[pattern.clone()], 0, LocalStrategy::Heuristic, 0);
+/// assert!(report.hidden);
+/// assert_eq!(support_itemset(&db, &pattern), 0);
+/// ```
+pub fn sanitize_itemset_db(
+    db: &mut [ItemsetSequence],
+    patterns: &[ItemsetPattern],
+    psi: usize,
+    strategy: LocalStrategy,
+    seed: u64,
+) -> ItemsetSanitizeReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut sup: Vec<(usize, Sat64)> = db
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| {
+            let m = matching_size_itemset::<Sat64>(patterns, t);
+            (!m.is_zero()).then_some((i, m))
+        })
+        .collect();
+    sup.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+    let n_victims = sup.len().saturating_sub(psi);
+    let mut marks = 0;
+    for &(i, _) in sup.iter().take(n_victims) {
+        marks += sanitize_itemset_sequence(&mut db[i], patterns, strategy, &mut rng);
+    }
+    let residual: Vec<usize> = patterns
+        .iter()
+        .map(|p| db.iter().filter(|t| supports_itemset(t, p)).count())
+        .collect();
+    ItemsetSanitizeReport {
+        marks_introduced: marks,
+        sequences_sanitized: n_victims,
+        hidden: residual.iter().all(|&s| s <= psi),
+        residual_supports: residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iseq(groups: &[&[u32]]) -> ItemsetSequence {
+        ItemsetSequence::from_ids(groups.iter().map(|g| g.to_vec()))
+    }
+
+    fn ipat(groups: &[&[u32]]) -> ItemsetPattern {
+        ItemsetPattern::unconstrained(iseq(groups)).unwrap()
+    }
+
+    #[test]
+    fn single_sequence_sanitization_marks_minimally() {
+        // pattern ⟨{1} {2}⟩ in ⟨{1,9} {1} {2,8}⟩: both occurrences share the
+        // {2} at element 2 — one item mark (item 2) suffices.
+        let p = ipat(&[&[1], &[2]]);
+        let mut t = iseq(&[&[1, 9], &[1], &[2, 8]]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let marks =
+            sanitize_itemset_sequence(&mut t, &[p.clone()], LocalStrategy::Heuristic, &mut rng);
+        assert_eq!(marks, 1);
+        assert!(!supports_itemset(&t, &p));
+        // the untouched items survive
+        assert!(t.elements()[2].contains(Symbol::new(8)));
+    }
+
+    #[test]
+    fn level2_marks_only_needed_items() {
+        // pattern ⟨{1,2}⟩ in ⟨{1,2,3}⟩: marking either 1 or 2 breaks the
+        // inclusion; 3 must survive.
+        let p = ipat(&[&[1, 2]]);
+        let mut t = iseq(&[&[1, 2, 3]]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let marks = sanitize_itemset_sequence(&mut t, &[p.clone()], LocalStrategy::Heuristic, &mut rng);
+        assert_eq!(marks, 1);
+        assert!(!supports_itemset(&t, &p));
+        assert!(t.elements()[0].contains(Symbol::new(3)));
+    }
+
+    #[test]
+    fn random_strategy_terminates_clean() {
+        for seed in 0..10 {
+            let p = ipat(&[&[1], &[2]]);
+            let mut t = iseq(&[&[1, 5], &[2, 1], &[2], &[1, 2]]);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let marks =
+                sanitize_itemset_sequence(&mut t, &[p.clone()], LocalStrategy::Random, &mut rng);
+            assert!(marks >= 1, "seed {seed}");
+            assert!(!supports_itemset(&t, &p), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn db_sanitization_respects_psi() {
+        let p = ipat(&[&[1], &[2]]);
+        let mut db = vec![
+            iseq(&[&[1], &[2]]),
+            iseq(&[&[1], &[2], &[2]]),
+            iseq(&[&[1, 2], &[2]]),
+            iseq(&[&[3]]),
+        ];
+        let report = sanitize_itemset_db(&mut db, &[p.clone()], 1, LocalStrategy::Heuristic, 0);
+        assert!(report.hidden);
+        assert_eq!(report.residual_supports, vec![1]);
+        assert_eq!(report.sequences_sanitized, 2);
+        // untouched non-supporter
+        assert_eq!(db[3].mark_count(), 0);
+    }
+
+    #[test]
+    fn db_sanitization_psi_zero_clears_all() {
+        let p = ipat(&[&[7]]);
+        let mut db = vec![iseq(&[&[7]]), iseq(&[&[7, 8]]), iseq(&[&[9]])];
+        let report = sanitize_itemset_db(&mut db, &[p.clone()], 0, LocalStrategy::Heuristic, 0);
+        assert!(report.hidden);
+        assert_eq!(report.residual_supports, vec![0]);
+        assert_eq!(report.marks_introduced, 2);
+        // non-required item survives in db[1]
+        assert!(db[1].elements()[0].contains(Symbol::new(8)));
+    }
+
+    #[test]
+    fn multiple_patterns() {
+        let p1 = ipat(&[&[1], &[2]]);
+        let p2 = ipat(&[&[3]]);
+        let mut db = vec![iseq(&[&[1, 3], &[2]]), iseq(&[&[3], &[1]])];
+        let report =
+            sanitize_itemset_db(&mut db, &[p1.clone(), p2.clone()], 0, LocalStrategy::Heuristic, 0);
+        assert!(report.hidden);
+        assert_eq!(report.residual_supports, vec![0, 0]);
+    }
+}

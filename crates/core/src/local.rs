@@ -1,0 +1,171 @@
+//! Local (within-sequence) sanitization: which positions to mark (§4).
+
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use seqhide_match::delta::argmax_delta;
+use seqhide_match::{delta_all, SensitiveSet};
+use seqhide_num::Count;
+use seqhide_types::Sequence;
+
+/// How positions are chosen inside one sequence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LocalStrategy {
+    /// The paper's local heuristic: *choose the marking position that is
+    /// involved in most matches*, i.e. `argmax_i δ(T[i])`, iterated until
+    /// the matching set is empty. Ties break to the smallest index.
+    Heuristic,
+    /// The random baseline (the first letter of RH/RR): a uniformly random
+    /// *reasonable* position — one involved in at least one matching, as
+    /// §6 specifies ("the random choice is actually performed only among
+    /// reasonable choices").
+    Random,
+}
+
+/// Sanitizes `t` in place until no sensitive occurrence remains, returning
+/// the number of marks introduced.
+///
+/// Termination: every chosen position has `δ > 0`, marking it removes
+/// exactly those `δ` occurrences and creates none (marks match nothing), so
+/// the total occurrence count strictly decreases each iteration.
+pub fn sanitize_sequence<C: Count, R: Rng + ?Sized>(
+    t: &mut Sequence,
+    sh: &SensitiveSet,
+    strategy: LocalStrategy,
+    rng: &mut R,
+) -> usize {
+    let mut marks = 0;
+    loop {
+        let delta = delta_all::<C>(sh, t);
+        let pos = match strategy {
+            LocalStrategy::Heuristic => argmax_delta(&delta),
+            LocalStrategy::Random => {
+                let candidates: Vec<usize> = delta
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, d)| (!d.is_zero()).then_some(i))
+                    .collect();
+                candidates.choose(rng).copied()
+            }
+        };
+        let Some(pos) = pos else {
+            return marks; // δ ≡ 0 ⇔ no occurrence left
+        };
+        t.mark(pos);
+        marks += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use seqhide_match::{matching_size, ConstraintSet, Gap, SensitivePattern};
+    use seqhide_num::Sat64;
+    use seqhide_types::Alphabet;
+
+    fn paper_case() -> (SensitiveSet, Sequence) {
+        let mut sigma = Alphabet::new();
+        let s = Sequence::parse("a b c", &mut sigma);
+        let t = Sequence::parse("a a b c c b a e", &mut sigma);
+        (SensitiveSet::new(vec![s]), t)
+    }
+
+    #[test]
+    fn heuristic_reproduces_paper_example2() {
+        // The paper marks T[3] (1-based) — the b at 0-based index 2 — and
+        // one mark suffices.
+        let (sh, mut t) = paper_case();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let marks = sanitize_sequence::<Sat64, _>(&mut t, &sh, LocalStrategy::Heuristic, &mut rng);
+        assert_eq!(marks, 1);
+        assert!(t[2].is_mark());
+        assert!(matching_size::<u64>(&sh, &t).is_zero());
+    }
+
+    #[test]
+    fn random_also_terminates_clean() {
+        for seed in 0..20 {
+            let (sh, mut t) = paper_case();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let marks =
+                sanitize_sequence::<Sat64, _>(&mut t, &sh, LocalStrategy::Random, &mut rng);
+            assert!(marks >= 1);
+            assert!(marks <= t.len());
+            assert!(matching_size::<u64>(&sh, &t).is_zero(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn heuristic_never_beats_random_on_average_marks() {
+        // On the paper's example the heuristic needs exactly 1 mark; the
+        // random strategy sometimes needs 2 (e.g. marking both a's).
+        let mut worst_random = 0;
+        for seed in 0..50 {
+            let (sh, mut t) = paper_case();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m = sanitize_sequence::<Sat64, _>(&mut t, &sh, LocalStrategy::Random, &mut rng);
+            worst_random = worst_random.max(m);
+        }
+        assert!(worst_random >= 1);
+    }
+
+    #[test]
+    fn clean_sequence_untouched() {
+        let mut sigma = Alphabet::new();
+        let s = Sequence::parse("x y", &mut sigma);
+        let mut t = Sequence::parse("y x", &mut sigma);
+        let sh = SensitiveSet::new(vec![s]);
+        let before = t.clone();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let marks = sanitize_sequence::<Sat64, _>(&mut t, &sh, LocalStrategy::Heuristic, &mut rng);
+        assert_eq!(marks, 0);
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn constrained_sanitization_only_kills_constrained_occurrences() {
+        // T = ⟨a x b a b⟩; sensitive: ⟨a b⟩ within window 2 (only (3,4)).
+        // The heuristic should spend 1 mark and leave the loose occurrences
+        // (0,2), (0,4) intact as far as the constrained pattern cares.
+        let mut sigma = Alphabet::new();
+        let s = Sequence::parse("a b", &mut sigma);
+        let mut t = Sequence::parse("a x b a b", &mut sigma);
+        let p = SensitivePattern::new(s.clone(), ConstraintSet::with_max_window(2)).unwrap();
+        let sh = SensitiveSet::from_patterns(vec![p]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let marks = sanitize_sequence::<Sat64, _>(&mut t, &sh, LocalStrategy::Heuristic, &mut rng);
+        assert_eq!(marks, 1);
+        assert!(matching_size::<u64>(&sh, &t).is_zero());
+        // the unconstrained pattern still occurs — less distortion
+        let loose = SensitiveSet::new(vec![s]);
+        assert!(!matching_size::<u64>(&loose, &t).is_zero());
+    }
+
+    #[test]
+    fn multi_pattern_sanitization() {
+        let mut sigma = Alphabet::new();
+        let s1 = Sequence::parse("a b", &mut sigma);
+        let s2 = Sequence::parse("c d", &mut sigma);
+        let mut t = Sequence::parse("a c b d", &mut sigma);
+        let sh = SensitiveSet::new(vec![s1, s2]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let marks = sanitize_sequence::<Sat64, _>(&mut t, &sh, LocalStrategy::Heuristic, &mut rng);
+        assert!(matching_size::<u64>(&sh, &t).is_zero());
+        assert!(marks <= 2);
+    }
+
+    #[test]
+    fn gap_constrained_paper_pattern_needs_no_marks() {
+        // a →⁰ b →₂⁶ c has no occurrence in the paper's T, so nothing to do.
+        let mut sigma = Alphabet::new();
+        let s = Sequence::parse("a b c", &mut sigma);
+        let mut t = Sequence::parse("a a b c c b a e", &mut sigma);
+        let cs = ConstraintSet::with_gaps(vec![Gap::adjacent(), Gap::bounded(2, 6)]);
+        let p = SensitivePattern::new(s, cs).unwrap();
+        let sh = SensitiveSet::from_patterns(vec![p]);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let marks = sanitize_sequence::<Sat64, _>(&mut t, &sh, LocalStrategy::Heuristic, &mut rng);
+        assert_eq!(marks, 0);
+    }
+}

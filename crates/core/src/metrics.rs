@@ -1,0 +1,172 @@
+//! The distortion measures of §6.
+//!
+//! * **M1** (data distortion): total number of marking symbols in `D'` —
+//!   absolute.
+//! * **M2** (frequent pattern distortion): the fraction of frequent
+//!   patterns lost, `(|F(D,σ)| − |F(D',σ)|) / |F(D,σ)|` — relative, in
+//!   `[0, 1]` because marking only removes subsequences, so
+//!   `F(D',σ) ⊆ F(D,σ)`.
+//! * **M3** (frequent pattern support distortion): the mean relative
+//!   support drop over the *surviving* frequent patterns,
+//!   `(1/|F(D',σ)|) Σ_{S ∈ F(D',σ)} (sup_D(S) − sup_{D'}(S)) / sup_D(S)`.
+
+use seqhide_mine::{MineResult, MinerConfig, PrefixSpan};
+use seqhide_types::SequenceDb;
+
+/// All three measures for one sanitization, plus the frequent-set sizes
+/// they were computed from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistortionReport {
+    /// M1: marks in `D'`.
+    pub m1: usize,
+    /// M2 ∈ [0, 1]: fraction of frequent patterns lost (0 when `F(D,σ)` is
+    /// empty — nothing existed to lose).
+    pub m2: f64,
+    /// M3 ∈ [0, 1]: mean relative support drop among survivors (0 when
+    /// `F(D',σ)` is empty — the paper's average over an empty set is read
+    /// as zero distortion on survivors).
+    pub m3: f64,
+    /// `|F(D, σ)|`.
+    pub frequent_before: usize,
+    /// `|F(D', σ)|`.
+    pub frequent_after: usize,
+}
+
+/// M1: total marking symbols in the (sanitized) database.
+pub fn m1(db_after: &SequenceDb) -> usize {
+    db_after.total_marks()
+}
+
+/// M2 from two mining results at the same `σ`.
+pub fn m2(before: &MineResult, after: &MineResult) -> f64 {
+    if before.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(after.len() <= before.len(), "marking cannot create frequent patterns");
+    (before.len() as f64 - after.len() as f64) / before.len() as f64
+}
+
+/// M3 from two mining results at the same `σ`. Every survivor is frequent
+/// in `D` too (support only drops under marking), so its original support
+/// is read from `before`.
+pub fn m3(before: &MineResult, after: &MineResult) -> f64 {
+    if after.is_empty() {
+        return 0.0;
+    }
+    let before_map = before.to_map();
+    let mut total = 0.0;
+    for fp in &after.patterns {
+        let sup_before = *before_map
+            .get(&fp.seq)
+            .expect("surviving frequent pattern must have been frequent before");
+        debug_assert!(fp.support <= sup_before);
+        total += (sup_before - fp.support) as f64 / sup_before as f64;
+    }
+    total / after.len() as f64
+}
+
+/// Convenience: mines both databases at `σ` and assembles the full report.
+///
+/// ```
+/// use seqhide_types::{Sequence, SequenceDb};
+/// use seqhide_match::SensitiveSet;
+/// use seqhide_core::{distortion, Sanitizer};
+/// let before = SequenceDb::parse("a b\na b\nc c\n");
+/// let mut after = before.clone();
+/// let s = Sequence::parse("a b", after.alphabet_mut());
+/// Sanitizer::hh(0).run(&mut after, &SensitiveSet::new(vec![s]));
+/// let d = distortion(&before, &after, 2);
+/// assert_eq!(d.m1, after.total_marks());
+/// assert!(d.m2 > 0.0); // some frequent patterns were lost
+/// ```
+///
+/// # Panics
+/// Panics if mining hits the pattern-count safety cap (a truncated mine
+/// would silently corrupt M2/M3).
+pub fn distortion(db_before: &SequenceDb, db_after: &SequenceDb, sigma: usize) -> DistortionReport {
+    distortion_with(db_before, db_after, &MinerConfig::new(sigma))
+}
+
+/// [`distortion`] with full miner control (length caps etc.).
+pub fn distortion_with(
+    db_before: &SequenceDb,
+    db_after: &SequenceDb,
+    config: &MinerConfig,
+) -> DistortionReport {
+    let before = PrefixSpan::mine(db_before, config);
+    let after = PrefixSpan::mine(db_after, config);
+    assert!(
+        !before.truncated && !after.truncated,
+        "mining truncated at {} patterns; raise max_patterns or σ",
+        config.max_patterns
+    );
+    DistortionReport {
+        m1: m1(db_after),
+        m2: m2(&before, &after),
+        m3: m3(&before, &after),
+        frequent_before: before.len(),
+        frequent_after: after.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sanitizer::Sanitizer;
+    use seqhide_match::SensitiveSet;
+    use seqhide_types::Sequence;
+
+    #[test]
+    fn identity_sanitization_has_zero_distortion() {
+        let db = SequenceDb::parse("a b c\nb c a\n");
+        let r = distortion(&db, &db, 1);
+        assert_eq!(r.m1, 0);
+        assert_eq!(r.m2, 0.0);
+        assert_eq!(r.m3, 0.0);
+        assert_eq!(r.frequent_before, r.frequent_after);
+    }
+
+    #[test]
+    fn measures_after_real_sanitization() {
+        let mut db = SequenceDb::parse("a b\na b\na b\nc c\n");
+        let s = Sequence::parse("a b", db.alphabet_mut());
+        let sh = SensitiveSet::new(vec![s]);
+        let before = db.clone();
+        Sanitizer::hh(0).run(&mut db, &sh);
+        let r = distortion(&before, &db, 2);
+        assert_eq!(r.m1, db.total_marks());
+        assert!(r.m1 >= 3);
+        // F(D,2) = {a, b, ab, c, cc}... with σ=2: a:3, b:3, ab:3, c:1? c appears
+        // once (one sequence) so not frequent. cc not frequent. F before = {a,b,ab}.
+        assert_eq!(r.frequent_before, 3);
+        assert!(r.m2 > 0.0 && r.m2 <= 1.0);
+        assert!(r.m3 >= 0.0 && r.m3 <= 1.0);
+        assert!(r.frequent_after < r.frequent_before);
+    }
+
+    #[test]
+    fn m2_empty_before_is_zero() {
+        let empty = MineResult::default();
+        assert_eq!(m2(&empty, &empty), 0.0);
+        assert_eq!(m3(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn m3_counts_only_survivors() {
+        use seqhide_mine::FrequentPattern;
+        let before = MineResult {
+            patterns: vec![
+                FrequentPattern { seq: Sequence::from_ids([0]), support: 10 },
+                FrequentPattern { seq: Sequence::from_ids([1]), support: 4 },
+            ],
+            truncated: false,
+        };
+        let after = MineResult {
+            patterns: vec![FrequentPattern { seq: Sequence::from_ids([0]), support: 5 }],
+            truncated: false,
+        };
+        // survivor ⟨s0⟩ dropped 10→5 ⇒ M3 = 0.5; lost ⟨s1⟩ affects M2 only
+        assert!((m3(&before, &after) - 0.5).abs() < 1e-12);
+        assert!((m2(&before, &after) - 0.5).abs() < 1e-12);
+    }
+}

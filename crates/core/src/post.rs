@@ -1,0 +1,228 @@
+//! The second sanitization stage (§4): removing or replacing the `Δ`
+//! symbols before release.
+//!
+//! The paper's stage 1 leaves `Δ` marks in `D'` and notes they can simply
+//! be published as missing values. When a consumer cannot accept missing
+//! values, the marks must be **deleted** or **replaced** — and the paper
+//! warns that this "must take care of the possibility of re-generating fake
+//! patterns and also re-generating sensitive patterns". This module
+//! implements both options with exactly those guards:
+//!
+//! * deletion shifts positions, so under gap/window constraints it can
+//!   *re-create* constrained occurrences that marking had destroyed
+//!   ([`delete_markers`] documents this; [`delete_markers_safe`] loops
+//!   delete → re-sanitize until the release is genuinely clean);
+//! * replacement writes real alphabet symbols into marked slots, which can
+//!   create brand-new subsequences (fake patterns) and possibly sensitive
+//!   occurrences; [`replace_markers`] only accepts a replacement symbol if
+//!   the sequence still supports **no** sensitive pattern afterwards, and
+//!   leaves the mark in place when no symbol qualifies.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use seqhide_match::{supports, SensitiveSet};
+use seqhide_types::{SequenceDb, Symbol};
+
+use crate::sanitizer::Sanitizer;
+
+/// Deletes every `Δ` from every sequence, returning the shortened database.
+///
+/// Under **unconstrained** patterns this is always safe: deletion creates
+/// no new subsequence (§4). Under gap/window constraints positions shift
+/// and constrained occurrences can reappear — use [`delete_markers_safe`]
+/// when constraints are in play.
+pub fn delete_markers(db: &SequenceDb) -> SequenceDb {
+    SequenceDb::from_parts(
+        db.alphabet().clone(),
+        db.sequences().iter().map(|t| t.without_marks()).collect(),
+    )
+}
+
+/// Outcome of [`delete_markers_safe`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeleteReport {
+    /// How many delete → re-sanitize rounds were needed (1 = deletion was
+    /// already clean).
+    pub rounds: usize,
+    /// Extra marks spent by the re-sanitization rounds.
+    pub extra_marks: usize,
+}
+
+/// Deletes marks, then re-verifies the hiding requirement and — if deletion
+/// resurrected constrained occurrences — re-sanitizes and deletes again,
+/// until the mark-free release satisfies `sup(Sᵢ) ≤ ψ`.
+///
+/// Terminates because every round strictly shortens some sequence (each
+/// re-sanitization adds ≥ 1 mark, each deletion removes all marks).
+pub fn delete_markers_safe(
+    db: &SequenceDb,
+    sh: &SensitiveSet,
+    psi: usize,
+    sanitizer: &Sanitizer,
+) -> (SequenceDb, DeleteReport) {
+    let mut current = delete_markers(db);
+    let mut rounds = 1;
+    let mut extra_marks = 0;
+    loop {
+        let verify = crate::verify::verify_hidden(&current, sh, psi);
+        if verify.hidden {
+            return (current, DeleteReport { rounds, extra_marks });
+        }
+        let report = sanitizer.run(&mut current, sh);
+        extra_marks += report.marks_introduced;
+        current = delete_markers(&current);
+        rounds += 1;
+    }
+}
+
+/// Outcome of [`replace_markers`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplaceReport {
+    /// Marks successfully replaced by alphabet symbols.
+    pub replaced: usize,
+    /// Marks left in place because every candidate symbol would have
+    /// re-created a sensitive occurrence.
+    pub kept: usize,
+}
+
+/// Replaces `Δ` marks with alphabet symbols wherever that does not
+/// re-create a sensitive occurrence in the host sequence.
+///
+/// Candidate symbols are tried in descending global frequency (then id)
+/// with a seeded random tie-shuffle — frequent symbols blend in best, which
+/// empirically minimises the number of *fake* frequent patterns introduced;
+/// the `ablation_postprocessing` bench audits that fake count via
+/// [`crate::verify::side_effects`].
+pub fn replace_markers(
+    db: &mut SequenceDb,
+    sh: &SensitiveSet,
+    seed: u64,
+) -> ReplaceReport {
+    use rand::seq::SliceRandom;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Global symbol frequencies over unmarked positions.
+    let sigma_len = db.alphabet().len();
+    let mut freq = vec![0usize; sigma_len];
+    for t in db.sequences() {
+        for &s in t {
+            if !s.is_mark() {
+                freq[s.id() as usize] += 1;
+            }
+        }
+    }
+    let mut candidates: Vec<Symbol> = (0..sigma_len as u32).map(Symbol::new).collect();
+    candidates.shuffle(&mut rng); // random tie order
+    candidates.sort_by(|a, b| freq[b.id() as usize].cmp(&freq[a.id() as usize]));
+
+    let mut replaced = 0;
+    let mut kept = 0;
+    for idx in 0..db.len() {
+        let t = &mut db.sequences_mut()[idx];
+        for pos in 0..t.len() {
+            if !t[pos].is_mark() {
+                continue;
+            }
+            let mut done = false;
+            for &cand in &candidates {
+                t.set(pos, cand);
+                if sh.iter().all(|p| !supports(t, p)) {
+                    replaced += 1;
+                    done = true;
+                    break;
+                }
+            }
+            if !done {
+                t.set(pos, Symbol::MARK);
+                kept += 1;
+            }
+        }
+    }
+    ReplaceReport { replaced, kept }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqhide_match::{support, ConstraintSet, Gap, SensitivePattern};
+    use seqhide_types::Sequence;
+
+    #[test]
+    fn delete_shortens_and_is_safe_unconstrained() {
+        let mut db = SequenceDb::parse("a b c\na b c\n");
+        let s = Sequence::parse("a c", db.alphabet_mut());
+        let sh = SensitiveSet::new(vec![s.clone()]);
+        Sanitizer::hh(0).run(&mut db, &sh);
+        let released = delete_markers(&db);
+        assert_eq!(released.total_marks(), 0);
+        assert!(released.stats().total_symbols < 6);
+        assert_eq!(support(&released, &s), 0);
+    }
+
+    #[test]
+    fn delete_can_resurrect_constrained_occurrences() {
+        // ⟨a x b⟩ with sensitive a→⁰b: originally NOT supported (gap 1).
+        // Suppose x got marked while hiding some other pattern; deleting
+        // the mark glues a and b together and creates a fresh occurrence.
+        let mut db = SequenceDb::parse("a x b\n");
+        let ab = Sequence::parse("a b", db.alphabet_mut());
+        let adj = SensitivePattern::new(
+            ab,
+            ConstraintSet::uniform_gap(Gap::adjacent()),
+        )
+        .unwrap();
+        let sh = SensitiveSet::from_patterns(vec![adj.clone()]);
+        assert!(crate::verify::verify_hidden(&db, &sh, 0).hidden);
+        db.sequences_mut()[0].mark(1); // collateral mark on x
+        let naive = delete_markers(&db);
+        assert!(!crate::verify::verify_hidden(&naive, &sh, 0).hidden); // resurrected!
+        let (safe, report) = delete_markers_safe(&db, &sh, 0, &Sanitizer::hh(0));
+        assert!(crate::verify::verify_hidden(&safe, &sh, 0).hidden);
+        assert_eq!(safe.total_marks(), 0);
+        assert!(report.rounds >= 2);
+        assert!(report.extra_marks >= 1);
+    }
+
+    #[test]
+    fn replace_fills_marks_without_regeneration() {
+        let mut db = SequenceDb::parse("a b c\nb c a\nc c b\n");
+        let s = Sequence::parse("a c", db.alphabet_mut());
+        let sh = SensitiveSet::new(vec![s.clone()]);
+        Sanitizer::hh(0).run(&mut db, &sh);
+        let marks_before = db.total_marks();
+        assert!(marks_before > 0);
+        let report = replace_markers(&mut db, &sh, 7);
+        assert_eq!(report.replaced + report.kept, marks_before);
+        assert_eq!(db.total_marks(), report.kept);
+        // the hiding requirement still holds after replacement
+        assert_eq!(support(&db, &s), 0);
+    }
+
+    #[test]
+    fn replace_keeps_mark_when_every_symbol_regenerates() {
+        // Σ = {a}; sensitive ⟨a a⟩; T = ⟨a Δ⟩. Any replacement (only 'a')
+        // re-creates the pattern, so the mark must stay.
+        let mut db = SequenceDb::parse("a a\n");
+        let s = Sequence::parse("a a", db.alphabet_mut());
+        let sh = SensitiveSet::new(vec![s]);
+        db.sequences_mut()[0].mark(1);
+        let report = replace_markers(&mut db, &sh, 0);
+        assert_eq!(report, ReplaceReport { replaced: 0, kept: 1 });
+        assert!(db.sequences()[0][1].is_mark());
+    }
+
+    #[test]
+    fn replace_is_deterministic_per_seed() {
+        let build = || {
+            let mut db = SequenceDb::parse("a b c d\nd c b a\nb d a c\n");
+            let s = Sequence::parse("a c", db.alphabet_mut());
+            let sh = SensitiveSet::new(vec![s]);
+            Sanitizer::hh(0).run(&mut db, &sh);
+            (db, sh)
+        };
+        let (mut db1, sh1) = build();
+        let (mut db2, sh2) = build();
+        replace_markers(&mut db1, &sh1, 99);
+        replace_markers(&mut db2, &sh2, 99);
+        assert_eq!(db1.to_text(), db2.to_text());
+    }
+}

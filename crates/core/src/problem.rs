@@ -1,0 +1,112 @@
+//! Problem statements: the single-threshold Sequence Hiding Problem
+//! (Problem 1) and the multiple-threshold extension of §8.
+
+use seqhide_match::SensitiveSet;
+use seqhide_types::SequenceDb;
+
+/// A fully specified instance of the Sequence Hiding Problem: the input
+/// database `D`, the sensitive set `S_h`, and the disclosure threshold `ψ`.
+///
+/// Mostly a documentation/bookkeeping type — [`Sanitizer`](crate::Sanitizer)
+/// takes the parts directly — but useful for shipping instances around
+/// (the experiment harness and examples do).
+#[derive(Clone, Debug)]
+pub struct HidingProblem {
+    /// The database to sanitize.
+    pub db: SequenceDb,
+    /// The sensitive patterns to hide.
+    pub sensitive: SensitiveSet,
+    /// The disclosure threshold `ψ`.
+    pub psi: usize,
+}
+
+impl HidingProblem {
+    /// Bundles an instance.
+    pub fn new(db: SequenceDb, sensitive: SensitiveSet, psi: usize) -> Self {
+        HidingProblem { db, sensitive, psi }
+    }
+}
+
+/// Per-pattern disclosure thresholds `ψ₁ … ψ_n` (§8: "multiple disclosure
+/// thresholds: in case the sensitivity level of patterns differs").
+///
+/// Two resolution modes are provided by [`Sanitizer`](crate::Sanitizer):
+/// the paper's "very simple solution (just take the minimum of all)" and a
+/// per-pattern scheduler that sanitizes each pattern only down to its own
+/// threshold.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DisclosureThresholds {
+    thresholds: Vec<usize>,
+}
+
+impl DisclosureThresholds {
+    /// One threshold per sensitive pattern, in pattern order.
+    pub fn new(thresholds: Vec<usize>) -> Self {
+        DisclosureThresholds { thresholds }
+    }
+
+    /// The same threshold for `n` patterns.
+    pub fn uniform(psi: usize, n: usize) -> Self {
+        DisclosureThresholds { thresholds: vec![psi; n] }
+    }
+
+    /// The threshold for pattern `i`.
+    pub fn get(&self, i: usize) -> usize {
+        self.thresholds[i]
+    }
+
+    /// Number of thresholds (must equal `|S_h|`).
+    pub fn len(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// Whether there are no thresholds.
+    pub fn is_empty(&self) -> bool {
+        self.thresholds.is_empty()
+    }
+
+    /// The paper's trivial reduction: collapse to `min(ψᵢ)`.
+    pub fn min(&self) -> usize {
+        self.thresholds.iter().copied().min().unwrap_or(0)
+    }
+
+    /// The per-pattern thresholds.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.thresholds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqhide_types::Sequence;
+
+    #[test]
+    fn thresholds_accessors() {
+        let t = DisclosureThresholds::new(vec![3, 0, 7]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.get(2), 7);
+        assert_eq!(t.min(), 0);
+        assert_eq!(t.as_slice(), &[3, 0, 7]);
+    }
+
+    #[test]
+    fn uniform_thresholds() {
+        let t = DisclosureThresholds::uniform(5, 4);
+        assert_eq!(t.as_slice(), &[5, 5, 5, 5]);
+        assert_eq!(t.min(), 5);
+        assert_eq!(DisclosureThresholds::uniform(1, 0).min(), 0);
+    }
+
+    #[test]
+    fn problem_bundles_parts() {
+        let db = SequenceDb::parse("a b\n");
+        let mut db2 = db.clone();
+        let s = Sequence::parse("a", db2.alphabet_mut());
+        let p = HidingProblem::new(db, SensitiveSet::new(vec![s]), 2);
+        assert_eq!(p.psi, 2);
+        assert_eq!(p.db.len(), 1);
+        assert_eq!(p.sensitive.len(), 1);
+    }
+}

@@ -1,0 +1,511 @@
+//! The two-level sanitization algorithm (§4, Algorithm 1) and its four
+//! evaluated instances HH / HR / RH / RR.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use seqhide_match::{supporters, SensitiveSet};
+use seqhide_num::{BigCount, Sat64};
+use seqhide_types::SequenceDb;
+
+use crate::global::{select_victims, GlobalStrategy};
+use crate::local::{sanitize_sequence, LocalStrategy};
+use crate::problem::DisclosureThresholds;
+use crate::verify::verify_hidden;
+
+/// Outcome of one sanitization run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SanitizeReport {
+    /// Total marks introduced — the paper's distortion measure **M1**.
+    pub marks_introduced: usize,
+    /// Number of sequences selected and sanitized.
+    pub sequences_sanitized: usize,
+    /// Number of sequences that supported at least one sensitive pattern
+    /// before sanitization.
+    pub supporters_before: usize,
+    /// Post-sanitization support of each sensitive pattern, in `S_h` order.
+    pub residual_supports: Vec<usize>,
+    /// Whether every sensitive pattern ended at or below its threshold.
+    /// Always `true` for the algorithms here (the global rule guarantees
+    /// it); reported so callers never have to take that on faith.
+    pub hidden: bool,
+}
+
+/// The configurable two-level sanitizer.
+///
+/// ```
+/// use seqhide_types::{Sequence, SequenceDb};
+/// use seqhide_match::{support, SensitiveSet};
+/// use seqhide_core::Sanitizer;
+///
+/// let mut db = SequenceDb::parse("a b c\nb a c\nc c\n");
+/// let s = Sequence::parse("a c", db.alphabet_mut());
+/// let sh = SensitiveSet::new(vec![s.clone()]);
+/// let report = Sanitizer::hh(0).run(&mut db, &sh);
+/// assert!(report.hidden);
+/// assert_eq!(support(&db, &s), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sanitizer {
+    local: LocalStrategy,
+    global: GlobalStrategy,
+    psi: usize,
+    seed: u64,
+    exact: bool,
+    threads: usize,
+}
+
+impl Sanitizer {
+    /// A sanitizer with explicit strategies and disclosure threshold `ψ`.
+    pub fn new(local: LocalStrategy, global: GlobalStrategy, psi: usize) -> Self {
+        Sanitizer { local, global, psi, seed: 0x5e9_41de, exact: false, threads: 1 }
+    }
+
+    /// **HH** — heuristic position choice, heuristic sequence choice
+    /// (the paper's algorithm).
+    pub fn hh(psi: usize) -> Self {
+        Self::new(LocalStrategy::Heuristic, GlobalStrategy::Heuristic, psi)
+    }
+
+    /// **HR** — heuristic positions, random sequence subset.
+    pub fn hr(psi: usize) -> Self {
+        Self::new(LocalStrategy::Heuristic, GlobalStrategy::Random, psi)
+    }
+
+    /// **RH** — random positions, heuristic sequence subset.
+    pub fn rh(psi: usize) -> Self {
+        Self::new(LocalStrategy::Random, GlobalStrategy::Heuristic, psi)
+    }
+
+    /// **RR** — random at both levels.
+    pub fn rr(psi: usize) -> Self {
+        Self::new(LocalStrategy::Random, GlobalStrategy::Random, psi)
+    }
+
+    /// Seeds the RNG used by the random strategies (deterministic default).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Switches match counting to exact [`BigCount`] arithmetic. The
+    /// default [`Sat64`] saturating counters are faster and can only differ
+    /// in tie-breaking on sequences with astronomically many embeddings
+    /// (> 2⁶⁴); the `ablation_delta_methods` bench quantifies the gap.
+    pub fn with_exact_counts(mut self, exact: bool) -> Self {
+        self.exact = exact;
+        self
+    }
+
+    /// Sanitizes victim sequences on `threads` OS threads. Victims are
+    /// independent (each is sanitized against the same immutable `S_h`),
+    /// and every victim draws from its own seed-derived RNG, so the output
+    /// is **byte-identical across any thread count** — parallelism is a
+    /// pure speed knob. `0` means "one thread per available CPU".
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured local strategy.
+    pub fn local(&self) -> LocalStrategy {
+        self.local
+    }
+
+    /// The configured global strategy.
+    pub fn global(&self) -> GlobalStrategy {
+        self.global
+    }
+
+    /// The disclosure threshold `ψ`.
+    pub fn psi(&self) -> usize {
+        self.psi
+    }
+
+    /// Sanitizes `db` in place so that every pattern of `sh` has support
+    /// `≤ ψ`, and reports the damage.
+    ///
+    /// Victim sequences are mutually independent, so each is sanitized
+    /// with an RNG derived from `(seed, victim index)` — this keeps results
+    /// identical whether the victims run on one thread or many
+    /// ([`Sanitizer::with_threads`]).
+    pub fn run(&self, db: &mut SequenceDb, sh: &SensitiveSet) -> SanitizeReport {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let sup = supporters(db, sh);
+        let victims = if self.exact {
+            select_victims::<BigCount, _>(db, sh, &sup, self.psi, self.global, &mut rng)
+        } else {
+            select_victims::<Sat64, _>(db, sh, &sup, self.psi, self.global, &mut rng)
+        };
+        let marks = self.sanitize_victims(db, sh, &victims);
+        let verify = verify_hidden(db, sh, self.psi);
+        SanitizeReport {
+            marks_introduced: marks,
+            sequences_sanitized: victims.len(),
+            supporters_before: sup.len(),
+            residual_supports: verify.supports,
+            hidden: verify.hidden,
+        }
+    }
+
+    /// Per-victim RNG: independent of sibling victims and of the selection
+    /// RNG, so work distribution cannot change outcomes.
+    fn victim_rng(&self, ordinal: usize) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(ordinal as u64 + 1)))
+    }
+
+    fn sanitize_one(&self, t: &mut seqhide_types::Sequence, sh: &SensitiveSet, ordinal: usize) -> usize {
+        let mut rng = self.victim_rng(ordinal);
+        if self.exact {
+            sanitize_sequence::<BigCount, _>(t, sh, self.local, &mut rng)
+        } else {
+            sanitize_sequence::<Sat64, _>(t, sh, self.local, &mut rng)
+        }
+    }
+
+    /// Sanitizes the selected victims, sequentially or across threads.
+    fn sanitize_victims(&self, db: &mut SequenceDb, sh: &SensitiveSet, victims: &[usize]) -> usize {
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            n => n,
+        };
+        if threads <= 1 || victims.len() <= 1 {
+            let mut marks = 0;
+            for (ordinal, &i) in victims.iter().enumerate() {
+                marks += self.sanitize_one(&mut db.sequences_mut()[i], sh, ordinal);
+            }
+            return marks;
+        }
+        // Move the victim sequences out and fan the work out over scoped
+        // threads. The global heuristic hands victims over in *ascending
+        // cost* order, so contiguous chunks would give the last thread all
+        // the expensive sequences; striping (ordinal % threads) balances
+        // the load instead.
+        let mut stripes: Vec<Vec<(usize, usize, seqhide_types::Sequence)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (ordinal, &i) in victims.iter().enumerate() {
+            stripes[ordinal % threads].push((
+                ordinal,
+                i,
+                std::mem::take(&mut db.sequences_mut()[i]),
+            ));
+        }
+        let marks: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = stripes
+                .iter_mut()
+                .map(|batch| {
+                    scope.spawn(move || {
+                        let mut marks = 0;
+                        for (ordinal, _, t) in batch.iter_mut() {
+                            marks += self.sanitize_one(t, sh, *ordinal);
+                        }
+                        marks
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sanitizer thread panicked")).sum()
+        });
+        for stripe in stripes {
+            for (_, i, t) in stripe {
+                db.sequences_mut()[i] = t;
+            }
+        }
+        marks
+    }
+
+    /// Multiple per-pattern thresholds via the paper's trivial reduction:
+    /// run with `ψ = min(ψᵢ)`.
+    ///
+    /// # Panics
+    /// Panics if `thresholds.len() != sh.len()`.
+    pub fn run_multi_min(
+        &self,
+        db: &mut SequenceDb,
+        sh: &SensitiveSet,
+        thresholds: &DisclosureThresholds,
+    ) -> SanitizeReport {
+        assert_eq!(thresholds.len(), sh.len(), "one threshold per pattern");
+        let mut collapsed = self.clone();
+        collapsed.psi = thresholds.min();
+        collapsed.run(db, sh)
+    }
+
+    /// Multiple per-pattern thresholds via a **per-pattern scheduler** (the
+    /// "relatively novel way" §8 gestures at): patterns are processed in
+    /// descending deficit order; each round sanitizes just enough
+    /// supporters of one pattern — chosen by this sanitizer's global
+    /// strategy, restricted to that pattern — to bring it to its own
+    /// threshold. Marks applied for earlier patterns already reduce later
+    /// deficits, so when thresholds genuinely differ the total distortion
+    /// typically lands well below the min-reduction's. (No universal
+    /// dominance holds: per-pattern passes cannot share a mark between two
+    /// patterns the way a joint δ can, so on adversarial instances with
+    /// overlapping patterns the min-reduction may be cheaper.)
+    ///
+    /// # Panics
+    /// Panics if `thresholds.len() != sh.len()`.
+    pub fn run_multi(
+        &self,
+        db: &mut SequenceDb,
+        sh: &SensitiveSet,
+        thresholds: &DisclosureThresholds,
+    ) -> SanitizeReport {
+        assert_eq!(thresholds.len(), sh.len(), "one threshold per pattern");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let supporters_before = supporters(db, sh).len();
+        let mut marks = 0;
+        let mut sanitized: Vec<usize> = Vec::new();
+        loop {
+            // Deficits under the current database state.
+            let mut worst: Option<(usize, usize)> = None; // (pattern, deficit)
+            for (i, p) in sh.iter().enumerate() {
+                let single = SensitiveSet::from_patterns(vec![p.clone()]);
+                let sup = supporters(db, &single).len();
+                let deficit = sup.saturating_sub(thresholds.get(i));
+                if deficit > 0 && worst.is_none_or(|(_, d)| deficit > d) {
+                    worst = Some((i, deficit));
+                }
+            }
+            let Some((i, _)) = worst else { break };
+            let single = SensitiveSet::from_patterns(vec![sh.patterns()[i].clone()]);
+            let sup = supporters(db, &single);
+            let victims = if self.exact {
+                select_victims::<BigCount, _>(
+                    db,
+                    &single,
+                    &sup,
+                    thresholds.get(i),
+                    self.global,
+                    &mut rng,
+                )
+            } else {
+                select_victims::<Sat64, _>(
+                    db,
+                    &single,
+                    &sup,
+                    thresholds.get(i),
+                    self.global,
+                    &mut rng,
+                )
+            };
+            marks += self.sanitize_victims(db, &single, &victims);
+            for &v in &victims {
+                if !sanitized.contains(&v) {
+                    sanitized.push(v);
+                }
+            }
+        }
+        let residual: Vec<usize> = sh
+            .iter()
+            .map(|p| {
+                let single = SensitiveSet::from_patterns(vec![p.clone()]);
+                supporters(db, &single).len()
+            })
+            .collect();
+        let hidden = residual
+            .iter()
+            .zip(thresholds.as_slice())
+            .all(|(&s, &t)| s <= t);
+        SanitizeReport {
+            marks_introduced: marks,
+            sequences_sanitized: sanitized.len(),
+            supporters_before,
+            residual_supports: residual,
+            hidden,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqhide_match::{support, support_of_pattern};
+    use seqhide_types::Sequence;
+
+    fn setup() -> (SequenceDb, SensitiveSet, Sequence) {
+        let mut db = SequenceDb::parse(
+            "a b c\nb a c\nc a b c\na c\nb b\nc a\na b a c\n",
+        );
+        let s = Sequence::parse("a c", db.alphabet_mut());
+        let sh = SensitiveSet::new(vec![s.clone()]);
+        (db, sh, s)
+    }
+
+    #[test]
+    fn hh_hides_completely_at_psi_zero() {
+        let (mut db, sh, s) = setup();
+        assert_eq!(support(&db, &s), 5);
+        let report = Sanitizer::hh(0).run(&mut db, &sh);
+        assert!(report.hidden);
+        assert_eq!(support(&db, &s), 0);
+        assert_eq!(report.residual_supports, vec![0]);
+        assert_eq!(report.supporters_before, 5);
+        assert_eq!(report.sequences_sanitized, 5);
+        assert_eq!(report.marks_introduced, db.total_marks());
+        assert!(report.marks_introduced >= 5);
+    }
+
+    #[test]
+    fn all_four_presets_hide_at_every_psi() {
+        for psi in 0..=5 {
+            for make in [Sanitizer::hh, Sanitizer::hr, Sanitizer::rh, Sanitizer::rr] {
+                let (mut db, sh, s) = setup();
+                let report = make(psi).run(&mut db, &sh);
+                assert!(report.hidden, "psi={psi}");
+                assert!(support(&db, &s) <= psi, "psi={psi}");
+            }
+        }
+    }
+
+    #[test]
+    fn psi_bounds_survivors_exactly_for_heuristic() {
+        let (mut db, sh, s) = setup();
+        let report = Sanitizer::hh(2).run(&mut db, &sh);
+        // exactly ψ supporters survive: sanitized ones drop to zero
+        assert_eq!(support(&db, &s), 2);
+        assert_eq!(report.sequences_sanitized, 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (mut db1, sh, _) = setup();
+        let (mut db2, _, _) = setup();
+        let r1 = Sanitizer::rr(1).with_seed(42).run(&mut db1, &sh);
+        let r2 = Sanitizer::rr(1).with_seed(42).run(&mut db2, &sh);
+        assert_eq!(r1, r2);
+        assert_eq!(db1.to_text(), db2.to_text());
+    }
+
+    #[test]
+    fn different_seeds_can_differ() {
+        let outcomes: Vec<String> = (0..8)
+            .map(|seed| {
+                let (mut db, sh, _) = setup();
+                Sanitizer::rr(2).with_seed(seed).run(&mut db, &sh);
+                db.to_text()
+            })
+            .collect();
+        let first = &outcomes[0];
+        assert!(outcomes.iter().any(|o| o != first));
+    }
+
+    #[test]
+    fn exact_counts_agree_here() {
+        let (mut db1, sh, _) = setup();
+        let (mut db2, _, _) = setup();
+        let r1 = Sanitizer::hh(0).run(&mut db1, &sh);
+        let r2 = Sanitizer::hh(0).with_exact_counts(true).run(&mut db2, &sh);
+        assert_eq!(r1, r2);
+        assert_eq!(db1.to_text(), db2.to_text());
+    }
+
+    #[test]
+    fn hh_is_cheapest_on_this_instance() {
+        let marks_of = |s: Sanitizer| {
+            let (mut db, sh, _) = setup();
+            s.run(&mut db, &sh).marks_introduced
+        };
+        let hh = marks_of(Sanitizer::hh(0));
+        // averaged random baselines
+        let avg = |f: fn(usize) -> Sanitizer| {
+            let total: usize = (0..10_u64)
+                .map(|seed| {
+                    let (mut db, sh, _) = setup();
+                    f(0).with_seed(seed).run(&mut db, &sh).marks_introduced
+                })
+                .sum();
+            total as f64 / 10.0
+        };
+        assert!(hh as f64 <= avg(Sanitizer::rr) + 1e-9);
+        assert!(hh as f64 <= avg(Sanitizer::rh) + 1e-9);
+    }
+
+    #[test]
+    fn multi_threshold_scheduler_meets_each_threshold() {
+        let mut db = SequenceDb::parse(
+            "a b\na b\na b\na b\nc d\nc d\nc d\na b c d\n",
+        );
+        let s1 = Sequence::parse("a b", db.alphabet_mut());
+        let s2 = Sequence::parse("c d", db.alphabet_mut());
+        let sh = SensitiveSet::new(vec![s1.clone(), s2.clone()]);
+        let thresholds = DisclosureThresholds::new(vec![3, 1]);
+        let report = Sanitizer::hh(0).run_multi(&mut db, &sh, &thresholds);
+        assert!(report.hidden);
+        assert!(support(&db, &s1) <= 3);
+        assert!(support(&db, &s2) <= 1);
+        // s1 kept above zero: the scheduler must not over-sanitize
+        assert!(support(&db, &s1) > 0);
+    }
+
+    #[test]
+    fn multi_min_reduction_is_more_aggressive() {
+        let build = || {
+            let mut db = SequenceDb::parse("a b\na b\na b\nc d\nc d\nc d\n");
+            let s1 = Sequence::parse("a b", db.alphabet_mut());
+            let s2 = Sequence::parse("c d", db.alphabet_mut());
+            (db, SensitiveSet::new(vec![s1, s2]))
+        };
+        let thresholds = DisclosureThresholds::new(vec![3, 1]);
+        let (mut db_min, sh) = build();
+        let r_min = Sanitizer::hh(0).run_multi_min(&mut db_min, &sh, &thresholds);
+        let (mut db_sched, _) = build();
+        let r_sched = Sanitizer::hh(0).run_multi(&mut db_sched, &sh, &thresholds);
+        assert!(r_min.hidden && r_sched.hidden);
+        assert!(r_sched.marks_introduced <= r_min.marks_introduced);
+    }
+
+    #[test]
+    fn constrained_patterns_pass_through() {
+        use seqhide_match::{ConstraintSet, Gap, SensitivePattern};
+        let mut db = SequenceDb::parse("a b\na x b\na y y b\n");
+        let s = Sequence::parse("a b", db.alphabet_mut());
+        let p =
+            SensitivePattern::new(s.clone(), ConstraintSet::uniform_gap(Gap::bounded(0, 1)))
+                .unwrap();
+        let sh = SensitiveSet::from_patterns(vec![p.clone()]);
+        // rows 0 and 1 support the constrained pattern; row 2 (gap 2) doesn't.
+        let report = Sanitizer::hh(0).run(&mut db, &sh);
+        assert!(report.hidden);
+        assert_eq!(report.supporters_before, 2);
+        assert_eq!(support_of_pattern(&db, &p), 0);
+        // row 2 was never touched
+        assert_eq!(db.sequences()[2].mark_count(), 0);
+    }
+
+    #[test]
+    fn nothing_to_hide_is_a_noop() {
+        let mut db = SequenceDb::parse("a b\nb c\n");
+        let s = Sequence::parse("z z", db.alphabet_mut());
+        let sh = SensitiveSet::new(vec![s]);
+        let before = db.to_text();
+        let report = Sanitizer::hh(0).run(&mut db, &sh);
+        assert!(report.hidden);
+        assert_eq!(report.marks_introduced, 0);
+        assert_eq!(db.to_text(), before);
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical() {
+        for make in [Sanitizer::hh, Sanitizer::rr] {
+            let (mut seq_db, sh, _) = setup();
+            let (mut par_db, _, _) = setup();
+            let r1 = make(1).with_seed(9).run(&mut seq_db, &sh);
+            let r2 = make(1).with_seed(9).with_threads(4).run(&mut par_db, &sh);
+            assert_eq!(r1, r2);
+            assert_eq!(seq_db.to_text(), par_db.to_text());
+            // threads = 0 (auto) also agrees
+            let (mut auto_db, _, _) = setup();
+            let r3 = make(1).with_seed(9).with_threads(0).run(&mut auto_db, &sh);
+            assert_eq!(r1, r3);
+            assert_eq!(seq_db.to_text(), auto_db.to_text());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one threshold per pattern")]
+    fn multi_rejects_wrong_arity() {
+        let mut db = SequenceDb::parse("a\n");
+        let s = Sequence::parse("a", db.alphabet_mut());
+        let sh = SensitiveSet::new(vec![s]);
+        let _ = Sanitizer::hh(0).run_multi(&mut db, &sh, &DisclosureThresholds::new(vec![1, 2]));
+    }
+}

@@ -1,0 +1,292 @@
+//! Calibrated dataset generators reproducing the statistical shape of the
+//! paper's TRUCKS and SYNTHETIC datasets (see the substitution note in the
+//! crate docs and DESIGN.md §4).
+//!
+//! Construction: each dataset mixes **route** trajectories — waypoint paths
+//! forced through a sensitive corridor's cell centres — with **background**
+//! wanderers. Rejection sampling pins the sensitive supports to the paper's
+//! exact values: a route trajectory is resampled until it supports exactly
+//! the patterns its group requires (and not the others), a wanderer until
+//! it supports none.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use seqhide_match::{is_subsequence, SensitiveSet};
+use seqhide_types::{Alphabet, Sequence, SequenceDb};
+
+use crate::grid::Grid;
+use crate::trajectory::{wander, waypoint_trajectory, Point};
+
+/// A generated dataset: the database, the paper's sensitive set for it, and
+/// a display name.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Display name (`TRUCKS-like` / `SYNTHETIC-like`).
+    pub name: &'static str,
+    /// The sequence database over the 100-symbol grid alphabet.
+    pub db: SequenceDb,
+    /// The paper's sensitive patterns for this dataset.
+    pub sensitive: SensitiveSet,
+}
+
+impl Dataset {
+    /// Supports of each sensitive pattern plus their disjunction —
+    /// the paper's Table 1 row for this dataset.
+    pub fn support_table(&self) -> (Vec<usize>, usize) {
+        let per: Vec<usize> = self
+            .sensitive
+            .iter()
+            .map(|p| seqhide_match::support_of_pattern(&self.db, p))
+            .collect();
+        let disj = seqhide_match::support_of_set(&self.db, &self.sensitive);
+        (per, disj)
+    }
+}
+
+/// Group specification: how many trajectories must support exactly which
+/// patterns (indices into the sensitive set).
+struct Group {
+    count: usize,
+    /// Corridor cells to route through, in order (empty = wanderer).
+    corridor: Vec<(usize, usize)>,
+    /// Pattern indices this group must support.
+    must: Vec<usize>,
+}
+
+struct SimParams {
+    /// Random pre/post waypoints around the corridor.
+    pre_post: usize,
+    /// When set, pre/post waypoints are sampled within this radius of the
+    /// corridor's endpoints instead of uniformly — producing the short
+    /// local trips of the SYNTHETIC dataset (avg 6.8 cells) rather than the
+    /// long hauls of TRUCKS (avg 20.1).
+    local_radius: Option<f64>,
+    samples_per_leg: usize,
+    jitter: f64,
+    /// Wanderer length in steps and step size.
+    wander_steps: usize,
+    wander_step_len: f64,
+}
+
+fn rand_point<R: Rng + ?Sized>(rng: &mut R) -> Point {
+    (rng.random::<f64>(), rng.random::<f64>())
+}
+
+/// Generates one trajectory for `group`, resampling until its discretized
+/// sequence supports exactly the required patterns.
+fn sample_sequence<R: Rng + ?Sized>(
+    rng: &mut R,
+    grid: &Grid,
+    alphabet: &Alphabet,
+    patterns: &[Sequence],
+    group: &Group,
+    params: &SimParams,
+) -> Sequence {
+    for _attempt in 0..10_000 {
+        let traj = if group.corridor.is_empty() {
+            let start = rand_point(rng);
+            wander(rng, start, params.wander_steps, params.wander_step_len)
+        } else {
+            let mut waypoints: Vec<Point> = Vec::new();
+            let first = group.corridor[0];
+            let last = group.corridor[group.corridor.len() - 1];
+            let anchor_point = |rng: &mut R, cell: (usize, usize)| match params.local_radius {
+                None => rand_point(rng),
+                Some(r) => {
+                    let c = grid.cell_center(cell.0, cell.1);
+                    (
+                        (c.0 + (rng.random::<f64>() - 0.5) * 2.0 * r).clamp(0.0, 1.0),
+                        (c.1 + (rng.random::<f64>() - 0.5) * 2.0 * r).clamp(0.0, 1.0),
+                    )
+                }
+            };
+            for _ in 0..params.pre_post {
+                waypoints.push(anchor_point(rng, first));
+            }
+            for &(i, j) in &group.corridor {
+                waypoints.push(grid.cell_center(i, j));
+            }
+            for _ in 0..params.pre_post {
+                waypoints.push(anchor_point(rng, last));
+            }
+            waypoint_trajectory(rng, &waypoints, params.samples_per_leg, params.jitter)
+        };
+        let seq = grid.discretize(&traj, alphabet);
+        let ok = patterns.iter().enumerate().all(|(idx, p)| {
+            let supports = is_subsequence(p, &seq);
+            supports == group.must.contains(&idx)
+        });
+        if ok {
+            return seq;
+        }
+    }
+    panic!("rejection sampling failed to satisfy group constraints");
+}
+
+fn build(
+    name: &'static str,
+    seed: u64,
+    pattern_cells: &[&[(usize, usize)]],
+    groups: &[Group],
+    params: &SimParams,
+) -> Dataset {
+    let grid = Grid::paper();
+    let alphabet = grid.alphabet();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let patterns: Vec<Sequence> = pattern_cells
+        .iter()
+        .map(|cells| {
+            cells
+                .iter()
+                .map(|&(i, j)| grid.symbol(&alphabet, i, j))
+                .collect()
+        })
+        .collect();
+    let mut sequences: Vec<Sequence> = Vec::new();
+    for group in groups {
+        for _ in 0..group.count {
+            sequences.push(sample_sequence(
+                &mut rng, &grid, &alphabet, &patterns, group, params,
+            ));
+        }
+    }
+    // Interleave groups deterministically so group membership is not
+    // recoverable from row order in the released data.
+    let mut order: Vec<usize> = (0..sequences.len()).collect();
+    use rand::seq::SliceRandom;
+    order.shuffle(&mut rng);
+    let sequences: Vec<Sequence> = order.into_iter().map(|i| sequences[i].clone()).collect();
+    Dataset {
+        name,
+        db: SequenceDb::from_parts(alphabet, sequences),
+        sensitive: SensitiveSet::new(patterns),
+    }
+}
+
+/// The TRUCKS-like dataset: 273 trajectories averaging ≈ 20 grid cells,
+/// with `sup(⟨X6Y3 X7Y2⟩) = 36`, `sup(⟨X4Y3 X5Y3⟩) = 38` and disjunction
+/// support 66 — the paper's Table 1 exactly.
+pub fn trucks_like(seed: u64) -> Dataset {
+    const A: &[(usize, usize)] = &[(6, 3), (7, 2)];
+    const B: &[(usize, usize)] = &[(4, 3), (5, 3)];
+    // 36 = 28 + 8, 38 = 30 + 8, 66 = 28 + 30 + 8.
+    let both: Vec<(usize, usize)> = [A, B].concat();
+    let groups = [
+        Group { count: 28, corridor: A.to_vec(), must: vec![0] },
+        Group { count: 30, corridor: B.to_vec(), must: vec![1] },
+        Group { count: 8, corridor: both, must: vec![0, 1] },
+        Group { count: 207, corridor: vec![], must: vec![] },
+    ];
+    let params = SimParams {
+        pre_post: 2,
+        local_radius: None,
+        samples_per_leg: 30,
+        jitter: 0.008,
+        wander_steps: 150,
+        wander_step_len: 0.014,
+    };
+    build("TRUCKS-like", seed, &[A, B], &groups, &params)
+}
+
+/// The SYNTHETIC-like dataset: 300 trajectories averaging ≈ 6.8 grid cells,
+/// with `sup(⟨X2Y7 X3Y7⟩) = 99`, `sup(⟨X5Y7 X5Y6⟩) = 172` and disjunction
+/// support 200 — the paper's Table 1 exactly.
+pub fn synthetic_like(seed: u64) -> Dataset {
+    const A: &[(usize, usize)] = &[(2, 7), (3, 7)];
+    const B: &[(usize, usize)] = &[(5, 7), (5, 6)];
+    // 99 = 28 + 71, 172 = 101 + 71, 200 = 28 + 101 + 71.
+    let both: Vec<(usize, usize)> = [A, B].concat();
+    let groups = [
+        Group { count: 28, corridor: A.to_vec(), must: vec![0] },
+        Group { count: 101, corridor: B.to_vec(), must: vec![1] },
+        Group { count: 71, corridor: both, must: vec![0, 1] },
+        Group { count: 100, corridor: vec![], must: vec![] },
+    ];
+    let params = SimParams {
+        pre_post: 1,
+        local_radius: Some(0.18),
+        samples_per_leg: 18,
+        jitter: 0.006,
+        wander_steps: 42,
+        wander_step_len: 0.012,
+    };
+    build("SYNTHETIC-like", seed, &[A, B], &groups, &params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trucks_matches_paper_table() {
+        let d = trucks_like(42);
+        assert_eq!(d.db.len(), 273);
+        let (per, disj) = d.support_table();
+        assert_eq!(per, vec![36, 38]);
+        assert_eq!(disj, 66);
+    }
+
+    #[test]
+    fn trucks_average_length_near_paper() {
+        let d = trucks_like(42);
+        let stats = d.db.stats();
+        assert_eq!(stats.alphabet_len, 100);
+        assert!(
+            (14.0..=27.0).contains(&stats.avg_len),
+            "avg_len {} out of calibration band",
+            stats.avg_len
+        );
+    }
+
+    #[test]
+    fn synthetic_matches_paper_table() {
+        let d = synthetic_like(42);
+        assert_eq!(d.db.len(), 300);
+        let (per, disj) = d.support_table();
+        assert_eq!(per, vec![99, 172]);
+        assert_eq!(disj, 200);
+    }
+
+    #[test]
+    fn synthetic_average_length_near_paper() {
+        let d = synthetic_like(42);
+        let stats = d.db.stats();
+        assert!(
+            (4.0..=10.5).contains(&stats.avg_len),
+            "avg_len {} out of calibration band",
+            stats.avg_len
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_seed_sensitive() {
+        let a = trucks_like(7);
+        let b = trucks_like(7);
+        let c = trucks_like(8);
+        assert_eq!(a.db.to_text(), b.db.to_text());
+        assert_ne!(a.db.to_text(), c.db.to_text());
+        // supports stay pinned regardless of seed
+        let (per, disj) = c.support_table();
+        assert_eq!(per, vec![36, 38]);
+        assert_eq!(disj, 66);
+    }
+
+    #[test]
+    fn sensitive_patterns_use_paper_cells() {
+        let d = trucks_like(1);
+        let rendered: Vec<String> = d
+            .sensitive
+            .iter()
+            .map(|p| p.seq().render(d.db.alphabet()))
+            .collect();
+        assert_eq!(rendered, vec!["⟨X6Y3 X7Y2⟩", "⟨X4Y3 X5Y3⟩"]);
+        let d = synthetic_like(1);
+        let rendered: Vec<String> = d
+            .sensitive
+            .iter()
+            .map(|p| p.seq().render(d.db.alphabet()))
+            .collect();
+        assert_eq!(rendered, vec!["⟨X2Y7 X3Y7⟩", "⟨X5Y7 X5Y6⟩"]);
+    }
+}

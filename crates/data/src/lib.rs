@@ -1,0 +1,36 @@
+//! # seqhide-data
+//!
+//! Data substrate for the experiments of *Hiding Sequences* (ICDE 2007):
+//! a 2-D trajectory simulator, the paper's 10×10 grid discretization, and
+//! seeded generators reproducing the statistical shape of the paper's two
+//! datasets.
+//!
+//! ## Substitution note (see DESIGN.md §4)
+//!
+//! The paper evaluates on (a) **TRUCKS** — 273 real truck trajectories from
+//! Frentzos et al. (the paper's ref.\ \[12\]) — and (b) **SYNTHETIC** — 300
+//! trajectories from the authors' in-house generator (ref.\ \[15\]). Neither
+//! artifact is available, so
+//! [`trucks_like`] and [`synthetic_like`] synthesize datasets matched on
+//! every property the algorithms can see: database size, mean sequence
+//! length, the 10×10-grid alphabet of 100 `XiYj` symbols, and — via
+//! rejection sampling — the paper's exact sensitive-pattern supports
+//! (36/38, disjunction 66 for TRUCKS; 99/172, disjunction 200 for
+//! SYNTHETIC).
+//!
+//! Additional generators ([`random_db`], [`zipf_db`], [`markov_db`]) supply
+//! scale/stress workloads for benches and property tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod grid;
+pub mod io;
+pub mod random;
+pub mod trajectory;
+
+pub use generate::{synthetic_like, trucks_like, Dataset};
+pub use grid::Grid;
+pub use random::{markov_db, random_db, zipf_db};
+pub use trajectory::{wander, waypoint_trajectory, Point};

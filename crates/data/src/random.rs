@@ -1,0 +1,192 @@
+//! Synthetic sequence generators for benches, stress and property tests.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use seqhide_types::{Alphabet, SequenceDb, Symbol};
+
+fn lengths<R: Rng + ?Sized>(rng: &mut R, n: usize, len_range: (usize, usize)) -> Vec<usize> {
+    assert!(len_range.0 <= len_range.1, "invalid length range");
+    (0..n).map(|_| rng.random_range(len_range.0..=len_range.1)).collect()
+}
+
+/// A database of `n` sequences with uniformly random symbols from an
+/// anonymous alphabet of `alphabet_size` symbols and lengths uniform in
+/// `len_range` (inclusive).
+///
+/// ```
+/// use seqhide_data::random_db;
+/// let db = random_db(7, 25, (2, 6), 10);
+/// assert_eq!(db.len(), 25);
+/// assert!(db.sequences().iter().all(|t| (2..=6).contains(&t.len())));
+/// assert_eq!(db.to_text(), random_db(7, 25, (2, 6), 10).to_text()); // seeded
+/// ```
+pub fn random_db(seed: u64, n: usize, len_range: (usize, usize), alphabet_size: usize) -> SequenceDb {
+    assert!(alphabet_size > 0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let alphabet = Alphabet::anonymous(alphabet_size);
+    let sequences = lengths(&mut rng, n, len_range)
+        .into_iter()
+        .map(|len| {
+            (0..len)
+                .map(|_| Symbol::new(rng.random_range(0..alphabet_size as u32)))
+                .collect()
+        })
+        .collect();
+    SequenceDb::from_parts(alphabet, sequences)
+}
+
+/// Like [`random_db`] but with Zipf-distributed symbol popularity
+/// (exponent `s`), matching the skew of real event logs: symbol `k` is
+/// drawn with probability ∝ `1/(k+1)^s`.
+pub fn zipf_db(
+    seed: u64,
+    n: usize,
+    len_range: (usize, usize),
+    alphabet_size: usize,
+    s: f64,
+) -> SequenceDb {
+    assert!(alphabet_size > 0);
+    assert!(s >= 0.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let alphabet = Alphabet::anonymous(alphabet_size);
+    // cumulative weights
+    let mut cum: Vec<f64> = Vec::with_capacity(alphabet_size);
+    let mut total = 0.0;
+    for k in 0..alphabet_size {
+        total += 1.0 / ((k + 1) as f64).powf(s);
+        cum.push(total);
+    }
+    let draw = |rng: &mut ChaCha8Rng| -> Symbol {
+        let x = rng.random::<f64>() * total;
+        let idx = cum.partition_point(|&c| c < x).min(alphabet_size - 1);
+        Symbol::new(idx as u32)
+    };
+    let sequences = lengths(&mut rng, n, len_range)
+        .into_iter()
+        .map(|len| (0..len).map(|_| draw(&mut rng)).collect())
+        .collect();
+    SequenceDb::from_parts(alphabet, sequences)
+}
+
+/// A first-order Markov generator: from symbol `k` the chain stays in a
+/// small neighbourhood with high probability (`locality ∈ [0, 1]`),
+/// mimicking the spatial locality of discretized trajectories — adjacent
+/// events tend to be nearby grid cells.
+pub fn markov_db(
+    seed: u64,
+    n: usize,
+    len_range: (usize, usize),
+    alphabet_size: usize,
+    locality: f64,
+) -> SequenceDb {
+    assert!(alphabet_size > 0);
+    assert!((0.0..=1.0).contains(&locality));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let alphabet = Alphabet::anonymous(alphabet_size);
+    let a = alphabet_size as u32;
+    let sequences = lengths(&mut rng, n, len_range)
+        .into_iter()
+        .map(|len| {
+            let mut cur = rng.random_range(0..a);
+            (0..len)
+                .map(|_| {
+                    let sym = Symbol::new(cur);
+                    cur = if rng.random::<f64>() < locality {
+                        // neighbour step (±1, wrapping)
+                        if rng.random::<bool>() {
+                            (cur + 1) % a
+                        } else {
+                            (cur + a - 1) % a
+                        }
+                    } else {
+                        rng.random_range(0..a)
+                    };
+                    sym
+                })
+                .collect()
+        })
+        .collect();
+    SequenceDb::from_parts(alphabet, sequences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_db_shape() {
+        let db = random_db(1, 50, (3, 9), 12);
+        assert_eq!(db.len(), 50);
+        assert_eq!(db.alphabet().len(), 12);
+        for t in db.sequences() {
+            assert!((3..=9).contains(&t.len()));
+            assert!(t.iter().all(|s| s.id() < 12));
+        }
+    }
+
+    #[test]
+    fn random_db_deterministic() {
+        assert_eq!(random_db(5, 10, (2, 4), 6).to_text(), random_db(5, 10, (2, 4), 6).to_text());
+        assert_ne!(random_db(5, 10, (2, 4), 6).to_text(), random_db(6, 10, (2, 4), 6).to_text());
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ids() {
+        let db = zipf_db(2, 200, (10, 10), 20, 1.5);
+        let mut counts = vec![0usize; 20];
+        for t in db.sequences() {
+            for &s in t {
+                counts[s.id() as usize] += 1;
+            }
+        }
+        // symbol 0 must dominate the tail decisively
+        assert!(counts[0] > counts[10] * 3, "{counts:?}");
+        assert!(counts[0] > counts[19] * 3, "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let db = zipf_db(3, 300, (10, 10), 10, 0.0);
+        let mut counts = vec![0usize; 10];
+        for t in db.sequences() {
+            for &s in t {
+                counts[s.id() as usize] += 1;
+            }
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "{counts:?}");
+    }
+
+    #[test]
+    fn markov_locality_produces_adjacent_steps() {
+        let db = markov_db(4, 100, (20, 20), 50, 0.95);
+        let mut adjacent = 0usize;
+        let mut total = 0usize;
+        for t in db.sequences() {
+            for w in t.symbols().windows(2) {
+                let a = w[0].id() as i64;
+                let b = w[1].id() as i64;
+                let d = (a - b).rem_euclid(50).min((b - a).rem_euclid(50));
+                if d <= 1 {
+                    adjacent += 1;
+                }
+                total += 1;
+            }
+        }
+        assert!(adjacent as f64 / total as f64 > 0.8);
+    }
+
+    #[test]
+    fn zero_length_sequences_allowed() {
+        let db = random_db(9, 5, (0, 0), 3);
+        assert!(db.sequences().iter().all(|t| t.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid length range")]
+    fn inverted_range_rejected() {
+        let _ = random_db(0, 1, (5, 2), 3);
+    }
+}

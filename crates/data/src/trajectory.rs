@@ -1,0 +1,129 @@
+//! Continuous 2-D trajectory simulation: waypoint routes (vehicles following
+//! roads/corridors) and free wandering (background traffic).
+
+use rand::Rng;
+
+/// A point in the unit square.
+pub type Point = (f64, f64);
+
+fn clamp01(v: f64) -> f64 {
+    v.clamp(0.0, 1.0)
+}
+
+/// Samples a trajectory that travels through `waypoints` in order:
+/// piecewise-linear interpolation with `samples_per_leg` positions per leg
+/// and Gaussian-ish jitter of magnitude `jitter` (sum of two uniforms —
+/// close enough to normal for simulation and dependency-free).
+///
+/// The returned positions include each waypoint's neighbourhood, so a
+/// trajectory built through cell centres reliably visits those cells when
+/// `jitter` is small relative to the cell size.
+pub fn waypoint_trajectory<R: Rng + ?Sized>(
+    rng: &mut R,
+    waypoints: &[Point],
+    samples_per_leg: usize,
+    jitter: f64,
+) -> Vec<Point> {
+    assert!(waypoints.len() >= 2, "a route needs at least two waypoints");
+    assert!(samples_per_leg >= 1);
+    let noise = |rng: &mut R| (rng.random::<f64>() + rng.random::<f64>() - 1.0) * jitter;
+    let mut out = Vec::with_capacity((waypoints.len() - 1) * samples_per_leg + 1);
+    for leg in waypoints.windows(2) {
+        let (ax, ay) = leg[0];
+        let (bx, by) = leg[1];
+        for s in 0..samples_per_leg {
+            let f = s as f64 / samples_per_leg as f64;
+            out.push((
+                clamp01(ax + (bx - ax) * f + noise(rng)),
+                clamp01(ay + (by - ay) * f + noise(rng)),
+            ));
+        }
+    }
+    let last = *waypoints.last().expect("non-empty");
+    out.push((clamp01(last.0 + noise(rng)), clamp01(last.1 + noise(rng))));
+    out
+}
+
+/// Samples a free random walk of `steps` positions starting at `start`:
+/// a direction performs a bounded random drift each step, positions clamp
+/// to the unit square.
+pub fn wander<R: Rng + ?Sized>(
+    rng: &mut R,
+    start: Point,
+    steps: usize,
+    step_len: f64,
+) -> Vec<Point> {
+    let mut out = Vec::with_capacity(steps);
+    let mut pos = start;
+    let mut dir: f64 = rng.random::<f64>() * std::f64::consts::TAU;
+    for _ in 0..steps {
+        out.push(pos);
+        dir += (rng.random::<f64>() - 0.5) * 1.2; // drift up to ±0.6 rad
+        pos = (
+            clamp01(pos.0 + dir.cos() * step_len),
+            clamp01(pos.1 + dir.sin() * step_len),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn waypoint_trajectory_visits_waypoints_without_jitter() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let wp = vec![(0.1, 0.1), (0.9, 0.1), (0.9, 0.9)];
+        let traj = waypoint_trajectory(&mut rng, &wp, 10, 0.0);
+        assert_eq!(traj.len(), 21);
+        assert_eq!(traj[0], (0.1, 0.1));
+        assert_eq!(traj[10], (0.9, 0.1));
+        assert_eq!(*traj.last().unwrap(), (0.9, 0.9));
+    }
+
+    #[test]
+    fn jitter_stays_bounded_and_in_square() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let wp = vec![(0.0, 0.0), (1.0, 1.0)];
+        let traj = waypoint_trajectory(&mut rng, &wp, 50, 0.05);
+        for &(x, y) in &traj {
+            assert!((0.0..=1.0).contains(&x));
+            assert!((0.0..=1.0).contains(&y));
+        }
+        // jitter must actually perturb something
+        assert!(traj.iter().any(|&p| p != (0.0, 0.0) && p != (1.0, 1.0)));
+    }
+
+    #[test]
+    fn wander_has_requested_length_and_stays_inside() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let traj = wander(&mut rng, (0.5, 0.5), 40, 0.07);
+        assert_eq!(traj.len(), 40);
+        for &(x, y) in &traj {
+            assert!((0.0..=1.0).contains(&x));
+            assert!((0.0..=1.0).contains(&y));
+        }
+        // it should actually move
+        assert!(traj.iter().any(|&p| p != (0.5, 0.5)));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            wander(&mut rng, (0.2, 0.8), 10, 0.05)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "two waypoints")]
+    fn single_waypoint_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = waypoint_trajectory(&mut rng, &[(0.5, 0.5)], 5, 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Ablations: the design-choice studies DESIGN.md indexes as A1–A3.
+
+use seqhide_core::metrics;
+use seqhide_core::post::{delete_markers_safe, replace_markers};
+use seqhide_core::verify::{side_effects, verify_hidden};
+use seqhide_core::{GlobalStrategy, LocalStrategy, Sanitizer};
+use seqhide_data::Dataset;
+use seqhide_match::delta::{delta_by_deletion, delta_by_marking, delta_forward_backward};
+use seqhide_match::{supporters, SensitiveSet};
+use seqhide_num::{BigCount, Count, Sat64};
+use seqhide_mine::{MinerConfig, PrefixSpan};
+
+use crate::series::{Figure, Series};
+use crate::RANDOM_RUNS;
+
+/// **A1** — M1 vs `ψ` for the global sequence-selection alternatives of §8
+/// (local strategy fixed to Heuristic).
+pub fn ablation_global_selectors(dataset: &Dataset, psis: &[usize]) -> Figure {
+    let strategies = [
+        ("matching-size (paper)", GlobalStrategy::Heuristic, false),
+        ("auto-correlation (§8)", GlobalStrategy::AutoCorrelation, false),
+        ("length (§8)", GlobalStrategy::Length, false),
+        ("random", GlobalStrategy::Random, true),
+    ];
+    let mut series = Vec::new();
+    for (label, strategy, randomized) in strategies {
+        let points: Vec<(f64, f64)> = psis
+            .iter()
+            .map(|&psi| {
+                let value = if randomized {
+                    let total: f64 = (0..RANDOM_RUNS)
+                        .map(|seed| {
+                            let mut db = dataset.db.clone();
+                            Sanitizer::new(LocalStrategy::Heuristic, strategy, psi)
+                                .with_seed(seed)
+                                .run(&mut db, &dataset.sensitive);
+                            metrics::m1(&db) as f64
+                        })
+                        .sum();
+                    total / RANDOM_RUNS as f64
+                } else {
+                    let mut db = dataset.db.clone();
+                    Sanitizer::new(LocalStrategy::Heuristic, strategy, psi)
+                        .run(&mut db, &dataset.sensitive);
+                    metrics::m1(&db) as f64
+                };
+                (psi as f64, value)
+            })
+            .collect();
+        series.push(Series::new(label, points));
+    }
+    Figure {
+        id: "ablation_global".into(),
+        title: format!("Global selector alternatives (M1, local=H) — {}", dataset.name),
+        xlabel: "psi".into(),
+        ylabel: "M1 (marks)".into(),
+        series,
+    }
+}
+
+/// **A2** result: agreement of the three `δ` computations across every
+/// supporter sequence of the dataset.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaAgreement {
+    /// Sequences checked.
+    pub sequences: usize,
+    /// Positions compared.
+    pub positions: usize,
+    /// Positions where deletion/marking/forward-backward disagreed under
+    /// exact arithmetic (must be 0 — anything else is a bug).
+    pub exact_disagreements: usize,
+    /// Positions where `Sat64` saturated (candidate tie-break divergence).
+    pub saturated_positions: usize,
+}
+
+/// **A2** — verifies on real data that the paper's deletion device, the
+/// marking device and the `O(nm)` forward–backward pass compute identical
+/// `δ` vectors, and counts saturation events for the fast counters.
+pub fn ablation_delta_agreement(dataset: &Dataset) -> DeltaAgreement {
+    let sh = &dataset.sensitive;
+    let mut out = DeltaAgreement::default();
+    for &i in &supporters(&dataset.db, sh) {
+        let t = &dataset.db.sequences()[i];
+        let by_del = delta_by_deletion::<BigCount>(sh, t);
+        let by_mark = delta_by_marking::<BigCount>(sh, t);
+        let mut by_fb = vec![BigCount::zero(); t.len()];
+        for p in sh {
+            for (acc, d) in by_fb.iter_mut().zip(delta_forward_backward::<BigCount>(p, t)) {
+                acc.add_assign(&d);
+            }
+        }
+        let sat = delta_by_marking::<Sat64>(sh, t);
+        out.sequences += 1;
+        out.positions += t.len();
+        for j in 0..t.len() {
+            if by_del[j] != by_mark[j] || by_mark[j] != by_fb[j] {
+                out.exact_disagreements += 1;
+            }
+            if sat[j].is_saturated() {
+                out.saturated_positions += 1;
+            }
+        }
+    }
+    out
+}
+
+/// **A7** — border preservation (the quality criterion of the related
+/// work's border-based hiding, Sun & Yu [26]) vs `ψ` for the four
+/// algorithms: what fraction of the original positive border survives?
+pub fn ablation_border_preservation(dataset: &Dataset, psis: &[usize]) -> Figure {
+    use seqhide_mine::border_preservation;
+    let exclude: Vec<seqhide_types::Sequence> =
+        dataset.sensitive.iter().map(|p| p.seq().clone()).collect();
+    let mut series: Vec<Series> = ["HH", "HR", "RH", "RR"]
+        .iter()
+        .map(|l| Series::new(*l, Vec::new()))
+        .collect();
+    for &psi in psis {
+        let sigma = psi.max(1);
+        let before = PrefixSpan::mine(&dataset.db, &MinerConfig::new(sigma));
+        assert!(!before.truncated);
+        for (idx, label) in ["HH", "HR", "RH", "RR"].iter().enumerate() {
+            let randomized = *label != "HH";
+            let make = |seed: u64| {
+                let sanitizer = match *label {
+                    "HH" => Sanitizer::hh(psi),
+                    "HR" => Sanitizer::hr(psi),
+                    "RH" => Sanitizer::rh(psi),
+                    _ => Sanitizer::rr(psi),
+                };
+                let mut db = dataset.db.clone();
+                sanitizer.with_seed(seed).run(&mut db, &dataset.sensitive);
+                border_preservation(&before, &db, sigma, &exclude)
+            };
+            let value = if randomized {
+                (0..RANDOM_RUNS).map(make).sum::<f64>() / RANDOM_RUNS as f64
+            } else {
+                make(0)
+            };
+            series[idx].points.push((psi as f64, value));
+        }
+    }
+    Figure {
+        id: "ablation_border".into(),
+        title: format!("positive-border preservation vs ψ — {}", dataset.name),
+        xlabel: "psi".into(),
+        ylabel: "border kept".into(),
+        series,
+    }
+}
+
+/// **A3** result: what each second-stage option costs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PostProcessingAudit {
+    /// Strategy name (`keep-Δ`, `delete-Δ`, `replace-Δ`).
+    pub strategy: String,
+    /// Marks remaining in the released database.
+    pub residual_marks: usize,
+    /// Whether the hiding requirement holds in the release.
+    pub hidden: bool,
+    /// Non-sensitive frequent patterns lost vs the original (M2 numerator).
+    pub lost_patterns: usize,
+    /// Frequent patterns present in the release but not the original —
+    /// possible only for replacement.
+    pub fake_patterns: usize,
+}
+
+/// **A3** — sanitizes with HH at `ψ`, then audits the three release
+/// options of §4 at `σ = max(ψ, 1)`.
+pub fn ablation_postprocessing(dataset: &Dataset, psi: usize) -> Vec<PostProcessingAudit> {
+    let sigma = psi.max(1);
+    let cfg = MinerConfig::new(sigma);
+    let before = PrefixSpan::mine(&dataset.db, &cfg);
+    let mut sanitized = dataset.db.clone();
+    Sanitizer::hh(psi).run(&mut sanitized, &dataset.sensitive);
+
+    let audit = |name: &str, db: &seqhide_types::SequenceDb, sh: &SensitiveSet| {
+        let after = PrefixSpan::mine(db, &cfg);
+        let fx = side_effects(&before, &after, sh);
+        PostProcessingAudit {
+            strategy: name.to_string(),
+            residual_marks: db.total_marks(),
+            hidden: verify_hidden(db, sh, psi).hidden,
+            lost_patterns: fx.lost.len(),
+            fake_patterns: fx.fake.len(),
+        }
+    };
+
+    let keep = audit("keep-Δ", &sanitized, &dataset.sensitive);
+    let (deleted, _) =
+        delete_markers_safe(&sanitized, &dataset.sensitive, psi, &Sanitizer::hh(psi));
+    let delete = audit("delete-Δ", &deleted, &dataset.sensitive);
+    let mut replaced = sanitized.clone();
+    replace_markers(&mut replaced, &dataset.sensitive, 0);
+    let replace = audit("replace-Δ", &replaced, &dataset.sensitive);
+    vec![keep, delete, replace]
+}
+
+/// Markdown rendering of the post-processing audit.
+pub fn postprocessing_markdown(audits: &[PostProcessingAudit]) -> String {
+    let mut out = String::from(
+        "| strategy | residual Δ | hidden | lost patterns | fake patterns |\n|---|---|---|---|---|\n",
+    );
+    for a in audits {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            a.strategy, a.residual_marks, a.hidden, a.lost_patterns, a.fake_patterns
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DATA_SEED;
+    use seqhide_data::synthetic_like;
+
+    #[test]
+    fn delta_methods_agree_on_real_data() {
+        let d = synthetic_like(DATA_SEED);
+        let r = ablation_delta_agreement(&d);
+        assert_eq!(r.sequences, 200); // the disjunction support
+        assert!(r.positions > 0);
+        assert_eq!(r.exact_disagreements, 0);
+        assert_eq!(r.saturated_positions, 0); // counts are tiny here
+    }
+
+    #[test]
+    fn global_ablation_orders_sanely() {
+        let d = synthetic_like(DATA_SEED);
+        let f = ablation_global_selectors(&d, &[0, 100]);
+        assert_eq!(f.series.len(), 4);
+        // the paper heuristic beats random in aggregate
+        let total = |label: &str| -> f64 {
+            f.series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap()
+                .points
+                .iter()
+                .map(|&(_, y)| y)
+                .sum()
+        };
+        assert!(total("matching-size (paper)") <= total("random") + 1e-9);
+    }
+
+    #[test]
+    fn border_preservation_figure_is_bounded_and_ordered() {
+        let d = synthetic_like(DATA_SEED);
+        let f = ablation_border_preservation(&d, &[50, 150]);
+        assert_eq!(f.series.len(), 4);
+        for s in &f.series {
+            for &(_, v) in &s.points {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        // looser ψ damages the border less for the deterministic algorithm
+        let hh = f.series.iter().find(|s| s.label == "HH").unwrap();
+        assert!(hh.points[1].1 >= hh.points[0].1 - 1e-9);
+    }
+
+    #[test]
+    fn postprocessing_audit_invariants() {
+        let d = synthetic_like(DATA_SEED);
+        let audits = ablation_postprocessing(&d, 20);
+        assert_eq!(audits.len(), 3);
+        let by_name = |n: &str| audits.iter().find(|a| a.strategy == n).unwrap();
+        let keep = by_name("keep-Δ");
+        let delete = by_name("delete-Δ");
+        let replace = by_name("replace-Δ");
+        assert!(keep.hidden && delete.hidden && replace.hidden);
+        assert!(keep.residual_marks > 0);
+        assert_eq!(delete.residual_marks, 0);
+        assert!(replace.residual_marks <= keep.residual_marks);
+        // marking and deletion never invent patterns
+        assert_eq!(keep.fake_patterns, 0);
+        assert_eq!(delete.fake_patterns, 0);
+    }
+}

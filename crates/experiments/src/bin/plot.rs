@@ -1,0 +1,35 @@
+//! `plot` — render any `results/*.csv` series file as an ASCII chart.
+//!
+//! ```sh
+//! cargo run -p seqhide-experiments --bin plot -- results/fig1a_m1_trucks.csv [width] [height]
+//! ```
+
+use seqhide_experiments::{ascii_chart, Figure};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: plot <figure.csv> [width] [height]");
+        std::process::exit(2);
+    };
+    let width: usize = args.next().and_then(|w| w.parse().ok()).unwrap_or(72);
+    let height: usize = args.next().and_then(|h| h.parse().ok()).unwrap_or(20);
+    let csv = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let id = std::path::Path::new(&path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.clone());
+    match Figure::from_csv(&id, &csv) {
+        Some(figure) => print!("{}", ascii_chart(&figure, width, height)),
+        None => {
+            eprintln!("error: {path} is not a series CSV (header `x,label…`)");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! ASCII chart rendering: turns a [`Figure`] into a monospaced plot so
+//! `results/summary.md` shows curve shapes inline, paper-style, without a
+//! plotting toolchain.
+
+use crate::series::Figure;
+
+const GLYPHS: &[char] = &['o', '+', 'x', '*', '#', '@', '%', '&'];
+
+/// Renders the figure as a `width × height` character plot (plus axes and
+/// a legend). X positions map linearly; series points snap to the nearest
+/// cell; overlapping series show the later glyph.
+pub fn ascii_chart(figure: &Figure, width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small to be readable");
+    let points: Vec<(f64, f64)> = figure
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if points.is_empty() {
+        return format!("{} (no data)\n", figure.title);
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (0.0_f64, f64::NEG_INFINITY);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    let col = |x: f64| -> usize {
+        (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize
+    };
+    let row = |y: f64| -> usize {
+        let r = ((y - y_min) / (y_max - y_min)) * (height - 1) as f64;
+        height - 1 - r.round() as usize
+    };
+    for (si, series) in figure.series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        // draw the polyline: points plus linear interpolation per column
+        for w in series.points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let (c0, c1) = (col(x0), col(x1));
+            for c in c0.min(c1)..=c0.max(c1) {
+                let f = if c1 == c0 {
+                    0.0
+                } else {
+                    (c as f64 - c0 as f64) / (c1 as f64 - c0 as f64)
+                };
+                let y = y0 + (y1 - y0) * f;
+                grid[row(y)][c] = glyph;
+            }
+        }
+        for &(x, y) in &series.points {
+            grid[row(y)][col(x)] = glyph;
+        }
+    }
+    let mut out = format!("{} — {}\n", figure.id, figure.title);
+    let y_label_width = format!("{y_max:.1}").len().max(format!("{y_min:.1}").len());
+    for (r, line) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_max:>y_label_width$.1}")
+        } else if r == height - 1 {
+            format!("{y_min:>y_label_width$.1}")
+        } else {
+            " ".repeat(y_label_width)
+        };
+        out.push_str(&format!("{label} |{}|\n", line.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "{} +{}+\n{} {:<w$.0}{:>r$.0}\n",
+        " ".repeat(y_label_width),
+        "-".repeat(width),
+        " ".repeat(y_label_width),
+        x_min,
+        x_max,
+        w = width / 2,
+        r = width - width / 2,
+    ));
+    for (si, series) in figure.series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], series.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    fn fig() -> Figure {
+        Figure {
+            id: "t".into(),
+            title: "test".into(),
+            xlabel: "psi".into(),
+            ylabel: "m1".into(),
+            series: vec![
+                Series::new("HH", vec![(0.0, 10.0), (50.0, 5.0), (100.0, 0.0)]),
+                Series::new("RR", vec![(0.0, 30.0), (50.0, 15.0), (100.0, 0.0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_axes_and_legend() {
+        let chart = ascii_chart(&fig(), 40, 10);
+        assert!(chart.contains("t — test"));
+        assert!(chart.contains("o HH"));
+        assert!(chart.contains("+ RR"));
+        assert!(chart.contains("30.0"));
+        assert!(chart.contains("0.0"));
+        // every grid row framed by pipes
+        let framed = chart.lines().filter(|l| l.contains('|')).count();
+        assert_eq!(framed, 10);
+        // both glyphs appear in the plot area
+        assert!(chart.contains('o'));
+        assert!(chart.contains('+'));
+    }
+
+    #[test]
+    fn curves_are_monotone_in_the_grid() {
+        // HH starts below RR everywhere: at column 0, the 'o' must sit on a
+        // lower row value (higher row index) than '+'
+        let chart = ascii_chart(&fig(), 40, 12);
+        let rows: Vec<&str> = chart.lines().filter(|l| l.contains('|')).collect();
+        let col0: Vec<char> = rows
+            .iter()
+            .map(|l| l.split('|').nth(1).unwrap().chars().next().unwrap())
+            .collect();
+        let o_pos = col0.iter().position(|&c| c == 'o');
+        let p_pos = col0.iter().position(|&c| c == '+');
+        assert!(p_pos.unwrap() < o_pos.unwrap(), "{chart}");
+    }
+
+    #[test]
+    fn empty_figure_degrades_gracefully() {
+        let f = Figure {
+            id: "e".into(),
+            title: "empty".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![],
+        };
+        assert!(ascii_chart(&f, 40, 10).contains("no data"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let f = Figure {
+            id: "c".into(),
+            title: "const".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![Series::new("flat", vec![(1.0, 2.0), (1.0, 2.0)])],
+        };
+        let chart = ascii_chart(&f, 20, 5);
+        assert!(chart.contains("flat"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_chart_rejected() {
+        let _ = ascii_chart(&fig(), 4, 2);
+    }
+}

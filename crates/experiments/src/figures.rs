@@ -1,0 +1,266 @@
+//! Drivers for Figure 1 (a–i): distortion vs disclosure threshold.
+
+use seqhide_core::metrics;
+use seqhide_core::Sanitizer;
+use seqhide_data::Dataset;
+use seqhide_match::{ConstraintSet, Gap, SensitiveSet};
+use seqhide_mine::{MinerConfig, PrefixSpan};
+use seqhide_types::SequenceDb;
+
+use crate::series::{Figure, Series};
+use crate::RANDOM_RUNS;
+
+/// The four algorithms in paper order.
+fn algorithms(psi: usize) -> [(&'static str, Sanitizer, bool); 4] {
+    [
+        ("HH", Sanitizer::hh(psi), false),
+        ("HR", Sanitizer::hr(psi), true),
+        ("RH", Sanitizer::rh(psi), true),
+        ("RR", Sanitizer::rr(psi), true),
+    ]
+}
+
+/// Runs `sanitizer` on a fresh copy of the dataset, returning the sanitized
+/// database.
+fn run_once(dataset: &Dataset, sanitizer: &Sanitizer, sh: &SensitiveSet) -> SequenceDb {
+    let mut db = dataset.db.clone();
+    let report = sanitizer.run(&mut db, sh);
+    assert!(report.hidden, "sanitizer must always meet the threshold");
+    db
+}
+
+/// Averages `f` over the random-run protocol: once for deterministic
+/// algorithms, [`RANDOM_RUNS`] seeded runs otherwise.
+fn averaged(
+    dataset: &Dataset,
+    sanitizer: &Sanitizer,
+    sh: &SensitiveSet,
+    randomized: bool,
+    mut f: impl FnMut(&SequenceDb) -> f64,
+) -> f64 {
+    if !randomized {
+        return f(&run_once(dataset, sanitizer, sh));
+    }
+    let total: f64 = (0..RANDOM_RUNS)
+        .map(|seed| {
+            let s = sanitizer.clone().with_seed(seed);
+            f(&run_once(dataset, &s, sh))
+        })
+        .sum();
+    total / RANDOM_RUNS as f64
+}
+
+/// **F1a / F1d** — M1 (marks introduced) vs `ψ` for HH/HR/RH/RR.
+pub fn fig1_m1(dataset: &Dataset, psis: &[usize], id: &str) -> Figure {
+    let mut series = Vec::new();
+    for (label, _, randomized) in algorithms(0) {
+        let points: Vec<(f64, f64)> = psis
+            .iter()
+            .map(|&psi| {
+                let sanitizer = match label {
+                    "HH" => Sanitizer::hh(psi),
+                    "HR" => Sanitizer::hr(psi),
+                    "RH" => Sanitizer::rh(psi),
+                    _ => Sanitizer::rr(psi),
+                };
+                let m1 = averaged(dataset, &sanitizer, &dataset.sensitive, randomized, |db| {
+                    metrics::m1(db) as f64
+                });
+                (psi as f64, m1)
+            })
+            .collect();
+        series.push(Series::new(label, points));
+    }
+    Figure {
+        id: id.to_string(),
+        title: format!("M1 (data distortion) vs ψ — {}", dataset.name),
+        xlabel: "psi".into(),
+        ylabel: "M1 (marks)".into(),
+        series,
+    }
+}
+
+/// Shared driver for the mining-based measures (σ = ψ, as the paper sets).
+fn fig1_mining(
+    dataset: &Dataset,
+    psis: &[usize],
+    id: &str,
+    measure_name: &str,
+    measure: fn(&seqhide_mine::MineResult, &seqhide_mine::MineResult) -> f64,
+) -> Figure {
+    let mut series: Vec<Series> = algorithms(0)
+        .iter()
+        .map(|(label, _, _)| Series::new(*label, Vec::new()))
+        .collect();
+    for &psi in psis {
+        assert!(psi > 0, "σ = ψ = 0 is not minable");
+        let before = PrefixSpan::mine(&dataset.db, &MinerConfig::new(psi));
+        assert!(!before.truncated, "mining truncated; raise max_patterns");
+        for (s_idx, (label, _, randomized)) in algorithms(0).iter().enumerate() {
+            let sanitizer = match *label {
+                "HH" => Sanitizer::hh(psi),
+                "HR" => Sanitizer::hr(psi),
+                "RH" => Sanitizer::rh(psi),
+                _ => Sanitizer::rr(psi),
+            };
+            let v = averaged(dataset, &sanitizer, &dataset.sensitive, *randomized, |db| {
+                let after = PrefixSpan::mine(db, &MinerConfig::new(psi));
+                measure(&before, &after)
+            });
+            series[s_idx].points.push((psi as f64, v));
+        }
+    }
+    Figure {
+        id: id.to_string(),
+        title: format!("{measure_name} vs ψ (σ = ψ) — {}", dataset.name),
+        xlabel: "psi".into(),
+        ylabel: measure_name.into(),
+        series,
+    }
+}
+
+/// **F1b / F1e** — M2 (frequent pattern distortion) vs `ψ`.
+pub fn fig1_m2(dataset: &Dataset, psis: &[usize], id: &str) -> Figure {
+    fig1_mining(dataset, psis, id, "M2", metrics::m2)
+}
+
+/// **F1c / F1f** — M3 (frequent pattern support distortion) vs `ψ`.
+pub fn fig1_m3(dataset: &Dataset, psis: &[usize], id: &str) -> Figure {
+    fig1_mining(dataset, psis, id, "M3", metrics::m3)
+}
+
+/// A constraint level swept in Figure 1(g–i).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConstraintKind {
+    /// No constraint (the reference curve).
+    None,
+    /// Uniform minimum gap of the given size on every arrow.
+    MinGap(usize),
+    /// Uniform maximum gap of the given size on every arrow.
+    MaxGap(usize),
+    /// Maximum window of the given span.
+    MaxWindow(usize),
+}
+
+impl ConstraintKind {
+    /// Legend label.
+    pub fn label(&self) -> String {
+        match self {
+            ConstraintKind::None => "unconstrained".into(),
+            ConstraintKind::MinGap(g) => format!("mingap={g}"),
+            ConstraintKind::MaxGap(g) => format!("maxgap={g}"),
+            ConstraintKind::MaxWindow(w) => format!("maxwindow={w}"),
+        }
+    }
+
+    /// The constraint set applied to every sensitive pattern.
+    pub fn to_constraints(&self) -> ConstraintSet {
+        match *self {
+            ConstraintKind::None => ConstraintSet::none(),
+            ConstraintKind::MinGap(g) => {
+                ConstraintSet::uniform_gap(Gap { min: g, max: None })
+            }
+            ConstraintKind::MaxGap(g) => {
+                ConstraintSet::uniform_gap(Gap { min: 0, max: Some(g) })
+            }
+            ConstraintKind::MaxWindow(w) => ConstraintSet::with_max_window(w),
+        }
+    }
+}
+
+/// **F1g / F1h / F1i** — M1 vs `ψ` for the HH algorithm under increasing
+/// constraint levels. Tighter constraints restrict which occurrences count
+/// as disclosures, so less needs hiding and distortion drops.
+pub fn fig1_constraints(dataset: &Dataset, kinds: &[ConstraintKind], psis: &[usize], id: &str) -> Figure {
+    let mut series = Vec::new();
+    for kind in kinds {
+        let sensitive = dataset
+            .sensitive
+            .with_constraints(&kind.to_constraints())
+            .expect("constraint levels must fit the patterns");
+        let points: Vec<(f64, f64)> = psis
+            .iter()
+            .map(|&psi| {
+                let db = run_once(dataset, &Sanitizer::hh(psi), &sensitive);
+                (psi as f64, metrics::m1(&db) as f64)
+            })
+            .collect();
+        series.push(Series::new(kind.label(), points));
+    }
+    Figure {
+        id: id.to_string(),
+        title: format!("M1 vs ψ for HH under constraints — {}", dataset.name),
+        xlabel: "psi".into(),
+        ylabel: "M1 (marks)".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{psi_grid_mining, DATA_SEED};
+    use seqhide_data::synthetic_like;
+
+    fn small_psis() -> Vec<usize> {
+        vec![0, 60, 120, 225] // last point past the disjunction support (200)
+    }
+
+    #[test]
+    fn m1_figure_shape_holds() {
+        let d = synthetic_like(DATA_SEED);
+        let f = fig1_m1(&d, &small_psis(), "fig1d");
+        assert_eq!(f.series.len(), 4);
+        let hh = f.series_by_label("HH").unwrap();
+        let rr = f.series_by_label("RR").unwrap();
+        // distortion decays with ψ, HH ≤ RR pointwise, both reach 0
+        assert!(hh.is_non_increasing());
+        for (h, r) in hh.points.iter().zip(&rr.points) {
+            assert!(h.1 <= r.1 + 1e-9, "HH must not exceed RR at ψ={}", h.0);
+        }
+        assert_eq!(hh.points.last().unwrap().1, 0.0);
+        assert_eq!(rr.points.last().unwrap().1, 0.0);
+        assert!(hh.points[0].1 > 0.0);
+    }
+
+    #[test]
+    fn m2_m3_figures_bounded() {
+        let d = synthetic_like(DATA_SEED);
+        let psis: Vec<usize> = psi_grid_mining(&d).into_iter().step_by(3).collect();
+        let m2 = fig1_m2(&d, &psis, "fig1e");
+        let m3 = fig1_m3(&d, &psis, "fig1f");
+        for f in [&m2, &m3] {
+            for s in &f.series {
+                for &(_, y) in &s.points {
+                    assert!((0.0..=1.0).contains(&y), "{} out of range in {}", y, f.id);
+                }
+            }
+        }
+        // HH is best (lowest) on M2 at the tightest ψ
+        let x = psis[0] as f64;
+        let hh = m2.series_by_label("HH").unwrap().y_at(x).unwrap();
+        let rr = m2.series_by_label("RR").unwrap().y_at(x).unwrap();
+        assert!(hh <= rr + 1e-9);
+    }
+
+    #[test]
+    fn constraints_reduce_distortion() {
+        let d = synthetic_like(DATA_SEED);
+        let kinds = [
+            ConstraintKind::None,
+            ConstraintKind::MaxGap(1),
+            ConstraintKind::MaxWindow(3),
+        ];
+        let f = fig1_constraints(&d, &kinds, &[0, 60, 120], "fig1i");
+        assert_eq!(f.series.len(), 3);
+        // Tighter constraints give less *total* distortion across the sweep.
+        // (The paper notes pointwise exceptions can occur "due to
+        // imperfectness of the heuristics", so we assert the aggregate.)
+        let total = |label: &str| -> f64 {
+            f.series_by_label(label).unwrap().points.iter().map(|&(_, y)| y).sum()
+        };
+        let base = total("unconstrained");
+        assert!(total("maxgap=1") <= base);
+        assert!(total("maxwindow=3") <= base);
+    }
+}

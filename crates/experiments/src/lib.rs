@@ -1,0 +1,85 @@
+//! # seqhide-experiments
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! *Hiding Sequences* (ICDE 2007) — see the experiment index in DESIGN.md
+//! and the measured-vs-paper record in EXPERIMENTS.md.
+//!
+//! Artefacts:
+//!
+//! * **T1** — the §6 support table (dataset sizes and sensitive supports);
+//! * **F1a/F1d** — M1 vs `ψ` for HH/HR/RH/RR (TRUCKS-like / SYNTHETIC-like);
+//! * **F1b/F1e** — M2 vs `ψ` (σ = ψ, as in the paper);
+//! * **F1c/F1f** — M3 vs `ψ`;
+//! * **F1g/F1h/F1i** — M1 vs `ψ` for HH under min-gap / max-gap /
+//!   max-window constraint levels;
+//! * **A1/A2/A3** — ablations: global selector alternatives (§8), `δ`
+//!   method agreement, and second-stage post-processing audits (§4).
+//!
+//! Random algorithms are averaged over 10 seeded runs, the paper's
+//! protocol. The `repro` binary writes one CSV per artefact plus a
+//! Markdown summary under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod chart;
+pub mod figures;
+pub mod output;
+pub mod scaling;
+pub mod series;
+pub mod table1;
+
+pub use chart::ascii_chart;
+pub use figures::{fig1_constraints, fig1_m1, fig1_m2, fig1_m3, ConstraintKind};
+pub use scaling::{scaling_db_size, scaling_seq_len};
+pub use series::{Figure, Series};
+pub use table1::{table1, Table1Row};
+
+use seqhide_data::Dataset;
+
+/// Default seed for dataset generation (figures must all see the same data).
+pub const DATA_SEED: u64 = 42;
+
+/// Number of runs random algorithms are averaged over (paper: 10).
+pub const RANDOM_RUNS: u64 = 10;
+
+/// The `ψ` sweep used for a dataset: from 0 to just past the support of the
+/// sensitive **disjunction**. The paper's global rule leaves `ψ` of the
+/// sequences supporting *any* sensitive pattern unsanitized, so distortion
+/// only reaches 0 once `ψ` covers all of them — the curves then decay to 0
+/// at the right edge exactly as in the paper's plots.
+pub fn psi_grid(dataset: &Dataset) -> Vec<usize> {
+    let (_, disjunction) = dataset.support_table();
+    let step = (disjunction / 8).max(1);
+    let mut grid: Vec<usize> = (0..=disjunction).step_by(step).collect();
+    if *grid.last().unwrap() < disjunction {
+        grid.push(disjunction);
+    }
+    grid.push(disjunction + step);
+    grid
+}
+
+/// The `ψ` sweep for M2/M3 figures: same as [`psi_grid`] but starting at
+/// the first non-zero value, because the paper sets `σ = ψ` and `σ = 0`
+/// would make `F(D, 0) = Σ*` infinite.
+pub fn psi_grid_mining(dataset: &Dataset) -> Vec<usize> {
+    psi_grid(dataset).into_iter().filter(|&p| p > 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqhide_data::synthetic_like;
+
+    #[test]
+    fn psi_grid_covers_supports() {
+        let d = synthetic_like(DATA_SEED);
+        let grid = psi_grid(&d);
+        assert_eq!(grid[0], 0);
+        assert!(*grid.last().unwrap() > 200); // past the disjunction support
+        let mining = psi_grid_mining(&d);
+        assert!(mining[0] > 0);
+        assert_eq!(mining.len(), grid.len() - 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Result file emission.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::series::Figure;
+
+/// Writes a figure's CSV into `dir/<id>.csv`, returning the path.
+pub fn write_figure_csv(dir: impl AsRef<Path>, figure: &Figure) -> io::Result<PathBuf> {
+    fs::create_dir_all(&dir)?;
+    let path = dir.as_ref().join(format!("{}.csv", figure.id));
+    fs::write(&path, figure.to_csv())?;
+    Ok(path)
+}
+
+/// Writes arbitrary text into `dir/<name>`, returning the path.
+pub fn write_text(dir: impl AsRef<Path>, name: &str, content: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(&dir)?;
+    let path = dir.as_ref().join(name);
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    #[test]
+    fn writes_csv_named_by_id() {
+        let dir = std::env::temp_dir().join("seqhide-output-test");
+        let fig = Figure {
+            id: "figX".into(),
+            title: "t".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![Series::new("A", vec![(1.0, 2.0)])],
+        };
+        let path = write_figure_csv(&dir, &fig).unwrap();
+        assert!(path.ends_with("figX.csv"));
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("psi,A\n"));
+        fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,97 @@
+//! E1 — efficiency scaling (§8: *"Efficient implementation is important
+//! especially for large datasets"*): HH wall time vs database size and vs
+//! sequence length, single-threaded and with the parallel victim fan-out.
+
+use std::time::Instant;
+
+use seqhide_core::Sanitizer;
+use seqhide_data::markov_db;
+use seqhide_match::SensitiveSet;
+use seqhide_types::{Sequence, SequenceDb};
+
+use crate::series::{Figure, Series};
+
+/// Builds a planted-pattern workload: a Markov database plus the sensitive
+/// set `{⟨s1 s2⟩, ⟨s4 s5 s6⟩}` (locality makes both genuinely frequent).
+pub fn scaling_workload(seed: u64, n: usize, len: usize) -> (SequenceDb, SensitiveSet) {
+    let db = markov_db(seed, n, (len, len), 30, 0.75);
+    let sh = SensitiveSet::new(vec![
+        Sequence::from_ids([1, 2]),
+        Sequence::from_ids([4, 5, 6]),
+    ]);
+    (db, sh)
+}
+
+fn time_hh(db: &SequenceDb, sh: &SensitiveSet, threads: usize) -> f64 {
+    let mut work = db.clone();
+    let start = Instant::now();
+    let report = Sanitizer::hh(10).with_threads(threads).run(&mut work, sh);
+    assert!(report.hidden);
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// HH runtime (ms) vs `|D|` at fixed sequence length.
+pub fn scaling_db_size(sizes: &[usize], len: usize) -> Figure {
+    let mut single = Vec::new();
+    let mut parallel = Vec::new();
+    for &n in sizes {
+        let (db, sh) = scaling_workload(17, n, len);
+        single.push((n as f64, time_hh(&db, &sh, 1)));
+        parallel.push((n as f64, time_hh(&db, &sh, 0)));
+    }
+    Figure {
+        id: "scaling_db_size".into(),
+        title: format!("HH runtime vs |D| (len {len}, ψ = 10)"),
+        xlabel: "|D|".into(),
+        ylabel: "ms".into(),
+        series: vec![
+            Series::new("1 thread", single),
+            Series::new("auto threads", parallel),
+        ],
+    }
+}
+
+/// HH runtime (ms) vs sequence length at fixed `|D|`.
+pub fn scaling_seq_len(lens: &[usize], n: usize) -> Figure {
+    let mut single = Vec::new();
+    let mut parallel = Vec::new();
+    for &len in lens {
+        let (db, sh) = scaling_workload(18, n, len);
+        single.push((len as f64, time_hh(&db, &sh, 1)));
+        parallel.push((len as f64, time_hh(&db, &sh, 0)));
+    }
+    Figure {
+        id: "scaling_seq_len".into(),
+        title: format!("HH runtime vs sequence length (|D| = {n}, ψ = 10)"),
+        xlabel: "sequence length".into(),
+        ylabel: "ms".into(),
+        series: vec![
+            Series::new("1 thread", single),
+            Series::new("auto threads", parallel),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_has_real_supporters() {
+        let (db, sh) = scaling_workload(17, 400, 60);
+        let sup = seqhide_match::supporters(&db, &sh);
+        assert!(sup.len() > 40, "{} supporters", sup.len());
+    }
+
+    #[test]
+    fn scaling_figures_have_expected_shape() {
+        let f = scaling_db_size(&[100, 200], 40);
+        assert_eq!(f.series.len(), 2);
+        for s in &f.series {
+            assert_eq!(s.points.len(), 2);
+            assert!(s.points.iter().all(|&(_, ms)| ms >= 0.0));
+        }
+        let f = scaling_seq_len(&[30, 60], 150);
+        assert_eq!(f.series[0].points.len(), 2);
+    }
+}

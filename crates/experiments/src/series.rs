@@ -1,0 +1,209 @@
+//! Figure data: labelled series of (x, y) points.
+
+/// One labelled curve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. `HH`, `maxgap=2`).
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+
+    /// The y value at a given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+
+    /// Whether the series is non-increasing in x (all the paper's
+    /// distortion-vs-ψ curves should be, modulo random noise).
+    pub fn is_non_increasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-9)
+    }
+}
+
+/// A complete figure: id, axis labels, and its curves.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Figure {
+    /// Artefact id, e.g. `fig1a`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Looks a series up by label.
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders the figure as a CSV: `x,label1,label2,…` header then one row
+    /// per x value (empty cell when a series lacks that x).
+    pub fn to_csv(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let mut out = String::from("psi");
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.label);
+        }
+        out.push('\n');
+        for &x in &xs {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                out.push(',');
+                if let Some(y) = s.y_at(x) {
+                    out.push_str(&format!("{y:.6}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a figure back from the CSV layout [`Figure::to_csv`] emits
+    /// (header `x,label…`, one row per x; empty cells skip a series point).
+    /// Returns `None` on malformed input.
+    pub fn from_csv(id: &str, csv: &str) -> Option<Figure> {
+        let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next()?;
+        let mut columns = header.split(',');
+        let xlabel = columns.next()?.trim().to_string();
+        let labels: Vec<String> = columns.map(|c| c.trim().to_string()).collect();
+        if labels.is_empty() {
+            return None;
+        }
+        let mut series: Vec<Series> =
+            labels.iter().map(|l| Series::new(l.clone(), Vec::new())).collect();
+        for line in lines {
+            let mut cells = line.split(',');
+            let x: f64 = cells.next()?.trim().parse().ok()?;
+            for (i, cell) in cells.enumerate() {
+                let cell = cell.trim();
+                if cell.is_empty() {
+                    continue;
+                }
+                let y: f64 = cell.parse().ok()?;
+                series.get_mut(i)?.points.push((x, y));
+            }
+        }
+        Some(Figure {
+            id: id.to_string(),
+            title: id.to_string(),
+            xlabel,
+            ylabel: String::new(),
+            series,
+        })
+    }
+
+    /// Renders a compact Markdown table of the figure.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str(&format!("| {} |", self.xlabel));
+        for s in &self.series {
+            out.push_str(&format!(" {} |", s.label));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.series {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        for &x in &xs {
+            out.push_str(&format!("| {x} |"));
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => out.push_str(&format!(" {y:.3} |")),
+                    None => out.push_str(" |"),
+                }
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        Figure {
+            id: "t".into(),
+            title: "test".into(),
+            xlabel: "psi".into(),
+            ylabel: "m1".into(),
+            series: vec![
+                Series::new("HH", vec![(0.0, 10.0), (5.0, 4.0), (10.0, 0.0)]),
+                Series::new("RR", vec![(0.0, 30.0), (5.0, 12.0), (10.0, 0.0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_layout() {
+        let csv = fig().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "psi,HH,RR");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("0,10.000000,30.000000"));
+    }
+
+    #[test]
+    fn lookup_and_monotonicity() {
+        let f = fig();
+        assert_eq!(f.series_by_label("HH").unwrap().y_at(5.0), Some(4.0));
+        assert!(f.series_by_label("HH").unwrap().is_non_increasing());
+        assert!(f.series_by_label("ZZ").is_none());
+        let rising = Series::new("r", vec![(0.0, 1.0), (1.0, 2.0)]);
+        assert!(!rising.is_non_increasing());
+    }
+
+    #[test]
+    fn csv_roundtrips_through_from_csv() {
+        let f = fig();
+        let parsed = Figure::from_csv("t", &f.to_csv()).unwrap();
+        assert_eq!(parsed.series.len(), f.series.len());
+        for (a, b) in parsed.series.iter().zip(&f.series) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.points, b.points);
+        }
+        assert!(Figure::from_csv("t", "").is_none());
+        assert!(Figure::from_csv("t", "psi\n1\n").is_none());
+        assert!(Figure::from_csv("t", "psi,a\nxx,1\n").is_none());
+    }
+
+    #[test]
+    fn markdown_contains_all_rows() {
+        let md = fig().to_markdown();
+        assert!(md.contains("| 0 | 10.000 | 30.000 |"));
+        assert!(md.contains("### t — test"));
+    }
+}

@@ -1,0 +1,89 @@
+//! T1 — the paper's §6 support table.
+
+use seqhide_data::Dataset;
+
+/// One row of the support table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// `|D|`.
+    pub size: usize,
+    /// Rendered sensitive patterns.
+    pub patterns: Vec<String>,
+    /// Support of each sensitive pattern.
+    pub supports: Vec<usize>,
+    /// Support of the disjunction.
+    pub disjunction: usize,
+}
+
+/// Builds the table row for one dataset.
+pub fn table1(dataset: &Dataset) -> Table1Row {
+    let (supports, disjunction) = dataset.support_table();
+    Table1Row {
+        dataset: dataset.name.to_string(),
+        size: dataset.db.len(),
+        patterns: dataset
+            .sensitive
+            .iter()
+            .map(|p| p.seq().render(dataset.db.alphabet()))
+            .collect(),
+        supports,
+        disjunction,
+    }
+}
+
+impl Table1Row {
+    /// Markdown rendering, mirroring the paper's table shape.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("**D = {}, |D| = {}**\n\n", self.dataset, self.size);
+        out.push_str("| quantity | value |\n|---|---|\n");
+        for (p, s) in self.patterns.iter().zip(&self.supports) {
+            out.push_str(&format!("| sup({p}) | {s} |\n"));
+        }
+        out.push_str(&format!(
+            "| sup({}) | {} |\n\n",
+            self.patterns.join(" ∨ "),
+            self.disjunction
+        ));
+        out
+    }
+
+    /// CSV rendering (`dataset,size,pattern,support` rows plus disjunction).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("dataset,size,pattern,support\n");
+        for (p, s) in self.patterns.iter().zip(&self.supports) {
+            out.push_str(&format!("{},{},{},{}\n", self.dataset, self.size, p, s));
+        }
+        out.push_str(&format!(
+            "{},{},disjunction,{}\n",
+            self.dataset, self.size, self.disjunction
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DATA_SEED;
+    use seqhide_data::{synthetic_like, trucks_like};
+
+    #[test]
+    fn trucks_row_reproduces_paper() {
+        let row = table1(&trucks_like(DATA_SEED));
+        assert_eq!(row.size, 273);
+        assert_eq!(row.supports, vec![36, 38]);
+        assert_eq!(row.disjunction, 66);
+        assert!(row.to_markdown().contains("sup(⟨X6Y3 X7Y2⟩) | 36"));
+        assert!(row.to_csv().contains("TRUCKS-like,273,⟨X4Y3 X5Y3⟩,38"));
+    }
+
+    #[test]
+    fn synthetic_row_reproduces_paper() {
+        let row = table1(&synthetic_like(DATA_SEED));
+        assert_eq!(row.size, 300);
+        assert_eq!(row.supports, vec![99, 172]);
+        assert_eq!(row.disjunction, 200);
+    }
+}

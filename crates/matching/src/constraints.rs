@@ -1,0 +1,282 @@
+//! Occurrence constraints (paper §5): per-arrow min/max gaps and the global
+//! maximum window.
+//!
+//! Constraints restrict which embeddings *count* as occurrences of a
+//! sensitive pattern. They are properties of occurrences, not of patterns:
+//! the paper writes `a →⁰ b →₂⁶ c` for "`a` directly followed by `b`, then
+//! `c` after at least 2 and at most 6 intervening events".
+//!
+//! * **Gap** constraints are *local* (per arrow, i.e. per consecutive
+//!   pattern pair): the gap between matched positions `i_k < i_{k+1}` is the
+//!   number of intervening elements, `i_{k+1} − i_k − 1`.
+//! * The **max window** constraint is *global*: the whole occurrence must
+//!   fit in `Ws` consecutive elements, `i_m − i₁ + 1 ≤ Ws`.
+
+use std::fmt;
+
+/// A min/max gap constraint on one pattern arrow.
+///
+/// `gap = i_{k+1} − i_k − 1` must satisfy `min ≤ gap` and, when `max` is
+/// set, `gap ≤ max`. [`Gap::any`] (min 0, no max) is the unconstrained
+/// arrow.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Gap {
+    /// Minimum number of intervening elements (`mg`).
+    pub min: usize,
+    /// Maximum number of intervening elements (`Mg`), if bounded.
+    pub max: Option<usize>,
+}
+
+impl Gap {
+    /// The unconstrained arrow: any gap allowed.
+    pub const fn any() -> Self {
+        Gap { min: 0, max: None }
+    }
+
+    /// An exact-adjacency arrow (`→⁰`): the next symbol must directly
+    /// follow.
+    pub const fn adjacent() -> Self {
+        Gap { min: 0, max: Some(0) }
+    }
+
+    /// A bounded arrow `→_mg^Mg`.
+    ///
+    /// # Panics
+    /// Panics if `max < min` (the paper requires `Mg ≥ mg`).
+    pub fn bounded(min: usize, max: usize) -> Self {
+        assert!(max >= min, "max gap must be ≥ min gap");
+        Gap { min, max: Some(max) }
+    }
+
+    /// Whether `gap` intervening elements satisfy this constraint.
+    #[inline]
+    pub fn allows(&self, gap: usize) -> bool {
+        gap >= self.min && self.max.is_none_or(|m| gap <= m)
+    }
+
+    /// Whether this arrow is unconstrained.
+    pub fn is_any(&self) -> bool {
+        self.min == 0 && self.max.is_none()
+    }
+}
+
+impl Default for Gap {
+    fn default() -> Self {
+        Gap::any()
+    }
+}
+
+impl fmt::Display for Gap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.max {
+            Some(max) => write!(f, "→[{},{}]", self.min, max),
+            None => write!(f, "→[{},∞)", self.min),
+        }
+    }
+}
+
+/// The full constraint specification attached to one sensitive pattern:
+/// per-arrow gaps plus an optional max window.
+///
+/// An empty `gaps` vector means "every arrow unconstrained"; a non-empty
+/// vector must have exactly `pattern.len() − 1` entries (validated by
+/// [`SensitivePattern::new`](crate::SensitivePattern::new)).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct ConstraintSet {
+    /// Per-arrow gap constraints (empty ⇒ all arrows unconstrained).
+    pub gaps: Vec<Gap>,
+    /// Maximum window `Ws`: occurrence must span ≤ `Ws` elements.
+    pub max_window: Option<usize>,
+}
+
+impl ConstraintSet {
+    /// No constraints at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The same gap on every arrow.
+    pub fn uniform_gap(gap: Gap) -> Self {
+        // Represented lazily: materialised per-pattern by `for_arrows`.
+        ConstraintSet { gaps: vec![gap], max_window: None }
+    }
+
+    /// Explicit per-arrow gaps.
+    pub fn with_gaps(gaps: Vec<Gap>) -> Self {
+        ConstraintSet { gaps, max_window: None }
+    }
+
+    /// Only a max-window constraint.
+    pub fn with_max_window(ws: usize) -> Self {
+        ConstraintSet { gaps: Vec::new(), max_window: Some(ws) }
+    }
+
+    /// Adds a max window to `self`.
+    pub fn and_max_window(mut self, ws: usize) -> Self {
+        self.max_window = Some(ws);
+        self
+    }
+
+    /// Whether no constraint is active.
+    pub fn is_none(&self) -> bool {
+        self.max_window.is_none() && self.gaps.iter().all(Gap::is_any)
+    }
+
+    /// Whether any gap constraint is active.
+    pub fn has_gaps(&self) -> bool {
+        self.gaps.iter().any(|g| !g.is_any())
+    }
+
+    /// The gap constraint for arrow `k` (between pattern positions `k` and
+    /// `k+1`) of a pattern with `arrows` arrows. A single-entry gap vector
+    /// is broadcast to every arrow ([`ConstraintSet::uniform_gap`]); an
+    /// empty vector yields [`Gap::any`].
+    #[inline]
+    pub fn gap(&self, k: usize, arrows: usize) -> Gap {
+        match self.gaps.len() {
+            0 => Gap::any(),
+            1 if arrows != 1 => self.gaps[0],
+            _ => self.gaps.get(k).copied().unwrap_or_else(Gap::any),
+        }
+    }
+
+    /// Validates this constraint set against a pattern with `len` symbols.
+    pub fn validate(&self, len: usize) -> Result<(), String> {
+        let arrows = len.saturating_sub(1);
+        if !(self.gaps.len() <= 1 || self.gaps.len() == arrows) {
+            return Err(format!(
+                "pattern with {arrows} arrows given {} gap constraints",
+                self.gaps.len()
+            ));
+        }
+        if let Some(ws) = self.max_window {
+            if ws < len {
+                return Err(format!(
+                    "max window {ws} cannot fit a pattern of {len} symbols"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether an embedding (strictly increasing 0-based positions)
+    /// satisfies every active constraint. Used by the enumerator and as the
+    /// test oracle for the counting DPs.
+    pub fn satisfied_by(&self, embedding: &[usize]) -> bool {
+        let arrows = embedding.len().saturating_sub(1);
+        for (k, w) in embedding.windows(2).enumerate() {
+            let gap = w[1] - w[0] - 1;
+            if !self.gap(k, arrows).allows(gap) {
+                return false;
+            }
+        }
+        if let (Some(ws), Some(&first), Some(&last)) =
+            (self.max_window, embedding.first(), embedding.last())
+        {
+            if last - first + 1 > ws {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for ConstraintSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            return write!(f, "unconstrained");
+        }
+        let mut parts = Vec::new();
+        if self.has_gaps() {
+            let gaps: Vec<String> = self.gaps.iter().map(Gap::to_string).collect();
+            parts.push(format!("gaps[{}]", gaps.join(" ")));
+        }
+        if let Some(ws) = self.max_window {
+            parts.push(format!("window≤{ws}"));
+        }
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_allows_ranges() {
+        let g = Gap::bounded(2, 6);
+        assert!(!g.allows(1));
+        assert!(g.allows(2));
+        assert!(g.allows(6));
+        assert!(!g.allows(7));
+        assert!(Gap::any().allows(1000));
+        assert!(Gap::adjacent().allows(0));
+        assert!(!Gap::adjacent().allows(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "max gap must be ≥ min gap")]
+    fn inverted_gap_rejected() {
+        let _ = Gap::bounded(5, 2);
+    }
+
+    #[test]
+    fn uniform_gap_broadcasts() {
+        let cs = ConstraintSet::uniform_gap(Gap::bounded(1, 3));
+        assert_eq!(cs.gap(0, 4), Gap::bounded(1, 3));
+        assert_eq!(cs.gap(3, 4), Gap::bounded(1, 3));
+    }
+
+    #[test]
+    fn explicit_gaps_indexed() {
+        let cs = ConstraintSet::with_gaps(vec![Gap::adjacent(), Gap::bounded(2, 6)]);
+        assert_eq!(cs.gap(0, 2), Gap::adjacent());
+        assert_eq!(cs.gap(1, 2), Gap::bounded(2, 6));
+    }
+
+    #[test]
+    fn validate_arity() {
+        let cs = ConstraintSet::with_gaps(vec![Gap::any(), Gap::any(), Gap::any()]);
+        assert!(cs.validate(4).is_ok());
+        assert!(cs.validate(3).is_err());
+        assert!(ConstraintSet::none().validate(10).is_ok());
+        assert!(ConstraintSet::with_max_window(2).validate(3).is_err());
+        assert!(ConstraintSet::with_max_window(3).validate(3).is_ok());
+    }
+
+    #[test]
+    fn paper_example_gap_rejection() {
+        // a →⁰ b →₂⁶ c over T = ⟨a a b c c b a e⟩ (0-based positions):
+        // the only a-directly-followed-by-b pair is (1,2); c then appears at
+        // positions 3 and 4 with gaps 0 and 1 < 2, so no valid occurrence.
+        let cs = ConstraintSet::with_gaps(vec![Gap::adjacent(), Gap::bounded(2, 6)]);
+        assert!(!cs.satisfied_by(&[1, 2, 3]));
+        assert!(!cs.satisfied_by(&[1, 2, 4]));
+        // and the unconstrained embedding (0,2,3) fails the first arrow
+        assert!(!cs.satisfied_by(&[0, 2, 3]));
+    }
+
+    #[test]
+    fn window_constrains_span() {
+        let cs = ConstraintSet::with_max_window(3);
+        assert!(cs.satisfied_by(&[2, 3, 4])); // span 3
+        assert!(!cs.satisfied_by(&[2, 5])); // span 4
+        assert!(cs.satisfied_by(&[7])); // single symbol: span 1
+        assert!(cs.satisfied_by(&[])); // degenerate
+    }
+
+    #[test]
+    fn is_none_detection() {
+        assert!(ConstraintSet::none().is_none());
+        assert!(ConstraintSet::with_gaps(vec![Gap::any()]).is_none());
+        assert!(!ConstraintSet::with_max_window(5).is_none());
+        assert!(!ConstraintSet::uniform_gap(Gap::adjacent()).is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ConstraintSet::none().to_string(), "unconstrained");
+        let cs = ConstraintSet::uniform_gap(Gap::bounded(0, 2)).and_max_window(9);
+        assert_eq!(cs.to_string(), "gaps[→[0,2]], window≤9");
+    }
+}

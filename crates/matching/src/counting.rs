@@ -1,0 +1,408 @@
+//! Embedding counting — Lemmas 2, 3, 4 and 5 of the paper.
+//!
+//! All counting is expressed over an abstract *match relation*
+//! `matches(k, j)` ("pattern element `k` matches data element `j`"), so the
+//! same dynamic programs serve plain symbol sequences (equality matching)
+//! and itemset sequences (set-inclusion matching, §7.1).
+//!
+//! The DPs are generic over [`Count`], so callers pick exact
+//! ([`BigCount`](seqhide_num::BigCount)) or saturating
+//! ([`Sat64`](seqhide_num::Sat64)) arithmetic. Windowed sums inside the
+//! constrained DP use prefix sums with [`Count::saturating_sub`]; because
+//! prefix sums are monotone, the subtraction never actually saturates in
+//! exact arithmetic.
+
+use seqhide_num::Count;
+use seqhide_types::{Sequence, Symbol};
+
+use crate::constraints::{ConstraintSet, Gap};
+use crate::pattern::{SensitivePattern, SensitiveSet};
+
+/// Counts all embeddings of `s` into `t` **without constraints** — the
+/// paper's Lemma 2, `O(nm)` time, `O(n)` space.
+///
+/// The recurrence (paper notation, 1-based): `P^{1..n}_{1..m} =
+/// P^{1..n−1}_{1..m} + [S[m] = T[n]] · P^{1..n−1}_{1..m−1}`, with
+/// `P^j_0 = 1` and `P^0_{i>0} = 0`.
+///
+/// ```
+/// use seqhide_types::{Alphabet, Sequence};
+/// use seqhide_match::count_embeddings;
+/// // Paper Definition 1: S = ⟨a b c⟩, T = ⟨a a b c c b a e⟩ → |M| = 4.
+/// let mut sigma = Alphabet::new();
+/// let s = Sequence::parse("a b c", &mut sigma);
+/// let t = Sequence::parse("a a b c c b a e", &mut sigma);
+/// assert_eq!(count_embeddings::<u64>(&s, &t), 4);
+/// ```
+pub fn count_embeddings<C: Count>(s: &Sequence, t: &Sequence) -> C {
+    count_embeddings_by(s.len(), t.len(), |k, j| s[k].matches(t[j]))
+}
+
+/// [`count_embeddings`] over an abstract match relation.
+pub fn count_embeddings_by<C: Count>(
+    m: usize,
+    n: usize,
+    matches: impl Fn(usize, usize) -> bool,
+) -> C {
+    if m == 0 {
+        return C::one(); // the empty pattern has exactly one (empty) embedding
+    }
+    if m > n {
+        return C::zero();
+    }
+    // row[k] = number of embeddings of the first k pattern elements into the
+    // prefix of t processed so far; updated right-to-left per data element.
+    let mut row: Vec<C> = vec![C::zero(); m + 1];
+    row[0] = C::one();
+    for j in 0..n {
+        for k in (1..=m).rev() {
+            if matches(k - 1, j) {
+                let prev = row[k - 1].clone();
+                row[k].add_assign(&prev);
+            }
+        }
+    }
+    row[m].clone()
+}
+
+/// The *ending-exactly-at* table of Lemma 3 / Lemma 4: `table[k][j]` is the
+/// number of (gap-constrained) embeddings of the pattern prefix of length
+/// `k+1` whose last element is matched **exactly** at data position `j`
+/// (0-based; the paper's `P_k^j` / `Q_k^j` with 1-based indices).
+///
+/// Gap constraints are read from `cs`; the max-window constraint is *not*
+/// applied here (it is global — see [`count_matches`]). Runs in `O(nm)`
+/// using prefix sums, improving on the paper's `O(n²m)` bound.
+pub fn ending_at_table<C: Count>(
+    s: &Sequence,
+    t: &[Symbol],
+    cs: &ConstraintSet,
+) -> Vec<Vec<C>> {
+    ending_at_table_by(s.len(), t.len(), |k, j| s[k].matches(t[j]), cs)
+}
+
+/// [`ending_at_table`] over an abstract match relation.
+pub fn ending_at_table_by<C: Count>(
+    m: usize,
+    n: usize,
+    matches: impl Fn(usize, usize) -> bool,
+    cs: &ConstraintSet,
+) -> Vec<Vec<C>> {
+    let arrows = m.saturating_sub(1);
+    ending_at_table_bounded_by(m, n, matches, |k, j| {
+        // previous element at l with gap j − l − 1 ∈ [min, max]
+        // ⇒ l ∈ [j − 1 − max, j − 1 − min]
+        let gap = cs.gap(k, arrows);
+        if j < 1 + gap.min {
+            return None;
+        }
+        let hi = j - 1 - gap.min;
+        let lo = match gap.max {
+            Some(max) => (j - 1).saturating_sub(max),
+            None => 0,
+        };
+        Some((lo, hi))
+    })
+}
+
+/// The fully general ending-exactly-at table: `prev_range(k, j)` yields the
+/// inclusive index range in which the match of pattern element `k` may sit
+/// when element `k + 1` is matched at data position `j` (`None` = no
+/// admissible predecessor). Index-gap constraints (Lemma 4) and real-time
+/// gap constraints (§7.2 — ranges computed from time tags, which are sorted
+/// and therefore still yield contiguous index ranges) are both instances.
+///
+/// The returned range is additionally clipped to `[0, j − 1]` — a
+/// predecessor can never sit at or after its successor.
+pub fn ending_at_table_bounded_by<C: Count>(
+    m: usize,
+    n: usize,
+    matches: impl Fn(usize, usize) -> bool,
+    prev_range: impl Fn(usize, usize) -> Option<(usize, usize)>,
+) -> Vec<Vec<C>> {
+    let mut table: Vec<Vec<C>> = Vec::with_capacity(m);
+    for k in 0..m {
+        let mut row = vec![C::zero(); n];
+        if k == 0 {
+            for (j, cell) in row.iter_mut().enumerate() {
+                if matches(0, j) {
+                    *cell = C::one();
+                }
+            }
+        } else {
+            // prefix[j] = Σ_{l < j} table[k-1][l], with a leading 0 so
+            // `prefix[hi+1] − prefix[lo]` is the sum over l ∈ [lo, hi].
+            let prev = &table[k - 1];
+            let mut prefix: Vec<C> = Vec::with_capacity(n + 1);
+            prefix.push(C::zero());
+            for l in 0..n {
+                let next = prefix[l].add(&prev[l]);
+                prefix.push(next);
+            }
+            for (j, cell) in row.iter_mut().enumerate() {
+                if !matches(k, j) {
+                    continue;
+                }
+                let Some((lo, hi)) = prev_range(k - 1, j) else {
+                    continue;
+                };
+                if j == 0 {
+                    continue;
+                }
+                let hi = hi.min(j - 1);
+                if lo > hi {
+                    continue;
+                }
+                // prefix sums are monotone, so the saturating subtraction
+                // is exact.
+                *cell = prefix[hi + 1].saturating_sub(&prefix[lo]);
+            }
+        }
+        table.push(row);
+    }
+    table
+}
+
+/// Counts occurrences of a constrained sensitive pattern in `t` —
+/// dispatching to the cheapest applicable DP:
+///
+/// ```
+/// use seqhide_types::{Alphabet, Sequence};
+/// use seqhide_match::{count_matches, ConstraintSet, Gap, SensitivePattern};
+/// let mut sigma = Alphabet::new();
+/// let s = Sequence::parse("a c", &mut sigma);
+/// let t = Sequence::parse("a b c c", &mut sigma);
+/// let loose = SensitivePattern::unconstrained(s.clone()).unwrap();
+/// assert_eq!(count_matches::<u64>(&loose, &t), 2);
+/// let adjacent = SensitivePattern::new(s, ConstraintSet::uniform_gap(Gap::adjacent())).unwrap();
+/// assert_eq!(count_matches::<u64>(&adjacent, &t), 0);
+/// ```
+///
+/// * unconstrained → Lemma 2 row DP;
+/// * gap constraints only → Lemma 4 table, summing the last row;
+/// * max window (± gaps) → Lemma 5: for every end position `j`, count
+///   (gap-constrained) embeddings of `S` inside the slice
+///   `T[j−Ws+1 ..= j]` that end exactly at `j`.
+pub fn count_matches<C: Count>(p: &SensitivePattern, t: &Sequence) -> C {
+    count_matches_by(p, t.len(), |k, j| p.seq()[k].matches(t[j]))
+}
+
+/// [`count_matches`] over an abstract match relation (`n` data elements).
+pub fn count_matches_by<C: Count>(
+    p: &SensitivePattern,
+    n: usize,
+    matches: impl Fn(usize, usize) -> bool,
+) -> C {
+    let m = p.len();
+    let cs = p.constraints();
+    match cs.max_window {
+        None if !cs.has_gaps() => count_embeddings_by(m, n, matches),
+        None => {
+            let table = ending_at_table_by::<C>(m, n, matches, cs);
+            let mut total = C::zero();
+            for cell in &table[m - 1] {
+                total.add_assign(cell);
+            }
+            total
+        }
+        Some(ws) => {
+            // Lemma 5: anchor on the end position j; the first matched
+            // index must lie in [j − Ws + 1, j], i.e. the whole occurrence
+            // fits in the slice [lo, j] of length ≤ Ws.
+            let mut total = C::zero();
+            for j in 0..n {
+                if !matches(m - 1, j) {
+                    continue;
+                }
+                let lo = (j + 1).saturating_sub(ws);
+                let len = j - lo + 1;
+                if len < m {
+                    continue;
+                }
+                let table =
+                    ending_at_table_by::<C>(m, len, |k, jj| matches(k, lo + jj), cs);
+                total.add_assign(&table[m - 1][len - 1]);
+            }
+            total
+        }
+    }
+}
+
+/// The size of the combined matching set `|M_{S_h}^T| = Σ_S |M_S^T|`
+/// (Definition 1's union is disjoint across distinct patterns because an
+/// embedding is tagged by its pattern; the paper sums sizes the same way).
+pub fn matching_size<C: Count>(sh: &SensitiveSet, t: &Sequence) -> C {
+    let mut total = C::zero();
+    for p in sh {
+        total.add_assign(&count_matches::<C>(p, t));
+    }
+    total
+}
+
+/// Convenience: the uniform-gap constraint set used throughout the
+/// constraint experiments, `→_mg^Mg` on every arrow.
+pub fn uniform_gaps(min: usize, max: Option<usize>) -> ConstraintSet {
+    ConstraintSet::uniform_gap(Gap { min, max })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqhide_num::{BigCount, Sat64};
+    use seqhide_types::Alphabet;
+
+    fn seqs(s: &str, t: &str) -> (Sequence, Sequence) {
+        let mut sigma = Alphabet::new();
+        (Sequence::parse(s, &mut sigma), Sequence::parse(t, &mut sigma))
+    }
+
+    fn pat(s: &Sequence, cs: ConstraintSet) -> SensitivePattern {
+        SensitivePattern::new(s.clone(), cs).unwrap()
+    }
+
+    #[test]
+    fn paper_definition1_example() {
+        // S = ⟨a b c⟩, T = ⟨a a b c c b a e⟩: M = {(1,3,4),(1,3,5),(2,3,4),(2,3,5)}
+        // in the paper's 1-based indices — 4 embeddings.
+        let (s, t) = seqs("a b c", "a a b c c b a e");
+        assert_eq!(count_embeddings::<u64>(&s, &t), 4);
+        assert_eq!(count_embeddings::<Sat64>(&s, &t), Sat64::new(4));
+        assert_eq!(count_embeddings::<BigCount>(&s, &t), BigCount::from_u64(4));
+    }
+
+    #[test]
+    fn empty_pattern_has_one_embedding() {
+        let (_, t) = seqs("a", "a b c");
+        assert_eq!(count_embeddings::<u64>(&Sequence::empty(), &t), 1);
+        assert_eq!(count_embeddings::<u64>(&Sequence::empty(), &Sequence::empty()), 1);
+    }
+
+    #[test]
+    fn pattern_longer_than_sequence() {
+        let (s, t) = seqs("a b c", "a b");
+        assert_eq!(count_embeddings::<u64>(&s, &t), 0);
+    }
+
+    #[test]
+    fn no_occurrence_counts_zero() {
+        let (s, t) = seqs("a b", "b b a");
+        assert_eq!(count_embeddings::<u64>(&s, &t), 0);
+    }
+
+    #[test]
+    fn unary_alphabet_is_binomial() {
+        // S = aⁿ/², T = aⁿ ⇒ C(n, n/2) — Lemma 1's worst case.
+        let s = Sequence::from_ids(vec![0; 4]);
+        let t = Sequence::from_ids(vec![0; 8]);
+        assert_eq!(count_embeddings::<u64>(&s, &t), 70); // C(8,4)
+    }
+
+    #[test]
+    fn huge_counts_exact_in_bigcount() {
+        // C(140, 70) ≈ 9.4e40 > u64::MAX but fits BigCount exactly.
+        let s = Sequence::from_ids(vec![0; 70]);
+        let t = Sequence::from_ids(vec![0; 140]);
+        let exact = count_embeddings::<BigCount>(&s, &t);
+        assert_eq!(exact.to_string(), "93820969697840041204785894580506297666600");
+        // Sat64 saturates but stays a usable lower bound.
+        let sat = count_embeddings::<Sat64>(&s, &t);
+        assert!(sat.is_saturated());
+    }
+
+    #[test]
+    fn marks_never_match() {
+        let (s, mut t) = seqs("a b", "a b a b");
+        assert_eq!(count_embeddings::<u64>(&s, &t), 3);
+        t.mark(1); // ⟨a Δ a b⟩: embeddings of ab = (0,3),(2,3)
+        assert_eq!(count_embeddings::<u64>(&s, &t), 2);
+    }
+
+    #[test]
+    fn ending_at_matches_paper_example3() {
+        // P_2^3 = 2: the length-2 prefix ⟨a b⟩ has 2 embeddings ending
+        // exactly at T[3] (1-based) = index 2 (0-based).
+        let (s, t) = seqs("a b c", "a a b c c b a e");
+        let table = ending_at_table::<u64>(&s, t.symbols(), &ConstraintSet::none());
+        assert_eq!(table[1][2], 2);
+        // Full-row sum equals the Lemma 2 count.
+        let total: u64 = table[2].iter().sum();
+        assert_eq!(total, 4);
+        // Per-position detail: abc embeddings end at T[4]=c (2 of them) and
+        // T[5]=c (2 of them) in 1-based terms → indices 3 and 4.
+        assert_eq!(table[2][3], 2);
+        assert_eq!(table[2][4], 2);
+    }
+
+    #[test]
+    fn paper_gap_example_kills_all_occurrences() {
+        // a →⁰ b →₂⁶ c has no occurrence in ⟨a a b c c b a e⟩ (§5).
+        let (s, t) = seqs("a b c", "a a b c c b a e");
+        let cs = ConstraintSet::with_gaps(vec![Gap::adjacent(), Gap::bounded(2, 6)]);
+        let p = pat(&s, cs);
+        assert_eq!(count_matches::<u64>(&p, &t), 0);
+    }
+
+    #[test]
+    fn gap_constraints_filter_correctly() {
+        // S = ⟨a c⟩ in T = ⟨a b c c⟩; embeddings (0,2) gap 1, (0,3) gap 2.
+        let (s, t) = seqs("a c", "a b c c");
+        let any = pat(&s, ConstraintSet::none());
+        assert_eq!(count_matches::<u64>(&any, &t), 2);
+        let tight = pat(&s, ConstraintSet::uniform_gap(Gap::bounded(0, 1)));
+        assert_eq!(count_matches::<u64>(&tight, &t), 1);
+        let min2 = pat(&s, ConstraintSet::uniform_gap(Gap { min: 2, max: None }));
+        assert_eq!(count_matches::<u64>(&min2, &t), 1);
+        let min3 = pat(&s, ConstraintSet::uniform_gap(Gap { min: 3, max: None }));
+        assert_eq!(count_matches::<u64>(&min3, &t), 0);
+    }
+
+    #[test]
+    fn window_constraint_counts_spans() {
+        // S = ⟨a b⟩ in T = ⟨a x x b a b⟩ (x distinct):
+        // embeddings (0,3) span 4, (0,5) span 6, (4,5) span 2.
+        let (s, t) = seqs("a b", "a x x b a b");
+        assert_eq!(count_matches::<u64>(&pat(&s, ConstraintSet::none()), &t), 3);
+        assert_eq!(
+            count_matches::<u64>(&pat(&s, ConstraintSet::with_max_window(2)), &t),
+            1
+        );
+        assert_eq!(
+            count_matches::<u64>(&pat(&s, ConstraintSet::with_max_window(4)), &t),
+            2
+        );
+        assert_eq!(
+            count_matches::<u64>(&pat(&s, ConstraintSet::with_max_window(6)), &t),
+            3
+        );
+    }
+
+    #[test]
+    fn window_and_gaps_combine() {
+        // S = ⟨a b⟩ in T = ⟨a a x b⟩: embeddings (0,3) gap 2 span 4,
+        // (1,3) gap 1 span 3.
+        let (s, t) = seqs("a b", "a a x b");
+        let cs = ConstraintSet::uniform_gap(Gap { min: 2, max: None }).and_max_window(4);
+        assert_eq!(count_matches::<u64>(&pat(&s, cs), &t), 1);
+        let cs2 = ConstraintSet::uniform_gap(Gap { min: 2, max: None }).and_max_window(3);
+        assert_eq!(count_matches::<u64>(&pat(&s, cs2), &t), 0);
+    }
+
+    #[test]
+    fn matching_size_sums_patterns() {
+        let mut sigma = Alphabet::new();
+        let t = Sequence::parse("a b a b", &mut sigma);
+        let s1 = Sequence::parse("a b", &mut sigma); // 3 embeddings
+        let s2 = Sequence::parse("b a", &mut sigma); // 1 embedding
+        let sh = SensitiveSet::new(vec![s1, s2]);
+        assert_eq!(matching_size::<u64>(&sh, &t), 4);
+    }
+
+    #[test]
+    fn single_symbol_pattern() {
+        let (s, t) = seqs("a", "a b a a");
+        assert_eq!(count_embeddings::<u64>(&s, &t), 3);
+        // windows of size ≥ 1 don't restrict single symbols
+        let p = pat(&s, ConstraintSet::with_max_window(1));
+        assert_eq!(count_matches::<u64>(&p, &t), 3);
+    }
+}

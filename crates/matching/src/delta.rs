@@ -1,0 +1,309 @@
+//! `δ(T[i])` — how many matchings pass through each position (Theorem 2).
+//!
+//! The paper's local heuristic marks the position with the largest
+//! `δ(T[i])`. Three interchangeable computations are provided:
+//!
+//! * [`delta_by_deletion`] — the paper's device: `δ(T[i]) = |M^T| −
+//!   |M^{T∖i}|` where `T∖i` *deletes* the `i`-th element (Theorem 2).
+//!   Deletion shifts later indices, so this is only sound without
+//!   gap/window constraints; the function rejects constrained patterns.
+//! * [`delta_by_marking`] — counts with `T[i]` temporarily **marked**
+//!   instead of deleted. Marking preserves indices, so this is sound under
+//!   every constraint, at the same `O(n · cost(count))` price.
+//! * [`delta_forward_backward`] — the efficient method (§8 "Efficiency"):
+//!   one forward and one backward ending-exactly-at table give all `δ`
+//!   values in `O(nm)` for unconstrained and gap-constrained patterns (the
+//!   max-window constraint couples an occurrence's two ends and does not
+//!   factor; such patterns fall back to marking inside [`delta_all`]).
+//!
+//! Property tests (`tests/` of this crate and the workspace integration
+//! suite) assert all three agree wherever their domains overlap, and agree
+//! with brute-force enumeration.
+
+use seqhide_num::Count;
+use seqhide_types::{Sequence, Symbol};
+
+use crate::counting::{count_matches, ending_at_table, matching_size};
+use crate::pattern::{SensitivePattern, SensitiveSet};
+
+/// `δ` for every position of `t` by the paper's deletion device.
+///
+/// # Panics
+/// Panics if any pattern in `sh` carries constraints (deletion shifts
+/// indices and would mis-evaluate gaps/windows).
+pub fn delta_by_deletion<C: Count>(sh: &SensitiveSet, t: &Sequence) -> Vec<C> {
+    assert!(
+        sh.iter().all(|p| p.constraints().is_none()),
+        "deletion-based δ is only sound for unconstrained patterns; \
+         use delta_by_marking or delta_all"
+    );
+    let total = matching_size::<C>(sh, t);
+    (0..t.len())
+        .map(|i| {
+            let reduced = matching_size::<C>(sh, &t.without_index(i));
+            total.saturating_sub(&reduced)
+        })
+        .collect()
+}
+
+/// `δ` for every position of `t` by temporary marking — sound under all
+/// constraints.
+pub fn delta_by_marking<C: Count>(sh: &SensitiveSet, t: &Sequence) -> Vec<C> {
+    let total = matching_size::<C>(sh, t);
+    let mut work = t.clone();
+    (0..t.len())
+        .map(|i| {
+            if work[i].is_mark() {
+                return C::zero(); // already-marked positions join no matching
+            }
+            let saved = work.mark(i);
+            let reduced = matching_size::<C>(sh, &work);
+            work.set(i, saved);
+            total.saturating_sub(&reduced)
+        })
+        .collect()
+}
+
+/// `δ` for every position of `t` for **one** pattern via forward–backward
+/// tables, `O(nm)`.
+///
+/// Let `fwd[k][j]` be the number of gap-constrained embeddings of the
+/// prefix `S[0..=k]` ending exactly at `j`, and `bwd[k][j]` the number of
+/// embeddings of the suffix `S[k..]` starting exactly at `j`. An embedding
+/// with `i_k = j` splits uniquely into such a prefix and suffix, so
+///
+/// ```text
+/// δ(T[j]) = Σ_k fwd[k][j] · W[k][j]
+/// ```
+///
+/// where `W[k][j]` extends the prefix by a suffix of `S[k+1..]` whose first
+/// position respects arrow `k`'s gap — exactly `bwd[k][j]`'s inner sum, so
+/// `fwd[k][j] · bwd[k][j] = fwd[k][j] · W[k][j]` whenever `S[k]` matches
+/// `T[j]` (both tables carry the same match indicator).
+///
+/// # Panics
+/// Panics if the pattern has a max-window constraint.
+pub fn delta_forward_backward<C: Count>(p: &SensitivePattern, t: &Sequence) -> Vec<C> {
+    assert!(
+        p.constraints().max_window.is_none(),
+        "forward-backward δ does not support the max-window constraint; \
+         use delta_by_marking or delta_all"
+    );
+    let m = p.len();
+    let n = t.len();
+    let cs = p.constraints();
+    let fwd = ending_at_table::<C>(p.seq(), t.symbols(), cs);
+    // Backward table via the same DP on the reversed pattern and sequence
+    // with reversed arrow constraints: an embedding of S[k..] starting at j
+    // in T is an embedding of reverse(S[k..]) ending at n−1−j in reverse(T).
+    let rev_seq: Sequence = p.seq().iter().rev().copied().collect();
+    let rev_t: Vec<Symbol> = t.iter().rev().copied().collect();
+    let rev_cs = crate::constraints::ConstraintSet {
+        gaps: {
+            let arrows = m.saturating_sub(1);
+            (0..arrows).rev().map(|k| cs.gap(k, arrows)).collect()
+        },
+        max_window: None,
+    };
+    let rev_pattern = SensitivePattern::new(rev_seq, rev_cs).expect("reversal preserves validity");
+    let bwd_rev = ending_at_table::<C>(rev_pattern.seq(), &rev_t, rev_pattern.constraints());
+    // bwd[k][j] = bwd_rev[m−1−k][n−1−j]
+    let mut delta = vec![C::zero(); n];
+    for (j, d) in delta.iter_mut().enumerate() {
+        for (k, fwd_row) in fwd.iter().enumerate() {
+            let f = &fwd_row[j];
+            if f.is_zero() {
+                continue;
+            }
+            let b = &bwd_rev[m - 1 - k][n - 1 - j];
+            if b.is_zero() {
+                continue;
+            }
+            d.add_assign(&f.mul(b));
+        }
+    }
+    delta
+}
+
+/// Production `δ` for a whole sensitive set: forward–backward where legal,
+/// marking where the max-window constraint forces it. Returns the
+/// per-position sums across all patterns.
+///
+/// ```
+/// use seqhide_types::{Alphabet, Sequence};
+/// use seqhide_match::{delta_all, SensitiveSet};
+/// // Paper Example 2: δ(T[1])=2, δ(T[2])=2, δ(T[3])=4 (1-based)
+/// let mut sigma = Alphabet::new();
+/// let s = Sequence::parse("a b c", &mut sigma);
+/// let t = Sequence::parse("a a b c c b a e", &mut sigma);
+/// let sh = SensitiveSet::new(vec![s]);
+/// assert_eq!(delta_all::<u64>(&sh, &t), vec![2, 2, 4, 2, 2, 0, 0, 0]);
+/// ```
+pub fn delta_all<C: Count>(sh: &SensitiveSet, t: &Sequence) -> Vec<C> {
+    let n = t.len();
+    let mut total = vec![C::zero(); n];
+    for p in sh {
+        let per_pattern: Vec<C> = if p.constraints().max_window.is_none() {
+            delta_forward_backward::<C>(p, t)
+        } else {
+            let single = SensitiveSet::from_patterns(vec![p.clone()]);
+            delta_by_marking::<C>(&single, t)
+        };
+        for (acc, d) in total.iter_mut().zip(per_pattern) {
+            acc.add_assign(&d);
+        }
+    }
+    total
+}
+
+/// The largest-`δ` position (ties break to the smallest index), or `None`
+/// if every `δ` is zero — i.e. `M_{S_h}^T = ∅` and `t` is already clean.
+pub fn argmax_delta<C: Count>(delta: &[C]) -> Option<usize> {
+    let mut best: Option<(usize, &C)> = None;
+    for (i, d) in delta.iter().enumerate() {
+        if d.is_zero() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if d <= b => {}
+            _ => best = Some((i, d)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Total residual matching count for a set (convenience wrapper used by the
+/// sanitization loop's termination test).
+pub fn total_matches<C: Count>(sh: &SensitiveSet, t: &Sequence) -> C {
+    let mut c = C::zero();
+    for p in sh {
+        c.add_assign(&count_matches::<C>(p, t));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::{ConstraintSet, Gap};
+    use crate::enumerate::{enumerate_embeddings, EnumerateConfig};
+    use seqhide_num::BigCount;
+    use seqhide_types::Alphabet;
+
+    fn paper_setup() -> (SensitiveSet, Sequence) {
+        let mut sigma = Alphabet::new();
+        let s = Sequence::parse("a b c", &mut sigma);
+        let t = Sequence::parse("a a b c c b a e", &mut sigma);
+        (SensitiveSet::new(vec![s]), t)
+    }
+
+    #[test]
+    fn paper_example2_deltas_all_methods() {
+        let (sh, t) = paper_setup();
+        let expect: Vec<u64> = vec![2, 2, 4, 2, 2, 0, 0, 0];
+        assert_eq!(delta_by_deletion::<u64>(&sh, &t), expect);
+        assert_eq!(delta_by_marking::<u64>(&sh, &t), expect);
+        assert_eq!(delta_all::<u64>(&sh, &t), expect);
+        let fb = delta_forward_backward::<u64>(&sh.patterns()[0], &t);
+        assert_eq!(fb, expect);
+    }
+
+    #[test]
+    fn argmax_matches_paper_choice() {
+        let (sh, t) = paper_setup();
+        let d = delta_all::<u64>(&sh, &t);
+        // paper marks T[3] (1-based) = index 2: the b involved in all 4
+        assert_eq!(argmax_delta(&d), Some(2));
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low_and_skips_zero() {
+        assert_eq!(argmax_delta::<u64>(&[0, 3, 1, 3]), Some(1));
+        assert_eq!(argmax_delta::<u64>(&[0, 0, 0]), None);
+        assert_eq!(argmax_delta::<u64>(&[]), None);
+    }
+
+    #[test]
+    fn marking_yields_zero_on_marked_positions() {
+        let (sh, mut t) = paper_setup();
+        t.mark(2);
+        let d = delta_by_marking::<u64>(&sh, &t);
+        assert_eq!(d, vec![0; 8]); // marking T[2] killed every embedding
+    }
+
+    #[test]
+    fn delta_with_gap_constraints_matches_enumeration() {
+        let mut sigma = Alphabet::new();
+        let s = Sequence::parse("a b", &mut sigma);
+        let t = Sequence::parse("a a x b x b", &mut sigma);
+        let cs = ConstraintSet::uniform_gap(Gap::bounded(1, 3));
+        let p = SensitivePattern::new(s, cs).unwrap();
+        let sh = SensitiveSet::from_patterns(vec![p.clone()]);
+        let brute = enumerate_embeddings(&p, &t, EnumerateConfig::default());
+        let fb = delta_forward_backward::<u64>(&p, &t);
+        let mk = delta_by_marking::<u64>(&sh, &t);
+        for i in 0..t.len() {
+            assert_eq!(fb[i] as usize, brute.delta(i), "fb at {i}");
+            assert_eq!(mk[i] as usize, brute.delta(i), "marking at {i}");
+        }
+    }
+
+    #[test]
+    fn delta_with_window_matches_enumeration() {
+        let mut sigma = Alphabet::new();
+        let s = Sequence::parse("a b", &mut sigma);
+        let t = Sequence::parse("a x b a b", &mut sigma);
+        let p = SensitivePattern::new(s, ConstraintSet::with_max_window(3)).unwrap();
+        let sh = SensitiveSet::from_patterns(vec![p.clone()]);
+        let brute = enumerate_embeddings(&p, &t, EnumerateConfig::default());
+        let d = delta_all::<u64>(&sh, &t);
+        for i in 0..t.len() {
+            assert_eq!(d[i] as usize, brute.delta(i), "delta_all at {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only sound for unconstrained")]
+    fn deletion_rejects_constraints() {
+        let mut sigma = Alphabet::new();
+        let s = Sequence::parse("a b", &mut sigma);
+        let p = SensitivePattern::new(s, ConstraintSet::with_max_window(5)).unwrap();
+        let sh = SensitiveSet::from_patterns(vec![p]);
+        let _ = delta_by_deletion::<u64>(&sh, &Sequence::from_ids([0, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support the max-window")]
+    fn forward_backward_rejects_window() {
+        let mut sigma = Alphabet::new();
+        let s = Sequence::parse("a b", &mut sigma);
+        let p = SensitivePattern::new(s, ConstraintSet::with_max_window(5)).unwrap();
+        let _ = delta_forward_backward::<u64>(&p, &Sequence::from_ids([0, 1]));
+    }
+
+    #[test]
+    fn multi_pattern_deltas_sum() {
+        let mut sigma = Alphabet::new();
+        let t = Sequence::parse("a b a b", &mut sigma);
+        let s1 = Sequence::parse("a b", &mut sigma);
+        let s2 = Sequence::parse("b a", &mut sigma);
+        let sh = SensitiveSet::new(vec![s1, s2]);
+        // ab embeddings: (0,1),(0,3),(2,3); ba embeddings: (1,2)
+        // per-position: 0→2, 1→2(ab:1 + ba:1), 2→2(ab:1 + ba:1), 3→2
+        let expect: Vec<u64> = vec![2, 2, 2, 2];
+        assert_eq!(delta_all::<u64>(&sh, &t), expect);
+        assert_eq!(delta_by_deletion::<u64>(&sh, &t), expect);
+        assert_eq!(total_matches::<u64>(&sh, &t), 4);
+    }
+
+    #[test]
+    fn bigcount_deltas_on_explosive_input() {
+        // ⟨a a⟩ in a^40: each position participates in 39 embeddings;
+        // counts are small but the total table is built exactly.
+        let s = Sequence::from_ids(vec![0; 2]);
+        let t = Sequence::from_ids(vec![0; 40]);
+        let sh = SensitiveSet::new(vec![s]);
+        let d = delta_all::<BigCount>(&sh, &t);
+        assert!(d.iter().all(|x| *x == BigCount::from_u64(39)));
+    }
+}

@@ -1,0 +1,201 @@
+//! Explicit enumeration of the matching set `M_S^T` (Definition 1).
+//!
+//! Enumeration is worst-case exponential (Lemma 1) and is **never** used by
+//! the sanitization algorithms — they work on counts. It exists as the
+//! ground-truth oracle for property tests, for explaining sanitization
+//! decisions in examples, and to reproduce the paper's worked examples
+//! literally. A hard cap keeps adversarial inputs from exploding.
+
+use seqhide_types::Sequence;
+
+use crate::pattern::SensitivePattern;
+
+/// Configuration for [`enumerate_embeddings`].
+#[derive(Clone, Copy, Debug)]
+pub struct EnumerateConfig {
+    /// Stop after this many embeddings (the result is flagged truncated).
+    pub max_embeddings: usize,
+}
+
+impl Default for EnumerateConfig {
+    fn default() -> Self {
+        EnumerateConfig { max_embeddings: 1_000_000 }
+    }
+}
+
+/// The enumerated matching set plus a truncation flag.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Embeddings {
+    /// Each embedding is the strictly increasing list of 0-based positions
+    /// of `T` matched by the pattern, in pattern order.
+    pub embeddings: Vec<Vec<usize>>,
+    /// Whether enumeration stopped at the cap.
+    pub truncated: bool,
+}
+
+impl Embeddings {
+    /// Number of embeddings found (a lower bound when `truncated`).
+    pub fn len(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// Whether the matching set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.embeddings.is_empty()
+    }
+
+    /// Whether any embedding passes through 0-based position `i` — the
+    /// oracle for `δ(T[i]) > 0`.
+    pub fn uses_position(&self, i: usize) -> bool {
+        self.embeddings.iter().any(|e| e.contains(&i))
+    }
+
+    /// `δ(T[i])` by brute force: the number of embeddings through `i`.
+    pub fn delta(&self, i: usize) -> usize {
+        self.embeddings.iter().filter(|e| e.contains(&i)).count()
+    }
+}
+
+/// Enumerates all constrained embeddings of `p` into `t` (up to the cap),
+/// in lexicographic order of position tuples.
+pub fn enumerate_embeddings(
+    p: &SensitivePattern,
+    t: &Sequence,
+    config: EnumerateConfig,
+) -> Embeddings {
+    let mut out = Embeddings { embeddings: Vec::new(), truncated: false };
+    let mut stack: Vec<usize> = Vec::with_capacity(p.len());
+    recurse(p, t, 0, 0, &mut stack, &mut out, config.max_embeddings);
+    out
+}
+
+fn recurse(
+    p: &SensitivePattern,
+    t: &Sequence,
+    k: usize,
+    from: usize,
+    stack: &mut Vec<usize>,
+    out: &mut Embeddings,
+    cap: usize,
+) {
+    if out.truncated {
+        return;
+    }
+    let m = p.len();
+    if k == m {
+        if out.embeddings.len() == cap {
+            out.truncated = true;
+            return;
+        }
+        out.embeddings.push(stack.clone());
+        return;
+    }
+    let cs = p.constraints();
+    let arrows = m.saturating_sub(1);
+    for j in from..t.len() {
+        if !p.seq()[k].matches(t[j]) {
+            continue;
+        }
+        // prune on the incoming arrow's gap constraint
+        if k > 0 {
+            let gap_spec = cs.gap(k - 1, arrows);
+            let gap = j - stack[k - 1] - 1;
+            if gap < gap_spec.min {
+                continue;
+            }
+            if gap_spec.max.is_some_and(|mx| gap > mx) {
+                // positions only grow; every later j violates max too
+                break;
+            }
+        }
+        // prune on the window: span so far must stay within Ws
+        if let (Some(ws), Some(&first)) = (cs.max_window, stack.first()) {
+            if j - first + 1 > ws {
+                break;
+            }
+        }
+        stack.push(j);
+        recurse(p, t, k + 1, j + 1, stack, out, cap);
+        stack.pop();
+        if out.truncated {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::{ConstraintSet, Gap};
+    use seqhide_types::Alphabet;
+
+    fn setup(s: &str, t: &str, cs: ConstraintSet) -> (SensitivePattern, Sequence) {
+        let mut sigma = Alphabet::new();
+        let s = Sequence::parse(s, &mut sigma);
+        let t = Sequence::parse(t, &mut sigma);
+        (SensitivePattern::new(s, cs).unwrap(), t)
+    }
+
+    #[test]
+    fn paper_definition1_matching_set() {
+        // Paper (1-based): M = {(1,3,4),(1,3,5),(2,3,4),(2,3,5)}
+        // 0-based: {(0,2,3),(0,2,4),(1,2,3),(1,2,4)}.
+        let (p, t) = setup("a b c", "a a b c c b a e", ConstraintSet::none());
+        let m = enumerate_embeddings(&p, &t, EnumerateConfig::default());
+        assert!(!m.truncated);
+        assert_eq!(
+            m.embeddings,
+            vec![vec![0, 2, 3], vec![0, 2, 4], vec![1, 2, 3], vec![1, 2, 4]]
+        );
+    }
+
+    #[test]
+    fn paper_example2_deltas() {
+        // δ(T[1])=2, δ(T[2])=2, δ(T[3])=4 (1-based) ⇒ 0-based 0,1,2.
+        let (p, t) = setup("a b c", "a a b c c b a e", ConstraintSet::none());
+        let m = enumerate_embeddings(&p, &t, EnumerateConfig::default());
+        assert_eq!(m.delta(0), 2);
+        assert_eq!(m.delta(1), 2);
+        assert_eq!(m.delta(2), 4);
+        assert_eq!(m.delta(7), 0); // marking e does not affect the set
+        assert!(m.uses_position(2));
+        assert!(!m.uses_position(7));
+    }
+
+    #[test]
+    fn cap_truncates() {
+        let (p, t) = setup("a a", "a a a a a a", ConstraintSet::none());
+        let m = enumerate_embeddings(&p, &t, EnumerateConfig { max_embeddings: 5 });
+        assert!(m.truncated);
+        assert_eq!(m.len(), 5);
+        let full = enumerate_embeddings(&p, &t, EnumerateConfig::default());
+        assert_eq!(full.len(), 15); // C(6,2)
+    }
+
+    #[test]
+    fn constraints_prune_enumeration() {
+        let (p, t) = setup(
+            "a b c",
+            "a a b c c b a e",
+            ConstraintSet::with_gaps(vec![Gap::adjacent(), Gap::bounded(2, 6)]),
+        );
+        let m = enumerate_embeddings(&p, &t, EnumerateConfig::default());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn window_prunes_enumeration() {
+        let (p, t) = setup("a b", "a x x b a b", ConstraintSet::with_max_window(2));
+        let m = enumerate_embeddings(&p, &t, EnumerateConfig::default());
+        assert_eq!(m.embeddings, vec![vec![4, 5]]);
+    }
+
+    #[test]
+    fn no_match_is_empty() {
+        let (p, t) = setup("z", "a b c", ConstraintSet::none());
+        // pattern symbol 'z' interned after t's alphabet — absent from t
+        let m = enumerate_embeddings(&p, &t, EnumerateConfig::default());
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+}

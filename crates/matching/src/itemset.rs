@@ -1,0 +1,251 @@
+//! Matching for itemset sequences (§7.1): pattern elements match data
+//! elements by **set inclusion** instead of symbol equality. The counting
+//! machinery is shared with plain sequences through the `*_by` generic DPs.
+
+use seqhide_num::Count;
+use seqhide_types::{ItemsetSequence, Symbol};
+
+use crate::constraints::ConstraintSet;
+use crate::counting::count_matches_by;
+use crate::pattern::PatternError;
+
+/// A sensitive itemset-sequence pattern with occurrence constraints.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ItemsetPattern {
+    elements: ItemsetSequence,
+    constraints: ConstraintSet,
+}
+
+impl ItemsetPattern {
+    /// Creates a constrained itemset pattern. Every element must be a
+    /// non-empty, mark-free itemset.
+    pub fn new(elements: ItemsetSequence, constraints: ConstraintSet) -> Result<Self, PatternError> {
+        if elements.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        for e in elements.elements() {
+            if e.live_len() == 0 {
+                return Err(PatternError::Empty);
+            }
+            if e.mark_count() > 0 {
+                return Err(PatternError::ContainsMark);
+            }
+        }
+        constraints
+            .validate(elements.len())
+            .map_err(PatternError::BadConstraints)?;
+        Ok(ItemsetPattern { elements, constraints })
+    }
+
+    /// Creates an unconstrained itemset pattern.
+    pub fn unconstrained(elements: ItemsetSequence) -> Result<Self, PatternError> {
+        Self::new(elements, ConstraintSet::none())
+    }
+
+    /// The pattern elements.
+    pub fn elements(&self) -> &ItemsetSequence {
+        &self.elements
+    }
+
+    /// The occurrence constraints.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// Pattern length (number of itemsets).
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Always `false` (validated non-empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Builds a [`SensitivePattern`](crate::SensitivePattern)-shaped dummy for
+/// dispatching the shared DP: `count_matches_by` only consults pattern
+/// *length* and *constraints*, so we wrap those without a symbol sequence.
+fn dispatch_pattern(len: usize, cs: &ConstraintSet) -> crate::SensitivePattern {
+    // Any placeholder symbols work: the match closure supplied by callers
+    // overrides symbol comparison entirely.
+    let seq = seqhide_types::Sequence::from_ids((0..len as u32).collect::<Vec<_>>());
+    crate::SensitivePattern::new(seq, cs.clone()).expect("validated by ItemsetPattern::new")
+}
+
+/// Counts constrained occurrences of `p` in `t` under set-inclusion
+/// matching.
+pub fn count_matches_itemset<C: Count>(p: &ItemsetPattern, t: &ItemsetSequence) -> C {
+    let pat = dispatch_pattern(p.len(), p.constraints());
+    let pe = p.elements().elements();
+    let te = t.elements();
+    count_matches_by::<C>(&pat, te.len(), |k, j| pe[k].included_in(&te[j]))
+}
+
+/// Combined matching-set size for several itemset patterns.
+pub fn matching_size_itemset<C: Count>(patterns: &[ItemsetPattern], t: &ItemsetSequence) -> C {
+    let mut total = C::zero();
+    for p in patterns {
+        total.add_assign(&count_matches_itemset::<C>(p, t));
+    }
+    total
+}
+
+/// Whether `t` supports `p` (≥ 1 constrained occurrence).
+pub fn supports_itemset(t: &ItemsetSequence, p: &ItemsetPattern) -> bool {
+    !count_matches_itemset::<seqhide_num::Sat64>(p, t).is_zero()
+}
+
+/// Support of `p` over a database of itemset sequences.
+pub fn support_itemset(db: &[ItemsetSequence], p: &ItemsetPattern) -> usize {
+    db.iter().filter(|t| supports_itemset(t, p)).count()
+}
+
+/// Element-level `δ`: for each element position `i` of `t`, the number of
+/// occurrences (across all patterns) that would disappear if element `i`
+/// stopped matching anything — the level-1 signal of §7.1's two-level
+/// hierarchical heuristic. Computed by masking (the itemset analogue of
+/// marking), which preserves indices and is therefore constraint-sound.
+pub fn delta_elements_itemset<C: Count>(
+    patterns: &[ItemsetPattern],
+    t: &ItemsetSequence,
+) -> Vec<C> {
+    let total = matching_size_itemset::<C>(patterns, t);
+    (0..t.len())
+        .map(|masked| {
+            let mut reduced = C::zero();
+            for p in patterns {
+                let pat = dispatch_pattern(p.len(), p.constraints());
+                let pe = p.elements().elements();
+                let te = t.elements();
+                reduced.add_assign(&count_matches_by::<C>(&pat, te.len(), |k, j| {
+                    j != masked && pe[k].included_in(&te[j])
+                }));
+            }
+            total.saturating_sub(&reduced)
+        })
+        .collect()
+}
+
+/// Item-level `δ` at a fixed element: how many occurrences disappear if
+/// `item` inside element `elem` of `t` is marked — the level-2 signal of
+/// the hierarchical heuristic. (Marking one item only breaks the inclusion
+/// of pattern elements that *require* that item.)
+pub fn delta_item_itemset<C: Count>(
+    patterns: &[ItemsetPattern],
+    t: &ItemsetSequence,
+    elem: usize,
+    item: Symbol,
+) -> C {
+    let total = matching_size_itemset::<C>(patterns, t);
+    let mut reduced = C::zero();
+    for p in patterns {
+        let pat = dispatch_pattern(p.len(), p.constraints());
+        let pe = p.elements().elements();
+        let te = t.elements();
+        reduced.add_assign(&count_matches_by::<C>(&pat, te.len(), |k, j| {
+            if j == elem {
+                // element `elem` with `item` marked: inclusion must hold
+                // without using `item`
+                pe[k].live_items().all(|s| s != item && te[j].contains(s))
+            } else {
+                pe[k].included_in(&te[j])
+            }
+        }));
+    }
+    total.saturating_sub(&reduced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Gap;
+    use seqhide_num::Sat64;
+
+    fn iseq(groups: &[&[u32]]) -> ItemsetSequence {
+        ItemsetSequence::from_ids(groups.iter().map(|g| g.iter().copied().collect::<Vec<_>>()))
+    }
+
+    fn ipat(groups: &[&[u32]]) -> ItemsetPattern {
+        ItemsetPattern::unconstrained(iseq(groups)).unwrap()
+    }
+
+    #[test]
+    fn inclusion_matching_counts() {
+        // pattern ⟨{1} {2}⟩ in ⟨{1,3} {1} {2,4}⟩:
+        // {1} matches elements 0,1; {2} matches element 2 ⇒ 2 embeddings.
+        let p = ipat(&[&[1], &[2]]);
+        let t = iseq(&[&[1, 3], &[1], &[2, 4]]);
+        assert_eq!(count_matches_itemset::<u64>(&p, &t), 2);
+        assert!(supports_itemset(&t, &p));
+    }
+
+    #[test]
+    fn multi_item_pattern_elements() {
+        // ⟨{1,2}⟩ requires both items in one element.
+        let p = ipat(&[&[1, 2]]);
+        assert_eq!(count_matches_itemset::<u64>(&p, &iseq(&[&[1], &[2]])), 0);
+        assert_eq!(count_matches_itemset::<u64>(&p, &iseq(&[&[1, 2, 3]])), 1);
+    }
+
+    #[test]
+    fn constraints_apply() {
+        let elements = iseq(&[&[1], &[2]]);
+        let p = ItemsetPattern::new(
+            elements,
+            ConstraintSet::uniform_gap(Gap::adjacent()),
+        )
+        .unwrap();
+        // ⟨{1} {9} {2}⟩: gap 1 between matches ⇒ rejected by adjacency
+        assert_eq!(count_matches_itemset::<u64>(&p, &iseq(&[&[1], &[9], &[2]])), 0);
+        assert_eq!(count_matches_itemset::<u64>(&p, &iseq(&[&[1], &[2]])), 1);
+    }
+
+    #[test]
+    fn element_deltas_localise_damage() {
+        let p = ipat(&[&[1], &[2]]);
+        let t = iseq(&[&[1], &[1], &[2]]);
+        // embeddings (0,2),(1,2): element 0 in 1, element 1 in 1, element 2 in 2.
+        let d = delta_elements_itemset::<u64>(&[p], &t);
+        assert_eq!(d, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn item_delta_distinguishes_items() {
+        // pattern ⟨{1}⟩ and data ⟨{1,2}⟩: marking item 2 changes nothing,
+        // marking item 1 kills the single occurrence.
+        let p = ipat(&[&[1]]);
+        let t = iseq(&[&[1, 2]]);
+        assert_eq!(delta_item_itemset::<u64>(&[p.clone()], &t, 0, Symbol::new(2)), 0);
+        assert_eq!(delta_item_itemset::<u64>(&[p], &t, 0, Symbol::new(1)), 1);
+    }
+
+    #[test]
+    fn marked_data_items_do_not_match() {
+        let p = ipat(&[&[1]]);
+        let mut t = iseq(&[&[1, 2]]);
+        assert_eq!(count_matches_itemset::<Sat64>(&p, &t), Sat64::new(1));
+        t.elements_mut()[0].mark_item(Symbol::new(1));
+        assert_eq!(count_matches_itemset::<Sat64>(&p, &t), Sat64::new(0));
+    }
+
+    #[test]
+    fn support_over_database() {
+        let p = ipat(&[&[1], &[2]]);
+        let db = vec![
+            iseq(&[&[1], &[2]]),
+            iseq(&[&[2], &[1]]),
+            iseq(&[&[1, 2], &[2, 3]]),
+        ];
+        assert_eq!(support_itemset(&db, &p), 2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(ItemsetPattern::unconstrained(ItemsetSequence::new(vec![])).is_err());
+        assert!(ItemsetPattern::unconstrained(iseq(&[&[]])).is_err());
+        let mut bad = iseq(&[&[1]]);
+        bad.elements_mut()[0].mark_item(Symbol::new(1));
+        assert!(ItemsetPattern::unconstrained(bad).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! # seqhide-match
+//!
+//! The subsequence-matching engine of *Hiding Sequences* (ICDE 2007):
+//! everything the sanitization algorithms need to reason about *where and
+//! how often* sensitive patterns embed into database sequences.
+//!
+//! ## Concepts (paper §3 and §5)
+//!
+//! An *embedding* (the paper says *matching*) of a pattern
+//! `S = ⟨s₁,…,s_m⟩` into a sequence `T = ⟨t₁,…,t_n⟩` is a strictly
+//! increasing index tuple `i₁ < … < i_m` with `s_k = t_{i_k}` for all `k`.
+//! The *matching set* `M_S^T` is the set of all embeddings (Definition 1);
+//! its size is worst-case exponential (Lemma 1), but its *cardinality* is
+//! computable by dynamic programming in `O(nm)` (Lemma 2), as are the
+//! prefix-ending counts `P_k^j` (Lemma 3) and their gap-constrained
+//! counterparts `Q_k^j` (Lemma 4) and window-constrained counts (Lemma 5).
+//!
+//! `δ(T[i])` — the number of embeddings passing through position `i`, the
+//! quantity the paper's local heuristic maximises — is computed by three
+//! interchangeable methods in [`delta`]:
+//!
+//! * the paper's **deletion** device (Theorem 2), valid without constraints;
+//! * a **marking** device (count with `T[i]` temporarily marked), valid for
+//!   *all* constraints because marking preserves indices;
+//! * an **`O(nm)` forward–backward** pass (the "Efficiency" extension the
+//!   paper's §8 calls for), valid for unconstrained and gap-constrained
+//!   patterns.
+//!
+//! All counting is generic over [`seqhide_num::Count`], so callers choose
+//! exact ([`BigCount`](seqhide_num::BigCount)) or saturating
+//! ([`Sat64`](seqhide_num::Sat64)) arithmetic.
+//!
+//! ## Index convention
+//!
+//! The paper writes 1-based positions (`T[1]` is the first element). This
+//! crate is **0-based** everywhere; documentation restates paper examples in
+//! 0-based form where they appear.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod counting;
+pub mod delta;
+pub mod enumerate;
+pub mod itemset;
+pub mod pattern;
+pub mod subsequence;
+pub mod support;
+
+pub use constraints::{ConstraintSet, Gap};
+pub use counting::{count_embeddings, count_matches, ending_at_table_bounded_by, matching_size};
+pub use delta::{delta_all, delta_by_deletion, delta_by_marking, delta_forward_backward};
+pub use enumerate::{enumerate_embeddings, EnumerateConfig};
+pub use pattern::{PatternError, SensitivePattern, SensitiveSet};
+pub use subsequence::is_subsequence;
+pub use support::{support, support_of_pattern, support_of_set, supporters, supports};

@@ -1,0 +1,247 @@
+//! Sensitive patterns and the sensitive set `S_h`.
+
+use std::fmt;
+
+use seqhide_types::{Alphabet, Sequence};
+
+use crate::constraints::ConstraintSet;
+
+/// Errors raised when constructing sensitive patterns.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PatternError {
+    /// The pattern sequence is empty — the empty pattern embeds in every
+    /// sequence (including the empty one) and can never be hidden.
+    Empty,
+    /// The pattern contains the mark `Δ`, which is not part of `Σ`.
+    ContainsMark,
+    /// The constraint set does not fit the pattern (wrong arrow count, or a
+    /// window smaller than the pattern itself).
+    BadConstraints(String),
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::Empty => write!(f, "sensitive pattern must be non-empty"),
+            PatternError::ContainsMark => {
+                write!(f, "sensitive pattern cannot contain the mark Δ")
+            }
+            PatternError::BadConstraints(msg) => write!(f, "invalid constraints: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// One sensitive pattern `S ∈ S_h`: a non-empty, mark-free sequence plus the
+/// occurrence constraints (§5) under which it counts as disclosed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SensitivePattern {
+    seq: Sequence,
+    constraints: ConstraintSet,
+}
+
+impl SensitivePattern {
+    /// Creates a constrained sensitive pattern.
+    pub fn new(seq: Sequence, constraints: ConstraintSet) -> Result<Self, PatternError> {
+        if seq.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        if seq.iter().any(|s| s.is_mark()) {
+            return Err(PatternError::ContainsMark);
+        }
+        constraints
+            .validate(seq.len())
+            .map_err(PatternError::BadConstraints)?;
+        Ok(SensitivePattern { seq, constraints })
+    }
+
+    /// Creates an unconstrained sensitive pattern.
+    pub fn unconstrained(seq: Sequence) -> Result<Self, PatternError> {
+        Self::new(seq, ConstraintSet::none())
+    }
+
+    /// The pattern sequence.
+    pub fn seq(&self) -> &Sequence {
+        &self.seq
+    }
+
+    /// The occurrence constraints.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// Pattern length `m`.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Always `false` (validated non-empty); present for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Renders with names from `alphabet`.
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        if self.constraints.is_none() {
+            self.seq.render(alphabet)
+        } else {
+            format!("{} ({})", self.seq.render(alphabet), self.constraints)
+        }
+    }
+}
+
+/// The set `S_h` of sensitive patterns to hide.
+///
+/// ```
+/// use seqhide_types::{Alphabet, Sequence};
+/// use seqhide_match::SensitiveSet;
+///
+/// let mut sigma = Alphabet::new();
+/// let s1 = Sequence::parse("X6Y3 X7Y2", &mut sigma);
+/// let s2 = Sequence::parse("X4Y3 X5Y3", &mut sigma);
+/// let sh = SensitiveSet::new(vec![s1, s2]);
+/// assert_eq!(sh.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SensitiveSet {
+    patterns: Vec<SensitivePattern>,
+}
+
+impl SensitiveSet {
+    /// Builds a sensitive set of **unconstrained** patterns.
+    ///
+    /// # Panics
+    /// Panics if any pattern is empty or contains the mark; use
+    /// [`SensitiveSet::try_new`] for fallible construction.
+    pub fn new(patterns: Vec<Sequence>) -> Self {
+        Self::try_new(patterns).expect("invalid sensitive pattern")
+    }
+
+    /// Fallible counterpart of [`SensitiveSet::new`].
+    pub fn try_new(patterns: Vec<Sequence>) -> Result<Self, PatternError> {
+        let patterns = patterns
+            .into_iter()
+            .map(SensitivePattern::unconstrained)
+            .collect::<Result<_, _>>()?;
+        Ok(SensitiveSet { patterns })
+    }
+
+    /// Builds from already-constrained patterns.
+    pub fn from_patterns(patterns: Vec<SensitivePattern>) -> Self {
+        SensitiveSet { patterns }
+    }
+
+    /// Applies the same constraint set to every pattern (used by the
+    /// constraint-sweep experiments, Figure 1(g–i)).
+    pub fn with_constraints(&self, constraints: &ConstraintSet) -> Result<Self, PatternError> {
+        let patterns = self
+            .patterns
+            .iter()
+            .map(|p| SensitivePattern::new(p.seq.clone(), constraints.clone()))
+            .collect::<Result<_, _>>()?;
+        Ok(SensitiveSet { patterns })
+    }
+
+    /// Number of sensitive patterns `|S_h|`.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the set is empty (nothing to hide).
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The patterns.
+    pub fn patterns(&self) -> &[SensitivePattern] {
+        &self.patterns
+    }
+
+    /// Iterates over the patterns.
+    pub fn iter(&self) -> std::slice::Iter<'_, SensitivePattern> {
+        self.patterns.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SensitiveSet {
+    type Item = &'a SensitivePattern;
+    type IntoIter = std::slice::Iter<'a, SensitivePattern>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.patterns.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::Gap;
+    use seqhide_types::Symbol;
+
+    #[test]
+    fn rejects_empty_pattern() {
+        assert_eq!(
+            SensitivePattern::unconstrained(Sequence::empty()).unwrap_err(),
+            PatternError::Empty
+        );
+    }
+
+    #[test]
+    fn rejects_marked_pattern() {
+        let mut s = Sequence::from_ids([1, 2]);
+        s.mark(0);
+        assert_eq!(
+            SensitivePattern::unconstrained(s).unwrap_err(),
+            PatternError::ContainsMark
+        );
+    }
+
+    #[test]
+    fn rejects_bad_constraint_arity() {
+        let s = Sequence::from_ids([1, 2, 3]);
+        let cs = ConstraintSet::with_gaps(vec![Gap::any(), Gap::any(), Gap::any()]);
+        assert!(matches!(
+            SensitivePattern::new(s, cs).unwrap_err(),
+            PatternError::BadConstraints(_)
+        ));
+    }
+
+    #[test]
+    fn set_construction_and_iteration() {
+        let sh = SensitiveSet::new(vec![
+            Sequence::from_ids([1, 2]),
+            Sequence::from_ids([3]),
+        ]);
+        assert_eq!(sh.len(), 2);
+        assert!(!sh.is_empty());
+        let lens: Vec<usize> = sh.iter().map(SensitivePattern::len).collect();
+        assert_eq!(lens, vec![2, 1]);
+    }
+
+    #[test]
+    fn with_constraints_rewrites_all() {
+        let sh = SensitiveSet::new(vec![Sequence::from_ids([1, 2]), Sequence::from_ids([3, 4])]);
+        let cs = ConstraintSet::with_max_window(5);
+        let constrained = sh.with_constraints(&cs).unwrap();
+        assert!(constrained.iter().all(|p| p.constraints().max_window == Some(5)));
+        // a window too small for some pattern propagates the error
+        let too_small = ConstraintSet::with_max_window(1);
+        assert!(sh.with_constraints(&too_small).is_err());
+    }
+
+    #[test]
+    fn render_includes_constraints() {
+        let mut sigma = Alphabet::new();
+        let seq = Sequence::parse("a b", &mut sigma);
+        let p = SensitivePattern::new(seq, ConstraintSet::with_max_window(4)).unwrap();
+        assert_eq!(p.render(&sigma), "⟨a b⟩ (window≤4)");
+        assert!(!p.is_empty());
+        assert_eq!(p.seq()[0], Symbol::new(0));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PatternError::Empty.to_string().contains("non-empty"));
+        assert!(PatternError::ContainsMark.to_string().contains("Δ"));
+    }
+}

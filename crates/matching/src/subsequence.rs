@@ -1,0 +1,81 @@
+//! Plain subsequence containment `U ⊑ V`.
+
+use seqhide_types::Sequence;
+
+/// Whether `u ⊑ v`: `u` can be obtained from `v` by deleting symbols
+/// (paper §3.1). Greedy two-pointer scan, `O(|v|)`; marks in `v` match
+/// nothing, and a `u` containing a mark is never a subsequence of anything.
+///
+/// ```
+/// use seqhide_types::{Alphabet, Sequence};
+/// use seqhide_match::is_subsequence;
+/// let mut sigma = Alphabet::new();
+/// let u = Sequence::parse("a c", &mut sigma);
+/// let v = Sequence::parse("a b c", &mut sigma);
+/// assert!(is_subsequence(&u, &v));
+/// assert!(!is_subsequence(&v, &u));
+/// ```
+pub fn is_subsequence(u: &Sequence, v: &Sequence) -> bool {
+    let mut it = u.iter();
+    let Some(mut needle) = it.next().copied() else {
+        return true; // ⟨⟩ ⊑ anything
+    };
+    for &sym in v {
+        if needle.matches(sym) {
+            match it.next() {
+                Some(&next) => needle = next,
+                None => return true,
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqhide_types::Symbol;
+
+    #[test]
+    fn empty_is_subsequence_of_everything() {
+        assert!(is_subsequence(&Sequence::empty(), &Sequence::empty()));
+        assert!(is_subsequence(&Sequence::empty(), &Sequence::from_ids([1, 2])));
+    }
+
+    #[test]
+    fn nonempty_not_in_empty() {
+        assert!(!is_subsequence(&Sequence::from_ids([1]), &Sequence::empty()));
+    }
+
+    #[test]
+    fn reflexive_and_order_sensitive() {
+        let s = Sequence::from_ids([1, 2, 3]);
+        assert!(is_subsequence(&s, &s));
+        assert!(is_subsequence(&Sequence::from_ids([1, 3]), &s));
+        assert!(!is_subsequence(&Sequence::from_ids([3, 1]), &s));
+    }
+
+    #[test]
+    fn multiplicity_matters() {
+        let v = Sequence::from_ids([1, 2]);
+        assert!(!is_subsequence(&Sequence::from_ids([1, 1]), &v));
+        assert!(is_subsequence(&Sequence::from_ids([1, 1]), &Sequence::from_ids([1, 2, 1])));
+    }
+
+    #[test]
+    fn marks_break_containment() {
+        let mut v = Sequence::from_ids([1, 2, 3]);
+        let u = Sequence::from_ids([2]);
+        assert!(is_subsequence(&u, &v));
+        v.mark(1);
+        assert!(!is_subsequence(&u, &v));
+        // a pattern containing a mark matches nothing
+        let mut w = Sequence::from_ids([1]);
+        w.mark(0);
+        assert!(!is_subsequence(&w, &Sequence::from_ids([1])));
+        assert!(!is_subsequence(
+            &Sequence::new(vec![Symbol::MARK]),
+            &Sequence::new(vec![Symbol::MARK])
+        ));
+    }
+}

@@ -1,0 +1,193 @@
+//! Borders of the frequent-sequence space — the machinery behind the
+//! border-based hiding quality measures of the paper's related work
+//! (Sun & Yu, ICDM'05 [26]; Menon et al. [19]).
+//!
+//! * the **positive border** is the set of *maximal* frequent patterns
+//!   (no frequent proper super-pattern);
+//! * the **negative border** is the set of *minimal* infrequent patterns
+//!   (every delete-one sub-pattern is frequent).
+//!
+//! Together they delimit `F(D, σ)` exactly, so "how much of the border
+//! survived sanitization" summarises pattern-space damage in far fewer
+//! items than all of `F` — the quality criterion [26] optimises and a
+//! useful fourth measure beside M1/M2/M3
+//! ([`border_preservation`]).
+
+use std::collections::HashSet;
+
+use seqhide_match::is_subsequence;
+use seqhide_types::{Sequence, SequenceDb, Symbol};
+
+use crate::result::{FrequentPattern, MineResult};
+
+/// The positive border: frequent patterns with no frequent proper
+/// super-pattern. `O(|F|²)` subsequence checks — fine at the sizes the
+/// safety-capped miners emit.
+pub fn positive_border(result: &MineResult) -> Vec<FrequentPattern> {
+    result
+        .patterns
+        .iter()
+        .filter(|p| {
+            !result.patterns.iter().any(|q| {
+                q.seq.len() > p.seq.len() && is_subsequence(&p.seq, &q.seq)
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+/// The negative border: minimal infrequent patterns over the database's
+/// alphabet. Every minimal infrequent pattern is a one-symbol insertion
+/// into some frequent pattern (delete any of its positions and you land on
+/// a frequent pattern — in particular one insertion away), so candidate
+/// generation over `F ∪ {⟨⟩}` is complete.
+pub fn negative_border(db: &SequenceDb, result: &MineResult, sigma: usize) -> Vec<Sequence> {
+    let frequent: HashSet<&Sequence> = result.patterns.iter().map(|p| &p.seq).collect();
+    let alphabet: Vec<Symbol> = db.alphabet().symbols().collect();
+    let mut seeds: Vec<Sequence> = result.patterns.iter().map(|p| p.seq.clone()).collect();
+    seeds.push(Sequence::empty());
+    let mut candidates: HashSet<Sequence> = HashSet::new();
+    for p in &seeds {
+        for pos in 0..=p.len() {
+            for &s in &alphabet {
+                let mut v: Vec<Symbol> = p.symbols().to_vec();
+                v.insert(pos, s);
+                candidates.insert(Sequence::new(v));
+            }
+        }
+    }
+    let mut out: Vec<Sequence> = candidates
+        .into_iter()
+        .filter(|cand| {
+            if frequent.contains(cand) {
+                return false; // frequent, not on the negative side
+            }
+            // minimality: every delete-one sub-pattern is frequent
+            (0..cand.len()).all(|i| {
+                let sub = cand.without_index(i);
+                sub.is_empty() || frequent.contains(&sub)
+            })
+        })
+        .filter(|cand| {
+            // candidate generation guarantees infrequency only for correct
+            // mining input; verify against the database to be safe
+            seqhide_match::support(db, cand) < sigma
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The border-preservation quality of a sanitization: the fraction of the
+/// *original* positive border still frequent in the released database
+/// (1.0 = the lattice boundary is untouched — [26]'s goal). Patterns in
+/// `exclude` (the sensitive set, which is *supposed* to fall) are skipped.
+pub fn border_preservation(
+    before: &MineResult,
+    released: &SequenceDb,
+    sigma: usize,
+    exclude: &[Sequence],
+) -> f64 {
+    let border = positive_border(before);
+    let relevant: Vec<&FrequentPattern> = border
+        .iter()
+        .filter(|p| !exclude.iter().any(|e| is_subsequence(e, &p.seq)))
+        .collect();
+    if relevant.is_empty() {
+        return 1.0;
+    }
+    let kept = relevant
+        .iter()
+        .filter(|p| seqhide_match::support(released, &p.seq) >= sigma)
+        .count();
+    kept as f64 / relevant.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MinerConfig, PrefixSpan};
+
+    fn db() -> SequenceDb {
+        SequenceDb::parse("a b c\na b c\na b\nb c\n")
+    }
+
+    #[test]
+    fn positive_border_is_maximal_frequent() {
+        let d = db();
+        let result = PrefixSpan::mine(&d, &MinerConfig::new(2));
+        let border = positive_border(&result);
+        let mut sigma = d.alphabet().clone();
+        let abc = Sequence::parse("a b c", &mut sigma);
+        // ⟨a b c⟩ (support 2) dominates every other frequent pattern
+        assert_eq!(border.len(), 1);
+        assert_eq!(border[0].seq, abc);
+        assert_eq!(border[0].support, 2);
+    }
+
+    #[test]
+    fn negative_border_is_minimal_infrequent() {
+        let d = db();
+        let sigma_thr = 2;
+        let result = PrefixSpan::mine(&d, &MinerConfig::new(sigma_thr));
+        let border = negative_border(&d, &result, sigma_thr);
+        // every element is infrequent with all delete-one subs frequent
+        let frequent: HashSet<&Sequence> = result.patterns.iter().map(|p| &p.seq).collect();
+        assert!(!border.is_empty());
+        for q in &border {
+            assert!(seqhide_match::support(&d, q) < sigma_thr, "{q:?} frequent");
+            for i in 0..q.len() {
+                let sub = q.without_index(i);
+                assert!(
+                    sub.is_empty() || frequent.contains(&sub),
+                    "{q:?} not minimal at {i}"
+                );
+            }
+        }
+        // ⟨c a⟩ (support 0, both singletons frequent) must be present
+        let mut sig = d.alphabet().clone();
+        let ca = Sequence::parse("c a", &mut sig);
+        assert!(border.contains(&ca));
+        // ⟨c a b⟩ is infrequent but NOT minimal (⟨c a⟩ already infrequent)
+        let cab = Sequence::parse("c a b", &mut sig);
+        assert!(!border.contains(&cab));
+    }
+
+    #[test]
+    fn borders_delimit_the_frequent_set() {
+        // soundness: a pattern is frequent iff it is a subsequence of some
+        // positive-border pattern (check over all ≤3-length candidates)
+        let d = db();
+        let result = PrefixSpan::mine(&d, &MinerConfig::new(2));
+        let border = positive_border(&result);
+        for fp in &result.patterns {
+            assert!(
+                border.iter().any(|b| is_subsequence(&fp.seq, &b.seq)),
+                "{:?} not covered",
+                fp.seq
+            );
+        }
+    }
+
+    #[test]
+    fn border_preservation_bounds() {
+        let d = db();
+        let result = PrefixSpan::mine(&d, &MinerConfig::new(2));
+        // identity release preserves everything
+        assert_eq!(border_preservation(&result, &d, 2, &[]), 1.0);
+        // nuking the db destroys the whole border
+        let empty = SequenceDb::parse("x\n");
+        assert_eq!(border_preservation(&result, &empty, 2, &[]), 0.0);
+    }
+
+    #[test]
+    fn excluded_sensitive_patterns_do_not_count() {
+        let d = db();
+        let result = PrefixSpan::mine(&d, &MinerConfig::new(2));
+        let mut sigma = d.alphabet().clone();
+        let a = Sequence::parse("a", &mut sigma);
+        // excluding ⟨a⟩ removes every border pattern containing it; with
+        // the single border pattern ⟨a b c⟩ gone, preservation is vacuous
+        assert_eq!(border_preservation(&result, &d, 2, &[a]), 1.0);
+    }
+}

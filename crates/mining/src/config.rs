@@ -1,0 +1,83 @@
+//! Miner configuration.
+
+use seqhide_match::ConstraintSet;
+
+/// Configuration shared by both miners.
+#[derive(Clone, Debug)]
+pub struct MinerConfig {
+    /// Absolute minimum support `σ ≥ 1`. A pattern is frequent iff at least
+    /// this many database sequences contain it. (`σ = 0` would make every
+    /// element of the infinite set `Σ*` frequent; constructors reject it.)
+    pub min_support: usize,
+    /// Optional cap on pattern length. `None` mines to exhaustion.
+    pub max_len: Option<usize>,
+    /// Safety cap on the number of emitted patterns; hitting it sets
+    /// [`MineResult::truncated`](crate::MineResult) rather than failing.
+    pub max_patterns: usize,
+    /// Occurrence constraints under which support is counted
+    /// ([`Gsp`](crate::Gsp) only; [`PrefixSpan`](crate::PrefixSpan)
+    /// rejects constrained configs).
+    pub constraints: ConstraintSet,
+}
+
+impl MinerConfig {
+    /// A standard unconstrained config with support threshold `sigma`.
+    ///
+    /// # Panics
+    /// Panics if `sigma == 0`.
+    pub fn new(sigma: usize) -> Self {
+        assert!(sigma >= 1, "minimum support must be at least 1");
+        MinerConfig {
+            min_support: sigma,
+            max_len: None,
+            max_patterns: 5_000_000,
+            constraints: ConstraintSet::none(),
+        }
+    }
+
+    /// Caps the pattern length.
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        self.max_len = Some(max_len);
+        self
+    }
+
+    /// Caps the number of emitted patterns.
+    pub fn with_max_patterns(mut self, cap: usize) -> Self {
+        self.max_patterns = cap;
+        self
+    }
+
+    /// Counts support under occurrence constraints (uniform per-arrow gap
+    /// and/or max window, applied to every candidate pattern).
+    pub fn with_constraints(mut self, constraints: ConstraintSet) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Whether a length-`len` extension is still allowed.
+    pub(crate) fn allows_len(&self, len: usize) -> bool {
+        self.max_len.is_none_or(|m| len <= m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = MinerConfig::new(3).with_max_len(5).with_max_patterns(100);
+        assert_eq!(c.min_support, 3);
+        assert_eq!(c.max_len, Some(5));
+        assert_eq!(c.max_patterns, 100);
+        assert!(c.allows_len(5));
+        assert!(!c.allows_len(6));
+        assert!(MinerConfig::new(1).allows_len(10_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_support_rejected() {
+        let _ = MinerConfig::new(0);
+    }
+}

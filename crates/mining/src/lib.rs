@@ -1,0 +1,39 @@
+//! # seqhide-mine
+//!
+//! Frequent-sequence mining: the substrate behind the paper's distortion
+//! measures M2 and M3, which compare the frequent-pattern sets
+//! `F(D, σ)` and `F(D', σ)` before and after sanitization.
+//!
+//! The paper's experiments need a complete miner for *simple symbol
+//! sequences* with sequence-count support (`sup_D(S) = |{T ∈ D : S ⊑ T}|`).
+//! No off-the-shelf miner is assumed (the reproduction hand-rolls the
+//! baseline); two independent implementations are provided and
+//! cross-checked against each other and a brute-force oracle in tests:
+//!
+//! * [`PrefixSpan`] — projection-based depth-first pattern growth with
+//!   pseudo-projections (the fast path; unconstrained support only);
+//! * [`Gsp`] — level-wise prefix-extension generate-and-verify (slower,
+//!   simpler, and optionally **constraint-aware**: support can be counted
+//!   under gap/window occurrence constraints, which stay anti-monotone
+//!   under prefix extension).
+//!
+//! Both miners return every frequent pattern of length ≥ 1, exactly as the
+//! paper's `F(D, σ)` requires, with optional length/pattern-count safety
+//! caps for pathological inputs (caps are reported, never silent).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod border;
+mod config;
+mod gsp;
+mod itemset_miner;
+mod prefixspan;
+mod result;
+
+pub use border::{border_preservation, negative_border, positive_border};
+pub use config::MinerConfig;
+pub use gsp::Gsp;
+pub use itemset_miner::{FrequentItemsetPattern, ItemsetMineResult, ItemsetMiner};
+pub use prefixspan::PrefixSpan;
+pub use result::{FrequentPattern, MineResult};

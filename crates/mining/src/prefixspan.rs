@@ -1,0 +1,192 @@
+//! PrefixSpan-style pattern-growth miner with pseudo-projections.
+//!
+//! For plain (unconstrained) subsequence support, projecting each
+//! supporting sequence at the position *after the leftmost match* of the
+//! last grown symbol is sound and complete: `T` supports `p·x` iff some
+//! occurrence of `p` can be extended by an `x` to its right, and if any
+//! occurrence can, the leftmost-greedy one can (its suffix is longest).
+//! Pseudo-projections keep only `(sequence index, start offset)` pairs, so
+//! no sequence data is copied during the DFS.
+
+use seqhide_types::{SequenceDb, Symbol};
+
+use crate::config::MinerConfig;
+use crate::result::{FrequentPattern, MineResult};
+
+/// The projection-based miner (fast path; unconstrained support only).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrefixSpan;
+
+impl PrefixSpan {
+    /// Mines all frequent patterns of length ≥ 1 from `db`.
+    ///
+    /// Marked (`Δ`) positions support nothing, so a sanitized database can
+    /// be mined directly — exactly what the distortion measures do.
+    ///
+    /// ```
+    /// use seqhide_types::SequenceDb;
+    /// use seqhide_mine::{MinerConfig, PrefixSpan};
+    /// let db = SequenceDb::parse("a b\na b\nb a\n");
+    /// let result = PrefixSpan::mine(&db, &MinerConfig::new(2));
+    /// assert_eq!(result.len(), 3); // ⟨a⟩, ⟨b⟩, ⟨a b⟩
+    /// assert!(!result.truncated);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `config` carries occurrence constraints (use
+    /// [`Gsp`](crate::Gsp) for constrained mining).
+    pub fn mine(db: &SequenceDb, config: &MinerConfig) -> MineResult {
+        assert!(
+            config.constraints.is_none(),
+            "PrefixSpan counts unconstrained support; use Gsp for constrained mining"
+        );
+        let mut result = MineResult::default();
+        if db.is_empty() || config.min_support > db.len() {
+            return result;
+        }
+        // Root projections: every sequence from offset 0.
+        let projections: Vec<(usize, usize)> =
+            (0..db.len()).map(|i| (i, 0)).collect();
+        let mut prefix: Vec<Symbol> = Vec::new();
+        Self::grow(db, config, &projections, &mut prefix, &mut result);
+        result
+    }
+
+    fn grow(
+        db: &SequenceDb,
+        config: &MinerConfig,
+        projections: &[(usize, usize)],
+        prefix: &mut Vec<Symbol>,
+        result: &mut MineResult,
+    ) {
+        if result.truncated || !config.allows_len(prefix.len() + 1) {
+            return;
+        }
+        // Count, per extension symbol, the number of projected sequences in
+        // which it occurs at/after the projection point.
+        let sigma_len = db.alphabet().len();
+        let mut counts: Vec<usize> = vec![0; sigma_len];
+        for &(seq_idx, start) in projections {
+            let symbols = db.sequences()[seq_idx].symbols();
+            let mut seen = vec![false; sigma_len];
+            for &sym in &symbols[start..] {
+                if sym.is_mark() {
+                    continue;
+                }
+                let id = sym.id() as usize;
+                if !seen[id] {
+                    seen[id] = true;
+                    counts[id] += 1;
+                }
+            }
+        }
+        for id in 0..sigma_len as u32 {
+            let support = counts[id as usize];
+            if support < config.min_support {
+                continue;
+            }
+            if result.patterns.len() >= config.max_patterns {
+                result.truncated = true;
+                return;
+            }
+            let sym = Symbol::new(id);
+            prefix.push(sym);
+            result.patterns.push(FrequentPattern {
+                seq: prefix.iter().copied().collect(),
+                support,
+            });
+            // Project at the position after the leftmost occurrence.
+            let next: Vec<(usize, usize)> = projections
+                .iter()
+                .filter_map(|&(seq_idx, start)| {
+                    let symbols = db.sequences()[seq_idx].symbols();
+                    symbols[start..]
+                        .iter()
+                        .position(|&s| s == sym)
+                        .map(|off| (seq_idx, start + off + 1))
+                })
+                .collect();
+            Self::grow(db, config, &next, prefix, result);
+            prefix.pop();
+            if result.truncated {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqhide_types::Sequence;
+
+    #[test]
+    fn mines_singletons_and_pairs() {
+        let db = SequenceDb::parse("a b\na b\nb a\n");
+        let r = PrefixSpan::mine(&db, &MinerConfig::new(2));
+        let map = r.to_map();
+        // a: 3, b: 3, ab: 2, ba: 1(<2)
+        assert_eq!(map.len(), 3);
+        assert_eq!(map[&Sequence::from_ids([0])], 3);
+        assert_eq!(map[&Sequence::from_ids([1])], 3);
+        assert_eq!(map[&Sequence::from_ids([0, 1])], 2);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn support_counts_sequences_not_occurrences() {
+        let db = SequenceDb::parse("a a a\nb\n");
+        let r = PrefixSpan::mine(&db, &MinerConfig::new(1));
+        let map = r.to_map();
+        assert_eq!(map[&Sequence::from_ids([0])], 1); // one sequence, not 3
+        assert_eq!(map[&Sequence::from_ids([0, 0, 0])], 1);
+    }
+
+    #[test]
+    fn sigma_above_db_size_yields_nothing() {
+        let db = SequenceDb::parse("a\nb\n");
+        let r = PrefixSpan::mine(&db, &MinerConfig::new(3));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn max_len_caps_depth() {
+        let db = SequenceDb::parse("a a a a\na a a a\n");
+        let r = PrefixSpan::mine(&db, &MinerConfig::new(2).with_max_len(2));
+        assert_eq!(r.max_len(), 2);
+        assert_eq!(r.len(), 2); // ⟨a⟩ and ⟨a a⟩
+    }
+
+    #[test]
+    fn max_patterns_truncates_with_flag() {
+        let db = SequenceDb::parse("a b c\na b c\n");
+        let r = PrefixSpan::mine(&db, &MinerConfig::new(1).with_max_patterns(3));
+        assert!(r.truncated);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn marks_are_invisible() {
+        let mut db = SequenceDb::parse("a b\na b\n");
+        db.sequences_mut()[0].mark(1);
+        let r = PrefixSpan::mine(&db, &MinerConfig::new(2));
+        let map = r.to_map();
+        assert_eq!(map.len(), 1); // only ⟨a⟩ still has support 2
+        assert_eq!(map[&Sequence::from_ids([0])], 2);
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = SequenceDb::parse("");
+        assert!(PrefixSpan::mine(&db, &MinerConfig::new(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "constrained")]
+    fn rejects_constraints() {
+        use seqhide_match::ConstraintSet;
+        let db = SequenceDb::parse("a\n");
+        let cfg = MinerConfig::new(1).with_constraints(ConstraintSet::with_max_window(3));
+        let _ = PrefixSpan::mine(&db, &cfg);
+    }
+}

@@ -1,0 +1,89 @@
+//! Mining results.
+
+use std::collections::HashMap;
+
+use seqhide_types::Sequence;
+
+/// One frequent pattern with its support.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FrequentPattern {
+    /// The pattern.
+    pub seq: Sequence,
+    /// Its support in the mined database.
+    pub support: usize,
+}
+
+/// The frequent-pattern set `F(D, σ)` (length ≥ 1), as returned by a miner.
+#[derive(Clone, Debug, Default)]
+pub struct MineResult {
+    /// All frequent patterns, in the miner's deterministic emission order.
+    pub patterns: Vec<FrequentPattern>,
+    /// Whether the `max_patterns` safety cap cut enumeration short.
+    /// A truncated result must not be used for M2/M3 (the measures would
+    /// silently undercount); the experiment harness treats this as an
+    /// error.
+    pub truncated: bool,
+}
+
+impl MineResult {
+    /// Number of frequent patterns `|F(D, σ)|`.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether no pattern is frequent.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Support lookup table keyed by pattern.
+    pub fn to_map(&self) -> HashMap<Sequence, usize> {
+        self.patterns.iter().map(|p| (p.seq.clone(), p.support)).collect()
+    }
+
+    /// Patterns sorted lexicographically — a canonical order for comparing
+    /// the outputs of different miners.
+    pub fn sorted(&self) -> Vec<FrequentPattern> {
+        let mut v = self.patterns.clone();
+        v.sort_by(|a, b| a.seq.cmp(&b.seq));
+        v
+    }
+
+    /// The maximum pattern length found.
+    pub fn max_len(&self) -> usize {
+        self.patterns.iter().map(|p| p.seq.len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(ids: &[u32], support: usize) -> FrequentPattern {
+        FrequentPattern { seq: Sequence::from_ids(ids.iter().copied().collect::<Vec<_>>()), support }
+    }
+
+    #[test]
+    fn map_and_sorted() {
+        let r = MineResult {
+            patterns: vec![fp(&[2], 5), fp(&[1], 7), fp(&[1, 2], 3)],
+            truncated: false,
+        };
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(r.max_len(), 2);
+        let map = r.to_map();
+        assert_eq!(map[&Sequence::from_ids([1, 2])], 3);
+        let sorted = r.sorted();
+        assert_eq!(sorted[0].seq, Sequence::from_ids([1]));
+        assert_eq!(sorted[1].seq, Sequence::from_ids([1, 2]));
+        assert_eq!(sorted[2].seq, Sequence::from_ids([2]));
+    }
+
+    #[test]
+    fn empty_result() {
+        let r = MineResult::default();
+        assert!(r.is_empty());
+        assert_eq!(r.max_len(), 0);
+    }
+}

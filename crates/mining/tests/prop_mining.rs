@@ -1,0 +1,168 @@
+//! Property tests: PrefixSpan and GSP agree with each other and with a
+//! brute-force oracle (soundness + completeness of `F(D, σ)`).
+
+use proptest::prelude::*;
+use seqhide_match::{support, ConstraintSet, Gap, SensitivePattern, supports};
+use seqhide_mine::{Gsp, MinerConfig, PrefixSpan};
+use seqhide_types::{Sequence, SequenceDb, Symbol};
+
+fn db_strategy() -> impl Strategy<Value = SequenceDb> {
+    prop::collection::vec(prop::collection::vec(0u32..3, 0..=6), 1..=6).prop_map(|rows| {
+        // Intern the whole 3-symbol alphabet so ids are stable regardless of
+        // which symbols the rows happen to use.
+        let mut alphabet = seqhide_types::Alphabet::anonymous(3);
+        let seqs = rows.into_iter().map(Sequence::from_ids).collect();
+        let _ = &mut alphabet;
+        SequenceDb::from_parts(alphabet, seqs)
+    })
+}
+
+/// All candidate patterns over a 3-symbol alphabet up to length `max_len`.
+fn all_patterns(max_len: usize) -> Vec<Sequence> {
+    let mut out: Vec<Vec<Symbol>> = vec![vec![]];
+    let mut result = Vec::new();
+    for _ in 0..max_len {
+        let mut next = Vec::new();
+        for p in &out {
+            for id in 0..3u32 {
+                let mut q = p.clone();
+                q.push(Symbol::new(id));
+                result.push(Sequence::new(q.clone()));
+                next.push(q);
+            }
+        }
+        out = next;
+    }
+    result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn miners_agree(db in db_strategy(), sigma in 1usize..4) {
+        let cfg = MinerConfig::new(sigma);
+        let ps = PrefixSpan::mine(&db, &cfg);
+        let gsp = Gsp::mine(&db, &cfg);
+        prop_assert!(!ps.truncated && !gsp.truncated);
+        prop_assert_eq!(ps.sorted(), gsp.sorted());
+    }
+
+    #[test]
+    fn mined_supports_are_correct(db in db_strategy(), sigma in 1usize..4) {
+        let r = PrefixSpan::mine(&db, &MinerConfig::new(sigma));
+        for fp in &r.patterns {
+            prop_assert_eq!(fp.support, support(&db, &fp.seq));
+            prop_assert!(fp.support >= sigma);
+        }
+        // no duplicates
+        let mut seqs: Vec<_> = r.patterns.iter().map(|p| p.seq.clone()).collect();
+        let before = seqs.len();
+        seqs.sort();
+        seqs.dedup();
+        prop_assert_eq!(seqs.len(), before);
+    }
+
+    #[test]
+    fn mining_is_complete_up_to_len3(db in db_strategy(), sigma in 1usize..4) {
+        let r = PrefixSpan::mine(&db, &MinerConfig::new(sigma).with_max_len(3));
+        let map = r.to_map();
+        for cand in all_patterns(3) {
+            let sup = support(&db, &cand);
+            if sup >= sigma {
+                prop_assert_eq!(map.get(&cand), Some(&sup), "missing {:?}", cand);
+            } else {
+                prop_assert!(!map.contains_key(&cand));
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_gsp_is_sound_and_complete_up_to_len3(
+        db in db_strategy(),
+        sigma in 1usize..3,
+        max_gap in 0usize..3,
+    ) {
+        let cs = ConstraintSet::uniform_gap(Gap::bounded(0, max_gap));
+        let cfg = MinerConfig::new(sigma).with_max_len(3).with_constraints(cs.clone());
+        let r = Gsp::mine(&db, &cfg);
+        let map = r.to_map();
+        for cand in all_patterns(3) {
+            let pattern = SensitivePattern::new(cand.clone(), cs.clone()).unwrap();
+            let sup = db.sequences().iter().filter(|t| supports(t, &pattern)).count();
+            if sup >= sigma {
+                prop_assert_eq!(map.get(&cand), Some(&sup), "missing {:?}", cand);
+            } else {
+                prop_assert!(!map.contains_key(&cand), "spurious {:?}", cand);
+            }
+        }
+    }
+
+    #[test]
+    fn frequent_set_shrinks_with_sigma(db in db_strategy()) {
+        let sizes: Vec<usize> = (1..=4)
+            .map(|sigma| PrefixSpan::mine(&db, &MinerConfig::new(sigma)).len())
+            .collect();
+        for w in sizes.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    /// Border invariants on random databases: the positive border covers F
+    /// exactly, and every negative-border element is minimal infrequent.
+    #[test]
+    fn borders_are_sound_and_minimal(db in db_strategy(), sigma in 1usize..4) {
+        use seqhide_mine::{negative_border, positive_border};
+        let result = PrefixSpan::mine(&db, &MinerConfig::new(sigma));
+        let pos = positive_border(&result);
+        // coverage: every frequent pattern under some maximal one
+        for fp in &result.patterns {
+            prop_assert!(pos.iter().any(|b| seqhide_match::is_subsequence(&fp.seq, &b.seq)));
+        }
+        // maximality: no border pattern under another
+        for (i, a) in pos.iter().enumerate() {
+            for (j, b) in pos.iter().enumerate() {
+                if i != j {
+                    prop_assert!(
+                        !(a.seq.len() < b.seq.len()
+                            && seqhide_match::is_subsequence(&a.seq, &b.seq))
+                    );
+                }
+            }
+        }
+        let neg = negative_border(&db, &result, sigma);
+        let freq_set: std::collections::HashSet<&Sequence> =
+            result.patterns.iter().map(|p| &p.seq).collect();
+        for q in &neg {
+            prop_assert!(support(&db, q) < sigma);
+            for i in 0..q.len() {
+                let sub = q.without_index(i);
+                prop_assert!(sub.is_empty() || freq_set.contains(&sub));
+            }
+        }
+    }
+
+    /// Border preservation is 1 on the identity release and within [0, 1]
+    /// after sanitization.
+    #[test]
+    fn border_preservation_is_a_valid_quality_measure(
+        db in db_strategy(),
+        pat in prop::collection::vec(0u32..3, 1..=2),
+        sigma in 1usize..3,
+    ) {
+        use seqhide_core::Sanitizer;
+        use seqhide_match::SensitiveSet;
+        use seqhide_mine::border_preservation;
+        let s = Sequence::from_ids(pat);
+        let before = PrefixSpan::mine(&db, &MinerConfig::new(sigma));
+        prop_assert_eq!(border_preservation(&before, &db, sigma, &[s.clone()]), 1.0);
+        let mut released = db.clone();
+        Sanitizer::hh(0).run(&mut released, &SensitiveSet::new(vec![s.clone()]));
+        let bp = border_preservation(&before, &released, sigma, &[s]);
+        prop_assert!((0.0..=1.0).contains(&bp));
+    }
+}

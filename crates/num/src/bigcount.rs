@@ -1,0 +1,388 @@
+//! Exact arbitrary-precision match counts.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::Count;
+
+/// An exact, arbitrary-precision unsigned integer specialised for match
+/// counting.
+///
+/// Little-endian `u64` limbs, always normalised (no trailing zero limbs; the
+/// value 0 is the empty limb vector). Only the operations the matching DPs
+/// require are implemented — addition, saturating subtraction, schoolbook multiplication, comparison —
+/// plus decimal rendering for reports. This is deliberately *not* a general
+/// bignum: no division beyond the small-divisor helper used by `Display`.
+///
+/// ```
+/// use seqhide_num::{BigCount, Count};
+/// let mut c = BigCount::from_u64(u64::MAX);
+/// c.add_assign(&BigCount::one());
+/// assert_eq!(c.to_string(), "18446744073709551616"); // 2^64, exact
+/// assert!(!c.is_saturated());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigCount {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    limbs: Vec<u64>,
+}
+
+impl BigCount {
+    /// Normalises by trimming trailing zero limbs.
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Number of limbs (0 for the value zero). Exposed for tests.
+    pub fn limb_len(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Parses a decimal string (the inverse of `Display`).
+    ///
+    /// ```
+    /// use seqhide_num::{BigCount, Count};
+    /// let v = BigCount::from_decimal_str("340282366920938463463374607431768211456").unwrap();
+    /// assert_eq!(v.to_string(), "340282366920938463463374607431768211456"); // 2^128
+    /// assert!(BigCount::from_decimal_str("12x4").is_none());
+    /// ```
+    pub fn from_decimal_str(s: &str) -> Option<Self> {
+        if s.is_empty() {
+            return None;
+        }
+        let ten = BigCount::from_u64(10);
+        let mut acc = BigCount::zero();
+        for c in s.chars() {
+            let digit = c.to_digit(10)?;
+            acc = acc.mul(&ten);
+            acc.add_assign(&BigCount::from_u64(u64::from(digit)));
+        }
+        Some(acc)
+    }
+
+    /// Divides in place by a small divisor, returning the remainder.
+    /// Used only for decimal rendering.
+    fn div_rem_small(&mut self, divisor: u64) -> u64 {
+        debug_assert!(divisor > 0);
+        let mut rem: u128 = 0;
+        for limb in self.limbs.iter_mut().rev() {
+            let cur = (rem << 64) | u128::from(*limb);
+            *limb = (cur / u128::from(divisor)) as u64;
+            rem = cur % u128::from(divisor);
+        }
+        self.normalize();
+        rem as u64
+    }
+}
+
+impl Count for BigCount {
+    fn zero() -> Self {
+        BigCount { limbs: Vec::new() }
+    }
+
+    fn one() -> Self {
+        BigCount { limbs: vec![1] }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn add_assign(&mut self, other: &Self) {
+        if self.limbs.len() < other.limbs.len() {
+            self.limbs.resize(other.limbs.len(), 0);
+        }
+        let mut carry = 0u64;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = limb.overflowing_add(rhs);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *limb = s2;
+            carry = u64::from(c1) + u64::from(c2);
+            if carry == 0 && i >= other.limbs.len() {
+                break;
+            }
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    fn saturating_sub(&self, other: &Self) -> Self {
+        if *self <= *other {
+            return Self::zero();
+        }
+        let mut limbs = self.limbs.clone();
+        let mut borrow = 0u64;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = limb.overflowing_sub(rhs);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *limb = d2;
+            borrow = u64::from(b1) + u64::from(b2);
+            if borrow == 0 && i >= other.limbs.len() {
+                break;
+            }
+        }
+        debug_assert_eq!(borrow, 0, "saturating_sub checked self > other");
+        let mut r = BigCount { limbs };
+        r.normalize();
+        r
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        // Schoolbook multiplication; operand sizes in the DP are tiny
+        // (counts of at most a few hundred bits).
+        let mut limbs = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u128 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = u128::from(limbs[i + j])
+                    + u128::from(a) * u128::from(b)
+                    + carry;
+                limbs[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = u128::from(limbs[k]) + carry;
+                limbs[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut r = BigCount { limbs };
+        r.normalize();
+        r
+    }
+
+    fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigCount { limbs: vec![v] }
+        }
+    }
+
+    fn to_f64(&self) -> f64 {
+        // Most-significant-first Horner evaluation; saturates to f64::MAX
+        // via IEEE semantics only for astronomically large values.
+        self.limbs
+            .iter()
+            .rev()
+            .fold(0.0_f64, |acc, &limb| acc * 2.0_f64.powi(64) + limb as f64)
+    }
+}
+
+impl PartialOrd for BigCount {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigCount {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Display for BigCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Peel 19-digit chunks (10^19 < 2^64) off a working copy.
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut work = self.clone();
+        let mut chunks: Vec<u64> = Vec::new();
+        while !work.is_zero() {
+            chunks.push(work.div_rem_small(CHUNK));
+        }
+        let mut out = chunks.last().copied().unwrap_or(0).to_string();
+        for chunk in chunks.iter().rev().skip(1) {
+            out.push_str(&format!("{chunk:019}"));
+        }
+        write!(f, "{out}")
+    }
+}
+
+impl fmt::Debug for BigCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: u128) -> BigCount {
+        let mut b = BigCount::from_u64((v & u128::from(u64::MAX)) as u64);
+        let hi = (v >> 64) as u64;
+        if hi != 0 {
+            b.limbs.resize(2, 0);
+            b.limbs[1] = hi;
+        }
+        b
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigCount::zero().is_zero());
+        assert!(!BigCount::one().is_zero());
+        assert_eq!(BigCount::zero().to_string(), "0");
+        assert_eq!(BigCount::one().to_string(), "1");
+        assert_eq!(BigCount::zero().limb_len(), 0);
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let mut a = BigCount::from_u64(u64::MAX);
+        a.add_assign(&BigCount::one());
+        assert_eq!(a.limb_len(), 2);
+        assert_eq!(a.to_string(), "18446744073709551616");
+    }
+
+    #[test]
+    fn sub_with_borrow() {
+        let a = big(1u128 << 64); // 2^64
+        let r = a.saturating_sub(&BigCount::one());
+        assert_eq!(r.to_string(), u64::MAX.to_string());
+        assert_eq!(r.limb_len(), 1);
+    }
+
+    #[test]
+    fn sub_saturates() {
+        let a = BigCount::from_u64(3);
+        let b = BigCount::from_u64(7);
+        assert!(a.saturating_sub(&b).is_zero());
+        assert!(a.saturating_sub(&a).is_zero());
+    }
+
+    #[test]
+    fn ordering_across_limb_counts() {
+        let small = BigCount::from_u64(u64::MAX);
+        let large = big(1u128 << 64);
+        assert!(small < large);
+        assert!(large > small);
+        assert_eq!(large.cmp(&large.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_large_value() {
+        // 2^128 = 340282366920938463463374607431768211456
+        let mut v = big(u128::MAX);
+        v.add_assign(&BigCount::one());
+        assert_eq!(v.to_string(), "340282366920938463463374607431768211456");
+    }
+
+    #[test]
+    fn to_f64_is_close() {
+        let v = big(1u128 << 100);
+        let expect = 2.0_f64.powi(100);
+        assert!((v.to_f64() - expect).abs() / expect < 1e-12);
+        assert_eq!(BigCount::zero().to_f64(), 0.0);
+    }
+
+    #[test]
+    fn never_saturated() {
+        assert!(!big(u128::MAX).is_saturated());
+    }
+
+    // C(2k, k) computed with BigCount additions via Pascal's row — an
+    // end-to-end check that exercises long carry/borrow chains, mirroring
+    // how the DP builds huge counts (Lemma 1's worst case).
+    #[test]
+    fn pascal_row_matches_known_binomial() {
+        let n = 68usize; // C(68,34) = 28453041475240576740 > u64::MAX
+        let mut row: Vec<BigCount> = vec![BigCount::one()];
+        for _ in 0..n {
+            let mut next = vec![BigCount::one()];
+            for w in row.windows(2) {
+                next.push(Count::add(&w[0], &w[1]));
+            }
+            next.push(BigCount::one());
+            row = next;
+        }
+        assert_eq!(row[n / 2].to_string(), "28453041475240576740");
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_u128(a in 0u128..(1 << 126), b in 0u128..(1 << 126)) {
+            let mut x = big(a);
+            x.add_assign(&big(b));
+            prop_assert_eq!(x, big(a + b));
+        }
+
+        #[test]
+        fn sub_matches_u128(a in 0u128..u128::MAX, b in 0u128..u128::MAX) {
+            let r = big(a).saturating_sub(&big(b));
+            prop_assert_eq!(r, big(a.saturating_sub(b)));
+        }
+
+        #[test]
+        fn cmp_matches_u128(a in 0u128..u128::MAX, b in 0u128..u128::MAX) {
+            prop_assert_eq!(big(a).cmp(&big(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn display_matches_u128(a in 0u128..u128::MAX) {
+            prop_assert_eq!(big(a).to_string(), a.to_string());
+        }
+
+        #[test]
+        fn display_parse_roundtrips(a in 0u128..u128::MAX) {
+            let v = big(a);
+            prop_assert_eq!(BigCount::from_decimal_str(&v.to_string()), Some(v));
+        }
+
+        #[test]
+        fn mul_matches_u128(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+            let r = Count::mul(&big(u128::from(a)), &big(u128::from(b)));
+            prop_assert_eq!(r, big(u128::from(a) * u128::from(b)));
+        }
+
+        #[test]
+        fn mul_distributes_over_add(
+            a in 0u128..(1 << 100),
+            b in 0u128..(1 << 100),
+            c in 0u64..u64::MAX,
+        ) {
+            let lhs = Count::mul(&Count::add(&big(a), &big(b)), &big(u128::from(c)));
+            let rhs = Count::add(
+                &Count::mul(&big(a), &big(u128::from(c))),
+                &Count::mul(&big(b), &big(u128::from(c))),
+            );
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn add_commutes(a in 0u128..(1 << 126), b in 0u128..(1 << 126)) {
+            prop_assert_eq!(Count::add(&big(a), &big(b)), Count::add(&big(b), &big(a)));
+        }
+
+        #[test]
+        fn add_then_sub_roundtrips(a in 0u128..(1 << 126), b in 0u128..(1 << 126)) {
+            let sum = Count::add(&big(a), &big(b));
+            prop_assert_eq!(sum.saturating_sub(&big(b)), big(a));
+        }
+    }
+}

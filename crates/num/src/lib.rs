@@ -1,0 +1,30 @@
+//! # seqhide-num
+//!
+//! Counting substrate for the matching dynamic programs of *Hiding
+//! Sequences* (ICDE 2007).
+//!
+//! Lemma 1 of the paper shows the matching set `M_S^T` is worst-case
+//! exponential in `|T|` (`C(n, n/2) ~ 2ⁿ/√n` for a unary alphabet), so match
+//! *counts* — which the DPs of Lemmas 2–5 manipulate — overflow any fixed
+//! machine integer on adversarial inputs: `C(200, 100) ≈ 9·10⁵⁸ > u128::MAX`.
+//! No big-integer crate is on this project's dependency allow-list, so this
+//! crate provides a minimal exact big unsigned integer, [`BigCount`],
+//! alongside cheap saturating counters, all behind one [`Count`] trait that
+//! the DPs are generic over:
+//!
+//! * [`BigCount`] — exact, arbitrary precision (limb vector; add/sub/cmp
+//!   only, which is all the DPs need);
+//! * [`Sat64`] / [`Sat128`] — fixed-width saturating counters for speed.
+//!   Saturation can only perturb *tie-breaking* in the sanitization
+//!   heuristic; [`Count::is_saturated`] lets callers detect and report it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bigcount;
+mod count;
+mod sat;
+
+pub use bigcount::BigCount;
+pub use count::Count;
+pub use sat::{Sat128, Sat64};

@@ -1,0 +1,138 @@
+//! Fixed-width saturating counters.
+
+use std::fmt;
+
+use crate::Count;
+
+macro_rules! saturating_counter {
+    ($name:ident, $inner:ty, $doc:expr) => {
+        #[doc = $doc]
+        ///
+        /// Saturates at the type maximum instead of overflowing; once
+        /// saturated, a value is a *lower bound* on the true count and
+        /// [`Count::is_saturated`] reports it. Subtraction involving a
+        /// saturated operand is still saturating-total but no longer exact —
+        /// the sanitization heuristic only uses counts for `argmax`/zero
+        /// tests, so the worst case is a perturbed tie-break, which the
+        /// `ablation_delta_methods` bench quantifies against
+        /// [`BigCount`](crate::BigCount).
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name($inner);
+
+        impl $name {
+            /// The saturation ceiling.
+            pub const MAX: $name = $name(<$inner>::MAX);
+
+            /// Creates a counter from a raw value.
+            pub const fn new(v: $inner) -> Self {
+                $name(v)
+            }
+
+            /// The raw value (ceiling if saturated).
+            pub const fn get(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl Count for $name {
+            fn zero() -> Self {
+                $name(0)
+            }
+            fn one() -> Self {
+                $name(1)
+            }
+            fn is_zero(&self) -> bool {
+                self.0 == 0
+            }
+            fn add_assign(&mut self, other: &Self) {
+                self.0 = self.0.saturating_add(other.0);
+            }
+            fn saturating_sub(&self, other: &Self) -> Self {
+                $name(self.0.saturating_sub(other.0))
+            }
+            fn mul(&self, other: &Self) -> Self {
+                $name(self.0.saturating_mul(other.0))
+            }
+            fn from_u64(v: u64) -> Self {
+                $name(v as $inner)
+            }
+            fn to_f64(&self) -> f64 {
+                self.0 as f64
+            }
+            fn is_saturated(&self) -> bool {
+                self.0 == <$inner>::MAX
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.is_saturated() {
+                    write!(f, "≥{}", self.0)
+                } else {
+                    write!(f, "{}", self.0)
+                }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+saturating_counter!(Sat64, u64, "A 64-bit saturating match counter.");
+saturating_counter!(Sat128, u128, "A 128-bit saturating match counter.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_saturates() {
+        let mut a = Sat64::new(u64::MAX - 1);
+        a.add_assign(&Sat64::new(5));
+        assert_eq!(a, Sat64::MAX);
+        assert!(a.is_saturated());
+        assert_eq!(format!("{a}"), format!("≥{}", u64::MAX));
+    }
+
+    #[test]
+    fn sub_saturates_at_zero() {
+        let a = Sat64::new(3);
+        let b = Sat64::new(10);
+        assert_eq!(a.saturating_sub(&b), Sat64::new(0));
+        assert!(a.saturating_sub(&b).is_zero());
+        assert_eq!(b.saturating_sub(&a), Sat64::new(7));
+    }
+
+    #[test]
+    fn ordering_matches_values() {
+        assert!(Sat64::new(2) < Sat64::new(3));
+        assert!(Sat128::new(1) > Sat128::new(0));
+    }
+
+    #[test]
+    fn identities() {
+        assert!(Sat64::zero().is_zero());
+        assert_eq!(Sat64::one().get(), 1);
+        assert_eq!(Sat128::from_u64(42).get(), 42);
+        assert_eq!(Sat128::from_u64(42).to_f64(), 42.0);
+        assert!(!Sat64::new(7).is_saturated());
+    }
+
+    #[test]
+    fn mul_saturates() {
+        let big = Sat64::new(u64::MAX / 2);
+        assert!(Count::mul(&big, &Sat64::new(3)).is_saturated());
+        assert_eq!(Count::mul(&Sat64::new(6), &Sat64::new(7)), Sat64::new(42));
+    }
+
+    #[test]
+    fn sat128_add() {
+        let mut a = Sat128::new(u128::MAX);
+        a.add_assign(&Sat128::one());
+        assert!(a.is_saturated());
+    }
+}

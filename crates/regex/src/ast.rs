@@ -1,0 +1,236 @@
+//! Regex abstract syntax and validation.
+
+use std::fmt;
+
+use seqhide_types::{Alphabet, Symbol};
+
+/// Errors from parsing or compiling a regex pattern.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RegexError {
+    /// Syntax error with a human-readable description.
+    Syntax(String),
+    /// The language contains the empty word — unhideable.
+    Nullable,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegexError::Syntax(msg) => write!(f, "regex syntax error: {msg}"),
+            RegexError::Nullable => write!(
+                f,
+                "regex matches the empty word; the empty pattern occurs everywhere \
+                 and cannot be hidden"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// Regex AST over alphabet symbols.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Ast {
+    /// One literal symbol.
+    Sym(Symbol),
+    /// Any single symbol (`.`).
+    Any,
+    /// Any of the listed symbols (`[a b c]`).
+    Class(Vec<Symbol>),
+    /// Concatenation.
+    Concat(Vec<Ast>),
+    /// Alternation (`|`).
+    Alt(Vec<Ast>),
+    /// Zero or more (`*`).
+    Star(Box<Ast>),
+    /// One or more (`+`).
+    Plus(Box<Ast>),
+    /// Zero or one (`?`).
+    Opt(Box<Ast>),
+}
+
+impl Ast {
+    /// Whether ε ∈ L(self).
+    pub fn nullable(&self) -> bool {
+        match self {
+            Ast::Sym(_) | Ast::Any | Ast::Class(_) => false,
+            Ast::Concat(parts) => parts.iter().all(Ast::nullable),
+            Ast::Alt(parts) => parts.iter().any(Ast::nullable),
+            Ast::Star(_) | Ast::Opt(_) => true,
+            Ast::Plus(inner) => inner.nullable(),
+        }
+    }
+
+    /// All symbols the pattern mentions (the effective alphabet, before
+    /// adding the OTHER bucket).
+    pub fn mentioned(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_mentioned(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_mentioned(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Ast::Sym(s) => out.push(*s),
+            Ast::Any => {}
+            Ast::Class(syms) => out.extend_from_slice(syms),
+            Ast::Concat(parts) | Ast::Alt(parts) => {
+                for p in parts {
+                    p.collect_mentioned(out);
+                }
+            }
+            Ast::Star(inner) | Ast::Plus(inner) | Ast::Opt(inner) => {
+                inner.collect_mentioned(out);
+            }
+        }
+    }
+
+    /// Whether the AST contains a wildcard (`.`), which makes OTHER
+    /// reachable.
+    pub fn has_wildcard(&self) -> bool {
+        match self {
+            Ast::Sym(_) | Ast::Class(_) => false,
+            Ast::Any => true,
+            Ast::Concat(parts) | Ast::Alt(parts) => parts.iter().any(Ast::has_wildcard),
+            Ast::Star(inner) | Ast::Plus(inner) | Ast::Opt(inner) => inner.has_wildcard(),
+        }
+    }
+
+    /// Direct word-acceptance test by recursive descent — the slow oracle
+    /// the DFA is property-tested against.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        match self {
+            Ast::Sym(s) => word.len() == 1 && word[0] == *s,
+            Ast::Any => word.len() == 1 && !word[0].is_mark(),
+            Ast::Class(syms) => word.len() == 1 && syms.contains(&word[0]),
+            Ast::Alt(parts) => parts.iter().any(|p| p.accepts(word)),
+            Ast::Opt(inner) => word.is_empty() || inner.accepts(word),
+            Ast::Concat(parts) => accepts_concat(parts, word),
+            Ast::Star(inner) => {
+                word.is_empty() || accepts_repeat(inner, word)
+            }
+            Ast::Plus(inner) => accepts_repeat(inner, word),
+        }
+    }
+}
+
+impl Ast {
+    /// Renders the pattern in the surface syntax [`crate::parse`] accepts
+    /// (fully parenthesised, so `parse(render(ast)) ≡ ast` up to grouping).
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        match self {
+            Ast::Sym(s) => alphabet.render(*s),
+            Ast::Any => ".".into(),
+            Ast::Class(syms) => {
+                let body: Vec<String> = syms.iter().map(|&s| alphabet.render(s)).collect();
+                format!("[{}]", body.join(" "))
+            }
+            Ast::Concat(parts) => {
+                let body: Vec<String> = parts.iter().map(|p| p.render(alphabet)).collect();
+                format!("({})", body.join(" "))
+            }
+            Ast::Alt(parts) => {
+                let body: Vec<String> = parts.iter().map(|p| p.render(alphabet)).collect();
+                format!("({})", body.join(" | "))
+            }
+            Ast::Star(inner) => format!("({})*", inner.render(alphabet)),
+            Ast::Plus(inner) => format!("({})+", inner.render(alphabet)),
+            Ast::Opt(inner) => format!("({})?", inner.render(alphabet)),
+        }
+    }
+}
+
+/// Does a sequence of parts accept `word` (split into consecutive chunks)?
+fn accepts_concat(parts: &[Ast], word: &[Symbol]) -> bool {
+    match parts {
+        [] => word.is_empty(),
+        [first, rest @ ..] => (0..=word.len()).any(|cut| {
+            first.accepts(&word[..cut]) && accepts_concat(rest, &word[cut..])
+        }),
+    }
+}
+
+/// Does `inner` repeated ≥ 1 times accept `word`?
+fn accepts_repeat(inner: &Ast, word: &[Symbol]) -> bool {
+    if word.is_empty() {
+        return inner.accepts(word);
+    }
+    // first chunk non-empty to guarantee progress
+    (1..=word.len()).any(|cut| {
+        inner.accepts(&word[..cut])
+            && (word.len() == cut || accepts_repeat(inner, &word[cut..]))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(id: u32) -> Ast {
+        Ast::Sym(Symbol::new(id))
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(!sym(0).nullable());
+        assert!(Ast::Star(Box::new(sym(0))).nullable());
+        assert!(Ast::Opt(Box::new(sym(0))).nullable());
+        assert!(!Ast::Plus(Box::new(sym(0))).nullable());
+        assert!(!Ast::Concat(vec![sym(0), Ast::Star(Box::new(sym(1)))]).nullable());
+        assert!(Ast::Concat(vec![
+            Ast::Opt(Box::new(sym(0))),
+            Ast::Star(Box::new(sym(1)))
+        ])
+        .nullable());
+        assert!(Ast::Alt(vec![sym(0), Ast::Opt(Box::new(sym(1)))]).nullable());
+    }
+
+    #[test]
+    fn mentioned_symbols_dedup() {
+        let ast = Ast::Concat(vec![
+            sym(2),
+            Ast::Alt(vec![sym(1), sym(2)]),
+            Ast::Class(vec![Symbol::new(3), Symbol::new(1)]),
+        ]);
+        assert_eq!(
+            ast.mentioned(),
+            vec![Symbol::new(1), Symbol::new(2), Symbol::new(3)]
+        );
+        assert!(!ast.has_wildcard());
+        assert!(Ast::Concat(vec![sym(0), Ast::Any]).has_wildcard());
+    }
+
+    #[test]
+    fn oracle_acceptance() {
+        // a (b | c)+ d
+        let ast = Ast::Concat(vec![
+            sym(0),
+            Ast::Plus(Box::new(Ast::Alt(vec![sym(1), sym(2)]))),
+            sym(3),
+        ]);
+        let w = |ids: &[u32]| ids.iter().map(|&i| Symbol::new(i)).collect::<Vec<_>>();
+        assert!(ast.accepts(&w(&[0, 1, 3])));
+        assert!(ast.accepts(&w(&[0, 1, 2, 1, 3])));
+        assert!(!ast.accepts(&w(&[0, 3])));
+        assert!(!ast.accepts(&w(&[1, 2, 3])));
+        assert!(!ast.accepts(&w(&[])));
+    }
+
+    #[test]
+    fn star_accepts_empty_and_repeats() {
+        let ast = Ast::Star(Box::new(sym(5)));
+        let w = |n: usize| vec![Symbol::new(5); n];
+        assert!(ast.accepts(&w(0)));
+        assert!(ast.accepts(&w(1)));
+        assert!(ast.accepts(&w(4)));
+        assert!(!ast.accepts(&[Symbol::new(6)]));
+    }
+
+    #[test]
+    fn any_rejects_marks() {
+        assert!(!Ast::Any.accepts(&[Symbol::MARK]));
+        assert!(Ast::Any.accepts(&[Symbol::new(9)]));
+    }
+}

@@ -1,0 +1,232 @@
+//! Occurrence counting for regex patterns: the ending-exactly-at dynamic
+//! program lifted from pattern positions to DFA states.
+
+use seqhide_num::Count;
+use seqhide_types::{Sequence, Symbol};
+
+use crate::RegexPattern;
+
+/// What the DP should report.
+enum Mode {
+    /// Total accepted tuples anywhere in the slice.
+    Total,
+    /// Accepted tuples whose last index is exactly the final slice element.
+    EndAtLast,
+}
+
+/// Core DP over a symbol slice. `C[q][j]` counts strictly increasing index
+/// tuples ending exactly at `j` that drive the DFA from start to state `q`
+/// (under the uniform gap constraint); per-state prefix sums make each
+/// step `O(|Q|)`.
+fn run_dp<C: Count>(p: &RegexPattern, symbols: &[Symbol], mode: Mode) -> C {
+    let dfa = p.dfa();
+    let n = symbols.len();
+    let nq = dfa.num_states();
+    let gap = p.gap();
+    // prefix[q][j+1] = Σ_{l ≤ j} C[q][l]
+    let mut prefix: Vec<Vec<C>> = vec![vec![C::zero()]; nq];
+    let mut total = C::zero();
+    for (j, &sym) in symbols.iter().enumerate() {
+        let class = dfa.classify(sym);
+        let mut ends: Vec<C> = vec![C::zero(); nq];
+        if let Some(class) = class {
+            // windowed predecessor range from the uniform gap constraint:
+            // l ∈ [j − 1 − Mg, j − 1 − mg]
+            let range = if j >= 1 + gap.min {
+                let hi = j - 1 - gap.min;
+                let lo = match gap.max {
+                    Some(max) => (j - 1).saturating_sub(max),
+                    None => 0,
+                };
+                Some((lo, hi))
+            } else {
+                None
+            };
+            for q_prev in 0..nq {
+                let Some(q_next) = dfa.step(q_prev, class) else {
+                    continue;
+                };
+                if let Some((lo, hi)) = range {
+                    // prefix sums are monotone ⇒ saturating_sub is exact
+                    let w = prefix[q_prev][hi + 1].saturating_sub(&prefix[q_prev][lo]);
+                    ends[q_next].add_assign(&w);
+                }
+            }
+            // length-1 tuple starting here
+            if let Some(q) = dfa.step(dfa.start(), class) {
+                ends[q].add_assign(&C::one());
+            }
+        }
+        let at_last = j == n - 1;
+        for (q, c) in ends.iter().enumerate() {
+            if dfa.is_accepting(q) && !c.is_zero() {
+                match mode {
+                    Mode::Total => total.add_assign(c),
+                    Mode::EndAtLast if at_last => total.add_assign(c),
+                    Mode::EndAtLast => {}
+                }
+            }
+        }
+        for (q, c) in ends.into_iter().enumerate() {
+            let next = prefix[q].last().expect("non-empty").add(&c);
+            prefix[q].push(next);
+        }
+    }
+    total
+}
+
+/// Counts the occurrences of `p` in `t` under its gap and window
+/// constraints — the regex analogue of
+/// [`seqhide_match::count_matches`].
+pub fn count_occurrences<C: Count>(p: &RegexPattern, t: &Sequence) -> C {
+    match p.max_window() {
+        None => run_dp(p, t.symbols(), Mode::Total),
+        Some(ws) => {
+            // anchor on the end position: the whole occurrence must fit in
+            // the slice [j − Ws + 1, j] (Lemma 5's device).
+            let mut total = C::zero();
+            let symbols = t.symbols();
+            for j in 0..symbols.len() {
+                if symbols[j].is_mark() {
+                    continue;
+                }
+                let lo = (j + 1).saturating_sub(ws);
+                total.add_assign(&run_dp(p, &symbols[lo..=j], Mode::EndAtLast));
+            }
+            total
+        }
+    }
+}
+
+/// Combined occurrence count over several regex patterns.
+pub fn matching_size_re<C: Count>(patterns: &[RegexPattern], t: &Sequence) -> C {
+    let mut total = C::zero();
+    for p in patterns {
+        total.add_assign(&count_occurrences::<C>(p, t));
+    }
+    total
+}
+
+/// Whether `t` contains at least one occurrence of `p`.
+pub fn supports_re(t: &Sequence, p: &RegexPattern) -> bool {
+    !count_occurrences::<seqhide_num::Sat64>(p, t).is_zero()
+}
+
+/// `δ(T[i])` for regex patterns by the marking device (sound under all
+/// constraints; the DFA is deterministic so each tuple through `i` is
+/// counted exactly once).
+pub fn delta_by_marking_re<C: Count>(patterns: &[RegexPattern], t: &Sequence) -> Vec<C> {
+    let total = matching_size_re::<C>(patterns, t);
+    let mut work = t.clone();
+    (0..t.len())
+        .map(|i| {
+            if work[i].is_mark() {
+                return C::zero();
+            }
+            let saved = work.mark(i);
+            let reduced = matching_size_re::<C>(patterns, &work);
+            work.set(i, saved);
+            total.saturating_sub(&reduced)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqhide_match::{count_embeddings, Gap};
+    use seqhide_types::Alphabet;
+
+    fn compile(pattern: &str, sigma: &mut Alphabet) -> RegexPattern {
+        RegexPattern::compile(pattern, sigma).unwrap()
+    }
+
+    #[test]
+    fn literal_regex_equals_plain_pattern() {
+        let mut sigma = Alphabet::new();
+        let re = compile("a b c", &mut sigma);
+        let s = Sequence::parse("a b c", &mut sigma);
+        let t = Sequence::parse("a a b c c b a e", &mut sigma);
+        assert_eq!(
+            count_occurrences::<u64>(&re, &t),
+            count_embeddings::<u64>(&s, &t)
+        );
+        assert_eq!(count_occurrences::<u64>(&re, &t), 4);
+    }
+
+    #[test]
+    fn alternation_counts_union() {
+        let mut sigma = Alphabet::new();
+        let re = compile("a (b | c)", &mut sigma);
+        let t = Sequence::parse("a b c", &mut sigma);
+        // tuples: (0,1) ab, (0,2) ac
+        assert_eq!(count_occurrences::<u64>(&re, &t), 2);
+    }
+
+    #[test]
+    fn ambiguous_alternation_counts_tuples_once() {
+        let mut sigma = Alphabet::new();
+        // a | a: the DFA collapses the ambiguity — each position counted once
+        let re = compile("a | a", &mut sigma);
+        let t = Sequence::parse("a a", &mut sigma);
+        assert_eq!(count_occurrences::<u64>(&re, &t), 2);
+    }
+
+    #[test]
+    fn plus_counts_all_tuple_lengths() {
+        let mut sigma = Alphabet::new();
+        let re = compile("a+", &mut sigma);
+        let t = Sequence::parse("a a a", &mut sigma);
+        // every non-empty subset of three positions: 7
+        assert_eq!(count_occurrences::<u64>(&re, &t), 7);
+    }
+
+    #[test]
+    fn wildcard_consumes_one_position() {
+        let mut sigma = Alphabet::new();
+        let re = compile("a . b", &mut sigma);
+        let t = Sequence::parse("a x b b", &mut sigma);
+        // (0,1,2), (0,1,3), (0,2,3): the middle '.' may be x or the first b
+        assert_eq!(count_occurrences::<u64>(&re, &t), 3);
+    }
+
+    #[test]
+    fn gap_constraint_applies_to_every_arrow() {
+        let mut sigma = Alphabet::new();
+        let re = compile("a b", &mut sigma).with_gap(Gap::adjacent());
+        let t = Sequence::parse("a x b a b", &mut sigma);
+        // only (3,4) is adjacent
+        assert_eq!(count_occurrences::<u64>(&re, &t), 1);
+    }
+
+    #[test]
+    fn window_constraint_bounds_span() {
+        let mut sigma = Alphabet::new();
+        let re = compile("a b", &mut sigma).with_max_window(2);
+        let t = Sequence::parse("a x b a b", &mut sigma);
+        assert_eq!(count_occurrences::<u64>(&re, &t), 1);
+        let re10 = compile("a b", &mut sigma).with_max_window(10);
+        assert_eq!(count_occurrences::<u64>(&re10, &t), 3);
+    }
+
+    #[test]
+    fn marks_kill_occurrences() {
+        let mut sigma = Alphabet::new();
+        let re = compile("a b", &mut sigma);
+        let mut t = Sequence::parse("a b", &mut sigma);
+        assert!(supports_re(&t, &re));
+        t.mark(1);
+        assert!(!supports_re(&t, &re));
+        assert_eq!(count_occurrences::<u64>(&re, &t), 0);
+    }
+
+    #[test]
+    fn delta_localises() {
+        let mut sigma = Alphabet::new();
+        let re = compile("a (b | c)", &mut sigma);
+        let t = Sequence::parse("a b c x", &mut sigma);
+        // tuples (0,1), (0,2): δ = [2, 1, 1, 0]
+        let d = delta_by_marking_re::<u64>(&[re], &t);
+        assert_eq!(d, vec![2, 1, 1, 0]);
+    }
+}

@@ -1,0 +1,318 @@
+//! Thompson NFA construction and subset determinization over the
+//! pattern's effective alphabet.
+//!
+//! The effective alphabet partitions `Σ` into the symbols the pattern
+//! *mentions* plus one OTHER bucket: two symbols in the same part are
+//! indistinguishable to the pattern, so the DFA stays small however large
+//! `Σ` is (the experiments use 100 grid cells; a pattern mentions 2–6).
+
+use std::collections::HashMap;
+
+use seqhide_types::Symbol;
+
+use crate::ast::Ast;
+
+/// A class bitmask: bit `i` = mentioned symbol `i`, bit `m` = OTHER.
+type ClassMask = u64;
+
+struct Nfa {
+    /// ε-successors per state.
+    eps: Vec<Vec<usize>>,
+    /// labelled transitions per state.
+    trans: Vec<Vec<(ClassMask, usize)>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    fn new_state(&mut self) -> usize {
+        self.eps.push(Vec::new());
+        self.trans.push(Vec::new());
+        self.eps.len() - 1
+    }
+}
+
+fn class_of(mentioned: &[Symbol], sym: Symbol) -> usize {
+    mentioned
+        .iter()
+        .position(|&m| m == sym)
+        .unwrap_or(mentioned.len())
+}
+
+fn mask_for(ast: &Ast, mentioned: &[Symbol]) -> ClassMask {
+    let other_bit = 1u64 << mentioned.len();
+    match ast {
+        Ast::Sym(s) => 1u64 << class_of(mentioned, *s),
+        Ast::Any => (other_bit << 1) - 1, // all mentioned + OTHER
+        Ast::Class(syms) => syms
+            .iter()
+            .fold(0u64, |m, &s| m | (1u64 << class_of(mentioned, s))),
+        _ => unreachable!("mask_for on non-leaf"),
+    }
+}
+
+/// Thompson construction: returns (entry, exit) fragment states.
+fn build(nfa: &mut Nfa, ast: &Ast, mentioned: &[Symbol]) -> (usize, usize) {
+    match ast {
+        Ast::Sym(_) | Ast::Any | Ast::Class(_) => {
+            let a = nfa.new_state();
+            let b = nfa.new_state();
+            let mask = mask_for(ast, mentioned);
+            nfa.trans[a].push((mask, b));
+            (a, b)
+        }
+        Ast::Concat(parts) => {
+            let mut entry: Option<usize> = None;
+            let mut last_exit: Option<usize> = None;
+            for p in parts {
+                let (a, b) = build(nfa, p, mentioned);
+                if let Some(prev) = last_exit {
+                    nfa.eps[prev].push(a);
+                } else {
+                    entry = Some(a);
+                }
+                last_exit = Some(b);
+            }
+            (entry.expect("concat non-empty"), last_exit.expect("concat non-empty"))
+        }
+        Ast::Alt(parts) => {
+            let a = nfa.new_state();
+            let b = nfa.new_state();
+            for p in parts {
+                let (x, y) = build(nfa, p, mentioned);
+                nfa.eps[a].push(x);
+                nfa.eps[y].push(b);
+            }
+            (a, b)
+        }
+        Ast::Star(inner) => {
+            let a = nfa.new_state();
+            let b = nfa.new_state();
+            let (x, y) = build(nfa, inner, mentioned);
+            nfa.eps[a].push(x);
+            nfa.eps[a].push(b);
+            nfa.eps[y].push(x);
+            nfa.eps[y].push(b);
+            (a, b)
+        }
+        Ast::Plus(inner) => {
+            let (x, y) = build(nfa, inner, mentioned);
+            let b = nfa.new_state();
+            nfa.eps[y].push(x);
+            nfa.eps[y].push(b);
+            (x, b)
+        }
+        Ast::Opt(inner) => {
+            let a = nfa.new_state();
+            let b = nfa.new_state();
+            let (x, y) = build(nfa, inner, mentioned);
+            nfa.eps[a].push(x);
+            nfa.eps[a].push(b);
+            nfa.eps[y].push(b);
+            (a, b)
+        }
+    }
+}
+
+fn eps_closure(nfa: &Nfa, mut set: Vec<usize>) -> Vec<usize> {
+    let mut stack = set.clone();
+    while let Some(s) = stack.pop() {
+        for &t in &nfa.eps[s] {
+            if !set.contains(&t) {
+                set.push(t);
+                stack.push(t);
+            }
+        }
+    }
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+/// A deterministic automaton over the pattern's effective alphabet.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    mentioned: Vec<Symbol>,
+    /// `trans[state][class]` — next state, if any.
+    trans: Vec<Vec<Option<usize>>>,
+    accepting: Vec<bool>,
+    start: usize,
+}
+
+impl Dfa {
+    /// Compiles an AST (Thompson + subset construction).
+    ///
+    /// # Panics
+    /// Panics if the pattern mentions more than 63 distinct symbols (the
+    /// class-mask width); sensitive patterns are short in practice.
+    pub fn compile(ast: &Ast) -> Dfa {
+        let mentioned = ast.mentioned();
+        assert!(mentioned.len() <= 63, "pattern mentions too many symbols");
+        let n_classes = mentioned.len() + 1; // + OTHER
+        let mut nfa = Nfa { eps: Vec::new(), trans: Vec::new(), start: 0, accept: 0 };
+        let (entry, exit) = build(&mut nfa, ast, &mentioned);
+        nfa.start = entry;
+        nfa.accept = exit;
+
+        let start_set = eps_closure(&nfa, vec![nfa.start]);
+        let mut ids: HashMap<Vec<usize>, usize> = HashMap::new();
+        ids.insert(start_set.clone(), 0);
+        let mut order = vec![start_set];
+        let mut trans: Vec<Vec<Option<usize>>> = Vec::new();
+        let mut accepting = Vec::new();
+        let mut i = 0;
+        while i < order.len() {
+            let set = order[i].clone();
+            accepting.push(set.contains(&nfa.accept));
+            let mut row = vec![None; n_classes];
+            for (class, slot) in row.iter_mut().enumerate() {
+                let bit = 1u64 << class;
+                let mut moved: Vec<usize> = Vec::new();
+                for &s in &set {
+                    for &(mask, t) in &nfa.trans[s] {
+                        if mask & bit != 0 {
+                            moved.push(t);
+                        }
+                    }
+                }
+                if moved.is_empty() {
+                    continue;
+                }
+                let closed = eps_closure(&nfa, moved);
+                let next_id = *ids.entry(closed.clone()).or_insert_with(|| {
+                    order.push(closed);
+                    order.len() - 1
+                });
+                *slot = Some(next_id);
+            }
+            trans.push(row);
+            i += 1;
+        }
+        Dfa { mentioned, trans, accepting, start: 0 }
+    }
+
+    /// Number of DFA states.
+    pub fn num_states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Number of effective-alphabet classes (mentioned symbols + OTHER).
+    pub fn num_classes(&self) -> usize {
+        self.mentioned.len() + 1
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accepting(&self, state: usize) -> bool {
+        self.accepting[state]
+    }
+
+    /// The effective class of `sym`, or `None` for the mark `Δ` (which
+    /// matches nothing).
+    pub fn classify(&self, sym: Symbol) -> Option<usize> {
+        if sym.is_mark() {
+            return None;
+        }
+        Some(class_of(&self.mentioned, sym))
+    }
+
+    /// One deterministic step.
+    pub fn step(&self, state: usize, class: usize) -> Option<usize> {
+        self.trans[state][class]
+    }
+
+    /// Whole-word acceptance (test oracle plumbing).
+    pub fn accepts_word(&self, word: &[Symbol]) -> bool {
+        let mut state = self.start;
+        for &sym in word {
+            let Some(class) = self.classify(sym) else {
+                return false;
+            };
+            match self.step(state, class) {
+                Some(next) => state = next,
+                None => return false,
+            }
+        }
+        self.is_accepting(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use proptest::prelude::*;
+    use seqhide_types::Alphabet;
+
+    fn compile(pattern: &str) -> (Dfa, Ast) {
+        let mut sigma = Alphabet::new();
+        let ast = parse(pattern, &mut sigma).unwrap();
+        (Dfa::compile(&ast), ast)
+    }
+
+    use crate::ast::Ast;
+
+    #[test]
+    fn literal_word() {
+        let (dfa, _) = compile("a b c");
+        let w = |ids: &[u32]| ids.iter().map(|&i| Symbol::new(i)).collect::<Vec<_>>();
+        assert!(dfa.accepts_word(&w(&[0, 1, 2])));
+        assert!(!dfa.accepts_word(&w(&[0, 1])));
+        assert!(!dfa.accepts_word(&w(&[0, 2, 1])));
+        assert!(!dfa.accepts_word(&w(&[])));
+    }
+
+    #[test]
+    fn wildcard_matches_unmentioned() {
+        let (dfa, _) = compile("a . b");
+        let a = Symbol::new(0);
+        let b = Symbol::new(1);
+        let z = Symbol::new(99); // OTHER
+        assert!(dfa.accepts_word(&[a, z, b]));
+        assert!(dfa.accepts_word(&[a, a, b]));
+        assert!(!dfa.accepts_word(&[a, Symbol::MARK, b]));
+        assert!(!dfa.accepts_word(&[a, b]));
+    }
+
+    #[test]
+    fn alternation_and_plus() {
+        let (dfa, _) = compile("a (b | c)+ d");
+        let w = |ids: &[u32]| ids.iter().map(|&i| Symbol::new(i)).collect::<Vec<_>>();
+        assert!(dfa.accepts_word(&w(&[0, 1, 3])));
+        assert!(dfa.accepts_word(&w(&[0, 2, 1, 2, 3])));
+        assert!(!dfa.accepts_word(&w(&[0, 3])));
+        assert!(!dfa.accepts_word(&w(&[0, 99, 3])));
+    }
+
+    #[test]
+    fn star_accepts_growth() {
+        let (dfa, _) = compile("a b* c");
+        let w = |ids: &[u32]| ids.iter().map(|&i| Symbol::new(i)).collect::<Vec<_>>();
+        assert!(dfa.accepts_word(&w(&[0, 2])));
+        assert!(dfa.accepts_word(&w(&[0, 1, 2])));
+        assert!(dfa.accepts_word(&w(&[0, 1, 1, 1, 2])));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        /// DFA acceptance agrees with the AST recursive-descent oracle on
+        /// random words over mentioned + OTHER symbols.
+        #[test]
+        fn dfa_matches_ast_oracle(
+            pattern in prop::sample::select(vec![
+                "a b c", "a (b | c)+ d", "a . b", "[a b] c*  d?",
+                "(a b)+ | c", "a? b? c", "a (b c)* a", ". . a",
+            ]),
+            word in prop::collection::vec(0u32..5, 0..8),
+        ) {
+            let (dfa, ast) = compile(pattern);
+            let word: Vec<Symbol> = word.into_iter().map(Symbol::new).collect();
+            prop_assert_eq!(dfa.accepts_word(&word), ast.accepts(&word), "{:?}", word);
+        }
+    }
+}

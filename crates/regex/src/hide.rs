@@ -1,0 +1,168 @@
+//! Sanitization for regex patterns: the paper's two-level algorithm with
+//! the marking-device `δ`.
+
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use seqhide_num::{Count, Sat64};
+use seqhide_types::{Sequence, SequenceDb};
+
+use crate::count::{delta_by_marking_re, matching_size_re, supports_re};
+use crate::RegexPattern;
+
+/// How positions are chosen (mirrors `seqhide_core::LocalStrategy`, kept
+/// separate so this crate does not depend on the core crate).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReLocalStrategy {
+    /// Mark the position involved in the most occurrences.
+    Heuristic,
+    /// Mark a uniformly random position involved in ≥ 1 occurrence.
+    Random,
+}
+
+/// Sanitizes one sequence until no regex occurrence remains; returns marks
+/// introduced.
+pub fn sanitize_regex_sequence<R: Rng + ?Sized>(
+    t: &mut Sequence,
+    patterns: &[RegexPattern],
+    strategy: ReLocalStrategy,
+    rng: &mut R,
+) -> usize {
+    let mut marks = 0;
+    loop {
+        let delta = delta_by_marking_re::<Sat64>(patterns, t);
+        let pos = match strategy {
+            ReLocalStrategy::Heuristic => {
+                let mut best: Option<(usize, Sat64)> = None;
+                for (i, d) in delta.iter().enumerate() {
+                    if d.is_zero() {
+                        continue;
+                    }
+                    match best {
+                        Some((_, bd)) if *d <= bd => {}
+                        _ => best = Some((i, *d)),
+                    }
+                }
+                best.map(|(i, _)| i)
+            }
+            ReLocalStrategy::Random => {
+                let candidates: Vec<usize> = delta
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, d)| (!d.is_zero()).then_some(i))
+                    .collect();
+                candidates.choose(rng).copied()
+            }
+        };
+        let Some(pos) = pos else { return marks };
+        t.mark(pos);
+        marks += 1;
+    }
+}
+
+/// Report of a regex-database sanitization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegexSanitizeReport {
+    /// Marks introduced (M1).
+    pub marks_introduced: usize,
+    /// Sequences sanitized.
+    pub sequences_sanitized: usize,
+    /// Post-sanitization support of each pattern.
+    pub residual_supports: Vec<usize>,
+    /// Whether every pattern ended at or below `ψ`.
+    pub hidden: bool,
+}
+
+/// Sanitizes a database so every regex pattern's support is ≤ `ψ` (global
+/// rule: ascending occurrence count, spare the `ψ` most expensive
+/// supporters — the paper's heuristic verbatim).
+pub fn sanitize_regex_db(
+    db: &mut SequenceDb,
+    patterns: &[RegexPattern],
+    psi: usize,
+    strategy: ReLocalStrategy,
+    seed: u64,
+) -> RegexSanitizeReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut sup: Vec<(usize, Sat64)> = db
+        .sequences()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| {
+            let m = matching_size_re::<Sat64>(patterns, t);
+            (!m.is_zero()).then_some((i, m))
+        })
+        .collect();
+    sup.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+    let n_victims = sup.len().saturating_sub(psi);
+    let mut marks = 0;
+    for &(i, _) in sup.iter().take(n_victims) {
+        marks +=
+            sanitize_regex_sequence(&mut db.sequences_mut()[i], patterns, strategy, &mut rng);
+    }
+    let residual: Vec<usize> = patterns
+        .iter()
+        .map(|p| db.sequences().iter().filter(|t| supports_re(t, p)).count())
+        .collect();
+    RegexSanitizeReport {
+        marks_introduced: marks,
+        sequences_sanitized: n_victims,
+        hidden: residual.iter().all(|&s| s <= psi),
+        residual_supports: residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqhide_types::Alphabet;
+
+    #[test]
+    fn sanitize_sequence_minimal_marks() {
+        let mut sigma = Alphabet::new();
+        let re = RegexPattern::compile("a (b | c)", &mut sigma).unwrap();
+        let mut t = Sequence::parse("a b c", &mut sigma);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        // both tuples go through position 0 (the a): one mark suffices
+        let marks = sanitize_regex_sequence(&mut t, &[re.clone()], ReLocalStrategy::Heuristic, &mut rng);
+        assert_eq!(marks, 1);
+        assert!(t[0].is_mark());
+        assert!(!supports_re(&t, &re));
+    }
+
+    #[test]
+    fn sanitize_db_respects_psi() {
+        let mut db = SequenceDb::parse("a b\na c\na b c\nx y\n");
+        let re = RegexPattern::compile("a (b | c)", db.alphabet_mut()).unwrap();
+        let report = sanitize_regex_db(&mut db, &[re.clone()], 1, ReLocalStrategy::Heuristic, 0);
+        assert!(report.hidden);
+        assert_eq!(report.residual_supports, vec![1]);
+        assert_eq!(report.sequences_sanitized, 2);
+        assert_eq!(db.sequences()[3].mark_count(), 0);
+    }
+
+    #[test]
+    fn random_strategy_terminates() {
+        for seed in 0..10 {
+            let mut db = SequenceDb::parse("a b a b\nb a b a\na a b b\n");
+            let re = RegexPattern::compile("a b+", db.alphabet_mut()).unwrap();
+            let report = sanitize_regex_db(&mut db, &[re], 0, ReLocalStrategy::Random, seed);
+            assert!(report.hidden, "seed {seed}");
+            assert_eq!(report.residual_supports, vec![0]);
+        }
+    }
+
+    #[test]
+    fn plus_patterns_hide() {
+        let mut db = SequenceDb::parse("a a a\na a\nb b\n");
+        let re = RegexPattern::compile("a a+", db.alphabet_mut()).unwrap();
+        let report = sanitize_regex_db(&mut db, &[re.clone()], 0, ReLocalStrategy::Heuristic, 0);
+        assert!(report.hidden);
+        for t in db.sequences() {
+            assert!(!supports_re(t, &re));
+        }
+        // single a's may survive (the pattern needs at least two)
+        assert!(db.sequences()[0].mark_count() <= 2);
+    }
+}

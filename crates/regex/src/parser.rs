@@ -1,0 +1,304 @@
+//! Recursive-descent parser for the pattern syntax.
+//!
+//! ```text
+//! alt    := concat ('|' concat)*
+//! concat := repeat+
+//! repeat := atom ('*' | '+' | '?')*
+//! atom   := NAME | '.' | '[' NAME+ ']' | '(' alt ')'
+//! ```
+//!
+//! `NAME` is any run of characters other than whitespace and the
+//! metacharacters `( ) [ ] | * + ? .` — so grid cells (`X6Y3`), event
+//! names (`hiv-test`) and interned ids all work unquoted.
+
+use seqhide_types::Alphabet;
+
+use crate::ast::{Ast, RegexError};
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    Name(String),
+    Dot,
+    Pipe,
+    Star,
+    Plus,
+    Question,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+}
+
+fn lex(input: &str) -> Result<Vec<Token>, RegexError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '.' => {
+                chars.next();
+                out.push(Token::Dot);
+            }
+            '|' => {
+                chars.next();
+                out.push(Token::Pipe);
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            '+' => {
+                chars.next();
+                out.push(Token::Plus);
+            }
+            '?' => {
+                chars.next();
+                out.push(Token::Question);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '[' => {
+                chars.next();
+                out.push(Token::LBracket);
+            }
+            ']' => {
+                chars.next();
+                out.push(Token::RBracket);
+            }
+            _ => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || "()[]|*+?.".contains(c) {
+                        break;
+                    }
+                    name.push(c);
+                    chars.next();
+                }
+                out.push(Token::Name(name));
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    alphabet: &'a mut Alphabet,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn alt(&mut self) -> Result<Ast, RegexError> {
+        let mut branches = vec![self.concat()?];
+        while self.peek() == Some(&Token::Pipe) {
+            self.bump();
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("non-empty")
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Ast, RegexError> {
+        let mut parts = Vec::new();
+        while matches!(
+            self.peek(),
+            Some(Token::Name(_) | Token::Dot | Token::LBracket | Token::LParen)
+        ) {
+            parts.push(self.repeat()?);
+        }
+        match parts.len() {
+            0 => Err(RegexError::Syntax("empty branch".into())),
+            1 => Ok(parts.pop().expect("non-empty")),
+            _ => Ok(Ast::Concat(parts)),
+        }
+    }
+
+    fn repeat(&mut self) -> Result<Ast, RegexError> {
+        let mut node = self.atom()?;
+        loop {
+            node = match self.peek() {
+                Some(Token::Star) => {
+                    self.bump();
+                    Ast::Star(Box::new(node))
+                }
+                Some(Token::Plus) => {
+                    self.bump();
+                    Ast::Plus(Box::new(node))
+                }
+                Some(Token::Question) => {
+                    self.bump();
+                    Ast::Opt(Box::new(node))
+                }
+                _ => return Ok(node),
+            };
+        }
+    }
+
+    fn atom(&mut self) -> Result<Ast, RegexError> {
+        match self.bump() {
+            Some(Token::Name(name)) => Ok(Ast::Sym(self.alphabet.intern(&name))),
+            Some(Token::Dot) => Ok(Ast::Any),
+            Some(Token::LParen) => {
+                let inner = self.alt()?;
+                match self.bump() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(RegexError::Syntax("unclosed '('".into())),
+                }
+            }
+            Some(Token::LBracket) => {
+                let mut syms = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some(Token::Name(name)) => syms.push(self.alphabet.intern(&name)),
+                        Some(Token::RBracket) => break,
+                        other => {
+                            return Err(RegexError::Syntax(format!(
+                                "expected symbol or ']' in class, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+                if syms.is_empty() {
+                    return Err(RegexError::Syntax("empty class []".into()));
+                }
+                Ok(Ast::Class(syms))
+            }
+            other => Err(RegexError::Syntax(format!("unexpected {other:?}"))),
+        }
+    }
+}
+
+/// Parses `input` into an AST, interning symbol names into `alphabet`.
+pub fn parse(input: &str, alphabet: &mut Alphabet) -> Result<Ast, RegexError> {
+    let tokens = lex(input)?;
+    if tokens.is_empty() {
+        return Err(RegexError::Syntax("empty pattern".into()));
+    }
+    let mut p = Parser { tokens, pos: 0, alphabet };
+    let ast = p.alt()?;
+    if p.pos != p.tokens.len() {
+        return Err(RegexError::Syntax(format!(
+            "trailing tokens starting at {:?}",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(ast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqhide_types::Symbol;
+
+    fn p(s: &str) -> Ast {
+        parse(s, &mut Alphabet::new()).unwrap()
+    }
+
+    #[test]
+    fn literal_concat() {
+        assert_eq!(
+            p("a b c"),
+            Ast::Concat(vec![
+                Ast::Sym(Symbol::new(0)),
+                Ast::Sym(Symbol::new(1)),
+                Ast::Sym(Symbol::new(2)),
+            ])
+        );
+    }
+
+    #[test]
+    fn alternation_precedence() {
+        // a b | c  ≡  (a b) | c
+        assert_eq!(
+            p("a b | c"),
+            Ast::Alt(vec![
+                Ast::Concat(vec![Ast::Sym(Symbol::new(0)), Ast::Sym(Symbol::new(1))]),
+                Ast::Sym(Symbol::new(2)),
+            ])
+        );
+    }
+
+    #[test]
+    fn repetition_binds_tightest() {
+        // a b*  ≡  a (b*)
+        assert_eq!(
+            p("a b*"),
+            Ast::Concat(vec![
+                Ast::Sym(Symbol::new(0)),
+                Ast::Star(Box::new(Ast::Sym(Symbol::new(1)))),
+            ])
+        );
+        // (a b)* groups
+        assert_eq!(
+            p("(a b)*"),
+            Ast::Star(Box::new(Ast::Concat(vec![
+                Ast::Sym(Symbol::new(0)),
+                Ast::Sym(Symbol::new(1)),
+            ])))
+        );
+    }
+
+    #[test]
+    fn classes_and_wildcards() {
+        assert_eq!(
+            p("[a b] . c?"),
+            Ast::Concat(vec![
+                Ast::Class(vec![Symbol::new(0), Symbol::new(1)]),
+                Ast::Any,
+                Ast::Opt(Box::new(Ast::Sym(Symbol::new(2)))),
+            ])
+        );
+    }
+
+    #[test]
+    fn grid_cell_and_hyphen_names() {
+        let mut sigma = Alphabet::new();
+        let ast = parse("X6Y3 (X7Y2 | X7Y3)", &mut sigma).unwrap();
+        assert_eq!(sigma.len(), 3);
+        assert!(matches!(ast, Ast::Concat(_)));
+        let ast2 = parse("hiv-test arv-prescription", &mut sigma).unwrap();
+        assert!(matches!(ast2, Ast::Concat(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn double_postfix() {
+        // a+? = Opt(Plus(a)) — accepted, nullable
+        let ast = p("a+?");
+        assert!(ast.nullable());
+    }
+
+    #[test]
+    fn syntax_errors() {
+        let mut sigma = Alphabet::new();
+        assert!(matches!(parse("", &mut sigma), Err(RegexError::Syntax(_))));
+        assert!(matches!(parse("(a", &mut sigma), Err(RegexError::Syntax(_))));
+        assert!(matches!(parse("a )", &mut sigma), Err(RegexError::Syntax(_))));
+        assert!(matches!(parse("[]", &mut sigma), Err(RegexError::Syntax(_))));
+        assert!(matches!(parse("| a", &mut sigma), Err(RegexError::Syntax(_))));
+        assert!(matches!(parse("a | ", &mut sigma), Err(RegexError::Syntax(_))));
+        assert!(matches!(parse("*", &mut sigma), Err(RegexError::Syntax(_))));
+    }
+}

@@ -1,0 +1,43 @@
+//! # seqhide-st
+//!
+//! Spatio-temporal pattern hiding — the §7.3 roadmap of *Hiding Sequences*
+//! (ICDE 2007), implemented.
+//!
+//! The paper closes with a research agenda for moving from discretized
+//! event sequences to raw trajectories:
+//!
+//! 1. *"How to map the real-world background knowledge to a mathematical
+//!    model"* — [`PlausibilityModel`]: a maximum-speed constraint (the
+//!    simplest road-network surrogate) that every released trajectory must
+//!    satisfy, and that an adversary could use to re-identify physically
+//!    impossible edits;
+//! 2. *"Private pattern language … expressive enough to define non-trivial
+//!    spatio-temporal patterns"* — [`StPattern`]: a sequence of spatial
+//!    **regions** with elapsed-time gap and window constraints, evaluated
+//!    directly on continuous trajectories (no pre-discretization);
+//! 3. *"Basic operations for distortion … more elegant operations like
+//!    swapping locations, replacing locations, shifting"* — the sanitizer
+//!    prefers **displacement** (nudging a point just outside the matched
+//!    region, keeping the trajectory physically plausible) and falls back
+//!    to **suppression** (the marking analogue) only when no plausible
+//!    displacement exists.
+//!
+//! Counting and `δ` reuse the base framework: an occurrence is a strictly
+//! increasing tuple of trajectory points, point `k` inside region `k`,
+//! elapsed times within the constraints — exactly the bounded-range
+//! ending-at DP of [`seqhide_match::ending_at_table_bounded_by`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod road;
+mod pattern;
+mod sanitize;
+mod trajectory;
+
+pub use model::PlausibilityModel;
+pub use road::RoadNetwork;
+pub use pattern::{count_st_matches, delta_st, st_supports, Region, StPattern};
+pub use sanitize::{sanitize_st_db, sanitize_st_trajectory, StOp, StSanitizeReport};
+pub use trajectory::{StPoint, Trajectory};

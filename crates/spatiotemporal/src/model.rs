@@ -1,0 +1,271 @@
+//! The real-world background-knowledge model (§7.3 item 1).
+//!
+//! The paper warns that background knowledge — "the geographic map and the
+//! road network" — can be *"exploited to rediscover the hidden patterns, if
+//! the sanitization has not been performed properly"*; the sanitized data
+//! must satisfy it as *"a big constraint"*. The simplest useful model is a
+//! maximum travel speed: a released trajectory whose consecutive samples
+//! imply an impossible speed betrays an edit (and roughly bounds where the
+//! removed sample must have been).
+
+use seqhide_types::TimeTag;
+
+use crate::road::RoadNetwork;
+use crate::trajectory::{StPoint, Trajectory};
+
+/// A plausibility model over released trajectories: maximum travel speed,
+/// optionally a maximum sampling interval (a GPS logger that reports every
+/// X ticks makes *deletions* detectable as timing holes) and a road
+/// network (which makes off-road *displacements* detectable).
+#[derive(Clone, Debug)]
+pub struct PlausibilityModel {
+    /// Maximum plausible speed in distance units per time tick.
+    pub max_speed: f64,
+    /// Maximum elapsed ticks between consecutive released samples, if the
+    /// adversary knows the device's sampling cadence.
+    pub max_sample_interval: Option<TimeTag>,
+    /// The road network released samples must lie on, if known.
+    pub road: Option<RoadNetwork>,
+}
+
+impl PlausibilityModel {
+    /// Creates a max-speed-only model.
+    ///
+    /// # Panics
+    /// Panics on a non-positive speed.
+    pub fn new(max_speed: f64) -> Self {
+        assert!(max_speed > 0.0, "max speed must be positive");
+        PlausibilityModel { max_speed, max_sample_interval: None, road: None }
+    }
+
+    /// Adds sampling-cadence knowledge: consecutive released samples more
+    /// than `ticks` apart betray a deletion. This is what makes
+    /// suppression detectable — under a pure metric speed model the
+    /// triangle inequality protects it (see
+    /// [`PlausibilityModel::suppression_plausible`]).
+    pub fn with_max_sample_interval(mut self, ticks: TimeTag) -> Self {
+        self.max_sample_interval = Some(ticks);
+        self
+    }
+
+    /// Adds road-network knowledge: released samples must lie on the
+    /// network, so displacement candidates off the road are rejected.
+    pub fn with_road_network(mut self, road: RoadNetwork) -> Self {
+        self.road = Some(road);
+        self
+    }
+
+    /// Whether moving `a → b` is plausible. Simultaneous samples
+    /// (`Δt = 0`) are plausible only at the same position; a known
+    /// sampling cadence bounds `Δt` from above.
+    pub fn plausible_step(&self, a: &StPoint, b: &StPoint) -> bool {
+        let dt_ticks = b.t.saturating_sub(a.t);
+        if self.max_sample_interval.is_some_and(|max| dt_ticks > max) {
+            return false;
+        }
+        let dt = dt_ticks as f64;
+        let dist = a.distance(b);
+        if dt == 0.0 {
+            dist == 0.0
+        } else {
+            dist <= self.max_speed * dt + 1e-12
+        }
+    }
+
+    /// Whether a released sample position is individually plausible
+    /// (on-road when a network is known).
+    pub fn plausible_point(&self, p: &StPoint) -> bool {
+        self.road.as_ref().is_none_or(|net| net.point_on_road(p))
+    }
+
+    /// Number of implausible artefacts in the **released** (unsuppressed)
+    /// point sequence: bad steps plus off-road samples.
+    pub fn violations(&self, trajectory: &Trajectory) -> usize {
+        let released = trajectory.released();
+        let bad_steps = released
+            .windows(2)
+            .filter(|w| !self.plausible_step(&w[0], &w[1]))
+            .count();
+        let off_road = released.iter().filter(|p| !self.plausible_point(p)).count();
+        bad_steps + off_road
+    }
+
+    /// Whether the release is plausible end to end.
+    pub fn check(&self, trajectory: &Trajectory) -> bool {
+        self.violations(trajectory) == 0
+    }
+
+    /// Whether suppressing sample `i` keeps the release plausible: the gap
+    /// it opens between its live neighbours must be traversable.
+    ///
+    /// Under a pure max-speed model this is implied whenever the current
+    /// release is plausible (triangle inequality: the direct hop is never
+    /// faster than the detour it replaces), so the check only bites on
+    /// already-implausible inputs. It is kept as a separate predicate
+    /// because richer background models — a road network, forbidden areas —
+    /// make suppression genuinely detectable, and the sanitizer calls this
+    /// hook for any model.
+    pub fn suppression_plausible(&self, trajectory: &Trajectory, i: usize) -> bool {
+        let live = trajectory.live_indices();
+        let Some(pos) = live.iter().position(|&j| j == i) else {
+            return true; // already suppressed
+        };
+        let before = if pos > 0 { Some(live[pos - 1]) } else { None };
+        let after = live.get(pos + 1).copied();
+        match (before, after) {
+            (Some(b), Some(a)) => self.plausible_step(
+                &trajectory.points()[b],
+                &trajectory.points()[a],
+            ),
+            _ => true, // endpoint: no gap to bridge
+        }
+    }
+
+    /// Whether displacing sample `i` to `(x, y)` keeps both adjacent steps
+    /// plausible.
+    pub fn displacement_plausible(
+        &self,
+        trajectory: &Trajectory,
+        i: usize,
+        x: f64,
+        y: f64,
+    ) -> bool {
+        let candidate = StPoint::new(x, y, trajectory.points()[i].t);
+        let live = trajectory.live_indices();
+        let Some(pos) = live.iter().position(|&j| j == i) else {
+            return false; // displacing a suppressed sample is meaningless
+        };
+        if !self.plausible_point(&candidate) {
+            return false; // off-road edits are detectable
+        }
+        let ok_before = pos == 0
+            || self.plausible_step(&trajectory.points()[live[pos - 1]], &candidate);
+        let ok_after = pos + 1 >= live.len()
+            || self.plausible_step(&candidate, &trajectory.points()[live[pos + 1]]);
+        ok_before && ok_after
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PlausibilityModel {
+        PlausibilityModel::new(0.1) // 0.1 units per tick
+    }
+
+    #[test]
+    fn step_plausibility() {
+        let m = model();
+        let a = StPoint::new(0.0, 0.0, 0);
+        assert!(m.plausible_step(&a, &StPoint::new(0.5, 0.0, 5)));
+        assert!(!m.plausible_step(&a, &StPoint::new(0.6, 0.0, 5)));
+        // zero elapsed time: only zero distance
+        assert!(m.plausible_step(&a, &StPoint::new(0.0, 0.0, 0)));
+        assert!(!m.plausible_step(&a, &StPoint::new(0.01, 0.0, 0)));
+    }
+
+    #[test]
+    fn violations_count_released_steps_only() {
+        let m = model();
+        // 0.4 units in 4 ticks is the limit; 0.6 in 4 is a violation.
+        let t = Trajectory::from_triples([(0.0, 0.0, 0), (0.4, 0.0, 4), (1.0, 0.0, 8)]);
+        assert_eq!(m.violations(&t), 1);
+        assert!(!m.check(&t));
+        let ok = Trajectory::from_triples([(0.0, 0.0, 0), (0.4, 0.0, 4), (0.8, 0.0, 8)]);
+        assert!(ok.released().len() == 3 && m.check(&ok));
+    }
+
+    #[test]
+    fn suppression_of_middle_points_is_safe_on_plausible_trajectories() {
+        // Triangle inequality: the direct hop is never faster than the
+        // detour it replaces, so suppression preserves plausibility —
+        // exactly why a richer background model is needed to *detect*
+        // suppression (§7.3).
+        let m = model();
+        let t = Trajectory::from_triples([
+            (0.0, 0.0, 0),
+            (0.2, 0.3, 4),
+            (0.4, 0.0, 8),
+            (0.5, 0.2, 11),
+        ]);
+        assert!(m.check(&t));
+        for i in 0..t.len() {
+            assert!(m.suppression_plausible(&t, i), "index {i}");
+            let mut t2 = t.clone();
+            t2.suppress(i);
+            assert!(m.check(&t2), "index {i}");
+        }
+    }
+
+    #[test]
+    fn suppression_check_bites_on_implausible_input() {
+        let m = model();
+        // b → c is already implausible; removing the plausible middle of
+        // a → b leaves an implausible a → b gap too.
+        let t = Trajectory::from_triples([(0.0, 0.0, 0), (0.39, 0.0, 4), (1.0, 0.0, 6)]);
+        assert!(!m.check(&t));
+        assert!(m.suppression_plausible(&t, 0));
+        assert!(!m.suppression_plausible(&t, 1)); // gap a→c: 1.0 over 6 > 0.6
+    }
+
+    #[test]
+    fn endpoint_suppression_always_plausible() {
+        let m = model();
+        let t = Trajectory::from_triples([(0.0, 0.0, 0), (1.0, 0.0, 4)]);
+        assert!(m.suppression_plausible(&t, 0));
+        assert!(m.suppression_plausible(&t, 1));
+    }
+
+    #[test]
+    fn displacement_checks_both_sides() {
+        let m = model();
+        let t = Trajectory::from_triples([(0.0, 0.0, 0), (0.3, 0.0, 4), (0.6, 0.0, 8)]);
+        assert!(m.displacement_plausible(&t, 1, 0.35, 0.0));
+        assert!(!m.displacement_plausible(&t, 1, 0.3, 0.5)); // too far off-axis
+        // endpoints only check one side
+        assert!(m.displacement_plausible(&t, 0, 0.1, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_rejected() {
+        let _ = PlausibilityModel::new(0.0);
+    }
+
+    #[test]
+    fn sampling_interval_makes_suppression_detectable() {
+        // device reports every ≤ 5 ticks; all hops plausible initially
+        let m = PlausibilityModel::new(0.1).with_max_sample_interval(5);
+        let t = Trajectory::from_triples([
+            (0.0, 0.0, 0),
+            (0.3, 0.0, 4),
+            (0.6, 0.0, 8),
+        ]);
+        assert!(m.check(&t));
+        // suppressing the middle sample opens an 8-tick hole > 5
+        assert!(!m.suppression_plausible(&t, 1));
+        let mut t2 = t.clone();
+        t2.suppress(1);
+        assert_eq!(m.violations(&t2), 1);
+        // endpoints leave no hole
+        assert!(m.suppression_plausible(&t, 0));
+        assert!(m.suppression_plausible(&t, 2));
+    }
+
+    #[test]
+    fn road_network_rejects_offroad_displacement() {
+        use crate::road::RoadNetwork;
+        let m = PlausibilityModel::new(1.0).with_road_network(RoadNetwork::grid(3, 3, 0.03));
+        // sample sitting on the bottom road
+        let t = Trajectory::from_triples([(0.25, 0.0, 0), (0.5, 0.0, 1)]);
+        assert!(m.check(&t));
+        // displacing into the middle of a block is detectable
+        assert!(!m.displacement_plausible(&t, 0, 0.25, 0.25));
+        // displacing along the road is fine
+        assert!(m.displacement_plausible(&t, 0, 0.35, 0.0));
+        // an off-road release counts a violation
+        let off = Trajectory::from_triples([(0.25, 0.25, 0)]);
+        assert_eq!(m.violations(&off), 1);
+    }
+}

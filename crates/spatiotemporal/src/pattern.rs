@@ -1,0 +1,300 @@
+//! The spatio-temporal private-pattern language (§7.3 item 2): sequences
+//! of spatial regions with elapsed-time constraints, evaluated directly on
+//! continuous trajectories.
+
+use seqhide_match::counting::ending_at_table_bounded_by;
+use seqhide_num::Count;
+use seqhide_types::TimeTag;
+
+use crate::trajectory::Trajectory;
+
+/// An axis-aligned spatial region.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Region {
+    /// Lower x bound (inclusive).
+    pub x0: f64,
+    /// Lower y bound (inclusive).
+    pub y0: f64,
+    /// Upper x bound (exclusive).
+    pub x1: f64,
+    /// Upper y bound (exclusive).
+    pub y1: f64,
+}
+
+impl Region {
+    /// A rectangle from corner bounds.
+    ///
+    /// # Panics
+    /// Panics on an empty rectangle.
+    pub fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(x1 > x0 && y1 > y0, "region must be non-empty");
+        Region { x0, y0, x1, y1 }
+    }
+
+    /// The cell `(i, j)` (1-based) of an `nx × ny` grid over the unit
+    /// square — the discretization the paper's experiments use, expressed
+    /// as a region.
+    pub fn grid_cell(nx: usize, ny: usize, i: usize, j: usize) -> Self {
+        assert!((1..=nx).contains(&i) && (1..=ny).contains(&j));
+        // divide rather than multiply by the cell size so the shared edge
+        // of adjacent cells is bit-identical (k/n is one rounding; k·(1/n)
+        // is two and breaks exclusive-upper-bound tests at the boundary)
+        Region::rect(
+            (i - 1) as f64 / nx as f64,
+            (j - 1) as f64 / ny as f64,
+            i as f64 / nx as f64,
+            j as f64 / ny as f64,
+        )
+    }
+
+    /// Whether the point `(x, y)` lies inside.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// The centre of the region.
+    pub fn center(&self) -> (f64, f64) {
+        ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+}
+
+/// A sensitive spatio-temporal pattern: visit region 0, then region 1, …
+/// with elapsed-time constraints between consecutive visits and an
+/// optional whole-occurrence time window.
+///
+/// ```
+/// use seqhide_st::{count_st_matches, Region, StPattern, Trajectory};
+/// let clinic = Region::rect(0.0, 0.0, 0.5, 0.5);
+/// let pharmacy = Region::rect(0.5, 0.0, 1.0, 0.5);
+/// let visit = StPattern::new(vec![clinic, pharmacy]).with_max_window(60);
+/// let t = Trajectory::from_triples([(0.2, 0.2, 0), (0.7, 0.2, 45)]);
+/// assert_eq!(count_st_matches::<u64>(&visit, &t), 1);
+/// let slow = Trajectory::from_triples([(0.2, 0.2, 0), (0.7, 0.2, 500)]);
+/// assert_eq!(count_st_matches::<u64>(&visit, &slow), 0); // outside the window
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct StPattern {
+    regions: Vec<Region>,
+    /// Minimum elapsed ticks between consecutive matched samples.
+    pub min_gap: TimeTag,
+    /// Maximum elapsed ticks between consecutive matched samples.
+    pub max_gap: Option<TimeTag>,
+    /// Maximum elapsed ticks from first to last matched sample.
+    pub max_window: Option<TimeTag>,
+}
+
+impl StPattern {
+    /// An unconstrained region sequence.
+    ///
+    /// # Panics
+    /// Panics on an empty region list.
+    pub fn new(regions: Vec<Region>) -> Self {
+        assert!(!regions.is_empty(), "pattern needs at least one region");
+        StPattern { regions, min_gap: 0, max_gap: None, max_window: None }
+    }
+
+    /// Sets the per-arrow elapsed-time bounds.
+    pub fn with_time_gap(mut self, min: TimeTag, max: Option<TimeTag>) -> Self {
+        self.min_gap = min;
+        self.max_gap = max;
+        self
+    }
+
+    /// Sets the whole-occurrence time window.
+    pub fn with_max_window(mut self, ws: TimeTag) -> Self {
+        self.max_window = Some(ws);
+        self
+    }
+
+    /// The regions.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Pattern length (number of regions).
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Always `false` (validated non-empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+fn matches(p: &StPattern, t: &Trajectory, k: usize, j: usize) -> bool {
+    !t.is_suppressed(j) && {
+        let pt = t.points()[j];
+        p.regions[k].contains(pt.x, pt.y)
+    }
+}
+
+/// Counts the occurrences of `p` in `t`: strictly increasing tuples of
+/// live samples, sample `k` inside region `k`, elapsed times within the
+/// pattern's constraints. Same bounded-range DP as the timed extension.
+pub fn count_st_matches<C: Count>(p: &StPattern, t: &Trajectory) -> C {
+    let times: Vec<TimeTag> = t.points().iter().map(|pt| pt.t).collect();
+    let m = p.len();
+    let n = t.len();
+    let gap_range = |_k: usize, j: usize| -> Option<(usize, usize)> {
+        let end_t = times[j];
+        let hi_t = end_t.checked_sub(p.min_gap)?;
+        let lo_t = match p.max_gap {
+            Some(max) => end_t.saturating_sub(max),
+            None => 0,
+        };
+        let lo = times.partition_point(|&x| x < lo_t);
+        let hi = times.partition_point(|&x| x <= hi_t);
+        (lo < hi).then(|| (lo, hi - 1))
+    };
+    match p.max_window {
+        None => {
+            let table =
+                ending_at_table_bounded_by::<C>(m, n, |k, j| matches(p, t, k, j), gap_range);
+            let mut total = C::zero();
+            for cell in &table[m - 1] {
+                total.add_assign(cell);
+            }
+            total
+        }
+        Some(ws) => {
+            let mut total = C::zero();
+            for j in 0..n {
+                if !matches(p, t, m - 1, j) {
+                    continue;
+                }
+                let lo = times.partition_point(|&x| x < times[j].saturating_sub(ws));
+                let len = j - lo + 1;
+                if len < m {
+                    continue;
+                }
+                let table = ending_at_table_bounded_by::<C>(
+                    m,
+                    len,
+                    |k, jj| matches(p, t, k, lo + jj),
+                    |k, jj| {
+                        let (a, b) = gap_range(k, lo + jj)?;
+                        let a = a.max(lo);
+                        (a <= b).then(|| (a - lo, b - lo))
+                    },
+                );
+                total.add_assign(&table[m - 1][len - 1]);
+            }
+            total
+        }
+    }
+}
+
+/// Whether `t` contains at least one occurrence of `p`.
+pub fn st_supports(t: &Trajectory, p: &StPattern) -> bool {
+    !count_st_matches::<seqhide_num::Sat64>(p, t).is_zero()
+}
+
+/// `δ` per sample across several patterns by temporary suppression (the
+/// masking device: indices and times are preserved).
+pub fn delta_st<C: Count>(patterns: &[StPattern], t: &Trajectory) -> Vec<C> {
+    let total = {
+        let mut c = C::zero();
+        for p in patterns {
+            c.add_assign(&count_st_matches::<C>(p, t));
+        }
+        c
+    };
+    (0..t.len())
+        .map(|i| {
+            if t.is_suppressed(i) {
+                return C::zero();
+            }
+            let mut work = t.clone();
+            work.suppress(i);
+            let mut reduced = C::zero();
+            for p in patterns {
+                reduced.add_assign(&count_st_matches::<C>(p, &work));
+            }
+            total.saturating_sub(&reduced)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_cell(i: usize, j: usize) -> Region {
+        Region::grid_cell(10, 10, i, j)
+    }
+
+    #[test]
+    fn region_containment_and_center() {
+        let r = unit_cell(6, 3); // x ∈ [0.5, 0.6), y ∈ [0.2, 0.3)
+        assert!(r.contains(0.55, 0.25));
+        assert!(r.contains(0.5, 0.2)); // inclusive lower edge
+        assert!(!r.contains(0.6, 0.25)); // exclusive upper edge
+        assert!(!r.contains(0.45, 0.25));
+        let (cx, cy) = r.center();
+        assert!((cx - 0.55).abs() < 1e-12 && (cy - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counting_over_trajectory() {
+        let p = StPattern::new(vec![unit_cell(1, 1), unit_cell(2, 1)]);
+        // two visits to cell (1,1) then one to (2,1)
+        let t = Trajectory::from_triples([
+            (0.05, 0.05, 0),
+            (0.08, 0.02, 3),
+            (0.15, 0.05, 6),
+            (0.95, 0.95, 9),
+        ]);
+        assert_eq!(count_st_matches::<u64>(&p, &t), 2);
+        assert!(st_supports(&t, &p));
+    }
+
+    #[test]
+    fn time_gap_filters() {
+        let p = StPattern::new(vec![unit_cell(1, 1), unit_cell(2, 1)])
+            .with_time_gap(0, Some(4));
+        let t = Trajectory::from_triples([
+            (0.05, 0.05, 0),
+            (0.08, 0.02, 3),
+            (0.15, 0.05, 6),
+        ]);
+        // (0 → 6): 6 ticks ✗; (3 → 6): 3 ticks ✓
+        assert_eq!(count_st_matches::<u64>(&p, &t), 1);
+    }
+
+    #[test]
+    fn time_window_filters() {
+        let p = StPattern::new(vec![unit_cell(1, 1), unit_cell(1, 1), unit_cell(2, 1)])
+            .with_max_window(7);
+        let t = Trajectory::from_triples([
+            (0.05, 0.05, 0),
+            (0.08, 0.02, 3),
+            (0.02, 0.08, 5),
+            (0.15, 0.05, 9),
+        ]);
+        // triples ending at t=9: (0,3,9) span 9 ✗, (0,5,9) span 9 ✗, (3,5,9) span 6 ✓
+        assert_eq!(count_st_matches::<u64>(&p, &t), 1);
+    }
+
+    #[test]
+    fn suppression_removes_occurrences() {
+        let p = StPattern::new(vec![unit_cell(1, 1), unit_cell(2, 1)]);
+        let mut t =
+            Trajectory::from_triples([(0.05, 0.05, 0), (0.15, 0.05, 5)]);
+        assert!(st_supports(&t, &p));
+        t.suppress(1);
+        assert!(!st_supports(&t, &p));
+    }
+
+    #[test]
+    fn delta_identifies_shared_sample() {
+        let p = StPattern::new(vec![unit_cell(1, 1), unit_cell(2, 1)]);
+        let t = Trajectory::from_triples([
+            (0.05, 0.05, 0),
+            (0.08, 0.02, 3),
+            (0.15, 0.05, 6),
+        ]);
+        let d = delta_st::<u64>(std::slice::from_ref(&p), &t);
+        assert_eq!(d, vec![1, 1, 2]);
+    }
+}

@@ -1,0 +1,138 @@
+//! A road-network background model (§7.3: *"a real-world model can be
+//! available as background knowledge: for instance, in the case of
+//! mobility data, the geographic map and the road network"*).
+//!
+//! The network is a set of segments (edges between node points). A
+//! released sample is *on-road* when it lies within `snap_radius` of some
+//! segment — an edit that moves a vehicle into a lake is instantly
+//! detectable, so the sanitizer must restrict displacement to on-road
+//! positions.
+
+use crate::trajectory::StPoint;
+
+/// A point in the plane.
+pub type Node = (f64, f64);
+
+/// An undirected road network: nodes and segments between them.
+#[derive(Clone, Debug)]
+pub struct RoadNetwork {
+    nodes: Vec<Node>,
+    edges: Vec<(usize, usize)>,
+    snap_radius: f64,
+}
+
+impl RoadNetwork {
+    /// Builds a network.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range edge endpoint or non-positive radius.
+    pub fn new(nodes: Vec<Node>, edges: Vec<(usize, usize)>, snap_radius: f64) -> Self {
+        assert!(snap_radius > 0.0, "snap radius must be positive");
+        for &(a, b) in &edges {
+            assert!(a < nodes.len() && b < nodes.len(), "edge endpoint out of range");
+        }
+        RoadNetwork { nodes, edges, snap_radius }
+    }
+
+    /// A rectangular grid network over the unit square — `nx × ny` nodes
+    /// joined to their horizontal/vertical neighbours. A convenient stand-in
+    /// for a city street grid.
+    pub fn grid(nx: usize, ny: usize, snap_radius: f64) -> Self {
+        assert!(nx >= 2 && ny >= 2);
+        let mut nodes = Vec::with_capacity(nx * ny);
+        for j in 0..ny {
+            for i in 0..nx {
+                nodes.push((
+                    i as f64 / (nx - 1) as f64,
+                    j as f64 / (ny - 1) as f64,
+                ));
+            }
+        }
+        let mut edges = Vec::new();
+        for j in 0..ny {
+            for i in 0..nx {
+                let id = j * nx + i;
+                if i + 1 < nx {
+                    edges.push((id, id + 1));
+                }
+                if j + 1 < ny {
+                    edges.push((id, id + nx));
+                }
+            }
+        }
+        RoadNetwork::new(nodes, edges, snap_radius)
+    }
+
+    /// Distance from `(x, y)` to the segment `a–b`.
+    fn segment_distance(a: Node, b: Node, x: f64, y: f64) -> f64 {
+        let (ax, ay) = a;
+        let (bx, by) = b;
+        let (dx, dy) = (bx - ax, by - ay);
+        let len2 = dx * dx + dy * dy;
+        let t = if len2 == 0.0 {
+            0.0
+        } else {
+            (((x - ax) * dx + (y - ay) * dy) / len2).clamp(0.0, 1.0)
+        };
+        let (px, py) = (ax + t * dx, ay + t * dy);
+        ((x - px).powi(2) + (y - py).powi(2)).sqrt()
+    }
+
+    /// Distance from a point to the nearest road segment.
+    pub fn distance_to_network(&self, x: f64, y: f64) -> f64 {
+        self.edges
+            .iter()
+            .map(|&(a, b)| Self::segment_distance(self.nodes[a], self.nodes[b], x, y))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether `(x, y)` lies on the network (within the snap radius).
+    pub fn on_road(&self, x: f64, y: f64) -> bool {
+        self.distance_to_network(x, y) <= self.snap_radius
+    }
+
+    /// Whether a sample is on-road.
+    pub fn point_on_road(&self, p: &StPoint) -> bool {
+        self.on_road(p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_network_shape() {
+        let net = RoadNetwork::grid(3, 3, 0.02);
+        // 9 nodes, 6 horizontal + 6 vertical edges
+        assert_eq!(net.nodes.len(), 9);
+        assert_eq!(net.edges.len(), 12);
+    }
+
+    #[test]
+    fn on_road_detection() {
+        let net = RoadNetwork::grid(3, 3, 0.02);
+        // on the bottom edge
+        assert!(net.on_road(0.25, 0.0));
+        assert!(net.on_road(0.5, 0.51)); // near the middle horizontal road
+        // the centre of a block is off-road
+        assert!(!net.on_road(0.25, 0.25));
+        let d = net.distance_to_network(0.25, 0.25);
+        assert!((d - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_segment_distance() {
+        let net = RoadNetwork::new(vec![(0.0, 0.0), (1.0, 0.0)], vec![(0, 1)], 0.05);
+        assert!(net.on_road(0.5, 0.04));
+        assert!(!net.on_road(0.5, 0.06));
+        // beyond the endpoint, distance is to the endpoint
+        assert!((net.distance_to_network(1.5, 0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_rejected() {
+        let _ = RoadNetwork::new(vec![(0.0, 0.0)], vec![(0, 3)], 0.1);
+    }
+}

@@ -1,0 +1,319 @@
+//! Spatio-temporal sanitization (§7.3 item 3): the distortion operators
+//! and the hiding loop.
+//!
+//! The paper ranks operators: suppressing whole trajectories is the
+//! "simplest solution", but *"there are more elegant operations like
+//! swapping locations, replacing locations, shifting"*. This sanitizer
+//! works δ-first like the base algorithm, and at each chosen sample
+//! prefers the gentler operator:
+//!
+//! 1. **displace** the sample just outside the matched region(s) — keeps
+//!    the sample count intact and respects the plausibility model;
+//! 2. **suppress** the sample — only if the gap it opens is plausibly
+//!    traversable;
+//! 3. as a last resort, force-suppress and report the plausibility
+//!    violation (the release should then be reviewed — §7.3's warning
+//!    about background-knowledge attacks).
+
+use seqhide_num::{Count, Sat64};
+
+use crate::model::PlausibilityModel;
+use crate::pattern::{count_st_matches, delta_st, st_supports, StPattern};
+use crate::trajectory::Trajectory;
+
+/// One applied distortion operation (for audit trails).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum StOp {
+    /// Sample at the index was suppressed.
+    Suppress(usize),
+    /// Sample at the index was moved by the given distance.
+    Displace(usize, f64),
+}
+
+/// Outcome of a spatio-temporal sanitization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StSanitizeReport {
+    /// Samples suppressed across the database.
+    pub suppressed: usize,
+    /// Samples displaced across the database.
+    pub displaced: usize,
+    /// Total displacement distance (spatial distortion).
+    pub displacement_distance: f64,
+    /// Trajectories touched.
+    pub trajectories_sanitized: usize,
+    /// Post-sanitization support of each pattern.
+    pub residual_supports: Vec<usize>,
+    /// Whether every pattern ended at or below `ψ`.
+    pub hidden: bool,
+    /// Force-suppressions that broke the plausibility model (0 means the
+    /// release withstands the background-knowledge check).
+    pub plausibility_violations: usize,
+}
+
+/// Candidate positions just outside every pattern region containing the
+/// sample — one per region edge, at `margin` past it.
+fn exit_candidates(
+    patterns: &[StPattern],
+    x: f64,
+    y: f64,
+    margin: f64,
+) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for p in patterns {
+        for r in p.regions() {
+            if r.contains(x, y) {
+                out.push((r.x0 - margin, y));
+                out.push((r.x1 + margin, y));
+                out.push((x, r.y0 - margin));
+                out.push((x, r.y1 + margin));
+            }
+        }
+    }
+    // keep only candidates outside *every* region of every pattern
+    out.retain(|&(cx, cy)| {
+        patterns
+            .iter()
+            .all(|p| p.regions().iter().all(|r| !r.contains(cx, cy)))
+    });
+    out
+}
+
+/// Sanitizes one trajectory in place until no pattern occurrence remains,
+/// appending the applied operations to `ops`.
+pub fn sanitize_st_trajectory(
+    t: &mut Trajectory,
+    patterns: &[StPattern],
+    model: &PlausibilityModel,
+    ops: &mut Vec<StOp>,
+) -> usize {
+    let margin = 1e-4;
+    let mut violations = 0;
+    loop {
+        let delta = delta_st::<Sat64>(patterns, t);
+        let mut best: Option<(usize, Sat64)> = None;
+        for (i, d) in delta.iter().enumerate() {
+            if d.is_zero() {
+                continue;
+            }
+            match best {
+                Some((_, bd)) if *d <= bd => {}
+                _ => best = Some((i, *d)),
+            }
+        }
+        let Some((i, _)) = best else {
+            return violations;
+        };
+        let total_before = total(patterns, t);
+        // 1. try displacement
+        let (px, py) = (t.points()[i].x, t.points()[i].y);
+        let mut applied = false;
+        for (cx, cy) in exit_candidates(patterns, px, py, margin) {
+            if !model.displacement_plausible(t, i, cx, cy) {
+                continue;
+            }
+            let mut trial = t.clone();
+            trial.displace(i, cx, cy);
+            if total(patterns, &trial) < total_before {
+                let dist = ((px - cx).powi(2) + (py - cy).powi(2)).sqrt();
+                t.displace(i, cx, cy);
+                ops.push(StOp::Displace(i, dist));
+                applied = true;
+                break;
+            }
+        }
+        if applied {
+            continue;
+        }
+        // 2. plausible suppression, else 3. forced suppression
+        if !model.suppression_plausible(t, i) {
+            violations += 1;
+        }
+        t.suppress(i);
+        ops.push(StOp::Suppress(i));
+    }
+}
+
+fn total(patterns: &[StPattern], t: &Trajectory) -> Sat64 {
+    let mut c = Sat64::zero();
+    for p in patterns {
+        c.add_assign(&count_st_matches::<Sat64>(p, t));
+    }
+    c
+}
+
+/// Sanitizes a trajectory database so every pattern's support is ≤ `ψ`
+/// (global rule: ascending occurrence count, spare the `ψ` most expensive
+/// supporters).
+pub fn sanitize_st_db(
+    db: &mut [Trajectory],
+    patterns: &[StPattern],
+    psi: usize,
+    model: &PlausibilityModel,
+) -> StSanitizeReport {
+    let mut sup: Vec<(usize, Sat64)> = db
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| {
+            let m = total(patterns, t);
+            (!m.is_zero()).then_some((i, m))
+        })
+        .collect();
+    sup.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+    let n_victims = sup.len().saturating_sub(psi);
+    let mut ops = Vec::new();
+    let mut violations = 0;
+    for &(i, _) in sup.iter().take(n_victims) {
+        violations += sanitize_st_trajectory(&mut db[i], patterns, model, &mut ops);
+    }
+    let residual: Vec<usize> = patterns
+        .iter()
+        .map(|p| db.iter().filter(|t| st_supports(t, p)).count())
+        .collect();
+    let suppressed = ops.iter().filter(|o| matches!(o, StOp::Suppress(_))).count();
+    let displaced = ops.len() - suppressed;
+    let displacement_distance = ops
+        .iter()
+        .map(|o| match o {
+            StOp::Displace(_, d) => *d,
+            StOp::Suppress(_) => 0.0,
+        })
+        .sum();
+    StSanitizeReport {
+        suppressed,
+        displaced,
+        displacement_distance,
+        trajectories_sanitized: n_victims,
+        hidden: residual.iter().all(|&s| s <= psi),
+        residual_supports: residual,
+        plausibility_violations: violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Region;
+
+    fn cell(i: usize, j: usize) -> Region {
+        Region::grid_cell(10, 10, i, j)
+    }
+
+    /// Dense sampling (small hops) so displacement stays plausible.
+    fn corridor_trajectory() -> Trajectory {
+        Trajectory::from_triples([
+            (0.45, 0.25, 0),
+            (0.52, 0.25, 1), // cell (6,3)
+            (0.57, 0.25, 2), // cell (6,3)
+            (0.63, 0.22, 3), // cell (7,3)
+            (0.65, 0.18, 4), // cell (7,2)
+            (0.70, 0.15, 5), // cell (8,2)? x=0.70 → i=8 ✓
+        ])
+    }
+
+    #[test]
+    fn displacement_preferred_over_suppression() {
+        let patterns = vec![StPattern::new(vec![cell(6, 3), cell(7, 2)])];
+        let model = PlausibilityModel::new(0.2);
+        let mut t = corridor_trajectory();
+        let mut ops = Vec::new();
+        let violations = sanitize_st_trajectory(&mut t, &patterns, &model, &mut ops);
+        assert_eq!(violations, 0);
+        assert!(!st_supports(&t, &patterns[0]));
+        // gentle sampling + roomy speed budget: displacement suffices
+        assert!(ops.iter().all(|o| matches!(o, StOp::Displace(..))), "{ops:?}");
+        assert_eq!(t.suppressed_count(), 0);
+        assert!(model.check(&t));
+    }
+
+    #[test]
+    fn tight_model_forces_suppression() {
+        // speed budget so small every displacement is implausible
+        let patterns = vec![StPattern::new(vec![cell(6, 3), cell(7, 2)])];
+        let model = PlausibilityModel::new(1e-6);
+        let mut t = corridor_trajectory();
+        let mut ops = Vec::new();
+        sanitize_st_trajectory(&mut t, &patterns, &model, &mut ops);
+        assert!(!st_supports(&t, &patterns[0]));
+        assert!(t.suppressed_count() > 0);
+    }
+
+    #[test]
+    fn db_sanitization_respects_psi_and_reports() {
+        let patterns = vec![StPattern::new(vec![cell(6, 3), cell(7, 2)])];
+        let model = PlausibilityModel::new(0.2);
+        let mut db = vec![
+            corridor_trajectory(),
+            corridor_trajectory(),
+            Trajectory::from_triples([(0.95, 0.95, 0), (0.92, 0.91, 3)]),
+        ];
+        let report = sanitize_st_db(&mut db, &patterns, 1, &model);
+        assert!(report.hidden);
+        assert_eq!(report.residual_supports, vec![1]);
+        assert_eq!(report.trajectories_sanitized, 1);
+        assert_eq!(report.plausibility_violations, 0);
+        assert!(report.displaced + report.suppressed > 0);
+        // non-supporter untouched
+        assert_eq!(db[2].suppressed_count(), 0);
+    }
+
+    #[test]
+    fn psi_zero_hides_everywhere() {
+        let patterns = vec![
+            StPattern::new(vec![cell(6, 3), cell(7, 2)]).with_time_gap(0, Some(10)),
+        ];
+        let model = PlausibilityModel::new(0.2);
+        let mut db = vec![corridor_trajectory(), corridor_trajectory()];
+        let report = sanitize_st_db(&mut db, &patterns, 0, &model);
+        assert!(report.hidden);
+        assert_eq!(report.residual_supports, vec![0]);
+        for t in &db {
+            assert!(!st_supports(t, &patterns[0]));
+        }
+    }
+
+    #[test]
+    fn road_and_interval_knowledge_constrain_the_operators() {
+        use crate::road::RoadNetwork;
+        // Region around the middle of the bottom road of a 3×3 grid network.
+        let region = Region::rect(0.4, -0.01, 0.6, 0.05);
+        let patterns = vec![StPattern::new(vec![region])];
+        // Samples every 2 ticks along the bottom road, passing the region.
+        let t = Trajectory::from_triples([
+            (0.10, 0.0, 0),
+            (0.30, 0.0, 2),
+            (0.50, 0.0, 4), // inside the region
+            (0.70, 0.0, 6),
+            (0.90, 0.0, 8),
+        ]);
+        // Adversary knows: cadence ≤ 4 ticks, road grid, speed ≤ 0.15/tick.
+        let model = PlausibilityModel::new(0.15)
+            .with_max_sample_interval(4)
+            .with_road_network(RoadNetwork::grid(3, 3, 0.03));
+        assert!(model.check(&t));
+        let mut work = t.clone();
+        let mut ops = Vec::new();
+        let violations = sanitize_st_trajectory(&mut work, &patterns, &model, &mut ops);
+        assert!(!st_supports(&work, &patterns[0]));
+        // the edit stayed plausible: displaced along the road, no holes
+        assert_eq!(violations, 0);
+        assert!(model.check(&work));
+        assert!(ops.iter().all(|o| matches!(o, StOp::Displace(..))), "{ops:?}");
+        for (i, p) in work.points().iter().enumerate() {
+            if !work.is_suppressed(i) {
+                assert!(model.plausible_point(p), "sample {i} off-road");
+            }
+        }
+    }
+
+    #[test]
+    fn displacement_distance_accumulates() {
+        let patterns = vec![StPattern::new(vec![cell(6, 3), cell(7, 2)])];
+        let model = PlausibilityModel::new(0.5);
+        let mut db = vec![corridor_trajectory()];
+        let report = sanitize_st_db(&mut db, &patterns, 0, &model);
+        if report.displaced > 0 {
+            assert!(report.displacement_distance > 0.0);
+        }
+        assert!(report.hidden);
+    }
+}

@@ -1,0 +1,145 @@
+//! Continuous trajectories: timestamped 2-D points with suppression.
+
+use seqhide_types::TimeTag;
+
+/// One trajectory sample: a position at an instant.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct StPoint {
+    /// X coordinate (unit square in the experiments; any metric works).
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+    /// Time tag (non-decreasing within a trajectory).
+    pub t: TimeTag,
+}
+
+impl StPoint {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64, t: TimeTag) -> Self {
+        StPoint { x, y, t }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &StPoint) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// A trajectory: timestamped points, some of which may be **suppressed**
+/// (the spatial analogue of the `Δ` mark: the sample is withheld from the
+/// release but its slot is remembered so distortion can be accounted).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Trajectory {
+    points: Vec<StPoint>,
+    suppressed: Vec<bool>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory.
+    ///
+    /// # Panics
+    /// Panics if time tags are not non-decreasing.
+    pub fn new(points: Vec<StPoint>) -> Self {
+        assert!(
+            points.windows(2).all(|w| w[0].t <= w[1].t),
+            "time tags must be non-decreasing"
+        );
+        let n = points.len();
+        Trajectory { points, suppressed: vec![false; n] }
+    }
+
+    /// Builds from `(x, y, t)` triples.
+    pub fn from_triples<I: IntoIterator<Item = (f64, f64, TimeTag)>>(triples: I) -> Self {
+        Self::new(triples.into_iter().map(|(x, y, t)| StPoint::new(x, y, t)).collect())
+    }
+
+    /// Number of samples (including suppressed slots).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The samples (suppressed slots still carry their last position; use
+    /// [`Trajectory::is_suppressed`] to filter).
+    pub fn points(&self) -> &[StPoint] {
+        &self.points
+    }
+
+    /// Whether sample `i` is suppressed.
+    pub fn is_suppressed(&self, i: usize) -> bool {
+        self.suppressed[i]
+    }
+
+    /// Suppresses sample `i` (withholds it from the release).
+    pub fn suppress(&mut self, i: usize) {
+        self.suppressed[i] = true;
+    }
+
+    /// Moves sample `i` to a new position (time unchanged) — the
+    /// *location replacement / shifting* operator of §7.3.
+    pub fn displace(&mut self, i: usize, x: f64, y: f64) {
+        self.points[i].x = x;
+        self.points[i].y = y;
+    }
+
+    /// Number of suppressed samples.
+    pub fn suppressed_count(&self) -> usize {
+        self.suppressed.iter().filter(|&&s| s).count()
+    }
+
+    /// The released point list: unsuppressed samples in order.
+    pub fn released(&self) -> Vec<StPoint> {
+        self.points
+            .iter()
+            .zip(&self.suppressed)
+            .filter_map(|(&p, &s)| (!s).then_some(p))
+            .collect()
+    }
+
+    /// Indices of unsuppressed samples.
+    pub fn live_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| !self.suppressed[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_suppression() {
+        let mut t = Trajectory::from_triples([(0.1, 0.2, 0), (0.2, 0.2, 5), (0.3, 0.1, 9)]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.suppressed_count(), 0);
+        t.suppress(1);
+        assert!(t.is_suppressed(1));
+        assert_eq!(t.suppressed_count(), 1);
+        assert_eq!(t.released().len(), 2);
+        assert_eq!(t.live_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn displacement_moves_position_not_time() {
+        let mut t = Trajectory::from_triples([(0.5, 0.5, 3)]);
+        t.displace(0, 0.7, 0.1);
+        assert_eq!(t.points()[0], StPoint::new(0.7, 0.1, 3));
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = StPoint::new(0.0, 0.0, 0);
+        let b = StPoint::new(3.0, 4.0, 1);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unsorted_times_rejected() {
+        let _ = Trajectory::from_triples([(0.0, 0.0, 5), (0.0, 0.0, 1)]);
+    }
+}

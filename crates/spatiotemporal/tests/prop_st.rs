@@ -1,0 +1,126 @@
+//! Property tests: spatio-temporal counting vs brute-force tuple
+//! enumeration, and the sanitizer contract including the plausibility
+//! model.
+
+use proptest::prelude::*;
+use seqhide_st::{
+    count_st_matches, delta_st, sanitize_st_db, st_supports, PlausibilityModel, Region,
+    StPattern, Trajectory,
+};
+
+fn brute_count(p: &StPattern, t: &Trajectory) -> u64 {
+    let n = t.len();
+    assert!(n <= 10);
+    let m = p.len();
+    let mut count = 0u64;
+    for mask in 1u32..(1 << n) {
+        let tuple: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+        if tuple.len() != m {
+            continue;
+        }
+        if tuple.iter().any(|&i| t.is_suppressed(i)) {
+            continue;
+        }
+        let in_regions = tuple.iter().zip(p.regions()).all(|(&i, r)| {
+            let pt = t.points()[i];
+            r.contains(pt.x, pt.y)
+        });
+        if !in_regions {
+            continue;
+        }
+        let gaps_ok = tuple.windows(2).all(|w| {
+            let dt = t.points()[w[1]].t - t.points()[w[0]].t;
+            dt >= p.min_gap && p.max_gap.is_none_or(|mx| dt <= mx)
+        });
+        if !gaps_ok {
+            continue;
+        }
+        if let Some(ws) = p.max_window {
+            let span = t.points()[*tuple.last().unwrap()].t - t.points()[tuple[0]].t;
+            if span > ws {
+                continue;
+            }
+        }
+        count += 1;
+    }
+    count
+}
+
+/// Points snap to a coarse 4×4 grid so region hits are common.
+fn trajectory_strategy() -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((0u8..4, 0u8..4, 0u64..8), 0..=8).prop_map(|mut pts| {
+        pts.sort_by_key(|&(_, _, t)| t);
+        Trajectory::from_triples(pts.into_iter().map(|(gx, gy, t)| {
+            (gx as f64 / 4.0 + 0.125, gy as f64 / 4.0 + 0.125, t)
+        }))
+    })
+}
+
+fn pattern_strategy() -> impl Strategy<Value = StPattern> {
+    (
+        prop::collection::vec((1usize..=4, 1usize..=4), 1..=3),
+        0u64..3,
+        prop::option::of(0u64..6),
+        prop::option::of(1u64..10),
+    )
+        .prop_map(|(cells, min_gap, extra, window)| {
+            let regions: Vec<Region> = cells
+                .into_iter()
+                .map(|(i, j)| Region::grid_cell(4, 4, i, j))
+                .collect();
+            let mut p = StPattern::new(regions)
+                .with_time_gap(min_gap, extra.map(|e| min_gap + e));
+            if let Some(w) = window {
+                p = p.with_max_window(w);
+            }
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(250))]
+
+    #[test]
+    fn count_matches_brute_force(p in pattern_strategy(), t in trajectory_strategy()) {
+        prop_assert_eq!(count_st_matches::<u64>(&p, &t), brute_count(&p, &t));
+    }
+
+    #[test]
+    fn delta_matches_brute_force(p in pattern_strategy(), t in trajectory_strategy()) {
+        let delta = delta_st::<u64>(std::slice::from_ref(&p), &t);
+        let total = brute_count(&p, &t);
+        for (i, &d) in delta.iter().enumerate() {
+            let mut t2 = t.clone();
+            t2.suppress(i);
+            prop_assert_eq!(d, total - brute_count(&p, &t2), "sample {}", i);
+        }
+    }
+
+    #[test]
+    fn sanitizer_hides_and_release_is_plausible_when_unforced(
+        p in pattern_strategy(),
+        rows in prop::collection::vec(trajectory_strategy(), 1..=5),
+        psi in 0usize..3,
+    ) {
+        let model = PlausibilityModel::new(10.0); // generous: everything reachable
+        let mut db = rows.clone();
+        let report = sanitize_st_db(&mut db, std::slice::from_ref(&p), psi, &model);
+        prop_assert!(report.hidden);
+        prop_assert!(db.iter().filter(|t| st_supports(t, &p)).count() <= psi);
+        // sample count per trajectory is invariant; only suppression flags
+        // and positions change
+        for (orig, got) in rows.iter().zip(&db) {
+            prop_assert_eq!(orig.len(), got.len());
+            for (op, gp) in orig.points().iter().zip(got.points()) {
+                prop_assert_eq!(op.t, gp.t); // time tags never move
+            }
+        }
+        // generous model + plausible inputs ⇒ no forced violations
+        if rows.iter().all(|t| model.check(t)) {
+            prop_assert_eq!(report.plausibility_violations, 0);
+            for t in &db {
+                prop_assert!(model.check(t));
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Itemset sequences — the classical sequential-pattern setting of §7.1,
+//! where each element of a sequence is a non-empty *set* of items and a
+//! pattern element matches a data element by **set inclusion** rather than
+//! symbol equality.
+
+use std::fmt;
+
+use crate::{Alphabet, Symbol};
+
+/// A set of items (symbols), kept sorted and deduplicated.
+///
+/// Marked items stay in place as [`Symbol::MARK`] so that the itemset keeps
+/// its identity while contributing nothing to inclusion tests — the direct
+/// analogue of marking a symbol in a plain sequence.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Itemset(Vec<Symbol>);
+
+impl Itemset {
+    /// Creates an itemset from items (sorted and deduplicated).
+    pub fn new(mut items: Vec<Symbol>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        Itemset(items)
+    }
+
+    /// Convenience constructor from raw ids.
+    pub fn from_ids<I: IntoIterator<Item = u32>>(ids: I) -> Self {
+        Self::new(ids.into_iter().map(Symbol::new).collect())
+    }
+
+    /// The items, in sorted order (marks sort last).
+    pub fn items(&self) -> &[Symbol] {
+        &self.0
+    }
+
+    /// Number of slots, including marked ones.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the itemset has no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of *live* (unmarked) items.
+    pub fn live_len(&self) -> usize {
+        self.0.iter().filter(|s| !s.is_mark()).count()
+    }
+
+    /// Number of marked slots.
+    pub fn mark_count(&self) -> usize {
+        self.0.iter().filter(|s| s.is_mark()).count()
+    }
+
+    /// Whether this itemset (as a pattern element) is **included** in `other`
+    /// (as a data element): every live item of `self` must be a live item of
+    /// `other`. A pattern element containing a mark never matches.
+    pub fn included_in(&self, other: &Itemset) -> bool {
+        self.0.iter().all(|s| !s.is_mark() && other.contains(*s))
+    }
+
+    /// Whether `item` is present and unmarked.
+    pub fn contains(&self, item: Symbol) -> bool {
+        !item.is_mark() && self.0.binary_search(&item).is_ok()
+    }
+
+    /// Marks `item` (replaces it with `Δ`), returning `true` if it was
+    /// present and live. The slot is kept so M1 counts it.
+    pub fn mark_item(&mut self, item: Symbol) -> bool {
+        if item.is_mark() {
+            return false;
+        }
+        match self.0.binary_search(&item) {
+            Ok(pos) => {
+                self.0[pos] = Symbol::MARK;
+                // Restore sort order (marks sort last).
+                self.0.sort_unstable();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Iterates over live items.
+    pub fn live_items(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.0.iter().copied().filter(|s| !s.is_mark())
+    }
+
+    /// Renders with names from `alphabet`, e.g. `{a b Δ}`.
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        let body: Vec<String> = self.0.iter().map(|&s| alphabet.render(s)).collect();
+        format!("{{{}}}", body.join(" "))
+    }
+}
+
+impl fmt::Debug for Itemset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{s:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A sequence of itemsets — the data (and pattern) shape of classical
+/// sequential pattern mining (Agrawal & Srikant, ICDE'95), to which §7.1 of
+/// the paper extends the hiding framework.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct ItemsetSequence(Vec<Itemset>);
+
+impl ItemsetSequence {
+    /// Creates a sequence from elements.
+    pub fn new(elements: Vec<Itemset>) -> Self {
+        ItemsetSequence(elements)
+    }
+
+    /// Convenience constructor from raw id groups, e.g. `[[1,2],[3]]`.
+    pub fn from_ids<O, I>(groups: O) -> Self
+    where
+        O: IntoIterator<Item = I>,
+        I: IntoIterator<Item = u32>,
+    {
+        ItemsetSequence(groups.into_iter().map(Itemset::from_ids).collect())
+    }
+
+    /// Number of elements (itemsets).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The elements.
+    pub fn elements(&self) -> &[Itemset] {
+        &self.0
+    }
+
+    /// Mutable access to the elements (used by the itemset sanitizer).
+    pub fn elements_mut(&mut self) -> &mut [Itemset] {
+        &mut self.0
+    }
+
+    /// Total marked item slots across all elements (M1 contribution).
+    pub fn mark_count(&self) -> usize {
+        self.0.iter().map(Itemset::mark_count).sum()
+    }
+
+    /// Renders with names from `alphabet`.
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        let body: Vec<String> = self.0.iter().map(|e| e.render(alphabet)).collect();
+        format!("⟨{}⟩", body.join(" "))
+    }
+}
+
+impl fmt::Debug for ItemsetSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{e:?}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn itemset_sorts_and_dedups() {
+        let s = Itemset::from_ids([3, 1, 2, 1]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.items()[0], Symbol::new(1));
+    }
+
+    #[test]
+    fn inclusion_is_subset() {
+        let small = Itemset::from_ids([1, 3]);
+        let big = Itemset::from_ids([1, 2, 3]);
+        assert!(small.included_in(&big));
+        assert!(!big.included_in(&small));
+        assert!(Itemset::from_ids([]).included_in(&big));
+    }
+
+    #[test]
+    fn marking_breaks_inclusion() {
+        let pat = Itemset::from_ids([1, 3]);
+        let mut data = Itemset::from_ids([1, 2, 3]);
+        assert!(pat.included_in(&data));
+        assert!(data.mark_item(Symbol::new(3)));
+        assert!(!pat.included_in(&data));
+        assert_eq!(data.mark_count(), 1);
+        assert_eq!(data.live_len(), 2);
+        // marking an absent item is a no-op
+        assert!(!data.mark_item(Symbol::new(9)));
+        assert_eq!(data.mark_count(), 1);
+    }
+
+    #[test]
+    fn marked_item_not_contained() {
+        let mut s = Itemset::from_ids([5]);
+        s.mark_item(Symbol::new(5));
+        assert!(!s.contains(Symbol::new(5)));
+        assert!(!s.contains(Symbol::MARK));
+    }
+
+    #[test]
+    fn pattern_with_mark_matches_nothing() {
+        let mut pat = Itemset::from_ids([1]);
+        pat.mark_item(Symbol::new(1));
+        let data = Itemset::from_ids([1, 2]);
+        assert!(!pat.included_in(&data));
+    }
+
+    #[test]
+    fn sequence_mark_count_sums() {
+        let mut t = ItemsetSequence::from_ids([vec![1, 2], vec![3]]);
+        t.elements_mut()[0].mark_item(Symbol::new(1));
+        t.elements_mut()[1].mark_item(Symbol::new(3));
+        assert_eq!(t.mark_count(), 2);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn render_groups() {
+        let mut sigma = Alphabet::new();
+        let a = sigma.intern("a");
+        let b = sigma.intern("b");
+        let t = ItemsetSequence::new(vec![Itemset::new(vec![a, b]), Itemset::new(vec![a])]);
+        assert_eq!(t.render(&sigma), "⟨{a b} {a}⟩");
+    }
+}

@@ -1,0 +1,40 @@
+//! # seqhide-types
+//!
+//! Data model for sequence knowledge hiding, reproducing the setting of
+//! *Hiding Sequences* (Abul, Atzori, Bonchi, Giannotti — ICDE 2007).
+//!
+//! The paper works over a database `D` of finite sequences of symbols drawn
+//! from an alphabet `Σ`, and sanitizes sequences by *marking*: replacing a
+//! symbol at a chosen position with a special symbol `Δ ∉ Σ` that matches
+//! nothing. This crate provides:
+//!
+//! * [`Symbol`] — an interned alphabet symbol, with the distinguished
+//!   [`Symbol::MARK`] playing the role of `Δ`;
+//! * [`Alphabet`] — an interner mapping symbol names (e.g. grid cells
+//!   `X6Y3`) to compact ids;
+//! * [`Sequence`] — a finite sequence of symbols, the element type of `D`;
+//! * [`SequenceDb`] — the database `D` itself;
+//! * [`Itemset`] / [`ItemsetSequence`] — the classical sequential-pattern
+//!   setting of §7.1 (sequences of sets of items);
+//! * [`TimedSequence`] — event sequences with real-time tags (§7.2).
+//!
+//! Everything downstream (matching, mining, sanitization) is built on these
+//! types; they deliberately carry no algorithmic behaviour beyond basic
+//! structural queries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alphabet;
+mod db;
+mod itemset;
+mod sequence;
+mod symbol;
+mod timed;
+
+pub use alphabet::Alphabet;
+pub use db::{DbStats, SequenceDb};
+pub use itemset::{Itemset, ItemsetSequence};
+pub use sequence::Sequence;
+pub use symbol::Symbol;
+pub use timed::{TimeTag, TimedEvent, TimedSequence};

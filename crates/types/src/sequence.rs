@@ -1,0 +1,253 @@
+//! Finite sequences of symbols — the element type of the database `D` and
+//! the shape of both input data and sensitive patterns.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::{Alphabet, Symbol};
+
+/// A finite sequence `T = ⟨t₁, …, t_n⟩` of symbols from `Σ ∪ {Δ}`.
+///
+/// Used for both database sequences and (mark-free) sensitive patterns.
+/// Indexing is **0-based** in the API; the paper's prose is 1-based, and the
+/// documentation of the matching crate spells out the correspondence where
+/// it matters.
+///
+/// ```
+/// use seqhide_types::{Sequence, Symbol};
+/// let t = Sequence::from_ids([1, 1, 2, 3, 3, 2, 1, 4]);
+/// assert_eq!(t.len(), 8);
+/// assert_eq!(t[0], Symbol::new(1));
+/// assert_eq!(t.mark_count(), 0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Sequence(Vec<Symbol>);
+
+impl Sequence {
+    /// Creates a sequence from symbols.
+    pub fn new(symbols: Vec<Symbol>) -> Self {
+        Sequence(symbols)
+    }
+
+    /// The empty sequence `⟨⟩`.
+    pub fn empty() -> Self {
+        Sequence(Vec::new())
+    }
+
+    /// Convenience constructor from raw symbol ids (mainly for tests and
+    /// examples).
+    pub fn from_ids<I: IntoIterator<Item = u32>>(ids: I) -> Self {
+        Sequence(ids.into_iter().map(Symbol::new).collect())
+    }
+
+    /// Interns whitespace-separated `names` into `alphabet` and builds the
+    /// sequence, e.g. `Sequence::parse("X6Y3 X7Y2", &mut sigma)`. The token
+    /// `Δ` parses to [`Symbol::MARK`], so released (sanitized) databases
+    /// round-trip through text.
+    pub fn parse(names: &str, alphabet: &mut Alphabet) -> Self {
+        Sequence(
+            names
+                .split_whitespace()
+                .map(|w| if w == "Δ" { Symbol::MARK } else { alphabet.intern(w) })
+                .collect(),
+        )
+    }
+
+    /// Length `n` of the sequence.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The underlying symbols.
+    pub fn symbols(&self) -> &[Symbol] {
+        &self.0
+    }
+
+    /// Iterates over the symbols.
+    pub fn iter(&self) -> std::slice::Iter<'_, Symbol> {
+        self.0.iter()
+    }
+
+    /// Replaces the symbol at 0-based `pos` with the mark `Δ`, returning the
+    /// previous symbol. This is the paper's *marking* sanitization operator.
+    ///
+    /// # Panics
+    /// Panics if `pos` is out of bounds.
+    pub fn mark(&mut self, pos: usize) -> Symbol {
+        std::mem::replace(&mut self.0[pos], Symbol::MARK)
+    }
+
+    /// Sets the symbol at 0-based `pos` (used by the Δ-replacement second
+    /// stage), returning the previous symbol.
+    pub fn set(&mut self, pos: usize, s: Symbol) -> Symbol {
+        std::mem::replace(&mut self.0[pos], s)
+    }
+
+    /// Number of marked (`Δ`) positions — one sequence's contribution to the
+    /// paper's distortion measure M1.
+    pub fn mark_count(&self) -> usize {
+        self.0.iter().filter(|s| s.is_mark()).count()
+    }
+
+    /// Whether any position is marked.
+    pub fn has_marks(&self) -> bool {
+        self.0.iter().any(|s| s.is_mark())
+    }
+
+    /// Returns a copy with all marked positions deleted (the paper's
+    /// second-stage *deletion* option).
+    pub fn without_marks(&self) -> Sequence {
+        Sequence(self.0.iter().copied().filter(|s| !s.is_mark()).collect())
+    }
+
+    /// Returns a copy with the element at `pos` **deleted** (the device used
+    /// in the paper's Theorem 2 to compute `δ(T[i])`). Note that deletion
+    /// shifts the indices of later elements — which is precisely why the
+    /// matching crate uses temporary *marking* instead when gap or window
+    /// constraints are active.
+    pub fn without_index(&self, pos: usize) -> Sequence {
+        let mut v = self.0.clone();
+        v.remove(pos);
+        Sequence(v)
+    }
+
+    /// Positions (0-based) whose symbol equals `s`.
+    pub fn positions_of(&self, s: Symbol) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &t)| (t == s).then_some(i))
+            .collect()
+    }
+
+    /// Renders the sequence with names from `alphabet`, e.g. `⟨X6Y3 Δ X7Y2⟩`.
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        let body: Vec<String> = self.0.iter().map(|&s| alphabet.render(s)).collect();
+        format!("⟨{}⟩", body.join(" "))
+    }
+}
+
+impl Index<usize> for Sequence {
+    type Output = Symbol;
+    fn index(&self, i: usize) -> &Symbol {
+        &self.0[i]
+    }
+}
+
+impl From<Vec<Symbol>> for Sequence {
+    fn from(v: Vec<Symbol>) -> Self {
+        Sequence(v)
+    }
+}
+
+impl FromIterator<Symbol> for Sequence {
+    fn from_iter<I: IntoIterator<Item = Symbol>>(iter: I) -> Self {
+        Sequence(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Sequence {
+    type Item = &'a Symbol;
+    type IntoIter = std::slice::Iter<'a, Symbol>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Debug for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{s:?}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_len() {
+        let t = Sequence::from_ids([1, 2, 3]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!(Sequence::empty().is_empty());
+    }
+
+    #[test]
+    fn parse_interns_in_order() {
+        let mut sigma = Alphabet::new();
+        let t = Sequence::parse("a b a c", &mut sigma);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0], t[2]);
+        assert_eq!(sigma.len(), 3);
+    }
+
+    #[test]
+    fn marking_replaces_and_counts() {
+        let mut t = Sequence::from_ids([1, 2, 3]);
+        let old = t.mark(1);
+        assert_eq!(old, Symbol::new(2));
+        assert!(t[1].is_mark());
+        assert_eq!(t.mark_count(), 1);
+        assert!(t.has_marks());
+    }
+
+    #[test]
+    fn without_marks_deletes_only_marks() {
+        let mut t = Sequence::from_ids([1, 2, 3, 2]);
+        t.mark(1);
+        t.mark(3);
+        assert_eq!(t.without_marks(), Sequence::from_ids([1, 3]));
+        // original untouched
+        assert_eq!(t.mark_count(), 2);
+    }
+
+    #[test]
+    fn without_index_shifts() {
+        let t = Sequence::from_ids([1, 2, 3]);
+        assert_eq!(t.without_index(0), Sequence::from_ids([2, 3]));
+        assert_eq!(t.without_index(2), Sequence::from_ids([1, 2]));
+    }
+
+    #[test]
+    fn positions_of_finds_all() {
+        let t = Sequence::from_ids([5, 1, 5, 5, 2]);
+        assert_eq!(t.positions_of(Symbol::new(5)), vec![0, 2, 3]);
+        assert_eq!(t.positions_of(Symbol::new(9)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn set_replaces_symbol() {
+        let mut t = Sequence::from_ids([1, 2]);
+        t.mark(0);
+        let old = t.set(0, Symbol::new(9));
+        assert!(old.is_mark());
+        assert_eq!(t[0], Symbol::new(9));
+    }
+
+    #[test]
+    fn render_uses_alphabet() {
+        let mut sigma = Alphabet::new();
+        let mut t = Sequence::parse("a b c", &mut sigma);
+        t.mark(1);
+        assert_eq!(t.render(&sigma), "⟨a Δ c⟩");
+    }
+
+    #[test]
+    fn debug_format() {
+        let mut t = Sequence::from_ids([0, 1]);
+        t.mark(0);
+        assert_eq!(format!("{t:?}"), "⟨Δ s1⟩");
+    }
+}

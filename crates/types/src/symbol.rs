@@ -1,0 +1,112 @@
+//! Alphabet symbols and the sanitization mark `Δ`.
+
+use std::fmt;
+
+/// A symbol of the alphabet `Σ`, or the distinguished mark `Δ`.
+///
+/// Symbols are compact interned ids handed out by an
+/// [`Alphabet`](crate::Alphabet). The mark [`Symbol::MARK`] is *not* part of
+/// `Σ`: it is the symbol written into a sequence by the sanitization process
+/// and it matches nothing — not even another mark. Keeping the mark inside
+/// the `Symbol` value space (rather than using `Option<Symbol>`) keeps
+/// sequences dense and the matching DP branch-light.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The sanitization mark `Δ`. Never equal to any alphabet symbol and
+    /// never matched by [`Symbol::matches`].
+    pub const MARK: Symbol = Symbol(u32::MAX);
+
+    /// Largest id an alphabet may hand out (everything above is reserved).
+    pub const MAX_ID: u32 = u32::MAX - 1;
+
+    /// Creates a symbol from a raw interned id.
+    ///
+    /// # Panics
+    /// Panics if `id` collides with the reserved mark id.
+    #[inline]
+    pub fn new(id: u32) -> Self {
+        assert!(id <= Self::MAX_ID, "symbol id collides with the mark Δ");
+        Symbol(id)
+    }
+
+    /// The raw interned id (the mark reports `u32::MAX`).
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this symbol is the sanitization mark `Δ`.
+    #[inline]
+    pub fn is_mark(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// Match test used throughout the matching engine: two symbols match iff
+    /// they are equal **and neither is the mark**. The mark never matches,
+    /// which is exactly what makes marking a sound sanitization operator
+    /// (it removes embeddings and can never create one).
+    #[inline]
+    pub fn matches(self, other: Symbol) -> bool {
+        self == other && !self.is_mark()
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_mark() {
+            write!(f, "Δ")
+        } else {
+            write!(f, "s{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_is_not_a_regular_symbol() {
+        assert!(Symbol::MARK.is_mark());
+        assert!(!Symbol::new(0).is_mark());
+        assert!(!Symbol::new(Symbol::MAX_ID).is_mark());
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn reserved_id_rejected() {
+        let _ = Symbol::new(u32::MAX);
+    }
+
+    #[test]
+    fn matches_requires_equality() {
+        let a = Symbol::new(1);
+        let b = Symbol::new(2);
+        assert!(a.matches(a));
+        assert!(!a.matches(b));
+        assert!(!b.matches(a));
+    }
+
+    #[test]
+    fn mark_matches_nothing_including_itself() {
+        let a = Symbol::new(7);
+        assert!(!Symbol::MARK.matches(a));
+        assert!(!a.matches(Symbol::MARK));
+        assert!(!Symbol::MARK.matches(Symbol::MARK));
+    }
+
+    #[test]
+    fn debug_rendering() {
+        assert_eq!(format!("{:?}", Symbol::new(3)), "s3");
+        assert_eq!(format!("{:?}", Symbol::MARK), "Δ");
+        assert_eq!(format!("{}", Symbol::MARK), "Δ");
+    }
+}

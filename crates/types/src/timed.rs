@@ -1,0 +1,171 @@
+//! Event sequences with real-time tags (§7.2 of the paper).
+//!
+//! The paper observes that its gap/window machinery only needs *indices*
+//! computed over `T`; when events carry real timestamps, min-gap, max-gap
+//! and max-window constraints can be expressed in real time instead and the
+//! relevant indices located through the tags. [`TimedSequence`] carries the
+//! tags; the adapter that translates time-expressed constraints into the
+//! matching engine lives in `seqhide-core::timed`.
+
+use std::fmt;
+
+use crate::{Sequence, Symbol};
+
+/// A timestamp in abstract ticks (e.g. seconds). Integer ticks keep `Eq`/`Ord`
+/// exact; callers pick the resolution.
+pub type TimeTag = u64;
+
+/// One time-tagged event.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimedEvent {
+    /// The event symbol.
+    pub symbol: Symbol,
+    /// Its time tag (non-decreasing within a sequence).
+    pub time: TimeTag,
+}
+
+/// A sequence of events annotated with non-decreasing time tags.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct TimedSequence(Vec<TimedEvent>);
+
+impl TimedSequence {
+    /// Creates a timed sequence.
+    ///
+    /// # Panics
+    /// Panics if the time tags are not non-decreasing.
+    pub fn new(events: Vec<TimedEvent>) -> Self {
+        assert!(
+            events.windows(2).all(|w| w[0].time <= w[1].time),
+            "time tags must be non-decreasing"
+        );
+        TimedSequence(events)
+    }
+
+    /// Builds from parallel `(symbol id, time)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (u32, TimeTag)>>(pairs: I) -> Self {
+        Self::new(
+            pairs
+                .into_iter()
+                .map(|(id, time)| TimedEvent { symbol: Symbol::new(id), time })
+                .collect(),
+        )
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The events.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.0
+    }
+
+    /// The time tag of the event at `pos`.
+    pub fn time_at(&self, pos: usize) -> TimeTag {
+        self.0[pos].time
+    }
+
+    /// Marks the event at `pos` (the tag is kept — a marked event still
+    /// occupies its instant; it just matches nothing).
+    pub fn mark(&mut self, pos: usize) -> Symbol {
+        std::mem::replace(&mut self.0[pos].symbol, Symbol::MARK)
+    }
+
+    /// Sets the symbol of the event at `pos` (tag unchanged), returning the
+    /// previous symbol. Used to undo temporary marks during `δ` computation.
+    pub fn set_symbol(&mut self, pos: usize, s: Symbol) -> Symbol {
+        std::mem::replace(&mut self.0[pos].symbol, s)
+    }
+
+    /// Number of marked events.
+    pub fn mark_count(&self) -> usize {
+        self.0.iter().filter(|e| e.symbol.is_mark()).count()
+    }
+
+    /// The untimed symbol sequence (the projection the matching engine works
+    /// on; constraint translation happens in the caller).
+    pub fn to_sequence(&self) -> Sequence {
+        self.0.iter().map(|e| e.symbol).collect()
+    }
+
+    /// Applies marks recorded on a plain [`Sequence`] of the same length back
+    /// onto this timed sequence (used after sanitizing the projection).
+    ///
+    /// # Panics
+    /// Panics if lengths differ or if unmarked positions disagree.
+    pub fn apply_marks_from(&mut self, sanitized: &Sequence) {
+        assert_eq!(self.len(), sanitized.len(), "length mismatch");
+        for (e, &s) in self.0.iter_mut().zip(sanitized.iter()) {
+            if s.is_mark() {
+                e.symbol = Symbol::MARK;
+            } else {
+                assert_eq!(e.symbol, s, "unmarked positions must agree");
+            }
+        }
+    }
+}
+
+impl fmt::Debug for TimedSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{:?}@{}", e.symbol, e.time)?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_requires_sorted_times() {
+        let t = TimedSequence::from_pairs([(1, 0), (2, 5), (3, 5), (4, 9)]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.time_at(1), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unsorted_times_rejected() {
+        let _ = TimedSequence::from_pairs([(1, 5), (2, 3)]);
+    }
+
+    #[test]
+    fn projection_and_mark_roundtrip() {
+        let mut t = TimedSequence::from_pairs([(1, 0), (2, 1), (3, 2)]);
+        let mut proj = t.to_sequence();
+        assert_eq!(proj, Sequence::from_ids([1, 2, 3]));
+        proj.mark(1);
+        t.apply_marks_from(&proj);
+        assert_eq!(t.mark_count(), 1);
+        assert!(t.events()[1].symbol.is_mark());
+        assert_eq!(t.time_at(1), 1); // tag survives marking
+    }
+
+    #[test]
+    fn direct_mark() {
+        let mut t = TimedSequence::from_pairs([(7, 0)]);
+        let old = t.mark(0);
+        assert_eq!(old, Symbol::new(7));
+        assert_eq!(t.mark_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must agree")]
+    fn apply_marks_rejects_divergent_symbols() {
+        let mut t = TimedSequence::from_pairs([(1, 0)]);
+        let other = Sequence::from_ids([2]);
+        t.apply_marks_from(&other);
+    }
+}

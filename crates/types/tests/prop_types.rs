@@ -1,0 +1,122 @@
+//! Property tests for the data-model substrate: parse/render round-trips,
+//! marking invariants, itemset set semantics.
+
+use proptest::prelude::*;
+use seqhide_types::{Alphabet, Itemset, ItemsetSequence, Sequence, SequenceDb, Symbol};
+
+fn names() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z]{1,6}", 0..=12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn sequence_parse_render_roundtrip(words in names()) {
+        let mut sigma = Alphabet::new();
+        let line = words.join(" ");
+        let seq = Sequence::parse(&line, &mut sigma);
+        prop_assert_eq!(seq.len(), words.len());
+        let rendered = seq.render(&sigma);
+        // re-parse the ⟨…⟩-stripped rendering
+        let inner = rendered.trim_start_matches('⟨').trim_end_matches('⟩');
+        let back = Sequence::parse(inner, &mut sigma);
+        prop_assert_eq!(back, seq);
+    }
+
+    #[test]
+    fn db_text_roundtrip_with_marks(
+        rows in prop::collection::vec(prop::collection::vec(0u32..6, 1..=8), 0..=8),
+        mark_picks in prop::collection::vec((0usize..8, 0usize..8), 0..=6),
+    ) {
+        // rows are non-empty: an empty sequence renders as a blank line,
+        // which the parser (by documented design) skips
+        let alphabet = Alphabet::anonymous(6);
+        let mut db = SequenceDb::from_parts(
+            alphabet,
+            rows.iter().cloned().map(Sequence::from_ids).collect(),
+        );
+        for (r, c) in mark_picks {
+            if r < db.len() && c < db.sequences()[r].len() {
+                db.sequences_mut()[r].mark(c);
+            }
+        }
+        let text = db.to_text();
+        let back = SequenceDb::parse(&text);
+        prop_assert_eq!(back.len(), db.len());
+        prop_assert_eq!(back.total_marks(), db.total_marks());
+        prop_assert_eq!(back.to_text(), text);
+        // per-position mark structure survives
+        for (a, b) in db.sequences().iter().zip(back.sequences()) {
+            prop_assert_eq!(a.len(), b.len());
+            for i in 0..a.len() {
+                prop_assert_eq!(a[i].is_mark(), b[i].is_mark());
+            }
+        }
+    }
+
+    #[test]
+    fn marking_is_idempotent_in_count(
+        row in prop::collection::vec(0u32..6, 1..=10),
+        pos_seed in 0usize..10,
+    ) {
+        let mut s = Sequence::from_ids(row.clone());
+        let pos = pos_seed % row.len();
+        s.mark(pos);
+        let once = s.mark_count();
+        s.mark(pos);
+        prop_assert_eq!(s.mark_count(), once);
+        prop_assert_eq!(s.len(), row.len());
+        // without_marks removes exactly the marked slots
+        prop_assert_eq!(s.without_marks().len(), row.len() - once);
+    }
+
+    #[test]
+    fn itemset_semantics_are_set_semantics(
+        a in prop::collection::vec(0u32..8, 0..=6),
+        b in prop::collection::vec(0u32..8, 0..=6),
+    ) {
+        use std::collections::BTreeSet;
+        let ia = Itemset::from_ids(a.clone());
+        let ib = Itemset::from_ids(b.clone());
+        let sa: BTreeSet<u32> = a.into_iter().collect();
+        let sb: BTreeSet<u32> = b.into_iter().collect();
+        prop_assert_eq!(ia.len(), sa.len());
+        prop_assert_eq!(ia.included_in(&ib), sa.is_subset(&sb));
+        for &x in &sa {
+            prop_assert!(ia.contains(Symbol::new(x)));
+        }
+    }
+
+    #[test]
+    fn itemset_marking_removes_from_set_view(
+        items in prop::collection::vec(0u32..8, 1..=6),
+        victim_seed in 0usize..6,
+    ) {
+        let mut s = Itemset::from_ids(items.clone());
+        let live: Vec<Symbol> = s.live_items().collect();
+        let victim = live[victim_seed % live.len()];
+        prop_assert!(s.mark_item(victim));
+        prop_assert!(!s.contains(victim));
+        prop_assert_eq!(s.live_len(), live.len() - 1);
+        prop_assert_eq!(s.len(), live.len()); // slot preserved for M1
+        // re-marking is a no-op (the item is gone)
+        prop_assert!(!s.mark_item(victim));
+    }
+
+    #[test]
+    fn itemset_sequence_mark_count_is_sum(
+        groups in prop::collection::vec(prop::collection::vec(0u32..5, 1..=3), 0..=5),
+    ) {
+        let mut t = ItemsetSequence::from_ids(groups);
+        let mut expected = 0;
+        for e in t.elements_mut() {
+            let first = e.live_items().next();
+            if let Some(first) = first {
+                e.mark_item(first);
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(t.mark_count(), expected);
+    }
+}

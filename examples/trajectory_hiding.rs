@@ -1,0 +1,75 @@
+//! The paper's motivating scenario: hiding sensitive movement corridors
+//! from a trajectory database before publication (§1, §7.3, §6).
+//!
+//! Reconstructs the TRUCKS-like dataset (273 trajectories on a 10×10 grid),
+//! runs all four algorithms of the paper at several disclosure thresholds,
+//! and prints an M1/M2/M3 comparison.
+//!
+//! ```sh
+//! cargo run --release --example trajectory_hiding
+//! ```
+
+use seqhide::core::metrics;
+use seqhide::core::Sanitizer;
+use seqhide::data::trucks_like;
+
+fn main() {
+    let dataset = trucks_like(42);
+    let stats = dataset.db.stats();
+    println!(
+        "{}: |D| = {}, avg {:.1} cells/trajectory, |Σ| = {}",
+        dataset.name, stats.len, stats.avg_len, stats.alphabet_len
+    );
+    for p in &dataset.sensitive {
+        println!(
+            "  sensitive corridor {} — support {}",
+            p.render(dataset.db.alphabet()),
+            seqhide::matching::support_of_pattern(&dataset.db, p)
+        );
+    }
+
+    println!("\n ψ   alg    M1     M2     M3   (σ = max(ψ,8); random algs seed 0)");
+    for psi in [0usize, 10, 20, 40] {
+        // σ below ~8 makes F(D,σ) explode combinatorially on trajectory
+        // data (shared corridors ⇒ exponentially many common subsequences),
+        // so the measure floor follows the paper's sweep range.
+        let sigma = psi.max(8);
+        for (name, sanitizer) in [
+            ("HH", Sanitizer::hh(psi)),
+            ("HR", Sanitizer::hr(psi)),
+            ("RH", Sanitizer::rh(psi)),
+            ("RR", Sanitizer::rr(psi)),
+        ] {
+            let mut db = dataset.db.clone();
+            let report = sanitizer.with_seed(0).run(&mut db, &dataset.sensitive);
+            assert!(report.hidden);
+            let d = metrics::distortion(&dataset.db, &db, sigma);
+            println!(
+                "{psi:3}   {name}   {m1:4}  {m2:.3}  {m3:.3}",
+                m1 = d.m1,
+                m2 = d.m2,
+                m3 = d.m3
+            );
+        }
+        println!();
+    }
+
+    // Spatio-temporal angle (§7.3): the same corridors expressed with a
+    // max-window occurrence constraint — "passes X6Y3 then X7Y2 within a
+    // 3-cell window" — need fewer marks to hide.
+    use seqhide::matching::ConstraintSet;
+    let constrained = dataset
+        .sensitive
+        .with_constraints(&ConstraintSet::with_max_window(3))
+        .unwrap();
+    let mut db = dataset.db.clone();
+    let report = Sanitizer::hh(0).run(&mut db, &constrained);
+    println!(
+        "window≤3 variant: {} marks vs {} unconstrained — constraints cut distortion",
+        report.marks_introduced,
+        {
+            let mut db2 = dataset.db.clone();
+            Sanitizer::hh(0).run(&mut db2, &dataset.sensitive).marks_introduced
+        }
+    );
+}

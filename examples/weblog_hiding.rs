@@ -1,0 +1,88 @@
+//! Web-usage-log scenario (§1): hiding a sensitive navigation path from
+//! session logs, with gap constraints and a mark-free release.
+//!
+//! A clickstream pattern is usually only sensitive when the pages were
+//! visited in *direct succession* — a user who opened `pricing` days of
+//! browsing after `competitor-comparison` reveals little. Gap constraints
+//! (§5) express exactly that, and the second stage (§4) produces a release
+//! without Δ marks.
+//!
+//! ```sh
+//! cargo run --example weblog_hiding
+//! ```
+
+use seqhide::core::post::{delete_markers_safe, replace_markers};
+use seqhide::core::{verify_hidden, Sanitizer};
+use seqhide::matching::{ConstraintSet, Gap, SensitivePattern, SensitiveSet};
+use seqhide::mine::{MinerConfig, PrefixSpan};
+use seqhide::prelude::*;
+
+fn main() {
+    // Session logs: one page-visit sequence per user session.
+    let mut db = SequenceDb::parse(
+        "home pricing compare checkout\n\
+         home compare pricing checkout\n\
+         home blog compare pricing\n\
+         compare pricing faq checkout\n\
+         home pricing blog\n\
+         blog home compare faq pricing\n\
+         home compare pricing\n\
+         pricing compare home\n\
+         faq blog home\n\
+         compare blog blog pricing checkout\n",
+    );
+
+    // Sensitive: users who jump from the comparison page to pricing within
+    // at most one intervening click — a funnel the marketing team will not
+    // publish. (Loose occurrences with long detours are not sensitive.)
+    let path = Sequence::parse("compare pricing", db.alphabet_mut());
+    let pattern = SensitivePattern::new(
+        path.clone(),
+        ConstraintSet::uniform_gap(Gap::bounded(0, 1)),
+    )
+    .unwrap();
+    let sensitive = SensitiveSet::from_patterns(vec![pattern.clone()]);
+    println!(
+        "sensitive: {} — constrained support {} (unconstrained would be {})",
+        pattern.render(db.alphabet()),
+        seqhide::matching::support_of_pattern(&db, &pattern),
+        support(&db, &path),
+    );
+
+    // Allow at most ψ = 1 disclosing session in the release.
+    let before = db.clone();
+    let report = Sanitizer::hh(1).run(&mut db, &sensitive);
+    println!(
+        "HH(ψ=1): {} marks in {} sessions; residual support {}",
+        report.marks_introduced, report.sequences_sanitized, report.residual_supports[0]
+    );
+
+    // Release option 1: delete the marks. Deletion shifts clicks together,
+    // which can re-create *gap-constrained* occurrences — use the safe
+    // variant, which re-verifies.
+    let (deleted, del_report) = delete_markers_safe(&db, &sensitive, 1, &Sanitizer::hh(1));
+    println!(
+        "delete-Δ release: {} rounds, verified hidden = {}",
+        del_report.rounds,
+        verify_hidden(&deleted, &sensitive, 1).hidden
+    );
+
+    // Release option 2: replace marks with plausible pages.
+    let mut replaced = db.clone();
+    let rep = replace_markers(&mut replaced, &sensitive, 1);
+    println!(
+        "replace-Δ release: {} replaced, {} kept as missing values",
+        rep.replaced, rep.kept
+    );
+
+    // Audit what each release costs the analyst, at σ = 3.
+    let cfg = MinerConfig::new(3);
+    let f0 = PrefixSpan::mine(&before, &cfg).len();
+    for (name, released) in [("delete-Δ", &deleted), ("replace-Δ", &replaced)] {
+        let f1 = PrefixSpan::mine(released, &cfg).len();
+        println!("{name}: |F(D,3)| {f0} → {f1}");
+    }
+
+    println!("\nreplace-Δ release:");
+    print!("{}", replaced.to_text());
+}

@@ -1,0 +1,12 @@
+//! The `seqhide` binary: a thin wrapper over [`seqhide::cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match seqhide::cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

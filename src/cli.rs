@@ -1,0 +1,604 @@
+//! The `seqhide` command-line interface.
+//!
+//! Subcommands (see `seqhide help`):
+//!
+//! * `stats`  — summarise a sequence database;
+//! * `mine`   — list frequent patterns (`F(D, σ)`);
+//! * `hide`   — sanitize a database against sensitive patterns;
+//! * `verify` — check the hiding requirement on a released database;
+//! * `gen`    — emit the calibrated TRUCKS-like / SYNTHETIC-like datasets.
+//!
+//! The implementation is a plain function from arguments to output text so
+//! the whole surface is exercised by integration tests without spawning
+//! processes; `src/bin/seqhide.rs` is a three-line wrapper.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use seqhide_core::{GlobalStrategy, LocalStrategy, Sanitizer};
+use seqhide_data::{synthetic_like, trucks_like};
+use seqhide_match::{ConstraintSet, Gap, SensitivePattern, SensitiveSet};
+use seqhide_mine::{Gsp, MinerConfig, PrefixSpan};
+use seqhide_re::{sanitize_regex_db, ReLocalStrategy, RegexPattern};
+use seqhide_types::{Sequence, SequenceDb};
+
+/// CLI failure: a message for stderr.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed `--flag value` / `--flag` arguments; repeated flags accumulate.
+struct Flags {
+    values: HashMap<String, Vec<String>>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut values: HashMap<String, Vec<String>> = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(err(format!("unexpected argument '{arg}' (expected --flag)")));
+            };
+            let is_boolean = matches!(name, "report" | "exact");
+            if is_boolean {
+                values.entry(name.to_string()).or_default().push(String::new());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| err(format!("--{name} needs a value")))?;
+                values.entry(name.to_string()).or_default().push(value.clone());
+                i += 2;
+            }
+        }
+        Ok(Flags { values })
+    }
+
+    fn one(&self, name: &str) -> Option<&str> {
+        self.values.get(name).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    fn all(&self, name: &str) -> &[String] {
+        self.values.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.one(name).ok_or_else(|| err(format!("missing required --{name}")))
+    }
+
+    fn usize_or(&self, name: &str, default: usize) -> Result<usize, CliError> {
+        match self.one(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| err(format!("--{name}: '{v}' is not a number"))),
+        }
+    }
+
+    fn u64_or(&self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.one(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| err(format!("--{name}: '{v}' is not a number"))),
+        }
+    }
+}
+
+const HELP: &str = "\
+seqhide — hiding sensitive sequential patterns (ICDE 2007 reproduction)
+
+USAGE:
+  seqhide stats  --db FILE [--mode plain|itemset|timed]
+  seqhide mine   --db FILE --sigma N [--mode plain|itemset]
+                 [--miner prefixspan|gsp] [--max-len L] [--top K]
+  seqhide hide   --db FILE --psi N (--pattern \"a b\")... [--regex \"a (b|c)+ d\"]...
+                 [--mode plain|itemset|timed] [--algorithm hh|hr|rh|rr]
+                 [--seed S] [--exact] [--min-gap G] [--max-gap G] [--max-window W]
+                 [--post keep|delete|replace] [--out FILE] [--report]
+  seqhide verify --db FILE --psi N (--pattern \"a b\")...
+  seqhide attack --original FILE --released FILE [--train FILE]
+                 (--pattern \"a b\")...
+  seqhide gen    --dataset trucks|synthetic [--seed S] --out FILE
+  seqhide help
+
+FORMATS (one sequence per line; '#' comments; marks render as Δ):
+  plain    whitespace-separated symbols:      login search checkout
+  itemset  comma-joined items per element:    bread,milk beer
+  timed    symbol@tick events:                login@0 search@15
+In itemset mode --pattern uses the itemset syntax; in timed mode
+--min-gap/--max-gap/--max-window are elapsed ticks, not index distances.
+";
+
+fn load_db(flags: &Flags) -> Result<SequenceDb, CliError> {
+    let path = flags.required("db")?;
+    seqhide_data::io::read_db(path).map_err(|e| err(format!("cannot read {path}: {e}")))
+}
+
+fn constraints(flags: &Flags) -> Result<ConstraintSet, CliError> {
+    let min = flags.usize_or("min-gap", 0)?;
+    let max = match flags.one("max-gap") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| err("--max-gap: not a number"))?),
+    };
+    if let Some(max) = max {
+        if max < min {
+            return Err(err("--max-gap must be ≥ --min-gap"));
+        }
+    }
+    let mut cs = if min == 0 && max.is_none() {
+        ConstraintSet::none()
+    } else {
+        ConstraintSet::uniform_gap(Gap { min, max })
+    };
+    if let Some(w) = flags.one("max-window") {
+        cs.max_window = Some(w.parse().map_err(|_| err("--max-window: not a number"))?);
+    }
+    Ok(cs)
+}
+
+fn sensitive_set(flags: &Flags, db: &mut SequenceDb) -> Result<SensitiveSet, CliError> {
+    let cs = constraints(flags)?;
+    let mut patterns = Vec::new();
+    for text in flags.all("pattern") {
+        let seq = Sequence::parse(text, db.alphabet_mut());
+        patterns.push(
+            SensitivePattern::new(seq, cs.clone())
+                .map_err(|e| err(format!("--pattern '{text}': {e}")))?,
+        );
+    }
+    Ok(SensitiveSet::from_patterns(patterns))
+}
+
+fn mode(flags: &Flags) -> Result<&str, CliError> {
+    match flags.one("mode").unwrap_or("plain") {
+        m @ ("plain" | "itemset" | "timed") => Ok(m),
+        other => Err(err(format!("unknown mode '{other}' (plain|itemset|timed)"))),
+    }
+}
+
+fn read_text(flags: &Flags) -> Result<String, CliError> {
+    let path = flags.required("db")?;
+    std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))
+}
+
+fn cmd_stats(flags: &Flags) -> Result<String, CliError> {
+    match mode(flags)? {
+        "itemset" => {
+            let (alphabet, db) = seqhide_data::io::parse_itemset_db(&read_text(flags)?);
+            let elements: usize = db.iter().map(seqhide_types::ItemsetSequence::len).sum();
+            let items: usize = db
+                .iter()
+                .flat_map(|t| t.elements().iter())
+                .map(seqhide_types::Itemset::live_len)
+                .sum();
+            let marks: usize = db.iter().map(seqhide_types::ItemsetSequence::mark_count).sum();
+            Ok(format!(
+                "sequences:      {}\nelements total: {elements}\nitems total:    {items}\nalphabet |Σ|:   {}\nmarks (Δ):      {marks}\n",
+                db.len(),
+                alphabet.len()
+            ))
+        }
+        "timed" => {
+            let (alphabet, db) = seqhide_data::io::parse_timed_db(&read_text(flags)?)
+                .map_err(|e| err(e.to_string()))?;
+            let events: usize = db.iter().map(seqhide_types::TimedSequence::len).sum();
+            let marks: usize = db.iter().map(seqhide_types::TimedSequence::mark_count).sum();
+            Ok(format!(
+                "sequences:      {}\nevents total:   {events}\nalphabet |Σ|:   {}\nmarks (Δ):      {marks}\n",
+                db.len(),
+                alphabet.len()
+            ))
+        }
+        _ => {
+            let db = load_db(flags)?;
+            let s = db.stats();
+            Ok(format!(
+                "sequences:      {}\nsymbols total:  {}\navg length:     {:.2}\nmax length:     {}\nalphabet |Σ|:   {}\nmarks (Δ):      {}\n",
+                s.len, s.total_symbols, s.avg_len, s.max_len, s.alphabet_len, s.marks
+            ))
+        }
+    }
+}
+
+fn cmd_mine(flags: &Flags) -> Result<String, CliError> {
+    let sigma = flags.required("sigma")?.parse::<usize>().map_err(|_| err("--sigma: not a number"))?;
+    if sigma == 0 {
+        return Err(err("--sigma must be at least 1"));
+    }
+    let mut cfg = MinerConfig::new(sigma);
+    if let Some(l) = flags.one("max-len") {
+        cfg = cfg.with_max_len(l.parse().map_err(|_| err("--max-len: not a number"))?);
+    }
+    if mode(flags)? == "itemset" {
+        let (alphabet, db) = seqhide_data::io::parse_itemset_db(&read_text(flags)?);
+        let result = seqhide_mine::ItemsetMiner::mine(&db, &cfg);
+        let mut rows = result.patterns.clone();
+        rows.sort_by(|a, b| b.support.cmp(&a.support));
+        let top = flags.usize_or("top", rows.len())?;
+        let mut out = format!(
+            "frequent itemset patterns (σ = {sigma}): {}{}\n",
+            rows.len(),
+            if result.truncated { " [TRUNCATED]" } else { "" }
+        );
+        for fp in rows.iter().take(top) {
+            out.push_str(&format!("{:>6}  {}\n", fp.support, fp.seq.render(&alphabet)));
+        }
+        return Ok(out);
+    }
+    if mode(flags)? == "timed" {
+        return Err(err("mining timed databases is not supported; project the symbols"));
+    }
+    let db = load_db(flags)?;
+    let result = match flags.one("miner").unwrap_or("prefixspan") {
+        "prefixspan" => PrefixSpan::mine(&db, &cfg),
+        "gsp" => Gsp::mine(&db, &cfg.with_constraints(constraints(flags)?)),
+        other => return Err(err(format!("unknown miner '{other}'"))),
+    };
+    let mut rows = result.patterns.clone();
+    rows.sort_by(|a, b| b.support.cmp(&a.support).then(a.seq.cmp(&b.seq)));
+    let top = flags.usize_or("top", rows.len())?;
+    let mut out = format!("frequent patterns (σ = {sigma}): {}{}\n", rows.len(),
+        if result.truncated { " [TRUNCATED]" } else { "" });
+    for fp in rows.iter().take(top) {
+        out.push_str(&format!("{:>6}  {}\n", fp.support, fp.seq.render(db.alphabet())));
+    }
+    Ok(out)
+}
+
+fn cmd_hide_itemset(flags: &Flags, psi: usize) -> Result<String, CliError> {
+    use seqhide_core::itemset::sanitize_itemset_db;
+    use seqhide_match::itemset::ItemsetPattern;
+    let (mut alphabet, mut db) = seqhide_data::io::parse_itemset_db(&read_text(flags)?);
+    let mut patterns = Vec::new();
+    for text in flags.all("pattern") {
+        // parse the pattern's itemset syntax against the database alphabet
+        let elements: Vec<seqhide_types::Itemset> = text
+            .split_whitespace()
+            .map(|elem| {
+                seqhide_types::Itemset::new(
+                    elem.split(',')
+                        .filter(|w| !w.is_empty())
+                        .map(|w| alphabet.intern(w))
+                        .collect(),
+                )
+            })
+            .collect();
+        let seq = seqhide_types::ItemsetSequence::new(elements);
+        patterns.push(
+            ItemsetPattern::new(seq, constraints(flags)?)
+                .map_err(|e| err(format!("--pattern '{text}': {e}")))?,
+        );
+    }
+    if patterns.is_empty() {
+        return Err(err("nothing to hide: give --pattern (itemset syntax: a,b c)"));
+    }
+    let strategy = match flags.one("algorithm").unwrap_or("hh") {
+        "hh" | "hr" => LocalStrategy::Heuristic,
+        "rh" | "rr" => LocalStrategy::Random,
+        other => return Err(err(format!("unknown algorithm '{other}' (hh|hr|rh|rr)"))),
+    };
+    let report = sanitize_itemset_db(&mut db, &patterns, psi, strategy, flags.u64_or("seed", 0)?);
+    if !report.hidden {
+        return Err(err("internal: itemset sanitizer failed to hide"));
+    }
+    let mut out = format!(
+        "itemset patterns: {} item marks in {} sequences; residual supports {:?}\n",
+        report.marks_introduced, report.sequences_sanitized, report.residual_supports
+    );
+    let text = seqhide_data::io::itemset_db_to_text(&alphabet, &db);
+    if let Some(path) = flags.one("out") {
+        std::fs::write(path, &text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote {path}\n"));
+    } else {
+        out.push_str(&text);
+    }
+    Ok(out)
+}
+
+fn cmd_hide_timed(flags: &Flags, psi: usize) -> Result<String, CliError> {
+    use seqhide_core::timed::{sanitize_timed_db, TimeConstraints, TimeGap, TimedPattern};
+    let (mut alphabet, mut db) =
+        seqhide_data::io::parse_timed_db(&read_text(flags)?).map_err(|e| err(e.to_string()))?;
+    let mut tc = TimeConstraints::none();
+    let min = flags.u64_or("min-gap", 0)?;
+    let max = match flags.one("max-gap") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| err("--max-gap: not a number"))?),
+    };
+    if min > 0 || max.is_some() {
+        tc = TimeConstraints::uniform_gap(TimeGap { min, max });
+    }
+    if let Some(w) = flags.one("max-window") {
+        tc.max_window = Some(w.parse().map_err(|_| err("--max-window: not a number"))?);
+    }
+    let mut patterns = Vec::new();
+    for text in flags.all("pattern") {
+        let seq = Sequence::parse(text, &mut alphabet);
+        patterns.push(
+            TimedPattern::new(seq, tc.clone())
+                .map_err(|e| err(format!("--pattern '{text}': {e}")))?,
+        );
+    }
+    if patterns.is_empty() {
+        return Err(err("nothing to hide: give --pattern (plain symbols; gaps in ticks)"));
+    }
+    let strategy = match flags.one("algorithm").unwrap_or("hh") {
+        "hh" | "hr" => LocalStrategy::Heuristic,
+        "rh" | "rr" => LocalStrategy::Random,
+        other => return Err(err(format!("unknown algorithm '{other}' (hh|hr|rh|rr)"))),
+    };
+    let report = sanitize_timed_db(&mut db, &patterns, psi, strategy, flags.u64_or("seed", 0)?);
+    if !report.hidden {
+        return Err(err("internal: timed sanitizer failed to hide"));
+    }
+    let mut out = format!(
+        "timed patterns: {} event marks in {} sequences; residual supports {:?}\n",
+        report.marks_introduced, report.sequences_sanitized, report.residual_supports
+    );
+    let text = seqhide_data::io::timed_db_to_text(&alphabet, &db);
+    if let Some(path) = flags.one("out") {
+        std::fs::write(path, &text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote {path}\n"));
+    } else {
+        out.push_str(&text);
+    }
+    Ok(out)
+}
+
+fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
+    let psi_early = flags.required("psi")?.parse::<usize>().map_err(|_| err("--psi: not a number"))?;
+    match mode(flags)? {
+        "itemset" => return cmd_hide_itemset(flags, psi_early),
+        "timed" => return cmd_hide_timed(flags, psi_early),
+        _ => {}
+    }
+    let mut db = load_db(flags)?;
+    let psi = flags.required("psi")?.parse::<usize>().map_err(|_| err("--psi: not a number"))?;
+    let sh = sensitive_set(flags, &mut db)?;
+    let regexes: Vec<RegexPattern> = flags
+        .all("regex")
+        .iter()
+        .map(|text| {
+            RegexPattern::compile(text, db.alphabet_mut())
+                .map(|p| p.with_constraints(&constraints(flags).expect("validated")))
+                .map_err(|e| err(format!("--regex '{text}': {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if sh.is_empty() && regexes.is_empty() {
+        return Err(err("nothing to hide: give --pattern and/or --regex"));
+    }
+    let seed = flags.u64_or("seed", 0)?;
+    let algorithm = flags.one("algorithm").unwrap_or("hh");
+    let (local, global) = match algorithm {
+        "hh" => (LocalStrategy::Heuristic, GlobalStrategy::Heuristic),
+        "hr" => (LocalStrategy::Heuristic, GlobalStrategy::Random),
+        "rh" => (LocalStrategy::Random, GlobalStrategy::Heuristic),
+        "rr" => (LocalStrategy::Random, GlobalStrategy::Random),
+        other => return Err(err(format!("unknown algorithm '{other}' (hh|hr|rh|rr)"))),
+    };
+    let mut out = String::new();
+    let mut marks = 0;
+    if !sh.is_empty() {
+        let report = Sanitizer::new(local, global, psi)
+            .with_seed(seed)
+            .with_exact_counts(flags.has("exact"))
+            .run(&mut db, &sh);
+        marks += report.marks_introduced;
+        out.push_str(&format!(
+            "plain patterns: {} marks in {} sequences; residual supports {:?}\n",
+            report.marks_introduced, report.sequences_sanitized, report.residual_supports
+        ));
+        if !report.hidden {
+            return Err(err("internal: sanitizer failed to hide plain patterns"));
+        }
+    }
+    if !regexes.is_empty() {
+        let strategy = match local {
+            LocalStrategy::Heuristic => ReLocalStrategy::Heuristic,
+            LocalStrategy::Random => ReLocalStrategy::Random,
+        };
+        let report = sanitize_regex_db(&mut db, &regexes, psi, strategy, seed);
+        marks += report.marks_introduced;
+        out.push_str(&format!(
+            "regex patterns: {} marks in {} sequences; residual supports {:?}\n",
+            report.marks_introduced, report.sequences_sanitized, report.residual_supports
+        ));
+        if !report.hidden {
+            return Err(err("internal: sanitizer failed to hide regex patterns"));
+        }
+    }
+    match flags.one("post").unwrap_or("keep") {
+        "keep" => {}
+        "delete" => {
+            let (released, dr) =
+                seqhide_core::post::delete_markers_safe(&db, &sh, psi, &Sanitizer::new(local, global, psi));
+            db = released;
+            out.push_str(&format!("post: deleted Δ ({} round(s))\n", dr.rounds));
+        }
+        "replace" => {
+            let rep = seqhide_core::post::replace_markers(&mut db, &sh, seed);
+            out.push_str(&format!(
+                "post: replaced {} Δ, kept {}\n",
+                rep.replaced, rep.kept
+            ));
+        }
+        other => return Err(err(format!("unknown post strategy '{other}' (keep|delete|replace)"))),
+    }
+    out.push_str(&format!("total marks (M1): {marks}\n"));
+    if let Some(path) = flags.one("out") {
+        seqhide_data::io::write_db(path, &db).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote {path}\n"));
+    } else {
+        out.push_str(&db.to_text());
+    }
+    if flags.has("report") {
+        let stats = db.stats();
+        out.push_str(&format!(
+            "released: {} sequences, {} residual Δ\n",
+            stats.len, stats.marks
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_verify(flags: &Flags) -> Result<String, CliError> {
+    let mut db = load_db(flags)?;
+    let psi = flags.required("psi")?.parse::<usize>().map_err(|_| err("--psi: not a number"))?;
+    let sh = sensitive_set(flags, &mut db)?;
+    if sh.is_empty() {
+        return Err(err("give at least one --pattern"));
+    }
+    let report = seqhide_core::verify_hidden(&db, &sh, psi);
+    let mut out = String::new();
+    for (p, sup) in sh.iter().zip(&report.supports) {
+        out.push_str(&format!(
+            "{}: support {} {} ψ = {}\n",
+            p.render(db.alphabet()),
+            sup,
+            if *sup <= psi { "≤" } else { ">" },
+            psi
+        ));
+    }
+    out.push_str(if report.hidden { "HIDDEN\n" } else { "NOT HIDDEN\n" });
+    if report.hidden {
+        Ok(out)
+    } else {
+        Err(err(out.trim_end().to_string()))
+    }
+}
+
+fn cmd_attack(flags: &Flags) -> Result<String, CliError> {
+    use seqhide_core::attack::{
+        evaluate_mark_inference, reconstruction_resupport, BigramModel,
+    };
+    let read = |flag: &str| -> Result<String, CliError> {
+        let path = flags.required(flag)?;
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))
+    };
+    // Parse both against ONE alphabet so symbol ids line up.
+    let mut original = SequenceDb::parse(&read("original")?);
+    let released_text = read("released")?;
+    let released = {
+        let mut db = SequenceDb::new(original.alphabet().clone());
+        for line in released_text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        {
+            let seq = Sequence::parse(line, db.alphabet_mut());
+            db.push(seq);
+        }
+        // keep the (possibly grown) alphabet consistent on both sides
+        *original.alphabet_mut() = db.alphabet().clone();
+        db
+    };
+    if original.len() != released.len() {
+        return Err(err(format!(
+            "databases do not align: {} vs {} sequences",
+            original.len(),
+            released.len()
+        )));
+    }
+    let model = match flags.one("train") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+            let mut train = SequenceDb::new(original.alphabet().clone());
+            for line in text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            {
+                let seq = Sequence::parse(line, train.alphabet_mut());
+                train.push(seq);
+            }
+            *original.alphabet_mut() = train.alphabet().clone();
+            BigramModel::train(&train)
+        }
+        None => BigramModel::train(&released),
+    };
+    let inf = evaluate_mark_inference(&original, &released, &model);
+    let mut out = format!(
+        "mark-inference: {} marked slots — top-1 {} ({:.0}%), top-5 {} ({:.0}%), MRR {:.3}\n",
+        inf.positions,
+        inf.top1,
+        if inf.positions > 0 { 100.0 * inf.top1 as f64 / inf.positions as f64 } else { 0.0 },
+        inf.top5,
+        if inf.positions > 0 { 100.0 * inf.top5 as f64 / inf.positions as f64 } else { 0.0 },
+        inf.mrr,
+    );
+    let patterns = flags.all("pattern");
+    if !patterns.is_empty() {
+        let mut db_for_patterns = original.clone();
+        let sh = SensitiveSet::new(
+            patterns
+                .iter()
+                .map(|text| Sequence::parse(text, db_for_patterns.alphabet_mut()))
+                .collect(),
+        );
+        let res = reconstruction_resupport(&db_for_patterns, &released, &sh, &model);
+        out.push_str(&format!(
+            "pattern re-support: original {} → release {} → reconstruction {}\n",
+            res.original_support, res.released_support, res.reconstructed_support
+        ));
+        if res.reconstructed_support > res.released_support {
+            out.push_str(
+                "WARNING: the adversary resurrects hidden support; consider --post delete/replace\n",
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_gen(flags: &Flags) -> Result<String, CliError> {
+    let seed = flags.u64_or("seed", 42)?;
+    let dataset = match flags.required("dataset")? {
+        "trucks" => trucks_like(seed),
+        "synthetic" => synthetic_like(seed),
+        other => return Err(err(format!("unknown dataset '{other}' (trucks|synthetic)"))),
+    };
+    let path = flags.required("out")?;
+    seqhide_data::io::write_db(path, &dataset.db)
+        .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    let (supports, disj) = dataset.support_table();
+    Ok(format!(
+        "wrote {} ({} sequences) to {path}\nsensitive supports: {:?}, disjunction {}\n",
+        dataset.name,
+        dataset.db.len(),
+        supports,
+        disj
+    ))
+}
+
+/// Runs the CLI on `args` (without the program name), returning stdout
+/// text or an error message.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Ok(HELP.to_string());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match command.as_str() {
+        "stats" => cmd_stats(&flags),
+        "mine" => cmd_mine(&flags),
+        "hide" => cmd_hide(&flags),
+        "verify" => cmd_verify(&flags),
+        "attack" => cmd_attack(&flags),
+        "gen" => cmd_gen(&flags),
+        "help" | "--help" | "-h" => Ok(HELP.to_string()),
+        other => Err(err(format!("unknown command '{other}'; try 'seqhide help'"))),
+    }
+}

@@ -1,0 +1,61 @@
+//! # seqhide — hiding sensitive sequential patterns
+//!
+//! A production-quality Rust reproduction of *Hiding Sequences*
+//! (Abul, Atzori, Bonchi, Giannotti — ICDE 2007): knowledge hiding for
+//! sequential patterns by marking-based database sanitization.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`types`] — alphabets, sequences, databases, itemset and timed
+//!   sequences;
+//! * [`num`] — exact and saturating match counters;
+//! * [`matching`] — embedding counting DPs, gap/window constraints,
+//!   `δ(T[i])` computation (Lemmas 2–5, Theorem 2);
+//! * [`mine`] — PrefixSpan and GSP frequent-sequence miners;
+//! * [`core`] — the sanitization algorithms (HH/HR/RH/RR), distortion
+//!   measures M1/M2/M3, verification, and every extension the paper
+//!   discusses (§4 stage 2, §5 constraints, §7 itemsets/time tags, §8
+//!   alternative heuristics and multiple thresholds);
+//! * [`data`] — trajectory simulator, grid discretization, and the
+//!   TRUCKS-like / SYNTHETIC-like dataset generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use seqhide::prelude::*;
+//!
+//! // A toy database and one sensitive pattern.
+//! let mut db = SequenceDb::parse("a b c d\nb a c\nc a b c\n");
+//! let pattern = Sequence::parse("a c", db.alphabet_mut());
+//! let sensitive = SensitiveSet::new(vec![pattern.clone()]);
+//!
+//! // Hide it completely (ψ = 0) with the paper's HH algorithm.
+//! let report = Sanitizer::hh(0).run(&mut db, &sensitive);
+//!
+//! assert_eq!(support(&db, &pattern), 0);     // hidden
+//! assert!(report.marks_introduced > 0);      // at some cost (M1)
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use seqhide_core as core;
+pub use seqhide_data as data;
+pub use seqhide_match as matching;
+pub use seqhide_mine as mine;
+pub use seqhide_num as num;
+pub use seqhide_re as re;
+pub use seqhide_st as st;
+pub use seqhide_types as types;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use seqhide_core::{
+        DisclosureThresholds, GlobalStrategy, HidingProblem, LocalStrategy, SanitizeReport,
+        Sanitizer,
+    };
+    pub use seqhide_match::{support, ConstraintSet, SensitiveSet};
+    pub use seqhide_mine::{MinerConfig, PrefixSpan};
+    pub use seqhide_types::{Alphabet, Sequence, SequenceDb, Symbol};
+}

@@ -1,0 +1,249 @@
+//! Integration tests for the `seqhide` CLI (driving `seqhide::cli::run`
+//! directly — the binary is a 10-line wrapper).
+
+use std::fs;
+use std::path::PathBuf;
+
+use seqhide::cli::run;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("seqhide-cli-tests").join(name);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_db(dir: &std::path::Path, name: &str, content: &str) -> String {
+    let path = dir.join(name);
+    fs::write(&path, content).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn help_and_unknown_command() {
+    assert!(run(&[]).unwrap().contains("USAGE"));
+    assert!(run(&args(&["help"])).unwrap().contains("seqhide hide"));
+    let e = run(&args(&["frobnicate"])).unwrap_err();
+    assert!(e.0.contains("unknown command"));
+}
+
+#[test]
+fn stats_reports_shape() {
+    let dir = tmpdir("stats");
+    let db = write_db(&dir, "db.seq", "a b c\nb c\n# comment\n");
+    let out = run(&args(&["stats", "--db", &db])).unwrap();
+    assert!(out.contains("sequences:      2"));
+    assert!(out.contains("alphabet |Σ|:   3"));
+    assert!(out.contains("avg length:     2.50"));
+}
+
+#[test]
+fn mine_lists_frequent_patterns() {
+    let dir = tmpdir("mine");
+    let db = write_db(&dir, "db.seq", "a b\na b\nb a\n");
+    let out = run(&args(&["mine", "--db", &db, "--sigma", "2"])).unwrap();
+    assert!(out.contains("frequent patterns (σ = 2): 3"));
+    assert!(out.contains("⟨a b⟩"));
+    // gsp agrees
+    let gsp = run(&args(&["mine", "--db", &db, "--sigma", "2", "--miner", "gsp"])).unwrap();
+    assert!(gsp.contains("frequent patterns (σ = 2): 3"));
+    // top-k limits rows
+    let top = run(&args(&["mine", "--db", &db, "--sigma", "2", "--top", "1"])).unwrap();
+    assert_eq!(top.lines().count(), 2);
+}
+
+#[test]
+fn hide_then_verify_roundtrip() {
+    let dir = tmpdir("hide");
+    let db = write_db(&dir, "db.seq", "a b c\nb a c\nc c a\na c\n");
+    let out_path = dir.join("released.seq").to_string_lossy().into_owned();
+    let out = run(&args(&[
+        "hide", "--db", &db, "--psi", "0", "--pattern", "a c", "--out", &out_path,
+    ]))
+    .unwrap();
+    assert!(out.contains("total marks (M1):"));
+    assert!(out.contains("wrote"));
+    // verify passes on the release
+    let v = run(&args(&["verify", "--db", &out_path, "--psi", "0", "--pattern", "a c"])).unwrap();
+    assert!(v.contains("HIDDEN"));
+    // and fails on the original
+    let e = run(&args(&["verify", "--db", &db, "--psi", "0", "--pattern", "a c"])).unwrap_err();
+    assert!(e.0.contains("NOT HIDDEN"));
+}
+
+#[test]
+fn hide_with_constraints_and_post_delete() {
+    let dir = tmpdir("hidec");
+    let db = write_db(&dir, "db.seq", "a x b\na b\na y y b\n");
+    let out_path = dir.join("released.seq").to_string_lossy().into_owned();
+    let out = run(&args(&[
+        "hide", "--db", &db, "--psi", "0", "--pattern", "a b", "--max-gap", "1",
+        "--post", "delete", "--out", &out_path, "--report",
+    ]))
+    .unwrap();
+    assert!(out.contains("post: deleted Δ"));
+    assert!(out.contains("0 residual Δ"));
+    let released = fs::read_to_string(&out_path).unwrap();
+    assert!(!released.contains('Δ'));
+}
+
+#[test]
+fn hide_regex_patterns() {
+    let dir = tmpdir("hidere");
+    let db = write_db(&dir, "db.seq", "a b\na c\na b c\nx y\n");
+    let out = run(&args(&[
+        "hide", "--db", &db, "--psi", "0", "--regex", "a (b | c)",
+    ]))
+    .unwrap();
+    assert!(out.contains("regex patterns:"));
+    assert!(out.contains("residual supports [0]"));
+}
+
+#[test]
+fn hide_rejects_empty_and_bad_input() {
+    let dir = tmpdir("hidebad");
+    let db = write_db(&dir, "db.seq", "a b\n");
+    assert!(run(&args(&["hide", "--db", &db, "--psi", "0"]))
+        .unwrap_err()
+        .0
+        .contains("nothing to hide"));
+    assert!(run(&args(&["hide", "--db", &db, "--psi", "zero", "--pattern", "a"]))
+        .unwrap_err()
+        .0
+        .contains("not a number"));
+    assert!(run(&args(&["hide", "--db", &db, "--psi", "0", "--regex", "a*"]))
+        .unwrap_err()
+        .0
+        .contains("empty word"));
+    assert!(run(&args(&["hide", "--db", "/nonexistent", "--psi", "0", "--pattern", "a"]))
+        .unwrap_err()
+        .0
+        .contains("cannot read"));
+    assert!(run(&args(&["hide", "--db", &db, "--psi", "0", "--pattern", "a", "--algorithm", "zz"]))
+        .unwrap_err()
+        .0
+        .contains("unknown algorithm"));
+}
+
+#[test]
+fn gen_produces_calibrated_dataset() {
+    let dir = tmpdir("gen");
+    let out_path = dir.join("synthetic.seq").to_string_lossy().into_owned();
+    let out = run(&args(&["gen", "--dataset", "synthetic", "--out", &out_path])).unwrap();
+    assert!(out.contains("300 sequences"));
+    assert!(out.contains("[99, 172], disjunction 200"));
+    let stats = run(&args(&["stats", "--db", &out_path])).unwrap();
+    assert!(stats.contains("sequences:      300"));
+}
+
+#[test]
+fn deterministic_hide_under_seed() {
+    let dir = tmpdir("det");
+    let db = write_db(&dir, "db.seq", "a b\na b\na b\nb a\n");
+    let run_once = |seed: &str, out: &str| {
+        let out_path = dir.join(out).to_string_lossy().into_owned();
+        run(&args(&[
+            "hide", "--db", &db, "--psi", "1", "--pattern", "a b", "--algorithm", "rr",
+            "--seed", seed, "--out", &out_path,
+        ]))
+        .unwrap();
+        fs::read_to_string(dir.join(out)).unwrap()
+    };
+    assert_eq!(run_once("7", "a.seq"), run_once("7", "b.seq"));
+}
+
+#[test]
+fn itemset_mode_hide_and_stats() {
+    let dir = tmpdir("itemset");
+    let db = write_db(&dir, "baskets.db", "test,bread vitamins,milk\nbread milk\ntest vitamins\n");
+    let stats = run(&args(&["stats", "--db", &db, "--mode", "itemset"])).unwrap();
+    assert!(stats.contains("sequences:      3"));
+    assert!(stats.contains("elements total: 6"));
+    let out_path = dir.join("released.db").to_string_lossy().into_owned();
+    let out = run(&args(&[
+        "hide", "--db", &db, "--mode", "itemset", "--psi", "0",
+        "--pattern", "test vitamins", "--out", &out_path,
+    ]))
+    .unwrap();
+    assert!(out.contains("residual supports [0]"));
+    let released = fs::read_to_string(&out_path).unwrap();
+    assert!(released.contains("Δ"));
+    // non-sensitive items survive
+    assert!(released.contains("bread"));
+    // mine the released itemset db
+    let mined = run(&args(&[
+        "mine", "--db", &out_path, "--mode", "itemset", "--sigma", "2", "--max-len", "2",
+    ]))
+    .unwrap();
+    assert!(mined.contains("frequent itemset patterns"));
+}
+
+#[test]
+fn timed_mode_hide_respects_tick_constraints() {
+    let dir = tmpdir("timed");
+    let db = write_db(
+        &dir,
+        "events.db",
+        "test@0 arv@24\ntest@0 arv@200\ntest@5 xray@40 arv@60\n",
+    );
+    let stats = run(&args(&["stats", "--db", &db, "--mode", "timed"])).unwrap();
+    assert!(stats.contains("sequences:      3"));
+    let out_path = dir.join("released.db").to_string_lossy().into_owned();
+    // only occurrences within 72 ticks are sensitive: rows 1 and 3
+    let out = run(&args(&[
+        "hide", "--db", &db, "--mode", "timed", "--psi", "0",
+        "--pattern", "test arv", "--max-gap", "72", "--out", &out_path,
+    ]))
+    .unwrap();
+    assert!(out.contains("residual supports [0]"));
+    let released = fs::read_to_string(&out_path).unwrap();
+    // row 2 (200-tick interval) untouched
+    assert!(released.contains("test@0 arv@200"));
+    assert!(released.contains("Δ@"));
+}
+
+#[test]
+fn bad_modes_are_rejected() {
+    let dir = tmpdir("badmode");
+    let db = write_db(&dir, "db.seq", "a b\n");
+    assert!(run(&args(&["stats", "--db", &db, "--mode", "weird"]))
+        .unwrap_err()
+        .0
+        .contains("unknown mode"));
+    assert!(run(&args(&["mine", "--db", &db, "--mode", "timed", "--sigma", "1"]))
+        .unwrap_err()
+        .0
+        .contains("not supported"));
+}
+
+#[test]
+fn attack_command_reports_inference_and_resupport() {
+    let dir = tmpdir("attack");
+    let original_text = "a b c\n".repeat(10) + "x y\n";
+    let original = write_db(&dir, "orig.seq", &original_text);
+    // hide ⟨a c⟩ completely, keep marks
+    let released_path = dir.join("rel.seq").to_string_lossy().into_owned();
+    run(&args(&[
+        "hide", "--db", &original, "--psi", "0", "--pattern", "a c", "--out", &released_path,
+    ]))
+    .unwrap();
+    // public background corpus with the same structure
+    let public = write_db(&dir, "public.seq", &"a b c\n".repeat(30));
+    let out = run(&args(&[
+        "attack", "--original", &original, "--released", &released_path,
+        "--train", &public, "--pattern", "a c",
+    ]))
+    .unwrap();
+    assert!(out.contains("mark-inference:"), "{out}");
+    assert!(out.contains("pattern re-support: original 10 → release 0 →"), "{out}");
+    assert!(out.contains("WARNING"), "{out}");
+    // misaligned databases error out
+    let short = write_db(&dir, "short.seq", "a b\n");
+    assert!(run(&args(&["attack", "--original", &original, "--released", &short]))
+        .unwrap_err()
+        .0
+        .contains("do not align"));
+}

@@ -1,0 +1,158 @@
+//! Cross-crate end-to-end tests: the full pipeline on the calibrated
+//! paper datasets — generate → sanitize → verify → measure → release.
+
+use seqhide::core::metrics::{distortion_with, m1};
+use seqhide::core::post::{delete_markers, delete_markers_safe, replace_markers};
+use seqhide::core::{verify_hidden, DisclosureThresholds, Sanitizer};
+use seqhide::data::{synthetic_like, trucks_like};
+use seqhide::matching::support_of_pattern;
+use seqhide::mine::{Gsp, MinerConfig, PrefixSpan};
+use seqhide::prelude::*;
+
+#[test]
+fn full_pipeline_trucks() {
+    let dataset = trucks_like(42);
+    let (per, disj) = dataset.support_table();
+    assert_eq!((per, disj), (vec![36, 38], 66));
+
+    let mut db = dataset.db.clone();
+    let report = Sanitizer::hh(10).run(&mut db, &dataset.sensitive);
+    assert!(report.hidden);
+    assert_eq!(report.supporters_before, 66);
+    assert_eq!(report.sequences_sanitized, 56);
+    for p in &dataset.sensitive {
+        assert!(support_of_pattern(&db, p) <= 10);
+    }
+    assert_eq!(m1(&db), report.marks_introduced);
+
+    // distortion is sane at σ = 10 with both miners agreeing
+    let d = distortion_with(&dataset.db, &db, &MinerConfig::new(10));
+    assert!(d.m2 >= 0.0 && d.m2 <= 1.0);
+    assert!(d.m3 >= 0.0 && d.m3 <= 1.0);
+    assert!(d.frequent_after <= d.frequent_before);
+    let ps = PrefixSpan::mine(&db, &MinerConfig::new(10)).sorted();
+    let gsp = Gsp::mine(&db, &MinerConfig::new(10)).sorted();
+    assert_eq!(ps, gsp);
+}
+
+#[test]
+fn full_pipeline_synthetic_all_algorithms() {
+    let dataset = synthetic_like(42);
+    for psi in [0usize, 50, 150] {
+        for make in [Sanitizer::hh, Sanitizer::hr, Sanitizer::rh, Sanitizer::rr] {
+            let mut db = dataset.db.clone();
+            let report = make(psi).with_seed(3).run(&mut db, &dataset.sensitive);
+            assert!(report.hidden, "psi={psi}");
+            assert!(verify_hidden(&db, &dataset.sensitive, psi).hidden);
+            // no sequence outside the supporters was touched
+            for (orig, got) in dataset.db.sequences().iter().zip(db.sequences()) {
+                if dataset.sensitive.iter().all(|p| !seqhide::matching::supports(orig, p)) {
+                    assert_eq!(orig, got);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn marking_never_increases_any_support() {
+    // Requirement 2's driver: marking is purely subtractive, so *every*
+    // pattern's support is ≤ its original value — checked via both miners'
+    // full frequent sets.
+    let dataset = synthetic_like(42);
+    let mut db = dataset.db.clone();
+    Sanitizer::hh(50).run(&mut db, &dataset.sensitive);
+    let sigma = 30;
+    let before = PrefixSpan::mine(&dataset.db, &MinerConfig::new(sigma)).to_map();
+    let after = PrefixSpan::mine(&db, &MinerConfig::new(sigma));
+    for fp in &after.patterns {
+        let b = before
+            .get(&fp.seq)
+            .expect("marking cannot create frequent patterns");
+        assert!(fp.support <= *b);
+    }
+}
+
+#[test]
+fn hh_beats_rr_on_both_datasets() {
+    for dataset in [trucks_like(42), synthetic_like(42)] {
+        let psi = 0;
+        let mut hh_db = dataset.db.clone();
+        let hh = Sanitizer::hh(psi).run(&mut hh_db, &dataset.sensitive);
+        let mut rr_total = 0usize;
+        for seed in 0..5 {
+            let mut db = dataset.db.clone();
+            rr_total += Sanitizer::rr(psi)
+                .with_seed(seed)
+                .run(&mut db, &dataset.sensitive)
+                .marks_introduced;
+        }
+        let rr_avg = rr_total as f64 / 5.0;
+        assert!(
+            (hh.marks_introduced as f64) <= rr_avg,
+            "{}: HH {} vs RR {:.1}",
+            dataset.name,
+            hh.marks_introduced,
+            rr_avg
+        );
+    }
+}
+
+#[test]
+fn release_paths_stay_hidden() {
+    let dataset = synthetic_like(42);
+    let psi = 20;
+    let mut db = dataset.db.clone();
+    Sanitizer::hh(psi).run(&mut db, &dataset.sensitive);
+
+    // keep-Δ
+    assert!(verify_hidden(&db, &dataset.sensitive, psi).hidden);
+
+    // delete-Δ (unconstrained patterns: plain delete is already safe)
+    let deleted = delete_markers(&db);
+    assert_eq!(deleted.total_marks(), 0);
+    assert!(verify_hidden(&deleted, &dataset.sensitive, psi).hidden);
+    let (safe, report) = delete_markers_safe(&db, &dataset.sensitive, psi, &Sanitizer::hh(psi));
+    assert_eq!(report.rounds, 1);
+    assert_eq!(safe.to_text(), deleted.to_text());
+
+    // replace-Δ
+    let mut replaced = db.clone();
+    let rep = replace_markers(&mut replaced, &dataset.sensitive, 5);
+    assert!(rep.replaced > 0);
+    assert!(verify_hidden(&replaced, &dataset.sensitive, psi).hidden);
+}
+
+#[test]
+fn multi_threshold_on_real_data() {
+    let dataset = synthetic_like(42);
+    // hide pattern 0 hard (ψ=5) and pattern 1 lightly (ψ=150)
+    let thresholds = DisclosureThresholds::new(vec![5, 150]);
+    let mut db_sched = dataset.db.clone();
+    let sched = Sanitizer::hh(0).run_multi(&mut db_sched, &dataset.sensitive, &thresholds);
+    assert!(sched.hidden);
+    assert!(sched.residual_supports[0] <= 5);
+    assert!(sched.residual_supports[1] <= 150);
+
+    let mut db_min = dataset.db.clone();
+    let min = Sanitizer::hh(0).run_multi_min(&mut db_min, &dataset.sensitive, &thresholds);
+    assert!(min.hidden);
+    // the scheduler exploits the loose threshold and distorts far less
+    assert!(sched.marks_introduced < min.marks_introduced);
+}
+
+#[test]
+fn dataset_roundtrips_through_io() {
+    let dataset = trucks_like(42);
+    let dir = std::env::temp_dir().join("seqhide-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trucks.seq");
+    seqhide::data::io::write_db(&path, &dataset.db).unwrap();
+    let back = seqhide::data::io::read_db(&path).unwrap();
+    assert_eq!(back.len(), 273);
+    // supports survive the round trip (alphabet re-interned by name)
+    let mut sigma = back.alphabet().clone();
+    let s1 = Sequence::parse("X6Y3 X7Y2", &mut sigma);
+    assert_eq!(support(&back, &s1), 36);
+    std::fs::remove_file(path).unwrap();
+}

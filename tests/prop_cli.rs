@@ -1,0 +1,54 @@
+//! CLI robustness: `seqhide::cli::run` is total — arbitrary argument
+//! vectors produce `Ok` or `Err`, never a panic, and never touch the
+//! filesystem outside the paths given.
+
+use proptest::prelude::*;
+use seqhide::cli::run;
+
+fn token() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("--db".to_string()),
+        Just("--psi".to_string()),
+        Just("--pattern".to_string()),
+        Just("--sigma".to_string()),
+        Just("--mode".to_string()),
+        Just("--regex".to_string()),
+        Just("--seed".to_string()),
+        Just("--out".to_string()),
+        Just("stats".to_string()),
+        Just("mine".to_string()),
+        Just("hide".to_string()),
+        Just("verify".to_string()),
+        Just("attack".to_string()),
+        Just("gen".to_string()),
+        Just("/nonexistent/seqhide-fuzz".to_string()),
+        Just("0".to_string()),
+        Just("abc".to_string()),
+        "[a-z(). |*+?-]{0,12}",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn cli_never_panics(args in prop::collection::vec(token(), 0..8)) {
+        let _ = run(&args);
+    }
+
+    /// Commands over a real database file never panic either, whatever the
+    /// flag soup around them.
+    #[test]
+    fn cli_never_panics_with_real_db(
+        command in prop::sample::select(vec!["stats", "mine", "hide", "verify"]),
+        extra in prop::collection::vec(token(), 0..6),
+    ) {
+        let dir = std::env::temp_dir().join("seqhide-cli-fuzz");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.seq");
+        std::fs::write(&path, "a b c\nb c\n").unwrap();
+        let mut args = vec![command.to_string(), "--db".into(), path.to_string_lossy().into_owned()];
+        args.extend(extra);
+        let _ = run(&args);
+    }
+}

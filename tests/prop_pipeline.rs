@@ -1,0 +1,155 @@
+//! Workspace-level property tests: the sanitizer's contract holds on
+//! arbitrary databases, sensitive sets, thresholds and strategies.
+
+use proptest::prelude::*;
+use seqhide::core::post::delete_markers;
+use seqhide::core::{verify_hidden, GlobalStrategy, LocalStrategy, Sanitizer};
+use seqhide::matching::{support_of_pattern, supports, ConstraintSet, Gap, SensitivePattern};
+use seqhide::mine::{MinerConfig, PrefixSpan};
+use seqhide::prelude::*;
+
+fn db_strategy() -> impl Strategy<Value = SequenceDb> {
+    prop::collection::vec(prop::collection::vec(0u32..5, 0..=10), 1..=12).prop_map(|rows| {
+        let alphabet = seqhide::types::Alphabet::anonymous(5);
+        SequenceDb::from_parts(alphabet, rows.into_iter().map(Sequence::from_ids).collect())
+    })
+}
+
+fn sensitive_strategy() -> impl Strategy<Value = SensitiveSet> {
+    prop::collection::vec(prop::collection::vec(0u32..5, 1..=3), 1..=3)
+        .prop_map(|pats| SensitiveSet::new(pats.into_iter().map(Sequence::from_ids).collect()))
+}
+
+fn strategy_pair() -> impl Strategy<Value = (LocalStrategy, GlobalStrategy)> {
+    (
+        prop::sample::select(vec![LocalStrategy::Heuristic, LocalStrategy::Random]),
+        prop::sample::select(vec![
+            GlobalStrategy::Heuristic,
+            GlobalStrategy::Random,
+            GlobalStrategy::AutoCorrelation,
+            GlobalStrategy::Length,
+        ]),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sanitizer_always_hides(
+        db in db_strategy(),
+        sh in sensitive_strategy(),
+        psi in 0usize..6,
+        (local, global) in strategy_pair(),
+        seed in 0u64..4,
+    ) {
+        let mut work = db.clone();
+        let report = Sanitizer::new(local, global, psi)
+            .with_seed(seed)
+            .run(&mut work, &sh);
+        prop_assert!(report.hidden);
+        for p in &sh {
+            prop_assert!(support_of_pattern(&work, p) <= psi);
+        }
+        prop_assert_eq!(report.marks_introduced, work.total_marks());
+        prop_assert_eq!(report.residual_supports.len(), sh.len());
+    }
+
+    #[test]
+    fn untouched_rows_and_shape_preserved(
+        db in db_strategy(),
+        sh in sensitive_strategy(),
+        psi in 0usize..4,
+    ) {
+        let mut work = db.clone();
+        Sanitizer::hh(psi).run(&mut work, &sh);
+        prop_assert_eq!(work.len(), db.len());
+        for (orig, got) in db.sequences().iter().zip(work.sequences()) {
+            // lengths never change (marking is in-place)
+            prop_assert_eq!(orig.len(), got.len());
+            // unmarked positions keep their symbols
+            for i in 0..orig.len() {
+                if !got[i].is_mark() {
+                    prop_assert_eq!(orig[i], got[i]);
+                }
+            }
+            // non-supporters are untouched
+            if sh.iter().all(|p| !supports(orig, p)) {
+                prop_assert_eq!(orig, got);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_and_saturating_counts_agree_on_small_data(
+        db in db_strategy(),
+        sh in sensitive_strategy(),
+        psi in 0usize..4,
+    ) {
+        let mut fast = db.clone();
+        let mut exact = db.clone();
+        let r1 = Sanitizer::hh(psi).run(&mut fast, &sh);
+        let r2 = Sanitizer::hh(psi).with_exact_counts(true).run(&mut exact, &sh);
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(fast.to_text(), exact.to_text());
+    }
+
+    #[test]
+    fn frequent_patterns_only_shrink(
+        db in db_strategy(),
+        sh in sensitive_strategy(),
+        psi in 0usize..4,
+        sigma in 1usize..4,
+    ) {
+        let mut work = db.clone();
+        Sanitizer::hh(psi).run(&mut work, &sh);
+        let before = PrefixSpan::mine(&db, &MinerConfig::new(sigma)).to_map();
+        let after = PrefixSpan::mine(&work, &MinerConfig::new(sigma));
+        for fp in &after.patterns {
+            let b = before.get(&fp.seq);
+            prop_assert!(b.is_some(), "fake frequent pattern {:?}", fp.seq);
+            prop_assert!(fp.support <= *b.unwrap());
+        }
+    }
+
+    #[test]
+    fn deletion_release_is_hidden_for_unconstrained(
+        db in db_strategy(),
+        sh in sensitive_strategy(),
+        psi in 0usize..4,
+    ) {
+        let mut work = db.clone();
+        Sanitizer::hh(psi).run(&mut work, &sh);
+        let released = delete_markers(&work);
+        prop_assert_eq!(released.total_marks(), 0);
+        prop_assert!(verify_hidden(&released, &sh, psi).hidden);
+    }
+
+    #[test]
+    fn constrained_sanitizer_hides_constrained_patterns(
+        db in db_strategy(),
+        pat in prop::collection::vec(0u32..5, 1..=3),
+        max_gap in 0usize..3,
+        psi in 0usize..3,
+    ) {
+        let p = SensitivePattern::new(
+            Sequence::from_ids(pat),
+            ConstraintSet::uniform_gap(Gap::bounded(0, max_gap)),
+        ).unwrap();
+        let sh = SensitiveSet::from_patterns(vec![p.clone()]);
+        let mut work = db.clone();
+        let report = Sanitizer::hh(psi).run(&mut work, &sh);
+        prop_assert!(report.hidden);
+        prop_assert!(support_of_pattern(&work, &p) <= psi);
+    }
+
+    #[test]
+    fn marks_are_bounded_by_total_symbols(
+        db in db_strategy(),
+        sh in sensitive_strategy(),
+    ) {
+        let mut work = db.clone();
+        let report = Sanitizer::rr(0).run(&mut work, &sh);
+        prop_assert!(report.marks_introduced <= db.stats().total_symbols);
+    }
+}

@@ -1,0 +1,84 @@
+//! Scale tests: the pipeline at sizes well beyond the paper's datasets.
+//! Kept fast enough for the normal test run (a few seconds in debug) but
+//! large enough to surface quadratic blowups and stack issues.
+
+use seqhide::core::Sanitizer;
+use seqhide::data::{markov_db, random_db, zipf_db};
+use seqhide::matching::{count_embeddings, delta_all, support, SensitiveSet};
+use seqhide::mine::{MinerConfig, PrefixSpan};
+use seqhide::num::{BigCount, Count, Sat64};
+use seqhide::prelude::*;
+
+#[test]
+fn hide_on_five_thousand_sequences() {
+    let mut db = markov_db(1, 5_000, (8, 16), 40, 0.7);
+    let mut sigma = db.alphabet().clone();
+    let s1 = Sequence::parse("s3 s4", &mut sigma);
+    let s2 = Sequence::parse("s10 s11 s12", &mut sigma);
+    let sh = SensitiveSet::new(vec![s1.clone(), s2.clone()]);
+    let before = support(&db, &s1);
+    assert!(before > 100, "workload sanity: {before}");
+    let report = Sanitizer::hh(50).run(&mut db, &sh);
+    assert!(report.hidden);
+    assert!(support(&db, &s1) <= 50);
+    assert!(support(&db, &s2) <= 50);
+}
+
+#[test]
+fn counting_on_very_long_sequences() {
+    // n = 5000, worst-case unary content: |M| = C(5000, 3) ≈ 2·10^10
+    let s = Sequence::from_ids(vec![0; 3]);
+    let t = Sequence::from_ids(vec![0; 5_000]);
+    let sat = count_embeddings::<Sat64>(&s, &t);
+    let exact = count_embeddings::<BigCount>(&s, &t);
+    assert_eq!(sat.get(), 20_820_835_000); // C(5000,3)
+    assert_eq!(exact.to_string(), "20820835000");
+    assert!(!sat.is_saturated());
+}
+
+#[test]
+fn delta_on_long_mixed_sequence() {
+    let db = markov_db(3, 1, (3_000, 3_000), 30, 0.8);
+    let t = db.sequences()[0].clone();
+    let s = Sequence::new(t.symbols()[..3].to_vec());
+    let sh = SensitiveSet::new(vec![s]);
+    let d = delta_all::<Sat64>(&sh, &t);
+    assert_eq!(d.len(), 3_000);
+    // every embedding uses exactly 3 positions
+    let total: u128 = d.iter().map(|x| x.get() as u128).sum();
+    let count = seqhide::matching::matching_size::<Sat64>(&sh, &t).get() as u128;
+    assert_eq!(total, count * 3);
+}
+
+#[test]
+fn mining_large_zipf_database() {
+    let db = zipf_db(9, 3_000, (5, 12), 60, 1.2);
+    let result = PrefixSpan::mine(&db, &MinerConfig::new(300));
+    assert!(!result.truncated);
+    assert!(!result.is_empty());
+    for fp in &result.patterns {
+        assert!(fp.support >= 300);
+    }
+}
+
+#[test]
+fn deep_recursion_safety_in_prefixspan() {
+    // 400 identical moderately long sequences: the DFS recurses to the
+    // pattern-length limit of the longest common subsequence
+    let row = "s0 ".repeat(200);
+    let text = format!("{row}\n").repeat(400);
+    let db = seqhide::types::SequenceDb::parse(&text);
+    let result = PrefixSpan::mine(&db, &MinerConfig::new(400).with_max_len(150));
+    assert_eq!(result.len(), 150); // ⟨s0⟩, ⟨s0 s0⟩, …
+}
+
+#[test]
+fn wide_alphabet_hide() {
+    let mut db = random_db(4, 1_000, (10, 20), 5_000);
+    let mut sigma = db.alphabet().clone();
+    let s = Sequence::parse("s1 s2", &mut sigma);
+    let sh = SensitiveSet::new(vec![s.clone()]);
+    let report = Sanitizer::hh(0).run(&mut db, &sh);
+    assert!(report.hidden);
+    assert_eq!(support(&db, &s), 0);
+}
