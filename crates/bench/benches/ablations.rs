@@ -9,9 +9,7 @@ use std::hint::black_box;
 use seqhide_core::post::{delete_markers, replace_markers};
 use seqhide_core::{GlobalStrategy, LocalStrategy, Sanitizer};
 use seqhide_data::trucks_like;
-use seqhide_match::{
-    delta_all, delta_by_deletion, delta_by_marking, supporters, SensitiveSet,
-};
+use seqhide_match::{delta_all, delta_by_deletion, delta_by_marking, supporters, SensitiveSet};
 use seqhide_num::{BigCount, Sat64};
 
 const SEED: u64 = 42;
@@ -141,7 +139,9 @@ fn st_operators(c: &mut Criterion) {
                 ];
                 let pts = seqhide_data::waypoint_trajectory(rng, &wp, 24, 0.004);
                 Trajectory::from_triples(
-                    pts.into_iter().enumerate().map(|(i, (x, y))| (x, y, i as u64)),
+                    pts.into_iter()
+                        .enumerate()
+                        .map(|(i, (x, y))| (x, y, i as u64)),
                 )
             })
             .collect()
@@ -154,7 +154,12 @@ fn st_operators(c: &mut Criterion) {
             b.iter(|| {
                 let mut work = db.clone();
                 let model = PlausibilityModel::new(speed);
-                black_box(sanitize_st_db(&mut work, std::slice::from_ref(&pattern), 0, &model))
+                black_box(sanitize_st_db(
+                    &mut work,
+                    std::slice::from_ref(&pattern),
+                    0,
+                    &model,
+                ))
             })
         });
     }
@@ -164,8 +169,7 @@ fn st_operators(c: &mut Criterion) {
 /// The multiple-threshold scheduler vs the min-reduction (§8).
 fn ablation_multi_threshold(c: &mut Criterion) {
     let dataset = trucks_like(SEED);
-    let thresholds =
-        seqhide_core::DisclosureThresholds::new(vec![5, 30]);
+    let thresholds = seqhide_core::DisclosureThresholds::new(vec![5, 30]);
     let sh: &SensitiveSet = &dataset.sensitive;
     let mut group = c.benchmark_group("ablation_multi_threshold");
     group.bench_function("scheduler", |b| {

@@ -9,8 +9,8 @@ use std::hint::black_box;
 
 use seqhide_data::{markov_db, random_db};
 use seqhide_match::{
-    count_embeddings, count_matches, delta_all, delta_by_marking, is_subsequence,
-    ConstraintSet, Gap, SensitivePattern, SensitiveSet,
+    count_embeddings, count_matches, delta_all, delta_by_marking, is_subsequence, ConstraintSet,
+    Gap, SensitivePattern, SensitiveSet,
 };
 use seqhide_mine::{Gsp, MinerConfig, PrefixSpan};
 use seqhide_num::{BigCount, Sat64};
@@ -59,11 +59,8 @@ fn constrained_counting(c: &mut Criterion) {
     let db = markov_db(9, 1, (512, 512), 20, 0.8);
     let t = db.sequences()[0].clone();
     let seq = Sequence::new(t.symbols()[..3].to_vec());
-    let gap = SensitivePattern::new(
-        seq.clone(),
-        ConstraintSet::uniform_gap(Gap::bounded(0, 8)),
-    )
-    .unwrap();
+    let gap =
+        SensitivePattern::new(seq.clone(), ConstraintSet::uniform_gap(Gap::bounded(0, 8))).unwrap();
     let window = SensitivePattern::new(seq, ConstraintSet::with_max_window(24)).unwrap();
     let mut group = c.benchmark_group("constrained_counting");
     group.bench_function("gap", |b| {
@@ -125,9 +122,7 @@ fn miners(c: &mut Criterion) {
     group.bench_function("prefixspan", |b| {
         b.iter(|| black_box(PrefixSpan::mine(&db, &cfg).len()))
     });
-    group.bench_function("gsp", |b| {
-        b.iter(|| black_box(Gsp::mine(&db, &cfg).len()))
-    });
+    group.bench_function("gsp", |b| b.iter(|| black_box(Gsp::mine(&db, &cfg).len())));
     group.finish();
 }
 

@@ -32,7 +32,13 @@ fn table1_supports(c: &mut Criterion) {
 
 /// One M1 point of a Figure-1 panel: a full sanitization run of the given
 /// algorithm at a representative ψ.
-fn bench_m1(c: &mut Criterion, name: &str, dataset: &Dataset, make: fn(usize) -> Sanitizer, psi: usize) {
+fn bench_m1(
+    c: &mut Criterion,
+    name: &str,
+    dataset: &Dataset,
+    make: fn(usize) -> Sanitizer,
+    psi: usize,
+) {
     c.bench_function(name, |b| {
         b.iter(|| {
             let mut db = dataset.db.clone();

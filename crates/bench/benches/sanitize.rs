@@ -1,0 +1,164 @@
+//! Engine-vs-scratch sanitization benchmark.
+//!
+//! Measures the per-victim cost of the local marking loop with the
+//! incremental [`MatchEngine`] (tables repaired in place, buffers reused
+//! across victims) against the from-scratch path (full `delta_all`
+//! recount plus fresh allocations per mark), on paper-scale workloads.
+//! Writes the results to `BENCH_sanitize.json` at the workspace root:
+//!
+//! ```json
+//! {"workloads": [...], "speedup": <scratch_ns / engine_ns, geometric mean>}
+//! ```
+//!
+//! Hand-rolled timing (`Instant` around whole victim sweeps) instead of
+//! the criterion harness: both paths mutate their input, so each
+//! iteration must re-clone the victims, and we want that clone *outside*
+//! the timed region for the numbers to mean "cost of sanitizing".
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use seqhide_core::local::{sanitize_sequence_scratch, sanitize_sequence_with};
+use seqhide_core::LocalStrategy;
+use seqhide_data::markov_db;
+use seqhide_match::{ConstraintSet, Gap, MatchEngine, SensitivePattern, SensitiveSet};
+use seqhide_num::Sat64;
+use seqhide_types::Sequence;
+
+struct Workload {
+    name: &'static str,
+    victims: Vec<Sequence>,
+    sh: SensitiveSet,
+}
+
+/// Sensitive patterns sampled from the database itself so every victim
+/// carries real occurrences (same device as the micro benches).
+fn workload(
+    name: &'static str,
+    seed: u64,
+    n_victims: usize,
+    len: usize,
+    alphabet: usize,
+    cs: ConstraintSet,
+) -> Workload {
+    let db = markov_db(seed, n_victims, (len, len), alphabet, 0.8);
+    let t0 = &db.sequences()[0];
+    let patterns = vec![
+        SensitivePattern::new(Sequence::new(t0.symbols()[..3].to_vec()), cs.clone()).unwrap(),
+        SensitivePattern::new(Sequence::new(t0.symbols()[4..7].to_vec()), cs).unwrap(),
+    ];
+    Workload {
+        name,
+        victims: db.sequences().to_vec(),
+        sh: SensitiveSet::from_patterns(patterns),
+    }
+}
+
+/// Mean ns per victim for one full sanitization sweep, best-of-`reps`
+/// (minimum is the standard noise-robust statistic for micro timings).
+fn measure(w: &Workload, reps: usize, mut sweep: impl FnMut(&mut [Sequence])) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut victims = w.victims.clone();
+        let start = Instant::now();
+        sweep(&mut victims);
+        let elapsed = start.elapsed().as_nanos() as f64 / w.victims.len() as f64;
+        best = best.min(elapsed);
+    }
+    best
+}
+
+fn main() {
+    // Paper-scale: TRUCKS-like lengths (hundreds of positions) and a
+    // SYNTHETIC-like shorter workload, unconstrained and gap-constrained.
+    let workloads = [
+        workload("unconstrained-n256", 17, 24, 256, 20, ConstraintSet::none()),
+        workload("unconstrained-n512", 18, 12, 512, 20, ConstraintSet::none()),
+        workload(
+            "gap-n256",
+            19,
+            24,
+            256,
+            12,
+            ConstraintSet::uniform_gap(Gap {
+                min: 0,
+                max: Some(16),
+            }),
+        ),
+    ];
+    let reps = 5;
+    let mut rows = String::new();
+    let mut log_speedup_sum = 0.0;
+    for w in &workloads {
+        // warm-up + sanity: both paths must produce identical mark counts
+        let marks_engine: usize = {
+            let mut victims = w.victims.clone();
+            let mut engine = MatchEngine::<Sat64>::new(&w.sh);
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            victims
+                .iter_mut()
+                .map(|t| sanitize_sequence_with(t, LocalStrategy::Heuristic, &mut rng, &mut engine))
+                .sum()
+        };
+        let marks_scratch: usize = {
+            let mut victims = w.victims.clone();
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            victims
+                .iter_mut()
+                .map(|t| {
+                    sanitize_sequence_scratch::<Sat64, _>(
+                        t,
+                        &w.sh,
+                        LocalStrategy::Heuristic,
+                        &mut rng,
+                    )
+                })
+                .sum()
+        };
+        assert_eq!(marks_engine, marks_scratch, "{}: paths diverged", w.name);
+
+        let engine_ns = measure(w, reps, |victims| {
+            let mut engine = MatchEngine::<Sat64>::new(&w.sh);
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            for t in victims.iter_mut() {
+                sanitize_sequence_with(t, LocalStrategy::Heuristic, &mut rng, &mut engine);
+            }
+        });
+        let scratch_ns = measure(w, reps, |victims| {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            for t in victims.iter_mut() {
+                sanitize_sequence_scratch::<Sat64, _>(t, &w.sh, LocalStrategy::Heuristic, &mut rng);
+            }
+        });
+        let speedup = scratch_ns / engine_ns;
+        log_speedup_sum += speedup.ln();
+        println!(
+            "{:<20} engine {:>12.0} ns/victim   scratch {:>12.0} ns/victim   speedup {:.2}x   ({} marks)",
+            w.name, engine_ns, scratch_ns, speedup, marks_engine
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        write!(
+            rows,
+            "    {{\"name\": \"{}\", \"victims\": {}, \"marks\": {}, \"engine_ns_per_victim\": {:.0}, \"scratch_ns_per_victim\": {:.0}, \"speedup\": {:.3}}}",
+            w.name,
+            w.victims.len(),
+            marks_engine,
+            engine_ns,
+            scratch_ns,
+            speedup
+        )
+        .unwrap();
+    }
+    let geo_mean = (log_speedup_sum / workloads.len() as f64).exp();
+    println!("geometric-mean speedup: {geo_mean:.2}x");
+    let json = format!(
+        "{{\n  \"bench\": \"sanitize\",\n  \"unit\": \"ns per victim, best of {reps}\",\n  \"workloads\": [\n{rows}\n  ],\n  \"speedup\": {geo_mean:.3}\n}}\n"
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sanitize.json");
+    std::fs::write(out, json).expect("write BENCH_sanitize.json");
+    println!("wrote {out}");
+}

@@ -115,7 +115,12 @@ pub fn evaluate_mark_inference(
 ) -> InferenceReport {
     assert_eq!(original.len(), released.len(), "databases must align");
     let alphabet_len = original.alphabet().len();
-    let mut report = InferenceReport { positions: 0, top1: 0, top5: 0, mrr: 0.0 };
+    let mut report = InferenceReport {
+        positions: 0,
+        top1: 0,
+        top5: 0,
+        mrr: 0.0,
+    };
     for (orig, rel) in original.sequences().iter().zip(released.sequences()) {
         assert_eq!(orig.len(), rel.len(), "sequences must align");
         for i in 0..rel.len() {

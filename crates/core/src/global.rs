@@ -70,8 +70,7 @@ pub fn select_victims<C: Count, R: Rng + ?Sized>(
                 .iter()
                 .map(|&i| {
                     let t = &db.sequences()[i];
-                    let mut syms: Vec<_> =
-                        t.iter().filter(|s| !s.is_mark()).copied().collect();
+                    let mut syms: Vec<_> = t.iter().filter(|s| !s.is_mark()).copied().collect();
                     syms.sort_unstable();
                     syms.dedup();
                     let ratio = if t.is_empty() {
@@ -148,8 +147,7 @@ mod tests {
         let sup = supporters(&db, &sh);
         for seed in 0..10 {
             let mut rng = SmallRng::seed_from_u64(seed);
-            let v =
-                select_victims::<Sat64, _>(&db, &sh, &sup, 1, GlobalStrategy::Random, &mut rng);
+            let v = select_victims::<Sat64, _>(&db, &sh, &sup, 1, GlobalStrategy::Random, &mut rng);
             assert_eq!(v.len(), 2);
             assert!(v.iter().all(|i| sup.contains(i)));
             let mut uniq = v.clone();

@@ -18,10 +18,8 @@ use rand::seq::IndexedRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use seqhide_match::itemset::{
-    delta_elements_itemset, delta_item_itemset, matching_size_itemset, supports_itemset,
-    ItemsetPattern,
-};
+use seqhide_match::itemset::{matching_size_itemset, supports_itemset, ItemsetPattern};
+use seqhide_match::ItemsetMatchEngine;
 use seqhide_num::{Count, Sat64};
 use seqhide_types::{ItemsetSequence, Symbol};
 
@@ -35,25 +33,29 @@ pub fn sanitize_itemset_sequence<R: Rng + ?Sized>(
     strategy: LocalStrategy,
     rng: &mut R,
 ) -> usize {
+    let mut engine = ItemsetMatchEngine::<Sat64>::new(patterns);
+    sanitize_itemset_sequence_with(t, strategy, rng, &mut engine)
+}
+
+/// [`sanitize_itemset_sequence`] driving a caller-owned engine, so the
+/// DP tables and `δ` buffers are reused across victim sequences. Both
+/// levels of the hierarchical heuristic read the engine: level 1 from the
+/// standing element-`δ` buffer, level 2 from
+/// [`ItemsetMatchEngine::item_delta`] (an `O(m)` table lookup per item for
+/// gap-free patterns, instead of a full recount).
+pub fn sanitize_itemset_sequence_with<R: Rng + ?Sized>(
+    t: &mut ItemsetSequence,
+    strategy: LocalStrategy,
+    rng: &mut R,
+    engine: &mut ItemsetMatchEngine<Sat64>,
+) -> usize {
+    engine.load(t);
     let mut marks = 0;
     loop {
-        let elem_delta = delta_elements_itemset::<Sat64>(patterns, t);
         // level 1: element choice
         let elem = match strategy {
-            LocalStrategy::Heuristic => elem_delta
-                .iter()
-                .enumerate()
-                .filter(|(_, d)| !d.is_zero())
-                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-                .map(|(i, _)| i),
-            LocalStrategy::Random => {
-                let candidates: Vec<usize> = elem_delta
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, d)| (!d.is_zero()).then_some(i))
-                    .collect();
-                candidates.choose(rng).copied()
-            }
+            LocalStrategy::Heuristic => engine.argmax(),
+            LocalStrategy::Random => engine.candidates().choose(rng).copied(),
         };
         let Some(elem) = elem else {
             return marks; // matching set empty
@@ -64,7 +66,7 @@ pub fn sanitize_itemset_sequence<R: Rng + ?Sized>(
             let live: Vec<Symbol> = t.elements()[elem].live_items().collect();
             let mut best: Option<(Symbol, Sat64)> = None;
             for &item in &live {
-                let d = delta_item_itemset::<Sat64>(patterns, t, elem, item);
+                let d = engine.item_delta(t, elem, item);
                 if d.is_zero() {
                     continue;
                 }
@@ -79,9 +81,7 @@ pub fn sanitize_itemset_sequence<R: Rng + ?Sized>(
                     let candidates: Vec<Symbol> = live
                         .iter()
                         .copied()
-                        .filter(|&item| {
-                            !delta_item_itemset::<Sat64>(patterns, t, elem, item).is_zero()
-                        })
+                        .filter(|&item| !engine.item_delta(t, elem, item).is_zero())
                         .collect();
                     candidates.choose(rng).copied()
                 }
@@ -89,7 +89,8 @@ pub fn sanitize_itemset_sequence<R: Rng + ?Sized>(
             let Some(item) = chosen else { break };
             t.elements_mut()[elem].mark_item(item);
             marks += 1;
-            if delta_elements_itemset::<Sat64>(patterns, t)[elem].is_zero() {
+            engine.refresh_element(t, elem);
+            if engine.delta()[elem].is_zero() {
                 break;
             }
         }
@@ -147,8 +148,9 @@ pub fn sanitize_itemset_db(
     sup.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
     let n_victims = sup.len().saturating_sub(psi);
     let mut marks = 0;
+    let mut engine = ItemsetMatchEngine::<Sat64>::new(patterns);
     for &(i, _) in sup.iter().take(n_victims) {
-        marks += sanitize_itemset_sequence(&mut db[i], patterns, strategy, &mut rng);
+        marks += sanitize_itemset_sequence_with(&mut db[i], strategy, &mut rng, &mut engine);
     }
     let residual: Vec<usize> = patterns
         .iter()
@@ -196,7 +198,8 @@ mod tests {
         let p = ipat(&[&[1, 2]]);
         let mut t = iseq(&[&[1, 2, 3]]);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let marks = sanitize_itemset_sequence(&mut t, &[p.clone()], LocalStrategy::Heuristic, &mut rng);
+        let marks =
+            sanitize_itemset_sequence(&mut t, &[p.clone()], LocalStrategy::Heuristic, &mut rng);
         assert_eq!(marks, 1);
         assert!(!supports_itemset(&t, &p));
         assert!(t.elements()[0].contains(Symbol::new(3)));
@@ -249,8 +252,13 @@ mod tests {
         let p1 = ipat(&[&[1], &[2]]);
         let p2 = ipat(&[&[3]]);
         let mut db = vec![iseq(&[&[1, 3], &[2]]), iseq(&[&[3], &[1]])];
-        let report =
-            sanitize_itemset_db(&mut db, &[p1.clone(), p2.clone()], 0, LocalStrategy::Heuristic, 0);
+        let report = sanitize_itemset_db(
+            &mut db,
+            &[p1.clone(), p2.clone()],
+            0,
+            LocalStrategy::Heuristic,
+            0,
+        );
         assert!(report.hidden);
         assert_eq!(report.residual_supports, vec![0, 0]);
     }

@@ -56,7 +56,7 @@ pub mod timed;
 pub mod verify;
 
 pub use global::GlobalStrategy;
-pub use local::LocalStrategy;
+pub use local::{EngineMode, LocalStrategy};
 pub use metrics::{distortion, DistortionReport};
 pub use problem::{DisclosureThresholds, HidingProblem};
 pub use sanitizer::{SanitizeReport, Sanitizer};

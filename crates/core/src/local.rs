@@ -1,9 +1,15 @@
 //! Local (within-sequence) sanitization: which positions to mark (§4).
+//!
+//! The marking loop is driven by a [`MatchEngine`]: `δ` is computed once
+//! per sequence and incrementally repaired per mark, instead of rebuilt
+//! from scratch each iteration. [`EngineMode::Scratch`] keeps the original
+//! from-scratch path available as an escape hatch (CLI `--engine=scratch`)
+//! and as the oracle for the parity tests below.
 
 use rand::seq::IndexedRandom;
 use rand::Rng;
 use seqhide_match::delta::argmax_delta;
-use seqhide_match::{delta_all, SensitiveSet};
+use seqhide_match::{delta_all, MatchEngine, SensitiveSet};
 use seqhide_num::Count;
 use seqhide_types::Sequence;
 
@@ -21,6 +27,30 @@ pub enum LocalStrategy {
     Random,
 }
 
+/// Which counting core drives the marking loop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EngineMode {
+    /// The incrementally-updated [`MatchEngine`]: tables built once per
+    /// sequence, repaired per mark, zero per-mark allocations on the
+    /// unconstrained and gap-constrained paths.
+    #[default]
+    Incremental,
+    /// The original from-scratch path: `δ` recomputed with fresh tables on
+    /// every iteration. Same choices, same output — only slower.
+    Scratch,
+}
+
+impl EngineMode {
+    /// Parses `"incremental"` / `"scratch"` (CLI `--engine` values).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "incremental" => Some(EngineMode::Incremental),
+            "scratch" => Some(EngineMode::Scratch),
+            _ => None,
+        }
+    }
+}
+
 /// Sanitizes `t` in place until no sensitive occurrence remains, returning
 /// the number of marks introduced.
 ///
@@ -28,6 +58,49 @@ pub enum LocalStrategy {
 /// exactly those `δ` occurrences and creates none (marks match nothing), so
 /// the total occurrence count strictly decreases each iteration.
 pub fn sanitize_sequence<C: Count, R: Rng + ?Sized>(
+    t: &mut Sequence,
+    sh: &SensitiveSet,
+    strategy: LocalStrategy,
+    rng: &mut R,
+) -> usize {
+    let mut engine = MatchEngine::<C>::new(sh);
+    sanitize_sequence_with(t, strategy, rng, &mut engine)
+}
+
+/// [`sanitize_sequence`] driving a caller-owned engine, so the engine's
+/// buffers are reused across victim sequences. The engine's sensitive set
+/// is the one it was built with ([`MatchEngine::new`]).
+///
+/// The random strategy draws from the engine's candidate buffer — the same
+/// ascending candidate order and the same single `choose` call as the
+/// scratch path, so the RNG stream (and therefore every downstream choice)
+/// is identical between modes.
+pub fn sanitize_sequence_with<C: Count, R: Rng + ?Sized>(
+    t: &mut Sequence,
+    strategy: LocalStrategy,
+    rng: &mut R,
+    engine: &mut MatchEngine<C>,
+) -> usize {
+    engine.load(t);
+    let mut marks = 0;
+    loop {
+        let pos = match strategy {
+            LocalStrategy::Heuristic => engine.argmax(),
+            LocalStrategy::Random => engine.candidates().choose(rng).copied(),
+        };
+        let Some(pos) = pos else {
+            return marks; // δ ≡ 0 ⇔ no occurrence left
+        };
+        t.mark(pos);
+        engine.apply_mark(pos);
+        marks += 1;
+    }
+}
+
+/// The original from-scratch marking loop: recomputes `δ` with fresh
+/// tables on every iteration. Kept as the `--engine=scratch` escape hatch
+/// and as the oracle the engine path is tested against.
+pub fn sanitize_sequence_scratch<C: Count, R: Rng + ?Sized>(
     t: &mut Sequence,
     sh: &SensitiveSet,
     strategy: LocalStrategy,
@@ -48,7 +121,7 @@ pub fn sanitize_sequence<C: Count, R: Rng + ?Sized>(
             }
         };
         let Some(pos) = pos else {
-            return marks; // δ ≡ 0 ⇔ no occurrence left
+            return marks;
         };
         t.mark(pos);
         marks += 1;
@@ -88,8 +161,7 @@ mod tests {
         for seed in 0..20 {
             let (sh, mut t) = paper_case();
             let mut rng = SmallRng::seed_from_u64(seed);
-            let marks =
-                sanitize_sequence::<Sat64, _>(&mut t, &sh, LocalStrategy::Random, &mut rng);
+            let marks = sanitize_sequence::<Sat64, _>(&mut t, &sh, LocalStrategy::Random, &mut rng);
             assert!(marks >= 1);
             assert!(marks <= t.len());
             assert!(matching_size::<u64>(&sh, &t).is_zero(), "seed {seed}");
@@ -167,5 +239,97 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0);
         let marks = sanitize_sequence::<Sat64, _>(&mut t, &sh, LocalStrategy::Heuristic, &mut rng);
         assert_eq!(marks, 0);
+    }
+
+    /// Engine and scratch paths must make byte-identical decisions: same
+    /// marked positions, same mark count, same RNG consumption — across
+    /// strategies, constraint classes, and seeds.
+    #[test]
+    fn engine_path_is_bit_identical_to_scratch_path() {
+        let mut sigma = Alphabet::new();
+        let cases: Vec<(SensitiveSet, Sequence)> = vec![
+            {
+                let s = Sequence::parse("a b c", &mut sigma);
+                let t = Sequence::parse("a a b c c b a e", &mut sigma);
+                (SensitiveSet::new(vec![s]), t)
+            },
+            {
+                let s = Sequence::parse("a b", &mut sigma);
+                let t = Sequence::parse("a a b a b b a b", &mut sigma);
+                let p = SensitivePattern::new(s, ConstraintSet::uniform_gap(Gap::bounded(0, 2)))
+                    .unwrap();
+                (SensitiveSet::from_patterns(vec![p]), t)
+            },
+            {
+                let s = Sequence::parse("a b", &mut sigma);
+                let t = Sequence::parse("a x b a b a a b", &mut sigma);
+                let p = SensitivePattern::new(s, ConstraintSet::with_max_window(3)).unwrap();
+                (SensitiveSet::from_patterns(vec![p]), t)
+            },
+        ];
+        for (case, (sh, t)) in cases.iter().enumerate() {
+            for strategy in [LocalStrategy::Heuristic, LocalStrategy::Random] {
+                for seed in 0..10u64 {
+                    let mut t_eng = t.clone();
+                    let mut t_scr = t.clone();
+                    let mut rng_eng = SmallRng::seed_from_u64(seed);
+                    let mut rng_scr = SmallRng::seed_from_u64(seed);
+                    let m_eng =
+                        sanitize_sequence::<Sat64, _>(&mut t_eng, sh, strategy, &mut rng_eng);
+                    let m_scr = sanitize_sequence_scratch::<Sat64, _>(
+                        &mut t_scr,
+                        sh,
+                        strategy,
+                        &mut rng_scr,
+                    );
+                    assert_eq!(m_eng, m_scr, "case {case} {strategy:?} seed {seed}");
+                    assert_eq!(t_eng, t_scr, "case {case} {strategy:?} seed {seed}");
+                    // identical residual RNG state ⇒ identical consumption
+                    assert_eq!(
+                        rng_eng.random::<u64>(),
+                        rng_scr.random::<u64>(),
+                        "case {case} {strategy:?} seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A caller-owned engine reused across sequences gives the same result
+    /// as a fresh engine per sequence.
+    #[test]
+    fn engine_reuse_across_victims_is_transparent() {
+        let mut sigma = Alphabet::new();
+        let s = Sequence::parse("a b", &mut sigma);
+        let sh = SensitiveSet::new(vec![s]);
+        let victims = ["a b a b a b", "b a", "a a b b", "a b"];
+        let mut engine = MatchEngine::<Sat64>::new(&sh);
+        for (i, v) in victims.iter().enumerate() {
+            let mut t_shared = Sequence::parse(v, &mut sigma);
+            let mut t_fresh = t_shared.clone();
+            let mut rng1 = SmallRng::seed_from_u64(7);
+            let mut rng2 = SmallRng::seed_from_u64(7);
+            let m1 = sanitize_sequence_with(
+                &mut t_shared,
+                LocalStrategy::Random,
+                &mut rng1,
+                &mut engine,
+            );
+            let m2 =
+                sanitize_sequence::<Sat64, _>(&mut t_fresh, &sh, LocalStrategy::Random, &mut rng2);
+            assert_eq!(m1, m2, "victim {i}");
+            assert_eq!(t_shared, t_fresh, "victim {i}");
+        }
+    }
+
+    #[test]
+    fn engine_mode_parses() {
+        assert_eq!(
+            EngineMode::parse("incremental"),
+            Some(EngineMode::Incremental)
+        );
+        assert_eq!(EngineMode::parse("scratch"), Some(EngineMode::Scratch));
+        assert_eq!(EngineMode::parse("turbo"), None);
+        assert_eq!(EngineMode::default(), EngineMode::Incremental);
     }
 }

@@ -42,7 +42,10 @@ pub fn m2(before: &MineResult, after: &MineResult) -> f64 {
     if before.is_empty() {
         return 0.0;
     }
-    debug_assert!(after.len() <= before.len(), "marking cannot create frequent patterns");
+    debug_assert!(
+        after.len() <= before.len(),
+        "marking cannot create frequent patterns"
+    );
     (before.len() as f64 - after.len() as f64) / before.len() as f64
 }
 
@@ -156,13 +159,22 @@ mod tests {
         use seqhide_mine::FrequentPattern;
         let before = MineResult {
             patterns: vec![
-                FrequentPattern { seq: Sequence::from_ids([0]), support: 10 },
-                FrequentPattern { seq: Sequence::from_ids([1]), support: 4 },
+                FrequentPattern {
+                    seq: Sequence::from_ids([0]),
+                    support: 10,
+                },
+                FrequentPattern {
+                    seq: Sequence::from_ids([1]),
+                    support: 4,
+                },
             ],
             truncated: false,
         };
         let after = MineResult {
-            patterns: vec![FrequentPattern { seq: Sequence::from_ids([0]), support: 5 }],
+            patterns: vec![FrequentPattern {
+                seq: Sequence::from_ids([0]),
+                support: 5,
+            }],
             truncated: false,
         };
         // survivor ⟨s0⟩ dropped 10→5 ⇒ M3 = 0.5; lost ⟨s1⟩ affects M2 only

@@ -66,7 +66,13 @@ pub fn delete_markers_safe(
     loop {
         let verify = crate::verify::verify_hidden(&current, sh, psi);
         if verify.hidden {
-            return (current, DeleteReport { rounds, extra_marks });
+            return (
+                current,
+                DeleteReport {
+                    rounds,
+                    extra_marks,
+                },
+            );
         }
         let report = sanitizer.run(&mut current, sh);
         extra_marks += report.marks_introduced;
@@ -93,11 +99,7 @@ pub struct ReplaceReport {
 /// empirically minimises the number of *fake* frequent patterns introduced;
 /// the `ablation_postprocessing` bench audits that fake count via
 /// [`crate::verify::side_effects`].
-pub fn replace_markers(
-    db: &mut SequenceDb,
-    sh: &SensitiveSet,
-    seed: u64,
-) -> ReplaceReport {
+pub fn replace_markers(db: &mut SequenceDb, sh: &SensitiveSet, seed: u64) -> ReplaceReport {
     use rand::seq::SliceRandom;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     // Global symbol frequencies over unmarked positions.
@@ -165,11 +167,7 @@ mod tests {
         // the mark glues a and b together and creates a fresh occurrence.
         let mut db = SequenceDb::parse("a x b\n");
         let ab = Sequence::parse("a b", db.alphabet_mut());
-        let adj = SensitivePattern::new(
-            ab,
-            ConstraintSet::uniform_gap(Gap::adjacent()),
-        )
-        .unwrap();
+        let adj = SensitivePattern::new(ab, ConstraintSet::uniform_gap(Gap::adjacent())).unwrap();
         let sh = SensitiveSet::from_patterns(vec![adj.clone()]);
         assert!(crate::verify::verify_hidden(&db, &sh, 0).hidden);
         db.sequences_mut()[0].mark(1); // collateral mark on x
@@ -206,7 +204,13 @@ mod tests {
         let sh = SensitiveSet::new(vec![s]);
         db.sequences_mut()[0].mark(1);
         let report = replace_markers(&mut db, &sh, 0);
-        assert_eq!(report, ReplaceReport { replaced: 0, kept: 1 });
+        assert_eq!(
+            report,
+            ReplaceReport {
+                replaced: 0,
+                kept: 1
+            }
+        );
         assert!(db.sequences()[0][1].is_mark());
     }
 

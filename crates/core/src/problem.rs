@@ -47,7 +47,9 @@ impl DisclosureThresholds {
 
     /// The same threshold for `n` patterns.
     pub fn uniform(psi: usize, n: usize) -> Self {
-        DisclosureThresholds { thresholds: vec![psi; n] }
+        DisclosureThresholds {
+            thresholds: vec![psi; n],
+        }
     }
 
     /// The threshold for pattern `i`.

@@ -3,12 +3,12 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use seqhide_match::{supporters, SensitiveSet};
-use seqhide_num::{BigCount, Sat64};
+use seqhide_match::{supporters, MatchEngine, SensitiveSet};
+use seqhide_num::{BigCount, Count, Sat64};
 use seqhide_types::SequenceDb;
 
 use crate::global::{select_victims, GlobalStrategy};
-use crate::local::{sanitize_sequence, LocalStrategy};
+use crate::local::{sanitize_sequence_scratch, sanitize_sequence_with, EngineMode, LocalStrategy};
 use crate::problem::DisclosureThresholds;
 use crate::verify::verify_hidden;
 
@@ -52,12 +52,21 @@ pub struct Sanitizer {
     seed: u64,
     exact: bool,
     threads: usize,
+    engine: EngineMode,
 }
 
 impl Sanitizer {
     /// A sanitizer with explicit strategies and disclosure threshold `ψ`.
     pub fn new(local: LocalStrategy, global: GlobalStrategy, psi: usize) -> Self {
-        Sanitizer { local, global, psi, seed: 0x5e9_41de, exact: false, threads: 1 }
+        Sanitizer {
+            local,
+            global,
+            psi,
+            seed: 0x5e9_41de,
+            exact: false,
+            threads: 1,
+            engine: EngineMode::default(),
+        }
     }
 
     /// **HH** — heuristic position choice, heuristic sequence choice
@@ -106,6 +115,16 @@ impl Sanitizer {
         self
     }
 
+    /// Selects the counting core for the marking loop. The default
+    /// [`EngineMode::Incremental`] reuses one [`MatchEngine`] per worker
+    /// thread across all of its victims; [`EngineMode::Scratch`] recomputes
+    /// `δ` from scratch per mark (the original path — same output, kept as
+    /// an escape hatch and for A/B benchmarking).
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The configured local strategy.
     pub fn local(&self) -> LocalStrategy {
         self.local
@@ -150,28 +169,53 @@ impl Sanitizer {
     /// Per-victim RNG: independent of sibling victims and of the selection
     /// RNG, so work distribution cannot change outcomes.
     fn victim_rng(&self, ordinal: usize) -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(self.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(ordinal as u64 + 1)))
+        ChaCha8Rng::seed_from_u64(
+            self.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(ordinal as u64 + 1)),
+        )
     }
 
-    fn sanitize_one(&self, t: &mut seqhide_types::Sequence, sh: &SensitiveSet, ordinal: usize) -> usize {
+    /// Sanitizes one victim with a worker-owned engine. Each victim still
+    /// gets its own [`Sanitizer::victim_rng`], so scheduling and engine
+    /// reuse cannot change outcomes.
+    fn sanitize_one_with<C: Count>(
+        &self,
+        t: &mut seqhide_types::Sequence,
+        sh: &SensitiveSet,
+        ordinal: usize,
+        engine: &mut MatchEngine<C>,
+    ) -> usize {
         let mut rng = self.victim_rng(ordinal);
-        if self.exact {
-            sanitize_sequence::<BigCount, _>(t, sh, self.local, &mut rng)
-        } else {
-            sanitize_sequence::<Sat64, _>(t, sh, self.local, &mut rng)
+        match self.engine {
+            EngineMode::Incremental => sanitize_sequence_with(t, self.local, &mut rng, engine),
+            EngineMode::Scratch => sanitize_sequence_scratch::<C, _>(t, sh, self.local, &mut rng),
         }
     }
 
     /// Sanitizes the selected victims, sequentially or across threads.
     fn sanitize_victims(&self, db: &mut SequenceDb, sh: &SensitiveSet, victims: &[usize]) -> usize {
+        if self.exact {
+            self.sanitize_victims_typed::<BigCount>(db, sh, victims)
+        } else {
+            self.sanitize_victims_typed::<Sat64>(db, sh, victims)
+        }
+    }
+
+    fn sanitize_victims_typed<C: Count>(
+        &self,
+        db: &mut SequenceDb,
+        sh: &SensitiveSet,
+        victims: &[usize],
+    ) -> usize {
         let threads = match self.threads {
             0 => std::thread::available_parallelism().map_or(1, usize::from),
             n => n,
         };
         if threads <= 1 || victims.len() <= 1 {
             let mut marks = 0;
+            let mut engine = MatchEngine::<C>::new(sh);
             for (ordinal, &i) in victims.iter().enumerate() {
-                marks += self.sanitize_one(&mut db.sequences_mut()[i], sh, ordinal);
+                marks +=
+                    self.sanitize_one_with(&mut db.sequences_mut()[i], sh, ordinal, &mut engine);
             }
             return marks;
         }
@@ -195,14 +239,18 @@ impl Sanitizer {
                 .map(|batch| {
                     scope.spawn(move || {
                         let mut marks = 0;
+                        let mut engine = MatchEngine::<C>::new(sh);
                         for (ordinal, _, t) in batch.iter_mut() {
-                            marks += self.sanitize_one(t, sh, *ordinal);
+                            marks += self.sanitize_one_with(t, sh, *ordinal, &mut engine);
                         }
                         marks
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("sanitizer thread panicked")).sum()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sanitizer thread panicked"))
+                .sum()
         });
         for stripe in stripes {
             for (_, i, t) in stripe {
@@ -322,9 +370,7 @@ mod tests {
     use seqhide_types::Sequence;
 
     fn setup() -> (SequenceDb, SensitiveSet, Sequence) {
-        let mut db = SequenceDb::parse(
-            "a b c\nb a c\nc a b c\na c\nb b\nc a\na b a c\n",
-        );
+        let mut db = SequenceDb::parse("a b c\nb a c\nc a b c\na c\nb b\nc a\na b a c\n");
         let s = Sequence::parse("a c", db.alphabet_mut());
         let sh = SensitiveSet::new(vec![s.clone()]);
         (db, sh, s)
@@ -421,9 +467,7 @@ mod tests {
 
     #[test]
     fn multi_threshold_scheduler_meets_each_threshold() {
-        let mut db = SequenceDb::parse(
-            "a b\na b\na b\na b\nc d\nc d\nc d\na b c d\n",
-        );
+        let mut db = SequenceDb::parse("a b\na b\na b\na b\nc d\nc d\nc d\na b c d\n");
         let s1 = Sequence::parse("a b", db.alphabet_mut());
         let s2 = Sequence::parse("c d", db.alphabet_mut());
         let sh = SensitiveSet::new(vec![s1.clone(), s2.clone()]);
@@ -458,9 +502,8 @@ mod tests {
         use seqhide_match::{ConstraintSet, Gap, SensitivePattern};
         let mut db = SequenceDb::parse("a b\na x b\na y y b\n");
         let s = Sequence::parse("a b", db.alphabet_mut());
-        let p =
-            SensitivePattern::new(s.clone(), ConstraintSet::uniform_gap(Gap::bounded(0, 1)))
-                .unwrap();
+        let p = SensitivePattern::new(s.clone(), ConstraintSet::uniform_gap(Gap::bounded(0, 1)))
+            .unwrap();
         let sh = SensitiveSet::from_patterns(vec![p.clone()]);
         // rows 0 and 1 support the constrained pattern; row 2 (gap 2) doesn't.
         let report = Sanitizer::hh(0).run(&mut db, &sh);
@@ -497,6 +540,30 @@ mod tests {
             let r3 = make(1).with_seed(9).with_threads(0).run(&mut auto_db, &sh);
             assert_eq!(r1, r3);
             assert_eq!(seq_db.to_text(), auto_db.to_text());
+        }
+    }
+
+    #[test]
+    fn scratch_engine_mode_is_byte_identical() {
+        for make in [Sanitizer::hh, Sanitizer::rr] {
+            let (mut db1, sh, _) = setup();
+            let (mut db2, _, _) = setup();
+            let r1 = make(1).with_seed(5).run(&mut db1, &sh);
+            let r2 = make(1)
+                .with_seed(5)
+                .with_engine(EngineMode::Scratch)
+                .run(&mut db2, &sh);
+            assert_eq!(r1, r2);
+            assert_eq!(db1.to_text(), db2.to_text());
+            // and scratch parallel agrees with scratch sequential
+            let (mut db3, _, _) = setup();
+            let r3 = make(1)
+                .with_seed(5)
+                .with_engine(EngineMode::Scratch)
+                .with_threads(3)
+                .run(&mut db3, &sh);
+            assert_eq!(r1, r3);
+            assert_eq!(db1.to_text(), db3.to_text());
         }
     }
 

@@ -12,7 +12,7 @@ use rand::seq::IndexedRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use seqhide_match::counting::ending_at_table_bounded_by;
+use seqhide_match::counting::ending_at_table_bounded_into;
 use seqhide_match::PatternError;
 use seqhide_num::{Count, Sat64};
 use seqhide_types::{Sequence, TimeTag, TimedSequence};
@@ -55,12 +55,18 @@ impl TimeConstraints {
 
     /// The same time gap on every arrow.
     pub fn uniform_gap(gap: TimeGap) -> Self {
-        TimeConstraints { gaps: vec![gap], max_window: None }
+        TimeConstraints {
+            gaps: vec![gap],
+            max_window: None,
+        }
     }
 
     /// Only a max time window.
     pub fn with_max_window(ws: TimeTag) -> Self {
-        TimeConstraints { gaps: Vec::new(), max_window: Some(ws) }
+        TimeConstraints {
+            gaps: Vec::new(),
+            max_window: Some(ws),
+        }
     }
 
     fn gap(&self, k: usize, arrows: usize) -> TimeGap {
@@ -135,11 +141,15 @@ pub fn count_matches_timed<C: Count>(p: &TimedPattern, t: &TimedSequence) -> C {
         };
         time_range(&times, lo_t, hi_t)
     };
+    // DP table and prefix-sum row reused across every per-end-position
+    // slice (the window branch runs one DP per matching end event).
+    let mut table: Vec<C> = Vec::new();
+    let mut prefix: Vec<C> = Vec::new();
     match p.constraints.max_window {
         None => {
-            let table = ending_at_table_bounded_by::<C>(m, n, matches, gap_range);
+            ending_at_table_bounded_into::<C>(m, n, matches, gap_range, &mut table, &mut prefix);
             let mut total = C::zero();
-            for cell in &table[m - 1] {
+            for cell in &table[(m - 1) * n..] {
                 total.add_assign(cell);
             }
             total
@@ -157,7 +167,7 @@ pub fn count_matches_timed<C: Count>(p: &TimedPattern, t: &TimedSequence) -> C {
                 if len < m {
                     continue;
                 }
-                let table = ending_at_table_bounded_by::<C>(
+                ending_at_table_bounded_into::<C>(
                     m,
                     len,
                     |k, jj| matches(k, lo + jj),
@@ -169,8 +179,10 @@ pub fn count_matches_timed<C: Count>(p: &TimedPattern, t: &TimedSequence) -> C {
                         }
                         Some((a - lo, b - lo))
                     },
+                    &mut table,
+                    &mut prefix,
                 );
-                total.add_assign(&table[m - 1][len - 1]);
+                total.add_assign(&table[(m - 1) * len + (len - 1)]);
             }
             total
         }
@@ -194,19 +206,33 @@ pub fn supports_timed(t: &TimedSequence, p: &TimedPattern) -> bool {
 /// `δ` per event by temporary marking (marking keeps the time tag, so all
 /// time constraints stay correctly evaluated).
 pub fn delta_timed<C: Count>(patterns: &[TimedPattern], t: &TimedSequence) -> Vec<C> {
-    let total = matching_size_timed::<C>(patterns, t);
+    let mut delta = Vec::new();
     let mut work = t.clone();
-    (0..t.len())
-        .map(|i| {
-            if work.events()[i].symbol.is_mark() {
-                return C::zero();
-            }
-            let saved = work.mark(i);
-            let reduced = matching_size_timed::<C>(patterns, &work);
-            work.set_symbol(i, saved);
-            total.saturating_sub(&reduced)
-        })
-        .collect()
+    delta_timed_into(patterns, &mut work, &mut delta);
+    delta
+}
+
+/// [`delta_timed`] writing into a caller-owned buffer and marking events in
+/// place (each is restored before the next is probed, so `t` is net
+/// unchanged). Lets the sanitization loop reuse one `δ` vector instead of
+/// allocating a fresh `Vec` and a sequence clone per mark.
+pub fn delta_timed_into<C: Count>(
+    patterns: &[TimedPattern],
+    t: &mut TimedSequence,
+    delta: &mut Vec<C>,
+) {
+    let total = matching_size_timed::<C>(patterns, t);
+    delta.clear();
+    for i in 0..t.len() {
+        if t.events()[i].symbol.is_mark() {
+            delta.push(C::zero());
+            continue;
+        }
+        let saved = t.mark(i);
+        let reduced = matching_size_timed::<C>(patterns, t);
+        t.set_symbol(i, saved);
+        delta.push(total.saturating_sub(&reduced));
+    }
 }
 
 /// Sanitizes one timed sequence until no occurrence remains; returns marks
@@ -219,8 +245,12 @@ pub fn sanitize_timed_sequence<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> usize {
     let mut marks = 0;
+    // δ and candidate buffers live across the marking loop: each iteration
+    // refills them in place instead of allocating fresh vectors.
+    let mut delta: Vec<Sat64> = Vec::new();
+    let mut candidates: Vec<usize> = Vec::new();
     loop {
-        let delta = delta_timed::<Sat64>(patterns, t);
+        delta_timed_into::<Sat64>(patterns, t, &mut delta);
         let pos = match strategy {
             LocalStrategy::Heuristic => {
                 let mut best: Option<(usize, Sat64)> = None;
@@ -236,11 +266,13 @@ pub fn sanitize_timed_sequence<R: Rng + ?Sized>(
                 best.map(|(i, _)| i)
             }
             LocalStrategy::Random => {
-                let candidates: Vec<usize> = delta
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, d)| (!d.is_zero()).then_some(i))
-                    .collect();
+                candidates.clear();
+                candidates.extend(
+                    delta
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, d)| (!d.is_zero()).then_some(i)),
+                );
                 candidates.choose(rng).copied()
             }
         };
@@ -324,7 +356,10 @@ mod tests {
         let p = pat(
             "a b",
             &mut sigma,
-            TimeConstraints::uniform_gap(TimeGap { min: 1, max: Some(4) }),
+            TimeConstraints::uniform_gap(TimeGap {
+                min: 1,
+                max: Some(4),
+            }),
         );
         let t = TimedSequence::from_pairs([(0, 0), (0, 5), (1, 9), (1, 10)]);
         // pairs (a@0,b@9):9, (a@0,b@10):10, (a@5,b@9):4 ✓, (a@5,b@10):5 ✗
@@ -337,7 +372,10 @@ mod tests {
         let p = pat(
             "a b",
             &mut sigma,
-            TimeConstraints::uniform_gap(TimeGap { min: 0, max: Some(0) }),
+            TimeConstraints::uniform_gap(TimeGap {
+                min: 0,
+                max: Some(0),
+            }),
         );
         // simultaneous events a@3 b@3 — elapsed 0 — order still by index
         let t = TimedSequence::from_pairs([(0, 3), (1, 3), (1, 7)]);
@@ -385,7 +423,8 @@ mod tests {
         // only (a@10, b@11) is within the 2-tick window
         let mut t = TimedSequence::from_pairs([(0, 0), (1, 5), (0, 10), (1, 11)]);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let marks = sanitize_timed_sequence(&mut t, &[p.clone()], LocalStrategy::Heuristic, &mut rng);
+        let marks =
+            sanitize_timed_sequence(&mut t, &[p.clone()], LocalStrategy::Heuristic, &mut rng);
         assert_eq!(marks, 1);
         assert!(!supports_timed(&t, &p));
         // early events untouched

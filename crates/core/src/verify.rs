@@ -1,6 +1,6 @@
 //! Verification of the hiding requirement and side-effect audits.
 
-use seqhide_match::{SensitivePattern, SensitiveSet, supporters};
+use seqhide_match::{supporters, SensitivePattern, SensitiveSet};
 use seqhide_mine::MineResult;
 use seqhide_types::{Sequence, SequenceDb};
 
@@ -54,7 +54,11 @@ pub fn verify_hidden_multi(
         .iter()
         .zip(thresholds.as_slice())
         .all(|(&s, &t)| s <= t);
-    VerifyReport { hidden, supports, thresholds: thresholds.as_slice().to_vec() }
+    VerifyReport {
+        hidden,
+        supports,
+        thresholds: thresholds.as_slice().to_vec(),
+    }
 }
 
 /// Side effects of sanitization on the frequent-pattern space, computed
@@ -80,8 +84,7 @@ pub fn side_effects(
     after: &MineResult,
     sensitive: &SensitiveSet,
 ) -> SideEffects {
-    let sensitive_seqs: Vec<&Sequence> =
-        sensitive.iter().map(SensitivePattern::seq).collect();
+    let sensitive_seqs: Vec<&Sequence> = sensitive.iter().map(SensitivePattern::seq).collect();
     let before_map = before.to_map();
     let after_map = after.to_map();
     let mut out = SideEffects::default();
@@ -151,8 +154,12 @@ mod tests {
         assert!(!fx.lost.contains(&Sequence::parse("a b", &mut sigma)));
         // "a" survived with lower support
         let a = Sequence::parse("a", &mut sigma);
-        assert!(fx.weakened.iter().any(|(s, b4, aft)| *s == a && *b4 == 4 && *aft == 4)
-            == false);
+        assert!(
+            fx.weakened
+                .iter()
+                .any(|(s, b4, aft)| *s == a && *b4 == 4 && *aft == 4)
+                == false
+        );
         assert!(fx.weakened.iter().all(|(_, b4, aft)| aft < b4));
     }
 

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use seqhide_core::itemset::sanitize_itemset_db;
 use seqhide_core::timed::{
-    count_matches_timed, delta_timed, sanitize_timed_db, supports_timed, TimeConstraints,
-    TimeGap, TimedPattern,
+    count_matches_timed, delta_timed, sanitize_timed_db, supports_timed, TimeConstraints, TimeGap,
+    TimedPattern,
 };
 use seqhide_core::{DisclosureThresholds, LocalStrategy, Sanitizer};
 use seqhide_match::itemset::{count_matches_itemset, supports_itemset, ItemsetPattern};
@@ -163,9 +163,11 @@ fn brute_itemset(p: &ItemsetPattern, t: &ItemsetSequence) -> u64 {
         if tuple.len() != m {
             continue;
         }
-        if tuple.iter().zip(p.elements().elements()).all(|(&i, pe)| {
-            pe.included_in(&t.elements()[i])
-        }) {
+        if tuple
+            .iter()
+            .zip(p.elements().elements())
+            .all(|(&i, pe)| pe.included_in(&t.elements()[i]))
+        {
             count += 1;
         }
     }
@@ -173,11 +175,8 @@ fn brute_itemset(p: &ItemsetPattern, t: &ItemsetSequence) -> u64 {
 }
 
 fn itemset_seq_strategy(max_len: usize) -> impl Strategy<Value = ItemsetSequence> {
-    prop::collection::vec(
-        prop::collection::vec(0u32..4, 1..=3),
-        0..=max_len,
-    )
-    .prop_map(ItemsetSequence::from_ids)
+    prop::collection::vec(prop::collection::vec(0u32..4, 1..=3), 0..=max_len)
+        .prop_map(ItemsetSequence::from_ids)
 }
 
 proptest! {

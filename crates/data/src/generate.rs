@@ -173,10 +173,26 @@ pub fn trucks_like(seed: u64) -> Dataset {
     // 36 = 28 + 8, 38 = 30 + 8, 66 = 28 + 30 + 8.
     let both: Vec<(usize, usize)> = [A, B].concat();
     let groups = [
-        Group { count: 28, corridor: A.to_vec(), must: vec![0] },
-        Group { count: 30, corridor: B.to_vec(), must: vec![1] },
-        Group { count: 8, corridor: both, must: vec![0, 1] },
-        Group { count: 207, corridor: vec![], must: vec![] },
+        Group {
+            count: 28,
+            corridor: A.to_vec(),
+            must: vec![0],
+        },
+        Group {
+            count: 30,
+            corridor: B.to_vec(),
+            must: vec![1],
+        },
+        Group {
+            count: 8,
+            corridor: both,
+            must: vec![0, 1],
+        },
+        Group {
+            count: 207,
+            corridor: vec![],
+            must: vec![],
+        },
     ];
     let params = SimParams {
         pre_post: 2,
@@ -198,10 +214,26 @@ pub fn synthetic_like(seed: u64) -> Dataset {
     // 99 = 28 + 71, 172 = 101 + 71, 200 = 28 + 101 + 71.
     let both: Vec<(usize, usize)> = [A, B].concat();
     let groups = [
-        Group { count: 28, corridor: A.to_vec(), must: vec![0] },
-        Group { count: 101, corridor: B.to_vec(), must: vec![1] },
-        Group { count: 71, corridor: both, must: vec![0, 1] },
-        Group { count: 100, corridor: vec![], must: vec![] },
+        Group {
+            count: 28,
+            corridor: A.to_vec(),
+            must: vec![0],
+        },
+        Group {
+            count: 101,
+            corridor: B.to_vec(),
+            must: vec![1],
+        },
+        Group {
+            count: 71,
+            corridor: both,
+            must: vec![0, 1],
+        },
+        Group {
+            count: 100,
+            corridor: vec![],
+            must: vec![],
+        },
     ];
     let params = SimParams {
         pre_post: 1,

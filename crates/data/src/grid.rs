@@ -134,7 +134,13 @@ mod tests {
         let g = Grid::paper();
         let a = g.alphabet();
         // wander inside X1Y1, then jump to X2Y1 and stay, then back
-        let traj = vec![(0.01, 0.01), (0.05, 0.08), (0.15, 0.05), (0.19, 0.02), (0.05, 0.05)];
+        let traj = vec![
+            (0.01, 0.01),
+            (0.05, 0.08),
+            (0.15, 0.05),
+            (0.19, 0.02),
+            (0.05, 0.05),
+        ];
         let seq = g.discretize(&traj, &a);
         assert_eq!(seq.len(), 3);
         assert_eq!(a.render(seq[0]), "X1Y1");

@@ -16,7 +16,9 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use seqhide_types::{Alphabet, Itemset, ItemsetSequence, SequenceDb, Symbol, TimeTag, TimedEvent, TimedSequence};
+use seqhide_types::{
+    Alphabet, Itemset, ItemsetSequence, SequenceDb, Symbol, TimeTag, TimedEvent, TimedSequence,
+};
 
 /// Reads a database from a text file.
 pub fn read_db(path: impl AsRef<Path>) -> io::Result<SequenceDb> {
@@ -110,7 +112,11 @@ pub fn parse_timed_db(text: &str) -> io::Result<(Alphabet, Vec<TimedSequence>)> 
                     format!("line {}: bad tick in '{token}'", lineno + 1),
                 )
             })?;
-            let symbol = if name == "Δ" { Symbol::MARK } else { alphabet.intern(name) };
+            let symbol = if name == "Δ" {
+                Symbol::MARK
+            } else {
+                alphabet.intern(name)
+            };
             events.push(TimedEvent { symbol, time });
         }
         if !events.windows(2).all(|w| w[0].time <= w[1].time) {

@@ -7,7 +7,9 @@ use seqhide_types::{Alphabet, SequenceDb, Symbol};
 
 fn lengths<R: Rng + ?Sized>(rng: &mut R, n: usize, len_range: (usize, usize)) -> Vec<usize> {
     assert!(len_range.0 <= len_range.1, "invalid length range");
-    (0..n).map(|_| rng.random_range(len_range.0..=len_range.1)).collect()
+    (0..n)
+        .map(|_| rng.random_range(len_range.0..=len_range.1))
+        .collect()
 }
 
 /// A database of `n` sequences with uniformly random symbols from an
@@ -21,7 +23,12 @@ fn lengths<R: Rng + ?Sized>(rng: &mut R, n: usize, len_range: (usize, usize)) ->
 /// assert!(db.sequences().iter().all(|t| (2..=6).contains(&t.len())));
 /// assert_eq!(db.to_text(), random_db(7, 25, (2, 6), 10).to_text()); // seeded
 /// ```
-pub fn random_db(seed: u64, n: usize, len_range: (usize, usize), alphabet_size: usize) -> SequenceDb {
+pub fn random_db(
+    seed: u64,
+    n: usize,
+    len_range: (usize, usize),
+    alphabet_size: usize,
+) -> SequenceDb {
     assert!(alphabet_size > 0);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let alphabet = Alphabet::anonymous(alphabet_size);
@@ -127,8 +134,14 @@ mod tests {
 
     #[test]
     fn random_db_deterministic() {
-        assert_eq!(random_db(5, 10, (2, 4), 6).to_text(), random_db(5, 10, (2, 4), 6).to_text());
-        assert_ne!(random_db(5, 10, (2, 4), 6).to_text(), random_db(6, 10, (2, 4), 6).to_text());
+        assert_eq!(
+            random_db(5, 10, (2, 4), 6).to_text(),
+            random_db(5, 10, (2, 4), 6).to_text()
+        );
+        assert_ne!(
+            random_db(5, 10, (2, 4), 6).to_text(),
+            random_db(6, 10, (2, 4), 6).to_text()
+        );
     }
 
     #[test]

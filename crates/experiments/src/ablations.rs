@@ -7,8 +7,8 @@ use seqhide_core::{GlobalStrategy, LocalStrategy, Sanitizer};
 use seqhide_data::Dataset;
 use seqhide_match::delta::{delta_by_deletion, delta_by_marking, delta_forward_backward};
 use seqhide_match::{supporters, SensitiveSet};
-use seqhide_num::{BigCount, Count, Sat64};
 use seqhide_mine::{MinerConfig, PrefixSpan};
+use seqhide_num::{BigCount, Count, Sat64};
 
 use crate::series::{Figure, Series};
 use crate::RANDOM_RUNS;
@@ -18,7 +18,11 @@ use crate::RANDOM_RUNS;
 pub fn ablation_global_selectors(dataset: &Dataset, psis: &[usize]) -> Figure {
     let strategies = [
         ("matching-size (paper)", GlobalStrategy::Heuristic, false),
-        ("auto-correlation (§8)", GlobalStrategy::AutoCorrelation, false),
+        (
+            "auto-correlation (§8)",
+            GlobalStrategy::AutoCorrelation,
+            false,
+        ),
         ("length (§8)", GlobalStrategy::Length, false),
         ("random", GlobalStrategy::Random, true),
     ];
@@ -51,7 +55,10 @@ pub fn ablation_global_selectors(dataset: &Dataset, psis: &[usize]) -> Figure {
     }
     Figure {
         id: "ablation_global".into(),
-        title: format!("Global selector alternatives (M1, local=H) — {}", dataset.name),
+        title: format!(
+            "Global selector alternatives (M1, local=H) — {}",
+            dataset.name
+        ),
         xlabel: "psi".into(),
         ylabel: "M1 (marks)".into(),
         series,
@@ -85,7 +92,10 @@ pub fn ablation_delta_agreement(dataset: &Dataset) -> DeltaAgreement {
         let by_mark = delta_by_marking::<BigCount>(sh, t);
         let mut by_fb = vec![BigCount::zero(); t.len()];
         for p in sh {
-            for (acc, d) in by_fb.iter_mut().zip(delta_forward_backward::<BigCount>(p, t)) {
+            for (acc, d) in by_fb
+                .iter_mut()
+                .zip(delta_forward_backward::<BigCount>(p, t))
+            {
                 acc.add_assign(&d);
             }
         }

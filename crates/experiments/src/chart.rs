@@ -85,7 +85,11 @@ pub fn ascii_chart(figure: &Figure, width: usize, height: usize) -> String {
         r = width - width / 2,
     ));
     for (si, series) in figure.series.iter().enumerate() {
-        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], series.label));
+        out.push_str(&format!(
+            "  {} {}\n",
+            GLYPHS[si % GLYPHS.len()],
+            series.label
+        ));
     }
     out
 }

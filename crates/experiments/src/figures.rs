@@ -157,12 +157,11 @@ impl ConstraintKind {
     pub fn to_constraints(&self) -> ConstraintSet {
         match *self {
             ConstraintKind::None => ConstraintSet::none(),
-            ConstraintKind::MinGap(g) => {
-                ConstraintSet::uniform_gap(Gap { min: g, max: None })
-            }
-            ConstraintKind::MaxGap(g) => {
-                ConstraintSet::uniform_gap(Gap { min: 0, max: Some(g) })
-            }
+            ConstraintKind::MinGap(g) => ConstraintSet::uniform_gap(Gap { min: g, max: None }),
+            ConstraintKind::MaxGap(g) => ConstraintSet::uniform_gap(Gap {
+                min: 0,
+                max: Some(g),
+            }),
             ConstraintKind::MaxWindow(w) => ConstraintSet::with_max_window(w),
         }
     }
@@ -171,7 +170,12 @@ impl ConstraintKind {
 /// **F1g / F1h / F1i** — M1 vs `ψ` for the HH algorithm under increasing
 /// constraint levels. Tighter constraints restrict which occurrences count
 /// as disclosures, so less needs hiding and distortion drops.
-pub fn fig1_constraints(dataset: &Dataset, kinds: &[ConstraintKind], psis: &[usize], id: &str) -> Figure {
+pub fn fig1_constraints(
+    dataset: &Dataset,
+    kinds: &[ConstraintKind],
+    psis: &[usize],
+    id: &str,
+) -> Figure {
     let mut series = Vec::new();
     for kind in kinds {
         let sensitive = dataset
@@ -257,7 +261,12 @@ mod tests {
         // (The paper notes pointwise exceptions can occur "due to
         // imperfectness of the heuristics", so we assert the aggregate.)
         let total = |label: &str| -> f64 {
-            f.series_by_label(label).unwrap().points.iter().map(|&(_, y)| y).sum()
+            f.series_by_label(label)
+                .unwrap()
+                .points
+                .iter()
+                .map(|&(_, y)| y)
+                .sum()
         };
         let base = total("unconstrained");
         assert!(total("maxgap=1") <= base);

@@ -12,7 +12,10 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 
     /// The y value at a given x, if present.
@@ -92,8 +95,10 @@ impl Figure {
         if labels.is_empty() {
             return None;
         }
-        let mut series: Vec<Series> =
-            labels.iter().map(|l| Series::new(l.clone(), Vec::new())).collect();
+        let mut series: Vec<Series> = labels
+            .iter()
+            .map(|l| Series::new(l.clone(), Vec::new()))
+            .collect();
         for line in lines {
             let mut cells = line.split(',');
             let x: f64 = cells.next()?.trim().parse().ok()?;

@@ -36,7 +36,10 @@ impl Gap {
     /// An exact-adjacency arrow (`→⁰`): the next symbol must directly
     /// follow.
     pub const fn adjacent() -> Self {
-        Gap { min: 0, max: Some(0) }
+        Gap {
+            min: 0,
+            max: Some(0),
+        }
     }
 
     /// A bounded arrow `→_mg^Mg`.
@@ -45,7 +48,10 @@ impl Gap {
     /// Panics if `max < min` (the paper requires `Mg ≥ mg`).
     pub fn bounded(min: usize, max: usize) -> Self {
         assert!(max >= min, "max gap must be ≥ min gap");
-        Gap { min, max: Some(max) }
+        Gap {
+            min,
+            max: Some(max),
+        }
     }
 
     /// Whether `gap` intervening elements satisfy this constraint.
@@ -98,17 +104,26 @@ impl ConstraintSet {
     /// The same gap on every arrow.
     pub fn uniform_gap(gap: Gap) -> Self {
         // Represented lazily: materialised per-pattern by `for_arrows`.
-        ConstraintSet { gaps: vec![gap], max_window: None }
+        ConstraintSet {
+            gaps: vec![gap],
+            max_window: None,
+        }
     }
 
     /// Explicit per-arrow gaps.
     pub fn with_gaps(gaps: Vec<Gap>) -> Self {
-        ConstraintSet { gaps, max_window: None }
+        ConstraintSet {
+            gaps,
+            max_window: None,
+        }
     }
 
     /// Only a max-window constraint.
     pub fn with_max_window(ws: usize) -> Self {
-        ConstraintSet { gaps: Vec::new(), max_window: Some(ws) }
+        ConstraintSet {
+            gaps: Vec::new(),
+            max_window: Some(ws),
+        }
     }
 
     /// Adds a max window to `self`.

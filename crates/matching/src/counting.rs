@@ -73,11 +73,7 @@ pub fn count_embeddings_by<C: Count>(
 /// Gap constraints are read from `cs`; the max-window constraint is *not*
 /// applied here (it is global — see [`count_matches`]). Runs in `O(nm)`
 /// using prefix sums, improving on the paper's `O(n²m)` bound.
-pub fn ending_at_table<C: Count>(
-    s: &Sequence,
-    t: &[Symbol],
-    cs: &ConstraintSet,
-) -> Vec<Vec<C>> {
+pub fn ending_at_table<C: Count>(s: &Sequence, t: &[Symbol], cs: &ConstraintSet) -> Vec<Vec<C>> {
     ending_at_table_by(s.len(), t.len(), |k, j| s[k].matches(t[j]), cs)
 }
 
@@ -163,6 +159,62 @@ pub fn ending_at_table_bounded_by<C: Count>(
     table
 }
 
+/// Buffer-reusing variant of [`ending_at_table_bounded_by`]: fills `table`
+/// (flattened row-major, `m × n`, resized in place) using `prefix` as the
+/// per-row prefix-sum scratch (`n + 1` entries). Callers that evaluate the
+/// table in a loop — e.g. the per-end-position windowed DPs of the
+/// spatiotemporal and real-time extensions — hoist both buffers out of the
+/// loop and pay zero allocations per evaluation after warm-up.
+///
+/// `table[k * n + j]` equals `ending_at_table_bounded_by(..)[k][j]`.
+pub fn ending_at_table_bounded_into<C: Count>(
+    m: usize,
+    n: usize,
+    matches: impl Fn(usize, usize) -> bool,
+    prev_range: impl Fn(usize, usize) -> Option<(usize, usize)>,
+    table: &mut Vec<C>,
+    prefix: &mut Vec<C>,
+) {
+    table.clear();
+    table.resize(m * n, C::zero());
+    for k in 0..m {
+        let row = k * n;
+        if k == 0 {
+            for j in 0..n {
+                if matches(0, j) {
+                    table[row + j] = C::one();
+                }
+            }
+        } else {
+            let prev = row - n;
+            prefix.clear();
+            prefix.push(C::zero());
+            for l in 0..n {
+                let next = prefix[l].add(&table[prev + l]);
+                prefix.push(next);
+            }
+            for j in 0..n {
+                if !matches(k, j) {
+                    continue;
+                }
+                let Some((lo, hi)) = prev_range(k - 1, j) else {
+                    continue;
+                };
+                if j == 0 {
+                    continue;
+                }
+                let hi = hi.min(j - 1);
+                if lo > hi {
+                    continue;
+                }
+                // prefix sums are monotone, so the saturating subtraction
+                // is exact.
+                table[row + j] = prefix[hi + 1].saturating_sub(&prefix[lo]);
+            }
+        }
+    }
+}
+
 /// Counts occurrences of a constrained sensitive pattern in `t` —
 /// dispatching to the cheapest applicable DP:
 ///
@@ -219,8 +271,7 @@ pub fn count_matches_by<C: Count>(
                 if len < m {
                     continue;
                 }
-                let table =
-                    ending_at_table_by::<C>(m, len, |k, jj| matches(k, lo + jj), cs);
+                let table = ending_at_table_by::<C>(m, len, |k, jj| matches(k, lo + jj), cs);
                 total.add_assign(&table[m - 1][len - 1]);
             }
             total
@@ -253,7 +304,10 @@ mod tests {
 
     fn seqs(s: &str, t: &str) -> (Sequence, Sequence) {
         let mut sigma = Alphabet::new();
-        (Sequence::parse(s, &mut sigma), Sequence::parse(t, &mut sigma))
+        (
+            Sequence::parse(s, &mut sigma),
+            Sequence::parse(t, &mut sigma),
+        )
     }
 
     fn pat(s: &Sequence, cs: ConstraintSet) -> SensitivePattern {
@@ -274,7 +328,10 @@ mod tests {
     fn empty_pattern_has_one_embedding() {
         let (_, t) = seqs("a", "a b c");
         assert_eq!(count_embeddings::<u64>(&Sequence::empty(), &t), 1);
-        assert_eq!(count_embeddings::<u64>(&Sequence::empty(), &Sequence::empty()), 1);
+        assert_eq!(
+            count_embeddings::<u64>(&Sequence::empty(), &Sequence::empty()),
+            1
+        );
     }
 
     #[test]
@@ -303,7 +360,10 @@ mod tests {
         let s = Sequence::from_ids(vec![0; 70]);
         let t = Sequence::from_ids(vec![0; 140]);
         let exact = count_embeddings::<BigCount>(&s, &t);
-        assert_eq!(exact.to_string(), "93820969697840041204785894580506297666600");
+        assert_eq!(
+            exact.to_string(),
+            "93820969697840041204785894580506297666600"
+        );
         // Sat64 saturates but stays a usable lower bound.
         let sat = count_embeddings::<Sat64>(&s, &t);
         assert!(sat.is_saturated());
@@ -385,6 +445,44 @@ mod tests {
         assert_eq!(count_matches::<u64>(&pat(&s, cs), &t), 1);
         let cs2 = ConstraintSet::uniform_gap(Gap { min: 2, max: None }).and_max_window(3);
         assert_eq!(count_matches::<u64>(&pat(&s, cs2), &t), 0);
+    }
+
+    #[test]
+    fn bounded_into_matches_allocating_variant() {
+        let (s, t) = seqs("a b c", "a a b c c b a e");
+        let (m, n) = (s.len(), t.len());
+        let cs = ConstraintSet::uniform_gap(Gap::bounded(0, 2));
+        let arrows = m - 1;
+        let prev_range = |k: usize, j: usize| {
+            let gap = cs.gap(k, arrows);
+            if j < 1 + gap.min {
+                return None;
+            }
+            Some((
+                match gap.max {
+                    Some(max) => (j - 1).saturating_sub(max),
+                    None => 0,
+                },
+                j - 1 - gap.min,
+            ))
+        };
+        let nested = ending_at_table_bounded_by::<u64>(m, n, |k, j| s[k].matches(t[j]), prev_range);
+        let mut flat = Vec::new();
+        let mut scratch = Vec::new();
+        // run twice through the same buffers: reuse must not leak state
+        for _ in 0..2 {
+            ending_at_table_bounded_into::<u64>(
+                m,
+                n,
+                |k, j| s[k].matches(t[j]),
+                prev_range,
+                &mut flat,
+                &mut scratch,
+            );
+            for k in 0..m {
+                assert_eq!(&flat[k * n..(k + 1) * n], nested[k].as_slice());
+            }
+        }
     }
 
     #[test]

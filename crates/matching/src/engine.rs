@@ -1,0 +1,906 @@
+//! `MatchEngine` — an allocation-free, incrementally-updated counting core.
+//!
+//! The sanitization loop (crate `seqhide-core`) repeatedly asks two
+//! questions about one `(S_h, T)` pair: *what is `δ(T[j])` for every `j`*,
+//! and — after marking the chosen position — *what is it now*? The free
+//! functions in [`delta`](crate::delta) answer the first question from
+//! scratch in `O(|S_h|·nm)` time with `O(nm)` fresh allocations per call;
+//! calling them once per mark makes every mark pay the full from-scratch
+//! price.
+//!
+//! The engine instead **owns** the forward/backward ending-exactly-at
+//! tables and the `δ` vector as reusable buffers, and repairs them
+//! incrementally under [`MatchEngine::apply_mark`]:
+//!
+//! * Marking position `i` clears column `i` of the match-bit matrix.
+//!   Forward cells `fwd[k][j]` only depend on columns `≤ j`, so only
+//!   `j ≥ i` can change; backward cells `bwd[k][j]` only depend on columns
+//!   `≥ j`, so only `j ≤ i` can change. The repair recomputes exactly those
+//!   slices (and their running prefix/suffix sums), then refreshes the `δ`
+//!   buffer from the standing tables: `δ(j) = Σ_k fwd[k][j] · bwd[k][j]`.
+//! * No heap allocation happens on this path: every table, the `δ` vector,
+//!   and the random-strategy candidate buffer are engine-owned and reused
+//!   across marks *and* across sequences ([`MatchEngine::load`] resizes in
+//!   place).
+//!
+//! **Max-window patterns are the documented exception.** The window
+//! constraint couples an occurrence's two ends, so its count does not
+//! factor into a forward and a backward part and there is no cheap local
+//! repair. Patterns with `max_window` fall back to a *buffered full
+//! recount* (the Lemma 5 per-end-position DP, run over the engine's
+//! match-bit matrix with engine-owned scratch rows) — same asymptotic cost
+//! as the from-scratch path, but still allocation-free after warm-up.
+//!
+//! All three match relations go through the same core: symbol equality
+//! ([`MatchEngine`]), itemset inclusion ([`ItemsetMatchEngine`]), and
+//! gap-constrained variants of either (gap constraints are resolved into
+//! the per-pattern table recurrences). The relation is sampled once into a
+//! match-bit matrix at [`MatchEngine::load`] time, which is what makes
+//! masking uniform: a mark is just a cleared column, whatever the relation
+//! was.
+//!
+//! The engine's `δ` values are **identical** to
+//! [`delta_all`](crate::delta::delta_all) — the property suite
+//! (`tests/prop_engine.rs`) asserts this after every mark across
+//! unconstrained, gap-constrained, max-window and itemset patterns, in
+//! both exact and saturating arithmetic.
+
+use seqhide_num::Count;
+use seqhide_types::{ItemsetSequence, Sequence, Symbol};
+
+use crate::constraints::{ConstraintSet, Gap};
+use crate::delta::argmax_delta;
+use crate::itemset::ItemsetPattern;
+use crate::pattern::SensitiveSet;
+
+/// One pattern's shape with constraints resolved per arrow: the only facts
+/// the DP recurrences need, independent of the match relation.
+#[derive(Clone, Debug)]
+struct PatternSpec {
+    /// Pattern length `m`.
+    m: usize,
+    /// Per-arrow gap constraints, `m − 1` entries (broadcast resolved).
+    gaps: Vec<Gap>,
+    /// Max-window constraint, if any — forces the buffered fallback.
+    window: Option<usize>,
+}
+
+impl PatternSpec {
+    fn new(m: usize, cs: &ConstraintSet) -> Self {
+        let arrows = m.saturating_sub(1);
+        PatternSpec {
+            m,
+            gaps: (0..arrows).map(|k| cs.gap(k, arrows)).collect(),
+            window: cs.max_window,
+        }
+    }
+}
+
+/// Per-pattern DP state over the current (masked) data sequence. All rows
+/// are flattened row-major; `fpre`/`bsuf` carry one extra column for the
+/// leading-zero / trailing-zero sentinel of the running sums.
+#[derive(Clone, Debug)]
+struct PatternTables<C: Count> {
+    /// `m × n` match bits; masked columns are cleared.
+    matched: Vec<bool>,
+    /// `fwd[k][j]`: embeddings of the prefix `S[0..=k]` ending exactly at
+    /// `j` (Lemma 3/4). Empty for window patterns.
+    fwd: Vec<C>,
+    /// `m × (n+1)` per-row prefix sums of `fwd` (leading zero).
+    fpre: Vec<C>,
+    /// `bwd[k][j]`: embeddings of the suffix `S[k..]` starting exactly at
+    /// `j`. Empty for window patterns.
+    bwd: Vec<C>,
+    /// `m × (n+1)` per-row suffix sums of `bwd` (trailing zero).
+    bsuf: Vec<C>,
+    /// Current occurrence count of this pattern.
+    total: C,
+}
+
+impl<C: Count> PatternTables<C> {
+    fn empty() -> Self {
+        PatternTables {
+            matched: Vec::new(),
+            fwd: Vec::new(),
+            fpre: Vec::new(),
+            bwd: Vec::new(),
+            bsuf: Vec::new(),
+            total: C::zero(),
+        }
+    }
+
+    /// Resizes every buffer for a pattern of shape `spec` over `n` data
+    /// elements and zeroes the DP state. Reuses capacity.
+    fn reset(&mut self, spec: &PatternSpec, n: usize) {
+        let m = spec.m;
+        self.matched.clear();
+        self.matched.resize(m * n, false);
+        self.fwd.clear();
+        self.fpre.clear();
+        self.bwd.clear();
+        self.bsuf.clear();
+        if spec.window.is_none() {
+            self.fwd.resize(m * n, C::zero());
+            self.fpre.resize(m * (n + 1), C::zero());
+            self.bwd.resize(m * n, C::zero());
+            self.bsuf.resize(m * (n + 1), C::zero());
+        }
+        self.total = C::zero();
+    }
+
+    /// Recomputes `fwd[k][j]` and the prefix sums for all `j ≥ from`, every
+    /// row. Rows ascend so row `k` reads row `k − 1`'s already-repaired
+    /// prefix sums; cells at `j < from` cannot change because they only
+    /// depend on columns `< from`.
+    fn repair_fwd(&mut self, spec: &PatternSpec, n: usize, from: usize) {
+        for k in 0..spec.m {
+            let row = k * n;
+            let prow = k * (n + 1);
+            for j in from..n {
+                let cell: C = if !self.matched[row + j] {
+                    C::zero()
+                } else if k == 0 {
+                    C::one()
+                } else {
+                    // predecessor at l with gap j − l − 1 ∈ [min, max]
+                    // ⇒ l ∈ [j − 1 − max, j − 1 − min]
+                    let g = spec.gaps[k - 1];
+                    if j < 1 + g.min {
+                        C::zero()
+                    } else {
+                        let hi = j - 1 - g.min;
+                        let lo = match g.max {
+                            Some(max) => (j - 1).saturating_sub(max),
+                            None => 0,
+                        };
+                        let base = (k - 1) * (n + 1);
+                        // prefix sums are monotone: never saturates in
+                        // exact arithmetic.
+                        self.fpre[base + hi + 1].saturating_sub(&self.fpre[base + lo])
+                    }
+                };
+                self.fpre[prow + j + 1] = self.fpre[prow + j].add(&cell);
+                self.fwd[row + j] = cell;
+            }
+        }
+        self.total = self.fpre[(spec.m - 1) * (n + 1) + n].clone();
+    }
+
+    /// Recomputes `bwd[k][j]` and the suffix sums for all `j ≤ upto`, every
+    /// row. Rows descend so row `k` reads row `k + 1`'s already-repaired
+    /// suffix sums; cells at `j > upto` cannot change because they only
+    /// depend on columns `> upto`.
+    fn repair_bwd(&mut self, spec: &PatternSpec, n: usize, upto: usize) {
+        for k in (0..spec.m).rev() {
+            let row = k * n;
+            let srow = k * (n + 1);
+            for j in (0..=upto).rev() {
+                let cell: C = if !self.matched[row + j] {
+                    C::zero()
+                } else if k == spec.m - 1 {
+                    C::one()
+                } else {
+                    // successor at l with gap l − j − 1 ∈ [min, max]
+                    // ⇒ l ∈ [j + 1 + min, j + 1 + max]
+                    let g = spec.gaps[k];
+                    let lo = j + 1 + g.min;
+                    if lo >= n {
+                        C::zero()
+                    } else {
+                        let hi = match g.max {
+                            Some(max) => (j + 1 + max).min(n - 1),
+                            None => n - 1,
+                        };
+                        let base = (k + 1) * (n + 1);
+                        self.bsuf[base + lo].saturating_sub(&self.bsuf[base + hi + 1])
+                    }
+                };
+                // row k's suffix sum is safe to update in the same pass:
+                // cells read row k + 1's sums, never row k's
+                self.bsuf[srow + j] = self.bsuf[srow + j + 1].add(&cell);
+                self.bwd[row + j] = cell;
+            }
+        }
+    }
+}
+
+/// Engine-owned scratch rows for the max-window fallback DP.
+#[derive(Clone, Debug)]
+struct WindowScratch<C: Count> {
+    prev: Vec<C>,
+    cur: Vec<C>,
+    pre: Vec<C>,
+}
+
+impl<C: Count> WindowScratch<C> {
+    fn new() -> Self {
+        WindowScratch {
+            prev: Vec::new(),
+            cur: Vec::new(),
+            pre: Vec::new(),
+        }
+    }
+}
+
+/// Windowed occurrence count (Lemma 5) over an abstract bit relation
+/// `bit(k, col)`, using caller-owned scratch rows — the buffered full
+/// recount that window patterns fall back to.
+fn windowed_total<C: Count>(
+    spec: &PatternSpec,
+    n: usize,
+    bit: impl Fn(usize, usize) -> bool,
+    scratch: &mut WindowScratch<C>,
+) -> C {
+    let m = spec.m;
+    let ws = spec
+        .window
+        .expect("windowed_total requires a max-window pattern");
+    let mut total = C::zero();
+    for j in 0..n {
+        if !bit(m - 1, j) {
+            continue;
+        }
+        let lo = (j + 1).saturating_sub(ws);
+        let len = j - lo + 1;
+        if len < m {
+            continue;
+        }
+        // Per-end-position slice DP over columns [lo, j], identical to the
+        // ending-at table restricted to the slice.
+        for k in 0..m {
+            scratch.cur.clear();
+            if k == 0 {
+                for jj in 0..len {
+                    scratch
+                        .cur
+                        .push(if bit(0, lo + jj) { C::one() } else { C::zero() });
+                }
+            } else {
+                scratch.pre.clear();
+                scratch.pre.push(C::zero());
+                for l in 0..len {
+                    let next = scratch.pre[l].add(&scratch.prev[l]);
+                    scratch.pre.push(next);
+                }
+                let g = spec.gaps[k - 1];
+                for jj in 0..len {
+                    let cell = if !bit(k, lo + jj) || jj < 1 + g.min {
+                        C::zero()
+                    } else {
+                        let hi = jj - 1 - g.min;
+                        let lo2 = match g.max {
+                            Some(max) => (jj - 1).saturating_sub(max),
+                            None => 0,
+                        };
+                        scratch.pre[hi + 1].saturating_sub(&scratch.pre[lo2])
+                    };
+                    scratch.cur.push(cell);
+                }
+            }
+            std::mem::swap(&mut scratch.prev, &mut scratch.cur);
+        }
+        total.add_assign(&scratch.prev[len - 1]);
+    }
+    total
+}
+
+/// The relation-agnostic engine core shared by [`MatchEngine`] and
+/// [`ItemsetMatchEngine`]: pattern shapes, per-pattern DP tables, the `δ`
+/// buffer, and the candidate buffer.
+#[derive(Clone, Debug)]
+struct EngineCore<C: Count> {
+    specs: Vec<PatternSpec>,
+    tables: Vec<PatternTables<C>>,
+    n: usize,
+    /// Positions masked via [`EngineCore::mask_column`] on the current load.
+    masked: Vec<bool>,
+    delta: Vec<C>,
+    candidates: Vec<usize>,
+    scratch: WindowScratch<C>,
+}
+
+impl<C: Count> EngineCore<C> {
+    fn new(specs: Vec<PatternSpec>) -> Self {
+        let tables = specs.iter().map(|_| PatternTables::empty()).collect();
+        EngineCore {
+            specs,
+            tables,
+            n: 0,
+            masked: Vec::new(),
+            delta: Vec::new(),
+            candidates: Vec::new(),
+            scratch: WindowScratch::new(),
+        }
+    }
+
+    /// Points the engine at a new data sequence of `n` elements, sampling
+    /// the match relation `rel(pattern, k, j)` into the bit matrices and
+    /// rebuilding every table. Reuses all buffers.
+    fn load_with(&mut self, n: usize, rel: impl Fn(usize, usize, usize) -> bool) {
+        self.n = n;
+        self.masked.clear();
+        self.masked.resize(n, false);
+        for (p, (spec, tab)) in self.specs.iter().zip(self.tables.iter_mut()).enumerate() {
+            tab.reset(spec, n);
+            for k in 0..spec.m {
+                for j in 0..n {
+                    tab.matched[k * n + j] = rel(p, k, j);
+                }
+            }
+            if spec.window.is_some() {
+                let matched = &tab.matched;
+                tab.total =
+                    windowed_total(spec, n, |k, col| matched[k * n + col], &mut self.scratch);
+            } else if n > 0 {
+                tab.repair_fwd(spec, n, 0);
+                tab.repair_bwd(spec, n, n - 1);
+            }
+        }
+        self.recompute_delta();
+    }
+
+    /// Masks column `i` (a mark: the position stops matching everything)
+    /// and repairs the affected table slices.
+    fn mask_column(&mut self, i: usize) {
+        assert!(
+            i < self.n,
+            "mask position {i} out of bounds for n = {}",
+            self.n
+        );
+        self.masked[i] = true;
+        let n = self.n;
+        for (spec, tab) in self.specs.iter().zip(self.tables.iter_mut()) {
+            for k in 0..spec.m {
+                tab.matched[k * n + i] = false;
+            }
+            if spec.window.is_some() {
+                let matched = &tab.matched;
+                tab.total =
+                    windowed_total(spec, n, |k, col| matched[k * n + col], &mut self.scratch);
+            } else {
+                tab.repair_fwd(spec, n, i);
+                tab.repair_bwd(spec, n, i);
+            }
+        }
+        self.recompute_delta();
+    }
+
+    /// Re-samples column `i`'s match bits from `rel(pattern, k)` — the
+    /// itemset item-marking case, where a column's relation *changes*
+    /// rather than dies — and repairs the affected table slices. Masked
+    /// columns stay dead.
+    fn refresh_column_with(&mut self, i: usize, rel: impl Fn(usize, usize) -> bool) {
+        assert!(
+            i < self.n,
+            "refresh position {i} out of bounds for n = {}",
+            self.n
+        );
+        let n = self.n;
+        let dead = self.masked[i];
+        for (p, (spec, tab)) in self.specs.iter().zip(self.tables.iter_mut()).enumerate() {
+            for k in 0..spec.m {
+                tab.matched[k * n + i] = !dead && rel(p, k);
+            }
+            if spec.window.is_some() {
+                let matched = &tab.matched;
+                tab.total =
+                    windowed_total(spec, n, |k, col| matched[k * n + col], &mut self.scratch);
+            } else {
+                tab.repair_fwd(spec, n, i);
+                tab.repair_bwd(spec, n, i);
+            }
+        }
+        self.recompute_delta();
+    }
+
+    /// How many occurrences would disappear if column `j`'s match bits were
+    /// replaced by `rel(pattern, k)` — evaluated from the standing tables
+    /// in `O(|S_h|·m)` for gap patterns (an occurrence passes through `j`
+    /// at exactly one `k`, so the dying sets are disjoint across `k`),
+    /// buffered recount for window patterns.
+    fn column_delta_if(&mut self, j: usize, rel: impl Fn(usize, usize) -> bool) -> C {
+        let n = self.n;
+        let mut lost = C::zero();
+        for (p, (spec, tab)) in self.specs.iter().zip(self.tables.iter_mut()).enumerate() {
+            if spec.window.is_some() {
+                let matched = &tab.matched;
+                let reduced = windowed_total(
+                    spec,
+                    n,
+                    |k, col| {
+                        if col == j {
+                            rel(p, k)
+                        } else {
+                            matched[k * n + col]
+                        }
+                    },
+                    &mut self.scratch,
+                );
+                lost.add_assign(&tab.total.saturating_sub(&reduced));
+            } else {
+                for k in 0..spec.m {
+                    let idx = k * n + j;
+                    if tab.matched[idx] && !rel(p, k) {
+                        let f = &tab.fwd[idx];
+                        if f.is_zero() {
+                            continue;
+                        }
+                        let b = &tab.bwd[idx];
+                        if b.is_zero() {
+                            continue;
+                        }
+                        lost.add_assign(&f.mul(b));
+                    }
+                }
+            }
+        }
+        lost
+    }
+
+    /// Refreshes the `δ` buffer from the standing tables.
+    fn recompute_delta(&mut self) {
+        let n = self.n;
+        if self.delta.len() == n {
+            // overwrite in place: cheaper than clear + resize for exact
+            // counters, which would drop and reallocate their digits
+            for d in self.delta.iter_mut() {
+                *d = C::zero();
+            }
+        } else {
+            self.delta.clear();
+            self.delta.resize(n, C::zero());
+        }
+        for (spec, tab) in self.specs.iter().zip(self.tables.iter_mut()) {
+            if spec.window.is_some() {
+                if tab.total.is_zero() {
+                    continue;
+                }
+                for j in 0..n {
+                    if self.masked[j] {
+                        continue;
+                    }
+                    let matched = &tab.matched;
+                    let reduced = windowed_total(
+                        spec,
+                        n,
+                        |k, col| col != j && matched[k * n + col],
+                        &mut self.scratch,
+                    );
+                    let d = tab.total.saturating_sub(&reduced);
+                    if !d.is_zero() {
+                        self.delta[j].add_assign(&d);
+                    }
+                }
+            } else {
+                if tab.total.is_zero() {
+                    // no full embedding survives ⇒ every fwd·bwd product
+                    // is zero
+                    continue;
+                }
+                // row-major sweep: fwd, bwd and δ are walked contiguously.
+                // Each δ[j] still accumulates its k-contributions in
+                // ascending k order, so saturating arithmetic behaves
+                // exactly as in the column-major formulation.
+                for k in 0..spec.m {
+                    let row = k * n;
+                    let fwd = &tab.fwd[row..row + n];
+                    let bwd = &tab.bwd[row..row + n];
+                    for (j, out) in self.delta.iter_mut().enumerate() {
+                        let f = &fwd[j];
+                        if f.is_zero() {
+                            continue;
+                        }
+                        let b = &bwd[j];
+                        if b.is_zero() {
+                            continue;
+                        }
+                        out.add_assign(&f.mul(b));
+                    }
+                }
+            }
+        }
+    }
+
+    fn total(&self) -> C {
+        let mut t = C::zero();
+        for tab in &self.tables {
+            t.add_assign(&tab.total);
+        }
+        t
+    }
+
+    fn candidates(&mut self) -> &[usize] {
+        self.candidates.clear();
+        for (i, d) in self.delta.iter().enumerate() {
+            if !d.is_zero() {
+                self.candidates.push(i);
+            }
+        }
+        &self.candidates
+    }
+}
+
+/// The incrementally-updated counting engine for plain (symbol-matched)
+/// sequences. See the [module docs](self) for the design.
+///
+/// ```
+/// use seqhide_types::{Alphabet, Sequence};
+/// use seqhide_match::{delta_all, engine::MatchEngine, SensitiveSet};
+/// let mut sigma = Alphabet::new();
+/// let s = Sequence::parse("a b c", &mut sigma);
+/// let mut t = Sequence::parse("a a b c c b a e", &mut sigma);
+/// let sh = SensitiveSet::new(vec![s]);
+///
+/// let mut engine = MatchEngine::<u64>::new(&sh);
+/// engine.load(&t);
+/// assert_eq!(engine.delta(), &[2, 2, 4, 2, 2, 0, 0, 0]); // paper Example 2
+/// assert_eq!(engine.argmax(), Some(2));
+///
+/// t.mark(2);
+/// engine.apply_mark(2); // incremental repair, no allocation
+/// assert_eq!(engine.delta(), delta_all::<u64>(&sh, &t).as_slice());
+/// assert!(engine.total() == 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MatchEngine<C: Count> {
+    sh: SensitiveSet,
+    core: EngineCore<C>,
+}
+
+impl<C: Count> MatchEngine<C> {
+    /// Builds an engine for the sensitive set `sh`. The engine is reusable
+    /// across sequences: call [`MatchEngine::load`] per sequence.
+    pub fn new(sh: &SensitiveSet) -> Self {
+        let specs = sh
+            .iter()
+            .map(|p| PatternSpec::new(p.len(), p.constraints()))
+            .collect();
+        MatchEngine {
+            sh: sh.clone(),
+            core: EngineCore::new(specs),
+        }
+    }
+
+    /// Points the engine at `t`, rebuilding all tables in the reused
+    /// buffers. Marks already present in `t` match nothing, as always.
+    pub fn load(&mut self, t: &Sequence) {
+        let sh = &self.sh;
+        self.core
+            .load_with(t.len(), |p, k, j| sh.patterns()[p].seq()[k].matches(t[j]));
+    }
+
+    /// Records that position `i` of the loaded sequence has been marked and
+    /// incrementally repairs the tables and `δ`. The caller is responsible
+    /// for marking the sequence itself (the engine holds no reference to
+    /// it).
+    pub fn apply_mark(&mut self, i: usize) {
+        self.core.mask_column(i);
+    }
+
+    /// `δ(T[j])` for every position, identical to
+    /// [`delta_all`](crate::delta::delta_all) on the current state.
+    pub fn delta(&self) -> &[C] {
+        &self.core.delta
+    }
+
+    /// The largest-`δ` position (ties to the smallest index), or `None`
+    /// when no occurrence remains.
+    pub fn argmax(&self) -> Option<usize> {
+        argmax_delta(&self.core.delta)
+    }
+
+    /// Total residual occurrence count across all patterns.
+    pub fn total(&self) -> C {
+        self.core.total()
+    }
+
+    /// Positions with `δ > 0` in ascending order — the random strategy's
+    /// "reasonable choices" — in an engine-owned reusable buffer.
+    pub fn candidates(&mut self) -> &[usize] {
+        self.core.candidates()
+    }
+
+    /// The sensitive set this engine was built for.
+    pub fn sensitive_set(&self) -> &SensitiveSet {
+        &self.sh
+    }
+}
+
+/// The same engine over itemset sequences (§7.1): pattern elements match
+/// data elements by set inclusion. Element-level masking
+/// ([`ItemsetMatchEngine::apply_mask`]) and item-level marking
+/// ([`ItemsetMatchEngine::refresh_element`]) both reduce to column
+/// operations on the shared core.
+#[derive(Clone, Debug)]
+pub struct ItemsetMatchEngine<C: Count> {
+    patterns: Vec<ItemsetPattern>,
+    core: EngineCore<C>,
+}
+
+impl<C: Count> ItemsetMatchEngine<C> {
+    /// Builds an engine for a set of itemset patterns.
+    pub fn new(patterns: &[ItemsetPattern]) -> Self {
+        let specs = patterns
+            .iter()
+            .map(|p| PatternSpec::new(p.len(), p.constraints()))
+            .collect();
+        ItemsetMatchEngine {
+            patterns: patterns.to_vec(),
+            core: EngineCore::new(specs),
+        }
+    }
+
+    /// Points the engine at itemset sequence `t`.
+    pub fn load(&mut self, t: &ItemsetSequence) {
+        let pats = &self.patterns;
+        let te = t.elements();
+        self.core.load_with(te.len(), |p, k, j| {
+            pats[p].elements().elements()[k].included_in(&te[j])
+        });
+    }
+
+    /// Masks element `i` entirely (it stops matching every pattern
+    /// element).
+    pub fn apply_mask(&mut self, i: usize) {
+        self.core.mask_column(i);
+    }
+
+    /// Re-samples element `elem`'s inclusion bits from the current state of
+    /// `t` — call after marking items inside `t.elements_mut()[elem]`.
+    pub fn refresh_element(&mut self, t: &ItemsetSequence, elem: usize) {
+        let pats = &self.patterns;
+        let te = t.elements();
+        self.core.refresh_column_with(elem, |p, k| {
+            pats[p].elements().elements()[k].included_in(&te[elem])
+        });
+    }
+
+    /// Item-level `δ`: occurrences lost if `item` inside element `elem` of
+    /// `t` were marked (inclusion must then hold without `item`). Evaluated
+    /// from the standing tables without mutating them.
+    pub fn item_delta(&mut self, t: &ItemsetSequence, elem: usize, item: Symbol) -> C {
+        let pats = &self.patterns;
+        let te = t.elements();
+        self.core.column_delta_if(elem, |p, k| {
+            pats[p].elements().elements()[k]
+                .live_items()
+                .all(|s| s != item && te[elem].contains(s))
+        })
+    }
+
+    /// Element-level `δ` for every position, identical to
+    /// [`delta_elements_itemset`](crate::itemset::delta_elements_itemset)
+    /// in exact arithmetic.
+    pub fn delta(&self) -> &[C] {
+        &self.core.delta
+    }
+
+    /// The largest-`δ` element (ties to the smallest index).
+    pub fn argmax(&self) -> Option<usize> {
+        argmax_delta(&self.core.delta)
+    }
+
+    /// Total residual occurrence count across all patterns.
+    pub fn total(&self) -> C {
+        self.core.total()
+    }
+
+    /// Elements with `δ > 0` in ascending order, in a reusable buffer.
+    pub fn candidates(&mut self) -> &[usize] {
+        self.core.candidates()
+    }
+
+    /// The patterns this engine was built for.
+    pub fn patterns(&self) -> &[ItemsetPattern] {
+        &self.patterns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::{ConstraintSet, Gap};
+    use crate::delta::delta_all;
+    use crate::itemset::{delta_elements_itemset, delta_item_itemset, matching_size_itemset};
+    use crate::pattern::SensitivePattern;
+    use seqhide_num::{BigCount, Sat64};
+    use seqhide_types::Alphabet;
+
+    fn seqs(s: &str, t: &str) -> (Sequence, Sequence) {
+        let mut sigma = Alphabet::new();
+        (
+            Sequence::parse(s, &mut sigma),
+            Sequence::parse(t, &mut sigma),
+        )
+    }
+
+    /// Marks greedily via the engine and checks δ against the from-scratch
+    /// path after every mark.
+    fn assert_engine_tracks_scratch<C: Count>(sh: &SensitiveSet, t: &Sequence) {
+        let mut t = t.clone();
+        let mut engine = MatchEngine::<C>::new(sh);
+        engine.load(&t);
+        loop {
+            let scratch = delta_all::<C>(sh, &t);
+            assert_eq!(engine.delta(), scratch.as_slice(), "δ diverged on {t:?}");
+            let Some(pos) = engine.argmax() else { break };
+            t.mark(pos);
+            engine.apply_mark(pos);
+        }
+        assert!(engine.total().is_zero());
+    }
+
+    #[test]
+    fn paper_example2_and_full_sanitization() {
+        let (s, t) = seqs("a b c", "a a b c c b a e");
+        let sh = SensitiveSet::new(vec![s]);
+        assert_engine_tracks_scratch::<u64>(&sh, &t);
+        assert_engine_tracks_scratch::<Sat64>(&sh, &t);
+        assert_engine_tracks_scratch::<BigCount>(&sh, &t);
+    }
+
+    #[test]
+    fn gap_constrained_engine_tracks_scratch() {
+        let (s, t) = seqs("a b", "a a x b x b a b");
+        let p = SensitivePattern::new(s, ConstraintSet::uniform_gap(Gap::bounded(1, 3))).unwrap();
+        let sh = SensitiveSet::from_patterns(vec![p]);
+        assert_engine_tracks_scratch::<u64>(&sh, &t);
+    }
+
+    #[test]
+    fn window_fallback_tracks_scratch() {
+        let (s, t) = seqs("a b", "a x b a b a a b");
+        let p = SensitivePattern::new(s, ConstraintSet::with_max_window(3)).unwrap();
+        let sh = SensitiveSet::from_patterns(vec![p]);
+        assert_engine_tracks_scratch::<u64>(&sh, &t);
+        assert_engine_tracks_scratch::<Sat64>(&sh, &t);
+    }
+
+    #[test]
+    fn mixed_pattern_set() {
+        let mut sigma = Alphabet::new();
+        let s1 = Sequence::parse("a b", &mut sigma);
+        let s2 = Sequence::parse("b c", &mut sigma);
+        let t = Sequence::parse("a b c a b c b", &mut sigma);
+        let p1 = SensitivePattern::unconstrained(s1).unwrap();
+        let p2 = SensitivePattern::new(s2, ConstraintSet::with_max_window(2)).unwrap();
+        let sh = SensitiveSet::from_patterns(vec![p1, p2]);
+        assert_engine_tracks_scratch::<u64>(&sh, &t);
+    }
+
+    #[test]
+    fn engine_reuse_across_sequences() {
+        let (s, t1) = seqs("a b", "a b a b");
+        let sh = SensitiveSet::new(vec![s]);
+        let mut engine = MatchEngine::<u64>::new(&sh);
+        engine.load(&t1);
+        assert_eq!(engine.total(), 3);
+        // shorter sequence next: buffers shrink logically, no stale state
+        let t2 = Sequence::from_ids([0, 1]);
+        engine.load(&t2);
+        assert_eq!(engine.total(), 1);
+        assert_eq!(engine.delta(), &[1, 1]);
+        // longer again
+        let t3 = Sequence::from_ids([0, 0, 1, 1, 0, 1]);
+        engine.load(&t3);
+        assert_eq!(engine.delta(), delta_all::<u64>(&sh, &t3).as_slice());
+    }
+
+    #[test]
+    fn preexisting_marks_are_respected() {
+        let (s, mut t) = seqs("a b", "a b a b");
+        t.mark(1);
+        let sh = SensitiveSet::new(vec![s]);
+        let mut engine = MatchEngine::<u64>::new(&sh);
+        engine.load(&t);
+        assert_eq!(engine.delta(), delta_all::<u64>(&sh, &t).as_slice());
+        assert_eq!(engine.delta()[1], 0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_sequences() {
+        let (s, _) = seqs("a b", "a");
+        let sh = SensitiveSet::new(vec![s]);
+        let mut engine = MatchEngine::<u64>::new(&sh);
+        engine.load(&Sequence::empty());
+        assert!(engine.total().is_zero());
+        assert_eq!(engine.argmax(), None);
+        assert!(engine.candidates().is_empty());
+        let t = Sequence::from_ids([0]); // shorter than the pattern
+        engine.load(&t);
+        assert!(engine.total().is_zero());
+    }
+
+    #[test]
+    fn single_symbol_pattern_delta() {
+        let (s, t) = seqs("a", "a b a a");
+        let sh = SensitiveSet::new(vec![s]);
+        assert_engine_tracks_scratch::<u64>(&sh, &t);
+    }
+
+    #[test]
+    fn candidates_are_ascending_nonzero_positions() {
+        let (s, t) = seqs("a b c", "a a b c c b a e");
+        let sh = SensitiveSet::new(vec![s]);
+        let mut engine = MatchEngine::<u64>::new(&sh);
+        engine.load(&t);
+        assert_eq!(engine.candidates(), &[0, 1, 2, 3, 4]);
+    }
+
+    fn iseq(groups: &[&[u32]]) -> ItemsetSequence {
+        ItemsetSequence::from_ids(groups.iter().map(|g| g.to_vec()))
+    }
+
+    #[test]
+    fn itemset_engine_matches_scratch_deltas() {
+        let p = ItemsetPattern::unconstrained(iseq(&[&[1], &[2]])).unwrap();
+        let t = iseq(&[&[1, 3], &[1], &[2, 4], &[2]]);
+        let pats = vec![p];
+        let mut engine = ItemsetMatchEngine::<u64>::new(&pats);
+        engine.load(&t);
+        assert_eq!(
+            engine.delta(),
+            delta_elements_itemset::<u64>(&pats, &t).as_slice()
+        );
+        assert_eq!(engine.total(), matching_size_itemset::<u64>(&pats, &t));
+        // item-level δ agrees with the scratch device
+        for elem in 0..t.len() {
+            for item in t.elements()[elem].live_items().collect::<Vec<_>>() {
+                assert_eq!(
+                    engine.item_delta(&t, elem, item),
+                    delta_item_itemset::<u64>(&pats, &t, elem, item),
+                    "elem {elem} item {item:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn itemset_engine_refresh_after_item_mark() {
+        let p = ItemsetPattern::unconstrained(iseq(&[&[1], &[2]])).unwrap();
+        let mut t = iseq(&[&[1, 9], &[1], &[2, 8]]);
+        let pats = vec![p];
+        let mut engine = ItemsetMatchEngine::<u64>::new(&pats);
+        engine.load(&t);
+        assert_eq!(engine.total(), 2);
+        // mark item 2 in element 2: inclusion of {2} there breaks
+        t.elements_mut()[2].mark_item(Symbol::new(2));
+        engine.refresh_element(&t, 2);
+        assert!(engine.total().is_zero());
+        assert_eq!(
+            engine.delta(),
+            delta_elements_itemset::<u64>(&pats, &t).as_slice()
+        );
+    }
+
+    #[test]
+    fn itemset_engine_mask_element() {
+        let p = ItemsetPattern::unconstrained(iseq(&[&[1], &[2]])).unwrap();
+        let t = iseq(&[&[1], &[1], &[2]]);
+        let pats = vec![p];
+        let mut engine = ItemsetMatchEngine::<u64>::new(&pats);
+        engine.load(&t);
+        assert_eq!(engine.delta(), &[1, 1, 2]);
+        engine.apply_mask(2);
+        assert!(engine.total().is_zero());
+        assert_eq!(engine.delta(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn constrained_itemset_engine() {
+        let p = ItemsetPattern::new(
+            iseq(&[&[1], &[2]]),
+            ConstraintSet::uniform_gap(Gap::adjacent()),
+        )
+        .unwrap();
+        let t = iseq(&[&[1], &[9], &[2], &[1], &[2]]);
+        let pats = vec![p];
+        let mut engine = ItemsetMatchEngine::<u64>::new(&pats);
+        engine.load(&t);
+        assert_eq!(engine.total(), 1); // only (3,4) is adjacent
+        assert_eq!(
+            engine.delta(),
+            delta_elements_itemset::<u64>(&pats, &t).as_slice()
+        );
+    }
+}

@@ -19,7 +19,9 @@ pub struct EnumerateConfig {
 
 impl Default for EnumerateConfig {
     fn default() -> Self {
-        EnumerateConfig { max_embeddings: 1_000_000 }
+        EnumerateConfig {
+            max_embeddings: 1_000_000,
+        }
     }
 }
 
@@ -63,7 +65,10 @@ pub fn enumerate_embeddings(
     t: &Sequence,
     config: EnumerateConfig,
 ) -> Embeddings {
-    let mut out = Embeddings { embeddings: Vec::new(), truncated: false };
+    let mut out = Embeddings {
+        embeddings: Vec::new(),
+        truncated: false,
+    };
     let mut stack: Vec<usize> = Vec::with_capacity(p.len());
     recurse(p, t, 0, 0, &mut stack, &mut out, config.max_embeddings);
     out

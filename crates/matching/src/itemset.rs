@@ -19,7 +19,10 @@ pub struct ItemsetPattern {
 impl ItemsetPattern {
     /// Creates a constrained itemset pattern. Every element must be a
     /// non-empty, mark-free itemset.
-    pub fn new(elements: ItemsetSequence, constraints: ConstraintSet) -> Result<Self, PatternError> {
+    pub fn new(
+        elements: ItemsetSequence,
+        constraints: ConstraintSet,
+    ) -> Result<Self, PatternError> {
         if elements.is_empty() {
             return Err(PatternError::Empty);
         }
@@ -34,7 +37,10 @@ impl ItemsetPattern {
         constraints
             .validate(elements.len())
             .map_err(PatternError::BadConstraints)?;
-        Ok(ItemsetPattern { elements, constraints })
+        Ok(ItemsetPattern {
+            elements,
+            constraints,
+        })
     }
 
     /// Creates an unconstrained itemset pattern.
@@ -191,13 +197,12 @@ mod tests {
     #[test]
     fn constraints_apply() {
         let elements = iseq(&[&[1], &[2]]);
-        let p = ItemsetPattern::new(
-            elements,
-            ConstraintSet::uniform_gap(Gap::adjacent()),
-        )
-        .unwrap();
+        let p = ItemsetPattern::new(elements, ConstraintSet::uniform_gap(Gap::adjacent())).unwrap();
         // ⟨{1} {9} {2}⟩: gap 1 between matches ⇒ rejected by adjacency
-        assert_eq!(count_matches_itemset::<u64>(&p, &iseq(&[&[1], &[9], &[2]])), 0);
+        assert_eq!(
+            count_matches_itemset::<u64>(&p, &iseq(&[&[1], &[9], &[2]])),
+            0
+        );
         assert_eq!(count_matches_itemset::<u64>(&p, &iseq(&[&[1], &[2]])), 1);
     }
 
@@ -216,7 +221,10 @@ mod tests {
         // marking item 1 kills the single occurrence.
         let p = ipat(&[&[1]]);
         let t = iseq(&[&[1, 2]]);
-        assert_eq!(delta_item_itemset::<u64>(&[p.clone()], &t, 0, Symbol::new(2)), 0);
+        assert_eq!(
+            delta_item_itemset::<u64>(&[p.clone()], &t, 0, Symbol::new(2)),
+            0
+        );
         assert_eq!(delta_item_itemset::<u64>(&[p], &t, 0, Symbol::new(1)), 1);
     }
 

@@ -42,6 +42,7 @@
 pub mod constraints;
 pub mod counting;
 pub mod delta;
+pub mod engine;
 pub mod enumerate;
 pub mod itemset;
 pub mod pattern;
@@ -49,8 +50,12 @@ pub mod subsequence;
 pub mod support;
 
 pub use constraints::{ConstraintSet, Gap};
-pub use counting::{count_embeddings, count_matches, ending_at_table_bounded_by, matching_size};
+pub use counting::{
+    count_embeddings, count_matches, ending_at_table_bounded_by, ending_at_table_bounded_into,
+    matching_size,
+};
 pub use delta::{delta_all, delta_by_deletion, delta_by_marking, delta_forward_backward};
+pub use engine::{ItemsetMatchEngine, MatchEngine};
 pub use enumerate::{enumerate_embeddings, EnumerateConfig};
 pub use pattern::{PatternError, SensitivePattern, SensitiveSet};
 pub use subsequence::is_subsequence;

@@ -208,10 +208,7 @@ mod tests {
 
     #[test]
     fn set_construction_and_iteration() {
-        let sh = SensitiveSet::new(vec![
-            Sequence::from_ids([1, 2]),
-            Sequence::from_ids([3]),
-        ]);
+        let sh = SensitiveSet::new(vec![Sequence::from_ids([1, 2]), Sequence::from_ids([3])]);
         assert_eq!(sh.len(), 2);
         assert!(!sh.is_empty());
         let lens: Vec<usize> = sh.iter().map(SensitivePattern::len).collect();
@@ -223,7 +220,9 @@ mod tests {
         let sh = SensitiveSet::new(vec![Sequence::from_ids([1, 2]), Sequence::from_ids([3, 4])]);
         let cs = ConstraintSet::with_max_window(5);
         let constrained = sh.with_constraints(&cs).unwrap();
-        assert!(constrained.iter().all(|p| p.constraints().max_window == Some(5)));
+        assert!(constrained
+            .iter()
+            .all(|p| p.constraints().max_window == Some(5)));
         // a window too small for some pattern propagates the error
         let too_small = ConstraintSet::with_max_window(1);
         assert!(sh.with_constraints(&too_small).is_err());

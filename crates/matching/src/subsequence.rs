@@ -39,12 +39,18 @@ mod tests {
     #[test]
     fn empty_is_subsequence_of_everything() {
         assert!(is_subsequence(&Sequence::empty(), &Sequence::empty()));
-        assert!(is_subsequence(&Sequence::empty(), &Sequence::from_ids([1, 2])));
+        assert!(is_subsequence(
+            &Sequence::empty(),
+            &Sequence::from_ids([1, 2])
+        ));
     }
 
     #[test]
     fn nonempty_not_in_empty() {
-        assert!(!is_subsequence(&Sequence::from_ids([1]), &Sequence::empty()));
+        assert!(!is_subsequence(
+            &Sequence::from_ids([1]),
+            &Sequence::empty()
+        ));
     }
 
     #[test]
@@ -59,7 +65,10 @@ mod tests {
     fn multiplicity_matters() {
         let v = Sequence::from_ids([1, 2]);
         assert!(!is_subsequence(&Sequence::from_ids([1, 1]), &v));
-        assert!(is_subsequence(&Sequence::from_ids([1, 1]), &Sequence::from_ids([1, 2, 1])));
+        assert!(is_subsequence(
+            &Sequence::from_ids([1, 1]),
+            &Sequence::from_ids([1, 2, 1])
+        ));
     }
 
     #[test]

@@ -17,7 +17,10 @@ use crate::subsequence::is_subsequence;
 /// assert_eq!(support(&db, &s), 2);
 /// ```
 pub fn support(db: &SequenceDb, s: &Sequence) -> usize {
-    db.sequences().iter().filter(|t| is_subsequence(s, t)).count()
+    db.sequences()
+        .iter()
+        .filter(|t| is_subsequence(s, t))
+        .count()
 }
 
 /// Constraint-aware support of a sensitive pattern: a sequence supports the
@@ -86,11 +89,8 @@ mod tests {
     fn constrained_support_is_stricter() {
         let mut db = db();
         let s = Sequence::parse("a c", db.alphabet_mut());
-        let adjacent = SensitivePattern::new(
-            s.clone(),
-            ConstraintSet::uniform_gap(Gap::adjacent()),
-        )
-        .unwrap();
+        let adjacent =
+            SensitivePattern::new(s.clone(), ConstraintSet::uniform_gap(Gap::adjacent())).unwrap();
         // "a c" adjacent: row2 "b a c" and row3 "c a b c"? in row3 a is at 1,
         // c at 3 (gap 1) → no; row1 "a b c d" gap 1 → no; row2 a at 1, c at 2 → yes.
         assert_eq!(support_of_pattern(&db, &adjacent), 1);
@@ -125,6 +125,9 @@ mod tests {
         let mut sigma = Alphabet::new();
         let s = Sequence::parse("a", &mut sigma);
         assert_eq!(support(&db, &s), 0);
-        assert_eq!(supporters(&db, &SensitiveSet::new(vec![s])), Vec::<usize>::new());
+        assert_eq!(
+            supporters(&db, &SensitiveSet::new(vec![s])),
+            Vec::<usize>::new()
+        );
     }
 }

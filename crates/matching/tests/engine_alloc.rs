@@ -1,0 +1,117 @@
+//! Allocation audit for the incremental engine: on the unconstrained and
+//! gap-constrained paths, a warmed [`MatchEngine`] must perform **zero**
+//! heap allocations per mark — `apply_mark`, `delta`, `argmax`, `total`
+//! and `candidates` all work in the buffers owned by the engine.
+//!
+//! The audit swaps in a counting global allocator; this is an integration
+//! test binary, so the library's `#![forbid(unsafe_code)]` does not apply.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use seqhide_match::{ConstraintSet, Gap, MatchEngine, SensitivePattern, SensitiveSet};
+use seqhide_num::{Count, Sat64};
+use seqhide_types::Sequence;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static AUDITING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if AUDITING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if AUDITING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if AUDITING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with allocation counting on and returns how many heap
+/// allocations it performed.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    AUDITING.store(true, Ordering::SeqCst);
+    f();
+    AUDITING.store(false, Ordering::SeqCst);
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+fn repeated(block: &[u32], times: usize) -> Sequence {
+    let mut ids = Vec::new();
+    for _ in 0..times {
+        ids.extend_from_slice(block);
+    }
+    Sequence::from_ids(ids)
+}
+
+/// One test function: integration tests in one file share a process, and
+/// the audit flag is global — sub-scenarios run sequentially here instead.
+#[test]
+fn marking_loop_is_allocation_free_after_warmup() {
+    let scenarios: Vec<(&str, SensitiveSet)> = vec![
+        (
+            "unconstrained",
+            SensitiveSet::from_patterns(vec![
+                SensitivePattern::unconstrained(Sequence::from_ids([0, 1, 2])).unwrap(),
+                SensitivePattern::unconstrained(Sequence::from_ids([1, 3])).unwrap(),
+            ]),
+        ),
+        (
+            "gap-constrained",
+            SensitiveSet::from_patterns(vec![SensitivePattern::new(
+                Sequence::from_ids([0, 1, 2]),
+                ConstraintSet::uniform_gap(Gap {
+                    min: 0,
+                    max: Some(4),
+                }),
+            )
+            .unwrap()]),
+        ),
+    ];
+    for (name, sh) in scenarios {
+        let t = repeated(&[0, 1, 2, 3, 1, 0, 2], 12);
+        let mut engine = MatchEngine::<Sat64>::new(&sh);
+        engine.load(&t);
+        // Warm-up: the candidates buffer grows to its high-water mark on
+        // first use; afterwards the live-candidate set only shrinks.
+        assert!(
+            !engine.candidates().is_empty(),
+            "{name}: fixture must match"
+        );
+        let count = allocations_during(|| {
+            while let Some(pos) = engine.argmax() {
+                engine.apply_mark(pos);
+                let _ = engine.delta();
+                let _ = engine.total();
+                let _ = engine.candidates();
+            }
+        });
+        assert!(
+            engine.total().is_zero(),
+            "{name}: loop must drain all matches"
+        );
+        assert_eq!(count, 0, "{name}: marking loop allocated {count} times");
+    }
+}

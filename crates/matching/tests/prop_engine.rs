@@ -1,0 +1,208 @@
+//! Property tests for the incremental [`MatchEngine`]: after every
+//! `apply_mark` the engine's standing `δ` buffer and total must equal the
+//! from-scratch `delta_all` / `matching_size` on the marked sequence, for
+//! every constraint class (unconstrained, min/max-gap, max-window) and for
+//! both saturating and exact arithmetic.
+
+use proptest::prelude::*;
+use seqhide_match::itemset::{
+    delta_elements_itemset, delta_item_itemset, matching_size_itemset, ItemsetPattern,
+};
+use seqhide_match::{
+    delta_all, matching_size, ConstraintSet, Gap, ItemsetMatchEngine, MatchEngine,
+    SensitivePattern, SensitiveSet,
+};
+use seqhide_num::{BigCount, Count, Sat64};
+use seqhide_types::{ItemsetSequence, Sequence};
+
+fn seq_strategy(max_len: usize) -> impl Strategy<Value = Sequence> {
+    prop::collection::vec(0u32..4, 0..=max_len).prop_map(Sequence::from_ids)
+}
+
+fn pattern_strategy() -> impl Strategy<Value = Sequence> {
+    prop::collection::vec(0u32..4, 1..=4).prop_map(Sequence::from_ids)
+}
+
+/// All four constraint classes the engine distinguishes: the unconstrained
+/// fast path, gap-constrained bounded ranges, and the max-window fallback
+/// (alone and combined with gaps).
+fn constraint_strategy() -> impl Strategy<Value = ConstraintSet> {
+    let gap = (0usize..3, prop::option::of(0usize..4)).prop_map(|(min, max)| Gap {
+        min,
+        max: max.map(|m| min + m),
+    });
+    (prop::option::of(gap), prop::option::of(4usize..12)).prop_map(|(g, w)| {
+        let mut cs = match g {
+            Some(g) => ConstraintSet::uniform_gap(g),
+            None => ConstraintSet::none(),
+        };
+        cs.max_window = w;
+        cs
+    })
+}
+
+/// Replays `positions` as marks on `t` through a loaded engine, checking
+/// the engine against the from-scratch path after every single mark.
+fn check_tracks_scratch<C: Count + PartialEq + std::fmt::Debug>(
+    sh: &SensitiveSet,
+    t: &Sequence,
+    positions: &[usize],
+) -> Result<(), TestCaseError> {
+    let mut t = t.clone();
+    let mut engine = MatchEngine::<C>::new(sh);
+    engine.load(&t);
+    let scratch = delta_all::<C>(sh, &t);
+    prop_assert_eq!(engine.delta(), scratch.as_slice());
+    prop_assert_eq!(engine.total(), matching_size::<C>(sh, &t));
+    for &raw in positions {
+        if t.is_empty() {
+            break;
+        }
+        let pos = raw % t.len();
+        t.mark(pos);
+        engine.apply_mark(pos);
+        let scratch = delta_all::<C>(sh, &t);
+        prop_assert_eq!(
+            engine.delta(),
+            scratch.as_slice(),
+            "δ diverged after marking {}",
+            pos
+        );
+        prop_assert_eq!(engine.total(), matching_size::<C>(sh, &t));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Arbitrary mark orders (including re-marking already-marked
+    /// positions) across all constraint classes, saturating arithmetic.
+    #[test]
+    fn engine_delta_tracks_scratch_sat64(
+        s in pattern_strategy(),
+        t in seq_strategy(12),
+        cs in constraint_strategy(),
+        positions in prop::collection::vec(0usize..64, 0..=8),
+    ) {
+        prop_assume!(cs.validate(s.len()).is_ok());
+        let p = SensitivePattern::new(s, cs).unwrap();
+        let sh = SensitiveSet::from_patterns(vec![p]);
+        check_tracks_scratch::<Sat64>(&sh, &t, &positions)?;
+    }
+
+    /// Same property under exact big-integer arithmetic.
+    #[test]
+    fn engine_delta_tracks_scratch_bigcount(
+        s in pattern_strategy(),
+        t in seq_strategy(12),
+        cs in constraint_strategy(),
+        positions in prop::collection::vec(0usize..64, 0..=8),
+    ) {
+        prop_assume!(cs.validate(s.len()).is_ok());
+        let p = SensitivePattern::new(s, cs).unwrap();
+        let sh = SensitiveSet::from_patterns(vec![p]);
+        check_tracks_scratch::<BigCount>(&sh, &t, &positions)?;
+    }
+
+    /// Mixed pattern sets: one engine carries gap-constrained and
+    /// window-constrained patterns side by side.
+    #[test]
+    fn engine_delta_tracks_scratch_mixed_set(
+        s1 in pattern_strategy(),
+        cs1 in constraint_strategy(),
+        s2 in pattern_strategy(),
+        cs2 in constraint_strategy(),
+        t in seq_strategy(10),
+        positions in prop::collection::vec(0usize..64, 0..=6),
+    ) {
+        prop_assume!(cs1.validate(s1.len()).is_ok());
+        prop_assume!(cs2.validate(s2.len()).is_ok());
+        let sh = SensitiveSet::from_patterns(vec![
+            SensitivePattern::new(s1, cs1).unwrap(),
+            SensitivePattern::new(s2, cs2).unwrap(),
+        ]);
+        check_tracks_scratch::<Sat64>(&sh, &t, &positions)?;
+    }
+
+    /// One engine reloaded across a stream of sequences of different
+    /// lengths behaves exactly like a fresh engine per sequence.
+    #[test]
+    fn engine_reload_is_stateless(
+        s in pattern_strategy(),
+        cs in constraint_strategy(),
+        ts in prop::collection::vec(prop::collection::vec(0u32..4, 0..=10), 1..=3),
+        positions in prop::collection::vec(0usize..64, 0..=4),
+    ) {
+        prop_assume!(cs.validate(s.len()).is_ok());
+        let p = SensitivePattern::new(s, cs).unwrap();
+        let sh = SensitiveSet::from_patterns(vec![p]);
+        let mut engine = MatchEngine::<Sat64>::new(&sh);
+        for ids in ts {
+            let mut t = Sequence::from_ids(ids);
+            engine.load(&t);
+            for &raw in &positions {
+                if t.is_empty() {
+                    break;
+                }
+                let pos = raw % t.len();
+                t.mark(pos);
+                engine.apply_mark(pos);
+            }
+            let scratch = delta_all::<Sat64>(&sh, &t);
+            prop_assert_eq!(engine.delta(), scratch.as_slice());
+        }
+    }
+
+    /// Itemset engine: after every item mark + element refresh, the
+    /// standing element-`δ` equals the scratch masking device and every
+    /// item-`δ` equals the scratch item device.
+    #[test]
+    fn itemset_engine_tracks_scratch(
+        pat_groups in prop::collection::vec(
+            prop::collection::vec(0u32..4, 1..=2), 1..=3),
+        cs in constraint_strategy(),
+        seq_groups in prop::collection::vec(
+            prop::collection::vec(0u32..5, 0..=3), 0..=7),
+        picks in prop::collection::vec((0usize..64, 0usize..64), 0..=5),
+    ) {
+        prop_assume!(cs.validate(pat_groups.len()).is_ok());
+        let p = ItemsetPattern::new(ItemsetSequence::from_ids(pat_groups), cs).unwrap();
+        let patterns = vec![p];
+        let mut t = ItemsetSequence::from_ids(seq_groups);
+        let mut engine = ItemsetMatchEngine::<Sat64>::new(&patterns);
+        engine.load(&t);
+        let check = |engine: &mut ItemsetMatchEngine<Sat64>, t: &ItemsetSequence|
+            -> Result<(), TestCaseError> {
+            let scratch = delta_elements_itemset::<Sat64>(&patterns, t);
+            prop_assert_eq!(engine.delta(), scratch.as_slice());
+            prop_assert_eq!(engine.total(), matching_size_itemset::<Sat64>(&patterns, t));
+            for elem in 0..t.len() {
+                for item in t.elements()[elem].live_items().collect::<Vec<_>>() {
+                    prop_assert_eq!(
+                        engine.item_delta(t, elem, item),
+                        delta_item_itemset::<Sat64>(&patterns, t, elem, item),
+                        "item-δ diverged at element {}",
+                        elem
+                    );
+                }
+            }
+            Ok(())
+        };
+        check(&mut engine, &t)?;
+        for (raw_elem, raw_item) in picks {
+            if t.is_empty() {
+                break;
+            }
+            let elem = raw_elem % t.len();
+            let live: Vec<_> = t.elements()[elem].live_items().collect();
+            if live.is_empty() {
+                continue;
+            }
+            let item = live[raw_item % live.len()];
+            t.elements_mut()[elem].mark_item(item);
+            engine.refresh_element(&t, elem);
+            check(&mut engine, &t)?;
+        }
+    }
+}

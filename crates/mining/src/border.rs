@@ -28,9 +28,10 @@ pub fn positive_border(result: &MineResult) -> Vec<FrequentPattern> {
         .patterns
         .iter()
         .filter(|p| {
-            !result.patterns.iter().any(|q| {
-                q.seq.len() > p.seq.len() && is_subsequence(&p.seq, &q.seq)
-            })
+            !result
+                .patterns
+                .iter()
+                .any(|q| q.seq.len() > p.seq.len() && is_subsequence(&p.seq, &q.seq))
         })
         .cloned()
         .collect()

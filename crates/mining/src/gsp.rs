@@ -31,8 +31,7 @@ impl Gsp {
         let alphabet: Vec<Symbol> = db.alphabet().symbols().collect();
         // Level 1 seeds.
         let mut level = 1usize;
-        let mut seeds: Vec<Sequence> =
-            alphabet.iter().map(|&s| Sequence::new(vec![s])).collect();
+        let mut seeds: Vec<Sequence> = alphabet.iter().map(|&s| Sequence::new(vec![s])).collect();
         while !seeds.is_empty() && config.allows_len(level) {
             let mut next_frontier = Vec::new();
             for cand in seeds {
@@ -46,9 +45,10 @@ impl Gsp {
                     result.truncated = true;
                     return result;
                 }
-                result
-                    .patterns
-                    .push(FrequentPattern { seq: cand.clone(), support: sup });
+                result.patterns.push(FrequentPattern {
+                    seq: cand.clone(),
+                    support: sup,
+                });
                 next_frontier.push(cand);
             }
             let frontier = next_frontier;
@@ -108,8 +108,7 @@ mod tests {
         let loose = Gsp::mine(&db, &MinerConfig::new(2));
         let tight = Gsp::mine(
             &db,
-            &MinerConfig::new(2)
-                .with_constraints(ConstraintSet::uniform_gap(Gap::bounded(0, 0))),
+            &MinerConfig::new(2).with_constraints(ConstraintSet::uniform_gap(Gap::bounded(0, 0))),
         );
         let loose_map = loose.to_map();
         let tight_map = tight.to_map();
@@ -126,8 +125,7 @@ mod tests {
     #[test]
     fn window_constrained_mining() {
         let db = SequenceDb::parse("a z z z b\na b\n");
-        let cfg = MinerConfig::new(2)
-            .with_constraints(ConstraintSet::with_max_window(2));
+        let cfg = MinerConfig::new(2).with_constraints(ConstraintSet::with_max_window(2));
         let r = Gsp::mine(&db, &cfg);
         let mut sigma = db.alphabet().clone();
         let ab = Sequence::parse("a b", &mut sigma);

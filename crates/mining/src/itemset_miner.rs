@@ -96,9 +96,10 @@ impl ItemsetMiner {
                     result.truncated = true;
                     return result;
                 }
-                result
-                    .patterns
-                    .push(FrequentItemsetPattern { seq: cand.clone(), support: sup });
+                result.patterns.push(FrequentItemsetPattern {
+                    seq: cand.clone(),
+                    support: sup,
+                });
                 frontier.push(cand);
             }
             total_items += 1;
@@ -153,7 +154,10 @@ mod tests {
 
     fn find(r: &ItemsetMineResult, groups: &[&[u32]]) -> Option<usize> {
         let target = iseq(groups);
-        r.patterns.iter().find(|p| p.seq == target).map(|p| p.support)
+        r.patterns
+            .iter()
+            .find(|p| p.seq == target)
+            .map(|p| p.support)
     }
 
     #[test]
@@ -196,10 +200,13 @@ mod tests {
     #[test]
     fn max_len_caps_total_items() {
         let r = ItemsetMiner::mine(&db(), &MinerConfig::new(1).with_max_len(2));
-        assert!(r
-            .patterns
+        assert!(r.patterns.iter().all(|p| p
+            .seq
+            .elements()
             .iter()
-            .all(|p| p.seq.elements().iter().map(Itemset::live_len).sum::<usize>() <= 2));
+            .map(Itemset::live_len)
+            .sum::<usize>()
+            <= 2));
         // the 2-item patterns are present
         assert!(find(&r, &[&[1, 2]]).is_some());
         assert!(find(&r, &[&[1], &[3]]).is_some());

@@ -45,8 +45,7 @@ impl PrefixSpan {
             return result;
         }
         // Root projections: every sequence from offset 0.
-        let projections: Vec<(usize, usize)> =
-            (0..db.len()).map(|i| (i, 0)).collect();
+        let projections: Vec<(usize, usize)> = (0..db.len()).map(|i| (i, 0)).collect();
         let mut prefix: Vec<Symbol> = Vec::new();
         Self::grow(db, config, &projections, &mut prefix, &mut result);
         result

@@ -38,7 +38,10 @@ impl MineResult {
 
     /// Support lookup table keyed by pattern.
     pub fn to_map(&self) -> HashMap<Sequence, usize> {
-        self.patterns.iter().map(|p| (p.seq.clone(), p.support)).collect()
+        self.patterns
+            .iter()
+            .map(|p| (p.seq.clone(), p.support))
+            .collect()
     }
 
     /// Patterns sorted lexicographically — a canonical order for comparing
@@ -60,7 +63,10 @@ mod tests {
     use super::*;
 
     fn fp(ids: &[u32], support: usize) -> FrequentPattern {
-        FrequentPattern { seq: Sequence::from_ids(ids.iter().copied().collect::<Vec<_>>()), support }
+        FrequentPattern {
+            seq: Sequence::from_ids(ids.iter().copied().collect::<Vec<_>>()),
+            support,
+        }
     }
 
     #[test]

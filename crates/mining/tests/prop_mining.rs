@@ -2,7 +2,7 @@
 //! brute-force oracle (soundness + completeness of `F(D, σ)`).
 
 use proptest::prelude::*;
-use seqhide_match::{support, ConstraintSet, Gap, SensitivePattern, supports};
+use seqhide_match::{support, supports, ConstraintSet, Gap, SensitivePattern};
 use seqhide_mine::{Gsp, MinerConfig, PrefixSpan};
 use seqhide_types::{Sequence, SequenceDb, Symbol};
 

@@ -142,9 +142,7 @@ impl Count for BigCount {
         for (i, &a) in self.limbs.iter().enumerate() {
             let mut carry: u128 = 0;
             for (j, &b) in other.limbs.iter().enumerate() {
-                let cur = u128::from(limbs[i + j])
-                    + u128::from(a) * u128::from(b)
-                    + carry;
+                let cur = u128::from(limbs[i + j]) + u128::from(a) * u128::from(b) + carry;
                 limbs[i + j] = cur as u64;
                 carry = cur >> 64;
             }

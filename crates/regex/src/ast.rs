@@ -108,9 +108,7 @@ impl Ast {
             Ast::Alt(parts) => parts.iter().any(|p| p.accepts(word)),
             Ast::Opt(inner) => word.is_empty() || inner.accepts(word),
             Ast::Concat(parts) => accepts_concat(parts, word),
-            Ast::Star(inner) => {
-                word.is_empty() || accepts_repeat(inner, word)
-            }
+            Ast::Star(inner) => word.is_empty() || accepts_repeat(inner, word),
             Ast::Plus(inner) => accepts_repeat(inner, word),
         }
     }
@@ -146,9 +144,8 @@ impl Ast {
 fn accepts_concat(parts: &[Ast], word: &[Symbol]) -> bool {
     match parts {
         [] => word.is_empty(),
-        [first, rest @ ..] => (0..=word.len()).any(|cut| {
-            first.accepts(&word[..cut]) && accepts_concat(rest, &word[cut..])
-        }),
+        [first, rest @ ..] => (0..=word.len())
+            .any(|cut| first.accepts(&word[..cut]) && accepts_concat(rest, &word[cut..])),
     }
 }
 
@@ -159,8 +156,7 @@ fn accepts_repeat(inner: &Ast, word: &[Symbol]) -> bool {
     }
     // first chunk non-empty to guarantee progress
     (1..=word.len()).any(|cut| {
-        inner.accepts(&word[..cut])
-            && (word.len() == cut || accepts_repeat(inner, &word[cut..]))
+        inner.accepts(&word[..cut]) && (word.len() == cut || accepts_repeat(inner, &word[cut..]))
     })
 }
 

@@ -32,7 +32,7 @@ fn run_dp<C: Count>(p: &RegexPattern, symbols: &[Symbol], mode: Mode) -> C {
         if let Some(class) = class {
             // windowed predecessor range from the uniform gap constraint:
             // l ∈ [j − 1 − Mg, j − 1 − mg]
-            let range = if j >= 1 + gap.min {
+            let range = if j > gap.min {
                 let hi = j - 1 - gap.min;
                 let lo = match gap.max {
                     Some(max) => (j - 1).saturating_sub(max),
@@ -42,13 +42,13 @@ fn run_dp<C: Count>(p: &RegexPattern, symbols: &[Symbol], mode: Mode) -> C {
             } else {
                 None
             };
-            for q_prev in 0..nq {
+            for (q_prev, pre) in prefix.iter().enumerate() {
                 let Some(q_next) = dfa.step(q_prev, class) else {
                     continue;
                 };
                 if let Some((lo, hi)) = range {
                     // prefix sums are monotone ⇒ saturating_sub is exact
-                    let w = prefix[q_prev][hi + 1].saturating_sub(&prefix[q_prev][lo]);
+                    let w = pre[hi + 1].saturating_sub(&pre[lo]);
                     ends[q_next].add_assign(&w);
                 }
             }
@@ -116,19 +116,33 @@ pub fn supports_re(t: &Sequence, p: &RegexPattern) -> bool {
 /// constraints; the DFA is deterministic so each tuple through `i` is
 /// counted exactly once).
 pub fn delta_by_marking_re<C: Count>(patterns: &[RegexPattern], t: &Sequence) -> Vec<C> {
-    let total = matching_size_re::<C>(patterns, t);
+    let mut delta = Vec::new();
     let mut work = t.clone();
-    (0..t.len())
-        .map(|i| {
-            if work[i].is_mark() {
-                return C::zero();
-            }
-            let saved = work.mark(i);
-            let reduced = matching_size_re::<C>(patterns, &work);
-            work.set(i, saved);
-            total.saturating_sub(&reduced)
-        })
-        .collect()
+    delta_by_marking_re_into(patterns, &mut work, &mut delta);
+    delta
+}
+
+/// [`delta_by_marking_re`] writing into a caller-owned buffer and marking
+/// positions in place (each is restored before the next is probed, so `t`
+/// is net unchanged). Lets the sanitization loop reuse one `δ` vector
+/// instead of allocating a fresh `Vec` and a sequence clone per mark.
+pub fn delta_by_marking_re_into<C: Count>(
+    patterns: &[RegexPattern],
+    t: &mut Sequence,
+    delta: &mut Vec<C>,
+) {
+    let total = matching_size_re::<C>(patterns, t);
+    delta.clear();
+    for i in 0..t.len() {
+        if t[i].is_mark() {
+            delta.push(C::zero());
+            continue;
+        }
+        let saved = t.mark(i);
+        let reduced = matching_size_re::<C>(patterns, t);
+        t.set(i, saved);
+        delta.push(total.saturating_sub(&reduced));
+    }
 }
 
 #[cfg(test)]

@@ -73,7 +73,10 @@ fn build(nfa: &mut Nfa, ast: &Ast, mentioned: &[Symbol]) -> (usize, usize) {
                 }
                 last_exit = Some(b);
             }
-            (entry.expect("concat non-empty"), last_exit.expect("concat non-empty"))
+            (
+                entry.expect("concat non-empty"),
+                last_exit.expect("concat non-empty"),
+            )
         }
         Ast::Alt(parts) => {
             let a = nfa.new_state();
@@ -149,7 +152,12 @@ impl Dfa {
         let mentioned = ast.mentioned();
         assert!(mentioned.len() <= 63, "pattern mentions too many symbols");
         let n_classes = mentioned.len() + 1; // + OTHER
-        let mut nfa = Nfa { eps: Vec::new(), trans: Vec::new(), start: 0, accept: 0 };
+        let mut nfa = Nfa {
+            eps: Vec::new(),
+            trans: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
         let (entry, exit) = build(&mut nfa, ast, &mentioned);
         nfa.start = entry;
         nfa.accept = exit;
@@ -188,7 +196,12 @@ impl Dfa {
             trans.push(row);
             i += 1;
         }
-        Dfa { mentioned, trans, accepting, start: 0 }
+        Dfa {
+            mentioned,
+            trans,
+            accepting,
+            start: 0,
+        }
     }
 
     /// Number of DFA states.

@@ -8,7 +8,7 @@ use rand_chacha::ChaCha8Rng;
 use seqhide_num::{Count, Sat64};
 use seqhide_types::{Sequence, SequenceDb};
 
-use crate::count::{delta_by_marking_re, matching_size_re, supports_re};
+use crate::count::{delta_by_marking_re_into, matching_size_re, supports_re};
 use crate::RegexPattern;
 
 /// How positions are chosen (mirrors `seqhide_core::LocalStrategy`, kept
@@ -30,8 +30,12 @@ pub fn sanitize_regex_sequence<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> usize {
     let mut marks = 0;
+    // δ and candidate buffers live across the marking loop: each iteration
+    // refills them in place instead of allocating fresh vectors.
+    let mut delta: Vec<Sat64> = Vec::new();
+    let mut candidates: Vec<usize> = Vec::new();
     loop {
-        let delta = delta_by_marking_re::<Sat64>(patterns, t);
+        delta_by_marking_re_into::<Sat64>(patterns, t, &mut delta);
         let pos = match strategy {
             ReLocalStrategy::Heuristic => {
                 let mut best: Option<(usize, Sat64)> = None;
@@ -47,11 +51,13 @@ pub fn sanitize_regex_sequence<R: Rng + ?Sized>(
                 best.map(|(i, _)| i)
             }
             ReLocalStrategy::Random => {
-                let candidates: Vec<usize> = delta
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, d)| (!d.is_zero()).then_some(i))
-                    .collect();
+                candidates.clear();
+                candidates.extend(
+                    delta
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, d)| (!d.is_zero()).then_some(i)),
+                );
                 candidates.choose(rng).copied()
             }
         };
@@ -98,8 +104,7 @@ pub fn sanitize_regex_db(
     let n_victims = sup.len().saturating_sub(psi);
     let mut marks = 0;
     for &(i, _) in sup.iter().take(n_victims) {
-        marks +=
-            sanitize_regex_sequence(&mut db.sequences_mut()[i], patterns, strategy, &mut rng);
+        marks += sanitize_regex_sequence(&mut db.sequences_mut()[i], patterns, strategy, &mut rng);
     }
     let residual: Vec<usize> = patterns
         .iter()
@@ -125,7 +130,8 @@ mod tests {
         let mut t = Sequence::parse("a b c", &mut sigma);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         // both tuples go through position 0 (the a): one mark suffices
-        let marks = sanitize_regex_sequence(&mut t, &[re.clone()], ReLocalStrategy::Heuristic, &mut rng);
+        let marks =
+            sanitize_regex_sequence(&mut t, &[re.clone()], ReLocalStrategy::Heuristic, &mut rng);
         assert_eq!(marks, 1);
         assert!(t[0].is_mark());
         assert!(!supports_re(&t, &re));

@@ -50,7 +50,9 @@ mod hide;
 mod parser;
 
 pub use ast::{Ast, RegexError};
-pub use count::{count_occurrences, delta_by_marking_re, matching_size_re, supports_re};
+pub use count::{
+    count_occurrences, delta_by_marking_re, delta_by_marking_re_into, matching_size_re, supports_re,
+};
 pub use dfa::Dfa;
 pub use hide::{sanitize_regex_db, sanitize_regex_sequence, ReLocalStrategy, RegexSanitizeReport};
 pub use parser::parse;
@@ -94,7 +96,12 @@ impl RegexPattern {
             return Err(RegexError::Nullable);
         }
         let dfa = Dfa::compile(&ast);
-        Ok(RegexPattern { ast, dfa, gap: Gap::any(), max_window: None })
+        Ok(RegexPattern {
+            ast,
+            dfa,
+            gap: Gap::any(),
+            max_window: None,
+        })
     }
 
     /// Adds a uniform gap constraint between consecutive matched positions.

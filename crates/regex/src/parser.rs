@@ -96,6 +96,17 @@ struct Parser<'a> {
 }
 
 impl Parser<'_> {
+    /// Interns a symbol name, rejecting the reserved mark rendering `"Δ"`
+    /// (interning it would panic — the mark is not part of `Σ`).
+    fn intern_name(&mut self, name: &str) -> Result<seqhide_types::Symbol, RegexError> {
+        if name == "Δ" {
+            return Err(RegexError::Syntax(
+                "the mark Δ cannot appear in a pattern".into(),
+            ));
+        }
+        Ok(self.alphabet.intern(name))
+    }
+
     fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.pos)
     }
@@ -159,7 +170,7 @@ impl Parser<'_> {
 
     fn atom(&mut self) -> Result<Ast, RegexError> {
         match self.bump() {
-            Some(Token::Name(name)) => Ok(Ast::Sym(self.alphabet.intern(&name))),
+            Some(Token::Name(name)) => Ok(Ast::Sym(self.intern_name(&name)?)),
             Some(Token::Dot) => Ok(Ast::Any),
             Some(Token::LParen) => {
                 let inner = self.alt()?;
@@ -172,7 +183,7 @@ impl Parser<'_> {
                 let mut syms = Vec::new();
                 loop {
                     match self.bump() {
-                        Some(Token::Name(name)) => syms.push(self.alphabet.intern(&name)),
+                        Some(Token::Name(name)) => syms.push(self.intern_name(&name)?),
                         Some(Token::RBracket) => break,
                         other => {
                             return Err(RegexError::Syntax(format!(
@@ -197,7 +208,11 @@ pub fn parse(input: &str, alphabet: &mut Alphabet) -> Result<Ast, RegexError> {
     if tokens.is_empty() {
         return Err(RegexError::Syntax("empty pattern".into()));
     }
-    let mut p = Parser { tokens, pos: 0, alphabet };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        alphabet,
+    };
     let ast = p.alt()?;
     if p.pos != p.tokens.len() {
         return Err(RegexError::Syntax(format!(
@@ -294,11 +309,34 @@ mod tests {
     fn syntax_errors() {
         let mut sigma = Alphabet::new();
         assert!(matches!(parse("", &mut sigma), Err(RegexError::Syntax(_))));
-        assert!(matches!(parse("(a", &mut sigma), Err(RegexError::Syntax(_))));
-        assert!(matches!(parse("a )", &mut sigma), Err(RegexError::Syntax(_))));
-        assert!(matches!(parse("[]", &mut sigma), Err(RegexError::Syntax(_))));
-        assert!(matches!(parse("| a", &mut sigma), Err(RegexError::Syntax(_))));
-        assert!(matches!(parse("a | ", &mut sigma), Err(RegexError::Syntax(_))));
+        assert!(matches!(
+            parse("(a", &mut sigma),
+            Err(RegexError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse("a )", &mut sigma),
+            Err(RegexError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse("[]", &mut sigma),
+            Err(RegexError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse("| a", &mut sigma),
+            Err(RegexError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse("a | ", &mut sigma),
+            Err(RegexError::Syntax(_))
+        ));
         assert!(matches!(parse("*", &mut sigma), Err(RegexError::Syntax(_))));
+        // the reserved mark rendering is rejected, not interned (interning
+        // would panic)
+        assert!(matches!(parse("Δ", &mut sigma), Err(RegexError::Syntax(_))));
+        assert!(matches!(
+            parse("[a Δ]", &mut sigma),
+            Err(RegexError::Syntax(_))
+        ));
+        assert_eq!(sigma.get("Δ"), None);
     }
 }

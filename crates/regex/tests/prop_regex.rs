@@ -33,14 +33,10 @@ fn brute_count(p: &RegexPattern, t: &Sequence) -> u64 {
         let tuple: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
         // gap constraint between consecutive chosen positions
         let gap = p.gap();
-        if !tuple
-            .windows(2)
-            .all(|w| gap.allows(w[1] - w[0] - 1))
-        {
+        if !tuple.windows(2).all(|w| gap.allows(w[1] - w[0] - 1)) {
             continue;
         }
-        if let (Some(ws), Some(&first), Some(&last)) =
-            (p.max_window(), tuple.first(), tuple.last())
+        if let (Some(ws), Some(&first), Some(&last)) = (p.max_window(), tuple.first(), tuple.last())
         {
             if last - first + 1 > ws {
                 continue;
@@ -160,7 +156,10 @@ fn nullable_patterns_rejected() {
     let mut sigma = Alphabet::new();
     for bad in ["a*", "a?", "a* b?", "(a | b?)"] {
         let ast = parse(bad, &mut sigma).unwrap();
-        assert!(RegexPattern::from_ast(ast).is_err(), "{bad} should be rejected");
+        assert!(
+            RegexPattern::from_ast(ast).is_err(),
+            "{bad} should be rejected"
+        );
     }
     for good in ["a", "a*b", "a+", "(a | b) c*"] {
         let ast = parse(good, &mut sigma).unwrap();

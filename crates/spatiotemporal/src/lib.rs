@@ -31,13 +31,13 @@
 #![warn(missing_docs)]
 
 mod model;
-mod road;
 mod pattern;
+mod road;
 mod sanitize;
 mod trajectory;
 
 pub use model::PlausibilityModel;
-pub use road::RoadNetwork;
 pub use pattern::{count_st_matches, delta_st, st_supports, Region, StPattern};
+pub use road::RoadNetwork;
 pub use sanitize::{sanitize_st_db, sanitize_st_trajectory, StOp, StSanitizeReport};
 pub use trajectory::{StPoint, Trajectory};

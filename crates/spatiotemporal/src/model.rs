@@ -35,7 +35,11 @@ impl PlausibilityModel {
     /// Panics on a non-positive speed.
     pub fn new(max_speed: f64) -> Self {
         assert!(max_speed > 0.0, "max speed must be positive");
-        PlausibilityModel { max_speed, max_sample_interval: None, road: None }
+        PlausibilityModel {
+            max_speed,
+            max_sample_interval: None,
+            road: None,
+        }
     }
 
     /// Adds sampling-cadence knowledge: consecutive released samples more
@@ -113,10 +117,9 @@ impl PlausibilityModel {
         let before = if pos > 0 { Some(live[pos - 1]) } else { None };
         let after = live.get(pos + 1).copied();
         match (before, after) {
-            (Some(b), Some(a)) => self.plausible_step(
-                &trajectory.points()[b],
-                &trajectory.points()[a],
-            ),
+            (Some(b), Some(a)) => {
+                self.plausible_step(&trajectory.points()[b], &trajectory.points()[a])
+            }
             _ => true, // endpoint: no gap to bridge
         }
     }
@@ -138,8 +141,8 @@ impl PlausibilityModel {
         if !self.plausible_point(&candidate) {
             return false; // off-road edits are detectable
         }
-        let ok_before = pos == 0
-            || self.plausible_step(&trajectory.points()[live[pos - 1]], &candidate);
+        let ok_before =
+            pos == 0 || self.plausible_step(&trajectory.points()[live[pos - 1]], &candidate);
         let ok_after = pos + 1 >= live.len()
             || self.plausible_step(&candidate, &trajectory.points()[live[pos + 1]]);
         ok_before && ok_after
@@ -183,12 +186,8 @@ mod tests {
         // exactly why a richer background model is needed to *detect*
         // suppression (§7.3).
         let m = model();
-        let t = Trajectory::from_triples([
-            (0.0, 0.0, 0),
-            (0.2, 0.3, 4),
-            (0.4, 0.0, 8),
-            (0.5, 0.2, 11),
-        ]);
+        let t =
+            Trajectory::from_triples([(0.0, 0.0, 0), (0.2, 0.3, 4), (0.4, 0.0, 8), (0.5, 0.2, 11)]);
         assert!(m.check(&t));
         for i in 0..t.len() {
             assert!(m.suppression_plausible(&t, i), "index {i}");
@@ -223,7 +222,7 @@ mod tests {
         let t = Trajectory::from_triples([(0.0, 0.0, 0), (0.3, 0.0, 4), (0.6, 0.0, 8)]);
         assert!(m.displacement_plausible(&t, 1, 0.35, 0.0));
         assert!(!m.displacement_plausible(&t, 1, 0.3, 0.5)); // too far off-axis
-        // endpoints only check one side
+                                                             // endpoints only check one side
         assert!(m.displacement_plausible(&t, 0, 0.1, 0.0));
     }
 
@@ -237,11 +236,7 @@ mod tests {
     fn sampling_interval_makes_suppression_detectable() {
         // device reports every ≤ 5 ticks; all hops plausible initially
         let m = PlausibilityModel::new(0.1).with_max_sample_interval(5);
-        let t = Trajectory::from_triples([
-            (0.0, 0.0, 0),
-            (0.3, 0.0, 4),
-            (0.6, 0.0, 8),
-        ]);
+        let t = Trajectory::from_triples([(0.0, 0.0, 0), (0.3, 0.0, 4), (0.6, 0.0, 8)]);
         assert!(m.check(&t));
         // suppressing the middle sample opens an 8-tick hole > 5
         assert!(!m.suppression_plausible(&t, 1));

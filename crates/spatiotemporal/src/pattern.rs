@@ -2,7 +2,7 @@
 //! of spatial regions with elapsed-time constraints, evaluated directly on
 //! continuous trajectories.
 
-use seqhide_match::counting::ending_at_table_bounded_by;
+use seqhide_match::counting::ending_at_table_bounded_into;
 use seqhide_num::Count;
 use seqhide_types::TimeTag;
 
@@ -90,7 +90,12 @@ impl StPattern {
     /// Panics on an empty region list.
     pub fn new(regions: Vec<Region>) -> Self {
         assert!(!regions.is_empty(), "pattern needs at least one region");
-        StPattern { regions, min_gap: 0, max_gap: None, max_window: None }
+        StPattern {
+            regions,
+            min_gap: 0,
+            max_gap: None,
+            max_window: None,
+        }
     }
 
     /// Sets the per-arrow elapsed-time bounds.
@@ -147,12 +152,22 @@ pub fn count_st_matches<C: Count>(p: &StPattern, t: &Trajectory) -> C {
         let hi = times.partition_point(|&x| x <= hi_t);
         (lo < hi).then(|| (lo, hi - 1))
     };
+    // DP table and prefix-sum row reused across every per-end-position
+    // slice (the window branch runs one DP per live end position).
+    let mut table: Vec<C> = Vec::new();
+    let mut prefix: Vec<C> = Vec::new();
     match p.max_window {
         None => {
-            let table =
-                ending_at_table_bounded_by::<C>(m, n, |k, j| matches(p, t, k, j), gap_range);
+            ending_at_table_bounded_into::<C>(
+                m,
+                n,
+                |k, j| matches(p, t, k, j),
+                gap_range,
+                &mut table,
+                &mut prefix,
+            );
             let mut total = C::zero();
-            for cell in &table[m - 1] {
+            for cell in &table[(m - 1) * n..] {
                 total.add_assign(cell);
             }
             total
@@ -168,7 +183,7 @@ pub fn count_st_matches<C: Count>(p: &StPattern, t: &Trajectory) -> C {
                 if len < m {
                     continue;
                 }
-                let table = ending_at_table_bounded_by::<C>(
+                ending_at_table_bounded_into::<C>(
                     m,
                     len,
                     |k, jj| matches(p, t, k, lo + jj),
@@ -177,8 +192,10 @@ pub fn count_st_matches<C: Count>(p: &StPattern, t: &Trajectory) -> C {
                         let a = a.max(lo);
                         (a <= b).then(|| (a - lo, b - lo))
                     },
+                    &mut table,
+                    &mut prefix,
                 );
-                total.add_assign(&table[m - 1][len - 1]);
+                total.add_assign(&table[(m - 1) * len + (len - 1)]);
             }
             total
         }
@@ -251,13 +268,8 @@ mod tests {
 
     #[test]
     fn time_gap_filters() {
-        let p = StPattern::new(vec![unit_cell(1, 1), unit_cell(2, 1)])
-            .with_time_gap(0, Some(4));
-        let t = Trajectory::from_triples([
-            (0.05, 0.05, 0),
-            (0.08, 0.02, 3),
-            (0.15, 0.05, 6),
-        ]);
+        let p = StPattern::new(vec![unit_cell(1, 1), unit_cell(2, 1)]).with_time_gap(0, Some(4));
+        let t = Trajectory::from_triples([(0.05, 0.05, 0), (0.08, 0.02, 3), (0.15, 0.05, 6)]);
         // (0 → 6): 6 ticks ✗; (3 → 6): 3 ticks ✓
         assert_eq!(count_st_matches::<u64>(&p, &t), 1);
     }
@@ -279,8 +291,7 @@ mod tests {
     #[test]
     fn suppression_removes_occurrences() {
         let p = StPattern::new(vec![unit_cell(1, 1), unit_cell(2, 1)]);
-        let mut t =
-            Trajectory::from_triples([(0.05, 0.05, 0), (0.15, 0.05, 5)]);
+        let mut t = Trajectory::from_triples([(0.05, 0.05, 0), (0.15, 0.05, 5)]);
         assert!(st_supports(&t, &p));
         t.suppress(1);
         assert!(!st_supports(&t, &p));
@@ -289,11 +300,7 @@ mod tests {
     #[test]
     fn delta_identifies_shared_sample() {
         let p = StPattern::new(vec![unit_cell(1, 1), unit_cell(2, 1)]);
-        let t = Trajectory::from_triples([
-            (0.05, 0.05, 0),
-            (0.08, 0.02, 3),
-            (0.15, 0.05, 6),
-        ]);
+        let t = Trajectory::from_triples([(0.05, 0.05, 0), (0.08, 0.02, 3), (0.15, 0.05, 6)]);
         let d = delta_st::<u64>(std::slice::from_ref(&p), &t);
         assert_eq!(d, vec![1, 1, 2]);
     }

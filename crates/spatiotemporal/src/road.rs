@@ -29,9 +29,16 @@ impl RoadNetwork {
     pub fn new(nodes: Vec<Node>, edges: Vec<(usize, usize)>, snap_radius: f64) -> Self {
         assert!(snap_radius > 0.0, "snap radius must be positive");
         for &(a, b) in &edges {
-            assert!(a < nodes.len() && b < nodes.len(), "edge endpoint out of range");
+            assert!(
+                a < nodes.len() && b < nodes.len(),
+                "edge endpoint out of range"
+            );
         }
-        RoadNetwork { nodes, edges, snap_radius }
+        RoadNetwork {
+            nodes,
+            edges,
+            snap_radius,
+        }
     }
 
     /// A rectangular grid network over the unit square — `nx × ny` nodes
@@ -42,10 +49,7 @@ impl RoadNetwork {
         let mut nodes = Vec::with_capacity(nx * ny);
         for j in 0..ny {
             for i in 0..nx {
-                nodes.push((
-                    i as f64 / (nx - 1) as f64,
-                    j as f64 / (ny - 1) as f64,
-                ));
+                nodes.push((i as f64 / (nx - 1) as f64, j as f64 / (ny - 1) as f64));
             }
         }
         let mut edges = Vec::new();
@@ -115,7 +119,7 @@ mod tests {
         // on the bottom edge
         assert!(net.on_road(0.25, 0.0));
         assert!(net.on_road(0.5, 0.51)); // near the middle horizontal road
-        // the centre of a block is off-road
+                                         // the centre of a block is off-road
         assert!(!net.on_road(0.25, 0.25));
         let d = net.distance_to_network(0.25, 0.25);
         assert!((d - 0.25).abs() < 1e-9);

@@ -52,12 +52,7 @@ pub struct StSanitizeReport {
 
 /// Candidate positions just outside every pattern region containing the
 /// sample — one per region edge, at `margin` past it.
-fn exit_candidates(
-    patterns: &[StPattern],
-    x: f64,
-    y: f64,
-    margin: f64,
-) -> Vec<(f64, f64)> {
+fn exit_candidates(patterns: &[StPattern], x: f64, y: f64, margin: f64) -> Vec<(f64, f64)> {
     let mut out = Vec::new();
     for p in patterns {
         for r in p.regions() {
@@ -169,7 +164,10 @@ pub fn sanitize_st_db(
         .iter()
         .map(|p| db.iter().filter(|t| st_supports(t, p)).count())
         .collect();
-    let suppressed = ops.iter().filter(|o| matches!(o, StOp::Suppress(_))).count();
+    let suppressed = ops
+        .iter()
+        .filter(|o| matches!(o, StOp::Suppress(_)))
+        .count();
     let displaced = ops.len() - suppressed;
     let displacement_distance = ops
         .iter()
@@ -220,7 +218,10 @@ mod tests {
         assert_eq!(violations, 0);
         assert!(!st_supports(&t, &patterns[0]));
         // gentle sampling + roomy speed budget: displacement suffices
-        assert!(ops.iter().all(|o| matches!(o, StOp::Displace(..))), "{ops:?}");
+        assert!(
+            ops.iter().all(|o| matches!(o, StOp::Displace(..))),
+            "{ops:?}"
+        );
         assert_eq!(t.suppressed_count(), 0);
         assert!(model.check(&t));
     }
@@ -258,9 +259,8 @@ mod tests {
 
     #[test]
     fn psi_zero_hides_everywhere() {
-        let patterns = vec![
-            StPattern::new(vec![cell(6, 3), cell(7, 2)]).with_time_gap(0, Some(10)),
-        ];
+        let patterns =
+            vec![StPattern::new(vec![cell(6, 3), cell(7, 2)]).with_time_gap(0, Some(10))];
         let model = PlausibilityModel::new(0.2);
         let mut db = vec![corridor_trajectory(), corridor_trajectory()];
         let report = sanitize_st_db(&mut db, &patterns, 0, &model);
@@ -297,7 +297,10 @@ mod tests {
         // the edit stayed plausible: displaced along the road, no holes
         assert_eq!(violations, 0);
         assert!(model.check(&work));
-        assert!(ops.iter().all(|o| matches!(o, StOp::Displace(..))), "{ops:?}");
+        assert!(
+            ops.iter().all(|o| matches!(o, StOp::Displace(..))),
+            "{ops:?}"
+        );
         for (i, p) in work.points().iter().enumerate() {
             if !work.is_suppressed(i) {
                 assert!(model.plausible_point(p), "sample {i} off-road");

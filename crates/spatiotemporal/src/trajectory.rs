@@ -45,12 +45,20 @@ impl Trajectory {
             "time tags must be non-decreasing"
         );
         let n = points.len();
-        Trajectory { points, suppressed: vec![false; n] }
+        Trajectory {
+            points,
+            suppressed: vec![false; n],
+        }
     }
 
     /// Builds from `(x, y, t)` triples.
     pub fn from_triples<I: IntoIterator<Item = (f64, f64, TimeTag)>>(triples: I) -> Self {
-        Self::new(triples.into_iter().map(|(x, y, t)| StPoint::new(x, y, t)).collect())
+        Self::new(
+            triples
+                .into_iter()
+                .map(|(x, y, t)| StPoint::new(x, y, t))
+                .collect(),
+        )
     }
 
     /// Number of samples (including suppressed slots).

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use seqhide_st::{
-    count_st_matches, delta_st, sanitize_st_db, st_supports, PlausibilityModel, Region,
-    StPattern, Trajectory,
+    count_st_matches, delta_st, sanitize_st_db, st_supports, PlausibilityModel, Region, StPattern,
+    Trajectory,
 };
 
 fn brute_count(p: &StPattern, t: &Trajectory) -> u64 {
@@ -50,9 +50,10 @@ fn brute_count(p: &StPattern, t: &Trajectory) -> u64 {
 fn trajectory_strategy() -> impl Strategy<Value = Trajectory> {
     prop::collection::vec((0u8..4, 0u8..4, 0u64..8), 0..=8).prop_map(|mut pts| {
         pts.sort_by_key(|&(_, _, t)| t);
-        Trajectory::from_triples(pts.into_iter().map(|(gx, gy, t)| {
-            (gx as f64 / 4.0 + 0.125, gy as f64 / 4.0 + 0.125, t)
-        }))
+        Trajectory::from_triples(
+            pts.into_iter()
+                .map(|(gx, gy, t)| (gx as f64 / 4.0 + 0.125, gy as f64 / 4.0 + 0.125, t)),
+        )
     })
 }
 
@@ -68,8 +69,7 @@ fn pattern_strategy() -> impl Strategy<Value = StPattern> {
                 .into_iter()
                 .map(|(i, j)| Region::grid_cell(4, 4, i, j))
                 .collect();
-            let mut p = StPattern::new(regions)
-                .with_time_gap(min_gap, extra.map(|e| min_gap + e));
+            let mut p = StPattern::new(regions).with_time_gap(min_gap, extra.map(|e| min_gap + e));
             if let Some(w) = window {
                 p = p.with_max_window(w);
             }

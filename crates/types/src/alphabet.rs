@@ -53,7 +53,10 @@ impl Alphabet {
     /// Panics if the alphabet would exceed [`Symbol::MAX_ID`] symbols, or if
     /// `name` is the reserved mark rendering `"Δ"`.
     pub fn intern(&mut self, name: &str) -> Symbol {
-        assert!(name != "Δ", "the mark Δ is not part of Σ and cannot be interned");
+        assert!(
+            name != "Δ",
+            "the mark Δ is not part of Σ and cannot be interned"
+        );
         if let Some(&s) = self.ids.get(name) {
             return s;
         }
@@ -83,7 +86,8 @@ impl Alphabet {
         if s.is_mark() {
             "Δ".to_owned()
         } else {
-            self.name(s).map_or_else(|| format!("s{}", s.id()), str::to_owned)
+            self.name(s)
+                .map_or_else(|| format!("s{}", s.id()), str::to_owned)
         }
     }
 

@@ -36,12 +36,18 @@ pub struct DbStats {
 impl SequenceDb {
     /// Creates an empty database over `alphabet`.
     pub fn new(alphabet: Alphabet) -> Self {
-        SequenceDb { alphabet, sequences: Vec::new() }
+        SequenceDb {
+            alphabet,
+            sequences: Vec::new(),
+        }
     }
 
     /// Creates a database from parts.
     pub fn from_parts(alphabet: Alphabet, sequences: Vec<Sequence>) -> Self {
-        SequenceDb { alphabet, sequences }
+        SequenceDb {
+            alphabet,
+            sequences,
+        }
     }
 
     /// Parses a database from one whitespace-separated sequence per line.
@@ -60,7 +66,10 @@ impl SequenceDb {
             .filter(|l| !l.is_empty() && !l.starts_with('#'))
             .map(|l| Sequence::parse(l, &mut alphabet))
             .collect();
-        SequenceDb { alphabet, sequences }
+        SequenceDb {
+            alphabet,
+            sequences,
+        }
     }
 
     /// Appends a sequence.
@@ -138,7 +147,12 @@ impl SequenceDb {
 
 impl fmt::Debug for SequenceDb {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SequenceDb(|D|={}, |Σ|={})", self.sequences.len(), self.alphabet.len())
+        write!(
+            f,
+            "SequenceDb(|D|={}, |Σ|={})",
+            self.sequences.len(),
+            self.alphabet.len()
+        )
     }
 }
 

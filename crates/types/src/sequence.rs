@@ -48,7 +48,13 @@ impl Sequence {
         Sequence(
             names
                 .split_whitespace()
-                .map(|w| if w == "Δ" { Symbol::MARK } else { alphabet.intern(w) })
+                .map(|w| {
+                    if w == "Δ" {
+                        Symbol::MARK
+                    } else {
+                        alphabet.intern(w)
+                    }
+                })
                 .collect(),
         )
     }

@@ -46,7 +46,10 @@ impl TimedSequence {
         Self::new(
             pairs
                 .into_iter()
-                .map(|(id, time)| TimedEvent { symbol: Symbol::new(id), time })
+                .map(|(id, time)| TimedEvent {
+                    symbol: Symbol::new(id),
+                    time,
+                })
                 .collect(),
         )
     }

@@ -42,18 +42,22 @@ fn main() {
     // Sensitive: a purchase of a pregnancy test followed by prenatal
     // vitamins — inference of a medical condition (the paper's §1 privacy
     // threat, in basket form).
-    let pattern = ItemsetPattern::unconstrained(ItemsetSequence::from_ids([
-        vec![test_kit],
-        vec![vitamins],
-    ]))
-    .unwrap();
+    let pattern =
+        ItemsetPattern::unconstrained(ItemsetSequence::from_ids([vec![test_kit], vec![vitamins]]))
+            .unwrap();
     println!(
         "sensitive ⟨{{pregnancy-test}} {{prenatal-vitamins}}⟩ — support {} of {}",
         support_itemset(&db, &pattern),
         db.len()
     );
 
-    let report = sanitize_itemset_db(&mut db, &[pattern.clone()], 0, LocalStrategy::Heuristic, 7);
+    let report = sanitize_itemset_db(
+        &mut db,
+        std::slice::from_ref(&pattern),
+        0,
+        LocalStrategy::Heuristic,
+        7,
+    );
     println!(
         "sanitized: {} item marks in {} histories; hidden = {}",
         report.marks_introduced, report.sequences_sanitized, report.hidden
@@ -66,11 +70,9 @@ fn main() {
         println!("  {}", t.render(&sigma));
     }
     // Collateral check: everyday items survive untouched.
-    let groceries = ItemsetPattern::unconstrained(ItemsetSequence::from_ids([
-        vec![bread],
-        vec![milk],
-    ]))
-    .unwrap();
+    let groceries =
+        ItemsetPattern::unconstrained(ItemsetSequence::from_ids([vec![bread], vec![milk]]))
+            .unwrap();
     println!(
         "\nnon-sensitive ⟨{{bread}} {{milk}}⟩ support preserved: {}",
         support_itemset(&db, &groceries)

@@ -19,7 +19,11 @@ fn main() {
          login checkout\n\
          cart product search\n",
     );
-    println!("D: {} sequences over {} symbols", db.len(), db.alphabet().len());
+    println!(
+        "D: {} sequences over {} symbols",
+        db.len(),
+        db.alphabet().len()
+    );
 
     // The analyst considers ⟨search product cart⟩ sensitive: it exposes a
     // purchase-intent funnel they are not willing to publish.

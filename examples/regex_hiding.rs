@@ -24,16 +24,35 @@ fn main() {
     // X7Y3 are sensitive — one regex instead of two plain patterns.
     let policy = "X6Y3 (X7Y2 | X7Y3)";
     let re = RegexPattern::compile(policy, db.alphabet_mut()).unwrap();
-    let supporters = db.sequences().iter().filter(|t| supports_re(t, &re)).count();
-    println!("policy: {policy}\nsupporting trajectories: {supporters} of {}", db.len());
+    let supporters = db
+        .sequences()
+        .iter()
+        .filter(|t| supports_re(t, &re))
+        .count();
+    println!(
+        "policy: {policy}\nsupporting trajectories: {supporters} of {}",
+        db.len()
+    );
 
-    let report = sanitize_regex_db(&mut db, &[re.clone()], 0, ReLocalStrategy::Heuristic, 0);
+    let report = sanitize_regex_db(
+        &mut db,
+        std::slice::from_ref(&re),
+        0,
+        ReLocalStrategy::Heuristic,
+        0,
+    );
     println!(
         "regex HH: {} marks in {} trajectories; hidden = {}",
         report.marks_introduced, report.sequences_sanitized, report.hidden
     );
     assert!(report.hidden);
-    assert_eq!(db.sequences().iter().filter(|t| supports_re(t, &re)).count(), 0);
+    assert_eq!(
+        db.sequences()
+            .iter()
+            .filter(|t| supports_re(t, &re))
+            .count(),
+        0
+    );
 
     // Equivalent plain-pattern formulation: hide both expansions with the
     // paper's base algorithm — same semantics, so the costs should agree.
@@ -50,10 +69,20 @@ fn main() {
     // A policy a plain pattern cannot express: two or more consecutive
     // stops inside the depot row (any of X4Y3, X5Y3, X6Y3).
     let mut db3 = dataset.db.clone();
-    let loiter = RegexPattern::compile("[X4Y3 X5Y3 X6Y3] [X4Y3 X5Y3 X6Y3]+", db3.alphabet_mut())
-        .unwrap();
-    let supporters = db3.sequences().iter().filter(|t| supports_re(t, &loiter)).count();
-    let report = sanitize_regex_db(&mut db3, &[loiter.clone()], 5, ReLocalStrategy::Heuristic, 0);
+    let loiter =
+        RegexPattern::compile("[X4Y3 X5Y3 X6Y3] [X4Y3 X5Y3 X6Y3]+", db3.alphabet_mut()).unwrap();
+    let supporters = db3
+        .sequences()
+        .iter()
+        .filter(|t| supports_re(t, &loiter))
+        .count();
+    let report = sanitize_regex_db(
+        &mut db3,
+        std::slice::from_ref(&loiter),
+        5,
+        ReLocalStrategy::Heuristic,
+        0,
+    );
     println!(
         "\nloitering policy ([row]+): {supporters} supporters → ψ=5 leaves {}; {} marks",
         report.residual_supports[0], report.marks_introduced

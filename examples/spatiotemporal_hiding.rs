@@ -14,14 +14,15 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use seqhide::data::{wander, waypoint_trajectory};
-use seqhide::st::{
-    sanitize_st_db, st_supports, PlausibilityModel, Region, StPattern, Trajectory,
-};
+use seqhide::st::{sanitize_st_db, st_supports, PlausibilityModel, Region, StPattern, Trajectory};
 
 fn to_trajectory(points: Vec<(f64, f64)>) -> Trajectory {
     // one sample per minute
     Trajectory::from_triples(
-        points.into_iter().enumerate().map(|(i, (x, y))| (x, y, i as u64)),
+        points
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| (x, y, i as u64)),
     )
 }
 
@@ -49,7 +50,10 @@ fn main() {
     // Sensitive: clinic then pharmacy within 60 minutes.
     let pattern = StPattern::new(vec![clinic, pharmacy]).with_max_window(60);
     let supporters = db.iter().filter(|t| st_supports(t, &pattern)).count();
-    println!("clinic→pharmacy (≤ 60 min) supporters: {supporters} of {}", db.len());
+    println!(
+        "clinic→pharmacy (≤ 60 min) supporters: {supporters} of {}",
+        db.len()
+    );
 
     // Background knowledge: nothing moves faster than 0.08 units/minute.
     let model = PlausibilityModel::new(0.08);
@@ -58,7 +62,9 @@ fn main() {
     let report = sanitize_st_db(&mut db, std::slice::from_ref(&pattern), 2, &model);
     println!(
         "sanitized: {} displaced (total {:.3} units), {} suppressed, across {} trajectories",
-        report.displaced, report.displacement_distance, report.suppressed,
+        report.displaced,
+        report.displacement_distance,
+        report.suppressed,
         report.trajectories_sanitized
     );
     println!(

@@ -38,15 +38,27 @@ fn main() {
 
     let pattern = TimedPattern::new(
         Sequence::from_ids([hiv_test, arv]),
-        TimeConstraints::uniform_gap(TimeGap { min: 0, max: Some(72) }),
+        TimeConstraints::uniform_gap(TimeGap {
+            min: 0,
+            max: Some(72),
+        }),
     )
     .unwrap();
 
     let supporters = db.iter().filter(|t| supports_timed(t, &pattern)).count();
-    println!("sensitive ⟨hiv-test →≤72h arv⟩ — support {supporters} of {}", db.len());
+    println!(
+        "sensitive ⟨hiv-test →≤72h arv⟩ — support {supporters} of {}",
+        db.len()
+    );
     assert_eq!(supporters, 2);
 
-    let report = sanitize_timed_db(&mut db, &[pattern.clone()], 0, LocalStrategy::Heuristic, 3);
+    let report = sanitize_timed_db(
+        &mut db,
+        std::slice::from_ref(&pattern),
+        0,
+        LocalStrategy::Heuristic,
+        3,
+    );
     println!(
         "sanitized: {} event marks in {} streams; hidden = {}",
         report.marks_introduced, report.sequences_sanitized, report.hidden

@@ -69,7 +69,9 @@ fn main() {
         report.marks_introduced,
         {
             let mut db2 = dataset.db.clone();
-            Sanitizer::hh(0).run(&mut db2, &dataset.sensitive).marks_introduced
+            Sanitizer::hh(0)
+                .run(&mut db2, &dataset.sensitive)
+                .marks_introduced
         }
     );
 }

@@ -36,11 +36,9 @@ fn main() {
     // at most one intervening click — a funnel the marketing team will not
     // publish. (Loose occurrences with long detours are not sensitive.)
     let path = Sequence::parse("compare pricing", db.alphabet_mut());
-    let pattern = SensitivePattern::new(
-        path.clone(),
-        ConstraintSet::uniform_gap(Gap::bounded(0, 1)),
-    )
-    .unwrap();
+    let pattern =
+        SensitivePattern::new(path.clone(), ConstraintSet::uniform_gap(Gap::bounded(0, 1)))
+            .unwrap();
     let sensitive = SensitiveSet::from_patterns(vec![pattern.clone()]);
     println!(
         "sensitive: {} — constrained support {} (unconstrained would be {})",

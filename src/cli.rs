@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use seqhide_core::{GlobalStrategy, LocalStrategy, Sanitizer};
+use seqhide_core::{EngineMode, GlobalStrategy, LocalStrategy, Sanitizer};
 use seqhide_data::{synthetic_like, trucks_like};
 use seqhide_match::{ConstraintSet, Gap, SensitivePattern, SensitiveSet};
 use seqhide_mine::{Gsp, MinerConfig, PrefixSpan};
@@ -50,17 +50,25 @@ impl Flags {
         while i < args.len() {
             let arg = &args[i];
             let Some(name) = arg.strip_prefix("--") else {
-                return Err(err(format!("unexpected argument '{arg}' (expected --flag)")));
+                return Err(err(format!(
+                    "unexpected argument '{arg}' (expected --flag)"
+                )));
             };
             let is_boolean = matches!(name, "report" | "exact");
             if is_boolean {
-                values.entry(name.to_string()).or_default().push(String::new());
+                values
+                    .entry(name.to_string())
+                    .or_default()
+                    .push(String::new());
                 i += 1;
             } else {
                 let value = args
                     .get(i + 1)
                     .ok_or_else(|| err(format!("--{name} needs a value")))?;
-                values.entry(name.to_string()).or_default().push(value.clone());
+                values
+                    .entry(name.to_string())
+                    .or_default()
+                    .push(value.clone());
                 i += 2;
             }
         }
@@ -68,7 +76,10 @@ impl Flags {
     }
 
     fn one(&self, name: &str) -> Option<&str> {
-        self.values.get(name).and_then(|v| v.last()).map(String::as_str)
+        self.values
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
     }
 
     fn all(&self, name: &str) -> &[String] {
@@ -80,20 +91,25 @@ impl Flags {
     }
 
     fn required(&self, name: &str) -> Result<&str, CliError> {
-        self.one(name).ok_or_else(|| err(format!("missing required --{name}")))
+        self.one(name)
+            .ok_or_else(|| err(format!("missing required --{name}")))
     }
 
     fn usize_or(&self, name: &str, default: usize) -> Result<usize, CliError> {
         match self.one(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| err(format!("--{name}: '{v}' is not a number"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{name}: '{v}' is not a number"))),
         }
     }
 
     fn u64_or(&self, name: &str, default: u64) -> Result<u64, CliError> {
         match self.one(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| err(format!("--{name}: '{v}' is not a number"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{name}: '{v}' is not a number"))),
         }
     }
 }
@@ -108,6 +124,7 @@ USAGE:
   seqhide hide   --db FILE --psi N (--pattern \"a b\")... [--regex \"a (b|c)+ d\"]...
                  [--mode plain|itemset|timed] [--algorithm hh|hr|rh|rr]
                  [--seed S] [--exact] [--min-gap G] [--max-gap G] [--max-window W]
+                 [--engine incremental|scratch] [--threads N]
                  [--post keep|delete|replace] [--out FILE] [--report]
   seqhide verify --db FILE --psi N (--pattern \"a b\")...
   seqhide attack --original FILE --released FILE [--train FILE]
@@ -185,7 +202,10 @@ fn cmd_stats(flags: &Flags) -> Result<String, CliError> {
                 .flat_map(|t| t.elements().iter())
                 .map(seqhide_types::Itemset::live_len)
                 .sum();
-            let marks: usize = db.iter().map(seqhide_types::ItemsetSequence::mark_count).sum();
+            let marks: usize = db
+                .iter()
+                .map(seqhide_types::ItemsetSequence::mark_count)
+                .sum();
             Ok(format!(
                 "sequences:      {}\nelements total: {elements}\nitems total:    {items}\nalphabet |Σ|:   {}\nmarks (Δ):      {marks}\n",
                 db.len(),
@@ -196,7 +216,10 @@ fn cmd_stats(flags: &Flags) -> Result<String, CliError> {
             let (alphabet, db) = seqhide_data::io::parse_timed_db(&read_text(flags)?)
                 .map_err(|e| err(e.to_string()))?;
             let events: usize = db.iter().map(seqhide_types::TimedSequence::len).sum();
-            let marks: usize = db.iter().map(seqhide_types::TimedSequence::mark_count).sum();
+            let marks: usize = db
+                .iter()
+                .map(seqhide_types::TimedSequence::mark_count)
+                .sum();
             Ok(format!(
                 "sequences:      {}\nevents total:   {events}\nalphabet |Σ|:   {}\nmarks (Δ):      {marks}\n",
                 db.len(),
@@ -215,7 +238,10 @@ fn cmd_stats(flags: &Flags) -> Result<String, CliError> {
 }
 
 fn cmd_mine(flags: &Flags) -> Result<String, CliError> {
-    let sigma = flags.required("sigma")?.parse::<usize>().map_err(|_| err("--sigma: not a number"))?;
+    let sigma = flags
+        .required("sigma")?
+        .parse::<usize>()
+        .map_err(|_| err("--sigma: not a number"))?;
     if sigma == 0 {
         return Err(err("--sigma must be at least 1"));
     }
@@ -227,7 +253,7 @@ fn cmd_mine(flags: &Flags) -> Result<String, CliError> {
         let (alphabet, db) = seqhide_data::io::parse_itemset_db(&read_text(flags)?);
         let result = seqhide_mine::ItemsetMiner::mine(&db, &cfg);
         let mut rows = result.patterns.clone();
-        rows.sort_by(|a, b| b.support.cmp(&a.support));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.support));
         let top = flags.usize_or("top", rows.len())?;
         let mut out = format!(
             "frequent itemset patterns (σ = {sigma}): {}{}\n",
@@ -235,12 +261,18 @@ fn cmd_mine(flags: &Flags) -> Result<String, CliError> {
             if result.truncated { " [TRUNCATED]" } else { "" }
         );
         for fp in rows.iter().take(top) {
-            out.push_str(&format!("{:>6}  {}\n", fp.support, fp.seq.render(&alphabet)));
+            out.push_str(&format!(
+                "{:>6}  {}\n",
+                fp.support,
+                fp.seq.render(&alphabet)
+            ));
         }
         return Ok(out);
     }
     if mode(flags)? == "timed" {
-        return Err(err("mining timed databases is not supported; project the symbols"));
+        return Err(err(
+            "mining timed databases is not supported; project the symbols",
+        ));
     }
     let db = load_db(flags)?;
     let result = match flags.one("miner").unwrap_or("prefixspan") {
@@ -251,10 +283,17 @@ fn cmd_mine(flags: &Flags) -> Result<String, CliError> {
     let mut rows = result.patterns.clone();
     rows.sort_by(|a, b| b.support.cmp(&a.support).then(a.seq.cmp(&b.seq)));
     let top = flags.usize_or("top", rows.len())?;
-    let mut out = format!("frequent patterns (σ = {sigma}): {}{}\n", rows.len(),
-        if result.truncated { " [TRUNCATED]" } else { "" });
+    let mut out = format!(
+        "frequent patterns (σ = {sigma}): {}{}\n",
+        rows.len(),
+        if result.truncated { " [TRUNCATED]" } else { "" }
+    );
     for fp in rows.iter().take(top) {
-        out.push_str(&format!("{:>6}  {}\n", fp.support, fp.seq.render(db.alphabet())));
+        out.push_str(&format!(
+            "{:>6}  {}\n",
+            fp.support,
+            fp.seq.render(db.alphabet())
+        ));
     }
     Ok(out)
 }
@@ -284,7 +323,9 @@ fn cmd_hide_itemset(flags: &Flags, psi: usize) -> Result<String, CliError> {
         );
     }
     if patterns.is_empty() {
-        return Err(err("nothing to hide: give --pattern (itemset syntax: a,b c)"));
+        return Err(err(
+            "nothing to hide: give --pattern (itemset syntax: a,b c)",
+        ));
     }
     let strategy = match flags.one("algorithm").unwrap_or("hh") {
         "hh" | "hr" => LocalStrategy::Heuristic,
@@ -334,7 +375,9 @@ fn cmd_hide_timed(flags: &Flags, psi: usize) -> Result<String, CliError> {
         );
     }
     if patterns.is_empty() {
-        return Err(err("nothing to hide: give --pattern (plain symbols; gaps in ticks)"));
+        return Err(err(
+            "nothing to hide: give --pattern (plain symbols; gaps in ticks)",
+        ));
     }
     let strategy = match flags.one("algorithm").unwrap_or("hh") {
         "hh" | "hr" => LocalStrategy::Heuristic,
@@ -360,14 +403,20 @@ fn cmd_hide_timed(flags: &Flags, psi: usize) -> Result<String, CliError> {
 }
 
 fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
-    let psi_early = flags.required("psi")?.parse::<usize>().map_err(|_| err("--psi: not a number"))?;
+    let psi_early = flags
+        .required("psi")?
+        .parse::<usize>()
+        .map_err(|_| err("--psi: not a number"))?;
     match mode(flags)? {
         "itemset" => return cmd_hide_itemset(flags, psi_early),
         "timed" => return cmd_hide_timed(flags, psi_early),
         _ => {}
     }
     let mut db = load_db(flags)?;
-    let psi = flags.required("psi")?.parse::<usize>().map_err(|_| err("--psi: not a number"))?;
+    let psi = flags
+        .required("psi")?
+        .parse::<usize>()
+        .map_err(|_| err("--psi: not a number"))?;
     let sh = sensitive_set(flags, &mut db)?;
     let regexes: Vec<RegexPattern> = flags
         .all("regex")
@@ -382,6 +431,12 @@ fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
         return Err(err("nothing to hide: give --pattern and/or --regex"));
     }
     let seed = flags.u64_or("seed", 0)?;
+    let engine = match flags.one("engine") {
+        None => EngineMode::default(),
+        Some(v) => EngineMode::parse(v)
+            .ok_or_else(|| err(format!("unknown engine '{v}' (incremental|scratch)")))?,
+    };
+    let threads = flags.usize_or("threads", 1)?;
     let algorithm = flags.one("algorithm").unwrap_or("hh");
     let (local, global) = match algorithm {
         "hh" => (LocalStrategy::Heuristic, GlobalStrategy::Heuristic),
@@ -396,6 +451,8 @@ fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
         let report = Sanitizer::new(local, global, psi)
             .with_seed(seed)
             .with_exact_counts(flags.has("exact"))
+            .with_engine(engine)
+            .with_threads(threads)
             .run(&mut db, &sh);
         marks += report.marks_introduced;
         out.push_str(&format!(
@@ -424,8 +481,12 @@ fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
     match flags.one("post").unwrap_or("keep") {
         "keep" => {}
         "delete" => {
-            let (released, dr) =
-                seqhide_core::post::delete_markers_safe(&db, &sh, psi, &Sanitizer::new(local, global, psi));
+            let (released, dr) = seqhide_core::post::delete_markers_safe(
+                &db,
+                &sh,
+                psi,
+                &Sanitizer::new(local, global, psi),
+            );
             db = released;
             out.push_str(&format!("post: deleted Δ ({} round(s))\n", dr.rounds));
         }
@@ -436,11 +497,16 @@ fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
                 rep.replaced, rep.kept
             ));
         }
-        other => return Err(err(format!("unknown post strategy '{other}' (keep|delete|replace)"))),
+        other => {
+            return Err(err(format!(
+                "unknown post strategy '{other}' (keep|delete|replace)"
+            )))
+        }
     }
     out.push_str(&format!("total marks (M1): {marks}\n"));
     if let Some(path) = flags.one("out") {
-        seqhide_data::io::write_db(path, &db).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        seqhide_data::io::write_db(path, &db)
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
         out.push_str(&format!("wrote {path}\n"));
     } else {
         out.push_str(&db.to_text());
@@ -457,7 +523,10 @@ fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
 
 fn cmd_verify(flags: &Flags) -> Result<String, CliError> {
     let mut db = load_db(flags)?;
-    let psi = flags.required("psi")?.parse::<usize>().map_err(|_| err("--psi: not a number"))?;
+    let psi = flags
+        .required("psi")?
+        .parse::<usize>()
+        .map_err(|_| err("--psi: not a number"))?;
     let sh = sensitive_set(flags, &mut db)?;
     if sh.is_empty() {
         return Err(err("give at least one --pattern"));
@@ -473,7 +542,11 @@ fn cmd_verify(flags: &Flags) -> Result<String, CliError> {
             psi
         ));
     }
-    out.push_str(if report.hidden { "HIDDEN\n" } else { "NOT HIDDEN\n" });
+    out.push_str(if report.hidden {
+        "HIDDEN\n"
+    } else {
+        "NOT HIDDEN\n"
+    });
     if report.hidden {
         Ok(out)
     } else {
@@ -482,9 +555,7 @@ fn cmd_verify(flags: &Flags) -> Result<String, CliError> {
 }
 
 fn cmd_attack(flags: &Flags) -> Result<String, CliError> {
-    use seqhide_core::attack::{
-        evaluate_mark_inference, reconstruction_resupport, BigramModel,
-    };
+    use seqhide_core::attack::{evaluate_mark_inference, reconstruction_resupport, BigramModel};
     let read = |flag: &str| -> Result<String, CliError> {
         let path = flags.required(flag)?;
         std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))
@@ -536,9 +607,17 @@ fn cmd_attack(flags: &Flags) -> Result<String, CliError> {
         "mark-inference: {} marked slots — top-1 {} ({:.0}%), top-5 {} ({:.0}%), MRR {:.3}\n",
         inf.positions,
         inf.top1,
-        if inf.positions > 0 { 100.0 * inf.top1 as f64 / inf.positions as f64 } else { 0.0 },
+        if inf.positions > 0 {
+            100.0 * inf.top1 as f64 / inf.positions as f64
+        } else {
+            0.0
+        },
         inf.top5,
-        if inf.positions > 0 { 100.0 * inf.top5 as f64 / inf.positions as f64 } else { 0.0 },
+        if inf.positions > 0 {
+            100.0 * inf.top5 as f64 / inf.positions as f64
+        } else {
+            0.0
+        },
         inf.mrr,
     );
     let patterns = flags.all("pattern");
@@ -599,6 +678,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "attack" => cmd_attack(&flags),
         "gen" => cmd_gen(&flags),
         "help" | "--help" | "-h" => Ok(HELP.to_string()),
-        other => Err(err(format!("unknown command '{other}'; try 'seqhide help'"))),
+        other => Err(err(format!(
+            "unknown command '{other}'; try 'seqhide help'"
+        ))),
     }
 }

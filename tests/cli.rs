@@ -48,7 +48,10 @@ fn mine_lists_frequent_patterns() {
     assert!(out.contains("frequent patterns (σ = 2): 3"));
     assert!(out.contains("⟨a b⟩"));
     // gsp agrees
-    let gsp = run(&args(&["mine", "--db", &db, "--sigma", "2", "--miner", "gsp"])).unwrap();
+    let gsp = run(&args(&[
+        "mine", "--db", &db, "--sigma", "2", "--miner", "gsp",
+    ]))
+    .unwrap();
     assert!(gsp.contains("frequent patterns (σ = 2): 3"));
     // top-k limits rows
     let top = run(&args(&["mine", "--db", &db, "--sigma", "2", "--top", "1"])).unwrap();
@@ -61,16 +64,42 @@ fn hide_then_verify_roundtrip() {
     let db = write_db(&dir, "db.seq", "a b c\nb a c\nc c a\na c\n");
     let out_path = dir.join("released.seq").to_string_lossy().into_owned();
     let out = run(&args(&[
-        "hide", "--db", &db, "--psi", "0", "--pattern", "a c", "--out", &out_path,
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a c",
+        "--out",
+        &out_path,
     ]))
     .unwrap();
     assert!(out.contains("total marks (M1):"));
     assert!(out.contains("wrote"));
     // verify passes on the release
-    let v = run(&args(&["verify", "--db", &out_path, "--psi", "0", "--pattern", "a c"])).unwrap();
+    let v = run(&args(&[
+        "verify",
+        "--db",
+        &out_path,
+        "--psi",
+        "0",
+        "--pattern",
+        "a c",
+    ]))
+    .unwrap();
     assert!(v.contains("HIDDEN"));
     // and fails on the original
-    let e = run(&args(&["verify", "--db", &db, "--psi", "0", "--pattern", "a c"])).unwrap_err();
+    let e = run(&args(&[
+        "verify",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a c",
+    ]))
+    .unwrap_err();
     assert!(e.0.contains("NOT HIDDEN"));
 }
 
@@ -80,8 +109,20 @@ fn hide_with_constraints_and_post_delete() {
     let db = write_db(&dir, "db.seq", "a x b\na b\na y y b\n");
     let out_path = dir.join("released.seq").to_string_lossy().into_owned();
     let out = run(&args(&[
-        "hide", "--db", &db, "--psi", "0", "--pattern", "a b", "--max-gap", "1",
-        "--post", "delete", "--out", &out_path, "--report",
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a b",
+        "--max-gap",
+        "1",
+        "--post",
+        "delete",
+        "--out",
+        &out_path,
+        "--report",
     ]))
     .unwrap();
     assert!(out.contains("post: deleted Δ"));
@@ -95,7 +136,13 @@ fn hide_regex_patterns() {
     let dir = tmpdir("hidere");
     let db = write_db(&dir, "db.seq", "a b\na c\na b c\nx y\n");
     let out = run(&args(&[
-        "hide", "--db", &db, "--psi", "0", "--regex", "a (b | c)",
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--regex",
+        "a (b | c)",
     ]))
     .unwrap();
     assert!(out.contains("regex patterns:"));
@@ -110,29 +157,118 @@ fn hide_rejects_empty_and_bad_input() {
         .unwrap_err()
         .0
         .contains("nothing to hide"));
-    assert!(run(&args(&["hide", "--db", &db, "--psi", "zero", "--pattern", "a"]))
-        .unwrap_err()
-        .0
-        .contains("not a number"));
-    assert!(run(&args(&["hide", "--db", &db, "--psi", "0", "--regex", "a*"]))
-        .unwrap_err()
-        .0
-        .contains("empty word"));
-    assert!(run(&args(&["hide", "--db", "/nonexistent", "--psi", "0", "--pattern", "a"]))
-        .unwrap_err()
-        .0
-        .contains("cannot read"));
-    assert!(run(&args(&["hide", "--db", &db, "--psi", "0", "--pattern", "a", "--algorithm", "zz"]))
-        .unwrap_err()
-        .0
-        .contains("unknown algorithm"));
+    assert!(run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "zero",
+        "--pattern",
+        "a"
+    ]))
+    .unwrap_err()
+    .0
+    .contains("not a number"));
+    assert!(
+        run(&args(&["hide", "--db", &db, "--psi", "0", "--regex", "a*"]))
+            .unwrap_err()
+            .0
+            .contains("empty word")
+    );
+    assert!(run(&args(&[
+        "hide",
+        "--db",
+        "/nonexistent",
+        "--psi",
+        "0",
+        "--pattern",
+        "a"
+    ]))
+    .unwrap_err()
+    .0
+    .contains("cannot read"));
+    assert!(run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a",
+        "--algorithm",
+        "zz"
+    ]))
+    .unwrap_err()
+    .0
+    .contains("unknown algorithm"));
+}
+
+#[test]
+fn engine_flag_selects_counting_core() {
+    let dir = tmpdir("engine");
+    let db = write_db(&dir, "db.seq", "a b c\nb a c\nc c a\na c\na b a b\n");
+    let run_with = |engine: Option<&str>, algorithm: &str, out: &str| {
+        let out_path = dir.join(out).to_string_lossy().into_owned();
+        let mut a = args(&[
+            "hide",
+            "--db",
+            &db,
+            "--psi",
+            "0",
+            "--pattern",
+            "a c",
+            "--pattern",
+            "a b",
+            "--algorithm",
+            algorithm,
+            "--seed",
+            "3",
+            "--out",
+            &out_path,
+        ]);
+        if let Some(e) = engine {
+            a.extend(args(&["--engine", e]));
+        }
+        run(&a).unwrap();
+        fs::read_to_string(dir.join(out)).unwrap()
+    };
+    for algorithm in ["hh", "rr"] {
+        // the incremental engine (default) and the from-scratch escape
+        // hatch release byte-identical databases
+        let default = run_with(None, algorithm, "default.seq");
+        let incremental = run_with(Some("incremental"), algorithm, "incremental.seq");
+        let scratch = run_with(Some("scratch"), algorithm, "scratch.seq");
+        assert_eq!(default, incremental, "{algorithm}");
+        assert_eq!(default, scratch, "{algorithm}");
+    }
+    // bad value rejected
+    let e = run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a c",
+        "--engine",
+        "warp",
+    ]))
+    .unwrap_err();
+    assert!(e.0.contains("unknown engine"));
 }
 
 #[test]
 fn gen_produces_calibrated_dataset() {
     let dir = tmpdir("gen");
     let out_path = dir.join("synthetic.seq").to_string_lossy().into_owned();
-    let out = run(&args(&["gen", "--dataset", "synthetic", "--out", &out_path])).unwrap();
+    let out = run(&args(&[
+        "gen",
+        "--dataset",
+        "synthetic",
+        "--out",
+        &out_path,
+    ]))
+    .unwrap();
     assert!(out.contains("300 sequences"));
     assert!(out.contains("[99, 172], disjunction 200"));
     let stats = run(&args(&["stats", "--db", &out_path])).unwrap();
@@ -146,8 +282,19 @@ fn deterministic_hide_under_seed() {
     let run_once = |seed: &str, out: &str| {
         let out_path = dir.join(out).to_string_lossy().into_owned();
         run(&args(&[
-            "hide", "--db", &db, "--psi", "1", "--pattern", "a b", "--algorithm", "rr",
-            "--seed", seed, "--out", &out_path,
+            "hide",
+            "--db",
+            &db,
+            "--psi",
+            "1",
+            "--pattern",
+            "a b",
+            "--algorithm",
+            "rr",
+            "--seed",
+            seed,
+            "--out",
+            &out_path,
         ]))
         .unwrap();
         fs::read_to_string(dir.join(out)).unwrap()
@@ -158,14 +305,27 @@ fn deterministic_hide_under_seed() {
 #[test]
 fn itemset_mode_hide_and_stats() {
     let dir = tmpdir("itemset");
-    let db = write_db(&dir, "baskets.db", "test,bread vitamins,milk\nbread milk\ntest vitamins\n");
+    let db = write_db(
+        &dir,
+        "baskets.db",
+        "test,bread vitamins,milk\nbread milk\ntest vitamins\n",
+    );
     let stats = run(&args(&["stats", "--db", &db, "--mode", "itemset"])).unwrap();
     assert!(stats.contains("sequences:      3"));
     assert!(stats.contains("elements total: 6"));
     let out_path = dir.join("released.db").to_string_lossy().into_owned();
     let out = run(&args(&[
-        "hide", "--db", &db, "--mode", "itemset", "--psi", "0",
-        "--pattern", "test vitamins", "--out", &out_path,
+        "hide",
+        "--db",
+        &db,
+        "--mode",
+        "itemset",
+        "--psi",
+        "0",
+        "--pattern",
+        "test vitamins",
+        "--out",
+        &out_path,
     ]))
     .unwrap();
     assert!(out.contains("residual supports [0]"));
@@ -175,7 +335,15 @@ fn itemset_mode_hide_and_stats() {
     assert!(released.contains("bread"));
     // mine the released itemset db
     let mined = run(&args(&[
-        "mine", "--db", &out_path, "--mode", "itemset", "--sigma", "2", "--max-len", "2",
+        "mine",
+        "--db",
+        &out_path,
+        "--mode",
+        "itemset",
+        "--sigma",
+        "2",
+        "--max-len",
+        "2",
     ]))
     .unwrap();
     assert!(mined.contains("frequent itemset patterns"));
@@ -194,8 +362,19 @@ fn timed_mode_hide_respects_tick_constraints() {
     let out_path = dir.join("released.db").to_string_lossy().into_owned();
     // only occurrences within 72 ticks are sensitive: rows 1 and 3
     let out = run(&args(&[
-        "hide", "--db", &db, "--mode", "timed", "--psi", "0",
-        "--pattern", "test arv", "--max-gap", "72", "--out", &out_path,
+        "hide",
+        "--db",
+        &db,
+        "--mode",
+        "timed",
+        "--psi",
+        "0",
+        "--pattern",
+        "test arv",
+        "--max-gap",
+        "72",
+        "--out",
+        &out_path,
     ]))
     .unwrap();
     assert!(out.contains("residual supports [0]"));
@@ -213,10 +392,12 @@ fn bad_modes_are_rejected() {
         .unwrap_err()
         .0
         .contains("unknown mode"));
-    assert!(run(&args(&["mine", "--db", &db, "--mode", "timed", "--sigma", "1"]))
-        .unwrap_err()
-        .0
-        .contains("not supported"));
+    assert!(run(&args(&[
+        "mine", "--db", &db, "--mode", "timed", "--sigma", "1"
+    ]))
+    .unwrap_err()
+    .0
+    .contains("not supported"));
 }
 
 #[test]
@@ -227,23 +408,47 @@ fn attack_command_reports_inference_and_resupport() {
     // hide ⟨a c⟩ completely, keep marks
     let released_path = dir.join("rel.seq").to_string_lossy().into_owned();
     run(&args(&[
-        "hide", "--db", &original, "--psi", "0", "--pattern", "a c", "--out", &released_path,
+        "hide",
+        "--db",
+        &original,
+        "--psi",
+        "0",
+        "--pattern",
+        "a c",
+        "--out",
+        &released_path,
     ]))
     .unwrap();
     // public background corpus with the same structure
     let public = write_db(&dir, "public.seq", &"a b c\n".repeat(30));
     let out = run(&args(&[
-        "attack", "--original", &original, "--released", &released_path,
-        "--train", &public, "--pattern", "a c",
+        "attack",
+        "--original",
+        &original,
+        "--released",
+        &released_path,
+        "--train",
+        &public,
+        "--pattern",
+        "a c",
     ]))
     .unwrap();
     assert!(out.contains("mark-inference:"), "{out}");
-    assert!(out.contains("pattern re-support: original 10 → release 0 →"), "{out}");
+    assert!(
+        out.contains("pattern re-support: original 10 → release 0 →"),
+        "{out}"
+    );
     assert!(out.contains("WARNING"), "{out}");
     // misaligned databases error out
     let short = write_db(&dir, "short.seq", "a b\n");
-    assert!(run(&args(&["attack", "--original", &original, "--released", &short]))
-        .unwrap_err()
-        .0
-        .contains("do not align"));
+    assert!(run(&args(&[
+        "attack",
+        "--original",
+        &original,
+        "--released",
+        &short
+    ]))
+    .unwrap_err()
+    .0
+    .contains("do not align"));
 }

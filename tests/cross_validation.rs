@@ -28,7 +28,13 @@ fn regex_equals_plain_patterns_on_trucks() {
     let dataset = trucks_like(42);
     let mut db_re = dataset.db.clone();
     let re = RegexPattern::compile("X6Y3 X7Y2 | X4Y3 X5Y3", db_re.alphabet_mut()).unwrap();
-    let re_report = sanitize_regex_db(&mut db_re, &[re.clone()], 0, ReLocalStrategy::Heuristic, 0);
+    let re_report = sanitize_regex_db(
+        &mut db_re,
+        std::slice::from_ref(&re),
+        0,
+        ReLocalStrategy::Heuristic,
+        0,
+    );
 
     let mut db_plain = dataset.db.clone();
     let plain = Sanitizer::hh(0).run(&mut db_plain, &dataset.sensitive);

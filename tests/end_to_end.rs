@@ -46,7 +46,11 @@ fn full_pipeline_synthetic_all_algorithms() {
             assert!(verify_hidden(&db, &dataset.sensitive, psi).hidden);
             // no sequence outside the supporters was touched
             for (orig, got) in dataset.db.sequences().iter().zip(db.sequences()) {
-                if dataset.sensitive.iter().all(|p| !seqhide::matching::supports(orig, p)) {
+                if dataset
+                    .sensitive
+                    .iter()
+                    .all(|p| !seqhide::matching::supports(orig, p))
+                {
                     assert_eq!(orig, got);
                 }
             }

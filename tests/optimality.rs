@@ -9,8 +9,8 @@ use rand_chacha::ChaCha8Rng;
 use seqhide::core::local::sanitize_sequence;
 use seqhide::core::LocalStrategy;
 use seqhide::matching::{matching_size, SensitiveSet};
-use seqhide::num::Sat64;
 use seqhide::num::Count as _;
+use seqhide::num::Sat64;
 use seqhide::prelude::*;
 
 /// Exact minimum number of marks that sanitize `t` against `sh`:
@@ -124,13 +124,18 @@ fn heuristic_suboptimality_witness_exists() {
     'outer: for seed in 0..400u64 {
         use rand::Rng as _;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let t: Sequence =
-            Sequence::from_ids((0..8).map(|_| rng.random_range(0..3u32)).collect::<Vec<_>>());
+        let t: Sequence = Sequence::from_ids(
+            (0..8)
+                .map(|_| rng.random_range(0..3u32))
+                .collect::<Vec<_>>(),
+        );
         for plen in 2..=2usize {
             let pats: Vec<Sequence> = (0..3)
                 .map(|_| {
                     Sequence::from_ids(
-                        (0..plen).map(|_| rng.random_range(0..3u32)).collect::<Vec<_>>(),
+                        (0..plen)
+                            .map(|_| rng.random_range(0..3u32))
+                            .collect::<Vec<_>>(),
                     )
                 })
                 .collect();
@@ -144,5 +149,8 @@ fn heuristic_suboptimality_witness_exists() {
         }
     }
     let (t, seed, opt, hh) = witness.expect("greedy should be beatable somewhere in 400 instances");
-    assert!(hh > opt, "witness at seed {seed} on {t:?}: hh {hh} vs opt {opt}");
+    assert!(
+        hh > opt,
+        "witness at seed {seed} on {t:?}: hh {hh} vs opt {opt}"
+    );
 }

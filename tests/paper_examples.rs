@@ -4,8 +4,7 @@
 use seqhide::core::{LocalStrategy, Sanitizer};
 use seqhide::matching::enumerate::{enumerate_embeddings, EnumerateConfig};
 use seqhide::matching::{
-    count_embeddings, count_matches, delta_all, matching_size, ConstraintSet, Gap,
-    SensitivePattern,
+    count_embeddings, count_matches, delta_all, matching_size, ConstraintSet, Gap, SensitivePattern,
 };
 use seqhide::num::Count as _;
 use seqhide::prelude::*;
