@@ -7,8 +7,15 @@
 //! Writes the results to `BENCH_sanitize.json` at the workspace root:
 //!
 //! ```json
-//! {"workloads": [...], "speedup": <scratch_ns / engine_ns, geometric mean>}
+//! {"workloads": [...], "speedup": <scratch_ns / engine_ns, geometric mean>,
+//!  "obs_overhead": <recording-on ns / recording-off ns, geometric mean>}
 //! ```
+//!
+//! The `obs_overhead` field is the instrumentation guard: the same engine
+//! sweep timed with the obs runtime gate open vs closed
+//! ([`seqhide_obs::set_recording`]). The budget is < 3% — a larger ratio
+//! means a hot-path instrumentation regression (see
+//! `docs/OBSERVABILITY.md`).
 //!
 //! Hand-rolled timing (`Instant` around whole victim sweeps) instead of
 //! the criterion harness: both paths mutate their input, so each
@@ -91,6 +98,7 @@ fn main() {
     let reps = 5;
     let mut rows = String::new();
     let mut log_speedup_sum = 0.0;
+    let mut log_obs_overhead_sum = 0.0;
     for w in &workloads {
         // warm-up + sanity: both paths must produce identical mark counts
         let marks_engine: usize = {
@@ -119,13 +127,24 @@ fn main() {
         };
         assert_eq!(marks_engine, marks_scratch, "{}: paths diverged", w.name);
 
-        let engine_ns = measure(w, reps, |victims| {
+        let engine_sweep = |victims: &mut [Sequence]| {
             let mut engine = MatchEngine::<Sat64>::new(&w.sh);
             let mut rng = ChaCha8Rng::seed_from_u64(7);
             for t in victims.iter_mut() {
                 sanitize_sequence_with(t, LocalStrategy::Heuristic, &mut rng, &mut engine);
             }
-        });
+        };
+        // A/B the obs runtime gate with interleaved reps (alternating
+        // on/off within each rep cancels thermal and cache drift that a
+        // sequential A-then-B measurement folds into the ratio)
+        let mut engine_ns = f64::INFINITY;
+        let mut engine_off_ns = f64::INFINITY;
+        for _ in 0..reps {
+            engine_ns = engine_ns.min(measure(w, 1, engine_sweep));
+            seqhide_obs::set_recording(false);
+            engine_off_ns = engine_off_ns.min(measure(w, 1, engine_sweep));
+            seqhide_obs::set_recording(true);
+        }
         let scratch_ns = measure(w, reps, |victims| {
             let mut rng = ChaCha8Rng::seed_from_u64(7);
             for t in victims.iter_mut() {
@@ -134,29 +153,42 @@ fn main() {
         });
         let speedup = scratch_ns / engine_ns;
         log_speedup_sum += speedup.ln();
+        let obs_overhead = engine_ns / engine_off_ns;
+        log_obs_overhead_sum += obs_overhead.ln();
         println!(
-            "{:<20} engine {:>12.0} ns/victim   scratch {:>12.0} ns/victim   speedup {:.2}x   ({} marks)",
-            w.name, engine_ns, scratch_ns, speedup, marks_engine
+            "{:<20} engine {:>12.0} ns/victim   scratch {:>12.0} ns/victim   speedup {:.2}x   obs {:+.1}%   ({} marks)",
+            w.name, engine_ns, scratch_ns, speedup, (obs_overhead - 1.0) * 100.0, marks_engine
         );
         if !rows.is_empty() {
             rows.push_str(",\n");
         }
         write!(
             rows,
-            "    {{\"name\": \"{}\", \"victims\": {}, \"marks\": {}, \"engine_ns_per_victim\": {:.0}, \"scratch_ns_per_victim\": {:.0}, \"speedup\": {:.3}}}",
+            "    {{\"name\": \"{}\", \"victims\": {}, \"marks\": {}, \"engine_ns_per_victim\": {:.0}, \"scratch_ns_per_victim\": {:.0}, \"speedup\": {:.3}, \"obs_off_ns_per_victim\": {:.0}, \"obs_overhead\": {:.4}}}",
             w.name,
             w.victims.len(),
             marks_engine,
             engine_ns,
             scratch_ns,
-            speedup
+            speedup,
+            engine_off_ns,
+            obs_overhead
         )
         .unwrap();
     }
     let geo_mean = (log_speedup_sum / workloads.len() as f64).exp();
+    let obs_geo_mean = (log_obs_overhead_sum / workloads.len() as f64).exp();
     println!("geometric-mean speedup: {geo_mean:.2}x");
+    println!(
+        "geometric-mean obs overhead: {:+.2}% (budget < 3%)",
+        (obs_geo_mean - 1.0) * 100.0
+    );
+    if obs_geo_mean > 1.03 {
+        eprintln!("WARNING: obs recording overhead exceeds the 3% budget");
+    }
     let json = format!(
-        "{{\n  \"bench\": \"sanitize\",\n  \"unit\": \"ns per victim, best of {reps}\",\n  \"workloads\": [\n{rows}\n  ],\n  \"speedup\": {geo_mean:.3}\n}}\n"
+        "{{\n  \"bench\": \"sanitize\",\n  \"unit\": \"ns per victim, best of {reps}\",\n  \"obs_enabled\": {},\n  \"workloads\": [\n{rows}\n  ],\n  \"speedup\": {geo_mean:.3},\n  \"obs_overhead\": {obs_geo_mean:.4},\n  \"obs_overhead_budget\": 1.03\n}}\n",
+        seqhide_obs::is_enabled()
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sanitize.json");
     std::fs::write(out, json).expect("write BENCH_sanitize.json");

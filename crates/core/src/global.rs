@@ -4,6 +4,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use seqhide_match::{matching_size, SensitiveSet};
 use seqhide_num::Count;
+use seqhide_obs::{self as obs, Phase};
 use seqhide_types::SequenceDb;
 
 /// How victim sequences are selected from the supporters of `S_h`.
@@ -46,6 +47,7 @@ pub fn select_victims<C: Count, R: Rng + ?Sized>(
     strategy: GlobalStrategy,
     rng: &mut R,
 ) -> Vec<usize> {
+    let _span = obs::span(Phase::SelectVictims);
     let n_victims = supporters.len().saturating_sub(psi);
     if n_victims == 0 {
         return Vec::new();

@@ -21,6 +21,7 @@ use rand_chacha::ChaCha8Rng;
 use seqhide_match::itemset::{matching_size_itemset, supports_itemset, ItemsetPattern};
 use seqhide_match::ItemsetMatchEngine;
 use seqhide_num::{Count, Sat64};
+use seqhide_obs::{self as obs, Counter, Phase};
 use seqhide_types::{ItemsetSequence, Symbol};
 
 use crate::local::LocalStrategy;
@@ -136,6 +137,7 @@ pub fn sanitize_itemset_db(
     strategy: LocalStrategy,
     seed: u64,
 ) -> ItemsetSanitizeReport {
+    let _span = obs::span(Phase::ItemsetSanitize);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut sup: Vec<(usize, Sat64)> = db
         .iter()
@@ -149,9 +151,14 @@ pub fn sanitize_itemset_db(
     let n_victims = sup.len().saturating_sub(psi);
     let mut marks = 0;
     let mut engine = ItemsetMatchEngine::<Sat64>::new(patterns);
+    obs::progress::begin("sanitize (itemset)", n_victims as u64);
     for &(i, _) in sup.iter().take(n_victims) {
         marks += sanitize_itemset_sequence_with(&mut db[i], strategy, &mut rng, &mut engine);
+        obs::counter_add(Counter::VictimsProcessed, 1);
+        obs::progress::bump("sanitize (itemset)", 1);
     }
+    obs::progress::finish("sanitize (itemset)");
+    obs::counter_add(Counter::MarksIntroduced, marks as u64);
     let residual: Vec<usize> = patterns
         .iter()
         .map(|p| db.iter().filter(|t| supports_itemset(t, p)).count())
@@ -183,8 +190,12 @@ mod tests {
         let p = ipat(&[&[1], &[2]]);
         let mut t = iseq(&[&[1, 9], &[1], &[2, 8]]);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let marks =
-            sanitize_itemset_sequence(&mut t, &[p.clone()], LocalStrategy::Heuristic, &mut rng);
+        let marks = sanitize_itemset_sequence(
+            &mut t,
+            std::slice::from_ref(&p),
+            LocalStrategy::Heuristic,
+            &mut rng,
+        );
         assert_eq!(marks, 1);
         assert!(!supports_itemset(&t, &p));
         // the untouched items survive
@@ -198,8 +209,12 @@ mod tests {
         let p = ipat(&[&[1, 2]]);
         let mut t = iseq(&[&[1, 2, 3]]);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let marks =
-            sanitize_itemset_sequence(&mut t, &[p.clone()], LocalStrategy::Heuristic, &mut rng);
+        let marks = sanitize_itemset_sequence(
+            &mut t,
+            std::slice::from_ref(&p),
+            LocalStrategy::Heuristic,
+            &mut rng,
+        );
         assert_eq!(marks, 1);
         assert!(!supports_itemset(&t, &p));
         assert!(t.elements()[0].contains(Symbol::new(3)));
@@ -211,8 +226,12 @@ mod tests {
             let p = ipat(&[&[1], &[2]]);
             let mut t = iseq(&[&[1, 5], &[2, 1], &[2], &[1, 2]]);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let marks =
-                sanitize_itemset_sequence(&mut t, &[p.clone()], LocalStrategy::Random, &mut rng);
+            let marks = sanitize_itemset_sequence(
+                &mut t,
+                std::slice::from_ref(&p),
+                LocalStrategy::Random,
+                &mut rng,
+            );
             assert!(marks >= 1, "seed {seed}");
             assert!(!supports_itemset(&t, &p), "seed {seed}");
         }
@@ -227,7 +246,13 @@ mod tests {
             iseq(&[&[1, 2], &[2]]),
             iseq(&[&[3]]),
         ];
-        let report = sanitize_itemset_db(&mut db, &[p.clone()], 1, LocalStrategy::Heuristic, 0);
+        let report = sanitize_itemset_db(
+            &mut db,
+            std::slice::from_ref(&p),
+            1,
+            LocalStrategy::Heuristic,
+            0,
+        );
         assert!(report.hidden);
         assert_eq!(report.residual_supports, vec![1]);
         assert_eq!(report.sequences_sanitized, 2);
@@ -239,7 +264,13 @@ mod tests {
     fn db_sanitization_psi_zero_clears_all() {
         let p = ipat(&[&[7]]);
         let mut db = vec![iseq(&[&[7]]), iseq(&[&[7, 8]]), iseq(&[&[9]])];
-        let report = sanitize_itemset_db(&mut db, &[p.clone()], 0, LocalStrategy::Heuristic, 0);
+        let report = sanitize_itemset_db(
+            &mut db,
+            std::slice::from_ref(&p),
+            0,
+            LocalStrategy::Heuristic,
+            0,
+        );
         assert!(report.hidden);
         assert_eq!(report.residual_supports, vec![0]);
         assert_eq!(report.marks_introduced, 2);

@@ -11,6 +11,7 @@ use rand::Rng;
 use seqhide_match::delta::argmax_delta;
 use seqhide_match::{delta_all, MatchEngine, SensitiveSet};
 use seqhide_num::Count;
+use seqhide_obs::{self as obs, Counter, Hist, Phase};
 use seqhide_types::Sequence;
 
 /// How positions are chosen inside one sequence.
@@ -81,6 +82,7 @@ pub fn sanitize_sequence_with<C: Count, R: Rng + ?Sized>(
     rng: &mut R,
     engine: &mut MatchEngine<C>,
 ) -> usize {
+    let span = obs::span(Phase::LocalSanitize);
     engine.load(t);
     let mut marks = 0;
     loop {
@@ -89,12 +91,23 @@ pub fn sanitize_sequence_with<C: Count, R: Rng + ?Sized>(
             LocalStrategy::Random => engine.candidates().choose(rng).copied(),
         };
         let Some(pos) = pos else {
-            return marks; // δ ≡ 0 ⇔ no occurrence left
+            break; // δ ≡ 0 ⇔ no occurrence left
         };
         t.mark(pos);
         engine.apply_mark(pos);
         marks += 1;
     }
+    record_victim(&span, marks);
+    marks
+}
+
+/// Feeds the per-victim sinks: one sanitized victim, its mark count, and
+/// its wall time (shared by the engine and scratch paths).
+fn record_victim(span: &obs::Span, marks: usize) {
+    obs::counter_add(Counter::VictimsProcessed, 1);
+    obs::counter_add(Counter::MarksIntroduced, marks as u64);
+    obs::hist_record(Hist::VictimMarks, marks as u64);
+    obs::hist_record(Hist::VictimNanos, span.elapsed_ns());
 }
 
 /// The original from-scratch marking loop: recomputes `δ` with fresh
@@ -106,6 +119,7 @@ pub fn sanitize_sequence_scratch<C: Count, R: Rng + ?Sized>(
     strategy: LocalStrategy,
     rng: &mut R,
 ) -> usize {
+    let span = obs::span(Phase::LocalSanitize);
     let mut marks = 0;
     loop {
         let delta = delta_all::<C>(sh, t);
@@ -121,11 +135,13 @@ pub fn sanitize_sequence_scratch<C: Count, R: Rng + ?Sized>(
             }
         };
         let Some(pos) = pos else {
-            return marks;
+            break;
         };
         t.mark(pos);
         marks += 1;
     }
+    record_victim(&span, marks);
+    marks
 }
 
 #[cfg(test)]

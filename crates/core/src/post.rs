@@ -21,6 +21,7 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use seqhide_match::{supports, SensitiveSet};
+use seqhide_obs::{self as obs, Phase};
 use seqhide_types::{SequenceDb, Symbol};
 
 use crate::sanitizer::Sanitizer;
@@ -60,6 +61,7 @@ pub fn delete_markers_safe(
     psi: usize,
     sanitizer: &Sanitizer,
 ) -> (SequenceDb, DeleteReport) {
+    let _span = obs::span(Phase::Post);
     let mut current = delete_markers(db);
     let mut rounds = 1;
     let mut extra_marks = 0;
@@ -101,6 +103,7 @@ pub struct ReplaceReport {
 /// [`crate::verify::side_effects`].
 pub fn replace_markers(db: &mut SequenceDb, sh: &SensitiveSet, seed: u64) -> ReplaceReport {
     use rand::seq::SliceRandom;
+    let _span = obs::span(Phase::Post);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     // Global symbol frequencies over unmarked positions.
     let sigma_len = db.alphabet().len();

@@ -15,6 +15,7 @@ use rand_chacha::ChaCha8Rng;
 use seqhide_match::counting::ending_at_table_bounded_into;
 use seqhide_match::PatternError;
 use seqhide_num::{Count, Sat64};
+use seqhide_obs::{self as obs, Counter, Phase};
 use seqhide_types::{Sequence, TimeTag, TimedSequence};
 
 use crate::local::LocalStrategy;
@@ -304,6 +305,7 @@ pub fn sanitize_timed_db(
     strategy: LocalStrategy,
     seed: u64,
 ) -> TimedSanitizeReport {
+    let _span = obs::span(Phase::TimedSanitize);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut sup: Vec<(usize, Sat64)> = db
         .iter()
@@ -316,9 +318,14 @@ pub fn sanitize_timed_db(
     sup.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
     let n_victims = sup.len().saturating_sub(psi);
     let mut marks = 0;
+    obs::progress::begin("sanitize (timed)", n_victims as u64);
     for &(i, _) in sup.iter().take(n_victims) {
         marks += sanitize_timed_sequence(&mut db[i], patterns, strategy, &mut rng);
+        obs::counter_add(Counter::VictimsProcessed, 1);
+        obs::progress::bump("sanitize (timed)", 1);
     }
+    obs::progress::finish("sanitize (timed)");
+    obs::counter_add(Counter::MarksIntroduced, marks as u64);
     let residual: Vec<usize> = patterns
         .iter()
         .map(|p| db.iter().filter(|t| supports_timed(t, p)).count())
@@ -408,8 +415,12 @@ mod tests {
         let p = pat("a b", &mut sigma, TimeConstraints::none());
         let mut t = TimedSequence::from_pairs([(0, 0), (0, 1), (1, 2)]);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let marks =
-            sanitize_timed_sequence(&mut t, &[p.clone()], LocalStrategy::Heuristic, &mut rng);
+        let marks = sanitize_timed_sequence(
+            &mut t,
+            std::slice::from_ref(&p),
+            LocalStrategy::Heuristic,
+            &mut rng,
+        );
         assert_eq!(marks, 1);
         assert!(t.events()[2].symbol.is_mark());
         assert_eq!(t.time_at(2), 2);
@@ -423,8 +434,12 @@ mod tests {
         // only (a@10, b@11) is within the 2-tick window
         let mut t = TimedSequence::from_pairs([(0, 0), (1, 5), (0, 10), (1, 11)]);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let marks =
-            sanitize_timed_sequence(&mut t, &[p.clone()], LocalStrategy::Heuristic, &mut rng);
+        let marks = sanitize_timed_sequence(
+            &mut t,
+            std::slice::from_ref(&p),
+            LocalStrategy::Heuristic,
+            &mut rng,
+        );
         assert_eq!(marks, 1);
         assert!(!supports_timed(&t, &p));
         // early events untouched

@@ -2,6 +2,7 @@
 
 use seqhide_match::{supporters, SensitivePattern, SensitiveSet};
 use seqhide_mine::MineResult;
+use seqhide_obs::{self as obs, Counter, Phase};
 use seqhide_types::{Sequence, SequenceDb};
 
 use crate::problem::DisclosureThresholds;
@@ -43,6 +44,8 @@ pub fn verify_hidden_multi(
     thresholds: &DisclosureThresholds,
 ) -> VerifyReport {
     assert_eq!(thresholds.len(), sh.len(), "one threshold per pattern");
+    let _span = obs::span(Phase::Verify);
+    obs::counter_add(Counter::PatternsChecked, sh.len() as u64);
     let supports: Vec<usize> = sh
         .iter()
         .map(|p| {
@@ -154,12 +157,10 @@ mod tests {
         assert!(!fx.lost.contains(&Sequence::parse("a b", &mut sigma)));
         // "a" survived with lower support
         let a = Sequence::parse("a", &mut sigma);
-        assert!(
-            fx.weakened
-                .iter()
-                .any(|(s, b4, aft)| *s == a && *b4 == 4 && *aft == 4)
-                == false
-        );
+        assert!(!fx
+            .weakened
+            .iter()
+            .any(|(s, b4, aft)| *s == a && *b4 == 4 && *aft == 4));
         assert!(fx.weakened.iter().all(|(_, b4, aft)| aft < b4));
     }
 

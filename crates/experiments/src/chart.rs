@@ -48,6 +48,9 @@ pub fn ascii_chart(figure: &Figure, width: usize, height: usize) -> String {
             let (x0, y0) = w[0];
             let (x1, y1) = w[1];
             let (c0, c1) = (col(x0), col(x1));
+            // the row index varies per column, so this cannot be an
+            // iterator over one grid row
+            #[allow(clippy::needless_range_loop)]
             for c in c0.min(c1)..=c0.max(c1) {
                 let f = if c1 == c0 {
                     0.0

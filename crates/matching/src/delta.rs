@@ -257,8 +257,8 @@ mod tests {
         let sh = SensitiveSet::from_patterns(vec![p.clone()]);
         let brute = enumerate_embeddings(&p, &t, EnumerateConfig::default());
         let d = delta_all::<u64>(&sh, &t);
-        for i in 0..t.len() {
-            assert_eq!(d[i] as usize, brute.delta(i), "delta_all at {i}");
+        for (i, di) in d.iter().enumerate() {
+            assert_eq!(*di as usize, brute.delta(i), "delta_all at {i}");
         }
     }
 

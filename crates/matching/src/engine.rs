@@ -46,12 +46,36 @@
 //! both exact and saturating arithmetic.
 
 use seqhide_num::Count;
+use seqhide_obs::{self as obs, Counter, Phase};
 use seqhide_types::{ItemsetSequence, Sequence, Symbol};
 
 use crate::constraints::{ConstraintSet, Gap};
 use crate::delta::argmax_delta;
 use crate::itemset::ItemsetPattern;
 use crate::pattern::SensitiveSet;
+
+/// Work counters one engine has accumulated since it was built — plain
+/// (non-atomic) tallies, so reading them is free and they track *this*
+/// engine even when several run on different threads. The same events also
+/// feed the global `seqhide-obs` sinks
+/// ([`Counter::EngineCellRepairs`] / [`Counter::FallbackRecounts`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Incremental table repairs: one per non-window pattern per repaired
+    /// column (a mark or an itemset element refresh).
+    pub cell_repairs: u64,
+    /// Buffered Lemma-5 recounts: one per `windowed_total` execution —
+    /// loads, repairs and `δ`/item probes of max-window patterns, which
+    /// have no incremental repair path (see `docs/ALGORITHMS.md` §5a).
+    pub fallback_recounts: u64,
+}
+
+impl std::ops::AddAssign for EngineStats {
+    fn add_assign(&mut self, rhs: EngineStats) {
+        self.cell_repairs += rhs.cell_repairs;
+        self.fallback_recounts += rhs.fallback_recounts;
+    }
+}
 
 /// One pattern's shape with constraints resolved per arrow: the only facts
 /// the DP recurrences need, independent of the match relation.
@@ -297,6 +321,7 @@ struct EngineCore<C: Count> {
     delta: Vec<C>,
     candidates: Vec<usize>,
     scratch: WindowScratch<C>,
+    stats: EngineStats,
 }
 
 impl<C: Count> EngineCore<C> {
@@ -310,6 +335,7 @@ impl<C: Count> EngineCore<C> {
             delta: Vec::new(),
             candidates: Vec::new(),
             scratch: WindowScratch::new(),
+            stats: EngineStats::default(),
         }
     }
 
@@ -317,6 +343,7 @@ impl<C: Count> EngineCore<C> {
     /// the match relation `rel(pattern, k, j)` into the bit matrices and
     /// rebuilding every table. Reuses all buffers.
     fn load_with(&mut self, n: usize, rel: impl Fn(usize, usize, usize) -> bool) {
+        let _span = obs::span(Phase::EngineLoad);
         self.n = n;
         self.masked.clear();
         self.masked.resize(n, false);
@@ -328,6 +355,9 @@ impl<C: Count> EngineCore<C> {
                 }
             }
             if spec.window.is_some() {
+                self.stats.fallback_recounts += 1;
+                obs::counter_add(Counter::FallbackRecounts, 1);
+                let _fs = obs::span(Phase::FallbackRecount);
                 let matched = &tab.matched;
                 tab.total =
                     windowed_total(spec, n, |k, col| matched[k * n + col], &mut self.scratch);
@@ -348,20 +378,28 @@ impl<C: Count> EngineCore<C> {
             self.n
         );
         self.masked[i] = true;
+        let _span = obs::span(Phase::EngineRepair);
         let n = self.n;
+        let mut repairs = 0u64;
         for (spec, tab) in self.specs.iter().zip(self.tables.iter_mut()) {
             for k in 0..spec.m {
                 tab.matched[k * n + i] = false;
             }
             if spec.window.is_some() {
+                self.stats.fallback_recounts += 1;
+                obs::counter_add(Counter::FallbackRecounts, 1);
+                let _fs = obs::span(Phase::FallbackRecount);
                 let matched = &tab.matched;
                 tab.total =
                     windowed_total(spec, n, |k, col| matched[k * n + col], &mut self.scratch);
             } else {
+                repairs += 1;
                 tab.repair_fwd(spec, n, i);
                 tab.repair_bwd(spec, n, i);
             }
         }
+        self.stats.cell_repairs += repairs;
+        obs::counter_add(Counter::EngineCellRepairs, repairs);
         self.recompute_delta();
     }
 
@@ -375,21 +413,29 @@ impl<C: Count> EngineCore<C> {
             "refresh position {i} out of bounds for n = {}",
             self.n
         );
+        let _span = obs::span(Phase::EngineRepair);
         let n = self.n;
         let dead = self.masked[i];
+        let mut repairs = 0u64;
         for (p, (spec, tab)) in self.specs.iter().zip(self.tables.iter_mut()).enumerate() {
             for k in 0..spec.m {
                 tab.matched[k * n + i] = !dead && rel(p, k);
             }
             if spec.window.is_some() {
+                self.stats.fallback_recounts += 1;
+                obs::counter_add(Counter::FallbackRecounts, 1);
+                let _fs = obs::span(Phase::FallbackRecount);
                 let matched = &tab.matched;
                 tab.total =
                     windowed_total(spec, n, |k, col| matched[k * n + col], &mut self.scratch);
             } else {
+                repairs += 1;
                 tab.repair_fwd(spec, n, i);
                 tab.repair_bwd(spec, n, i);
             }
         }
+        self.stats.cell_repairs += repairs;
+        obs::counter_add(Counter::EngineCellRepairs, repairs);
         self.recompute_delta();
     }
 
@@ -403,6 +449,9 @@ impl<C: Count> EngineCore<C> {
         let mut lost = C::zero();
         for (p, (spec, tab)) in self.specs.iter().zip(self.tables.iter_mut()).enumerate() {
             if spec.window.is_some() {
+                self.stats.fallback_recounts += 1;
+                obs::counter_add(Counter::FallbackRecounts, 1);
+                let _fs = obs::span(Phase::FallbackRecount);
                 let matched = &tab.matched;
                 let reduced = windowed_total(
                     spec,
@@ -455,10 +504,13 @@ impl<C: Count> EngineCore<C> {
                 if tab.total.is_zero() {
                     continue;
                 }
+                let _fs = obs::span(Phase::FallbackRecount);
+                let mut probes = 0u64;
                 for j in 0..n {
                     if self.masked[j] {
                         continue;
                     }
+                    probes += 1;
                     let matched = &tab.matched;
                     let reduced = windowed_total(
                         spec,
@@ -471,6 +523,8 @@ impl<C: Count> EngineCore<C> {
                         self.delta[j].add_assign(&d);
                     }
                 }
+                self.stats.fallback_recounts += probes;
+                obs::counter_add(Counter::FallbackRecounts, probes);
             } else {
                 if tab.total.is_zero() {
                     // no full embedding survives ⇒ every fwd·bwd product
@@ -517,6 +571,10 @@ impl<C: Count> EngineCore<C> {
             }
         }
         &self.candidates
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
     }
 }
 
@@ -598,6 +656,12 @@ impl<C: Count> MatchEngine<C> {
     /// "reasonable choices" — in an engine-owned reusable buffer.
     pub fn candidates(&mut self) -> &[usize] {
         self.core.candidates()
+    }
+
+    /// Work counters accumulated since the engine was built (across all
+    /// loaded sequences). See [`EngineStats`].
+    pub fn stats(&self) -> EngineStats {
+        self.core.stats()
     }
 
     /// The sensitive set this engine was built for.
@@ -688,6 +752,12 @@ impl<C: Count> ItemsetMatchEngine<C> {
     /// Elements with `δ > 0` in ascending order, in a reusable buffer.
     pub fn candidates(&mut self) -> &[usize] {
         self.core.candidates()
+    }
+
+    /// Work counters accumulated since the engine was built (across all
+    /// loaded sequences). See [`EngineStats`].
+    pub fn stats(&self) -> EngineStats {
+        self.core.stats()
     }
 
     /// The patterns this engine was built for.

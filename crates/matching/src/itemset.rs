@@ -169,7 +169,7 @@ mod tests {
     use seqhide_num::Sat64;
 
     fn iseq(groups: &[&[u32]]) -> ItemsetSequence {
-        ItemsetSequence::from_ids(groups.iter().map(|g| g.iter().copied().collect::<Vec<_>>()))
+        ItemsetSequence::from_ids(groups.iter().map(|g| g.to_vec()))
     }
 
     fn ipat(groups: &[&[u32]]) -> ItemsetPattern {
@@ -222,7 +222,7 @@ mod tests {
         let p = ipat(&[&[1]]);
         let t = iseq(&[&[1, 2]]);
         assert_eq!(
-            delta_item_itemset::<u64>(&[p.clone()], &t, 0, Symbol::new(2)),
+            delta_item_itemset::<u64>(std::slice::from_ref(&p), &t, 0, Symbol::new(2)),
             0
         );
         assert_eq!(delta_item_itemset::<u64>(&[p], &t, 0, Symbol::new(1)), 1);

@@ -55,7 +55,7 @@ pub use counting::{
     matching_size,
 };
 pub use delta::{delta_all, delta_by_deletion, delta_by_marking, delta_forward_backward};
-pub use engine::{ItemsetMatchEngine, MatchEngine};
+pub use engine::{EngineStats, ItemsetMatchEngine, MatchEngine};
 pub use enumerate::{enumerate_embeddings, EnumerateConfig};
 pub use pattern::{PatternError, SensitivePattern, SensitiveSet};
 pub use subsequence::is_subsequence;

@@ -7,7 +7,7 @@
 //! test binary, so the library's `#![forbid(unsafe_code)]` does not apply.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
 
 use seqhide_match::{ConstraintSet, Gap, MatchEngine, SensitivePattern, SensitiveSet};
 use seqhide_num::{Count, Sat64};
@@ -15,28 +15,37 @@ use seqhide_types::Sequence;
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-static AUDITING: AtomicBool = AtomicBool::new(false);
+// Per-thread audit state: the libtest harness allocates from its own
+// threads while a test runs (and tests run concurrently), so
+// process-global state over-counts. `const` init keeps first access
+// allocation-free; `try_with` tolerates allocator calls during TLS
+// teardown.
+thread_local! {
+    static AUDITING: Cell<bool> = const { Cell::new(false) };
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn count_if_auditing() {
+    let _ = AUDITING.try_with(|auditing| {
+        if auditing.get() {
+            ALLOCATIONS.with(|n| n.set(n.get() + 1));
+        }
+    });
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if AUDITING.load(Ordering::Relaxed) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        }
+        count_if_auditing();
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        if AUDITING.load(Ordering::Relaxed) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        }
+        count_if_auditing();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if AUDITING.load(Ordering::Relaxed) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        }
+        count_if_auditing();
         System.realloc(ptr, layout, new_size)
     }
 
@@ -48,14 +57,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
-/// Runs `f` with allocation counting on and returns how many heap
-/// allocations it performed.
+/// Runs `f` with allocation counting on for the current thread and
+/// returns how many heap allocations it performed.
 fn allocations_during(f: impl FnOnce()) -> u64 {
-    ALLOCATIONS.store(0, Ordering::SeqCst);
-    AUDITING.store(true, Ordering::SeqCst);
+    ALLOCATIONS.with(|n| n.set(0));
+    AUDITING.with(|c| c.set(true));
     f();
-    AUDITING.store(false, Ordering::SeqCst);
-    ALLOCATIONS.load(Ordering::SeqCst)
+    AUDITING.with(|c| c.set(false));
+    ALLOCATIONS.with(Cell::get)
 }
 
 fn repeated(block: &[u32], times: usize) -> Sequence {
@@ -66,8 +75,22 @@ fn repeated(block: &[u32], times: usize) -> Sequence {
     Sequence::from_ids(ids)
 }
 
-/// One test function: integration tests in one file share a process, and
-/// the audit flag is global — sub-scenarios run sequentially here instead.
+/// The instrumentation primitives themselves — span open/close, counter
+/// bumps, histogram records — must stay off the heap, or every engine
+/// operation they wrap would fail the audit above.
+#[test]
+fn obs_primitives_are_allocation_free() {
+    use seqhide_obs as obs;
+    let n = allocations_during(|| {
+        // the span closes (and records) at the end of this block
+        let s = obs::span(obs::Phase::EngineRepair);
+        obs::counter_add(obs::Counter::EngineCellRepairs, 1);
+        obs::hist_record(obs::Hist::VictimMarks, 3);
+        let _ = s.elapsed_ns();
+    });
+    assert_eq!(n, 0, "obs ops allocated {n} times");
+}
+
 #[test]
 fn marking_loop_is_allocation_free_after_warmup() {
     let scenarios: Vec<(&str, SensitiveSet)> = vec![
@@ -100,6 +123,7 @@ fn marking_loop_is_allocation_free_after_warmup() {
             !engine.candidates().is_empty(),
             "{name}: fixture must match"
         );
+        let before = seqhide_obs::snapshot();
         let count = allocations_during(|| {
             while let Some(pos) = engine.argmax() {
                 engine.apply_mark(pos);
@@ -108,6 +132,17 @@ fn marking_loop_is_allocation_free_after_warmup() {
                 let _ = engine.candidates();
             }
         });
+        // surface the audit through the obs layer: the tracked-allocation
+        // counter mirrors what the counting allocator measured
+        seqhide_obs::counter_add(seqhide_obs::Counter::TrackedAllocs, count);
+        if seqhide_obs::is_enabled() {
+            let run = seqhide_obs::snapshot().diff(&before);
+            assert_eq!(
+                run.counter(seqhide_obs::Counter::TrackedAllocs),
+                count,
+                "{name}: obs counter must mirror the audit"
+            );
+        }
         assert!(
             engine.total().is_zero(),
             "{name}: loop must drain all matches"

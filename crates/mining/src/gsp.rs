@@ -11,6 +11,7 @@
 //! anti-monotonicity which max-gap constraints break.
 
 use seqhide_match::{supports, SensitivePattern};
+use seqhide_obs::{self as obs, Counter, Phase};
 use seqhide_types::{Sequence, SequenceDb, Symbol};
 
 use crate::config::MinerConfig;
@@ -24,10 +25,12 @@ impl Gsp {
     /// Mines all frequent patterns of length ≥ 1 from `db`, counting
     /// support under `config.constraints` (broadcast to every candidate).
     pub fn mine(db: &SequenceDb, config: &MinerConfig) -> MineResult {
+        let _span = obs::span(Phase::Mine);
         let mut result = MineResult::default();
         if db.is_empty() || config.min_support > db.len() {
             return result;
         }
+        obs::progress::begin("mine", 0);
         let alphabet: Vec<Symbol> = db.alphabet().symbols().collect();
         // Level 1 seeds.
         let mut level = 1usize;
@@ -35,6 +38,7 @@ impl Gsp {
         while !seeds.is_empty() && config.allows_len(level) {
             let mut next_frontier = Vec::new();
             for cand in seeds {
+                obs::counter_add(Counter::PatternsChecked, 1);
                 let Some(sup) = Self::constrained_support(db, config, &cand) else {
                     continue;
                 };
@@ -43,12 +47,14 @@ impl Gsp {
                 }
                 if result.patterns.len() >= config.max_patterns {
                     result.truncated = true;
+                    obs::progress::finish("mine");
                     return result;
                 }
                 result.patterns.push(FrequentPattern {
                     seq: cand.clone(),
                     support: sup,
                 });
+                obs::progress::bump("mine", 1);
                 next_frontier.push(cand);
             }
             let frontier = next_frontier;
@@ -64,6 +70,7 @@ impl Gsp {
                 })
                 .collect();
         }
+        obs::progress::finish("mine");
         result
     }
 

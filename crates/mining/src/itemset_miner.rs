@@ -13,6 +13,7 @@
 //! argument, and the same one `Gsp` uses for plain sequences.
 
 use seqhide_match::itemset::{supports_itemset, ItemsetPattern};
+use seqhide_obs::{self as obs, Counter, Phase};
 use seqhide_types::{Itemset, ItemsetSequence, Symbol};
 
 use crate::config::MinerConfig;
@@ -64,6 +65,7 @@ pub struct ItemsetMiner;
 impl ItemsetMiner {
     /// Mines all frequent itemset-sequence patterns from `db`.
     pub fn mine(db: &[ItemsetSequence], config: &MinerConfig) -> ItemsetMineResult {
+        let _span = obs::span(Phase::Mine);
         let mut result = ItemsetMineResult::default();
         if db.is_empty() || config.min_support > db.len() {
             return result;
@@ -86,6 +88,7 @@ impl ItemsetMiner {
         while !seeds.is_empty() && config.allows_len(total_items) {
             frontier.clear();
             for cand in seeds.drain(..) {
+                obs::counter_add(Counter::PatternsChecked, 1);
                 let Some(sup) = Self::support(db, config, &cand) else {
                     continue;
                 };

@@ -8,6 +8,7 @@
 //! Pseudo-projections keep only `(sequence index, start offset)` pairs, so
 //! no sequence data is copied during the DFS.
 
+use seqhide_obs::{self as obs, Counter, Phase};
 use seqhide_types::{SequenceDb, Symbol};
 
 use crate::config::MinerConfig;
@@ -40,6 +41,7 @@ impl PrefixSpan {
             config.constraints.is_none(),
             "PrefixSpan counts unconstrained support; use Gsp for constrained mining"
         );
+        let _span = obs::span(Phase::Mine);
         let mut result = MineResult::default();
         if db.is_empty() || config.min_support > db.len() {
             return result;
@@ -47,7 +49,9 @@ impl PrefixSpan {
         // Root projections: every sequence from offset 0.
         let projections: Vec<(usize, usize)> = (0..db.len()).map(|i| (i, 0)).collect();
         let mut prefix: Vec<Symbol> = Vec::new();
+        obs::progress::begin("mine", 0);
         Self::grow(db, config, &projections, &mut prefix, &mut result);
+        obs::progress::finish("mine");
         result
     }
 
@@ -79,6 +83,7 @@ impl PrefixSpan {
                 }
             }
         }
+        obs::counter_add(Counter::PatternsChecked, sigma_len as u64);
         for id in 0..sigma_len as u32 {
             let support = counts[id as usize];
             if support < config.min_support {
@@ -94,6 +99,7 @@ impl PrefixSpan {
                 seq: prefix.iter().copied().collect(),
                 support,
             });
+            obs::progress::bump("mine", 1);
             // Project at the position after the leftmost occurrence.
             let next: Vec<(usize, usize)> = projections
                 .iter()

@@ -64,7 +64,7 @@ mod tests {
 
     fn fp(ids: &[u32], support: usize) -> FrequentPattern {
         FrequentPattern {
-            seq: Sequence::from_ids(ids.iter().copied().collect::<Vec<_>>()),
+            seq: Sequence::from_ids(ids.to_vec()),
             support,
         }
     }

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use seqhide_match::itemset::{supports_itemset, ItemsetPattern};
 use seqhide_mine::{ItemsetMiner, MinerConfig};
-use seqhide_types::{Itemset, ItemsetSequence};
+use seqhide_types::ItemsetSequence;
 
 /// All canonical itemset-sequence patterns over alphabet {0,1,2} with at
 /// most `max_items` total items (each element a non-empty subset).

@@ -159,7 +159,10 @@ proptest! {
         use seqhide_mine::border_preservation;
         let s = Sequence::from_ids(pat);
         let before = PrefixSpan::mine(&db, &MinerConfig::new(sigma));
-        prop_assert_eq!(border_preservation(&before, &db, sigma, &[s.clone()]), 1.0);
+        prop_assert_eq!(
+            border_preservation(&before, &db, sigma, std::slice::from_ref(&s)),
+            1.0
+        );
         let mut released = db.clone();
         Sanitizer::hh(0).run(&mut released, &SensitiveSet::new(vec![s.clone()]));
         let bp = border_preservation(&before, &released, sigma, &[s]);

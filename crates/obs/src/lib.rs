@@ -1,0 +1,383 @@
+//! # seqhide-obs
+//!
+//! Allocation-conscious instrumentation for the sanitization pipeline:
+//! hierarchical **span timers**, **atomic counters**, **fixed-bucket
+//! histograms** and a throttled **progress reporter** — with a true
+//! compile-out no-op mode.
+//!
+//! ## Design
+//!
+//! * **Static sinks.** Every metric lives in a `static` atomic slot indexed
+//!   by a small enum ([`Phase`], [`Counter`], [`Hist`]). Recording is a
+//!   handful of relaxed atomic operations: no locks, no maps, no interning,
+//!   and — critically for the marking hot path — **zero heap allocation**.
+//!   The allocation audit in `crates/matching/tests/engine_alloc.rs` proves
+//!   the instrumented marking loop stays allocation-free with this crate
+//!   enabled.
+//! * **Compile-out.** Without the `enabled` cargo feature every function
+//!   here is an `#[inline(always)]` empty body and the statics do not
+//!   exist. Downstream crates call the API unconditionally; there is no
+//!   `#[cfg]` in any consumer. Workspace crates expose this as their `obs`
+//!   feature (on by default).
+//! * **Runtime toggle.** With the feature compiled in, [`set_recording`]
+//!   gates all sinks behind one relaxed [`AtomicBool`] load. The
+//!   `benches/sanitize.rs` guard measures the recording-on vs recording-off
+//!   spread to bound the overhead (< 3% on paper-scale workloads; see
+//!   `docs/OBSERVABILITY.md` for current numbers).
+//! * **Snapshots, not streams.** Readers call [`snapshot`] to copy every
+//!   sink into a plain [`Snapshot`] value, and [`Snapshot::diff`] to
+//!   isolate one run's contribution without resetting global state (safe
+//!   under concurrent runs). [`Snapshot::to_json`] renders the stable
+//!   schema documented in `docs/OBSERVABILITY.md`.
+//!
+//! ## The phase tree
+//!
+//! Spans are identified by the [`Phase`] enum; the tree shape is static
+//! (see [`Phase::parent`]), so entering a span is just "remember
+//! `Instant::now`" and leaving it is one atomic add. A child's time is
+//! *included* in its ancestors' totals — the tree reports inclusive
+//! wall-time per phase, not self-time.
+//!
+//! ```
+//! use seqhide_obs as obs;
+//!
+//! let before = obs::snapshot();
+//! {
+//!     let _span = obs::span(obs::Phase::Sanitize);
+//!     obs::counter_add(obs::Counter::MarksIntroduced, 3);
+//!     obs::hist_record(obs::Hist::VictimMarks, 3);
+//! }
+//! let run = obs::snapshot().diff(&before);
+//! # #[cfg(feature = "enabled")]
+//! assert_eq!(run.counter(obs::Counter::MarksIntroduced), 3);
+//! let json = run.to_json();
+//! assert!(json.contains("\"schema_version\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod names;
+pub mod progress;
+mod snapshot;
+
+pub use names::{Counter, Hist, Phase};
+pub use snapshot::{HistStat, PhaseStat, Snapshot, HIST_BUCKETS};
+
+/// Whether instrumentation is compiled into this build (the `enabled`
+/// cargo feature — `obs` in downstream crates).
+pub const fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+    use std::time::Instant;
+
+    use crate::names::{Counter, Hist, Phase};
+    use crate::snapshot::HIST_BUCKETS;
+
+    pub(crate) static RECORDING: AtomicBool = AtomicBool::new(true);
+
+    /// One atomic slot per counter.
+    pub(crate) struct CounterSlots {
+        pub slots: [AtomicU64; Counter::COUNT],
+    }
+
+    /// Per-phase inclusive wall-time and call count.
+    pub(crate) struct SpanSlots {
+        pub total_ns: [AtomicU64; Phase::COUNT],
+        pub calls: [AtomicU64; Phase::COUNT],
+    }
+
+    /// Per-histogram log2 buckets plus count/sum/max summaries.
+    pub(crate) struct HistSlots {
+        pub buckets: [[AtomicU64; HIST_BUCKETS]; Hist::COUNT],
+        pub count: [AtomicU64; Hist::COUNT],
+        pub sum: [AtomicU64; Hist::COUNT],
+        pub max: [AtomicU64; Hist::COUNT],
+    }
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+
+    pub(crate) static COUNTERS: CounterSlots = CounterSlots {
+        slots: [ZERO; Counter::COUNT],
+    };
+    pub(crate) static SPANS: SpanSlots = SpanSlots {
+        total_ns: [ZERO; Phase::COUNT],
+        calls: [ZERO; Phase::COUNT],
+    };
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO_ROW: [AtomicU64; HIST_BUCKETS] = [ZERO; HIST_BUCKETS];
+    pub(crate) static HISTS: HistSlots = HistSlots {
+        buckets: [ZERO_ROW; Hist::COUNT],
+        count: [ZERO; Hist::COUNT],
+        sum: [ZERO; Hist::COUNT],
+        max: [ZERO; Hist::COUNT],
+    };
+
+    /// Log2 bucket index: 0 holds the value 0, bucket `b > 0` holds
+    /// `[2^(b-1), 2^b)`, the last bucket is open-ended.
+    #[inline]
+    pub(crate) fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// RAII span: stamps `Instant::now()` on entry, adds the elapsed
+    /// nanoseconds to the phase's slot on drop.
+    pub struct Span {
+        state: Option<(Phase, Instant)>,
+    }
+
+    impl Span {
+        /// Nanoseconds elapsed since the span was entered (0 when
+        /// recording is off).
+        pub fn elapsed_ns(&self) -> u64 {
+            self.state
+                .map_or(0, |(_, start)| start.elapsed().as_nanos() as u64)
+        }
+    }
+
+    impl Drop for Span {
+        fn drop(&mut self) {
+            if let Some((phase, start)) = self.state {
+                let ns = start.elapsed().as_nanos() as u64;
+                SPANS.total_ns[phase as usize].fetch_add(ns, Relaxed);
+                SPANS.calls[phase as usize].fetch_add(1, Relaxed);
+            }
+        }
+    }
+
+    /// Enters a span for `phase`.
+    #[inline]
+    pub fn span(phase: Phase) -> Span {
+        if RECORDING.load(Relaxed) {
+            Span {
+                state: Some((phase, Instant::now())),
+            }
+        } else {
+            Span { state: None }
+        }
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn counter_add(counter: Counter, n: u64) {
+        if RECORDING.load(Relaxed) {
+            COUNTERS.slots[counter as usize].fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Records one observation `v` into a histogram.
+    #[inline]
+    pub fn hist_record(hist: Hist, v: u64) {
+        if RECORDING.load(Relaxed) {
+            let h = hist as usize;
+            HISTS.buckets[h][bucket_of(v)].fetch_add(1, Relaxed);
+            HISTS.count[h].fetch_add(1, Relaxed);
+            HISTS.sum[h].fetch_add(v, Relaxed);
+            HISTS.max[h].fetch_max(v, Relaxed);
+        }
+    }
+
+    /// Runtime gate over all sinks (compiled-in builds only). Recording is
+    /// on by default.
+    #[inline]
+    pub fn set_recording(on: bool) {
+        RECORDING.store(on, Relaxed);
+    }
+
+    /// Whether the runtime gate is currently open.
+    #[inline]
+    pub fn recording() -> bool {
+        RECORDING.load(Relaxed)
+    }
+
+    /// Zeroes every sink. Prefer [`crate::Snapshot::diff`] in concurrent
+    /// contexts — reset is global and racy by nature.
+    pub fn reset() {
+        for s in &COUNTERS.slots {
+            s.store(0, Relaxed);
+        }
+        for p in 0..Phase::COUNT {
+            SPANS.total_ns[p].store(0, Relaxed);
+            SPANS.calls[p].store(0, Relaxed);
+        }
+        for h in 0..Hist::COUNT {
+            for b in &HISTS.buckets[h] {
+                b.store(0, Relaxed);
+            }
+            HISTS.count[h].store(0, Relaxed);
+            HISTS.sum[h].store(0, Relaxed);
+            HISTS.max[h].store(0, Relaxed);
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    use crate::names::{Counter, Hist, Phase};
+
+    /// No-op span (instrumentation compiled out).
+    pub struct Span {
+        _private: (),
+    }
+
+    impl Span {
+        /// Always 0 in no-op builds.
+        #[inline(always)]
+        pub fn elapsed_ns(&self) -> u64 {
+            0
+        }
+    }
+
+    /// No-op (instrumentation compiled out).
+    #[inline(always)]
+    pub fn span(_phase: Phase) -> Span {
+        Span { _private: () }
+    }
+
+    /// No-op (instrumentation compiled out).
+    #[inline(always)]
+    pub fn counter_add(_counter: Counter, _n: u64) {}
+
+    /// No-op (instrumentation compiled out).
+    #[inline(always)]
+    pub fn hist_record(_hist: Hist, _v: u64) {}
+
+    /// No-op (instrumentation compiled out).
+    #[inline(always)]
+    pub fn set_recording(_on: bool) {}
+
+    /// Always `false` in no-op builds.
+    #[inline(always)]
+    pub fn recording() -> bool {
+        false
+    }
+
+    /// No-op (instrumentation compiled out).
+    #[inline(always)]
+    pub fn reset() {}
+}
+
+pub use imp::{counter_add, hist_record, recording, reset, set_recording, span, Span};
+
+/// Captures every sink into a plain value. In no-op builds the snapshot is
+/// empty (and [`Snapshot::enabled`] is `false`).
+pub fn snapshot() -> Snapshot {
+    Snapshot::capture()
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The sinks are global; tests that read them serialize here.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let _guard = SERIAL.lock().unwrap();
+        let before = snapshot();
+        counter_add(Counter::MarksIntroduced, 2);
+        counter_add(Counter::MarksIntroduced, 3);
+        let run = snapshot().diff(&before);
+        assert_eq!(run.counter(Counter::MarksIntroduced), 5);
+    }
+
+    #[test]
+    fn spans_record_calls_and_time() {
+        let _guard = SERIAL.lock().unwrap();
+        let before = snapshot();
+        {
+            let s = span(Phase::Mine);
+            std::hint::black_box(&s);
+        }
+        let run = snapshot().diff(&before);
+        let stat = run.phase(Phase::Mine);
+        assert_eq!(stat.calls, 1);
+    }
+
+    #[test]
+    fn histogram_bucketing_is_log2() {
+        assert_eq!(imp::bucket_of(0), 0);
+        assert_eq!(imp::bucket_of(1), 1);
+        assert_eq!(imp::bucket_of(2), 2);
+        assert_eq!(imp::bucket_of(3), 2);
+        assert_eq!(imp::bucket_of(4), 3);
+        assert_eq!(imp::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        let _guard = SERIAL.lock().unwrap();
+        let before = snapshot();
+        for v in [0, 1, 2, 3, 1024] {
+            hist_record(Hist::VictimMarks, v);
+        }
+        let run = snapshot().diff(&before);
+        let h = run.hist(Hist::VictimMarks);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1030);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.buckets[imp::bucket_of(1024)], 1);
+    }
+
+    #[test]
+    fn recording_gate_stops_sinks() {
+        let _guard = SERIAL.lock().unwrap();
+        assert!(recording());
+        set_recording(false);
+        let before = snapshot();
+        counter_add(Counter::MarksIntroduced, 7);
+        hist_record(Hist::VictimNanos, 7);
+        let _s = span(Phase::Verify);
+        drop(_s);
+        let run = snapshot().diff(&before);
+        set_recording(true);
+        assert_eq!(run.counter(Counter::MarksIntroduced), 0);
+        assert_eq!(run.hist(Hist::VictimNanos).count, 0);
+        assert_eq!(run.phase(Phase::Verify).calls, 0);
+    }
+
+    #[test]
+    fn json_has_documented_top_level_keys() {
+        let _guard = SERIAL.lock().unwrap();
+        let before = snapshot();
+        counter_add(Counter::VictimsProcessed, 1);
+        hist_record(Hist::VictimMarks, 4);
+        {
+            let _s = span(Phase::Sanitize);
+        }
+        let json = snapshot().diff(&before).to_json();
+        for key in [
+            "\"schema_version\"",
+            "\"obs_enabled\"",
+            "\"phases\"",
+            "\"counters\"",
+            "\"histograms\"",
+            "\"victims_processed\"",
+            "\"victim_marks\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // phases visited appear with parent links
+        assert!(json.contains("\"name\": \"sanitize\""));
+    }
+
+    #[test]
+    fn phase_tree_parents_are_acyclic() {
+        for p in Phase::ALL {
+            let mut hops = 0;
+            let mut cur = Some(p);
+            while let Some(c) = cur {
+                cur = c.parent();
+                hops += 1;
+                assert!(hops <= Phase::COUNT, "cycle at {:?}", p);
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The static metric namespace: phases (span timers), counters and
+//! histograms. Adding a variant here is the *only* registration step —
+//! slots, snapshot capture and JSON output all index off these enums.
+
+/// Span-timer identity — one node of the static phase tree.
+///
+/// The tree (see `docs/OBSERVABILITY.md`):
+///
+/// ```text
+/// mine
+/// sanitize
+/// ├── select_victims
+/// ├── local_sanitize
+/// │   ├── engine_load
+/// │   ├── engine_repair
+/// │   └── fallback_recount
+/// └── verify
+/// regex_sanitize
+/// itemset_sanitize
+/// timed_sanitize
+/// st_sanitize
+/// post
+/// ```
+///
+/// `engine_*` spans are also entered from the itemset sanitizer (the two
+/// engines share one core); attribute them to whichever sanitize phase is
+/// active in your run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum Phase {
+    /// Frequent-pattern mining (`seqhide mine`, distortion audits).
+    Mine,
+    /// One whole `Sanitizer::run` (victim selection through verification).
+    Sanitize,
+    /// Global victim selection (`select_victims`).
+    SelectVictims,
+    /// Local sanitization of one victim sequence (per-victim span).
+    LocalSanitize,
+    /// `MatchEngine::load` — building the DP tables for one sequence.
+    EngineLoad,
+    /// One incremental repair pass (`apply_mark` / column refresh).
+    EngineRepair,
+    /// Buffered max-window recounts inside one repair pass.
+    FallbackRecount,
+    /// Post-run hiding verification (`verify_hidden`).
+    Verify,
+    /// Regex-pattern sanitization sweep.
+    RegexSanitize,
+    /// Itemset-sequence sanitization sweep (§7.1).
+    ItemsetSanitize,
+    /// Timed-sequence sanitization sweep (§7.2).
+    TimedSanitize,
+    /// Spatio-temporal sanitization sweep (§7.3).
+    StSanitize,
+    /// Δ-deletion / Δ-replacement post-processing.
+    Post,
+}
+
+impl Phase {
+    /// Number of phases.
+    pub const COUNT: usize = 13;
+
+    /// Every phase, in declaration order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Mine,
+        Phase::Sanitize,
+        Phase::SelectVictims,
+        Phase::LocalSanitize,
+        Phase::EngineLoad,
+        Phase::EngineRepair,
+        Phase::FallbackRecount,
+        Phase::Verify,
+        Phase::RegexSanitize,
+        Phase::ItemsetSanitize,
+        Phase::TimedSanitize,
+        Phase::StSanitize,
+        Phase::Post,
+    ];
+
+    /// Stable snake_case name (the JSON `name` field).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Phase::Mine => "mine",
+            Phase::Sanitize => "sanitize",
+            Phase::SelectVictims => "select_victims",
+            Phase::LocalSanitize => "local_sanitize",
+            Phase::EngineLoad => "engine_load",
+            Phase::EngineRepair => "engine_repair",
+            Phase::FallbackRecount => "fallback_recount",
+            Phase::Verify => "verify",
+            Phase::RegexSanitize => "regex_sanitize",
+            Phase::ItemsetSanitize => "itemset_sanitize",
+            Phase::TimedSanitize => "timed_sanitize",
+            Phase::StSanitize => "st_sanitize",
+            Phase::Post => "post",
+        }
+    }
+
+    /// The phase's parent in the static tree (`None` for roots).
+    pub const fn parent(self) -> Option<Phase> {
+        match self {
+            Phase::Mine
+            | Phase::Sanitize
+            | Phase::RegexSanitize
+            | Phase::ItemsetSanitize
+            | Phase::TimedSanitize
+            | Phase::StSanitize
+            | Phase::Post => None,
+            Phase::SelectVictims | Phase::LocalSanitize | Phase::Verify => Some(Phase::Sanitize),
+            Phase::EngineLoad | Phase::EngineRepair | Phase::FallbackRecount => {
+                Some(Phase::LocalSanitize)
+            }
+        }
+    }
+}
+
+/// Atomic-counter identity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum Counter {
+    /// Marks (Δ) introduced — the paper's distortion measure M1. All
+    /// sanitize paths (plain, regex, itemset, timed) feed this.
+    MarksIntroduced,
+    /// Incremental table repairs applied by the engine (one per non-window
+    /// pattern per repaired column).
+    EngineCellRepairs,
+    /// Buffered max-window recounts the engine could not avoid (one per
+    /// Lemma-5 `windowed_total` execution, whether during load, column
+    /// repair or a δ probe).
+    FallbackRecounts,
+    /// Victim sequences fully sanitized.
+    VictimsProcessed,
+    /// Patterns whose support was counted (mining candidates + verify).
+    PatternsChecked,
+    /// Heap allocations observed on instrumented paths. The library cannot
+    /// hook the allocator itself; harnesses that install a counting
+    /// allocator (see `crates/matching/tests/engine_alloc.rs`) feed this.
+    TrackedAllocs,
+    /// Samples suppressed by the spatio-temporal sanitizer.
+    StSuppressed,
+    /// Samples displaced by the spatio-temporal sanitizer.
+    StDisplaced,
+}
+
+impl Counter {
+    /// Number of counters.
+    pub const COUNT: usize = 8;
+
+    /// Every counter, in declaration order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::MarksIntroduced,
+        Counter::EngineCellRepairs,
+        Counter::FallbackRecounts,
+        Counter::VictimsProcessed,
+        Counter::PatternsChecked,
+        Counter::TrackedAllocs,
+        Counter::StSuppressed,
+        Counter::StDisplaced,
+    ];
+
+    /// Stable snake_case name (the JSON key).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::MarksIntroduced => "marks_introduced",
+            Counter::EngineCellRepairs => "engine_cell_repairs",
+            Counter::FallbackRecounts => "fallback_recounts",
+            Counter::VictimsProcessed => "victims_processed",
+            Counter::PatternsChecked => "patterns_checked",
+            Counter::TrackedAllocs => "tracked_allocs",
+            Counter::StSuppressed => "st_suppressed",
+            Counter::StDisplaced => "st_displaced",
+        }
+    }
+}
+
+/// Fixed-bucket histogram identity. Buckets are log2: bucket 0 holds the
+/// value 0, bucket `b > 0` holds `[2^(b-1), 2^b)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum Hist {
+    /// Marks introduced per victim sequence.
+    VictimMarks,
+    /// Wall nanoseconds spent sanitizing one victim sequence.
+    VictimNanos,
+}
+
+impl Hist {
+    /// Number of histograms.
+    pub const COUNT: usize = 2;
+
+    /// Every histogram, in declaration order.
+    pub const ALL: [Hist; Hist::COUNT] = [Hist::VictimMarks, Hist::VictimNanos];
+
+    /// Stable snake_case name (the JSON key).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Hist::VictimMarks => "victim_marks",
+            Hist::VictimNanos => "victim_nanos",
+        }
+    }
+}

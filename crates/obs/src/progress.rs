@@ -1,0 +1,131 @@
+//! Throttled progress reporting for long runs (the CLI's `--progress`).
+//!
+//! Instrumented loops call [`bump`] once per item; when progress is
+//! enabled, at most one line per configured interval is printed to stderr
+//! (`[seqhide] <label>: <done>/<goal>`). When disabled — the default —
+//! [`bump`] is one relaxed atomic load and a branch, and in builds without
+//! the `enabled` feature it is an empty inline function.
+//!
+//! State is global and label-free (labels are passed by the caller at each
+//! site), so the reporter allocates nothing and needs no registration.
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static INTERVAL_MS: AtomicU64 = AtomicU64::new(500);
+    static LAST_PRINT_NS: AtomicU64 = AtomicU64::new(0);
+    static DONE: AtomicU64 = AtomicU64::new(0);
+    static GOAL: AtomicU64 = AtomicU64::new(0);
+    static START: OnceLock<Instant> = OnceLock::new();
+
+    fn now_ns() -> u64 {
+        START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+
+    /// Turns progress reporting on or off (off by default).
+    pub fn enable(on: bool) {
+        ENABLED.store(on, Relaxed);
+        if on {
+            LAST_PRINT_NS.store(0, Relaxed);
+        }
+    }
+
+    /// Whether progress reporting is currently on.
+    pub fn enabled() -> bool {
+        ENABLED.load(Relaxed)
+    }
+
+    /// Sets the minimum milliseconds between printed lines (default 500).
+    pub fn configure(interval_ms: u64) {
+        INTERVAL_MS.store(interval_ms, Relaxed);
+    }
+
+    /// Starts a new goal: resets the done count. `total = 0` means the
+    /// total is unknown (lines print a bare count).
+    pub fn begin(label: &'static str, total: u64) {
+        DONE.store(0, Relaxed);
+        GOAL.store(total, Relaxed);
+        if ENABLED.load(Relaxed) {
+            let goal = GOAL.load(Relaxed);
+            if goal > 0 {
+                eprintln!("[seqhide] {label}: 0/{goal}");
+            }
+        }
+    }
+
+    /// Advances the done count by `n`, printing a throttled line.
+    pub fn bump(label: &'static str, n: u64) {
+        let done = DONE.fetch_add(n, Relaxed) + n;
+        if !ENABLED.load(Relaxed) {
+            return;
+        }
+        let now = now_ns();
+        let last = LAST_PRINT_NS.load(Relaxed);
+        let interval_ns = INTERVAL_MS.load(Relaxed).saturating_mul(1_000_000);
+        if now.saturating_sub(last) < interval_ns {
+            return;
+        }
+        // claim the print slot; losers skip (another thread just printed)
+        if LAST_PRINT_NS
+            .compare_exchange(last, now, Relaxed, Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let goal = GOAL.load(Relaxed);
+        if goal > 0 {
+            eprintln!("[seqhide] {label}: {done}/{goal}");
+        } else {
+            eprintln!("[seqhide] {label}: {done}");
+        }
+    }
+
+    /// Prints the final count unconditionally (when enabled).
+    pub fn finish(label: &'static str) {
+        if !ENABLED.load(Relaxed) {
+            return;
+        }
+        let done = DONE.load(Relaxed);
+        let goal = GOAL.load(Relaxed);
+        if goal > 0 {
+            eprintln!("[seqhide] {label}: {done}/{goal} done");
+        } else {
+            eprintln!("[seqhide] {label}: {done} done");
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+mod imp {
+    /// No-op (instrumentation compiled out).
+    #[inline(always)]
+    pub fn enable(_on: bool) {}
+
+    /// Always `false` in no-op builds.
+    #[inline(always)]
+    pub fn enabled() -> bool {
+        false
+    }
+
+    /// No-op (instrumentation compiled out).
+    #[inline(always)]
+    pub fn configure(_interval_ms: u64) {}
+
+    /// No-op (instrumentation compiled out).
+    #[inline(always)]
+    pub fn begin(_label: &'static str, _total: u64) {}
+
+    /// No-op (instrumentation compiled out).
+    #[inline(always)]
+    pub fn bump(_label: &'static str, _n: u64) {}
+
+    /// No-op (instrumentation compiled out).
+    #[inline(always)]
+    pub fn finish(_label: &'static str) {}
+}
+
+pub use imp::{begin, bump, configure, enable, enabled, finish};

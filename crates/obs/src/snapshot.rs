@@ -1,0 +1,260 @@
+//! Point-in-time copies of the metric sinks and their JSON rendering.
+//!
+//! Snapshots are plain values: capture one before a run and one after,
+//! [`Snapshot::diff`] them, and the result is that run's contribution even
+//! while other threads keep recording. The JSON schema is stable and
+//! documented in `docs/OBSERVABILITY.md`.
+
+use std::fmt::Write as _;
+
+use crate::names::{Counter, Hist, Phase};
+
+/// Number of log2 buckets per histogram — enough for values up to
+/// `2^47` (≈ 39 hours in nanoseconds) before the open-ended last bucket.
+pub const HIST_BUCKETS: usize = 48;
+
+/// One phase's captured span totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Times the span was entered.
+    pub calls: u64,
+    /// Inclusive wall nanoseconds across all entries.
+    pub total_ns: u64,
+}
+
+/// One histogram's captured state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistStat {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket observation counts (log2 buckets, see [`Hist`]).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistStat {
+    fn default() -> Self {
+        HistStat {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+/// A point-in-time copy of every sink. Empty when instrumentation is
+/// compiled out.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    counters: [u64; Counter::COUNT],
+    phases: [PhaseStat; Phase::COUNT],
+    hists: [HistStat; Hist::COUNT],
+}
+
+impl Snapshot {
+    #[cfg(feature = "enabled")]
+    pub(crate) fn capture() -> Snapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+
+        use crate::imp::{COUNTERS, HISTS, SPANS};
+        let mut snap = Snapshot::default();
+        for (i, slot) in COUNTERS.slots.iter().enumerate() {
+            snap.counters[i] = slot.load(Relaxed);
+        }
+        for p in 0..Phase::COUNT {
+            snap.phases[p] = PhaseStat {
+                calls: SPANS.calls[p].load(Relaxed),
+                total_ns: SPANS.total_ns[p].load(Relaxed),
+            };
+        }
+        for h in 0..Hist::COUNT {
+            snap.hists[h].count = HISTS.count[h].load(Relaxed);
+            snap.hists[h].sum = HISTS.sum[h].load(Relaxed);
+            snap.hists[h].max = HISTS.max[h].load(Relaxed);
+            for (b, slot) in HISTS.buckets[h].iter().enumerate() {
+                snap.hists[h].buckets[b] = slot.load(Relaxed);
+            }
+        }
+        snap
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    pub(crate) fn capture() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// Whether this snapshot came from a build with instrumentation
+    /// compiled in.
+    pub fn enabled(&self) -> bool {
+        crate::is_enabled()
+    }
+
+    /// The monotone difference `self − base`: counters, span totals and
+    /// bucket counts subtract saturating; histogram `max` is taken from
+    /// `self` (maxima do not subtract).
+    pub fn diff(&self, base: &Snapshot) -> Snapshot {
+        let mut out = self.clone();
+        for (o, b) in out.counters.iter_mut().zip(&base.counters) {
+            *o = o.saturating_sub(*b);
+        }
+        for (o, b) in out.phases.iter_mut().zip(&base.phases) {
+            o.calls = o.calls.saturating_sub(b.calls);
+            o.total_ns = o.total_ns.saturating_sub(b.total_ns);
+        }
+        for (o, b) in out.hists.iter_mut().zip(&base.hists) {
+            o.count = o.count.saturating_sub(b.count);
+            o.sum = o.sum.saturating_sub(b.sum);
+            for (ob, bb) in o.buckets.iter_mut().zip(&b.buckets) {
+                *ob = ob.saturating_sub(*bb);
+            }
+        }
+        out
+    }
+
+    /// A counter's captured value.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// A phase's captured span stats.
+    pub fn phase(&self, p: Phase) -> PhaseStat {
+        self.phases[p as usize]
+    }
+
+    /// A histogram's captured state.
+    pub fn hist(&self, h: Hist) -> &HistStat {
+        &self.hists[h as usize]
+    }
+
+    /// Renders the stable JSON schema (`schema_version` 1):
+    ///
+    /// ```json
+    /// {
+    ///   "schema_version": 1,
+    ///   "obs_enabled": true,
+    ///   "phases": [
+    ///     {"name": "sanitize", "parent": null, "calls": 1, "total_ns": 12345}
+    ///   ],
+    ///   "counters": {"marks_introduced": 5, ...},
+    ///   "histograms": {
+    ///     "victim_marks": {"count": 3, "sum": 7, "max": 4,
+    ///                      "buckets": [[0, 0, 1], [4, 7, 2]]}
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// Only phases with `calls > 0` appear (the tree of what actually
+    /// ran); every counter appears, zero or not, so keys are stable;
+    /// histogram buckets are sparse `[lower, upper, count]` triples.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema_version\": 1,\n");
+        let _ = writeln!(out, "  \"obs_enabled\": {},", self.enabled());
+        out.push_str("  \"phases\": [");
+        let mut first = true;
+        for p in Phase::ALL {
+            let stat = self.phase(p);
+            if stat.calls == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let parent = match p.parent() {
+                Some(par) => format!("\"{}\"", par.name()),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"parent\": {}, \"calls\": {}, \"total_ns\": {}}}",
+                p.name(),
+                parent,
+                stat.calls,
+                stat.total_ns
+            );
+        }
+        out.push_str(if first { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"counters\": {");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {}", c.name(), self.counter(*c));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let stat = self.hist(*h);
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [",
+                h.name(),
+                stat.count,
+                stat.sum,
+                stat.max
+            );
+            let mut firstb = true;
+            for (b, &count) in stat.buckets.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                if !firstb {
+                    out.push_str(", ");
+                }
+                firstb = false;
+                let (lo, hi) = bucket_bounds(b);
+                let _ = write!(out, "[{lo}, {hi}, {count}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Inclusive `[lower, upper]` value bounds of log2 bucket `b`.
+fn bucket_bounds(b: usize) -> (u64, u64) {
+    if b == 0 {
+        (0, 0)
+    } else if b == HIST_BUCKETS - 1 {
+        (1u64 << (b - 1), u64::MAX)
+    } else {
+        (1u64 << (b - 1), (1u64 << b) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_renders_stable_schema() {
+        let json = Snapshot::default().to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"phases\": []"));
+        assert!(json.contains("\"marks_introduced\": 0"));
+        assert!(json.contains("\"victim_nanos\""));
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(2), (2, 3));
+        assert_eq!(bucket_bounds(3), (4, 7));
+        let (lo, hi) = bucket_bounds(HIST_BUCKETS - 1);
+        assert_eq!(lo, 1u64 << (HIST_BUCKETS - 2));
+        assert_eq!(hi, u64::MAX);
+        // adjacent buckets tile without gaps
+        for b in 1..HIST_BUCKETS - 1 {
+            assert_eq!(bucket_bounds(b).1 + 1, bucket_bounds(b + 1).0);
+        }
+    }
+}

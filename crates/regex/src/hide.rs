@@ -6,6 +6,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use seqhide_num::{Count, Sat64};
+use seqhide_obs::{self as obs, Counter, Phase};
 use seqhide_types::{Sequence, SequenceDb};
 
 use crate::count::{delta_by_marking_re_into, matching_size_re, supports_re};
@@ -90,6 +91,7 @@ pub fn sanitize_regex_db(
     strategy: ReLocalStrategy,
     seed: u64,
 ) -> RegexSanitizeReport {
+    let _span = obs::span(Phase::RegexSanitize);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut sup: Vec<(usize, Sat64)> = db
         .sequences()
@@ -103,9 +105,14 @@ pub fn sanitize_regex_db(
     sup.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
     let n_victims = sup.len().saturating_sub(psi);
     let mut marks = 0;
+    obs::progress::begin("sanitize (regex)", n_victims as u64);
     for &(i, _) in sup.iter().take(n_victims) {
         marks += sanitize_regex_sequence(&mut db.sequences_mut()[i], patterns, strategy, &mut rng);
+        obs::counter_add(Counter::VictimsProcessed, 1);
+        obs::progress::bump("sanitize (regex)", 1);
     }
+    obs::progress::finish("sanitize (regex)");
+    obs::counter_add(Counter::MarksIntroduced, marks as u64);
     let residual: Vec<usize> = patterns
         .iter()
         .map(|p| db.sequences().iter().filter(|t| supports_re(t, p)).count())
@@ -130,8 +137,12 @@ mod tests {
         let mut t = Sequence::parse("a b c", &mut sigma);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         // both tuples go through position 0 (the a): one mark suffices
-        let marks =
-            sanitize_regex_sequence(&mut t, &[re.clone()], ReLocalStrategy::Heuristic, &mut rng);
+        let marks = sanitize_regex_sequence(
+            &mut t,
+            std::slice::from_ref(&re),
+            ReLocalStrategy::Heuristic,
+            &mut rng,
+        );
         assert_eq!(marks, 1);
         assert!(t[0].is_mark());
         assert!(!supports_re(&t, &re));
@@ -141,7 +152,13 @@ mod tests {
     fn sanitize_db_respects_psi() {
         let mut db = SequenceDb::parse("a b\na c\na b c\nx y\n");
         let re = RegexPattern::compile("a (b | c)", db.alphabet_mut()).unwrap();
-        let report = sanitize_regex_db(&mut db, &[re.clone()], 1, ReLocalStrategy::Heuristic, 0);
+        let report = sanitize_regex_db(
+            &mut db,
+            std::slice::from_ref(&re),
+            1,
+            ReLocalStrategy::Heuristic,
+            0,
+        );
         assert!(report.hidden);
         assert_eq!(report.residual_supports, vec![1]);
         assert_eq!(report.sequences_sanitized, 2);
@@ -163,7 +180,13 @@ mod tests {
     fn plus_patterns_hide() {
         let mut db = SequenceDb::parse("a a a\na a\nb b\n");
         let re = RegexPattern::compile("a a+", db.alphabet_mut()).unwrap();
-        let report = sanitize_regex_db(&mut db, &[re.clone()], 0, ReLocalStrategy::Heuristic, 0);
+        let report = sanitize_regex_db(
+            &mut db,
+            std::slice::from_ref(&re),
+            0,
+            ReLocalStrategy::Heuristic,
+            0,
+        );
         assert!(report.hidden);
         for t in db.sequences() {
             assert!(!supports_re(t, &re));

@@ -16,6 +16,7 @@
 //!    about background-knowledge attacks).
 
 use seqhide_num::{Count, Sat64};
+use seqhide_obs::{self as obs, Counter, Phase};
 
 use crate::model::PlausibilityModel;
 use crate::pattern::{count_st_matches, delta_st, st_supports, StPattern};
@@ -145,6 +146,7 @@ pub fn sanitize_st_db(
     psi: usize,
     model: &PlausibilityModel,
 ) -> StSanitizeReport {
+    let _span = obs::span(Phase::StSanitize);
     let mut sup: Vec<(usize, Sat64)> = db
         .iter()
         .enumerate()
@@ -157,9 +159,13 @@ pub fn sanitize_st_db(
     let n_victims = sup.len().saturating_sub(psi);
     let mut ops = Vec::new();
     let mut violations = 0;
+    obs::progress::begin("sanitize (st)", n_victims as u64);
     for &(i, _) in sup.iter().take(n_victims) {
         violations += sanitize_st_trajectory(&mut db[i], patterns, model, &mut ops);
+        obs::counter_add(Counter::VictimsProcessed, 1);
+        obs::progress::bump("sanitize (st)", 1);
     }
+    obs::progress::finish("sanitize (st)");
     let residual: Vec<usize> = patterns
         .iter()
         .map(|p| db.iter().filter(|t| st_supports(t, p)).count())
@@ -176,6 +182,8 @@ pub fn sanitize_st_db(
             StOp::Suppress(_) => 0.0,
         })
         .sum();
+    obs::counter_add(Counter::StSuppressed, suppressed as u64);
+    obs::counter_add(Counter::StDisplaced, displaced as u64);
     StSanitizeReport {
         suppressed,
         displaced,

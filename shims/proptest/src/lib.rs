@@ -711,7 +711,7 @@ mod tests {
         }
 
         #[test]
-        fn oneof_and_map(v in prop_oneof![Just(1u32), (5u32..8), (0u32..2).prop_map(|x| x + 10)]) {
+        fn oneof_and_map(v in prop_oneof![Just(1u32), 5u32..8, (0u32..2).prop_map(|x| x + 10)]) {
             prop_assert!(v == 1 || (5..8).contains(&v) || v == 10 || v == 11);
         }
     }
@@ -720,7 +720,7 @@ mod tests {
     fn recursive_terminates() {
         #[derive(Clone)]
         enum Tree {
-            Leaf(u32),
+            Leaf(#[allow(dead_code)] u32),
             Node(Vec<Tree>),
         }
         fn depth(t: &Tree) -> usize {

@@ -19,6 +19,7 @@ use seqhide_core::{EngineMode, GlobalStrategy, LocalStrategy, Sanitizer};
 use seqhide_data::{synthetic_like, trucks_like};
 use seqhide_match::{ConstraintSet, Gap, SensitivePattern, SensitiveSet};
 use seqhide_mine::{Gsp, MinerConfig, PrefixSpan};
+use seqhide_obs as obs;
 use seqhide_re::{sanitize_regex_db, ReLocalStrategy, RegexPattern};
 use seqhide_types::{Sequence, SequenceDb};
 
@@ -38,13 +39,140 @@ fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
+/// What one subcommand accepts: `valued` flags consume the next argument,
+/// `boolean` flags stand alone. Unknown flags are rejected at parse time
+/// with a "did you mean" suggestion, so a typo can't silently fall back to
+/// a default.
+struct FlagSpec {
+    command: &'static str,
+    valued: &'static [&'static str],
+    boolean: &'static [&'static str],
+}
+
+const SPECS: &[FlagSpec] = &[
+    FlagSpec {
+        command: "stats",
+        valued: &["db", "mode"],
+        boolean: &[],
+    },
+    FlagSpec {
+        command: "mine",
+        valued: &[
+            "db",
+            "sigma",
+            "mode",
+            "miner",
+            "max-len",
+            "top",
+            "min-gap",
+            "max-gap",
+            "max-window",
+            "metrics-out",
+        ],
+        boolean: &["progress"],
+    },
+    FlagSpec {
+        command: "hide",
+        valued: &[
+            "db",
+            "psi",
+            "pattern",
+            "regex",
+            "mode",
+            "algorithm",
+            "seed",
+            "min-gap",
+            "max-gap",
+            "max-window",
+            "engine",
+            "threads",
+            "post",
+            "out",
+            "metrics-out",
+        ],
+        boolean: &["exact", "report", "progress"],
+    },
+    FlagSpec {
+        command: "verify",
+        valued: &["db", "psi", "pattern", "min-gap", "max-gap", "max-window"],
+        boolean: &[],
+    },
+    FlagSpec {
+        command: "attack",
+        valued: &["original", "released", "train", "pattern"],
+        boolean: &[],
+    },
+    FlagSpec {
+        command: "gen",
+        valued: &["dataset", "seed", "out"],
+        boolean: &[],
+    },
+];
+
+impl FlagSpec {
+    fn for_command(command: &str) -> Option<&'static FlagSpec> {
+        SPECS.iter().find(|s| s.command == command)
+    }
+
+    fn knows(&self, name: &str) -> Option<bool> {
+        if self.boolean.contains(&name) {
+            Some(true)
+        } else if self.valued.contains(&name) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn unknown_flag_error(&self, name: &str) -> CliError {
+        let all = self.valued.iter().chain(self.boolean);
+        let best = all
+            .clone()
+            .map(|cand| (levenshtein(name, cand), *cand))
+            .min()
+            .filter(|&(d, cand)| d <= 2 || cand.starts_with(name))
+            .map(|(_, cand)| cand);
+        match best {
+            Some(cand) => err(format!(
+                "unknown flag --{name} for '{}' (did you mean --{cand}?)",
+                self.command
+            )),
+            None => {
+                let valid: Vec<String> = all.map(|f| format!("--{f}")).collect();
+                err(format!(
+                    "unknown flag --{name} for '{}'; valid flags: {}",
+                    self.command,
+                    valid.join(", ")
+                ))
+            }
+        }
+    }
+}
+
+/// Edit distance for the "did you mean" suggestion.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = Vec::with_capacity(b.len() + 1);
+        cur.push(i + 1);
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur.push((prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
 /// Parsed `--flag value` / `--flag` arguments; repeated flags accumulate.
 struct Flags {
     values: HashMap<String, Vec<String>>,
 }
 
 impl Flags {
-    fn parse(args: &[String]) -> Result<Flags, CliError> {
+    fn parse(args: &[String], spec: &FlagSpec) -> Result<Flags, CliError> {
         let mut values: HashMap<String, Vec<String>> = HashMap::new();
         let mut i = 0;
         while i < args.len() {
@@ -54,7 +182,9 @@ impl Flags {
                     "unexpected argument '{arg}' (expected --flag)"
                 )));
             };
-            let is_boolean = matches!(name, "report" | "exact");
+            let is_boolean = spec
+                .knows(name)
+                .ok_or_else(|| spec.unknown_flag_error(name))?;
             if is_boolean {
                 values
                     .entry(name.to_string())
@@ -121,11 +251,14 @@ USAGE:
   seqhide stats  --db FILE [--mode plain|itemset|timed]
   seqhide mine   --db FILE --sigma N [--mode plain|itemset]
                  [--miner prefixspan|gsp] [--max-len L] [--top K]
+                 [--min-gap G] [--max-gap G] [--max-window W]
+                 [--metrics-out FILE] [--progress]
   seqhide hide   --db FILE --psi N (--pattern \"a b\")... [--regex \"a (b|c)+ d\"]...
                  [--mode plain|itemset|timed] [--algorithm hh|hr|rh|rr]
                  [--seed S] [--exact] [--min-gap G] [--max-gap G] [--max-window W]
                  [--engine incremental|scratch] [--threads N]
                  [--post keep|delete|replace] [--out FILE] [--report]
+                 [--metrics-out FILE] [--progress]
   seqhide verify --db FILE --psi N (--pattern \"a b\")...
   seqhide attack --original FILE --released FILE [--train FILE]
                  (--pattern \"a b\")...
@@ -138,6 +271,11 @@ FORMATS (one sequence per line; '#' comments; marks render as Δ):
   timed    symbol@tick events:                login@0 search@15
 In itemset mode --pattern uses the itemset syntax; in timed mode
 --min-gap/--max-gap/--max-window are elapsed ticks, not index distances.
+
+TELEMETRY:
+  --metrics-out FILE  write the run's span/counter/histogram snapshot as
+                      JSON (schema in docs/OBSERVABILITY.md)
+  --progress          print throttled progress lines to stderr
 ";
 
 fn load_db(flags: &Flags) -> Result<SequenceDb, CliError> {
@@ -459,6 +597,12 @@ fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
             "plain patterns: {} marks in {} sequences; residual supports {:?}\n",
             report.marks_introduced, report.sequences_sanitized, report.residual_supports
         ));
+        if flags.has("report") {
+            out.push_str(&format!(
+                "engine: {} cell repairs, {} fallback recounts\n",
+                report.engine_repairs, report.fallback_recounts
+            ));
+        }
         if !report.hidden {
             return Err(err("internal: sanitizer failed to hide plain patterns"));
         }
@@ -669,17 +813,37 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some(command) = args.first() else {
         return Ok(HELP.to_string());
     };
-    let flags = Flags::parse(&args[1..])?;
-    match command.as_str() {
+    let command = command.as_str();
+    if matches!(command, "help" | "--help" | "-h") {
+        return Ok(HELP.to_string());
+    }
+    let Some(spec) = FlagSpec::for_command(command) else {
+        return Err(err(format!(
+            "unknown command '{command}'; try 'seqhide help'"
+        )));
+    };
+    let flags = Flags::parse(&args[1..], spec)?;
+    if flags.has("progress") && !obs::is_enabled() {
+        eprintln!("[seqhide] --progress: instrumentation compiled out (obs feature off)");
+    }
+    obs::progress::enable(flags.has("progress"));
+    let before = obs::snapshot();
+    let result = match command {
         "stats" => cmd_stats(&flags),
         "mine" => cmd_mine(&flags),
         "hide" => cmd_hide(&flags),
         "verify" => cmd_verify(&flags),
         "attack" => cmd_attack(&flags),
         "gen" => cmd_gen(&flags),
-        "help" | "--help" | "-h" => Ok(HELP.to_string()),
-        other => Err(err(format!(
-            "unknown command '{other}'; try 'seqhide help'"
-        ))),
+        _ => unreachable!("spec table covers every dispatched command"),
+    };
+    obs::progress::enable(false);
+    let mut result = result?;
+    if let Some(path) = flags.one("metrics-out") {
+        let metrics = obs::snapshot().diff(&before);
+        std::fs::write(path, metrics.to_json())
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        result.push_str(&format!("wrote metrics to {path}\n"));
     }
+    Ok(result)
 }

@@ -452,3 +452,148 @@ fn attack_command_reports_inference_and_resupport() {
     .0
     .contains("do not align"));
 }
+
+#[test]
+fn unknown_flags_get_suggestions() {
+    let dir = tmpdir("flags");
+    let db = write_db(&dir, "db.seq", "a b\n");
+    // close typo → "did you mean"
+    let e = run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--psii",
+        "0",
+        "--pattern",
+        "a",
+    ]))
+    .unwrap_err();
+    assert!(
+        e.0.contains("unknown flag --psii for 'hide'") && e.0.contains("did you mean --psi?"),
+        "{e}"
+    );
+    // prefix of a longer flag is still suggested
+    let e = run(&args(&["mine", "--db", &db, "--sig", "1"])).unwrap_err();
+    assert!(e.0.contains("did you mean --sigma?"), "{e}");
+    // nothing close → list the valid flags
+    let e = run(&args(&["gen", "--frobnicate", "x"])).unwrap_err();
+    assert!(e.0.contains("valid flags: --dataset, --seed, --out"), "{e}");
+    // flags valid elsewhere are rejected per-subcommand
+    let e = run(&args(&["stats", "--db", &db, "--psi", "0"])).unwrap_err();
+    assert!(e.0.contains("unknown flag --psi for 'stats'"), "{e}");
+}
+
+#[test]
+fn metrics_out_writes_documented_schema() {
+    let dir = tmpdir("metrics");
+    let db = write_db(&dir, "db.seq", "a b c\nb a c\nc c a\na c\n");
+    let metrics_path = dir.join("metrics.json").to_string_lossy().into_owned();
+    let out = run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a c",
+        "--metrics-out",
+        &metrics_path,
+    ]))
+    .unwrap();
+    assert!(out.contains("wrote metrics to"), "{out}");
+    let json = fs::read_to_string(&metrics_path).unwrap();
+    for key in [
+        "\"schema_version\": 1",
+        "\"obs_enabled\"",
+        "\"phases\"",
+        "\"counters\"",
+        "\"histograms\"",
+        "\"marks_introduced\"",
+        "\"victims_processed\"",
+        "\"victim_marks\"",
+        "\"victim_nanos\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    if seqhide_obs::is_enabled() {
+        // the run visited the sanitize tree: phases are non-empty and the
+        // local phase points at its parent
+        assert!(json.contains("\"name\": \"sanitize\""), "{json}");
+        assert!(
+            json.contains("\"name\": \"local_sanitize\", \"parent\": \"sanitize\""),
+            "{json}"
+        );
+        assert!(json.contains("\"name\": \"verify\""), "{json}");
+    }
+    // mine writes the same schema
+    let mine_metrics = dir.join("mine.json").to_string_lossy().into_owned();
+    run(&args(&[
+        "mine",
+        "--db",
+        &db,
+        "--sigma",
+        "2",
+        "--metrics-out",
+        &mine_metrics,
+    ]))
+    .unwrap();
+    let json = fs::read_to_string(&mine_metrics).unwrap();
+    assert!(json.contains("\"patterns_checked\""), "{json}");
+    if seqhide_obs::is_enabled() {
+        assert!(json.contains("\"name\": \"mine\""), "{json}");
+    }
+}
+
+#[test]
+fn progress_flag_is_accepted_and_scoped() {
+    let dir = tmpdir("progress");
+    let db = write_db(&dir, "db.seq", "a b\na b\nb a\n");
+    let out = run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a b",
+        "--progress",
+    ]))
+    .unwrap();
+    assert!(out.contains("total marks (M1):"));
+    // progress is disabled again once the command returns
+    assert!(!seqhide_obs::progress::enabled());
+    // verify does not take --progress
+    let e = run(&args(&[
+        "verify",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a b",
+        "--progress",
+    ]))
+    .unwrap_err();
+    assert!(e.0.contains("unknown flag --progress for 'verify'"), "{e}");
+}
+
+#[test]
+fn report_flag_surfaces_engine_stats() {
+    let dir = tmpdir("repstats");
+    let db = write_db(&dir, "db.seq", "a b c\nb a c\nc c a\na c\n");
+    let out = run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a c",
+        "--report",
+    ]))
+    .unwrap();
+    assert!(
+        out.contains("cell repairs") && out.contains("fallback recounts"),
+        "{out}"
+    );
+}

@@ -1,0 +1,124 @@
+//! Cross-checks the observability layer against the sanitizer's own
+//! report: the global obs counters must agree exactly with what the
+//! [`SanitizeReport`] claims, across every algorithm variant, engine mode
+//! and constraint class — and the report's residual supports must agree
+//! with an independent [`verify_hidden`] pass on the released database.
+//!
+//! The obs sinks are process-global, so everything here lives in one test
+//! function: scenarios run sequentially and each isolates its own
+//! contribution with a snapshot diff.
+
+use seqhide_core::{verify_hidden, EngineMode, GlobalStrategy, LocalStrategy, Sanitizer};
+use seqhide_match::{ConstraintSet, Gap, SensitivePattern, SensitiveSet};
+use seqhide_obs::{self as obs, Counter};
+use seqhide_types::SequenceDb;
+
+const DB_TEXT: &str = "\
+a b c a b\n\
+b a c b a\n\
+c c a b a\n\
+a c b\n\
+a b a b a\n\
+b c a c\n\
+x y z\n\
+a b c\n";
+
+fn sensitive(db: &mut SequenceDb, cs: &ConstraintSet) -> SensitiveSet {
+    let texts = ["a b", "c a"];
+    SensitiveSet::from_patterns(
+        texts
+            .iter()
+            .map(|t| {
+                let seq = seqhide_types::Sequence::parse(t, db.alphabet_mut());
+                SensitivePattern::new(seq, cs.clone()).expect("valid pattern")
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn counters_match_report_across_variants() {
+    let algorithms = [
+        (LocalStrategy::Heuristic, GlobalStrategy::Heuristic, "hh"),
+        (LocalStrategy::Heuristic, GlobalStrategy::Random, "hr"),
+        (LocalStrategy::Random, GlobalStrategy::Heuristic, "rh"),
+        (LocalStrategy::Random, GlobalStrategy::Random, "rr"),
+    ];
+    let engines = [EngineMode::Incremental, EngineMode::Scratch];
+    let constraint_classes = [
+        ("none", ConstraintSet::none()),
+        (
+            "gap",
+            ConstraintSet::uniform_gap(Gap {
+                min: 0,
+                max: Some(2),
+            }),
+        ),
+        ("window", ConstraintSet::with_max_window(3)),
+    ];
+    let psi = 1;
+    for (local, global, alg_name) in algorithms {
+        for engine in engines {
+            for (cs_name, cs) in &constraint_classes {
+                let ctx = format!("{alg_name}/{engine:?}/{cs_name}");
+                let mut db = SequenceDb::parse(DB_TEXT);
+                let sh = sensitive(&mut db, cs);
+                let before = obs::snapshot();
+                let report = Sanitizer::new(local, global, psi)
+                    .with_seed(11)
+                    .with_engine(engine)
+                    .run(&mut db, &sh);
+                let run = obs::snapshot().diff(&before);
+                assert!(report.hidden, "{ctx}: sanitizer must hide");
+                // the released database independently verifies to the same
+                // residual supports the report claims
+                let check = verify_hidden(&db, &sh, psi);
+                assert_eq!(
+                    check.supports, report.residual_supports,
+                    "{ctx}: verify_hidden disagrees with the report"
+                );
+                assert!(check.hidden, "{ctx}");
+                if engine == EngineMode::Scratch {
+                    assert_eq!(report.engine_repairs, 0, "{ctx}");
+                    assert_eq!(report.fallback_recounts, 0, "{ctx}");
+                }
+                if !obs::is_enabled() {
+                    continue;
+                }
+                assert_eq!(
+                    run.counter(Counter::MarksIntroduced),
+                    report.marks_introduced as u64,
+                    "{ctx}: marks counter vs report"
+                );
+                assert_eq!(
+                    run.counter(Counter::VictimsProcessed),
+                    report.sequences_sanitized as u64,
+                    "{ctx}: victims counter vs report"
+                );
+                assert_eq!(
+                    run.counter(Counter::EngineCellRepairs),
+                    report.engine_repairs as u64,
+                    "{ctx}: repair counter vs report"
+                );
+                assert_eq!(
+                    run.counter(Counter::FallbackRecounts),
+                    report.fallback_recounts as u64,
+                    "{ctx}: fallback counter vs report"
+                );
+                // the victim-marks histogram saw one observation per victim
+                // and sums to the total marks
+                let h = run.hist(obs::Hist::VictimMarks);
+                assert_eq!(h.count, report.sequences_sanitized as u64, "{ctx}");
+                assert_eq!(h.sum, report.marks_introduced as u64, "{ctx}");
+                // the span tree recorded the phases this run visited
+                assert!(run.phase(obs::Phase::Sanitize).calls >= 1, "{ctx}");
+                assert_eq!(
+                    run.phase(obs::Phase::LocalSanitize).calls,
+                    report.sequences_sanitized as u64,
+                    "{ctx}: one local span per victim"
+                );
+                assert!(run.phase(obs::Phase::Verify).calls >= 1, "{ctx}");
+            }
+        }
+    }
+}
