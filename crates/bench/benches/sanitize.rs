@@ -28,11 +28,11 @@ use std::time::Instant;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use seqhide_core::local::{sanitize_sequence_scratch, sanitize_sequence_with};
-use seqhide_core::LocalStrategy;
+use seqhide_core::{LocalStrategy, Sanitizer};
 use seqhide_data::markov_db;
 use seqhide_match::{ConstraintSet, Gap, MatchEngine, SensitivePattern, SensitiveSet};
 use seqhide_num::Sat64;
-use seqhide_types::Sequence;
+use seqhide_types::{Alphabet, Sequence, SequenceDb};
 
 struct Workload {
     name: &'static str,
@@ -176,6 +176,69 @@ fn main() {
         )
         .unwrap();
     }
+    // End-to-end cost of `hide --stream` relative to the in-memory path on
+    // the same file: (pass1 + pass2 + incremental render) vs (read + parse
+    // + run + render). Both sides include IO/parse/render so the ratio is
+    // what a --stream user actually pays for bounded memory.
+    let (stream_mem_ns, stream_stream_ns) = {
+        let db = markov_db(23, 400, (64, 64), 16, 0.8);
+        let path = std::env::temp_dir().join("seqhide-bench-stream.seq");
+        std::fs::write(&path, db.to_text()).expect("write stream workload");
+        let t0 = &db.sequences()[0];
+        let pattern_text = |range: std::ops::Range<usize>| {
+            t0.symbols()[range]
+                .iter()
+                .map(|&s| db.alphabet().render(s).to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let pat_texts = [pattern_text(0..3), pattern_text(4..7)];
+        let sanitizer = Sanitizer::hh(2).with_seed(7);
+        let mut best_mem = f64::INFINITY;
+        let mut best_stream = f64::INFINITY;
+        let mut released_mem = String::new();
+        let mut released_stream = Vec::new();
+        for _ in 0..reps {
+            let start = Instant::now();
+            let text = std::fs::read_to_string(&path).unwrap();
+            let mut work = SequenceDb::parse(&text);
+            let sh = SensitiveSet::new(
+                pat_texts
+                    .iter()
+                    .map(|p| Sequence::parse(p, work.alphabet_mut()))
+                    .collect(),
+            );
+            sanitizer.run(&mut work, &sh);
+            released_mem = work.to_text();
+            best_mem = best_mem.min(start.elapsed().as_nanos() as f64);
+
+            let start = Instant::now();
+            let mut alphabet = Alphabet::new();
+            let sh = SensitiveSet::new(
+                pat_texts
+                    .iter()
+                    .map(|p| Sequence::parse(p, &mut alphabet))
+                    .collect(),
+            );
+            released_stream = Vec::new();
+            sanitizer
+                .run_streaming(&path, &mut alphabet, &sh, 64, &mut released_stream)
+                .expect("streaming run");
+            best_stream = best_stream.min(start.elapsed().as_nanos() as f64);
+        }
+        assert_eq!(
+            released_mem.as_bytes(),
+            released_stream.as_slice(),
+            "stream bench: released bytes diverged"
+        );
+        let _ = std::fs::remove_file(&path);
+        (best_mem, best_stream)
+    };
+    let stream_overhead = stream_stream_ns / stream_mem_ns;
+    println!(
+        "stream-vs-memory     memory {:>12.0} ns/run      stream  {:>12.0} ns/run      overhead {:.2}x",
+        stream_mem_ns, stream_stream_ns, stream_overhead
+    );
     let geo_mean = (log_speedup_sum / workloads.len() as f64).exp();
     let obs_geo_mean = (log_obs_overhead_sum / workloads.len() as f64).exp();
     println!("geometric-mean speedup: {geo_mean:.2}x");
@@ -187,7 +250,7 @@ fn main() {
         eprintln!("WARNING: obs recording overhead exceeds the 3% budget");
     }
     let json = format!(
-        "{{\n  \"bench\": \"sanitize\",\n  \"unit\": \"ns per victim, best of {reps}\",\n  \"obs_enabled\": {},\n  \"workloads\": [\n{rows}\n  ],\n  \"speedup\": {geo_mean:.3},\n  \"obs_overhead\": {obs_geo_mean:.4},\n  \"obs_overhead_budget\": 1.03\n}}\n",
+        "{{\n  \"bench\": \"sanitize\",\n  \"unit\": \"ns per victim, best of {reps}\",\n  \"obs_enabled\": {},\n  \"workloads\": [\n{rows}\n  ],\n  \"speedup\": {geo_mean:.3},\n  \"obs_overhead\": {obs_geo_mean:.4},\n  \"obs_overhead_budget\": 1.03,\n  \"stream_overhead\": {{\"batch_size\": 64, \"memory_ns_per_run\": {stream_mem_ns:.0}, \"stream_ns_per_run\": {stream_stream_ns:.0}, \"overhead\": {stream_overhead:.4}}}\n}}\n",
         seqhide_obs::is_enabled()
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sanitize.json");

@@ -35,6 +35,58 @@ pub enum GlobalStrategy {
     Length,
 }
 
+/// The per-supporter statistics victim selection consults — everything
+/// pass 1 of the streaming driver ([`crate::stream`]) has to retain about
+/// a supporting sequence after the sequence itself is dropped. Only the
+/// field the given strategy sorts by is actually measured; the rest stay
+/// at their defaults, so the cost profile matches the eager path.
+#[derive(Clone, Debug, Default)]
+pub struct SupporterStat<C> {
+    /// The sequence's ordinal (index) in database order.
+    pub ordinal: usize,
+    /// Matching-set size ([`GlobalStrategy::Heuristic`] key).
+    pub matching: C,
+    /// Unmarked-distinct-symbol ratio ([`GlobalStrategy::AutoCorrelation`]
+    /// key; 1.0 for the empty sequence).
+    pub distinct_ratio: f64,
+    /// Sequence length ([`GlobalStrategy::Length`] key).
+    pub len: usize,
+}
+
+impl<C: Count> SupporterStat<C> {
+    /// Measures the statistic `strategy` will sort by for the supporter at
+    /// `ordinal` with content `t`.
+    pub fn measure(
+        ordinal: usize,
+        strategy: GlobalStrategy,
+        sh: &SensitiveSet,
+        t: &seqhide_types::Sequence,
+    ) -> Self {
+        let mut stat = SupporterStat {
+            ordinal,
+            matching: C::zero(),
+            distinct_ratio: 0.0,
+            len: 0,
+        };
+        match strategy {
+            GlobalStrategy::Heuristic => stat.matching = matching_size::<C>(sh, t),
+            GlobalStrategy::Random => {}
+            GlobalStrategy::AutoCorrelation => {
+                let mut syms: Vec<_> = t.iter().filter(|s| !s.is_mark()).copied().collect();
+                syms.sort_unstable();
+                syms.dedup();
+                stat.distinct_ratio = if t.is_empty() {
+                    1.0
+                } else {
+                    syms.len() as f64 / t.len() as f64
+                };
+            }
+            GlobalStrategy::Length => stat.len = t.len(),
+        }
+        stat
+    }
+}
+
 /// Selects the supporter indices to sanitize: `max(0, supporters − ψ)` of
 /// them, per `strategy`. `supporters` must be the indices of sequences
 /// supporting at least one sensitive pattern (see
@@ -47,20 +99,45 @@ pub fn select_victims<C: Count, R: Rng + ?Sized>(
     strategy: GlobalStrategy,
     rng: &mut R,
 ) -> Vec<usize> {
+    if supporters.len() <= psi {
+        let _span = obs::span(Phase::SelectVictims);
+        return Vec::new();
+    }
+    let stats: Vec<SupporterStat<C>> = supporters
+        .iter()
+        .map(|&i| SupporterStat::measure(i, strategy, sh, &db.sequences()[i]))
+        .collect();
+    select_victims_from_stats(&stats, psi, strategy, rng)
+}
+
+/// [`select_victims`] over precomputed per-supporter statistics — the form
+/// the streaming driver uses, where pass 1 kept only a [`SupporterStat`]
+/// per supporter and the sequences themselves are gone. `stats` must be in
+/// database order; the returned ordinals and their order are identical to
+/// the eager path's (including RNG consumption under
+/// [`GlobalStrategy::Random`]), which is what makes streaming output
+/// byte-identical.
+pub fn select_victims_from_stats<C: Count, R: Rng + ?Sized>(
+    stats: &[SupporterStat<C>],
+    psi: usize,
+    strategy: GlobalStrategy,
+    rng: &mut R,
+) -> Vec<usize> {
     let _span = obs::span(Phase::SelectVictims);
-    let n_victims = supporters.len().saturating_sub(psi);
+    let n_victims = stats.len().saturating_sub(psi);
     if n_victims == 0 {
         return Vec::new();
     }
-    let mut order: Vec<usize> = supporters.to_vec();
+    let mut order: Vec<usize> = stats.iter().map(|s| s.ordinal).collect();
     match strategy {
         GlobalStrategy::Heuristic => {
-            let sizes: Vec<C> = order
-                .iter()
-                .map(|&i| matching_size::<C>(sh, &db.sequences()[i]))
-                .collect();
             let mut keyed: Vec<(usize, usize)> = (0..order.len()).map(|k| (k, order[k])).collect();
-            keyed.sort_by(|a, b| sizes[a.0].cmp(&sizes[b.0]).then(a.1.cmp(&b.1)));
+            keyed.sort_by(|a, b| {
+                stats[a.0]
+                    .matching
+                    .cmp(&stats[b.0].matching)
+                    .then(a.1.cmp(&b.1))
+            });
             order = keyed.into_iter().map(|(_, i)| i).collect();
         }
         GlobalStrategy::Random => {
@@ -68,26 +145,17 @@ pub fn select_victims<C: Count, R: Rng + ?Sized>(
         }
         GlobalStrategy::AutoCorrelation => {
             // ascending distinct-symbol ratio = descending auto-correlation
-            let mut keyed: Vec<(f64, usize)> = order
+            let mut keyed: Vec<(f64, usize)> = stats
                 .iter()
-                .map(|&i| {
-                    let t = &db.sequences()[i];
-                    let mut syms: Vec<_> = t.iter().filter(|s| !s.is_mark()).copied().collect();
-                    syms.sort_unstable();
-                    syms.dedup();
-                    let ratio = if t.is_empty() {
-                        1.0
-                    } else {
-                        syms.len() as f64 / t.len() as f64
-                    };
-                    (ratio, i)
-                })
+                .map(|s| (s.distinct_ratio, s.ordinal))
                 .collect();
             keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             order = keyed.into_iter().map(|(_, i)| i).collect();
         }
         GlobalStrategy::Length => {
-            order.sort_by_key(|&i| (db.sequences()[i].len(), i));
+            let mut keyed: Vec<(usize, usize)> = stats.iter().map(|s| (s.len, s.ordinal)).collect();
+            keyed.sort_unstable();
+            order = keyed.into_iter().map(|(_, i)| i).collect();
         }
     }
     order.truncate(n_victims);

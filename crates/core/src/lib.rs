@@ -52,6 +52,7 @@ pub mod metrics;
 pub mod post;
 pub mod problem;
 pub mod sanitizer;
+pub mod stream;
 pub mod timed;
 pub mod verify;
 
@@ -60,4 +61,5 @@ pub use local::{EngineMode, LocalStrategy};
 pub use metrics::{distortion, DistortionReport};
 pub use problem::{DisclosureThresholds, HidingProblem};
 pub use sanitizer::{SanitizeReport, Sanitizer};
+pub use stream::StreamReport;
 pub use verify::{verify_hidden, VerifyReport};

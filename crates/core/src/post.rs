@@ -61,13 +61,41 @@ pub fn delete_markers_safe(
     psi: usize,
     sanitizer: &Sanitizer,
 ) -> (SequenceDb, DeleteReport) {
+    delete_markers_safe_with(db, sh, psi, sanitizer, |_| 0)
+}
+
+/// [`delete_markers_safe`] with an extra re-sanitization hook for pattern
+/// families the plain [`Sanitizer`] does not cover (regex patterns in the
+/// CLI's case — Δ-deletion shrinks gaps for *every* constrained matcher,
+/// not just plain `S_h`).
+///
+/// Each round first re-runs the plain sanitizer if plain verification
+/// fails, then calls `extra`, which must re-verify its own patterns
+/// against the current database, sanitize if needed, and return the marks
+/// it added (0 when its patterns are still hidden). The round's deletion
+/// only happens — and the loop only continues — if the round added marks,
+/// so the returned release satisfies **both** the plain and the hook's
+/// hiding requirements simultaneously. Termination argument is unchanged:
+/// every continuing round adds ≥ 1 mark and then strictly shortens some
+/// sequence.
+pub fn delete_markers_safe_with(
+    db: &SequenceDb,
+    sh: &SensitiveSet,
+    psi: usize,
+    sanitizer: &Sanitizer,
+    mut extra: impl FnMut(&mut SequenceDb) -> usize,
+) -> (SequenceDb, DeleteReport) {
     let _span = obs::span(Phase::Post);
     let mut current = delete_markers(db);
     let mut rounds = 1;
     let mut extra_marks = 0;
     loop {
-        let verify = crate::verify::verify_hidden(&current, sh, psi);
-        if verify.hidden {
+        let mut added = 0;
+        if !crate::verify::verify_hidden(&current, sh, psi).hidden {
+            added += sanitizer.run(&mut current, sh).marks_introduced;
+        }
+        added += extra(&mut current);
+        if added == 0 {
             return (
                 current,
                 DeleteReport {
@@ -76,8 +104,7 @@ pub fn delete_markers_safe(
                 },
             );
         }
-        let report = sanitizer.run(&mut current, sh);
-        extra_marks += report.marks_introduced;
+        extra_marks += added;
         current = delete_markers(&current);
         rounds += 1;
     }
@@ -181,6 +208,75 @@ mod tests {
         assert_eq!(safe.total_marks(), 0);
         assert!(report.rounds >= 2);
         assert!(report.extra_marks >= 1);
+    }
+
+    #[test]
+    fn delete_safe_with_hook_satisfies_both_families() {
+        // Plain S_h is the adjacent a→⁰b; the hook plays the role of a
+        // second matcher family (the CLI's regex patterns) forbidding any
+        // unmarked c. Deletion must not resurrect either.
+        let mut db = SequenceDb::parse("a x b c\n");
+        let ab = Sequence::parse("a b", db.alphabet_mut());
+        let c = Sequence::parse("c", db.alphabet_mut());
+        let c_sym = c[0];
+        let adj = SensitivePattern::new(ab, ConstraintSet::uniform_gap(Gap::adjacent())).unwrap();
+        let sh = SensitiveSet::from_patterns(vec![adj]);
+        db.sequences_mut()[0].mark(1); // collateral mark on x
+        let hook = |db: &mut SequenceDb| {
+            let mut added = 0;
+            for t in db.sequences_mut() {
+                for pos in 0..t.len() {
+                    if t[pos] == c_sym {
+                        t.mark(pos);
+                        added += 1;
+                    }
+                }
+            }
+            added
+        };
+        // Naive deletion resurrects both: ⟨a b c⟩.
+        let naive = delete_markers(&db);
+        assert!(!crate::verify::verify_hidden(&naive, &sh, 0).hidden);
+        assert_eq!(support(&naive, &c), 1);
+        let (safe, report) = delete_markers_safe_with(&db, &sh, 0, &Sanitizer::hh(0), hook);
+        assert!(crate::verify::verify_hidden(&safe, &sh, 0).hidden);
+        assert_eq!(support(&safe, &c), 0);
+        assert_eq!(safe.total_marks(), 0);
+        assert!(report.rounds >= 2);
+        assert!(report.extra_marks >= 1);
+    }
+
+    #[test]
+    fn delete_safe_release_passes_multi_threshold_verify() {
+        use crate::problem::DisclosureThresholds;
+        // Two adjacent-gap patterns with different effective thresholds.
+        // Collateral marks made both hidden; naive deletion resurrects
+        // occurrences of each. The safe release must pass
+        // verify_hidden_multi at [0, 1] — each pattern held to its OWN
+        // threshold, not just the collapsed min.
+        let mut db = SequenceDb::parse("a x b\nc y d\nc z d\n");
+        let ab = Sequence::parse("a b", db.alphabet_mut());
+        let cd = Sequence::parse("c d", db.alphabet_mut());
+        let adjacent = ConstraintSet::uniform_gap(Gap::adjacent());
+        let sh = SensitiveSet::from_patterns(vec![
+            SensitivePattern::new(ab, adjacent.clone()).unwrap(),
+            SensitivePattern::new(cd, adjacent).unwrap(),
+        ]);
+        for i in 0..3 {
+            db.sequences_mut()[i].mark(1); // collateral middle marks
+        }
+        let thresholds = DisclosureThresholds::new(vec![0, 1]);
+        assert!(crate::verify::verify_hidden_multi(&db, &sh, &thresholds).hidden);
+        // Naive deletion resurrects ⟨a b⟩ (support 1 > 0) and ⟨c d⟩
+        // (support 2 > 1) — each above its own threshold.
+        let naive = delete_markers(&db);
+        assert!(!crate::verify::verify_hidden_multi(&naive, &sh, &thresholds).hidden);
+        // Safe delete at ψ = min(thresholds) = 0 over-approximates but
+        // guarantees every per-pattern threshold on the release.
+        let (safe, _) = delete_markers_safe(&db, &sh, thresholds.min(), &Sanitizer::hh(0));
+        let verdict = crate::verify::verify_hidden_multi(&safe, &sh, &thresholds);
+        assert!(verdict.hidden, "supports {:?}", verdict.supports);
+        assert_eq!(safe.total_marks(), 0);
     }
 
     #[test]

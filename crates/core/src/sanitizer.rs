@@ -151,6 +151,34 @@ impl Sanitizer {
         self.psi
     }
 
+    /// The RNG seed ([`Sanitizer::with_seed`]).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether exact [`BigCount`] arithmetic is selected.
+    pub fn exact_counts(&self) -> bool {
+        self.exact
+    }
+
+    /// The configured engine mode.
+    pub fn engine(&self) -> EngineMode {
+        self.engine
+    }
+
+    /// The configured thread count (0 = one per CPU).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The worker-thread count after resolving `0` to the CPU count.
+    pub(crate) fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            n => n,
+        }
+    }
+
     /// Sanitizes `db` in place so that every pattern of `sh` has support
     /// `≤ ψ`, and reports the damage.
     ///
@@ -190,8 +218,11 @@ impl Sanitizer {
 
     /// Sanitizes one victim with a worker-owned engine. Each victim still
     /// gets its own [`Sanitizer::victim_rng`], so scheduling and engine
-    /// reuse cannot change outcomes.
-    fn sanitize_one_with<C: Count>(
+    /// reuse cannot change outcomes. `ordinal` is the victim's index in
+    /// the *selection order* (the position `select_victims` returned it
+    /// at), not its database ordinal — the streaming driver looks it up
+    /// through a map for exactly this reason.
+    pub(crate) fn sanitize_one_with<C: Count>(
         &self,
         t: &mut seqhide_types::Sequence,
         sh: &SensitiveSet,
@@ -227,10 +258,7 @@ impl Sanitizer {
         sh: &SensitiveSet,
         victims: &[usize],
     ) -> (usize, EngineStats) {
-        let threads = match self.threads {
-            0 => std::thread::available_parallelism().map_or(1, usize::from),
-            n => n,
-        };
+        let threads = self.resolved_threads();
         obs::progress::begin("sanitize", victims.len() as u64);
         if threads <= 1 || victims.len() <= 1 {
             let mut marks = 0;

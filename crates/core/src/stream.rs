@@ -1,0 +1,420 @@
+//! Bounded-memory streaming sanitization: the two-level algorithm as a
+//! two-pass pipeline over a file, never holding more than one batch of
+//! sequences resident.
+//!
+//! The paper's algorithm (§4) is naturally two-pass:
+//!
+//! 1. **Pass 1** streams the database once, keeping only a
+//!    [`SupporterStat`] per *supporting* sequence — the ordinal plus the
+//!    one statistic the global strategy sorts by (matching-set size for
+//!    the paper's heuristic, per Lemma 2). Victim selection then runs on
+//!    that small index via [`select_victims_from_stats`], which is the
+//!    exact code path [`select_victims`](crate::global::select_victims)
+//!    delegates to in memory.
+//! 2. **Pass 2** re-streams the file in batches of `batch_size`
+//!    sequences, routes the victims among them through the same
+//!    per-worker [`MatchEngine`] marking loop as [`Sanitizer::run`], and
+//!    writes every sequence (sanitized or untouched) to the sink as soon
+//!    as its batch completes. Residual supports are tallied on the way
+//!    out, so the run ends with a full [`SanitizeReport`] without a third
+//!    pass.
+//!
+//! **Why the output is byte-identical to the in-memory path.** Every
+//! victim draws from an RNG derived from `(seed, selection ordinal)`
+//! (the invariant [`Sanitizer::with_threads`] documents), the selection
+//! ordinals come from the shared `select_victims_from_stats`, and victim
+//! sequences are mutually independent — so neither batching, nor
+//! scheduling, nor engine reuse can change a single mark. The only state
+//! that scales with the database is the supporter index (ordinals of
+//! supporters, not their content), which the hiding problem itself makes
+//! small relative to `|D|` in the regimes worth streaming.
+//!
+//! Peak memory is governed by `batch_size`: the
+//! [`Gauge::PeakResidentBatch`] telemetry gauge records the high-water
+//! mark of resident batch bytes, and the CI memory-ceiling smoke asserts
+//! it stays sublinear in `|D|`.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::Path;
+
+use seqhide_data::stream::{SeqReader, SeqWriter};
+use seqhide_match::{supports, EngineStats, MatchEngine, SensitiveSet};
+use seqhide_num::{BigCount, Count, Sat64};
+use seqhide_obs::{self as obs, Gauge, Phase};
+use seqhide_types::{Alphabet, Sequence, Symbol};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::global::{select_victims_from_stats, SupporterStat};
+use crate::sanitizer::{SanitizeReport, Sanitizer};
+use crate::verify::VerifyReport;
+
+/// Outcome of one streaming run: the same [`SanitizeReport`] the
+/// in-memory path produces, plus streaming-specific accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamReport {
+    /// The sanitization report — field-for-field identical to what
+    /// [`Sanitizer::run`] returns on the same input and configuration.
+    pub report: SanitizeReport,
+    /// Total sequences streamed (`|D|`).
+    pub sequences_total: usize,
+    /// Pass-2 batches processed.
+    pub batches: usize,
+    /// High-water mark of resident batch payload bytes (also exported as
+    /// the `peak_resident_batch` telemetry gauge).
+    pub peak_batch_bytes: u64,
+}
+
+impl StreamReport {
+    /// The hiding verification implied by the report (pass 2 tallied the
+    /// residual supports, so no extra pass is needed).
+    pub fn verify(&self, psi: usize) -> VerifyReport {
+        VerifyReport {
+            hidden: self.report.hidden,
+            supports: self.report.residual_supports.clone(),
+            thresholds: vec![psi; self.report.residual_supports.len()],
+        }
+    }
+}
+
+/// Heap payload of one sequence inside a batch (the quantity the
+/// `peak_resident_batch` gauge sums).
+fn resident_bytes(t: &Sequence) -> u64 {
+    (t.len() * std::mem::size_of::<Symbol>()) as u64
+}
+
+impl Sanitizer {
+    /// Streams `input` through the two-pass pipeline, writing the
+    /// sanitized database to `sink` and keeping at most `batch_size`
+    /// sequences resident. `alphabet` must already contain the sensitive
+    /// patterns' symbols (it grows with the file's symbols as passes
+    /// proceed). Output and report are byte-identical to parsing the
+    /// whole file and calling [`Sanitizer::run`].
+    ///
+    /// `batch_size = 0` is clamped to 1.
+    pub fn run_streaming(
+        &self,
+        input: &Path,
+        alphabet: &mut Alphabet,
+        sh: &SensitiveSet,
+        batch_size: usize,
+        sink: &mut dyn Write,
+    ) -> io::Result<StreamReport> {
+        if self.exact_counts() {
+            self.run_streaming_typed::<BigCount>(input, alphabet, sh, batch_size, sink)
+        } else {
+            self.run_streaming_typed::<Sat64>(input, alphabet, sh, batch_size, sink)
+        }
+    }
+
+    fn run_streaming_typed<C: Count>(
+        &self,
+        input: &Path,
+        alphabet: &mut Alphabet,
+        sh: &SensitiveSet,
+        batch_size: usize,
+        sink: &mut dyn Write,
+    ) -> io::Result<StreamReport> {
+        let batch_size = batch_size.max(1);
+        let strategy = self.global();
+
+        // Pass 1: supporter scan — retain (ordinal, sort key) per
+        // supporter, nothing else.
+        let (stats, sequences_total) = {
+            let _span = obs::span(Phase::StreamPass1);
+            let mut reader = SeqReader::open(input)?;
+            let mut stats: Vec<SupporterStat<C>> = Vec::new();
+            let mut ordinal = 0usize;
+            while let Some(t) = reader.next_seq(alphabet)? {
+                if sh.iter().any(|p| supports(&t, p)) {
+                    stats.push(SupporterStat::measure(ordinal, strategy, sh, &t));
+                }
+                ordinal += 1;
+            }
+            (stats, ordinal)
+        };
+        let supporters_before = stats.len();
+
+        // Victim selection on the small index — the same code path (and
+        // the same RNG stream) as the in-memory Sanitizer::run.
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed());
+        let victims = select_victims_from_stats(&stats, self.psi(), strategy, &mut rng);
+        drop(stats);
+        // database ordinal → selection ordinal (the per-victim RNG key)
+        let selection_ordinal: HashMap<usize, usize> =
+            victims.iter().enumerate().map(|(o, &i)| (i, o)).collect();
+
+        // Pass 2: batched sanitize + incremental write + residual tally.
+        let _span = obs::span(Phase::StreamPass2);
+        obs::progress::begin("sanitize (stream)", victims.len() as u64);
+        let mut reader = SeqReader::open(input)?;
+        let mut writer = SeqWriter::new(sink);
+        let mut engine = MatchEngine::<C>::new(sh);
+        let mut stats_total = EngineStats::default();
+        let mut residual = vec![0usize; sh.len()];
+        let mut marks = 0usize;
+        let mut batches = 0usize;
+        let mut peak_batch_bytes = 0u64;
+        let mut next_ordinal = 0usize;
+        let mut batch: Vec<(usize, Sequence)> = Vec::with_capacity(batch_size);
+        loop {
+            batch.clear();
+            while batch.len() < batch_size {
+                match reader.next_seq(alphabet)? {
+                    Some(t) => {
+                        batch.push((next_ordinal, t));
+                        next_ordinal += 1;
+                    }
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            batches += 1;
+            let bytes: u64 = batch.iter().map(|(_, t)| resident_bytes(t)).sum();
+            peak_batch_bytes = peak_batch_bytes.max(bytes);
+            obs::gauge_max(Gauge::PeakResidentBatch, bytes);
+
+            let threads = self.resolved_threads();
+            if threads <= 1 {
+                for (ordinal, t) in batch.iter_mut() {
+                    if let Some(&sel) = selection_ordinal.get(ordinal) {
+                        marks += self.sanitize_one_with(t, sh, sel, &mut engine);
+                        obs::progress::bump("sanitize (stream)", 1);
+                    }
+                }
+            } else {
+                stats_total += self.sanitize_batch_parallel::<C>(
+                    &mut batch,
+                    sh,
+                    &selection_ordinal,
+                    threads,
+                    &mut marks,
+                );
+            }
+
+            for (_, t) in &batch {
+                for (pi, p) in sh.iter().enumerate() {
+                    if supports(t, p) {
+                        residual[pi] += 1;
+                    }
+                }
+                writer.write_seq(alphabet, t)?;
+            }
+        }
+        obs::progress::finish("sanitize (stream)");
+        stats_total += engine.stats();
+        debug_assert_eq!(
+            next_ordinal, sequences_total,
+            "pass 2 re-read a different file"
+        );
+
+        let hidden = residual.iter().all(|&s| s <= self.psi());
+        Ok(StreamReport {
+            report: SanitizeReport {
+                marks_introduced: marks,
+                sequences_sanitized: victims.len(),
+                supporters_before,
+                residual_supports: residual,
+                hidden,
+                engine_repairs: stats_total.cell_repairs as usize,
+                fallback_recounts: stats_total.fallback_recounts as usize,
+            },
+            sequences_total,
+            batches,
+            peak_batch_bytes,
+        })
+    }
+
+    /// Fans one batch's victims out over scoped threads, striped by
+    /// selection ordinal (the same balancing device as the in-memory
+    /// path). Per-victim RNGs keyed by selection ordinal make the result
+    /// independent of the striping.
+    fn sanitize_batch_parallel<C: Count>(
+        &self,
+        batch: &mut [(usize, Sequence)],
+        sh: &SensitiveSet,
+        selection_ordinal: &HashMap<usize, usize>,
+        threads: usize,
+        marks: &mut usize,
+    ) -> EngineStats {
+        let mut stripes: Vec<Vec<(usize, usize, Sequence)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (slot, (ordinal, t)) in batch.iter_mut().enumerate() {
+            if let Some(&sel) = selection_ordinal.get(ordinal) {
+                stripes[sel % threads].push((sel, slot, std::mem::take(t)));
+            }
+        }
+        let (batch_marks, stats) = std::thread::scope(|scope| {
+            let handles: Vec<_> = stripes
+                .iter_mut()
+                .map(|stripe| {
+                    scope.spawn(move || {
+                        let mut marks = 0;
+                        let mut engine = MatchEngine::<C>::new(sh);
+                        for (sel, _, t) in stripe.iter_mut() {
+                            marks += self.sanitize_one_with(t, sh, *sel, &mut engine);
+                            obs::progress::bump("sanitize (stream)", 1);
+                        }
+                        (marks, engine.stats())
+                    })
+                })
+                .collect();
+            let mut marks = 0;
+            let mut stats = EngineStats::default();
+            for h in handles {
+                let (m, s) = h.join().expect("stream sanitizer thread panicked");
+                marks += m;
+                stats += s;
+            }
+            (marks, stats)
+        });
+        for stripe in stripes {
+            for (_, slot, t) in stripe {
+                batch[slot].1 = t;
+            }
+        }
+        *marks += batch_marks;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqhide_types::SequenceDb;
+
+    fn write_tmp(name: &str, text: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("seqhide-core-stream");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        path
+    }
+
+    /// Runs both paths on the same input and asserts byte + report parity.
+    fn assert_parity(
+        name: &str,
+        text: &str,
+        sanitizer: &Sanitizer,
+        patterns: &[&str],
+        batch: usize,
+    ) {
+        let path = write_tmp(name, text);
+        // in-memory
+        let mut db = SequenceDb::parse(text);
+        let sh = SensitiveSet::new(
+            patterns
+                .iter()
+                .map(|p| Sequence::parse(p, db.alphabet_mut()))
+                .collect(),
+        );
+        let mem_report = sanitizer.run(&mut db, &sh);
+        // streaming (fresh alphabet: patterns interned first)
+        let mut alphabet = Alphabet::new();
+        let sh_s = SensitiveSet::new(
+            patterns
+                .iter()
+                .map(|p| Sequence::parse(p, &mut alphabet))
+                .collect(),
+        );
+        let mut out = Vec::new();
+        let stream = sanitizer
+            .run_streaming(&path, &mut alphabet, &sh_s, batch, &mut out)
+            .unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            db.to_text(),
+            "{name}: bytes diverged"
+        );
+        assert_eq!(stream.report, mem_report, "{name}: reports diverged");
+        assert_eq!(stream.sequences_total, db.len());
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_small_batches() {
+        let text = "a b c\nb a c\nc a b c\na c\nb b\nc a\na b a c\n";
+        for batch in [1, 2, 3, 100] {
+            assert_parity(
+                &format!("hh-{batch}.seq"),
+                text,
+                &Sanitizer::hh(1),
+                &["a c"],
+                batch,
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_random_strategies() {
+        let text = "a b c\nb a c\nc a b c\na c\nb b\nc a\na b a c\n";
+        for make in [Sanitizer::hr, Sanitizer::rh, Sanitizer::rr] {
+            assert_parity("rand.seq", text, &make(1).with_seed(42), &["a c"], 2);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_threaded() {
+        let text = "a b c\nb a c\nc a b c\na c\nb b\nc a\na b a c\n";
+        assert_parity(
+            "threads.seq",
+            text,
+            &Sanitizer::rr(0).with_seed(9).with_threads(3),
+            &["a c"],
+            2,
+        );
+    }
+
+    #[test]
+    fn no_supporters_is_a_clean_copy() {
+        let text = "a b\nb c\n";
+        let path = write_tmp("nosup.seq", text);
+        let mut alphabet = Alphabet::new();
+        let sh = SensitiveSet::new(vec![Sequence::parse("z z", &mut alphabet)]);
+        let mut out = Vec::new();
+        let r = Sanitizer::hh(0)
+            .run_streaming(&path, &mut alphabet, &sh, 4, &mut out)
+            .unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), text);
+        assert!(r.report.hidden);
+        assert_eq!(r.report.marks_introduced, 0);
+        assert_eq!(r.report.supporters_before, 0);
+    }
+
+    #[test]
+    fn peak_batch_bytes_is_bounded_by_batch_size() {
+        let text = "a b\n".repeat(64);
+        let path = write_tmp("peak.seq", &text);
+        let mut alphabet = Alphabet::new();
+        let sh = SensitiveSet::new(vec![Sequence::parse("a b", &mut alphabet)]);
+        let mut out = Vec::new();
+        let r = Sanitizer::hh(0)
+            .run_streaming(&path, &mut alphabet, &sh, 4, &mut out)
+            .unwrap();
+        assert_eq!(r.batches, 16);
+        // 4 sequences × 2 symbols × 4 bytes
+        assert_eq!(r.peak_batch_bytes, 32);
+        let whole: u64 = SequenceDb::parse(&text)
+            .sequences()
+            .iter()
+            .map(resident_bytes)
+            .sum();
+        assert!(r.peak_batch_bytes < whole);
+    }
+
+    #[test]
+    fn batch_size_zero_is_clamped() {
+        let path = write_tmp("clamp.seq", "a b\n");
+        let mut alphabet = Alphabet::new();
+        let sh = SensitiveSet::new(vec![Sequence::parse("a b", &mut alphabet)]);
+        let mut out = Vec::new();
+        let r = Sanitizer::hh(0)
+            .run_streaming(&path, &mut alphabet, &sh, 0, &mut out)
+            .unwrap();
+        assert_eq!(r.batches, 1);
+        assert!(r.report.hidden);
+    }
+}

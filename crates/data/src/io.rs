@@ -106,6 +106,12 @@ pub fn parse_timed_db(text: &str) -> io::Result<(Alphabet, Vec<TimedSequence>)> 
                     format!("line {}: token '{token}' is not symbol@tick", lineno + 1),
                 )
             })?;
+            if name.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: empty symbol name in '{token}'", lineno + 1),
+                ));
+            }
             let time: TimeTag = tick.parse().map_err(|_| {
                 io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -207,6 +213,10 @@ mod tests {
         assert!(parse_timed_db("login search@5\n").is_err()); // missing @tick
         assert!(parse_timed_db("a@x\n").is_err()); // non-numeric tick
         assert!(parse_timed_db("a@9 b@3\n").is_err()); // decreasing time
+        let empty = parse_timed_db("a@1 @5\n").unwrap_err(); // empty symbol name
+        assert_eq!(empty.kind(), io::ErrorKind::InvalidData);
+        assert!(empty.to_string().contains("line 1"), "{empty}");
+        assert!(empty.to_string().contains("empty symbol name"), "{empty}");
     }
 
     #[test]

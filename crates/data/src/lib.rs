@@ -28,9 +28,11 @@ pub mod generate;
 pub mod grid;
 pub mod io;
 pub mod random;
+pub mod stream;
 pub mod trajectory;
 
 pub use generate::{synthetic_like, trucks_like, Dataset};
 pub use grid::Grid;
 pub use random::{markov_db, random_db, zipf_db};
+pub use stream::{SeqReader, SeqWriter, ShardWriter};
 pub use trajectory::{wander, waypoint_trajectory, Point};

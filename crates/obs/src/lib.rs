@@ -61,7 +61,7 @@ mod names;
 pub mod progress;
 mod snapshot;
 
-pub use names::{Counter, Hist, Phase};
+pub use names::{Counter, Gauge, Hist, Phase};
 pub use snapshot::{HistStat, PhaseStat, Snapshot, HIST_BUCKETS};
 
 /// Whether instrumentation is compiled into this build (the `enabled`
@@ -75,7 +75,7 @@ mod imp {
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
     use std::time::Instant;
 
-    use crate::names::{Counter, Hist, Phase};
+    use crate::names::{Counter, Gauge, Hist, Phase};
     use crate::snapshot::HIST_BUCKETS;
 
     pub(crate) static RECORDING: AtomicBool = AtomicBool::new(true);
@@ -117,6 +117,7 @@ mod imp {
         sum: [ZERO; Hist::COUNT],
         max: [ZERO; Hist::COUNT],
     };
+    pub(crate) static GAUGES: [AtomicU64; Gauge::COUNT] = [ZERO; Gauge::COUNT];
 
     /// Log2 bucket index: 0 holds the value 0, bucket `b > 0` holds
     /// `[2^(b-1), 2^b)`, the last bucket is open-ended.
@@ -186,6 +187,14 @@ mod imp {
         }
     }
 
+    /// Raises a gauge to `v` if `v` exceeds its current high-water mark.
+    #[inline]
+    pub fn gauge_max(gauge: Gauge, v: u64) {
+        if RECORDING.load(Relaxed) {
+            GAUGES[gauge as usize].fetch_max(v, Relaxed);
+        }
+    }
+
     /// Runtime gate over all sinks (compiled-in builds only). Recording is
     /// on by default.
     #[inline]
@@ -217,12 +226,15 @@ mod imp {
             HISTS.sum[h].store(0, Relaxed);
             HISTS.max[h].store(0, Relaxed);
         }
+        for g in &GAUGES {
+            g.store(0, Relaxed);
+        }
     }
 }
 
 #[cfg(not(feature = "enabled"))]
 mod imp {
-    use crate::names::{Counter, Hist, Phase};
+    use crate::names::{Counter, Gauge, Hist, Phase};
 
     /// No-op span (instrumentation compiled out).
     pub struct Span {
@@ -253,6 +265,10 @@ mod imp {
 
     /// No-op (instrumentation compiled out).
     #[inline(always)]
+    pub fn gauge_max(_gauge: Gauge, _v: u64) {}
+
+    /// No-op (instrumentation compiled out).
+    #[inline(always)]
     pub fn set_recording(_on: bool) {}
 
     /// Always `false` in no-op builds.
@@ -266,7 +282,7 @@ mod imp {
     pub fn reset() {}
 }
 
-pub use imp::{counter_add, hist_record, recording, reset, set_recording, span, Span};
+pub use imp::{counter_add, gauge_max, hist_record, recording, reset, set_recording, span, Span};
 
 /// Captures every sink into a plain value. In no-op builds the snapshot is
 /// empty (and [`Snapshot::enabled`] is `false`).
@@ -341,6 +357,28 @@ mod tests {
         assert_eq!(run.counter(Counter::MarksIntroduced), 0);
         assert_eq!(run.hist(Hist::VictimNanos).count, 0);
         assert_eq!(run.phase(Phase::Verify).calls, 0);
+    }
+
+    #[test]
+    fn gauges_keep_the_high_water_mark() {
+        let _guard = SERIAL.lock().unwrap();
+        gauge_max(Gauge::PeakResidentBatch, 100);
+        gauge_max(Gauge::PeakResidentBatch, 40);
+        let snap = snapshot();
+        assert!(snap.gauge(Gauge::PeakResidentBatch) >= 100);
+        // diff keeps self's value: peaks do not subtract
+        let diffed = snap.diff(&snap);
+        assert_eq!(
+            diffed.gauge(Gauge::PeakResidentBatch),
+            snap.gauge(Gauge::PeakResidentBatch)
+        );
+        // the gate silences gauges like every other sink
+        set_recording(false);
+        gauge_max(Gauge::PeakResidentBatch, u64::MAX);
+        set_recording(true);
+        assert!(snapshot().gauge(Gauge::PeakResidentBatch) < u64::MAX);
+        let json = snapshot().to_json();
+        assert!(json.contains("\"peak_resident_batch\""));
     }
 
     #[test]

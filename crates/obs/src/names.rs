@@ -20,6 +20,8 @@
 /// timed_sanitize
 /// st_sanitize
 /// post
+/// stream_pass1
+/// stream_pass2
 /// ```
 ///
 /// `engine_*` spans are also entered from the itemset sanitizer (the two
@@ -54,11 +56,15 @@ pub enum Phase {
     StSanitize,
     /// Δ-deletion / Δ-replacement post-processing.
     Post,
+    /// Streaming pass 1: supporter scan + victim selection over the index.
+    StreamPass1,
+    /// Streaming pass 2: batched sanitize + incremental write.
+    StreamPass2,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 15;
 
     /// Every phase, in declaration order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -75,6 +81,8 @@ impl Phase {
         Phase::TimedSanitize,
         Phase::StSanitize,
         Phase::Post,
+        Phase::StreamPass1,
+        Phase::StreamPass2,
     ];
 
     /// Stable snake_case name (the JSON `name` field).
@@ -93,6 +101,8 @@ impl Phase {
             Phase::TimedSanitize => "timed_sanitize",
             Phase::StSanitize => "st_sanitize",
             Phase::Post => "post",
+            Phase::StreamPass1 => "stream_pass1",
+            Phase::StreamPass2 => "stream_pass2",
         }
     }
 
@@ -105,7 +115,9 @@ impl Phase {
             | Phase::ItemsetSanitize
             | Phase::TimedSanitize
             | Phase::StSanitize
-            | Phase::Post => None,
+            | Phase::Post
+            | Phase::StreamPass1
+            | Phase::StreamPass2 => None,
             Phase::SelectVictims | Phase::LocalSanitize | Phase::Verify => Some(Phase::Sanitize),
             Phase::EngineLoad | Phase::EngineRepair | Phase::FallbackRecount => {
                 Some(Phase::LocalSanitize)
@@ -196,6 +208,32 @@ impl Hist {
         match self {
             Hist::VictimMarks => "victim_marks",
             Hist::VictimNanos => "victim_nanos",
+        }
+    }
+}
+
+/// High-water-mark gauge identity. Gauges keep the *maximum* value ever
+/// reported ([`crate::gauge_max`]) — suited to peaks like resident batch
+/// bytes, where a running total would be meaningless.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Peak bytes resident in one streaming batch (sequences held in
+    /// memory during pass 2 of `hide --stream`).
+    PeakResidentBatch,
+}
+
+impl Gauge {
+    /// Number of gauges.
+    pub const COUNT: usize = 1;
+
+    /// Every gauge, in declaration order.
+    pub const ALL: [Gauge; Gauge::COUNT] = [Gauge::PeakResidentBatch];
+
+    /// Stable snake_case name (the JSON key).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gauge::PeakResidentBatch => "peak_resident_batch",
         }
     }
 }

@@ -7,7 +7,7 @@
 
 use std::fmt::Write as _;
 
-use crate::names::{Counter, Hist, Phase};
+use crate::names::{Counter, Gauge, Hist, Phase};
 
 /// Number of log2 buckets per histogram — enough for values up to
 /// `2^47` (≈ 39 hours in nanoseconds) before the open-ended last bucket.
@@ -53,6 +53,7 @@ pub struct Snapshot {
     counters: [u64; Counter::COUNT],
     phases: [PhaseStat; Phase::COUNT],
     hists: [HistStat; Hist::COUNT],
+    gauges: [u64; Gauge::COUNT],
 }
 
 impl Snapshot {
@@ -60,7 +61,7 @@ impl Snapshot {
     pub(crate) fn capture() -> Snapshot {
         use std::sync::atomic::Ordering::Relaxed;
 
-        use crate::imp::{COUNTERS, HISTS, SPANS};
+        use crate::imp::{COUNTERS, GAUGES, HISTS, SPANS};
         let mut snap = Snapshot::default();
         for (i, slot) in COUNTERS.slots.iter().enumerate() {
             snap.counters[i] = slot.load(Relaxed);
@@ -79,6 +80,9 @@ impl Snapshot {
                 snap.hists[h].buckets[b] = slot.load(Relaxed);
             }
         }
+        for (g, slot) in GAUGES.iter().enumerate() {
+            snap.gauges[g] = slot.load(Relaxed);
+        }
         snap
     }
 
@@ -94,8 +98,8 @@ impl Snapshot {
     }
 
     /// The monotone difference `self − base`: counters, span totals and
-    /// bucket counts subtract saturating; histogram `max` is taken from
-    /// `self` (maxima do not subtract).
+    /// bucket counts subtract saturating; histogram `max` and gauge
+    /// high-water marks are taken from `self` (maxima do not subtract).
     pub fn diff(&self, base: &Snapshot) -> Snapshot {
         let mut out = self.clone();
         for (o, b) in out.counters.iter_mut().zip(&base.counters) {
@@ -130,16 +134,22 @@ impl Snapshot {
         &self.hists[h as usize]
     }
 
-    /// Renders the stable JSON schema (`schema_version` 1):
+    /// A gauge's captured high-water mark.
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g as usize]
+    }
+
+    /// Renders the stable JSON schema (`schema_version` 2):
     ///
     /// ```json
     /// {
-    ///   "schema_version": 1,
+    ///   "schema_version": 2,
     ///   "obs_enabled": true,
     ///   "phases": [
     ///     {"name": "sanitize", "parent": null, "calls": 1, "total_ns": 12345}
     ///   ],
     ///   "counters": {"marks_introduced": 5, ...},
+    ///   "gauges": {"peak_resident_batch": 65536, ...},
     ///   "histograms": {
     ///     "victim_marks": {"count": 3, "sum": 7, "max": 4,
     ///                      "buckets": [[0, 0, 1], [4, 7, 2]]}
@@ -148,11 +158,13 @@ impl Snapshot {
     /// ```
     ///
     /// Only phases with `calls > 0` appear (the tree of what actually
-    /// ran); every counter appears, zero or not, so keys are stable;
-    /// histogram buckets are sparse `[lower, upper, count]` triples.
+    /// ran); every counter and gauge appears, zero or not, so keys are
+    /// stable; histogram buckets are sparse `[lower, upper, count]`
+    /// triples. Version 2 added the `gauges` object; everything present
+    /// in version 1 is unchanged.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema_version\": 1,\n");
+        out.push_str("{\n  \"schema_version\": 2,\n");
         let _ = writeln!(out, "  \"obs_enabled\": {},", self.enabled());
         out.push_str("  \"phases\": [");
         let mut first = true;
@@ -185,6 +197,13 @@ impl Snapshot {
                 out.push(',');
             }
             let _ = write!(out, "\n    \"{}\": {}", c.name(), self.counter(*c));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {}", g.name(), self.gauge(*g));
         }
         out.push_str("\n  },\n  \"histograms\": {");
         for (i, h) in Hist::ALL.iter().enumerate() {
@@ -237,9 +256,10 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_stable_schema() {
         let json = Snapshot::default().to_json();
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"phases\": []"));
         assert!(json.contains("\"marks_introduced\": 0"));
+        assert!(json.contains("\"peak_resident_batch\": 0"));
         assert!(json.contains("\"victim_nanos\""));
     }
 

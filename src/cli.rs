@@ -88,9 +88,10 @@ const SPECS: &[FlagSpec] = &[
             "threads",
             "post",
             "out",
+            "batch-size",
             "metrics-out",
         ],
-        boolean: &["exact", "report", "progress"],
+        boolean: &["exact", "report", "progress", "stream"],
     },
     FlagSpec {
         command: "verify",
@@ -258,6 +259,7 @@ USAGE:
                  [--seed S] [--exact] [--min-gap G] [--max-gap G] [--max-window W]
                  [--engine incremental|scratch] [--threads N]
                  [--post keep|delete|replace] [--out FILE] [--report]
+                 [--stream] [--batch-size N]
                  [--metrics-out FILE] [--progress]
   seqhide verify --db FILE --psi N (--pattern \"a b\")...
   seqhide attack --original FILE --released FILE [--train FILE]
@@ -271,6 +273,13 @@ FORMATS (one sequence per line; '#' comments; marks render as Δ):
   timed    symbol@tick events:                login@0 search@15
 In itemset mode --pattern uses the itemset syntax; in timed mode
 --min-gap/--max-gap/--max-window are elapsed ticks, not index distances.
+
+STREAMING:
+  --stream            two-pass bounded-memory pipeline: never holds more
+                      than --batch-size sequences resident; output is
+                      byte-identical to the in-memory path on the same
+                      seed. Plain mode + --pattern only; --post keep only.
+  --batch-size N      sequences resident per pass-2 batch (default 1024)
 
 TELEMETRY:
   --metrics-out FILE  write the run's span/counter/histogram snapshot as
@@ -540,21 +549,165 @@ fn cmd_hide_timed(flags: &Flags, psi: usize) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The `hide` configuration shared by the in-memory and streaming paths.
+struct HideConfig {
+    psi: usize,
+    seed: u64,
+    engine: EngineMode,
+    threads: usize,
+    local: LocalStrategy,
+    global: GlobalStrategy,
+}
+
+impl HideConfig {
+    fn parse(flags: &Flags) -> Result<Self, CliError> {
+        let psi = flags
+            .required("psi")?
+            .parse::<usize>()
+            .map_err(|_| err("--psi: not a number"))?;
+        let seed = flags.u64_or("seed", 0)?;
+        let engine = match flags.one("engine") {
+            None => EngineMode::default(),
+            Some(v) => EngineMode::parse(v)
+                .ok_or_else(|| err(format!("unknown engine '{v}' (incremental|scratch)")))?,
+        };
+        let threads = flags.usize_or("threads", 1)?;
+        let (local, global) = match flags.one("algorithm").unwrap_or("hh") {
+            "hh" => (LocalStrategy::Heuristic, GlobalStrategy::Heuristic),
+            "hr" => (LocalStrategy::Heuristic, GlobalStrategy::Random),
+            "rh" => (LocalStrategy::Random, GlobalStrategy::Heuristic),
+            "rr" => (LocalStrategy::Random, GlobalStrategy::Random),
+            other => return Err(err(format!("unknown algorithm '{other}' (hh|hr|rh|rr)"))),
+        };
+        Ok(HideConfig {
+            psi,
+            seed,
+            engine,
+            threads,
+            local,
+            global,
+        })
+    }
+
+    fn sanitizer(&self, exact: bool) -> Sanitizer {
+        Sanitizer::new(self.local, self.global, self.psi)
+            .with_seed(self.seed)
+            .with_exact_counts(exact)
+            .with_engine(self.engine)
+            .with_threads(self.threads)
+    }
+}
+
+/// `hide --stream`: the two-pass bounded-memory pipeline
+/// ([`seqhide_core::stream`]). Pass 1 scans for supporters, pass 2
+/// re-streams in `--batch-size` batches and writes incrementally — the
+/// database is never fully resident. Same seed ⇒ byte-identical output to
+/// the in-memory path (the parity is pinned by tests/stream.rs).
+fn cmd_hide_stream(flags: &Flags, cfg: &HideConfig) -> Result<String, CliError> {
+    use std::path::Path;
+    if !flags.all("regex").is_empty() {
+        return Err(err(
+            "--stream supports plain --pattern hiding only (drop --regex or --stream)",
+        ));
+    }
+    if flags.one("post").unwrap_or("keep") != "keep" {
+        return Err(err(
+            "--stream writes incrementally; --post delete/replace need the full database in memory",
+        ));
+    }
+    let db_path = flags.required("db")?;
+    let cs = constraints(flags)?;
+    let mut alphabet = seqhide_types::Alphabet::new();
+    let mut patterns = Vec::new();
+    for text in flags.all("pattern") {
+        let seq = Sequence::parse(text, &mut alphabet);
+        patterns.push(
+            SensitivePattern::new(seq, cs.clone())
+                .map_err(|e| err(format!("--pattern '{text}': {e}")))?,
+        );
+    }
+    let sh = SensitiveSet::from_patterns(patterns);
+    if sh.is_empty() {
+        return Err(err("nothing to hide: give --pattern"));
+    }
+    let batch_size = flags.usize_or("batch-size", 1024)?;
+    let sanitizer = cfg.sanitizer(flags.has("exact"));
+    let stream_io = |e: std::io::Error| err(format!("cannot stream {db_path}: {e}"));
+
+    let mut out = String::new();
+    let report = if let Some(out_path) = flags.one("out") {
+        let shard_dir = Path::new(out_path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or_else(|| Path::new("."))
+            .to_path_buf();
+        let mut sink = seqhide_data::ShardWriter::new(shard_dir, 8 << 20);
+        let sr = sanitizer
+            .run_streaming(
+                Path::new(db_path),
+                &mut alphabet,
+                &sh,
+                batch_size,
+                &mut sink,
+            )
+            .map_err(stream_io)?;
+        sink.finish_to_path(out_path)
+            .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+        sr
+    } else {
+        let mut buf = Vec::new();
+        let sr = sanitizer
+            .run_streaming(Path::new(db_path), &mut alphabet, &sh, batch_size, &mut buf)
+            .map_err(stream_io)?;
+        out.push_str(&String::from_utf8(buf).expect("release text is UTF-8"));
+        sr
+    };
+    let mut head = format!(
+        "plain patterns: {} marks in {} sequences; residual supports {:?}\n",
+        report.report.marks_introduced,
+        report.report.sequences_sanitized,
+        report.report.residual_supports
+    );
+    head.push_str(&format!(
+        "stream: {} sequences in {} batch(es) of ≤ {batch_size}; peak batch {} B\n",
+        report.sequences_total, report.batches, report.peak_batch_bytes
+    ));
+    if flags.has("report") {
+        head.push_str(&format!(
+            "engine: {} cell repairs, {} fallback recounts\n",
+            report.report.engine_repairs, report.report.fallback_recounts
+        ));
+    }
+    if !report.report.hidden {
+        return Err(err("internal: sanitizer failed to hide plain patterns"));
+    }
+    head.push_str(&format!(
+        "total marks (M1): {}\n",
+        report.report.marks_introduced
+    ));
+    if let Some(out_path) = flags.one("out") {
+        head.push_str(&format!("wrote {out_path}\n"));
+    }
+    Ok(head + &out)
+}
+
 fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
-    let psi_early = flags
-        .required("psi")?
-        .parse::<usize>()
-        .map_err(|_| err("--psi: not a number"))?;
-    match mode(flags)? {
-        "itemset" => return cmd_hide_itemset(flags, psi_early),
-        "timed" => return cmd_hide_timed(flags, psi_early),
-        _ => {}
+    let cfg = HideConfig::parse(flags)?;
+    let psi = cfg.psi;
+    if let m @ ("itemset" | "timed") = mode(flags)? {
+        if flags.has("stream") {
+            return Err(err(format!("--stream supports plain mode only, not {m}")));
+        }
+        return if m == "itemset" {
+            cmd_hide_itemset(flags, psi)
+        } else {
+            cmd_hide_timed(flags, psi)
+        };
+    }
+    if flags.has("stream") {
+        return cmd_hide_stream(flags, &cfg);
     }
     let mut db = load_db(flags)?;
-    let psi = flags
-        .required("psi")?
-        .parse::<usize>()
-        .map_err(|_| err("--psi: not a number"))?;
     let sh = sensitive_set(flags, &mut db)?;
     let regexes: Vec<RegexPattern> = flags
         .all("regex")
@@ -568,30 +721,15 @@ fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
     if sh.is_empty() && regexes.is_empty() {
         return Err(err("nothing to hide: give --pattern and/or --regex"));
     }
-    let seed = flags.u64_or("seed", 0)?;
-    let engine = match flags.one("engine") {
-        None => EngineMode::default(),
-        Some(v) => EngineMode::parse(v)
-            .ok_or_else(|| err(format!("unknown engine '{v}' (incremental|scratch)")))?,
-    };
-    let threads = flags.usize_or("threads", 1)?;
-    let algorithm = flags.one("algorithm").unwrap_or("hh");
-    let (local, global) = match algorithm {
-        "hh" => (LocalStrategy::Heuristic, GlobalStrategy::Heuristic),
-        "hr" => (LocalStrategy::Heuristic, GlobalStrategy::Random),
-        "rh" => (LocalStrategy::Random, GlobalStrategy::Heuristic),
-        "rr" => (LocalStrategy::Random, GlobalStrategy::Random),
-        other => return Err(err(format!("unknown algorithm '{other}' (hh|hr|rh|rr)"))),
+    let seed = cfg.seed;
+    let re_strategy = match cfg.local {
+        LocalStrategy::Heuristic => ReLocalStrategy::Heuristic,
+        LocalStrategy::Random => ReLocalStrategy::Random,
     };
     let mut out = String::new();
     let mut marks = 0;
     if !sh.is_empty() {
-        let report = Sanitizer::new(local, global, psi)
-            .with_seed(seed)
-            .with_exact_counts(flags.has("exact"))
-            .with_engine(engine)
-            .with_threads(threads)
-            .run(&mut db, &sh);
+        let report = cfg.sanitizer(flags.has("exact")).run(&mut db, &sh);
         marks += report.marks_introduced;
         out.push_str(&format!(
             "plain patterns: {} marks in {} sequences; residual supports {:?}\n",
@@ -608,11 +746,7 @@ fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
         }
     }
     if !regexes.is_empty() {
-        let strategy = match local {
-            LocalStrategy::Heuristic => ReLocalStrategy::Heuristic,
-            LocalStrategy::Random => ReLocalStrategy::Random,
-        };
-        let report = sanitize_regex_db(&mut db, &regexes, psi, strategy, seed);
+        let report = sanitize_regex_db(&mut db, &regexes, psi, re_strategy, seed);
         marks += report.marks_introduced;
         out.push_str(&format!(
             "regex patterns: {} marks in {} sequences; residual supports {:?}\n",
@@ -625,11 +759,23 @@ fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
     match flags.one("post").unwrap_or("keep") {
         "keep" => {}
         "delete" => {
-            let (released, dr) = seqhide_core::post::delete_markers_safe(
+            // Δ-deletion shrinks gaps, which can resurrect *any*
+            // constrained matcher's occurrences — regex patterns included,
+            // not just plain S_h. The hook re-verifies (and if needed
+            // re-sanitizes) the regexes each round; it returns 0 once they
+            // are hidden, so the loop ends with both families clean.
+            let (released, dr) = seqhide_core::post::delete_markers_safe_with(
                 &db,
                 &sh,
                 psi,
-                &Sanitizer::new(local, global, psi),
+                &Sanitizer::new(cfg.local, cfg.global, psi),
+                |cur| {
+                    if regexes.is_empty() {
+                        0
+                    } else {
+                        sanitize_regex_db(cur, &regexes, psi, re_strategy, seed).marks_introduced
+                    }
+                },
             );
             db = released;
             out.push_str(&format!("post: deleted Δ ({} round(s))\n", dr.rounds));

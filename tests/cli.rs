@@ -503,10 +503,12 @@ fn metrics_out_writes_documented_schema() {
     assert!(out.contains("wrote metrics to"), "{out}");
     let json = fs::read_to_string(&metrics_path).unwrap();
     for key in [
-        "\"schema_version\": 1",
+        "\"schema_version\": 2",
         "\"obs_enabled\"",
         "\"phases\"",
         "\"counters\"",
+        "\"gauges\"",
+        "\"peak_resident_batch\"",
         "\"histograms\"",
         "\"marks_introduced\"",
         "\"victims_processed\"",
@@ -575,6 +577,203 @@ fn progress_flag_is_accepted_and_scoped() {
     ]))
     .unwrap_err();
     assert!(e.0.contains("unknown flag --progress for 'verify'"), "{e}");
+}
+
+#[test]
+fn stream_flag_releases_identical_bytes() {
+    let dir = tmpdir("stream");
+    let db = write_db(
+        &dir,
+        "db.seq",
+        "a b c\nb a c\nc a b c\na c\nb b\nc a\na b a c\n",
+    );
+    for algorithm in ["hh", "rr"] {
+        for batch in ["1", "3", "100"] {
+            let mem_path = dir.join("mem.seq").to_string_lossy().into_owned();
+            let stream_path = dir.join("stream.seq").to_string_lossy().into_owned();
+            let common = [
+                "--db",
+                &db,
+                "--psi",
+                "1",
+                "--pattern",
+                "a c",
+                "--algorithm",
+                algorithm,
+                "--seed",
+                "9",
+                "--threads",
+                "2",
+            ];
+            let mut mem_args = args(&["hide"]);
+            mem_args.extend(args(&common));
+            mem_args.extend(args(&["--out", &mem_path]));
+            run(&mem_args).unwrap();
+            let mut stream_args = args(&["hide"]);
+            stream_args.extend(args(&common));
+            stream_args.extend(args(&[
+                "--stream",
+                "--batch-size",
+                batch,
+                "--out",
+                &stream_path,
+            ]));
+            let out = run(&stream_args).unwrap();
+            assert!(out.contains("stream:"), "{out}");
+            assert!(out.contains("total marks (M1):"), "{out}");
+            assert_eq!(
+                fs::read_to_string(&mem_path).unwrap(),
+                fs::read_to_string(&stream_path).unwrap(),
+                "algorithm={algorithm} batch={batch}"
+            );
+        }
+    }
+    // without --out the release streams to stdout, same bytes
+    let out = run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a c",
+        "--stream",
+    ]))
+    .unwrap();
+    let mem = run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a c",
+    ]))
+    .unwrap();
+    let tail = |s: &str| {
+        s.lines()
+            .filter(|l| !l.contains(':'))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(tail(&out), tail(&mem));
+}
+
+#[test]
+fn stream_flag_rejects_unsupported_combos() {
+    let dir = tmpdir("streambad");
+    let db = write_db(&dir, "db.seq", "a b\n");
+    let e = run(&args(&[
+        "hide", "--db", &db, "--psi", "0", "--regex", "a b", "--stream",
+    ]))
+    .unwrap_err();
+    assert!(e.0.contains("--stream supports plain --pattern"), "{e}");
+    let e = run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a",
+        "--stream",
+        "--post",
+        "delete",
+    ]))
+    .unwrap_err();
+    assert!(e.0.contains("--stream writes incrementally"), "{e}");
+    let e = run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--mode",
+        "itemset",
+        "--psi",
+        "0",
+        "--pattern",
+        "a",
+        "--stream",
+    ]))
+    .unwrap_err();
+    assert!(e.0.contains("plain mode only"), "{e}");
+    let e = run(&args(&["hide", "--db", &db, "--psi", "0", "--stream"])).unwrap_err();
+    assert!(e.0.contains("nothing to hide"), "{e}");
+}
+
+#[test]
+fn stream_metrics_expose_pass_phases_and_peak_gauge() {
+    let dir = tmpdir("streammetrics");
+    let db = write_db(&dir, "db.seq", "a b c\nb a c\na c\na c b a\n");
+    let metrics_path = dir.join("metrics.json").to_string_lossy().into_owned();
+    run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a c",
+        "--stream",
+        "--batch-size",
+        "2",
+        "--metrics-out",
+        &metrics_path,
+    ]))
+    .unwrap();
+    let json = fs::read_to_string(&metrics_path).unwrap();
+    assert!(json.contains("\"peak_resident_batch\""), "{json}");
+    if seqhide_obs::is_enabled() {
+        assert!(json.contains("\"name\": \"stream_pass1\""), "{json}");
+        assert!(json.contains("\"name\": \"stream_pass2\""), "{json}");
+        // 2 sequences × ≤ 4 symbols × 4 bytes each — nonzero, bounded
+        assert!(!json.contains("\"peak_resident_batch\": 0"), "{json}");
+    }
+}
+
+/// Regression: `--post delete` used to re-verify only plain `S_h`, so a
+/// gap-constrained **regex** pattern destroyed in stage 1 could be
+/// resurrected by Δ-deletion (deleting the mark glues its neighbours
+/// together). The db ⟨a x b⟩ with regex "a b" at max-gap 0 is the minimal
+/// case: hiding --pattern x marks the middle, deletion yields ⟨a b⟩ — a
+/// fresh adjacent occurrence the old code shipped.
+#[test]
+fn post_delete_reverifies_regex_patterns() {
+    let dir = tmpdir("deleteregex");
+    let db = write_db(&dir, "db.seq", "a x b\n");
+    let out_path = dir.join("released.seq").to_string_lossy().into_owned();
+    let out = run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "x",
+        "--regex",
+        "a b",
+        "--max-gap",
+        "0",
+        "--post",
+        "delete",
+        "--out",
+        &out_path,
+    ]))
+    .unwrap();
+    assert!(out.contains("post: deleted Δ"), "{out}");
+    let released = fs::read_to_string(&out_path).unwrap();
+    assert!(
+        !released.contains('Δ'),
+        "release must be mark-free: {released}"
+    );
+    // the adjacent occurrence must NOT have been resurrected
+    for line in released.lines() {
+        assert!(
+            !line.contains("a b"),
+            "regex pattern resurrected by deletion: {released}"
+        );
+    }
+    // and the plain pattern stayed hidden too
+    assert!(!released.contains('x'), "{released}");
 }
 
 #[test]

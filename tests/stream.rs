@@ -1,0 +1,170 @@
+//! Equivalence suite for the two-pass streaming pipeline: `hide --stream`
+//! must release the **same bytes** as the in-memory path on the same seed,
+//! across every strategy, engine, thread count and batch size — the
+//! determinism contract `docs/ALGORITHMS.md` §"Two-pass streaming" pins.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use seqhide::core::{EngineMode, GlobalStrategy, LocalStrategy, Sanitizer};
+use seqhide::matching::SensitiveSet;
+use seqhide::prelude::*;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn write_case(text: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("seqhide-stream-equiv");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!(
+        "case-{}-{}.seq",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+/// Runs both paths on the same input text; returns (memory bytes, memory
+/// report, stream bytes, stream report).
+fn both_paths(
+    text: &str,
+    patterns: &[String],
+    sanitizer: &Sanitizer,
+    batch: usize,
+) -> (
+    String,
+    seqhide::core::SanitizeReport,
+    String,
+    seqhide::core::StreamReport,
+) {
+    let path = write_case(text);
+    let mut db = SequenceDb::parse(text);
+    let sh = SensitiveSet::new(
+        patterns
+            .iter()
+            .map(|p| Sequence::parse(p, db.alphabet_mut()))
+            .collect(),
+    );
+    let mem_report = sanitizer.run(&mut db, &sh);
+    // The streaming path interns the patterns into a *fresh* alphabet
+    // (symbol ids differ from the in-memory run); rendering is by name, so
+    // the released bytes must still agree.
+    let mut alphabet = Alphabet::new();
+    let sh_s = SensitiveSet::new(
+        patterns
+            .iter()
+            .map(|p| Sequence::parse(p, &mut alphabet))
+            .collect(),
+    );
+    let mut out = Vec::new();
+    let stream_report = sanitizer
+        .run_streaming(&path, &mut alphabet, &sh_s, batch, &mut out)
+        .unwrap();
+    std::fs::remove_file(&path).unwrap();
+    (
+        db.to_text(),
+        mem_report,
+        String::from_utf8(out).unwrap(),
+        stream_report,
+    )
+}
+
+const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::collection::vec(0usize..NAMES.len(), 1..=8), 1..=14).prop_map(
+        |rows| {
+            rows.iter()
+                .map(|row| row.iter().map(|&i| NAMES[i]).collect::<Vec<_>>().join(" ") + "\n")
+                .collect()
+        },
+    )
+}
+
+fn pattern_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(prop::collection::vec(0usize..NAMES.len(), 1..=3), 1..=2).prop_map(
+        |pats| {
+            pats.iter()
+                .map(|p| p.iter().map(|&i| NAMES[i]).collect::<Vec<_>>().join(" "))
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn streaming_is_byte_identical_to_in_memory(
+        text in text_strategy(),
+        patterns in pattern_strategy(),
+        psi in 0usize..4,
+        (local, global) in (
+            prop::sample::select(vec![LocalStrategy::Heuristic, LocalStrategy::Random]),
+            prop::sample::select(vec![
+                GlobalStrategy::Heuristic,
+                GlobalStrategy::Random,
+                GlobalStrategy::AutoCorrelation,
+                GlobalStrategy::Length,
+            ]),
+        ),
+        engine in prop::sample::select(vec![EngineMode::Incremental, EngineMode::Scratch]),
+        threads in prop::sample::select(vec![1usize, 3]),
+        batch in prop::sample::select(vec![1usize, 2, 7, 64]),
+        seed in 0u64..3,
+    ) {
+        let sanitizer = Sanitizer::new(local, global, psi)
+            .with_seed(seed)
+            .with_engine(engine)
+            .with_threads(threads);
+        let (mem, mem_report, streamed, stream_report) =
+            both_paths(&text, &patterns, &sanitizer, batch);
+        prop_assert_eq!(&streamed, &mem, "released bytes diverged");
+        prop_assert_eq!(&stream_report.report, &mem_report, "reports diverged");
+        prop_assert!(stream_report.report.hidden);
+        prop_assert_eq!(stream_report.sequences_total, text.lines().count());
+    }
+}
+
+#[test]
+fn no_supporters_edge_is_identical() {
+    // Pattern symbols never occur in the database: pass 1 finds zero
+    // supporters and pass 2 must degrade to a byte-exact copy.
+    let text = "a b c\nd e\n";
+    let sanitizer = Sanitizer::hh(0);
+    let (mem, mem_report, streamed, stream_report) =
+        both_paths(text, &["e a c".to_string()], &sanitizer, 2);
+    assert_eq!(streamed, mem);
+    assert_eq!(streamed, text);
+    assert_eq!(stream_report.report, mem_report);
+    assert_eq!(stream_report.report.supporters_before, 0);
+    assert_eq!(stream_report.report.marks_introduced, 0);
+}
+
+#[test]
+fn psi_zero_and_psi_spares_all_edges() {
+    let text = "a c\na b c\nc a\na c b\n";
+    for psi in [0usize, 10] {
+        for batch in [1usize, 3, 100] {
+            let sanitizer = Sanitizer::hh(psi).with_seed(5);
+            let (mem, mem_report, streamed, stream_report) =
+                both_paths(text, &["a c".to_string()], &sanitizer, batch);
+            assert_eq!(streamed, mem, "psi={psi} batch={batch}");
+            assert_eq!(stream_report.report, mem_report, "psi={psi} batch={batch}");
+            if psi == 10 {
+                // ψ ≥ supporters: nothing sanitized, clean copy
+                assert_eq!(streamed, text);
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_counts_streaming_agrees() {
+    let text = "a b a b a\nb a b a b\na a b b a\n";
+    let sanitizer = Sanitizer::hh(1).with_exact_counts(true);
+    let (mem, mem_report, streamed, stream_report) =
+        both_paths(text, &["a b a".to_string()], &sanitizer, 2);
+    assert_eq!(streamed, mem);
+    assert_eq!(stream_report.report, mem_report);
+}
