@@ -2,7 +2,7 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use seqhide_match::{matching_size, SensitiveSet};
+use seqhide_match::{matching_size, PatternDomain, SensitiveSet};
 use seqhide_num::Count;
 use seqhide_obs::{self as obs, Phase};
 use seqhide_types::SequenceDb;
@@ -82,6 +82,30 @@ impl<C: Count> SupporterStat<C> {
                 };
             }
             GlobalStrategy::Length => stat.len = t.len(),
+        }
+        stat
+    }
+
+    /// [`SupporterStat::measure`] through a [`PatternDomain`] — the form
+    /// the generic sanitizer and streaming driver use. As with the plain
+    /// path, only the field `strategy` sorts by is actually measured.
+    pub fn measure_domain<D: PatternDomain<Count = C>>(
+        domain: &mut D,
+        ordinal: usize,
+        strategy: GlobalStrategy,
+        t: &D::Seq,
+    ) -> Self {
+        let mut stat = SupporterStat {
+            ordinal,
+            matching: C::zero(),
+            distinct_ratio: 0.0,
+            len: 0,
+        };
+        match strategy {
+            GlobalStrategy::Heuristic => stat.matching = domain.matching_size(t),
+            GlobalStrategy::Random => {}
+            GlobalStrategy::AutoCorrelation => stat.distinct_ratio = domain.distinct_ratio(t),
+            GlobalStrategy::Length => stat.len = domain.seq_len(t),
         }
         stat
     }

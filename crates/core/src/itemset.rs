@@ -14,17 +14,15 @@
 //!    largest item-`δ` until the element participates in no occurrence;
 //! 3. repeat until the matching set is empty.
 
-use rand::seq::IndexedRandom;
 use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use seqhide_match::itemset::{matching_size_itemset, supports_itemset, ItemsetPattern};
+use seqhide_match::itemset::ItemsetPattern;
 use seqhide_match::ItemsetMatchEngine;
-use seqhide_num::{Count, Sat64};
-use seqhide_obs::{self as obs, Counter, Phase};
-use seqhide_types::{ItemsetSequence, Symbol};
+use seqhide_num::Sat64;
 
-use crate::local::LocalStrategy;
+use crate::global::GlobalStrategy;
+use crate::local::{sanitize_victim, LocalStrategy};
+use crate::sanitizer::Sanitizer;
+use seqhide_types::ItemsetSequence;
 
 /// Sanitizes one itemset sequence in place until no pattern occurrence
 /// remains, returning the number of item marks introduced.
@@ -40,62 +38,19 @@ pub fn sanitize_itemset_sequence<R: Rng + ?Sized>(
 
 /// [`sanitize_itemset_sequence`] driving a caller-owned engine, so the
 /// DP tables and `δ` buffers are reused across victim sequences. Both
-/// levels of the hierarchical heuristic read the engine: level 1 from the
-/// standing element-`δ` buffer, level 2 from
-/// [`ItemsetMatchEngine::item_delta`] (an `O(m)` table lookup per item for
-/// gap-free patterns, instead of a full recount).
+/// levels of the hierarchical heuristic live in the engine's
+/// `PatternDomain` implementation: level 1 (element choice) is the
+/// generic [`sanitize_victim`] loop over the standing element-`δ` buffer;
+/// level 2 (item choice) is the engine's `distort`, which reads
+/// [`ItemsetMatchEngine::item_delta`] (an `O(m)` table lookup per item
+/// for gap-free patterns, instead of a full recount).
 pub fn sanitize_itemset_sequence_with<R: Rng + ?Sized>(
     t: &mut ItemsetSequence,
     strategy: LocalStrategy,
     rng: &mut R,
     engine: &mut ItemsetMatchEngine<Sat64>,
 ) -> usize {
-    engine.load(t);
-    let mut marks = 0;
-    loop {
-        // level 1: element choice
-        let elem = match strategy {
-            LocalStrategy::Heuristic => engine.argmax(),
-            LocalStrategy::Random => engine.candidates().choose(rng).copied(),
-        };
-        let Some(elem) = elem else {
-            return marks; // matching set empty
-        };
-        // level 2: greedily mark items inside `elem` until it contributes
-        // no occurrence anymore.
-        loop {
-            let live: Vec<Symbol> = t.elements()[elem].live_items().collect();
-            let mut best: Option<(Symbol, Sat64)> = None;
-            for &item in &live {
-                let d = engine.item_delta(t, elem, item);
-                if d.is_zero() {
-                    continue;
-                }
-                match best {
-                    Some((_, bd)) if d <= bd => {}
-                    _ => best = Some((item, d)),
-                }
-            }
-            let chosen = match strategy {
-                LocalStrategy::Heuristic => best.map(|(s, _)| s),
-                LocalStrategy::Random => {
-                    let candidates: Vec<Symbol> = live
-                        .iter()
-                        .copied()
-                        .filter(|&item| !engine.item_delta(t, elem, item).is_zero())
-                        .collect();
-                    candidates.choose(rng).copied()
-                }
-            };
-            let Some(item) = chosen else { break };
-            t.elements_mut()[elem].mark_item(item);
-            marks += 1;
-            engine.refresh_element(t, elem);
-            if engine.delta()[elem].is_zero() {
-                break;
-            }
-        }
-    }
+    sanitize_victim(engine, t, strategy, rng)
 }
 
 /// Report of an itemset-database sanitization.
@@ -137,43 +92,24 @@ pub fn sanitize_itemset_db(
     strategy: LocalStrategy,
     seed: u64,
 ) -> ItemsetSanitizeReport {
-    let _span = obs::span(Phase::ItemsetSanitize);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut sup: Vec<(usize, Sat64)> = db
-        .iter()
-        .enumerate()
-        .filter_map(|(i, t)| {
-            let m = matching_size_itemset::<Sat64>(patterns, t);
-            (!m.is_zero()).then_some((i, m))
-        })
-        .collect();
-    sup.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
-    let n_victims = sup.len().saturating_sub(psi);
-    let mut marks = 0;
-    let mut engine = ItemsetMatchEngine::<Sat64>::new(patterns);
-    obs::progress::begin("sanitize (itemset)", n_victims as u64);
-    for &(i, _) in sup.iter().take(n_victims) {
-        marks += sanitize_itemset_sequence_with(&mut db[i], strategy, &mut rng, &mut engine);
-        obs::counter_add(Counter::VictimsProcessed, 1);
-        obs::progress::bump("sanitize (itemset)", 1);
-    }
-    obs::progress::finish("sanitize (itemset)");
-    obs::counter_add(Counter::MarksIntroduced, marks as u64);
-    let residual: Vec<usize> = patterns
-        .iter()
-        .map(|p| db.iter().filter(|t| supports_itemset(t, p)).count())
-        .collect();
+    let report = Sanitizer::new(strategy, GlobalStrategy::Heuristic, psi)
+        .with_seed(seed)
+        .run_domain(db, &mut ItemsetMatchEngine::<Sat64>::new(patterns));
     ItemsetSanitizeReport {
-        marks_introduced: marks,
-        sequences_sanitized: n_victims,
-        hidden: residual.iter().all(|&s| s <= psi),
-        residual_supports: residual,
+        marks_introduced: report.marks_introduced,
+        sequences_sanitized: report.sequences_sanitized,
+        hidden: report.hidden,
+        residual_supports: report.residual_supports,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use seqhide_match::itemset::supports_itemset;
+    use seqhide_types::Symbol;
 
     fn iseq(groups: &[&[u32]]) -> ItemsetSequence {
         ItemsetSequence::from_ids(groups.iter().map(|g| g.to_vec()))

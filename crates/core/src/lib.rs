@@ -40,6 +40,13 @@
 //! * [`attack`] — §7.3's adversary, made concrete: bigram mark-inference
 //!   and pattern re-support measurement on releases;
 //! * [`verify`] — hiding verification and side-effect audits.
+//!
+//! Every pattern class is driven by the **same** generic core: a
+//! [`PatternDomain`] supplies counting, `δ`, marking, and re-verification
+//! for its class, and [`Sanitizer`] runs the one local marking loop
+//! ([`sanitize_victim`]), the one victim-selection implementation
+//! ([`global`]), and the one bounded-memory streaming pipeline
+//! ([`stream`]) over it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,9 +64,11 @@ pub mod timed;
 pub mod verify;
 
 pub use global::GlobalStrategy;
-pub use local::{EngineMode, LocalStrategy};
+pub use local::{sanitize_victim, EngineMode, LocalStrategy};
 pub use metrics::{distortion, DistortionReport};
 pub use problem::{DisclosureThresholds, HidingProblem};
 pub use sanitizer::{SanitizeReport, Sanitizer};
+pub use seqhide_match::{PatternDomain, ScratchDomain};
 pub use stream::StreamReport;
-pub use verify::{verify_hidden, VerifyReport};
+pub use timed::TimedDomain;
+pub use verify::{verify_hidden, verify_hidden_domain, VerifyReport};

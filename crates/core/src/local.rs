@@ -1,32 +1,21 @@
 //! Local (within-sequence) sanitization: which positions to mark (§4).
 //!
-//! The marking loop is driven by a [`MatchEngine`]: `δ` is computed once
-//! per sequence and incrementally repaired per mark, instead of rebuilt
-//! from scratch each iteration. [`EngineMode::Scratch`] keeps the original
-//! from-scratch path available as an escape hatch (CLI `--engine=scratch`)
-//! and as the oracle for the parity tests below.
+//! [`sanitize_victim`] is **the** local marking loop — the only one in the
+//! workspace. It is generic over [`PatternDomain`], so the same loop
+//! drives plain sequences (incremental [`MatchEngine`] or the from-scratch
+//! oracle), itemset sequences, timed sequences, regex patterns, and
+//! spatiotemporal trajectories; what differs per domain is how `δ` is
+//! obtained and what "distort this position" means. The plain-sequence
+//! entry points below are thin wrappers kept for API compatibility.
 
 use rand::seq::IndexedRandom;
 use rand::Rng;
-use seqhide_match::delta::argmax_delta;
-use seqhide_match::{delta_all, MatchEngine, SensitiveSet};
+use seqhide_match::{MatchEngine, PatternDomain, ScratchDomain, SensitiveSet};
 use seqhide_num::Count;
 use seqhide_obs::{self as obs, Counter, Hist, Phase};
 use seqhide_types::Sequence;
 
-/// How positions are chosen inside one sequence.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum LocalStrategy {
-    /// The paper's local heuristic: *choose the marking position that is
-    /// involved in most matches*, i.e. `argmax_i δ(T[i])`, iterated until
-    /// the matching set is empty. Ties break to the smallest index.
-    Heuristic,
-    /// The random baseline (the first letter of RH/RR): a uniformly random
-    /// *reasonable* position — one involved in at least one matching, as
-    /// §6 specifies ("the random choice is actually performed only among
-    /// reasonable choices").
-    Random,
-}
+pub use seqhide_match::LocalStrategy;
 
 /// Which counting core drives the marking loop.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -52,57 +41,46 @@ impl EngineMode {
     }
 }
 
-/// Sanitizes `t` in place until no sensitive occurrence remains, returning
-/// the number of marks introduced.
+/// The local marking loop (paper §4, local level): repeatedly pick a
+/// position — `argmax δ` under [`LocalStrategy::Heuristic`], uniform over
+/// the positive-`δ` candidates under [`LocalStrategy::Random`] — and
+/// distort it, until no occurrence remains. Returns the number of
+/// distortions introduced.
 ///
-/// Termination: every chosen position has `δ > 0`, marking it removes
-/// exactly those `δ` occurrences and creates none (marks match nothing), so
-/// the total occurrence count strictly decreases each iteration.
-pub fn sanitize_sequence<C: Count, R: Rng + ?Sized>(
-    t: &mut Sequence,
-    sh: &SensitiveSet,
+/// Termination: every chosen position has `δ > 0`, and the domain's
+/// distort contract guarantees each distortion strictly decreases the
+/// total occurrence count and creates none (marks match nothing), so the
+/// loop ends.
+///
+/// The random strategy draws from the domain's candidate buffer — the
+/// same ascending candidate order and the same single `choose` call in
+/// every domain, so the RNG stream (and therefore every downstream
+/// choice) is identical between counting cores.
+pub fn sanitize_victim<D: PatternDomain, R: Rng + ?Sized>(
+    domain: &mut D,
+    t: &mut D::Seq,
     strategy: LocalStrategy,
     rng: &mut R,
-) -> usize {
-    let mut engine = MatchEngine::<C>::new(sh);
-    sanitize_sequence_with(t, strategy, rng, &mut engine)
-}
-
-/// [`sanitize_sequence`] driving a caller-owned engine, so the engine's
-/// buffers are reused across victim sequences. The engine's sensitive set
-/// is the one it was built with ([`MatchEngine::new`]).
-///
-/// The random strategy draws from the engine's candidate buffer — the same
-/// ascending candidate order and the same single `choose` call as the
-/// scratch path, so the RNG stream (and therefore every downstream choice)
-/// is identical between modes.
-pub fn sanitize_sequence_with<C: Count, R: Rng + ?Sized>(
-    t: &mut Sequence,
-    strategy: LocalStrategy,
-    rng: &mut R,
-    engine: &mut MatchEngine<C>,
 ) -> usize {
     let span = obs::span(Phase::LocalSanitize);
-    engine.load(t);
+    domain.load(t);
     let mut marks = 0;
     loop {
         let pos = match strategy {
-            LocalStrategy::Heuristic => engine.argmax(),
-            LocalStrategy::Random => engine.candidates().choose(rng).copied(),
+            LocalStrategy::Heuristic => domain.argmax(t),
+            LocalStrategy::Random => domain.candidates(t).choose(rng).copied(),
         };
         let Some(pos) = pos else {
             break; // δ ≡ 0 ⇔ no occurrence left
         };
-        t.mark(pos);
-        engine.apply_mark(pos);
-        marks += 1;
+        marks += domain.distort(t, pos, strategy, rng);
     }
     record_victim(&span, marks);
     marks
 }
 
-/// Feeds the per-victim sinks: one sanitized victim, its mark count, and
-/// its wall time (shared by the engine and scratch paths).
+/// Feeds the per-victim sinks: one sanitized victim, its distortion
+/// count, and its wall time (shared by every domain and counting core).
 fn record_victim(span: &obs::Span, marks: usize) {
     obs::counter_add(Counter::VictimsProcessed, 1);
     obs::counter_add(Counter::MarksIntroduced, marks as u64);
@@ -110,38 +88,43 @@ fn record_victim(span: &obs::Span, marks: usize) {
     obs::hist_record(Hist::VictimNanos, span.elapsed_ns());
 }
 
+/// Sanitizes `t` in place until no sensitive occurrence remains, returning
+/// the number of marks introduced ([`sanitize_victim`] over a fresh
+/// incremental engine).
+pub fn sanitize_sequence<C: Count, R: Rng + ?Sized>(
+    t: &mut Sequence,
+    sh: &SensitiveSet,
+    strategy: LocalStrategy,
+    rng: &mut R,
+) -> usize {
+    let mut engine = MatchEngine::<C>::new(sh);
+    sanitize_victim(&mut engine, t, strategy, rng)
+}
+
+/// [`sanitize_sequence`] driving a caller-owned engine, so the engine's
+/// buffers are reused across victim sequences. The engine's sensitive set
+/// is the one it was built with ([`MatchEngine::new`]).
+pub fn sanitize_sequence_with<C: Count, R: Rng + ?Sized>(
+    t: &mut Sequence,
+    strategy: LocalStrategy,
+    rng: &mut R,
+    engine: &mut MatchEngine<C>,
+) -> usize {
+    sanitize_victim(engine, t, strategy, rng)
+}
+
 /// The original from-scratch marking loop: recomputes `δ` with fresh
-/// tables on every iteration. Kept as the `--engine=scratch` escape hatch
-/// and as the oracle the engine path is tested against.
+/// tables on every iteration ([`sanitize_victim`] over a
+/// [`ScratchDomain`]). Kept as the `--engine=scratch` escape hatch and as
+/// the oracle the engine path is tested against.
 pub fn sanitize_sequence_scratch<C: Count, R: Rng + ?Sized>(
     t: &mut Sequence,
     sh: &SensitiveSet,
     strategy: LocalStrategy,
     rng: &mut R,
 ) -> usize {
-    let span = obs::span(Phase::LocalSanitize);
-    let mut marks = 0;
-    loop {
-        let delta = delta_all::<C>(sh, t);
-        let pos = match strategy {
-            LocalStrategy::Heuristic => argmax_delta(&delta),
-            LocalStrategy::Random => {
-                let candidates: Vec<usize> = delta
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, d)| (!d.is_zero()).then_some(i))
-                    .collect();
-                candidates.choose(rng).copied()
-            }
-        };
-        let Some(pos) = pos else {
-            break;
-        };
-        t.mark(pos);
-        marks += 1;
-    }
-    record_victim(&span, marks);
-    marks
+    let mut domain = ScratchDomain::<C>::new(sh);
+    sanitize_victim(&mut domain, t, strategy, rng)
 }
 
 #[cfg(test)]

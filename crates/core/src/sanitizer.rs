@@ -3,15 +3,17 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use seqhide_match::{supporters, EngineStats, MatchEngine, SensitiveSet};
-use seqhide_num::{BigCount, Count, Sat64};
+use seqhide_match::{
+    supporters, EngineStats, MatchEngine, PatternDomain, ScratchDomain, SensitiveSet,
+};
+use seqhide_num::{BigCount, Sat64};
 use seqhide_obs::{self as obs, Phase};
 use seqhide_types::SequenceDb;
 
-use crate::global::{select_victims, GlobalStrategy};
-use crate::local::{sanitize_sequence_scratch, sanitize_sequence_with, EngineMode, LocalStrategy};
+use crate::global::{select_victims, select_victims_from_stats, GlobalStrategy, SupporterStat};
+use crate::local::{sanitize_victim, EngineMode, LocalStrategy};
 use crate::problem::DisclosureThresholds;
-use crate::verify::verify_hidden;
+use crate::verify::verify_hidden_domain;
 
 /// Outcome of one sanitization run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -186,26 +188,105 @@ impl Sanitizer {
     /// with an RNG derived from `(seed, victim index)` — this keeps results
     /// identical whether the victims run on one thread or many
     /// ([`Sanitizer::with_threads`]).
+    ///
+    /// This is the plain-pattern entry point: it dispatches the configured
+    /// arithmetic and counting core to a [`PatternDomain`] and hands off to
+    /// [`Sanitizer::run_domain_threaded`], the same generic driver every
+    /// other pattern class uses.
     pub fn run(&self, db: &mut SequenceDb, sh: &SensitiveSet) -> SanitizeReport {
-        let _span = obs::span(Phase::Sanitize);
+        match (self.exact, self.engine) {
+            (false, EngineMode::Incremental) => {
+                self.run_domain_threaded(db.sequences_mut(), &|| MatchEngine::<Sat64>::new(sh))
+            }
+            (true, EngineMode::Incremental) => {
+                self.run_domain_threaded(db.sequences_mut(), &|| MatchEngine::<BigCount>::new(sh))
+            }
+            (false, EngineMode::Scratch) => {
+                self.run_domain_threaded(db.sequences_mut(), &|| ScratchDomain::<Sat64>::new(sh))
+            }
+            (true, EngineMode::Scratch) => {
+                self.run_domain_threaded(db.sequences_mut(), &|| ScratchDomain::<BigCount>::new(sh))
+            }
+        }
+    }
+
+    /// Runs the full two-level algorithm over any [`PatternDomain`] with a
+    /// caller-owned domain value, entirely on the calling thread
+    /// (`threads` is ignored — there is only one domain to drive). Use
+    /// this when the domain accumulates state the caller wants back
+    /// afterwards (the spatiotemporal domain records its
+    /// displace/suppress operations, for example);
+    /// [`Sanitizer::run_domain_threaded`] otherwise.
+    pub fn run_domain<D: PatternDomain>(
+        &self,
+        db: &mut [D::Seq],
+        domain: &mut D,
+    ) -> SanitizeReport {
+        self.drive_domain(db, domain, None)
+    }
+
+    /// Runs the full two-level algorithm over any [`PatternDomain`],
+    /// fanning victims out across [`Sanitizer::with_threads`] workers
+    /// (each built by `make`). Per-victim RNGs are keyed by selection
+    /// ordinal, so the output is byte-identical across any thread count.
+    pub fn run_domain_threaded<D: PatternDomain>(
+        &self,
+        db: &mut [D::Seq],
+        make: &(dyn Fn() -> D + Sync),
+    ) -> SanitizeReport {
+        let mut main = make();
+        self.drive_domain(db, &mut main, Some(make))
+    }
+
+    /// The generic two-level driver: supporter scan → victim selection →
+    /// per-victim marking loop → residual verification, all through one
+    /// domain (`main`), with optional thread fan-out via `make`.
+    fn drive_domain<D: PatternDomain>(
+        &self,
+        db: &mut [D::Seq],
+        main: &mut D,
+        make: Option<&(dyn Fn() -> D + Sync)>,
+    ) -> SanitizeReport {
+        let _span = obs::span(main.phase());
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let sup = supporters(db, sh);
-        let victims = if self.exact {
-            select_victims::<BigCount, _>(db, sh, &sup, self.psi, self.global, &mut rng)
-        } else {
-            select_victims::<Sat64, _>(db, sh, &sup, self.psi, self.global, &mut rng)
-        };
-        let (marks, stats) = self.sanitize_victims(db, sh, &victims);
-        let verify = verify_hidden(db, sh, self.psi);
+        let (supporters_before, victims) = self.select_victims_domain(db, main, &mut rng);
+        let (marks, stats) = self.sanitize_victims_domain(db, &victims, main, make);
+        let thresholds = DisclosureThresholds::uniform(self.psi, main.pattern_count());
+        let verify = verify_hidden_domain(main, db, &thresholds);
         SanitizeReport {
             marks_introduced: marks,
             sequences_sanitized: victims.len(),
-            supporters_before: sup.len(),
+            supporters_before,
             residual_supports: verify.supports,
             hidden: verify.hidden,
             engine_repairs: stats.cell_repairs as usize,
             fallback_recounts: stats.fallback_recounts as usize,
         }
+    }
+
+    /// Supporter scan + victim selection through the domain. Mirrors the
+    /// historical eager path exactly: when there are no more supporters
+    /// than `ψ`, nothing is measured and the RNG is left untouched.
+    fn select_victims_domain<D: PatternDomain>(
+        &self,
+        db: &[D::Seq],
+        domain: &mut D,
+        rng: &mut ChaCha8Rng,
+    ) -> (usize, Vec<usize>) {
+        let sup: Vec<usize> = (0..db.len())
+            .filter(|&i| domain.is_supporter(&db[i]))
+            .collect();
+        let victims = if sup.len() <= self.psi {
+            let _span = obs::span(Phase::SelectVictims);
+            Vec::new()
+        } else {
+            let stats: Vec<SupporterStat<D::Count>> = sup
+                .iter()
+                .map(|&i| SupporterStat::measure_domain(domain, i, self.global, &db[i]))
+                .collect();
+            select_victims_from_stats(&stats, self.psi, self.global, rng)
+        };
+        (sup.len(), victims)
     }
 
     /// Per-victim RNG: independent of sibling victims and of the selection
@@ -216,74 +297,58 @@ impl Sanitizer {
         )
     }
 
-    /// Sanitizes one victim with a worker-owned engine. Each victim still
-    /// gets its own [`Sanitizer::victim_rng`], so scheduling and engine
-    /// reuse cannot change outcomes. `ordinal` is the victim's index in
-    /// the *selection order* (the position `select_victims` returned it
-    /// at), not its database ordinal — the streaming driver looks it up
-    /// through a map for exactly this reason.
-    pub(crate) fn sanitize_one_with<C: Count>(
+    /// Sanitizes one victim through the domain's marking loop. `ordinal`
+    /// is the victim's index in the *selection order* (the position
+    /// victim selection returned it at), not its database ordinal — the
+    /// streaming driver looks it up through a map for exactly this
+    /// reason.
+    pub(crate) fn sanitize_one_domain<D: PatternDomain>(
         &self,
-        t: &mut seqhide_types::Sequence,
-        sh: &SensitiveSet,
+        domain: &mut D,
+        t: &mut D::Seq,
         ordinal: usize,
-        engine: &mut MatchEngine<C>,
     ) -> usize {
         let mut rng = self.victim_rng(ordinal);
-        match self.engine {
-            EngineMode::Incremental => sanitize_sequence_with(t, self.local, &mut rng, engine),
-            EngineMode::Scratch => sanitize_sequence_scratch::<C, _>(t, sh, self.local, &mut rng),
-        }
+        sanitize_victim(domain, t, self.local, &mut rng)
     }
 
-    /// Sanitizes the selected victims, sequentially or across threads,
-    /// returning the marks introduced and the engine work performed
-    /// (summed over worker engines; zero under [`EngineMode::Scratch`]).
-    fn sanitize_victims(
+    /// Sanitizes the selected victims, sequentially through `main` or —
+    /// when `make` is given, more than one thread is configured, and
+    /// there is more than one victim — across scoped worker threads, each
+    /// with its own `make()`-built domain. Returns the marks introduced
+    /// and the engine work performed (summed over worker domains; zero
+    /// for domains without an incremental engine).
+    fn sanitize_victims_domain<D: PatternDomain>(
         &self,
-        db: &mut SequenceDb,
-        sh: &SensitiveSet,
+        db: &mut [D::Seq],
         victims: &[usize],
-    ) -> (usize, EngineStats) {
-        if self.exact {
-            self.sanitize_victims_typed::<BigCount>(db, sh, victims)
-        } else {
-            self.sanitize_victims_typed::<Sat64>(db, sh, victims)
-        }
-    }
-
-    fn sanitize_victims_typed<C: Count>(
-        &self,
-        db: &mut SequenceDb,
-        sh: &SensitiveSet,
-        victims: &[usize],
+        main: &mut D,
+        make: Option<&(dyn Fn() -> D + Sync)>,
     ) -> (usize, EngineStats) {
         let threads = self.resolved_threads();
-        obs::progress::begin("sanitize", victims.len() as u64);
-        if threads <= 1 || victims.len() <= 1 {
-            let mut marks = 0;
-            let mut engine = MatchEngine::<C>::new(sh);
-            for (ordinal, &i) in victims.iter().enumerate() {
-                marks +=
-                    self.sanitize_one_with(&mut db.sequences_mut()[i], sh, ordinal, &mut engine);
-                obs::progress::bump("sanitize", 1);
+        let label = main.progress_label();
+        obs::progress::begin(label, victims.len() as u64);
+        let make = match make {
+            Some(make) if threads > 1 && victims.len() > 1 => make,
+            _ => {
+                let mut marks = 0;
+                for (ordinal, &i) in victims.iter().enumerate() {
+                    marks += self.sanitize_one_domain(main, &mut db[i], ordinal);
+                    obs::progress::bump(label, 1);
+                }
+                obs::progress::finish(label);
+                return (marks, main.stats());
             }
-            obs::progress::finish("sanitize");
-            return (marks, engine.stats());
-        }
+        };
         // Move the victim sequences out and fan the work out over scoped
         // threads. The global heuristic hands victims over in *ascending
         // cost* order, so contiguous chunks would give the last thread all
         // the expensive sequences; striping (ordinal % threads) balances
         // the load instead.
-        let mut stripes: Vec<Vec<(usize, usize, seqhide_types::Sequence)>> =
+        let mut stripes: Vec<Vec<(usize, usize, D::Seq)>> =
             (0..threads).map(|_| Vec::new()).collect();
         for (ordinal, &i) in victims.iter().enumerate() {
-            stripes[ordinal % threads].push((
-                ordinal,
-                i,
-                std::mem::take(&mut db.sequences_mut()[i]),
-            ));
+            stripes[ordinal % threads].push((ordinal, i, std::mem::take(&mut db[i])));
         }
         let (marks, stats) = std::thread::scope(|scope| {
             let handles: Vec<_> = stripes
@@ -291,12 +356,12 @@ impl Sanitizer {
                 .map(|batch| {
                     scope.spawn(move || {
                         let mut marks = 0;
-                        let mut engine = MatchEngine::<C>::new(sh);
+                        let mut domain = make();
                         for (ordinal, _, t) in batch.iter_mut() {
-                            marks += self.sanitize_one_with(t, sh, *ordinal, &mut engine);
-                            obs::progress::bump("sanitize", 1);
+                            marks += self.sanitize_one_domain(&mut domain, t, *ordinal);
+                            obs::progress::bump(label, 1);
                         }
-                        (marks, engine.stats())
+                        (marks, domain.stats())
                     })
                 })
                 .collect();
@@ -311,11 +376,40 @@ impl Sanitizer {
         });
         for stripe in stripes {
             for (_, i, t) in stripe {
-                db.sequences_mut()[i] = t;
+                db[i] = t;
             }
         }
-        obs::progress::finish("sanitize");
+        obs::progress::finish(label);
         (marks, stats)
+    }
+
+    /// [`Sanitizer::sanitize_victims_domain`] for the plain pattern
+    /// classes, dispatching the configured arithmetic and counting core
+    /// (the per-round workhorse of [`Sanitizer::run_multi`]).
+    fn sanitize_victims(
+        &self,
+        db: &mut SequenceDb,
+        sh: &SensitiveSet,
+        victims: &[usize],
+    ) -> (usize, EngineStats) {
+        match (self.exact, self.engine) {
+            (false, EngineMode::Incremental) => {
+                let make = || MatchEngine::<Sat64>::new(sh);
+                self.sanitize_victims_domain(db.sequences_mut(), victims, &mut make(), Some(&make))
+            }
+            (true, EngineMode::Incremental) => {
+                let make = || MatchEngine::<BigCount>::new(sh);
+                self.sanitize_victims_domain(db.sequences_mut(), victims, &mut make(), Some(&make))
+            }
+            (false, EngineMode::Scratch) => {
+                let make = || ScratchDomain::<Sat64>::new(sh);
+                self.sanitize_victims_domain(db.sequences_mut(), victims, &mut make(), Some(&make))
+            }
+            (true, EngineMode::Scratch) => {
+                let make = || ScratchDomain::<BigCount>::new(sh);
+                self.sanitize_victims_domain(db.sequences_mut(), victims, &mut make(), Some(&make))
+            }
+        }
     }
 
     /// Multiple per-pattern thresholds via the paper's trivial reduction:

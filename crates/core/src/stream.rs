@@ -13,11 +13,17 @@
 //!    delegates to in memory.
 //! 2. **Pass 2** re-streams the file in batches of `batch_size`
 //!    sequences, routes the victims among them through the same
-//!    per-worker [`MatchEngine`] marking loop as [`Sanitizer::run`], and
-//!    writes every sequence (sanitized or untouched) to the sink as soon
-//!    as its batch completes. Residual supports are tallied on the way
-//!    out, so the run ends with a full [`SanitizeReport`] without a third
-//!    pass.
+//!    per-worker [`PatternDomain`] marking loop as [`Sanitizer::run`],
+//!    and writes every sequence (sanitized or untouched) to the sink as
+//!    soon as its batch completes. Residual supports are tallied on the
+//!    way out, so the run ends with a full [`SanitizeReport`] without a
+//!    third pass.
+//!
+//! Both passes are generic over the pattern class: a [`PatternDomain`]
+//! supplies counting, marking, and verification; a [`StreamCodec`]
+//! supplies the line format. [`Sanitizer::run_streaming`] instantiates
+//! them for plain patterns; the CLI instantiates the same driver for
+//! itemset, timed, and regex databases.
 //!
 //! **Why the output is byte-identical to the in-memory path.** Every
 //! victim draws from an RNG derived from `(seed, selection ordinal)`
@@ -38,16 +44,17 @@ use std::collections::HashMap;
 use std::io::{self, Write};
 use std::path::Path;
 
-use seqhide_data::stream::{SeqReader, SeqWriter};
-use seqhide_match::{supports, EngineStats, MatchEngine, SensitiveSet};
-use seqhide_num::{BigCount, Count, Sat64};
+use seqhide_data::stream::{PlainCodec, SeqReader, StreamCodec};
+use seqhide_match::{EngineStats, MatchEngine, PatternDomain, ScratchDomain, SensitiveSet};
+use seqhide_num::{BigCount, Sat64};
 use seqhide_obs::{self as obs, Gauge, Phase};
-use seqhide_types::{Alphabet, Sequence, Symbol};
+use seqhide_types::Alphabet;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::global::{select_victims_from_stats, SupporterStat};
+use crate::local::EngineMode;
 use crate::sanitizer::{SanitizeReport, Sanitizer};
 use crate::verify::VerifyReport;
 
@@ -79,12 +86,6 @@ impl StreamReport {
     }
 }
 
-/// Heap payload of one sequence inside a batch (the quantity the
-/// `peak_resident_batch` gauge sums).
-fn resident_bytes(t: &Sequence) -> u64 {
-    (t.len() * std::mem::size_of::<Symbol>()) as u64
-}
-
 impl Sanitizer {
     /// Streams `input` through the two-pass pipeline, writing the
     /// sanitized database to `sink` and keeping at most `batch_size`
@@ -92,6 +93,10 @@ impl Sanitizer {
     /// patterns' symbols (it grows with the file's symbols as passes
     /// proceed). Output and report are byte-identical to parsing the
     /// whole file and calling [`Sanitizer::run`].
+    ///
+    /// This is the plain-pattern entry point: it dispatches the
+    /// configured arithmetic and counting core to a [`PatternDomain`]
+    /// and hands off to [`Sanitizer::run_streaming_domain`].
     ///
     /// `batch_size = 0` is clamped to 1.
     pub fn run_streaming(
@@ -102,34 +107,81 @@ impl Sanitizer {
         batch_size: usize,
         sink: &mut dyn Write,
     ) -> io::Result<StreamReport> {
-        if self.exact_counts() {
-            self.run_streaming_typed::<BigCount>(input, alphabet, sh, batch_size, sink)
-        } else {
-            self.run_streaming_typed::<Sat64>(input, alphabet, sh, batch_size, sink)
+        match (self.exact_counts(), self.engine()) {
+            (false, EngineMode::Incremental) => self.run_streaming_domain(
+                input,
+                alphabet,
+                &PlainCodec,
+                &|| MatchEngine::<Sat64>::new(sh),
+                batch_size,
+                sink,
+            ),
+            (true, EngineMode::Incremental) => self.run_streaming_domain(
+                input,
+                alphabet,
+                &PlainCodec,
+                &|| MatchEngine::<BigCount>::new(sh),
+                batch_size,
+                sink,
+            ),
+            (false, EngineMode::Scratch) => self.run_streaming_domain(
+                input,
+                alphabet,
+                &PlainCodec,
+                &|| ScratchDomain::<Sat64>::new(sh),
+                batch_size,
+                sink,
+            ),
+            (true, EngineMode::Scratch) => self.run_streaming_domain(
+                input,
+                alphabet,
+                &PlainCodec,
+                &|| ScratchDomain::<BigCount>::new(sh),
+                batch_size,
+                sink,
+            ),
         }
     }
 
-    fn run_streaming_typed<C: Count>(
+    /// The generic two-pass streaming driver: any [`PatternDomain`]
+    /// (built per worker by `make`) paired with the [`StreamCodec`] for
+    /// its line format. Output and report are byte-identical to loading
+    /// the whole file and calling [`Sanitizer::run_domain_threaded`]
+    /// with the same `make` — both paths select victims through
+    /// [`select_victims_from_stats`] and key each victim's RNG by its
+    /// *selection* ordinal, so batching and scheduling cannot change a
+    /// single mark.
+    ///
+    /// `batch_size = 0` is clamped to 1.
+    pub fn run_streaming_domain<D, K>(
         &self,
         input: &Path,
         alphabet: &mut Alphabet,
-        sh: &SensitiveSet,
+        codec: &K,
+        make: &(dyn Fn() -> D + Sync),
         batch_size: usize,
         sink: &mut dyn Write,
-    ) -> io::Result<StreamReport> {
+    ) -> io::Result<StreamReport>
+    where
+        D: PatternDomain,
+        K: StreamCodec<Seq = D::Seq>,
+    {
         let batch_size = batch_size.max(1);
         let strategy = self.global();
+        let mut main = make();
 
         // Pass 1: supporter scan — retain (ordinal, sort key) per
         // supporter, nothing else.
         let (stats, sequences_total) = {
             let _span = obs::span(Phase::StreamPass1);
             let mut reader = SeqReader::open(input)?;
-            let mut stats: Vec<SupporterStat<C>> = Vec::new();
+            let mut stats: Vec<SupporterStat<D::Count>> = Vec::new();
             let mut ordinal = 0usize;
-            while let Some(t) = reader.next_seq(alphabet)? {
-                if sh.iter().any(|p| supports(&t, p)) {
-                    stats.push(SupporterStat::measure(ordinal, strategy, sh, &t));
+            while let Some(t) = reader.next_record(codec, alphabet)? {
+                if main.is_supporter(&t) {
+                    stats.push(SupporterStat::measure_domain(
+                        &mut main, ordinal, strategy, &t,
+                    ));
                 }
                 ordinal += 1;
             }
@@ -150,19 +202,17 @@ impl Sanitizer {
         let _span = obs::span(Phase::StreamPass2);
         obs::progress::begin("sanitize (stream)", victims.len() as u64);
         let mut reader = SeqReader::open(input)?;
-        let mut writer = SeqWriter::new(sink);
-        let mut engine = MatchEngine::<C>::new(sh);
         let mut stats_total = EngineStats::default();
-        let mut residual = vec![0usize; sh.len()];
+        let mut residual = vec![0usize; main.pattern_count()];
         let mut marks = 0usize;
         let mut batches = 0usize;
         let mut peak_batch_bytes = 0u64;
         let mut next_ordinal = 0usize;
-        let mut batch: Vec<(usize, Sequence)> = Vec::with_capacity(batch_size);
+        let mut batch: Vec<(usize, D::Seq)> = Vec::with_capacity(batch_size);
         loop {
             batch.clear();
             while batch.len() < batch_size {
-                match reader.next_seq(alphabet)? {
+                match reader.next_record(codec, alphabet)? {
                     Some(t) => {
                         batch.push((next_ordinal, t));
                         next_ordinal += 1;
@@ -174,7 +224,7 @@ impl Sanitizer {
                 break;
             }
             batches += 1;
-            let bytes: u64 = batch.iter().map(|(_, t)| resident_bytes(t)).sum();
+            let bytes: u64 = batch.iter().map(|(_, t)| codec.resident_bytes(t)).sum();
             peak_batch_bytes = peak_batch_bytes.max(bytes);
             obs::gauge_max(Gauge::PeakResidentBatch, bytes);
 
@@ -182,14 +232,14 @@ impl Sanitizer {
             if threads <= 1 {
                 for (ordinal, t) in batch.iter_mut() {
                     if let Some(&sel) = selection_ordinal.get(ordinal) {
-                        marks += self.sanitize_one_with(t, sh, sel, &mut engine);
+                        marks += self.sanitize_one_domain(&mut main, t, sel);
                         obs::progress::bump("sanitize (stream)", 1);
                     }
                 }
             } else {
-                stats_total += self.sanitize_batch_parallel::<C>(
+                stats_total += self.sanitize_batch_parallel(
                     &mut batch,
-                    sh,
+                    make,
                     &selection_ordinal,
                     threads,
                     &mut marks,
@@ -197,16 +247,16 @@ impl Sanitizer {
             }
 
             for (_, t) in &batch {
-                for (pi, p) in sh.iter().enumerate() {
-                    if supports(t, p) {
-                        residual[pi] += 1;
+                for (pi, r) in residual.iter_mut().enumerate() {
+                    if main.supports_pattern(t, pi) {
+                        *r += 1;
                     }
                 }
-                writer.write_seq(alphabet, t)?;
+                codec.write_line(alphabet, t, &mut *sink)?;
             }
         }
         obs::progress::finish("sanitize (stream)");
-        stats_total += engine.stats();
+        stats_total += main.stats();
         debug_assert_eq!(
             next_ordinal, sequences_total,
             "pass 2 re-read a different file"
@@ -233,15 +283,15 @@ impl Sanitizer {
     /// selection ordinal (the same balancing device as the in-memory
     /// path). Per-victim RNGs keyed by selection ordinal make the result
     /// independent of the striping.
-    fn sanitize_batch_parallel<C: Count>(
+    fn sanitize_batch_parallel<D: PatternDomain>(
         &self,
-        batch: &mut [(usize, Sequence)],
-        sh: &SensitiveSet,
+        batch: &mut [(usize, D::Seq)],
+        make: &(dyn Fn() -> D + Sync),
         selection_ordinal: &HashMap<usize, usize>,
         threads: usize,
         marks: &mut usize,
     ) -> EngineStats {
-        let mut stripes: Vec<Vec<(usize, usize, Sequence)>> =
+        let mut stripes: Vec<Vec<(usize, usize, D::Seq)>> =
             (0..threads).map(|_| Vec::new()).collect();
         for (slot, (ordinal, t)) in batch.iter_mut().enumerate() {
             if let Some(&sel) = selection_ordinal.get(ordinal) {
@@ -254,12 +304,12 @@ impl Sanitizer {
                 .map(|stripe| {
                     scope.spawn(move || {
                         let mut marks = 0;
-                        let mut engine = MatchEngine::<C>::new(sh);
+                        let mut domain = make();
                         for (sel, _, t) in stripe.iter_mut() {
-                            marks += self.sanitize_one_with(t, sh, *sel, &mut engine);
+                            marks += self.sanitize_one_domain(&mut domain, t, *sel);
                             obs::progress::bump("sanitize (stream)", 1);
                         }
-                        (marks, engine.stats())
+                        (marks, domain.stats())
                     })
                 })
                 .collect();
@@ -285,7 +335,7 @@ impl Sanitizer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seqhide_types::SequenceDb;
+    use seqhide_types::{Sequence, SequenceDb};
 
     fn write_tmp(name: &str, text: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("seqhide-core-stream");
@@ -400,7 +450,7 @@ mod tests {
         let whole: u64 = SequenceDb::parse(&text)
             .sequences()
             .iter()
-            .map(resident_bytes)
+            .map(|t| PlainCodec.resident_bytes(t))
             .sum();
         assert!(r.peak_batch_bytes < whole);
     }

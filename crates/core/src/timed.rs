@@ -8,17 +8,17 @@
 //! range*, so the same prefix-sum DP applies via
 //! [`seqhide_match::ending_at_table_bounded_by`].
 
-use rand::seq::IndexedRandom;
 use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use seqhide_match::counting::ending_at_table_bounded_into;
-use seqhide_match::PatternError;
+use seqhide_match::delta::argmax_delta;
+use seqhide_match::{PatternDomain, PatternError};
 use seqhide_num::{Count, Sat64};
-use seqhide_obs::{self as obs, Counter, Phase};
-use seqhide_types::{Sequence, TimeTag, TimedSequence};
+use seqhide_obs::Phase;
+use seqhide_types::{Sequence, Symbol, TimeTag, TimedSequence};
 
-use crate::local::LocalStrategy;
+use crate::global::GlobalStrategy;
+use crate::local::{sanitize_victim, LocalStrategy};
+use crate::sanitizer::Sanitizer;
 
 /// A time-gap constraint on one pattern arrow: the elapsed time between
 /// consecutive matched events must lie in `[min, max]` ticks.
@@ -236,51 +236,116 @@ pub fn delta_timed_into<C: Count>(
     }
 }
 
+/// The [`PatternDomain`] of timed patterns: `δ` by temporary marking
+/// (marking preserves time tags, so every time constraint stays correctly
+/// evaluated), support by the time-translated DP of
+/// [`count_matches_timed`]. The `δ` and candidate buffers live in the
+/// domain and are refilled in place, so the marking loop allocates no
+/// fresh vectors per mark.
+pub struct TimedDomain<'a, C: Count = Sat64> {
+    patterns: &'a [TimedPattern],
+    delta: Vec<C>,
+    candidates: Vec<usize>,
+}
+
+impl<'a, C: Count> TimedDomain<'a, C> {
+    /// A domain over `patterns`.
+    pub fn new(patterns: &'a [TimedPattern]) -> Self {
+        TimedDomain {
+            patterns,
+            delta: Vec::new(),
+            candidates: Vec::new(),
+        }
+    }
+}
+
+impl<C: Count> PatternDomain for TimedDomain<'_, C> {
+    type Seq = TimedSequence;
+    type Count = C;
+
+    fn name(&self) -> &'static str {
+        "timed"
+    }
+
+    fn phase(&self) -> Phase {
+        Phase::TimedSanitize
+    }
+
+    fn progress_label(&self) -> &'static str {
+        "sanitize (timed)"
+    }
+
+    fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    fn matching_size(&mut self, t: &TimedSequence) -> C {
+        matching_size_timed::<C>(self.patterns, t)
+    }
+
+    fn seq_len(&self, t: &TimedSequence) -> usize {
+        t.len()
+    }
+
+    fn distinct_ratio(&self, t: &TimedSequence) -> f64 {
+        if t.is_empty() {
+            return 1.0;
+        }
+        let mut syms: Vec<Symbol> = t
+            .events()
+            .iter()
+            .map(|e| e.symbol)
+            .filter(|s| !s.is_mark())
+            .collect();
+        syms.sort_unstable();
+        syms.dedup();
+        syms.len() as f64 / t.len() as f64
+    }
+
+    fn argmax(&mut self, t: &mut TimedSequence) -> Option<usize> {
+        delta_timed_into::<C>(self.patterns, t, &mut self.delta);
+        argmax_delta(&self.delta)
+    }
+
+    fn candidates(&mut self, t: &mut TimedSequence) -> &[usize] {
+        delta_timed_into::<C>(self.patterns, t, &mut self.delta);
+        self.candidates.clear();
+        self.candidates.extend(
+            self.delta
+                .iter()
+                .enumerate()
+                .filter_map(|(i, d)| (!d.is_zero()).then_some(i)),
+        );
+        &self.candidates
+    }
+
+    fn distort<R: Rng + ?Sized>(
+        &mut self,
+        t: &mut TimedSequence,
+        pos: usize,
+        _strategy: LocalStrategy,
+        _rng: &mut R,
+    ) -> usize {
+        t.mark(pos);
+        1
+    }
+
+    fn supports_pattern(&mut self, t: &TimedSequence, k: usize) -> bool {
+        supports_timed(t, &self.patterns[k])
+    }
+}
+
 /// Sanitizes one timed sequence until no occurrence remains; returns marks
 /// introduced. Time tags of marked events are preserved (a marked event
-/// still occupies its instant).
+/// still occupies its instant). A thin wrapper over the generic
+/// [`sanitize_victim`] loop with a fresh [`TimedDomain`].
 pub fn sanitize_timed_sequence<R: Rng + ?Sized>(
     t: &mut TimedSequence,
     patterns: &[TimedPattern],
     strategy: LocalStrategy,
     rng: &mut R,
 ) -> usize {
-    let mut marks = 0;
-    // δ and candidate buffers live across the marking loop: each iteration
-    // refills them in place instead of allocating fresh vectors.
-    let mut delta: Vec<Sat64> = Vec::new();
-    let mut candidates: Vec<usize> = Vec::new();
-    loop {
-        delta_timed_into::<Sat64>(patterns, t, &mut delta);
-        let pos = match strategy {
-            LocalStrategy::Heuristic => {
-                let mut best: Option<(usize, Sat64)> = None;
-                for (i, d) in delta.iter().enumerate() {
-                    if d.is_zero() {
-                        continue;
-                    }
-                    match best {
-                        Some((_, bd)) if *d <= bd => {}
-                        _ => best = Some((i, *d)),
-                    }
-                }
-                best.map(|(i, _)| i)
-            }
-            LocalStrategy::Random => {
-                candidates.clear();
-                candidates.extend(
-                    delta
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, d)| (!d.is_zero()).then_some(i)),
-                );
-                candidates.choose(rng).copied()
-            }
-        };
-        let Some(pos) = pos else { return marks };
-        t.mark(pos);
-        marks += 1;
-    }
+    sanitize_victim(&mut TimedDomain::<Sat64>::new(patterns), t, strategy, rng)
 }
 
 /// Report of a timed-database sanitization.
@@ -297,7 +362,11 @@ pub struct TimedSanitizeReport {
 }
 
 /// Sanitizes a database of timed sequences (global rule: ascending
-/// matching-set size, spare the `ψ` most expensive supporters).
+/// matching-set size, spare the `ψ` most expensive supporters). A thin
+/// wrapper over the generic [`Sanitizer`] driver with a [`TimedDomain`];
+/// victims draw from per-victim seed-derived RNGs keyed by selection
+/// ordinal, so the result is identical to the streaming path on the same
+/// input.
 pub fn sanitize_timed_db(
     db: &mut [TimedSequence],
     patterns: &[TimedPattern],
@@ -305,42 +374,22 @@ pub fn sanitize_timed_db(
     strategy: LocalStrategy,
     seed: u64,
 ) -> TimedSanitizeReport {
-    let _span = obs::span(Phase::TimedSanitize);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut sup: Vec<(usize, Sat64)> = db
-        .iter()
-        .enumerate()
-        .filter_map(|(i, t)| {
-            let m = matching_size_timed::<Sat64>(patterns, t);
-            (!m.is_zero()).then_some((i, m))
-        })
-        .collect();
-    sup.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
-    let n_victims = sup.len().saturating_sub(psi);
-    let mut marks = 0;
-    obs::progress::begin("sanitize (timed)", n_victims as u64);
-    for &(i, _) in sup.iter().take(n_victims) {
-        marks += sanitize_timed_sequence(&mut db[i], patterns, strategy, &mut rng);
-        obs::counter_add(Counter::VictimsProcessed, 1);
-        obs::progress::bump("sanitize (timed)", 1);
-    }
-    obs::progress::finish("sanitize (timed)");
-    obs::counter_add(Counter::MarksIntroduced, marks as u64);
-    let residual: Vec<usize> = patterns
-        .iter()
-        .map(|p| db.iter().filter(|t| supports_timed(t, p)).count())
-        .collect();
+    let report = Sanitizer::new(strategy, GlobalStrategy::Heuristic, psi)
+        .with_seed(seed)
+        .run_domain(db, &mut TimedDomain::<Sat64>::new(patterns));
     TimedSanitizeReport {
-        marks_introduced: marks,
-        sequences_sanitized: n_victims,
-        hidden: residual.iter().all(|&s| s <= psi),
-        residual_supports: residual,
+        marks_introduced: report.marks_introduced,
+        sequences_sanitized: report.sequences_sanitized,
+        hidden: report.hidden,
+        residual_supports: report.residual_supports,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
     use seqhide_types::Alphabet;
 
     fn pat(names: &str, sigma: &mut Alphabet, cs: TimeConstraints) -> TimedPattern {

@@ -1,6 +1,6 @@
 //! Verification of the hiding requirement and side-effect audits.
 
-use seqhide_match::{supporters, SensitivePattern, SensitiveSet};
+use seqhide_match::{supporters, PatternDomain, SensitivePattern, SensitiveSet};
 use seqhide_mine::MineResult;
 use seqhide_obs::{self as obs, Counter, Phase};
 use seqhide_types::{Sequence, SequenceDb};
@@ -52,6 +52,41 @@ pub fn verify_hidden_multi(
             let single = SensitiveSet::from_patterns(vec![p.clone()]);
             supporters(db, &single).len()
         })
+        .collect();
+    let hidden = supports
+        .iter()
+        .zip(thresholds.as_slice())
+        .all(|(&s, &t)| s <= t);
+    VerifyReport {
+        hidden,
+        supports,
+        thresholds: thresholds.as_slice().to_vec(),
+    }
+}
+
+/// [`verify_hidden_multi`] through a [`PatternDomain`]: re-checks
+/// `sup_{D}(Sᵢ) ≤ ψᵢ` per pattern with the domain's own support
+/// predicate. This is the verification path of the generic sanitizer —
+/// every pattern class (plain, itemset, timed, regex, spatiotemporal)
+/// shares it, so the `Verify` span and `PatternsChecked` counter behave
+/// identically across domains.
+///
+/// # Panics
+/// Panics if `thresholds.len() != domain.pattern_count()`.
+pub fn verify_hidden_domain<D: PatternDomain>(
+    domain: &mut D,
+    db: &[D::Seq],
+    thresholds: &DisclosureThresholds,
+) -> VerifyReport {
+    assert_eq!(
+        thresholds.len(),
+        domain.pattern_count(),
+        "one threshold per pattern"
+    );
+    let _span = obs::span(Phase::Verify);
+    obs::counter_add(Counter::PatternsChecked, domain.pattern_count() as u64);
+    let supports: Vec<usize> = (0..domain.pattern_count())
+        .map(|k| db.iter().filter(|t| domain.supports_pattern(t, k)).count())
         .collect();
     let hidden = supports
         .iter()

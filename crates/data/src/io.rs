@@ -30,36 +30,61 @@ pub fn write_db(path: impl AsRef<Path>, db: &SequenceDb) -> io::Result<()> {
     fs::write(path, db.to_text())
 }
 
-/// Parses an itemset-sequence database: one sequence per line, elements
-/// separated by whitespace, items within an element separated by commas:
-/// `bread,milk beer` is `⟨{bread milk} {beer}⟩`. `Δ` parses to a marked
-/// item slot.
+/// Parses one (already trimmed, non-blank, non-comment) itemset-sequence
+/// line: elements separated by whitespace, items within an element
+/// separated by commas: `bread,milk beer` is `⟨{bread milk} {beer}⟩`.
+/// `Δ` parses to a marked item slot.
+pub fn parse_itemset_line(line: &str, alphabet: &mut Alphabet) -> ItemsetSequence {
+    let elements = line
+        .split_whitespace()
+        .map(|elem| {
+            Itemset::new(
+                elem.split(',')
+                    .filter(|w| !w.is_empty())
+                    .map(|w| {
+                        if w == "Δ" {
+                            Symbol::MARK
+                        } else {
+                            alphabet.intern(w)
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    ItemsetSequence::new(elements)
+}
+
+/// Writes one itemset sequence as a [`parse_itemset_line`]-format line
+/// (including the trailing newline).
+pub fn write_itemset_line(
+    alphabet: &Alphabet,
+    t: &ItemsetSequence,
+    out: &mut dyn io::Write,
+) -> io::Result<()> {
+    for (i, e) in t.elements().iter().enumerate() {
+        if i > 0 {
+            out.write_all(b" ")?;
+        }
+        for (j, &s) in e.items().iter().enumerate() {
+            if j > 0 {
+                out.write_all(b",")?;
+            }
+            out.write_all(alphabet.render(s).as_bytes())?;
+        }
+    }
+    out.write_all(b"\n")
+}
+
+/// Parses an itemset-sequence database ([`parse_itemset_line`] per line;
+/// blank lines and `#` comments ignored).
 pub fn parse_itemset_db(text: &str) -> (Alphabet, Vec<ItemsetSequence>) {
     let mut alphabet = Alphabet::new();
     let db = text
         .lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(|line| {
-            let elements = line
-                .split_whitespace()
-                .map(|elem| {
-                    Itemset::new(
-                        elem.split(',')
-                            .filter(|w| !w.is_empty())
-                            .map(|w| {
-                                if w == "Δ" {
-                                    Symbol::MARK
-                                } else {
-                                    alphabet.intern(w)
-                                }
-                            })
-                            .collect(),
-                    )
-                })
-                .collect();
-            ItemsetSequence::new(elements)
-        })
+        .map(|line| parse_itemset_line(line, &mut alphabet))
         .collect();
     (alphabet, db)
 }
@@ -67,28 +92,76 @@ pub fn parse_itemset_db(text: &str) -> (Alphabet, Vec<ItemsetSequence>) {
 /// Renders an itemset-sequence database in the format accepted by
 /// [`parse_itemset_db`].
 pub fn itemset_db_to_text(alphabet: &Alphabet, db: &[ItemsetSequence]) -> String {
-    let mut out = String::new();
+    let mut out = Vec::new();
     for t in db {
-        let line: Vec<String> = t
-            .elements()
-            .iter()
-            .map(|e| {
-                e.items()
-                    .iter()
-                    .map(|&s| alphabet.render(s))
-                    .collect::<Vec<_>>()
-                    .join(",")
-            })
-            .collect();
-        out.push_str(&line.join(" "));
-        out.push('\n');
+        write_itemset_line(alphabet, t, &mut out).expect("write to Vec cannot fail");
     }
-    out
+    String::from_utf8(out).expect("symbol names are valid UTF-8")
 }
 
-/// Parses a timed-sequence database: one sequence per line, events as
-/// `symbol@tick` tokens: `login@0 search@15`. `Δ@t` parses to a marked
-/// event at tick `t`.
+/// Parses one (already trimmed, non-blank, non-comment) timed-sequence
+/// line: events as `symbol@tick` tokens, `login@0 search@15`. `Δ@t`
+/// parses to a marked event at tick `t`. `lineno` is the 1-based file
+/// line number used in error messages.
+pub fn parse_timed_line(
+    lineno: usize,
+    line: &str,
+    alphabet: &mut Alphabet,
+) -> io::Result<TimedSequence> {
+    let mut events = Vec::new();
+    for token in line.split_whitespace() {
+        let (name, tick) = token.rsplit_once('@').ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {lineno}: token '{token}' is not symbol@tick"),
+            )
+        })?;
+        if name.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {lineno}: empty symbol name in '{token}'"),
+            ));
+        }
+        let time: TimeTag = tick.parse().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {lineno}: bad tick in '{token}'"),
+            )
+        })?;
+        let symbol = if name == "Δ" {
+            Symbol::MARK
+        } else {
+            alphabet.intern(name)
+        };
+        events.push(TimedEvent { symbol, time });
+    }
+    if !events.windows(2).all(|w| w[0].time <= w[1].time) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("line {lineno}: time tags must be non-decreasing"),
+        ));
+    }
+    Ok(TimedSequence::new(events))
+}
+
+/// Writes one timed sequence as a [`parse_timed_line`]-format line
+/// (including the trailing newline).
+pub fn write_timed_line(
+    alphabet: &Alphabet,
+    t: &TimedSequence,
+    out: &mut dyn io::Write,
+) -> io::Result<()> {
+    for (i, e) in t.events().iter().enumerate() {
+        if i > 0 {
+            out.write_all(b" ")?;
+        }
+        write!(out, "{}@{}", alphabet.render(e.symbol), e.time)?;
+    }
+    out.write_all(b"\n")
+}
+
+/// Parses a timed-sequence database ([`parse_timed_line`] per line; blank
+/// lines and `#` comments ignored).
 pub fn parse_timed_db(text: &str) -> io::Result<(Alphabet, Vec<TimedSequence>)> {
     let mut alphabet = Alphabet::new();
     let mut db = Vec::new();
@@ -98,40 +171,7 @@ pub fn parse_timed_db(text: &str) -> io::Result<(Alphabet, Vec<TimedSequence>)> 
         .enumerate()
         .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
     {
-        let mut events = Vec::new();
-        for token in line.split_whitespace() {
-            let (name, tick) = token.rsplit_once('@').ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: token '{token}' is not symbol@tick", lineno + 1),
-                )
-            })?;
-            if name.is_empty() {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: empty symbol name in '{token}'", lineno + 1),
-                ));
-            }
-            let time: TimeTag = tick.parse().map_err(|_| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: bad tick in '{token}'", lineno + 1),
-                )
-            })?;
-            let symbol = if name == "Δ" {
-                Symbol::MARK
-            } else {
-                alphabet.intern(name)
-            };
-            events.push(TimedEvent { symbol, time });
-        }
-        if !events.windows(2).all(|w| w[0].time <= w[1].time) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("line {}: time tags must be non-decreasing", lineno + 1),
-            ));
-        }
-        db.push(TimedSequence::new(events));
+        db.push(parse_timed_line(lineno + 1, line, &mut alphabet)?);
     }
     Ok((alphabet, db))
 }
@@ -139,17 +179,11 @@ pub fn parse_timed_db(text: &str) -> io::Result<(Alphabet, Vec<TimedSequence>)> 
 /// Renders a timed-sequence database in the format accepted by
 /// [`parse_timed_db`].
 pub fn timed_db_to_text(alphabet: &Alphabet, db: &[TimedSequence]) -> String {
-    let mut out = String::new();
+    let mut out = Vec::new();
     for t in db {
-        let line: Vec<String> = t
-            .events()
-            .iter()
-            .map(|e| format!("{}@{}", alphabet.render(e.symbol), e.time))
-            .collect();
-        out.push_str(&line.join(" "));
-        out.push('\n');
+        write_timed_line(alphabet, t, &mut out).expect("write to Vec cannot fail");
     }
-    out
+    String::from_utf8(out).expect("symbol names are valid UTF-8")
 }
 
 #[cfg(test)]

@@ -34,5 +34,7 @@ pub mod trajectory;
 pub use generate::{synthetic_like, trucks_like, Dataset};
 pub use grid::Grid;
 pub use random::{markov_db, random_db, zipf_db};
-pub use stream::{SeqReader, SeqWriter, ShardWriter};
+pub use stream::{
+    ItemsetCodec, PlainCodec, SeqReader, SeqWriter, ShardWriter, StreamCodec, TimedCodec,
+};
 pub use trajectory::{wander, waypoint_trajectory, Point};

@@ -24,7 +24,135 @@ use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use seqhide_types::{Alphabet, Sequence, SequenceDb};
+use seqhide_types::{
+    Alphabet, ItemsetSequence, Sequence, SequenceDb, Symbol, TimedEvent, TimedSequence,
+};
+
+use crate::io::{parse_itemset_line, parse_timed_line, write_itemset_line, write_timed_line};
+
+/// One-line-per-sequence text codec: how a sequence type parses from and
+/// renders to a single line of the streaming formats. Implementations
+/// must round-trip bytes exactly with their whole-file counterparts in
+/// [`crate::io`] (the streamed release must equal the in-memory one), and
+/// line skipping (blank / `#`) is the reader's concern, not the codec's.
+pub trait StreamCodec {
+    /// The sequence type this codec reads and writes.
+    type Seq;
+
+    /// Parses one trimmed, non-blank, non-comment line. `lineno` is the
+    /// 1-based file line number, for error messages.
+    fn parse_line(
+        &self,
+        lineno: usize,
+        line: &str,
+        alphabet: &mut Alphabet,
+    ) -> io::Result<Self::Seq>;
+
+    /// Writes `t` as one line, including the trailing newline.
+    fn write_line(&self, alphabet: &Alphabet, t: &Self::Seq, out: &mut dyn Write)
+        -> io::Result<()>;
+
+    /// Heap payload of one resident sequence (the quantity the streaming
+    /// driver's `peak_resident_batch` gauge sums).
+    fn resident_bytes(&self, t: &Self::Seq) -> u64;
+}
+
+/// Codec for plain sequences (`a b c`; marks render as `Δ`) — the
+/// [`SequenceDb::parse`] / [`SequenceDb::to_text`] line format.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlainCodec;
+
+impl StreamCodec for PlainCodec {
+    type Seq = Sequence;
+
+    fn parse_line(
+        &self,
+        _lineno: usize,
+        line: &str,
+        alphabet: &mut Alphabet,
+    ) -> io::Result<Sequence> {
+        Ok(Sequence::parse(line, alphabet))
+    }
+
+    fn write_line(&self, alphabet: &Alphabet, t: &Sequence, out: &mut dyn Write) -> io::Result<()> {
+        for (i, &s) in t.iter().enumerate() {
+            if i > 0 {
+                out.write_all(b" ")?;
+            }
+            out.write_all(alphabet.render(s).as_bytes())?;
+        }
+        out.write_all(b"\n")
+    }
+
+    fn resident_bytes(&self, t: &Sequence) -> u64 {
+        (t.len() * std::mem::size_of::<Symbol>()) as u64
+    }
+}
+
+/// Codec for itemset sequences (`bread,milk beer`) — the
+/// [`crate::io::parse_itemset_db`] line format.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ItemsetCodec;
+
+impl StreamCodec for ItemsetCodec {
+    type Seq = ItemsetSequence;
+
+    fn parse_line(
+        &self,
+        _lineno: usize,
+        line: &str,
+        alphabet: &mut Alphabet,
+    ) -> io::Result<ItemsetSequence> {
+        Ok(parse_itemset_line(line, alphabet))
+    }
+
+    fn write_line(
+        &self,
+        alphabet: &Alphabet,
+        t: &ItemsetSequence,
+        out: &mut dyn Write,
+    ) -> io::Result<()> {
+        write_itemset_line(alphabet, t, out)
+    }
+
+    fn resident_bytes(&self, t: &ItemsetSequence) -> u64 {
+        t.elements()
+            .iter()
+            .map(|e| std::mem::size_of_val(e.items()) as u64)
+            .sum()
+    }
+}
+
+/// Codec for timed sequences (`login@0 search@15`) — the
+/// [`crate::io::parse_timed_db`] line format.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimedCodec;
+
+impl StreamCodec for TimedCodec {
+    type Seq = TimedSequence;
+
+    fn parse_line(
+        &self,
+        lineno: usize,
+        line: &str,
+        alphabet: &mut Alphabet,
+    ) -> io::Result<TimedSequence> {
+        parse_timed_line(lineno, line, alphabet)
+    }
+
+    fn write_line(
+        &self,
+        alphabet: &Alphabet,
+        t: &TimedSequence,
+        out: &mut dyn Write,
+    ) -> io::Result<()> {
+        write_timed_line(alphabet, t, out)
+    }
+
+    fn resident_bytes(&self, t: &TimedSequence) -> u64 {
+        (t.len() * std::mem::size_of::<TimedEvent>()) as u64
+    }
+}
 
 /// Streaming reader over one-sequence-per-line text, yielding parsed
 /// [`Sequence`]s in file order.
@@ -44,6 +172,7 @@ use seqhide_types::{Alphabet, Sequence, SequenceDb};
 pub struct SeqReader<R> {
     inner: R,
     line: String,
+    lineno: usize,
 }
 
 impl SeqReader<BufReader<File>> {
@@ -59,6 +188,7 @@ impl<R: BufRead> SeqReader<R> {
         SeqReader {
             inner,
             line: String::new(),
+            lineno: 0,
         }
     }
 
@@ -66,16 +196,29 @@ impl<R: BufRead> SeqReader<R> {
     /// Returns `Ok(None)` at end of input. Blank lines and `#` comments
     /// are skipped exactly as [`SequenceDb::parse`] skips them.
     pub fn next_seq(&mut self, alphabet: &mut Alphabet) -> io::Result<Option<Sequence>> {
+        self.next_record(&PlainCodec, alphabet)
+    }
+
+    /// Parses the next record through `codec`, interning its symbols into
+    /// `alphabet`. Returns `Ok(None)` at end of input; blank lines and
+    /// `#` comments are skipped. Parse errors carry the 1-based file line
+    /// number, matching the whole-file parsers in [`crate::io`].
+    pub fn next_record<K: StreamCodec>(
+        &mut self,
+        codec: &K,
+        alphabet: &mut Alphabet,
+    ) -> io::Result<Option<K::Seq>> {
         loop {
             self.line.clear();
             if self.inner.read_line(&mut self.line)? == 0 {
                 return Ok(None);
             }
+            self.lineno += 1;
             let line = self.line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            return Ok(Some(Sequence::parse(line, alphabet)));
+            return codec.parse_line(self.lineno, line, alphabet).map(Some);
         }
     }
 }
@@ -94,13 +237,7 @@ impl<W: Write> SeqWriter<W> {
 
     /// Writes `t` as one line (`Δ` for marks, symbols space-joined).
     pub fn write_seq(&mut self, alphabet: &Alphabet, t: &Sequence) -> io::Result<()> {
-        for (i, &s) in t.iter().enumerate() {
-            if i > 0 {
-                self.inner.write_all(b" ")?;
-            }
-            self.inner.write_all(alphabet.render(s).as_bytes())?;
-        }
-        self.inner.write_all(b"\n")
+        PlainCodec.write_line(alphabet, t, &mut self.inner)
     }
 
     /// Unwraps the sink (flushing is the caller's concern for raw sinks;

@@ -115,7 +115,7 @@ pub fn ablation_delta_agreement(dataset: &Dataset) -> DeltaAgreement {
 }
 
 /// **A7** — border preservation (the quality criterion of the related
-/// work's border-based hiding, Sun & Yu [26]) vs `ψ` for the four
+/// work's border-based hiding, Sun & Yu \[26\]) vs `ψ` for the four
 /// algorithms: what fraction of the original positive border survives?
 pub fn ablation_border_preservation(dataset: &Dataset, psis: &[usize]) -> Figure {
     use seqhide_mine::border_preservation;

@@ -42,6 +42,7 @@
 pub mod constraints;
 pub mod counting;
 pub mod delta;
+pub mod domain;
 pub mod engine;
 pub mod enumerate;
 pub mod itemset;
@@ -55,6 +56,7 @@ pub use counting::{
     matching_size,
 };
 pub use delta::{delta_all, delta_by_deletion, delta_by_marking, delta_forward_backward};
+pub use domain::{LocalStrategy, PatternDomain, ScratchDomain};
 pub use engine::{EngineStats, ItemsetMatchEngine, MatchEngine};
 pub use enumerate::{enumerate_embeddings, EnumerateConfig};
 pub use pattern::{PatternError, SensitivePattern, SensitiveSet};

@@ -81,7 +81,7 @@ pub fn negative_border(db: &SequenceDb, result: &MineResult, sigma: usize) -> Ve
 
 /// The border-preservation quality of a sanitization: the fraction of the
 /// *original* positive border still frequent in the released database
-/// (1.0 = the lattice boundary is untouched — [26]'s goal). Patterns in
+/// (1.0 = the lattice boundary is untouched — \[26\]'s goal). Patterns in
 /// `exclude` (the sensitive set, which is *supposed* to fall) are skipped.
 pub fn border_preservation(
     before: &MineResult,

@@ -20,7 +20,7 @@
 //!   `#[cfg]` in any consumer. Workspace crates expose this as their `obs`
 //!   feature (on by default).
 //! * **Runtime toggle.** With the feature compiled in, [`set_recording`]
-//!   gates all sinks behind one relaxed [`AtomicBool`] load. The
+//!   gates all sinks behind one relaxed `AtomicBool` load. The
 //!   `benches/sanitize.rs` guard measures the recording-on vs recording-off
 //!   spread to bound the overhead (< 3% on paper-scale workloads; see
 //!   `docs/OBSERVABILITY.md` for current numbers).

@@ -163,9 +163,25 @@ impl Snapshot {
     /// triples. Version 2 added the `gauges` object; everything present
     /// in version 1 is unchanged.
     pub fn to_json(&self) -> String {
+        self.render(None)
+    }
+
+    /// Renders the same schema with an additional `"error"` string field
+    /// right after `obs_enabled` — the shape `--metrics-out` writes when
+    /// the command fails, so a failed run's telemetry survives. Readers
+    /// treat the field's absence as success; `schema_version` stays 2
+    /// (additive, optional key).
+    pub fn to_json_with_error(&self, error: &str) -> String {
+        self.render(Some(error))
+    }
+
+    fn render(&self, error: Option<&str>) -> String {
         let mut out = String::new();
         out.push_str("{\n  \"schema_version\": 2,\n");
         let _ = writeln!(out, "  \"obs_enabled\": {},", self.enabled());
+        if let Some(error) = error {
+            let _ = writeln!(out, "  \"error\": \"{}\",", escape_json(error));
+        }
         out.push_str("  \"phases\": [");
         let mut first = true;
         for p in Phase::ALL {
@@ -238,6 +254,26 @@ impl Snapshot {
     }
 }
 
+/// Minimal JSON string escaping: quotes, backslashes, and control
+/// characters (error messages routinely carry paths and quoted flags).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Inclusive `[lower, upper]` value bounds of log2 bucket `b`.
 fn bucket_bounds(b: usize) -> (u64, u64) {
     if b == 0 {
@@ -261,6 +297,15 @@ mod tests {
         assert!(json.contains("\"marks_introduced\": 0"));
         assert!(json.contains("\"peak_resident_batch\": 0"));
         assert!(json.contains("\"victim_nanos\""));
+    }
+
+    #[test]
+    fn error_field_is_injected_and_escaped() {
+        let json = Snapshot::default().to_json_with_error("cannot read \"/tmp/x\"\nline 2");
+        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"error\": \"cannot read \\\"/tmp/x\\\"\\nline 2\""));
+        // the plain renderer never emits the key
+        assert!(!Snapshot::default().to_json().contains("\"error\""));
     }
 
     #[test]

@@ -1,71 +1,128 @@
 //! Sanitization for regex patterns: the paper's two-level algorithm with
-//! the marking-device `δ`.
+//! the marking-device `δ`, expressed as a [`PatternDomain`] so the
+//! generic drivers of `seqhide-core` (in-memory, threaded, streaming) all
+//! work on regex databases unchanged.
 
-use rand::seq::IndexedRandom;
 use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use seqhide_core::{sanitize_victim, GlobalStrategy, LocalStrategy, PatternDomain, Sanitizer};
+use seqhide_match::delta::argmax_delta;
 use seqhide_num::{Count, Sat64};
-use seqhide_obs::{self as obs, Counter, Phase};
-use seqhide_types::{Sequence, SequenceDb};
+use seqhide_obs::Phase;
+use seqhide_types::{Sequence, SequenceDb, Symbol};
 
 use crate::count::{delta_by_marking_re_into, matching_size_re, supports_re};
 use crate::RegexPattern;
 
-/// How positions are chosen (mirrors `seqhide_core::LocalStrategy`, kept
-/// separate so this crate does not depend on the core crate).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum ReLocalStrategy {
-    /// Mark the position involved in the most occurrences.
-    Heuristic,
-    /// Mark a uniformly random position involved in ≥ 1 occurrence.
-    Random,
+/// How positions are chosen. Historically this crate kept its own enum to
+/// avoid depending on the core crate; the [`PatternDomain`] unification
+/// made that dependency real, so this is now an alias for the shared
+/// [`LocalStrategy`] (variant paths like `ReLocalStrategy::Heuristic`
+/// keep working).
+pub type ReLocalStrategy = LocalStrategy;
+
+/// The [`PatternDomain`] of regex patterns: support and `δ` through the
+/// DFA counting DP of `crate::count`, with the constraint-safe marking
+/// device for `δ`. The `δ` and candidate buffers live in the domain and
+/// are refilled in place, so the marking loop allocates no fresh vectors
+/// per mark.
+pub struct RegexDomain<'a, C: Count = Sat64> {
+    patterns: &'a [RegexPattern],
+    delta: Vec<C>,
+    candidates: Vec<usize>,
+}
+
+impl<'a, C: Count> RegexDomain<'a, C> {
+    /// A domain over `patterns`.
+    pub fn new(patterns: &'a [RegexPattern]) -> Self {
+        RegexDomain {
+            patterns,
+            delta: Vec::new(),
+            candidates: Vec::new(),
+        }
+    }
+}
+
+impl<C: Count> PatternDomain for RegexDomain<'_, C> {
+    type Seq = Sequence;
+    type Count = C;
+
+    fn name(&self) -> &'static str {
+        "regex"
+    }
+
+    fn phase(&self) -> Phase {
+        Phase::RegexSanitize
+    }
+
+    fn progress_label(&self) -> &'static str {
+        "sanitize (regex)"
+    }
+
+    fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    fn matching_size(&mut self, t: &Sequence) -> C {
+        matching_size_re::<C>(self.patterns, t)
+    }
+
+    fn seq_len(&self, t: &Sequence) -> usize {
+        t.len()
+    }
+
+    fn distinct_ratio(&self, t: &Sequence) -> f64 {
+        if t.is_empty() {
+            return 1.0;
+        }
+        let mut syms: Vec<Symbol> = t.iter().filter(|s| !s.is_mark()).copied().collect();
+        syms.sort_unstable();
+        syms.dedup();
+        syms.len() as f64 / t.len() as f64
+    }
+
+    fn argmax(&mut self, t: &mut Sequence) -> Option<usize> {
+        delta_by_marking_re_into::<C>(self.patterns, t, &mut self.delta);
+        argmax_delta(&self.delta)
+    }
+
+    fn candidates(&mut self, t: &mut Sequence) -> &[usize] {
+        delta_by_marking_re_into::<C>(self.patterns, t, &mut self.delta);
+        self.candidates.clear();
+        self.candidates.extend(
+            self.delta
+                .iter()
+                .enumerate()
+                .filter_map(|(i, d)| (!d.is_zero()).then_some(i)),
+        );
+        &self.candidates
+    }
+
+    fn distort<R: Rng + ?Sized>(
+        &mut self,
+        t: &mut Sequence,
+        pos: usize,
+        _strategy: LocalStrategy,
+        _rng: &mut R,
+    ) -> usize {
+        t.mark(pos);
+        1
+    }
+
+    fn supports_pattern(&mut self, t: &Sequence, k: usize) -> bool {
+        supports_re(t, &self.patterns[k])
+    }
 }
 
 /// Sanitizes one sequence until no regex occurrence remains; returns marks
-/// introduced.
+/// introduced. A thin wrapper over the generic [`sanitize_victim`] loop
+/// with a fresh [`RegexDomain`].
 pub fn sanitize_regex_sequence<R: Rng + ?Sized>(
     t: &mut Sequence,
     patterns: &[RegexPattern],
     strategy: ReLocalStrategy,
     rng: &mut R,
 ) -> usize {
-    let mut marks = 0;
-    // δ and candidate buffers live across the marking loop: each iteration
-    // refills them in place instead of allocating fresh vectors.
-    let mut delta: Vec<Sat64> = Vec::new();
-    let mut candidates: Vec<usize> = Vec::new();
-    loop {
-        delta_by_marking_re_into::<Sat64>(patterns, t, &mut delta);
-        let pos = match strategy {
-            ReLocalStrategy::Heuristic => {
-                let mut best: Option<(usize, Sat64)> = None;
-                for (i, d) in delta.iter().enumerate() {
-                    if d.is_zero() {
-                        continue;
-                    }
-                    match best {
-                        Some((_, bd)) if *d <= bd => {}
-                        _ => best = Some((i, *d)),
-                    }
-                }
-                best.map(|(i, _)| i)
-            }
-            ReLocalStrategy::Random => {
-                candidates.clear();
-                candidates.extend(
-                    delta
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, d)| (!d.is_zero()).then_some(i)),
-                );
-                candidates.choose(rng).copied()
-            }
-        };
-        let Some(pos) = pos else { return marks };
-        t.mark(pos);
-        marks += 1;
-    }
+    sanitize_victim(&mut RegexDomain::<Sat64>::new(patterns), t, strategy, rng)
 }
 
 /// Report of a regex-database sanitization.
@@ -83,7 +140,10 @@ pub struct RegexSanitizeReport {
 
 /// Sanitizes a database so every regex pattern's support is ≤ `ψ` (global
 /// rule: ascending occurrence count, spare the `ψ` most expensive
-/// supporters — the paper's heuristic verbatim).
+/// supporters — the paper's heuristic verbatim). A thin wrapper over the
+/// generic [`Sanitizer`] driver with a [`RegexDomain`]; victims draw from
+/// per-victim seed-derived RNGs keyed by selection ordinal, so the result
+/// is identical to the streaming path on the same input.
 pub fn sanitize_regex_db(
     db: &mut SequenceDb,
     patterns: &[RegexPattern],
@@ -91,43 +151,22 @@ pub fn sanitize_regex_db(
     strategy: ReLocalStrategy,
     seed: u64,
 ) -> RegexSanitizeReport {
-    let _span = obs::span(Phase::RegexSanitize);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut sup: Vec<(usize, Sat64)> = db
-        .sequences()
-        .iter()
-        .enumerate()
-        .filter_map(|(i, t)| {
-            let m = matching_size_re::<Sat64>(patterns, t);
-            (!m.is_zero()).then_some((i, m))
-        })
-        .collect();
-    sup.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
-    let n_victims = sup.len().saturating_sub(psi);
-    let mut marks = 0;
-    obs::progress::begin("sanitize (regex)", n_victims as u64);
-    for &(i, _) in sup.iter().take(n_victims) {
-        marks += sanitize_regex_sequence(&mut db.sequences_mut()[i], patterns, strategy, &mut rng);
-        obs::counter_add(Counter::VictimsProcessed, 1);
-        obs::progress::bump("sanitize (regex)", 1);
-    }
-    obs::progress::finish("sanitize (regex)");
-    obs::counter_add(Counter::MarksIntroduced, marks as u64);
-    let residual: Vec<usize> = patterns
-        .iter()
-        .map(|p| db.sequences().iter().filter(|t| supports_re(t, p)).count())
-        .collect();
+    let report = Sanitizer::new(strategy, GlobalStrategy::Heuristic, psi)
+        .with_seed(seed)
+        .run_domain(db.sequences_mut(), &mut RegexDomain::<Sat64>::new(patterns));
     RegexSanitizeReport {
-        marks_introduced: marks,
-        sequences_sanitized: n_victims,
-        hidden: residual.iter().all(|&s| s <= psi),
-        residual_supports: residual,
+        marks_introduced: report.marks_introduced,
+        sequences_sanitized: report.sequences_sanitized,
+        hidden: report.hidden,
+        residual_supports: report.residual_supports,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
     use seqhide_types::Alphabet;
 
     #[test]
@@ -193,5 +232,26 @@ mod tests {
         }
         // single a's may survive (the pattern needs at least two)
         assert!(db.sequences()[0].mark_count() <= 2);
+    }
+
+    /// The domain and the db wrapper must agree with the streaming-parity
+    /// invariant's building block: driving the generic loop by hand gives
+    /// the same marks as the wrapper.
+    #[test]
+    fn domain_drives_identically_to_wrapper() {
+        let mut db1 = SequenceDb::parse("a b\na c\na b c\n");
+        let mut db2 = db1.clone();
+        let re = RegexPattern::compile("a (b | c)", db1.alphabet_mut()).unwrap();
+        let patterns = vec![re];
+        let r1 = sanitize_regex_db(&mut db1, &patterns, 0, ReLocalStrategy::Heuristic, 7);
+        let r2 = Sanitizer::new(LocalStrategy::Heuristic, GlobalStrategy::Heuristic, 0)
+            .with_seed(7)
+            .run_domain(
+                db2.sequences_mut(),
+                &mut RegexDomain::<Sat64>::new(&patterns),
+            );
+        assert_eq!(r1.marks_introduced, r2.marks_introduced);
+        assert_eq!(r1.residual_supports, r2.residual_supports);
+        assert_eq!(db1.to_text(), db2.to_text());
     }
 }

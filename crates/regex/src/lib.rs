@@ -54,7 +54,9 @@ pub use count::{
     count_occurrences, delta_by_marking_re, delta_by_marking_re_into, matching_size_re, supports_re,
 };
 pub use dfa::Dfa;
-pub use hide::{sanitize_regex_db, sanitize_regex_sequence, ReLocalStrategy, RegexSanitizeReport};
+pub use hide::{
+    sanitize_regex_db, sanitize_regex_sequence, ReLocalStrategy, RegexDomain, RegexSanitizeReport,
+};
 pub use parser::parse;
 
 use seqhide_match::{ConstraintSet, Gap};

@@ -39,5 +39,5 @@ mod trajectory;
 pub use model::PlausibilityModel;
 pub use pattern::{count_st_matches, delta_st, st_supports, Region, StPattern};
 pub use road::RoadNetwork;
-pub use sanitize::{sanitize_st_db, sanitize_st_trajectory, StOp, StSanitizeReport};
+pub use sanitize::{sanitize_st_db, sanitize_st_trajectory, StDomain, StOp, StSanitizeReport};
 pub use trajectory::{StPoint, Trajectory};

@@ -15,6 +15,11 @@
 //!    violation (the release should then be reviewed — §7.3's warning
 //!    about background-knowledge attacks).
 
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use seqhide_core::{sanitize_victim, GlobalStrategy, LocalStrategy, PatternDomain, Sanitizer};
+use seqhide_match::delta::argmax_delta;
 use seqhide_num::{Count, Sat64};
 use seqhide_obs::{self as obs, Counter, Phase};
 
@@ -74,59 +79,142 @@ fn exit_candidates(patterns: &[StPattern], x: f64, y: f64, margin: f64) -> Vec<(
     out
 }
 
+/// The [`PatternDomain`] of spatio-temporal patterns. A "position" is a
+/// sample index with `δ > 0`; [`distort`](PatternDomain::distort) applies
+/// the operator ranking of the module docs — displace if a plausible
+/// exit strictly decreases the occurrence count, suppress otherwise,
+/// counting a plausibility violation when even suppression breaks the
+/// model. The domain accumulates the applied [`StOp`]s and violations
+/// across victims so database wrappers can harvest them afterwards.
+pub struct StDomain<'a> {
+    patterns: &'a [StPattern],
+    model: &'a PlausibilityModel,
+    delta: Vec<Sat64>,
+    candidates: Vec<usize>,
+    /// Every operation applied through this domain, in order.
+    pub ops: Vec<StOp>,
+    /// Forced suppressions that broke the plausibility model.
+    pub violations: usize,
+}
+
+impl<'a> StDomain<'a> {
+    /// A domain over `patterns` under `model`.
+    pub fn new(patterns: &'a [StPattern], model: &'a PlausibilityModel) -> Self {
+        StDomain {
+            patterns,
+            model,
+            delta: Vec::new(),
+            candidates: Vec::new(),
+            ops: Vec::new(),
+            violations: 0,
+        }
+    }
+}
+
+impl PatternDomain for StDomain<'_> {
+    type Seq = Trajectory;
+    type Count = Sat64;
+
+    fn name(&self) -> &'static str {
+        "st"
+    }
+
+    fn phase(&self) -> Phase {
+        Phase::StSanitize
+    }
+
+    fn progress_label(&self) -> &'static str {
+        "sanitize (st)"
+    }
+
+    fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    fn matching_size(&mut self, t: &Trajectory) -> Sat64 {
+        total(self.patterns, t)
+    }
+
+    fn seq_len(&self, t: &Trajectory) -> usize {
+        t.len()
+    }
+
+    fn distinct_ratio(&self, _t: &Trajectory) -> f64 {
+        1.0 // trajectories have no symbol alphabet
+    }
+
+    fn argmax(&mut self, t: &mut Trajectory) -> Option<usize> {
+        self.delta = delta_st::<Sat64>(self.patterns, t);
+        argmax_delta(&self.delta)
+    }
+
+    fn candidates(&mut self, t: &mut Trajectory) -> &[usize] {
+        self.delta = delta_st::<Sat64>(self.patterns, t);
+        self.candidates.clear();
+        self.candidates.extend(
+            self.delta
+                .iter()
+                .enumerate()
+                .filter_map(|(i, d)| (!d.is_zero()).then_some(i)),
+        );
+        &self.candidates
+    }
+
+    fn distort<R: Rng + ?Sized>(
+        &mut self,
+        t: &mut Trajectory,
+        i: usize,
+        _strategy: LocalStrategy,
+        _rng: &mut R,
+    ) -> usize {
+        let margin = 1e-4;
+        let total_before = total(self.patterns, t);
+        // 1. try displacement
+        let (px, py) = (t.points()[i].x, t.points()[i].y);
+        for (cx, cy) in exit_candidates(self.patterns, px, py, margin) {
+            if !self.model.displacement_plausible(t, i, cx, cy) {
+                continue;
+            }
+            let mut trial = t.clone();
+            trial.displace(i, cx, cy);
+            if total(self.patterns, &trial) < total_before {
+                let dist = ((px - cx).powi(2) + (py - cy).powi(2)).sqrt();
+                t.displace(i, cx, cy);
+                self.ops.push(StOp::Displace(i, dist));
+                return 1;
+            }
+        }
+        // 2. plausible suppression, else 3. forced suppression
+        if !self.model.suppression_plausible(t, i) {
+            self.violations += 1;
+        }
+        t.suppress(i);
+        self.ops.push(StOp::Suppress(i));
+        1
+    }
+
+    fn supports_pattern(&mut self, t: &Trajectory, k: usize) -> bool {
+        st_supports(t, &self.patterns[k])
+    }
+}
+
 /// Sanitizes one trajectory in place until no pattern occurrence remains,
-/// appending the applied operations to `ops`.
+/// appending the applied operations to `ops`. Returns the plausibility
+/// violations incurred. A thin wrapper over the generic
+/// [`sanitize_victim`] loop with a fresh [`StDomain`].
 pub fn sanitize_st_trajectory(
     t: &mut Trajectory,
     patterns: &[StPattern],
     model: &PlausibilityModel,
     ops: &mut Vec<StOp>,
 ) -> usize {
-    let margin = 1e-4;
-    let mut violations = 0;
-    loop {
-        let delta = delta_st::<Sat64>(patterns, t);
-        let mut best: Option<(usize, Sat64)> = None;
-        for (i, d) in delta.iter().enumerate() {
-            if d.is_zero() {
-                continue;
-            }
-            match best {
-                Some((_, bd)) if *d <= bd => {}
-                _ => best = Some((i, *d)),
-            }
-        }
-        let Some((i, _)) = best else {
-            return violations;
-        };
-        let total_before = total(patterns, t);
-        // 1. try displacement
-        let (px, py) = (t.points()[i].x, t.points()[i].y);
-        let mut applied = false;
-        for (cx, cy) in exit_candidates(patterns, px, py, margin) {
-            if !model.displacement_plausible(t, i, cx, cy) {
-                continue;
-            }
-            let mut trial = t.clone();
-            trial.displace(i, cx, cy);
-            if total(patterns, &trial) < total_before {
-                let dist = ((px - cx).powi(2) + (py - cy).powi(2)).sqrt();
-                t.displace(i, cx, cy);
-                ops.push(StOp::Displace(i, dist));
-                applied = true;
-                break;
-            }
-        }
-        if applied {
-            continue;
-        }
-        // 2. plausible suppression, else 3. forced suppression
-        if !model.suppression_plausible(t, i) {
-            violations += 1;
-        }
-        t.suppress(i);
-        ops.push(StOp::Suppress(i));
-    }
+    let mut domain = StDomain::new(patterns, model);
+    // The heuristic path consumes no randomness; the RNG is only here to
+    // satisfy the generic loop's signature.
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    sanitize_victim(&mut domain, t, LocalStrategy::Heuristic, &mut rng);
+    ops.append(&mut domain.ops);
+    domain.violations
 }
 
 fn total(patterns: &[StPattern], t: &Trajectory) -> Sat64 {
@@ -146,36 +234,17 @@ pub fn sanitize_st_db(
     psi: usize,
     model: &PlausibilityModel,
 ) -> StSanitizeReport {
-    let _span = obs::span(Phase::StSanitize);
-    let mut sup: Vec<(usize, Sat64)> = db
-        .iter()
-        .enumerate()
-        .filter_map(|(i, t)| {
-            let m = total(patterns, t);
-            (!m.is_zero()).then_some((i, m))
-        })
-        .collect();
-    sup.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
-    let n_victims = sup.len().saturating_sub(psi);
-    let mut ops = Vec::new();
-    let mut violations = 0;
-    obs::progress::begin("sanitize (st)", n_victims as u64);
-    for &(i, _) in sup.iter().take(n_victims) {
-        violations += sanitize_st_trajectory(&mut db[i], patterns, model, &mut ops);
-        obs::counter_add(Counter::VictimsProcessed, 1);
-        obs::progress::bump("sanitize (st)", 1);
-    }
-    obs::progress::finish("sanitize (st)");
-    let residual: Vec<usize> = patterns
-        .iter()
-        .map(|p| db.iter().filter(|t| st_supports(t, p)).count())
-        .collect();
-    let suppressed = ops
+    let mut domain = StDomain::new(patterns, model);
+    let report = Sanitizer::new(LocalStrategy::Heuristic, GlobalStrategy::Heuristic, psi)
+        .run_domain(db, &mut domain);
+    let suppressed = domain
+        .ops
         .iter()
         .filter(|o| matches!(o, StOp::Suppress(_)))
         .count();
-    let displaced = ops.len() - suppressed;
-    let displacement_distance = ops
+    let displaced = domain.ops.len() - suppressed;
+    let displacement_distance = domain
+        .ops
         .iter()
         .map(|o| match o {
             StOp::Displace(_, d) => *d,
@@ -188,10 +257,10 @@ pub fn sanitize_st_db(
         suppressed,
         displaced,
         displacement_distance,
-        trajectories_sanitized: n_victims,
-        hidden: residual.iter().all(|&s| s <= psi),
-        residual_supports: residual,
-        plausibility_violations: violations,
+        trajectories_sanitized: report.sequences_sanitized,
+        hidden: report.hidden,
+        residual_supports: report.residual_supports,
+        plausibility_violations: domain.violations,
     }
 }
 

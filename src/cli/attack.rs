@@ -1,0 +1,97 @@
+//! `seqhide attack` — the §7.3 adversary made concrete: bigram
+//! mark-inference and pattern re-support measurement on a release.
+
+use seqhide_match::SensitiveSet;
+use seqhide_types::{Sequence, SequenceDb};
+
+use super::flags::Flags;
+use super::{err, CliError};
+
+pub(crate) fn cmd_attack(flags: &Flags) -> Result<String, CliError> {
+    use seqhide_core::attack::{evaluate_mark_inference, reconstruction_resupport, BigramModel};
+    let read = |flag: &str| -> Result<String, CliError> {
+        let path = flags.required(flag)?;
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))
+    };
+    // Parse both against ONE alphabet so symbol ids line up.
+    let mut original = SequenceDb::parse(&read("original")?);
+    let released_text = read("released")?;
+    let released = {
+        let mut db = SequenceDb::new(original.alphabet().clone());
+        for line in released_text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        {
+            let seq = Sequence::parse(line, db.alphabet_mut());
+            db.push(seq);
+        }
+        // keep the (possibly grown) alphabet consistent on both sides
+        *original.alphabet_mut() = db.alphabet().clone();
+        db
+    };
+    if original.len() != released.len() {
+        return Err(err(format!(
+            "databases do not align: {} vs {} sequences",
+            original.len(),
+            released.len()
+        )));
+    }
+    let model = match flags.one("train") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+            let mut train = SequenceDb::new(original.alphabet().clone());
+            for line in text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            {
+                let seq = Sequence::parse(line, train.alphabet_mut());
+                train.push(seq);
+            }
+            *original.alphabet_mut() = train.alphabet().clone();
+            BigramModel::train(&train)
+        }
+        None => BigramModel::train(&released),
+    };
+    let inf = evaluate_mark_inference(&original, &released, &model);
+    let mut out = format!(
+        "mark-inference: {} marked slots — top-1 {} ({:.0}%), top-5 {} ({:.0}%), MRR {:.3}\n",
+        inf.positions,
+        inf.top1,
+        if inf.positions > 0 {
+            100.0 * inf.top1 as f64 / inf.positions as f64
+        } else {
+            0.0
+        },
+        inf.top5,
+        if inf.positions > 0 {
+            100.0 * inf.top5 as f64 / inf.positions as f64
+        } else {
+            0.0
+        },
+        inf.mrr,
+    );
+    let patterns = flags.all("pattern");
+    if !patterns.is_empty() {
+        let mut db_for_patterns = original.clone();
+        let sh = SensitiveSet::new(
+            patterns
+                .iter()
+                .map(|text| Sequence::parse(text, db_for_patterns.alphabet_mut()))
+                .collect(),
+        );
+        let res = reconstruction_resupport(&db_for_patterns, &released, &sh, &model);
+        out.push_str(&format!(
+            "pattern re-support: original {} → release {} → reconstruction {}\n",
+            res.original_support, res.released_support, res.reconstructed_support
+        ));
+        if res.reconstructed_support > res.released_support {
+            out.push_str(
+                "WARNING: the adversary resurrects hidden support; consider --post delete/replace\n",
+            );
+        }
+    }
+    Ok(out)
+}

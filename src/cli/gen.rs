@@ -1,0 +1,27 @@
+//! `seqhide gen` — emit the calibrated TRUCKS-like / SYNTHETIC-like
+//! datasets.
+
+use seqhide_data::{synthetic_like, trucks_like};
+
+use super::flags::Flags;
+use super::{err, CliError};
+
+pub(crate) fn cmd_gen(flags: &Flags) -> Result<String, CliError> {
+    let seed = flags.u64_or("seed", 42)?;
+    let dataset = match flags.required("dataset")? {
+        "trucks" => trucks_like(seed),
+        "synthetic" => synthetic_like(seed),
+        other => return Err(err(format!("unknown dataset '{other}' (trucks|synthetic)"))),
+    };
+    let path = flags.required("out")?;
+    seqhide_data::io::write_db(path, &dataset.db)
+        .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    let (supports, disj) = dataset.support_table();
+    Ok(format!(
+        "wrote {} ({} sequences) to {path}\nsensitive supports: {:?}, disjunction {}\n",
+        dataset.name,
+        dataset.db.len(),
+        supports,
+        disj
+    ))
+}

@@ -1,0 +1,525 @@
+//! `seqhide hide` — sanitize a database against sensitive patterns.
+//!
+//! One entry point, one dispatch: [`cmd_hide`] parses the shared
+//! [`HideConfig`], classifies the run into a [`Domain`] (which pattern
+//! class is being hidden), and routes it either through the in-memory
+//! sanitizer or the two-pass streaming pipeline. Every domain drives the
+//! same generic core — [`Sanitizer::run_domain_threaded`] in memory,
+//! [`Sanitizer::run_streaming_domain`] under `--stream` — so `--stream`,
+//! `--threads`, `--seed` and the four HH/HR/RH/RR algorithms behave
+//! identically across plain, itemset, timed and regex patterns.
+
+use std::io::Write;
+use std::path::Path;
+
+use seqhide_core::timed::{TimeConstraints, TimeGap, TimedPattern};
+use seqhide_core::{
+    EngineMode, GlobalStrategy, LocalStrategy, Sanitizer, StreamReport, TimedDomain,
+};
+use seqhide_data::stream::{ItemsetCodec, PlainCodec, SeqReader, TimedCodec};
+use seqhide_match::itemset::ItemsetPattern;
+use seqhide_match::{ItemsetMatchEngine, SensitivePattern, SensitiveSet};
+use seqhide_num::Sat64;
+use seqhide_re::{sanitize_regex_db, RegexDomain, RegexPattern};
+use seqhide_types::{Alphabet, Sequence};
+
+use super::flags::Flags;
+use super::{constraints, err, load_db, mode, read_text, sensitive_set, CliError};
+
+/// Which pattern class a `hide` invocation targets. `--mode` picks the
+/// database line format (plain/itemset/timed); within plain mode a run
+/// that gives only `--regex` patterns is the regex domain.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Domain {
+    Plain,
+    Itemset,
+    Timed,
+    Regex,
+}
+
+impl Domain {
+    fn parse(flags: &Flags) -> Result<Domain, CliError> {
+        Ok(match mode(flags)? {
+            "itemset" => Domain::Itemset,
+            "timed" => Domain::Timed,
+            _ => {
+                if !flags.all("regex").is_empty() && flags.all("pattern").is_empty() {
+                    Domain::Regex
+                } else {
+                    Domain::Plain
+                }
+            }
+        })
+    }
+
+    /// The head-line noun ("plain patterns: …").
+    fn noun(self) -> &'static str {
+        match self {
+            Domain::Plain => "plain patterns",
+            Domain::Itemset => "itemset patterns",
+            Domain::Timed => "timed patterns",
+            Domain::Regex => "regex patterns",
+        }
+    }
+
+    /// What one distortion is called in the head line.
+    fn unit(self) -> &'static str {
+        match self {
+            Domain::Plain | Domain::Regex => "marks",
+            Domain::Itemset => "item marks",
+            Domain::Timed => "event marks",
+        }
+    }
+}
+
+/// The `hide` configuration shared by the in-memory and streaming paths.
+struct HideConfig {
+    psi: usize,
+    seed: u64,
+    engine: EngineMode,
+    threads: usize,
+    local: LocalStrategy,
+    global: GlobalStrategy,
+}
+
+impl HideConfig {
+    fn parse(flags: &Flags) -> Result<Self, CliError> {
+        let psi = flags
+            .required("psi")?
+            .parse::<usize>()
+            .map_err(|_| err("--psi: not a number"))?;
+        let seed = flags.u64_or("seed", 0)?;
+        let engine = match flags.one("engine") {
+            None => EngineMode::default(),
+            Some(v) => EngineMode::parse(v)
+                .ok_or_else(|| err(format!("unknown engine '{v}' (incremental|scratch)")))?,
+        };
+        let threads = flags.usize_or("threads", 1)?;
+        let (local, global) = match flags.one("algorithm").unwrap_or("hh") {
+            "hh" => (LocalStrategy::Heuristic, GlobalStrategy::Heuristic),
+            "hr" => (LocalStrategy::Heuristic, GlobalStrategy::Random),
+            "rh" => (LocalStrategy::Random, GlobalStrategy::Heuristic),
+            "rr" => (LocalStrategy::Random, GlobalStrategy::Random),
+            other => return Err(err(format!("unknown algorithm '{other}' (hh|hr|rh|rr)"))),
+        };
+        Ok(HideConfig {
+            psi,
+            seed,
+            engine,
+            threads,
+            local,
+            global,
+        })
+    }
+
+    fn sanitizer(&self, exact: bool) -> Sanitizer {
+        Sanitizer::new(self.local, self.global, self.psi)
+            .with_seed(self.seed)
+            .with_exact_counts(exact)
+            .with_engine(self.engine)
+            .with_threads(self.threads)
+    }
+}
+
+pub(crate) fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
+    let cfg = HideConfig::parse(flags)?;
+    let domain = Domain::parse(flags)?;
+    if flags.has("stream") {
+        return cmd_hide_stream(flags, &cfg, domain);
+    }
+    match domain {
+        Domain::Itemset => hide_itemset(flags, &cfg),
+        Domain::Timed => hide_timed(flags, &cfg),
+        Domain::Plain | Domain::Regex => hide_plain(flags, &cfg),
+    }
+}
+
+/// Parses `--pattern` values in the itemset syntax (`a,b c`) against
+/// `alphabet`.
+fn itemset_patterns(
+    flags: &Flags,
+    alphabet: &mut Alphabet,
+) -> Result<Vec<ItemsetPattern>, CliError> {
+    let cs = constraints(flags)?;
+    let mut patterns = Vec::new();
+    for text in flags.all("pattern") {
+        let elements: Vec<seqhide_types::Itemset> = text
+            .split_whitespace()
+            .map(|elem| {
+                seqhide_types::Itemset::new(
+                    elem.split(',')
+                        .filter(|w| !w.is_empty())
+                        .map(|w| alphabet.intern(w))
+                        .collect(),
+                )
+            })
+            .collect();
+        let seq = seqhide_types::ItemsetSequence::new(elements);
+        patterns.push(
+            ItemsetPattern::new(seq, cs.clone())
+                .map_err(|e| err(format!("--pattern '{text}': {e}")))?,
+        );
+    }
+    if patterns.is_empty() {
+        return Err(err(
+            "nothing to hide: give --pattern (itemset syntax: a,b c)",
+        ));
+    }
+    Ok(patterns)
+}
+
+/// Parses `--pattern` values for timed mode: plain symbols, with
+/// `--min-gap`/`--max-gap`/`--max-window` read as elapsed ticks.
+fn timed_patterns(flags: &Flags, alphabet: &mut Alphabet) -> Result<Vec<TimedPattern>, CliError> {
+    let mut tc = TimeConstraints::none();
+    let min = flags.u64_or("min-gap", 0)?;
+    let max = match flags.one("max-gap") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| err("--max-gap: not a number"))?),
+    };
+    if min > 0 || max.is_some() {
+        tc = TimeConstraints::uniform_gap(TimeGap { min, max });
+    }
+    if let Some(w) = flags.one("max-window") {
+        tc.max_window = Some(w.parse().map_err(|_| err("--max-window: not a number"))?);
+    }
+    let mut patterns = Vec::new();
+    for text in flags.all("pattern") {
+        let seq = Sequence::parse(text, alphabet);
+        patterns.push(
+            TimedPattern::new(seq, tc.clone())
+                .map_err(|e| err(format!("--pattern '{text}': {e}")))?,
+        );
+    }
+    if patterns.is_empty() {
+        return Err(err(
+            "nothing to hide: give --pattern (plain symbols; gaps in ticks)",
+        ));
+    }
+    Ok(patterns)
+}
+
+/// Compiles `--regex` values against `alphabet` with the run's
+/// gap/window constraints.
+fn regex_patterns(flags: &Flags, alphabet: &mut Alphabet) -> Result<Vec<RegexPattern>, CliError> {
+    let cs = constraints(flags)?;
+    flags
+        .all("regex")
+        .iter()
+        .map(|text| {
+            RegexPattern::compile(text, alphabet)
+                .map(|p| p.with_constraints(&cs))
+                .map_err(|e| err(format!("--regex '{text}': {e}")))
+        })
+        .collect()
+}
+
+fn hide_itemset(flags: &Flags, cfg: &HideConfig) -> Result<String, CliError> {
+    let (mut alphabet, mut db) = seqhide_data::io::parse_itemset_db(&read_text(flags)?);
+    let patterns = itemset_patterns(flags, &mut alphabet)?;
+    let report = cfg
+        .sanitizer(false)
+        .run_domain_threaded(&mut db, &|| ItemsetMatchEngine::<Sat64>::new(&patterns));
+    if !report.hidden {
+        return Err(err("internal: sanitizer failed to hide itemset patterns"));
+    }
+    let mut out = format!(
+        "itemset patterns: {} item marks in {} sequences; residual supports {:?}\n",
+        report.marks_introduced, report.sequences_sanitized, report.residual_supports
+    );
+    let text = seqhide_data::io::itemset_db_to_text(&alphabet, &db);
+    if let Some(path) = flags.one("out") {
+        std::fs::write(path, &text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote {path}\n"));
+    } else {
+        out.push_str(&text);
+    }
+    Ok(out)
+}
+
+fn hide_timed(flags: &Flags, cfg: &HideConfig) -> Result<String, CliError> {
+    let (mut alphabet, mut db) =
+        seqhide_data::io::parse_timed_db(&read_text(flags)?).map_err(|e| err(e.to_string()))?;
+    let patterns = timed_patterns(flags, &mut alphabet)?;
+    let report = cfg
+        .sanitizer(false)
+        .run_domain_threaded(&mut db, &|| TimedDomain::<Sat64>::new(&patterns));
+    if !report.hidden {
+        return Err(err("internal: sanitizer failed to hide timed patterns"));
+    }
+    let mut out = format!(
+        "timed patterns: {} event marks in {} sequences; residual supports {:?}\n",
+        report.marks_introduced, report.sequences_sanitized, report.residual_supports
+    );
+    let text = seqhide_data::io::timed_db_to_text(&alphabet, &db);
+    if let Some(path) = flags.one("out") {
+        std::fs::write(path, &text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote {path}\n"));
+    } else {
+        out.push_str(&text);
+    }
+    Ok(out)
+}
+
+/// In-memory plain-mode hide: plain `S_h` and/or regex patterns, with the
+/// optional `--post` second stage.
+fn hide_plain(flags: &Flags, cfg: &HideConfig) -> Result<String, CliError> {
+    let psi = cfg.psi;
+    let mut db = load_db(flags)?;
+    let sh = sensitive_set(flags, &mut db)?;
+    let regexes = regex_patterns(flags, db.alphabet_mut())?;
+    if sh.is_empty() && regexes.is_empty() {
+        return Err(err("nothing to hide: give --pattern and/or --regex"));
+    }
+    let seed = cfg.seed;
+    let mut out = String::new();
+    let mut marks = 0;
+    if !sh.is_empty() {
+        let report = cfg.sanitizer(flags.has("exact")).run(&mut db, &sh);
+        marks += report.marks_introduced;
+        out.push_str(&format!(
+            "plain patterns: {} marks in {} sequences; residual supports {:?}\n",
+            report.marks_introduced, report.sequences_sanitized, report.residual_supports
+        ));
+        if flags.has("report") {
+            out.push_str(&format!(
+                "engine: {} cell repairs, {} fallback recounts\n",
+                report.engine_repairs, report.fallback_recounts
+            ));
+        }
+        if !report.hidden {
+            return Err(err("internal: sanitizer failed to hide plain patterns"));
+        }
+    }
+    if !regexes.is_empty() {
+        let report = cfg
+            .sanitizer(false)
+            .run_domain_threaded(db.sequences_mut(), &|| RegexDomain::<Sat64>::new(&regexes));
+        marks += report.marks_introduced;
+        out.push_str(&format!(
+            "regex patterns: {} marks in {} sequences; residual supports {:?}\n",
+            report.marks_introduced, report.sequences_sanitized, report.residual_supports
+        ));
+        if !report.hidden {
+            return Err(err("internal: sanitizer failed to hide regex patterns"));
+        }
+    }
+    match flags.one("post").unwrap_or("keep") {
+        "keep" => {}
+        "delete" => {
+            // Δ-deletion shrinks gaps, which can resurrect *any*
+            // constrained matcher's occurrences — regex patterns included,
+            // not just plain S_h. The hook re-verifies (and if needed
+            // re-sanitizes) the regexes each round; it returns 0 once they
+            // are hidden, so the loop ends with both families clean.
+            let (released, dr) = seqhide_core::post::delete_markers_safe_with(
+                &db,
+                &sh,
+                psi,
+                &Sanitizer::new(cfg.local, cfg.global, psi),
+                |cur| {
+                    if regexes.is_empty() {
+                        0
+                    } else {
+                        sanitize_regex_db(cur, &regexes, psi, cfg.local, seed).marks_introduced
+                    }
+                },
+            );
+            db = released;
+            out.push_str(&format!("post: deleted Δ ({} round(s))\n", dr.rounds));
+        }
+        "replace" => {
+            let rep = seqhide_core::post::replace_markers(&mut db, &sh, seed);
+            out.push_str(&format!(
+                "post: replaced {} Δ, kept {}\n",
+                rep.replaced, rep.kept
+            ));
+        }
+        other => {
+            return Err(err(format!(
+                "unknown post strategy '{other}' (keep|delete|replace)"
+            )))
+        }
+    }
+    out.push_str(&format!("total marks (M1): {marks}\n"));
+    if let Some(path) = flags.one("out") {
+        seqhide_data::io::write_db(path, &db)
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote {path}\n"));
+    } else {
+        out.push_str(&db.to_text());
+    }
+    if flags.has("report") {
+        let stats = db.stats();
+        out.push_str(&format!(
+            "released: {} sequences, {} residual Δ\n",
+            stats.len, stats.marks
+        ));
+    }
+    Ok(out)
+}
+
+/// Runs a streaming sanitize against the flag-selected sink: sharded
+/// spill + atomic rename under `--out`, an in-memory buffer (returned as
+/// the body text) otherwise.
+fn with_stream_sink(
+    flags: &Flags,
+    db_path: &str,
+    run: impl FnOnce(&mut dyn Write) -> std::io::Result<StreamReport>,
+) -> Result<(StreamReport, String), CliError> {
+    let stream_io = |e: std::io::Error| err(format!("cannot stream {db_path}: {e}"));
+    if let Some(out_path) = flags.one("out") {
+        let shard_dir = Path::new(out_path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or_else(|| Path::new("."))
+            .to_path_buf();
+        let mut sink = seqhide_data::ShardWriter::new(shard_dir, 8 << 20);
+        let sr = run(&mut sink).map_err(stream_io)?;
+        sink.finish_to_path(out_path)
+            .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+        Ok((sr, String::new()))
+    } else {
+        let mut buf = Vec::new();
+        let sr = run(&mut buf).map_err(stream_io)?;
+        Ok((sr, String::from_utf8(buf).expect("release text is UTF-8")))
+    }
+}
+
+/// `hide --stream`: the two-pass bounded-memory pipeline
+/// ([`seqhide_core::stream`]) for every pattern class. Pass 1 scans for
+/// supporters, pass 2 re-streams in `--batch-size` batches and writes
+/// incrementally — the database is never fully resident. Same seed ⇒
+/// byte-identical output to the in-memory path (pinned by
+/// tests/stream.rs and tests/cli.rs).
+fn cmd_hide_stream(flags: &Flags, cfg: &HideConfig, domain: Domain) -> Result<String, CliError> {
+    if flags.one("post").unwrap_or("keep") != "keep" {
+        return Err(err(
+            "--stream writes incrementally; --post delete/replace need the full database in memory",
+        ));
+    }
+    if matches!(domain, Domain::Itemset | Domain::Timed) && !flags.all("regex").is_empty() {
+        return Err(err(
+            "--stream hides one pattern class per run: --regex applies to plain mode only",
+        ));
+    }
+    let db_path = flags.required("db")?.to_string();
+    let batch_size = flags.usize_or("batch-size", 1024)?;
+    let sanitizer = cfg.sanitizer(flags.has("exact"));
+    let input = Path::new(&db_path);
+
+    let (report, body) = match domain {
+        Domain::Plain => {
+            if !flags.all("regex").is_empty() {
+                return Err(err(
+                    "--stream hides one pattern class per run: give --pattern or --regex, not both",
+                ));
+            }
+            let cs = constraints(flags)?;
+            let mut alphabet = Alphabet::new();
+            let mut patterns = Vec::new();
+            for text in flags.all("pattern") {
+                let seq = Sequence::parse(text, &mut alphabet);
+                patterns.push(
+                    SensitivePattern::new(seq, cs.clone())
+                        .map_err(|e| err(format!("--pattern '{text}': {e}")))?,
+                );
+            }
+            let sh = SensitiveSet::from_patterns(patterns);
+            if sh.is_empty() {
+                return Err(err("nothing to hide: give --pattern"));
+            }
+            with_stream_sink(flags, &db_path, |sink| {
+                sanitizer.run_streaming(input, &mut alphabet, &sh, batch_size, sink)
+            })?
+        }
+        Domain::Regex => {
+            let mut alphabet = Alphabet::new();
+            let regexes = regex_patterns(flags, &mut alphabet)?;
+            with_stream_sink(flags, &db_path, |sink| {
+                sanitizer.run_streaming_domain(
+                    input,
+                    &mut alphabet,
+                    &PlainCodec,
+                    &|| RegexDomain::<Sat64>::new(&regexes),
+                    batch_size,
+                    sink,
+                )
+            })?
+        }
+        Domain::Itemset => {
+            // The level-2 item choice iterates an element's items in
+            // Symbol-id order, so the release depends on interning order.
+            // Pre-intern the database's symbols in file order (what the
+            // in-memory path sees) before the pattern's, so both paths
+            // release identical bytes. One extra sequential pass, O(1)
+            // resident memory.
+            let mut alphabet = Alphabet::new();
+            let pre_io = |e: std::io::Error| err(format!("cannot stream {db_path}: {e}"));
+            let mut reader = SeqReader::open(input).map_err(pre_io)?;
+            while reader
+                .next_record(&ItemsetCodec, &mut alphabet)
+                .map_err(pre_io)?
+                .is_some()
+            {}
+            let patterns = itemset_patterns(flags, &mut alphabet)?;
+            with_stream_sink(flags, &db_path, |sink| {
+                sanitizer.run_streaming_domain(
+                    input,
+                    &mut alphabet,
+                    &ItemsetCodec,
+                    &|| ItemsetMatchEngine::<Sat64>::new(&patterns),
+                    batch_size,
+                    sink,
+                )
+            })?
+        }
+        Domain::Timed => {
+            let mut alphabet = Alphabet::new();
+            let patterns = timed_patterns(flags, &mut alphabet)?;
+            with_stream_sink(flags, &db_path, |sink| {
+                sanitizer.run_streaming_domain(
+                    input,
+                    &mut alphabet,
+                    &TimedCodec,
+                    &|| TimedDomain::<Sat64>::new(&patterns),
+                    batch_size,
+                    sink,
+                )
+            })?
+        }
+    };
+
+    let mut head = format!(
+        "{}: {} {} in {} sequences; residual supports {:?}\n",
+        domain.noun(),
+        report.report.marks_introduced,
+        domain.unit(),
+        report.report.sequences_sanitized,
+        report.report.residual_supports
+    );
+    head.push_str(&format!(
+        "stream: {} sequences in {} batch(es) of ≤ {batch_size}; peak batch {} B\n",
+        report.sequences_total, report.batches, report.peak_batch_bytes
+    ));
+    if flags.has("report") {
+        head.push_str(&format!(
+            "engine: {} cell repairs, {} fallback recounts\n",
+            report.report.engine_repairs, report.report.fallback_recounts
+        ));
+    }
+    if !report.report.hidden {
+        return Err(err(format!(
+            "internal: sanitizer failed to hide {}",
+            domain.noun()
+        )));
+    }
+    head.push_str(&format!(
+        "total marks (M1): {}\n",
+        report.report.marks_introduced
+    ));
+    if let Some(out_path) = flags.one("out") {
+        head.push_str(&format!("wrote {out_path}\n"));
+    }
+    Ok(head + &body)
+}

@@ -1,0 +1,225 @@
+//! The `seqhide` command-line interface.
+//!
+//! Subcommands (see `seqhide help`):
+//!
+//! * `stats`  — summarise a sequence database;
+//! * `mine`   — list frequent patterns (`F(D, σ)`);
+//! * `hide`   — sanitize a database against sensitive patterns;
+//! * `verify` — check the hiding requirement on a released database;
+//! * `gen`    — emit the calibrated TRUCKS-like / SYNTHETIC-like datasets.
+//!
+//! The implementation is a plain function from arguments to output text so
+//! the whole surface is exercised by integration tests without spawning
+//! processes; `src/bin/seqhide.rs` is a three-line wrapper.
+//!
+//! One module per subcommand: `flags` holds the flag table and parser,
+//! `stats`/`mine`/`hide`/`verify`/`attack`/`gen` each implement their
+//! command, and this root keeps the shared input helpers plus [`run`].
+
+use std::fmt;
+
+use seqhide_match::{ConstraintSet, Gap, SensitivePattern, SensitiveSet};
+use seqhide_obs as obs;
+use seqhide_types::{Sequence, SequenceDb};
+
+mod attack;
+mod flags;
+mod gen;
+mod hide;
+mod mine;
+mod stats;
+mod verify;
+
+use flags::{levenshtein, FlagSpec, Flags, SPECS};
+
+/// CLI failure: a message for stderr.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+pub(crate) fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+const HELP: &str = "\
+seqhide — hiding sensitive sequential patterns (ICDE 2007 reproduction)
+
+USAGE:
+  seqhide stats  --db FILE [--mode plain|itemset|timed]
+  seqhide mine   --db FILE --sigma N [--mode plain|itemset]
+                 [--miner prefixspan|gsp] [--max-len L] [--top K]
+                 [--min-gap G] [--max-gap G] [--max-window W]
+                 [--metrics-out FILE] [--progress]
+  seqhide hide   --db FILE --psi N (--pattern \"a b\")... [--regex \"a (b|c)+ d\"]...
+                 [--mode plain|itemset|timed] [--algorithm hh|hr|rh|rr]
+                 [--seed S] [--exact] [--min-gap G] [--max-gap G] [--max-window W]
+                 [--engine incremental|scratch] [--threads N]
+                 [--post keep|delete|replace] [--out FILE] [--report]
+                 [--stream] [--batch-size N]
+                 [--metrics-out FILE] [--progress]
+  seqhide verify --db FILE --psi N (--pattern \"a b\")...
+  seqhide attack --original FILE --released FILE [--train FILE]
+                 (--pattern \"a b\")...
+  seqhide gen    --dataset trucks|synthetic [--seed S] --out FILE
+  seqhide help
+
+FORMATS (one sequence per line; '#' comments; marks render as Δ):
+  plain    whitespace-separated symbols:      login search checkout
+  itemset  comma-joined items per element:    bread,milk beer
+  timed    symbol@tick events:                login@0 search@15
+In itemset mode --pattern uses the itemset syntax; in timed mode
+--min-gap/--max-gap/--max-window are elapsed ticks, not index distances.
+
+STREAMING:
+  --stream            two-pass bounded-memory pipeline: never holds more
+                      than --batch-size sequences resident; output is
+                      byte-identical to the in-memory path on the same
+                      seed. Every pattern class streams — plain, itemset
+                      and timed modes plus --regex — one class per run;
+                      --post keep only.
+  --batch-size N      sequences resident per pass-2 batch (default 1024)
+
+TELEMETRY:
+  --metrics-out FILE  write the run's span/counter/histogram snapshot as
+                      JSON (schema in docs/OBSERVABILITY.md); on failure
+                      the snapshot is still written, with an \"error\" field
+  --progress          print throttled progress lines to stderr
+";
+
+pub(crate) fn load_db(flags: &Flags) -> Result<SequenceDb, CliError> {
+    let path = flags.required("db")?;
+    seqhide_data::io::read_db(path).map_err(|e| err(format!("cannot read {path}: {e}")))
+}
+
+pub(crate) fn constraints(flags: &Flags) -> Result<ConstraintSet, CliError> {
+    let min = flags.usize_or("min-gap", 0)?;
+    let max = match flags.one("max-gap") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| err("--max-gap: not a number"))?),
+    };
+    if let Some(max) = max {
+        if max < min {
+            return Err(err("--max-gap must be ≥ --min-gap"));
+        }
+    }
+    let mut cs = if min == 0 && max.is_none() {
+        ConstraintSet::none()
+    } else {
+        ConstraintSet::uniform_gap(Gap { min, max })
+    };
+    if let Some(w) = flags.one("max-window") {
+        cs.max_window = Some(w.parse().map_err(|_| err("--max-window: not a number"))?);
+    }
+    Ok(cs)
+}
+
+pub(crate) fn sensitive_set(flags: &Flags, db: &mut SequenceDb) -> Result<SensitiveSet, CliError> {
+    let cs = constraints(flags)?;
+    let mut patterns = Vec::new();
+    for text in flags.all("pattern") {
+        let seq = Sequence::parse(text, db.alphabet_mut());
+        patterns.push(
+            SensitivePattern::new(seq, cs.clone())
+                .map_err(|e| err(format!("--pattern '{text}': {e}")))?,
+        );
+    }
+    Ok(SensitiveSet::from_patterns(patterns))
+}
+
+pub(crate) fn mode(flags: &Flags) -> Result<&str, CliError> {
+    match flags.one("mode").unwrap_or("plain") {
+        m @ ("plain" | "itemset" | "timed") => Ok(m),
+        other => Err(err(format!("unknown mode '{other}' (plain|itemset|timed)"))),
+    }
+}
+
+pub(crate) fn read_text(flags: &Flags) -> Result<String, CliError> {
+    let path = flags.required("db")?;
+    std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))
+}
+
+/// "Did you mean" over the subcommand names: an unambiguous prefix wins
+/// (`ver` → `verify`), otherwise the closest name within edit distance 2
+/// (`hidee` → `hide`). Prefixes are checked first because short typos sit
+/// within distance 2 of several commands at once.
+fn unknown_command_error(command: &str) -> CliError {
+    let names = || {
+        SPECS
+            .iter()
+            .map(|s| s.command)
+            .chain(std::iter::once("help"))
+    };
+    let best = names().find(|cand| cand.starts_with(command)).or_else(|| {
+        names()
+            .map(|cand| (levenshtein(command, cand), cand))
+            .min()
+            .filter(|&(d, _)| d <= 2)
+            .map(|(_, cand)| cand)
+    });
+    match best {
+        Some(cand) => err(format!(
+            "unknown command '{command}' (did you mean '{cand}'?); try 'seqhide help'"
+        )),
+        None => err(format!("unknown command '{command}'; try 'seqhide help'")),
+    }
+}
+
+/// Runs the CLI on `args` (without the program name), returning stdout
+/// text or an error message.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Ok(HELP.to_string());
+    };
+    let command = command.as_str();
+    if matches!(command, "help" | "--help" | "-h") {
+        return Ok(HELP.to_string());
+    }
+    let Some(spec) = FlagSpec::for_command(command) else {
+        return Err(unknown_command_error(command));
+    };
+    let flags = Flags::parse(&args[1..], spec)?;
+    if flags.has("progress") && !obs::is_enabled() {
+        eprintln!("[seqhide] --progress: instrumentation compiled out (obs feature off)");
+    }
+    obs::progress::enable(flags.has("progress"));
+    let before = obs::snapshot();
+    let result = match command {
+        "stats" => stats::cmd_stats(&flags),
+        "mine" => mine::cmd_mine(&flags),
+        "hide" => hide::cmd_hide(&flags),
+        "verify" => verify::cmd_verify(&flags),
+        "attack" => attack::cmd_attack(&flags),
+        "gen" => gen::cmd_gen(&flags),
+        _ => unreachable!("spec table covers every dispatched command"),
+    };
+    obs::progress::enable(false);
+    match result {
+        Ok(mut out) => {
+            if let Some(path) = flags.one("metrics-out") {
+                let metrics = obs::snapshot().diff(&before);
+                std::fs::write(path, metrics.to_json())
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+                out.push_str(&format!("wrote metrics to {path}\n"));
+            }
+            Ok(out)
+        }
+        Err(e) => {
+            // A failed run still spent the work the telemetry measured;
+            // dropping the snapshot would hide exactly the runs one wants
+            // to diagnose. Best-effort write with the error attached — the
+            // original error always propagates.
+            if let Some(path) = flags.one("metrics-out") {
+                let metrics = obs::snapshot().diff(&before);
+                let _ = std::fs::write(path, metrics.to_json_with_error(&e.0));
+            }
+            Err(e)
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! `seqhide stats` — summarise a sequence database in any of the three
+//! line formats.
+
+use super::flags::Flags;
+use super::{err, load_db, mode, read_text, CliError};
+
+pub(crate) fn cmd_stats(flags: &Flags) -> Result<String, CliError> {
+    match mode(flags)? {
+        "itemset" => {
+            let (alphabet, db) = seqhide_data::io::parse_itemset_db(&read_text(flags)?);
+            let elements: usize = db.iter().map(seqhide_types::ItemsetSequence::len).sum();
+            let items: usize = db
+                .iter()
+                .flat_map(|t| t.elements().iter())
+                .map(seqhide_types::Itemset::live_len)
+                .sum();
+            let marks: usize = db
+                .iter()
+                .map(seqhide_types::ItemsetSequence::mark_count)
+                .sum();
+            Ok(format!(
+                "sequences:      {}\nelements total: {elements}\nitems total:    {items}\nalphabet |Σ|:   {}\nmarks (Δ):      {marks}\n",
+                db.len(),
+                alphabet.len()
+            ))
+        }
+        "timed" => {
+            let (alphabet, db) = seqhide_data::io::parse_timed_db(&read_text(flags)?)
+                .map_err(|e| err(e.to_string()))?;
+            let events: usize = db.iter().map(seqhide_types::TimedSequence::len).sum();
+            let marks: usize = db
+                .iter()
+                .map(seqhide_types::TimedSequence::mark_count)
+                .sum();
+            Ok(format!(
+                "sequences:      {}\nevents total:   {events}\nalphabet |Σ|:   {}\nmarks (Δ):      {marks}\n",
+                db.len(),
+                alphabet.len()
+            ))
+        }
+        _ => {
+            let db = load_db(flags)?;
+            let s = db.stats();
+            Ok(format!(
+                "sequences:      {}\nsymbols total:  {}\navg length:     {:.2}\nmax length:     {}\nalphabet |Σ|:   {}\nmarks (Δ):      {}\n",
+                s.len, s.total_symbols, s.avg_len, s.max_len, s.alphabet_len, s.marks
+            ))
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! `seqhide verify` — check the hiding requirement `sup_{D'}(S) ≤ ψ` on a
+//! released database.
+
+use super::flags::Flags;
+use super::{err, load_db, sensitive_set, CliError};
+
+pub(crate) fn cmd_verify(flags: &Flags) -> Result<String, CliError> {
+    let mut db = load_db(flags)?;
+    let psi = flags
+        .required("psi")?
+        .parse::<usize>()
+        .map_err(|_| err("--psi: not a number"))?;
+    let sh = sensitive_set(flags, &mut db)?;
+    if sh.is_empty() {
+        return Err(err("give at least one --pattern"));
+    }
+    let report = seqhide_core::verify_hidden(&db, &sh, psi);
+    let mut out = String::new();
+    for (p, sup) in sh.iter().zip(&report.supports) {
+        out.push_str(&format!(
+            "{}: support {} {} ψ = {}\n",
+            p.render(db.alphabet()),
+            sup,
+            if *sup <= psi { "≤" } else { ">" },
+            psi
+        ));
+    }
+    out.push_str(if report.hidden {
+        "HIDDEN\n"
+    } else {
+        "NOT HIDDEN\n"
+    });
+    if report.hidden {
+        Ok(out)
+    } else {
+        Err(err(out.trim_end().to_string()))
+    }
+}

@@ -28,6 +28,22 @@ fn help_and_unknown_command() {
     assert!(run(&args(&["help"])).unwrap().contains("seqhide hide"));
     let e = run(&args(&["frobnicate"])).unwrap_err();
     assert!(e.0.contains("unknown command"));
+    // nothing is close to "frobnicate": no suggestion, just the pointer
+    assert!(!e.0.contains("did you mean"), "{e}");
+    assert!(e.0.contains("try 'seqhide help'"), "{e}");
+}
+
+#[test]
+fn unknown_command_gets_suggestion() {
+    // close typo
+    let e = run(&args(&["hidee"])).unwrap_err();
+    assert!(e.0.contains("did you mean 'hide'?"), "{e}");
+    // prefix of a longer command
+    let e = run(&args(&["ver"])).unwrap_err();
+    assert!(e.0.contains("did you mean 'verify'?"), "{e}");
+    // transposition
+    let e = run(&args(&["sttas"])).unwrap_err();
+    assert!(e.0.contains("did you mean 'stats'?"), "{e}");
 }
 
 #[test]
@@ -546,6 +562,57 @@ fn metrics_out_writes_documented_schema() {
     }
 }
 
+/// `--metrics-out` must not silently drop the run's telemetry when the
+/// command fails: the snapshot is still written, with an `"error"` field
+/// carrying the message, and the failure still propagates.
+#[test]
+fn metrics_out_written_on_command_error() {
+    let dir = tmpdir("metricserr");
+    let db = write_db(&dir, "db.seq", "a b c\na c\n");
+    let metrics_path = dir.join("failed.json").to_string_lossy().into_owned();
+    // verify fails (the pattern is NOT hidden in the original db)
+    let e = run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a c",
+        "--post",
+        "nonsense",
+        "--metrics-out",
+        &metrics_path,
+    ]))
+    .unwrap_err();
+    assert!(e.0.contains("unknown post strategy"), "{e}");
+    let json = fs::read_to_string(&metrics_path).unwrap();
+    assert!(json.contains("\"schema_version\": 2"), "{json}");
+    assert!(
+        json.contains("\"error\": \"unknown post strategy 'nonsense'"),
+        "{json}"
+    );
+    if seqhide_obs::is_enabled() {
+        // the sanitize work done before the failure is still accounted
+        assert!(json.contains("\"name\": \"sanitize\""), "{json}");
+    }
+    // a successful run never carries the key
+    let ok_path = dir.join("ok.json").to_string_lossy().into_owned();
+    run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a c",
+        "--metrics-out",
+        &ok_path,
+    ]))
+    .unwrap();
+    assert!(!fs::read_to_string(&ok_path).unwrap().contains("\"error\""));
+}
+
 #[test]
 fn progress_flag_is_accepted_and_scoped() {
     let dir = tmpdir("progress");
@@ -663,11 +730,21 @@ fn stream_flag_releases_identical_bytes() {
 fn stream_flag_rejects_unsupported_combos() {
     let dir = tmpdir("streambad");
     let db = write_db(&dir, "db.seq", "a b\n");
+    // plain --pattern and --regex cannot stream together (one class per run)
     let e = run(&args(&[
-        "hide", "--db", &db, "--psi", "0", "--regex", "a b", "--stream",
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a",
+        "--regex",
+        "a b",
+        "--stream",
     ]))
     .unwrap_err();
-    assert!(e.0.contains("--stream supports plain --pattern"), "{e}");
+    assert!(e.0.contains("one pattern class per run"), "{e}");
     let e = run(&args(&[
         "hide",
         "--db",
@@ -682,22 +759,101 @@ fn stream_flag_rejects_unsupported_combos() {
     ]))
     .unwrap_err();
     assert!(e.0.contains("--stream writes incrementally"), "{e}");
+    // --regex only applies to plain-mode databases
     let e = run(&args(&[
-        "hide",
-        "--db",
-        &db,
-        "--mode",
-        "itemset",
-        "--psi",
-        "0",
-        "--pattern",
-        "a",
-        "--stream",
+        "hide", "--db", &db, "--mode", "itemset", "--psi", "0", "--regex", "a b", "--stream",
     ]))
     .unwrap_err();
     assert!(e.0.contains("plain mode only"), "{e}");
     let e = run(&args(&["hide", "--db", &db, "--psi", "0", "--stream"])).unwrap_err();
     assert!(e.0.contains("nothing to hide"), "{e}");
+}
+
+/// `--stream` now covers every pattern class: itemset and timed modes and
+/// regex patterns must release byte-identical files to the in-memory path
+/// on the same seed, across algorithms and batch sizes.
+#[test]
+fn stream_releases_identical_bytes_for_every_domain() {
+    let dir = tmpdir("streamdomains");
+    let idb = write_db(
+        &dir,
+        "baskets.db",
+        "test,bread vitamins,milk\nbread milk\ntest vitamins\ntest,milk vitamins,bread\nmilk test\n",
+    );
+    let tdb = write_db(
+        &dir,
+        "events.db",
+        "test@0 arv@24\ntest@0 arv@200\ntest@5 xray@40 arv@60\ntest@1 arv@30\narv@2 test@9\n",
+    );
+    let rdb = write_db(&dir, "plain.seq", "a b\na c\na b c\nx y\na c b\nb a c a\n");
+    let cases: &[(&str, &[&str])] = &[
+        (
+            "itemset",
+            &[
+                "--db",
+                &idb,
+                "--mode",
+                "itemset",
+                "--pattern",
+                "test vitamins",
+            ],
+        ),
+        (
+            "timed",
+            &[
+                "--db",
+                &tdb,
+                "--mode",
+                "timed",
+                "--pattern",
+                "test arv",
+                "--max-gap",
+                "72",
+            ],
+        ),
+        ("regex", &["--db", &rdb, "--regex", "a (b | c)"]),
+    ];
+    for (name, common) in cases {
+        for algorithm in ["hh", "rr"] {
+            for batch in ["1", "2", "100"] {
+                let mem_path = dir.join("mem.out").to_string_lossy().into_owned();
+                let stream_path = dir.join("stream.out").to_string_lossy().into_owned();
+                let shared = [
+                    "--psi",
+                    "1",
+                    "--algorithm",
+                    algorithm,
+                    "--seed",
+                    "9",
+                    "--threads",
+                    "2",
+                ];
+                let mut mem_args = args(&["hide"]);
+                mem_args.extend(args(common));
+                mem_args.extend(args(&shared));
+                mem_args.extend(args(&["--out", &mem_path]));
+                run(&mem_args).unwrap_or_else(|e| panic!("{name} mem: {e}"));
+                let mut stream_args = args(&["hide"]);
+                stream_args.extend(args(common));
+                stream_args.extend(args(&shared));
+                stream_args.extend(args(&[
+                    "--stream",
+                    "--batch-size",
+                    batch,
+                    "--out",
+                    &stream_path,
+                ]));
+                let out = run(&stream_args).unwrap_or_else(|e| panic!("{name} stream: {e}"));
+                assert!(out.contains("stream:"), "{name}: {out}");
+                assert!(out.contains(&format!("{name} patterns:")), "{name}: {out}");
+                assert_eq!(
+                    fs::read_to_string(&mem_path).unwrap(),
+                    fs::read_to_string(&stream_path).unwrap(),
+                    "domain={name} algorithm={algorithm} batch={batch}"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -2,13 +2,24 @@
 //! must release the **same bytes** as the in-memory path on the same seed,
 //! across every strategy, engine, thread count and batch size — the
 //! determinism contract `docs/ALGORITHMS.md` §"Two-pass streaming" pins.
+//!
+//! The plain-pattern matrix exercises [`Sanitizer::run_streaming`]; the
+//! itemset/timed/regex matrices drive the same generic
+//! [`Sanitizer::run_streaming_domain`] the CLI uses, against
+//! [`Sanitizer::run_domain_threaded`] as the in-memory oracle.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use proptest::prelude::*;
-use seqhide::core::{EngineMode, GlobalStrategy, LocalStrategy, Sanitizer};
-use seqhide::matching::SensitiveSet;
+use seqhide::core::timed::{TimeConstraints, TimeGap, TimedPattern};
+use seqhide::core::{EngineMode, GlobalStrategy, LocalStrategy, Sanitizer, TimedDomain};
+use seqhide::data::io::{itemset_db_to_text, parse_itemset_db, parse_timed_db, timed_db_to_text};
+use seqhide::data::{ItemsetCodec, PlainCodec, TimedCodec};
+use seqhide::matching::itemset::ItemsetPattern;
+use seqhide::matching::{ItemsetMatchEngine, SensitiveSet};
+use seqhide::num::Sat64;
 use seqhide::prelude::*;
+use seqhide::re::{RegexDomain, RegexPattern};
 
 static CASE: AtomicU64 = AtomicU64::new(0);
 
@@ -167,4 +178,378 @@ fn exact_counts_streaming_agrees() {
         both_paths(text, &["a b a".to_string()], &sanitizer, 2);
     assert_eq!(streamed, mem);
     assert_eq!(stream_report.report, mem_report);
+}
+
+// ---------------------------------------------------------------------------
+// Domain matrices: itemset / timed / regex through `run_streaming_domain`.
+//
+// The itemset distortion loop breaks δ-ties by ascending symbol id, so its
+// determinism contract requires both paths to intern symbols in the same
+// order (database first, patterns after — the CLI reproduces this with a
+// bounded pre-pass over the input). Timed and regex decisions are
+// positional, but the harness keeps the same shared-alphabet shape for all
+// three so one helper covers them.
+// ---------------------------------------------------------------------------
+
+/// Space-joined plain rendering, matching [`SequenceDb::to_text`] and the
+/// bytes `PlainCodec` writes.
+fn plain_db_to_text(alphabet: &Alphabet, db: &[Sequence]) -> String {
+    db.iter()
+        .map(|t| {
+            t.iter()
+                .map(|&s| alphabet.render(s))
+                .collect::<Vec<_>>()
+                .join(" ")
+                + "\n"
+        })
+        .collect()
+}
+
+fn strategy_matrix() -> impl Strategy<Value = (LocalStrategy, GlobalStrategy, usize, usize, u64)> {
+    (
+        prop::sample::select(vec![LocalStrategy::Heuristic, LocalStrategy::Random]),
+        prop::sample::select(vec![
+            GlobalStrategy::Heuristic,
+            GlobalStrategy::Random,
+            GlobalStrategy::AutoCorrelation,
+            GlobalStrategy::Length,
+        ]),
+        prop::sample::select(vec![1usize, 3]),
+        prop::sample::select(vec![1usize, 2, 64]),
+        0u64..3,
+    )
+}
+
+fn domain_sanitizer(
+    (local, global, threads, _batch, seed): (LocalStrategy, GlobalStrategy, usize, usize, u64),
+    psi: usize,
+) -> Sanitizer {
+    Sanitizer::new(local, global, psi)
+        .with_seed(seed)
+        .with_threads(threads)
+}
+
+/// In-memory vs streamed release for one domain: `parse` reads the text
+/// into `(alphabet, db)`, `mem` runs the in-memory oracle and renders its
+/// bytes, `stream` drives `run_streaming_domain` over the same alphabet.
+fn assert_domain_parity<Seq2>(
+    text: &str,
+    batch: usize,
+    parse: impl Fn(&str) -> (Alphabet, Vec<Seq2>),
+    mem: impl FnOnce(&Alphabet, &mut Vec<Seq2>) -> seqhide::core::SanitizeReport,
+    stream: impl FnOnce(
+        &std::path::Path,
+        &mut Alphabet,
+        &mut Vec<u8>,
+    ) -> std::io::Result<seqhide::core::StreamReport>,
+    render: impl Fn(&Alphabet, &[Seq2]) -> String,
+    label: &str,
+) {
+    let path = write_case(text);
+    let (alphabet, mut db) = parse(text);
+    let mem_report = mem(&alphabet, &mut db);
+    let mem_bytes = render(&alphabet, &db);
+    let mut stream_alphabet = alphabet.clone();
+    let mut out = Vec::new();
+    let stream_report = stream(&path, &mut stream_alphabet, &mut out).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    let streamed = String::from_utf8(out).unwrap();
+    assert_eq!(
+        streamed, mem_bytes,
+        "{label}: released bytes diverged (batch={batch})"
+    );
+    assert_eq!(
+        stream_report.report, mem_report,
+        "{label}: reports diverged (batch={batch})"
+    );
+    assert!(stream_report.report.hidden, "{label}: not hidden");
+}
+
+fn itemset_text_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::collection::vec(prop::collection::vec(0usize..NAMES.len(), 1..=3), 1..=6),
+        1..=10,
+    )
+    .prop_map(|rows| {
+        rows.iter()
+            .map(|row| {
+                row.iter()
+                    .map(|elem| elem.iter().map(|&i| NAMES[i]).collect::<Vec<_>>().join(","))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+                    + "\n"
+            })
+            .collect()
+    })
+}
+
+fn itemset_pattern_strategy() -> impl Strategy<Value = Vec<Vec<Vec<usize>>>> {
+    prop::collection::vec(
+        prop::collection::vec(prop::collection::vec(0usize..NAMES.len(), 1..=2), 1..=2),
+        1..=2,
+    )
+}
+
+fn build_itemset_patterns(
+    specs: &[Vec<Vec<usize>>],
+    alphabet: &mut Alphabet,
+) -> Vec<ItemsetPattern> {
+    specs
+        .iter()
+        .map(|elems| {
+            let elements: Vec<seqhide::types::Itemset> = elems
+                .iter()
+                .map(|items| {
+                    seqhide::types::Itemset::new(
+                        items.iter().map(|&i| alphabet.intern(NAMES[i])).collect(),
+                    )
+                })
+                .collect();
+            ItemsetPattern::new(
+                seqhide::types::ItemsetSequence::new(elements),
+                seqhide::matching::ConstraintSet::none(),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn timed_text_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::collection::vec((0usize..NAMES.len(), 0u64..40), 1..=8),
+        1..=10,
+    )
+    .prop_map(|rows| {
+        rows.iter()
+            .map(|row| {
+                let mut tick = 0u64;
+                row.iter()
+                    .map(|&(i, gap)| {
+                        tick += gap;
+                        format!("{}@{tick}", NAMES[i])
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" ")
+                    + "\n"
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn itemset_streaming_is_byte_identical(
+        text in itemset_text_strategy(),
+        specs in itemset_pattern_strategy(),
+        psi in 0usize..3,
+        knobs in strategy_matrix(),
+    ) {
+        let batch = knobs.3;
+        let sanitizer = domain_sanitizer(knobs, psi);
+        assert_domain_parity(
+            &text,
+            batch,
+            parse_itemset_db,
+            |alphabet, db| {
+                // Same intern order as the streaming side: database
+                // symbols first (already in `alphabet`), patterns after.
+                let patterns = build_itemset_patterns(&specs, &mut alphabet.clone());
+                sanitizer.run_domain_threaded(db, &|| ItemsetMatchEngine::<Sat64>::new(&patterns))
+            },
+            |path, alphabet, out| {
+                let patterns = build_itemset_patterns(&specs, alphabet);
+                sanitizer.run_streaming_domain(
+                    path,
+                    alphabet,
+                    &ItemsetCodec,
+                    &|| ItemsetMatchEngine::<Sat64>::new(&patterns),
+                    batch,
+                    out,
+                )
+            },
+            itemset_db_to_text,
+            "itemset",
+        );
+    }
+
+    #[test]
+    fn timed_streaming_is_byte_identical(
+        text in timed_text_strategy(),
+        pat in prop::collection::vec(0usize..NAMES.len(), 1..=3),
+        max_gap in prop::option::of(1u64..60),
+        psi in 0usize..3,
+        knobs in strategy_matrix(),
+    ) {
+        let batch = knobs.3;
+        let sanitizer = domain_sanitizer(knobs, psi);
+        let tc = match max_gap {
+            Some(max) => TimeConstraints::uniform_gap(TimeGap { min: 0, max: Some(max) }),
+            None => TimeConstraints::none(),
+        };
+        let pattern_text: String = pat
+            .iter()
+            .map(|&i| NAMES[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let build = |alphabet: &mut Alphabet| {
+            vec![TimedPattern::new(Sequence::parse(&pattern_text, alphabet), tc.clone()).unwrap()]
+        };
+        assert_domain_parity(
+            &text,
+            batch,
+            |t| parse_timed_db(t).unwrap(),
+            |alphabet, db| {
+                let patterns = build(&mut alphabet.clone());
+                sanitizer.run_domain_threaded(db, &|| TimedDomain::<Sat64>::new(&patterns))
+            },
+            |path, alphabet, out| {
+                let patterns = build(alphabet);
+                sanitizer.run_streaming_domain(
+                    path,
+                    alphabet,
+                    &TimedCodec,
+                    &|| TimedDomain::<Sat64>::new(&patterns),
+                    batch,
+                    out,
+                )
+            },
+            timed_db_to_text,
+            "timed",
+        );
+    }
+
+    #[test]
+    fn regex_streaming_is_byte_identical(
+        text in text_strategy(),
+        regex in prop::sample::select(vec![
+            "a (b | c)",
+            "a b+",
+            "(a | b) c",
+            "a [b c]+ d",
+        ]),
+        psi in 0usize..3,
+        knobs in strategy_matrix(),
+    ) {
+        let batch = knobs.3;
+        let sanitizer = domain_sanitizer(knobs, psi);
+        assert_domain_parity(
+            &text,
+            batch,
+            |t| {
+                let db = SequenceDb::parse(t);
+                (db.alphabet().clone(), db.sequences().to_vec())
+            },
+            |alphabet, db| {
+                let regexes =
+                    vec![RegexPattern::compile(regex, &mut alphabet.clone()).unwrap()];
+                sanitizer.run_domain_threaded(db, &|| RegexDomain::<Sat64>::new(&regexes))
+            },
+            |path, alphabet, out| {
+                let regexes = vec![RegexPattern::compile(regex, alphabet).unwrap()];
+                sanitizer.run_streaming_domain(
+                    path,
+                    alphabet,
+                    &PlainCodec,
+                    &|| RegexDomain::<Sat64>::new(&regexes),
+                    batch,
+                    out,
+                )
+            },
+            plain_db_to_text,
+            "regex",
+        );
+    }
+}
+
+#[test]
+fn domain_no_supporter_and_psi_edges() {
+    // Pattern absent from the database → pass 1 finds nothing and pass 2
+    // must degrade to a byte-exact copy; ψ ≥ supporters behaves the same.
+    let itemset_text = "a,b c\nb d\n";
+    let timed_text = "a@0 b@5\nc@0 d@9\n";
+    let plain_text = "a b c\nc b a\n";
+    for psi in [0usize, 10] {
+        let sanitizer = Sanitizer::hh(psi).with_seed(3);
+        assert_domain_parity(
+            itemset_text,
+            1,
+            parse_itemset_db,
+            |alphabet, db| {
+                let patterns =
+                    build_itemset_patterns(&[vec![vec![4], vec![4]]], &mut alphabet.clone());
+                sanitizer.run_domain_threaded(db, &|| ItemsetMatchEngine::<Sat64>::new(&patterns))
+            },
+            |path, alphabet, out| {
+                let patterns = build_itemset_patterns(&[vec![vec![4], vec![4]]], alphabet);
+                sanitizer.run_streaming_domain(
+                    path,
+                    alphabet,
+                    &ItemsetCodec,
+                    &|| ItemsetMatchEngine::<Sat64>::new(&patterns),
+                    1,
+                    out,
+                )
+            },
+            itemset_db_to_text,
+            "itemset-edge",
+        );
+        assert_domain_parity(
+            timed_text,
+            1,
+            |t| parse_timed_db(t).unwrap(),
+            |alphabet, db| {
+                let mut a = alphabet.clone();
+                let patterns = vec![TimedPattern::new(
+                    Sequence::parse("e e", &mut a),
+                    TimeConstraints::none(),
+                )
+                .unwrap()];
+                sanitizer.run_domain_threaded(db, &|| TimedDomain::<Sat64>::new(&patterns))
+            },
+            |path, alphabet, out| {
+                let patterns = vec![TimedPattern::new(
+                    Sequence::parse("e e", alphabet),
+                    TimeConstraints::none(),
+                )
+                .unwrap()];
+                sanitizer.run_streaming_domain(
+                    path,
+                    alphabet,
+                    &TimedCodec,
+                    &|| TimedDomain::<Sat64>::new(&patterns),
+                    1,
+                    out,
+                )
+            },
+            timed_db_to_text,
+            "timed-edge",
+        );
+        assert_domain_parity(
+            plain_text,
+            1,
+            |t| {
+                let db = SequenceDb::parse(t);
+                (db.alphabet().clone(), db.sequences().to_vec())
+            },
+            |alphabet, db| {
+                let regexes = vec![RegexPattern::compile("e e+", &mut alphabet.clone()).unwrap()];
+                sanitizer.run_domain_threaded(db, &|| RegexDomain::<Sat64>::new(&regexes))
+            },
+            |path, alphabet, out| {
+                let regexes = vec![RegexPattern::compile("e e+", alphabet).unwrap()];
+                sanitizer.run_streaming_domain(
+                    path,
+                    alphabet,
+                    &PlainCodec,
+                    &|| RegexDomain::<Sat64>::new(&regexes),
+                    1,
+                    out,
+                )
+            },
+            plain_db_to_text,
+            "regex-edge",
+        );
+    }
 }
