@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Concurrent smoke client for the CI serve-smoke job.
+
+Usage: serve_smoke.py ADDR_FILE DB_FILE EXPECT_HH_SEED0 EXPECT_RR_SEED7
+
+Hammers a running `seqhide serve` instance with concurrent sanitize
+requests and asserts every answered release is byte-identical to the CLI
+ground-truth files, that health and metrics stay responsive while the
+pool is loaded, and that a shutdown request is acknowledged as draining.
+The caller owns process-level checks (exit status, summary line).
+"""
+import json
+import socket
+import sys
+import threading
+
+CLIENTS = 8
+PATTERN = "X2Y7 X3Y7"
+PSI = 50
+
+
+def rpc(addr, *requests):
+    """One connection, N pipelined request lines, N response objects."""
+    host, port = addr.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=60) as sock:
+        f = sock.makefile("rw", encoding="utf-8", newline="\n")
+        for req in requests:
+            f.write(json.dumps(req) + "\n")
+        f.flush()
+        return [json.loads(f.readline()) for _ in requests]
+
+
+def main():
+    addr_file, db_file, expect_hh, expect_rr = sys.argv[1:5]
+    with open(addr_file) as fh:
+        addr = fh.read().strip()
+    with open(db_file) as fh:
+        db = fh.read()
+    expected = {}
+    with open(expect_hh) as fh:
+        expected[("hh", 0)] = fh.read()
+    with open(expect_rr) as fh:
+        expected[("rr", 7)] = fh.read()
+
+    failures = []
+    ok_count = [0]
+
+    def client(tid):
+        try:
+            for (algo, seed), release in sorted(expected.items()):
+                req = {
+                    "id": "%d-%s-%d" % (tid, algo, seed),
+                    "type": "sanitize",
+                    "db": db,
+                    "patterns": [PATTERN],
+                    "psi": PSI,
+                    "algorithm": algo,
+                    "seed": seed,
+                }
+                (resp,) = rpc(addr, req)
+                if resp.get("status") == "overloaded":
+                    # A legitimate shed under the deliberately small CI
+                    # queue; parity is asserted on every answered request.
+                    continue
+                assert resp.get("status") == "ok", resp
+                assert resp["release"] == release, (
+                    "client %d: %s/seed %d release diverged from the CLI"
+                    % (tid, algo, seed)
+                )
+                ok_count[0] += 1
+        except Exception as exc:  # collected for the main thread
+            failures.append("client %d: %r" % (tid, exc))
+
+    threads = [
+        threading.Thread(target=client, args=(t,)) for t in range(CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    # Health is answered inline on the connection thread — it must come
+    # back promptly even while every worker is busy.
+    (health,) = rpc(addr, {"type": "health"})
+    assert health["status"] == "ok" and health["workers"] >= 1, health
+    for t in threads:
+        t.join()
+    if failures:
+        sys.exit("\n".join(failures))
+    assert ok_count[0] > 0, "every request was shed; nothing verified"
+
+    (metrics,) = rpc(addr, {"type": "metrics"})
+    assert metrics["status"] == "ok", metrics
+    snap = metrics["metrics"]
+    assert "schema_version" in snap, snap
+    if snap.get("obs_enabled"):
+        # 2 sanitize requests per client plus the health probe above.
+        assert snap["counters"]["serve_requests"] >= 2 * CLIENTS, snap
+
+    (bye,) = rpc(addr, {"type": "shutdown"})
+    assert bye["status"] == "ok" and bye["draining"] is True, bye
+    print(
+        "serve smoke: %d/%d releases byte-identical to the CLI; "
+        "health, metrics and shutdown all OK" % (ok_count[0], 2 * CLIENTS)
+    )
+
+
+if __name__ == "__main__":
+    main()

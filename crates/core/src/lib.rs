@@ -67,7 +67,7 @@ pub use global::GlobalStrategy;
 pub use local::{sanitize_victim, EngineMode, LocalStrategy};
 pub use metrics::{distortion, DistortionReport};
 pub use problem::{DisclosureThresholds, HidingProblem};
-pub use sanitizer::{SanitizeReport, Sanitizer};
+pub use sanitizer::{parse_algorithm, SanitizeReport, Sanitizer};
 pub use seqhide_match::{PatternDomain, ScratchDomain};
 pub use stream::StreamReport;
 pub use timed::TimedDomain;

@@ -43,6 +43,22 @@ pub struct SanitizeReport {
     pub fallback_recounts: usize,
 }
 
+/// Parses one of the paper's two-letter algorithm names — `hh`, `hr`,
+/// `rh`, `rr` — into its (local, global) strategy pair. The first letter
+/// picks the position choice inside a victim, the second the victim
+/// choice across the database; `None` for anything else. Both the CLI and
+/// `seqhide serve` resolve `--algorithm`/`"algorithm"` through this one
+/// table so the two surfaces can never drift.
+pub fn parse_algorithm(name: &str) -> Option<(LocalStrategy, GlobalStrategy)> {
+    match name {
+        "hh" => Some((LocalStrategy::Heuristic, GlobalStrategy::Heuristic)),
+        "hr" => Some((LocalStrategy::Heuristic, GlobalStrategy::Random)),
+        "rh" => Some((LocalStrategy::Random, GlobalStrategy::Heuristic)),
+        "rr" => Some((LocalStrategy::Random, GlobalStrategy::Random)),
+        _ => None,
+    }
+}
+
 /// The configurable two-level sanitizer.
 ///
 /// ```
@@ -734,6 +750,28 @@ mod tests {
             assert_eq!(r2, r3);
             assert_eq!(db1.to_text(), db3.to_text());
         }
+    }
+
+    #[test]
+    fn algorithm_names_resolve_to_strategy_pairs() {
+        assert_eq!(
+            parse_algorithm("hh"),
+            Some((LocalStrategy::Heuristic, GlobalStrategy::Heuristic))
+        );
+        assert_eq!(
+            parse_algorithm("hr"),
+            Some((LocalStrategy::Heuristic, GlobalStrategy::Random))
+        );
+        assert_eq!(
+            parse_algorithm("rh"),
+            Some((LocalStrategy::Random, GlobalStrategy::Heuristic))
+        );
+        assert_eq!(
+            parse_algorithm("rr"),
+            Some((LocalStrategy::Random, GlobalStrategy::Random))
+        );
+        assert_eq!(parse_algorithm("HH"), None);
+        assert_eq!(parse_algorithm(""), None);
     }
 
     #[test]

@@ -22,6 +22,8 @@
 /// post
 /// stream_pass1
 /// stream_pass2
+/// serve
+/// └── serve_request
 /// ```
 ///
 /// `engine_*` spans are also entered from the itemset sanitizer (the two
@@ -60,11 +62,15 @@ pub enum Phase {
     StreamPass1,
     /// Streaming pass 2: batched sanitize + incremental write.
     StreamPass2,
+    /// One whole `seqhide serve` lifetime (bind through drained shutdown).
+    Serve,
+    /// One served request: decode, queue wait, execution, response write.
+    ServeRequest,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 17;
 
     /// Every phase, in declaration order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -83,6 +89,8 @@ impl Phase {
         Phase::Post,
         Phase::StreamPass1,
         Phase::StreamPass2,
+        Phase::Serve,
+        Phase::ServeRequest,
     ];
 
     /// Stable snake_case name (the JSON `name` field).
@@ -103,6 +111,8 @@ impl Phase {
             Phase::Post => "post",
             Phase::StreamPass1 => "stream_pass1",
             Phase::StreamPass2 => "stream_pass2",
+            Phase::Serve => "serve",
+            Phase::ServeRequest => "serve_request",
         }
     }
 
@@ -117,7 +127,9 @@ impl Phase {
             | Phase::StSanitize
             | Phase::Post
             | Phase::StreamPass1
-            | Phase::StreamPass2 => None,
+            | Phase::StreamPass2
+            | Phase::Serve => None,
+            Phase::ServeRequest => Some(Phase::Serve),
             Phase::SelectVictims | Phase::LocalSanitize | Phase::Verify => Some(Phase::Sanitize),
             Phase::EngineLoad | Phase::EngineRepair | Phase::FallbackRecount => {
                 Some(Phase::LocalSanitize)
@@ -152,11 +164,15 @@ pub enum Counter {
     StSuppressed,
     /// Samples displaced by the spatio-temporal sanitizer.
     StDisplaced,
+    /// Requests handled by `seqhide serve` (every type, every status).
+    ServeRequests,
+    /// Requests shed by `seqhide serve` because the job queue was full.
+    ServeOverloads,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 10;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -168,6 +184,8 @@ impl Counter {
         Counter::TrackedAllocs,
         Counter::StSuppressed,
         Counter::StDisplaced,
+        Counter::ServeRequests,
+        Counter::ServeOverloads,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -181,6 +199,8 @@ impl Counter {
             Counter::TrackedAllocs => "tracked_allocs",
             Counter::StSuppressed => "st_suppressed",
             Counter::StDisplaced => "st_displaced",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeOverloads => "serve_overloads",
         }
     }
 }
@@ -194,20 +214,32 @@ pub enum Hist {
     VictimMarks,
     /// Wall nanoseconds spent sanitizing one victim sequence.
     VictimNanos,
+    /// Wall nanoseconds per served request, decode through response write
+    /// (includes queue wait for queued work).
+    ServeRequestNanos,
+    /// Wall nanoseconds one queued job waited before a worker picked it up.
+    ServeQueueWaitNanos,
 }
 
 impl Hist {
     /// Number of histograms.
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 4;
 
     /// Every histogram, in declaration order.
-    pub const ALL: [Hist; Hist::COUNT] = [Hist::VictimMarks, Hist::VictimNanos];
+    pub const ALL: [Hist; Hist::COUNT] = [
+        Hist::VictimMarks,
+        Hist::VictimNanos,
+        Hist::ServeRequestNanos,
+        Hist::ServeQueueWaitNanos,
+    ];
 
     /// Stable snake_case name (the JSON key).
     pub const fn name(self) -> &'static str {
         match self {
             Hist::VictimMarks => "victim_marks",
             Hist::VictimNanos => "victim_nanos",
+            Hist::ServeRequestNanos => "serve_request_nanos",
+            Hist::ServeQueueWaitNanos => "serve_queue_wait_nanos",
         }
     }
 }
@@ -221,19 +253,28 @@ pub enum Gauge {
     /// Peak bytes resident in one streaming batch (sequences held in
     /// memory during pass 2 of `hide --stream`).
     PeakResidentBatch,
+    /// High-water mark of jobs waiting in the `seqhide serve` bounded
+    /// queue (capacity is the backpressure limit; see docs/SERVER.md).
+    QueueDepth,
+    /// High-water mark of jobs being executed concurrently by the
+    /// `seqhide serve` worker pool.
+    Inflight,
 }
 
 impl Gauge {
     /// Number of gauges.
-    pub const COUNT: usize = 1;
+    pub const COUNT: usize = 3;
 
     /// Every gauge, in declaration order.
-    pub const ALL: [Gauge; Gauge::COUNT] = [Gauge::PeakResidentBatch];
+    pub const ALL: [Gauge; Gauge::COUNT] =
+        [Gauge::PeakResidentBatch, Gauge::QueueDepth, Gauge::Inflight];
 
     /// Stable snake_case name (the JSON key).
     pub const fn name(self) -> &'static str {
         match self {
             Gauge::PeakResidentBatch => "peak_resident_batch",
+            Gauge::QueueDepth => "queue_depth",
+            Gauge::Inflight => "inflight",
         }
     }
 }

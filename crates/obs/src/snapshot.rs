@@ -139,11 +139,11 @@ impl Snapshot {
         self.gauges[g as usize]
     }
 
-    /// Renders the stable JSON schema (`schema_version` 2):
+    /// Renders the stable JSON schema (`schema_version` 3):
     ///
     /// ```json
     /// {
-    ///   "schema_version": 2,
+    ///   "schema_version": 3,
     ///   "obs_enabled": true,
     ///   "phases": [
     ///     {"name": "sanitize", "parent": null, "calls": 1, "total_ns": 12345}
@@ -160,8 +160,12 @@ impl Snapshot {
     /// Only phases with `calls > 0` appear (the tree of what actually
     /// ran); every counter and gauge appears, zero or not, so keys are
     /// stable; histogram buckets are sparse `[lower, upper, count]`
-    /// triples. Version 2 added the `gauges` object; everything present
-    /// in version 1 is unchanged.
+    /// triples. Version 2 added the `gauges` object; version 3 added the
+    /// `seqhide serve` keys (`serve`/`serve_request` phases,
+    /// `serve_requests`/`serve_overloads` counters,
+    /// `queue_depth`/`inflight` gauges, `serve_request_nanos`/
+    /// `serve_queue_wait_nanos` histograms); everything present in
+    /// earlier versions is unchanged.
     pub fn to_json(&self) -> String {
         self.render(None)
     }
@@ -169,7 +173,7 @@ impl Snapshot {
     /// Renders the same schema with an additional `"error"` string field
     /// right after `obs_enabled` — the shape `--metrics-out` writes when
     /// the command fails, so a failed run's telemetry survives. Readers
-    /// treat the field's absence as success; `schema_version` stays 2
+    /// treat the field's absence as success; `schema_version` stays 3
     /// (additive, optional key).
     pub fn to_json_with_error(&self, error: &str) -> String {
         self.render(Some(error))
@@ -177,7 +181,7 @@ impl Snapshot {
 
     fn render(&self, error: Option<&str>) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema_version\": 2,\n");
+        out.push_str("{\n  \"schema_version\": 3,\n");
         let _ = writeln!(out, "  \"obs_enabled\": {},", self.enabled());
         if let Some(error) = error {
             let _ = writeln!(out, "  \"error\": \"{}\",", escape_json(error));
@@ -292,17 +296,24 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_stable_schema() {
         let json = Snapshot::default().to_json();
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"phases\": []"));
         assert!(json.contains("\"marks_introduced\": 0"));
         assert!(json.contains("\"peak_resident_batch\": 0"));
         assert!(json.contains("\"victim_nanos\""));
+        // version-3 serve keys are always present
+        assert!(json.contains("\"serve_requests\": 0"));
+        assert!(json.contains("\"serve_overloads\": 0"));
+        assert!(json.contains("\"queue_depth\": 0"));
+        assert!(json.contains("\"inflight\": 0"));
+        assert!(json.contains("\"serve_request_nanos\""));
+        assert!(json.contains("\"serve_queue_wait_nanos\""));
     }
 
     #[test]
     fn error_field_is_injected_and_escaped() {
         let json = Snapshot::default().to_json_with_error("cannot read \"/tmp/x\"\nline 2");
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"error\": \"cannot read \\\"/tmp/x\\\"\\nline 2\""));
         // the plain renderer never emits the key
         assert!(!Snapshot::default().to_json().contains("\"error\""));

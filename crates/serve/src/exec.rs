@@ -1,0 +1,545 @@
+//! Request execution: the mapping from a decoded wire request to the
+//! workspace's sanitization machinery.
+//!
+//! Every `sanitize` request is driven through **exactly the calls the
+//! CLI's `seqhide hide` makes** — same parse order (database first, then
+//! patterns, then regexes, so symbol interning matches), same
+//! [`Sanitizer`] configuration, same [`PatternDomain`] dispatch, same
+//! renderers — which is what makes a served release byte-identical to
+//! the CLI's for the same (input, pattern class, algorithm, ψ, seed).
+//! `tests/serve.rs` in the workspace root pins that equality across all
+//! four HH/HR/RH/RR strategies and all four pattern classes.
+//!
+//! [`PatternDomain`]: seqhide_core::PatternDomain
+
+use seqhide_core::timed::{TimeConstraints, TimeGap, TimedPattern};
+use seqhide_core::{
+    EngineMode, GlobalStrategy, LocalStrategy, SanitizeReport, Sanitizer, TimedDomain,
+};
+use seqhide_match::itemset::ItemsetPattern;
+use seqhide_match::{ConstraintSet, Gap, ItemsetMatchEngine, SensitivePattern, SensitiveSet};
+use seqhide_num::Sat64;
+use seqhide_re::{RegexDomain, RegexPattern};
+use seqhide_types::{Sequence, SequenceDb};
+
+/// Which line format (and pattern class) a request's `db` text uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Whitespace-separated symbols (`a b c`); plain and regex patterns.
+    Plain,
+    /// Comma-joined items per element (`bread,milk beer`).
+    Itemset,
+    /// `symbol@tick` events; gaps measured in elapsed ticks.
+    Timed,
+}
+
+impl Mode {
+    /// Parses the wire `mode` field (`None` defaults to plain, as the
+    /// CLI's `--mode` does).
+    pub fn parse(name: Option<&str>) -> Result<Mode, String> {
+        match name.unwrap_or("plain") {
+            "plain" => Ok(Mode::Plain),
+            "itemset" => Ok(Mode::Itemset),
+            "timed" => Ok(Mode::Timed),
+            other => Err(format!("unknown mode '{other}' (plain|itemset|timed)")),
+        }
+    }
+}
+
+/// One fully-decoded `sanitize` request.
+#[derive(Clone, Debug)]
+pub struct SanitizeSpec {
+    /// Database text in `mode`'s line format.
+    pub db: String,
+    /// The line format / pattern class.
+    pub mode: Mode,
+    /// Sensitive patterns, in `mode`'s pattern syntax.
+    pub patterns: Vec<String>,
+    /// Regex patterns (plain mode only).
+    pub regexes: Vec<String>,
+    /// Disclosure threshold ψ.
+    pub psi: usize,
+    /// Local (position-choice) strategy.
+    pub local: LocalStrategy,
+    /// Global (sequence-choice) strategy.
+    pub global: GlobalStrategy,
+    /// RNG seed for the random strategies.
+    pub seed: u64,
+    /// Counting core for the marking loop.
+    pub engine: EngineMode,
+    /// Exact big-integer match counting (plain patterns only, as in the
+    /// CLI).
+    pub exact: bool,
+    /// Minimum gap between consecutive pattern elements (ticks in timed
+    /// mode, index distance otherwise).
+    pub min_gap: u64,
+    /// Maximum gap, if constrained.
+    pub max_gap: Option<u64>,
+    /// Maximum whole-match window, if constrained.
+    pub max_window: Option<u64>,
+}
+
+/// The executed `sanitize` outcome. When a plain-mode request carries
+/// both `patterns` and `regexes`, the counters aggregate the two
+/// families (as the CLI's two head lines do) and `residual_supports`
+/// lists plain-pattern supports first.
+#[derive(Clone, Debug)]
+pub struct SanitizeOutcome {
+    /// The released database, byte-identical to what `seqhide hide`
+    /// would write for the same request.
+    pub release: String,
+    /// Total marks introduced (M1).
+    pub marks: usize,
+    /// Sequences selected and sanitized.
+    pub sequences_sanitized: usize,
+    /// Sequences supporting at least one sensitive pattern beforehand.
+    pub supporters_before: usize,
+    /// Post-sanitization support per pattern.
+    pub residual_supports: Vec<usize>,
+    /// Whether every pattern ended at or below ψ.
+    pub hidden: bool,
+}
+
+impl SanitizeSpec {
+    fn sanitizer(&self, exact: bool) -> Sanitizer {
+        Sanitizer::new(self.local, self.global, self.psi)
+            .with_seed(self.seed)
+            .with_exact_counts(exact)
+            .with_engine(self.engine)
+            .with_threads(1)
+    }
+
+    fn constraints(&self) -> Result<ConstraintSet, String> {
+        let min = self.min_gap as usize;
+        let max = self.max_gap.map(|g| g as usize);
+        if let Some(max) = max {
+            if max < (self.min_gap as usize) {
+                return Err("max_gap must be ≥ min_gap".to_string());
+            }
+        }
+        let mut cs = if min == 0 && max.is_none() {
+            ConstraintSet::none()
+        } else {
+            ConstraintSet::uniform_gap(Gap { min, max })
+        };
+        cs.max_window = self.max_window.map(|w| w as usize);
+        Ok(cs)
+    }
+
+    fn time_constraints(&self) -> Result<TimeConstraints, String> {
+        if let Some(max) = self.max_gap {
+            if max < self.min_gap {
+                return Err("max_gap must be ≥ min_gap".to_string());
+            }
+        }
+        let mut tc = TimeConstraints::none();
+        if self.min_gap > 0 || self.max_gap.is_some() {
+            tc = TimeConstraints::uniform_gap(TimeGap {
+                min: self.min_gap,
+                max: self.max_gap,
+            });
+        }
+        tc.max_window = self.max_window;
+        Ok(tc)
+    }
+}
+
+fn accumulate(outcome: &mut SanitizeOutcome, report: &SanitizeReport) {
+    outcome.marks += report.marks_introduced;
+    outcome.sequences_sanitized += report.sequences_sanitized;
+    outcome.supporters_before += report.supporters_before;
+    outcome
+        .residual_supports
+        .extend_from_slice(&report.residual_supports);
+    outcome.hidden &= report.hidden;
+}
+
+/// Executes one `sanitize` request.
+pub fn sanitize(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
+    match spec.mode {
+        Mode::Plain => sanitize_plain(spec),
+        Mode::Itemset | Mode::Timed if !spec.regexes.is_empty() => {
+            Err("regexes apply to plain mode only".to_string())
+        }
+        Mode::Itemset => sanitize_itemset(spec),
+        Mode::Timed => sanitize_timed(spec),
+    }
+}
+
+/// Plain mode: plain `S_h` and/or regex patterns, mirroring the CLI's
+/// `hide_plain` (plain family first, then the regex sweep, over the same
+/// database value).
+fn sanitize_plain(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
+    let mut db = SequenceDb::parse(&spec.db);
+    let cs = spec.constraints()?;
+    let mut patterns = Vec::new();
+    for text in &spec.patterns {
+        let seq = Sequence::parse(text, db.alphabet_mut());
+        patterns.push(
+            SensitivePattern::new(seq, cs.clone()).map_err(|e| format!("pattern '{text}': {e}"))?,
+        );
+    }
+    let sh = SensitiveSet::from_patterns(patterns);
+    let mut regexes = Vec::new();
+    for text in &spec.regexes {
+        regexes.push(
+            RegexPattern::compile(text, db.alphabet_mut())
+                .map(|p| p.with_constraints(&cs))
+                .map_err(|e| format!("regex '{text}': {e}"))?,
+        );
+    }
+    if sh.is_empty() && regexes.is_empty() {
+        return Err("nothing to hide: give patterns and/or regexes".to_string());
+    }
+    let mut outcome = empty_outcome();
+    if !sh.is_empty() {
+        let report = spec.sanitizer(spec.exact).run(&mut db, &sh);
+        accumulate(&mut outcome, &report);
+        if !report.hidden {
+            return Err("internal: sanitizer failed to hide plain patterns".to_string());
+        }
+    }
+    if !regexes.is_empty() {
+        let report = spec
+            .sanitizer(false)
+            .run_domain_threaded(db.sequences_mut(), &|| RegexDomain::<Sat64>::new(&regexes));
+        accumulate(&mut outcome, &report);
+        if !report.hidden {
+            return Err("internal: sanitizer failed to hide regex patterns".to_string());
+        }
+    }
+    outcome.release = db.to_text();
+    Ok(outcome)
+}
+
+fn sanitize_itemset(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
+    let (mut alphabet, mut db) = seqhide_data::io::parse_itemset_db(&spec.db);
+    let cs = spec.constraints()?;
+    let mut patterns = Vec::new();
+    for text in &spec.patterns {
+        let elements: Vec<seqhide_types::Itemset> = text
+            .split_whitespace()
+            .map(|elem| {
+                seqhide_types::Itemset::new(
+                    elem.split(',')
+                        .filter(|w| !w.is_empty())
+                        .map(|w| alphabet.intern(w))
+                        .collect(),
+                )
+            })
+            .collect();
+        let seq = seqhide_types::ItemsetSequence::new(elements);
+        patterns.push(
+            ItemsetPattern::new(seq, cs.clone()).map_err(|e| format!("pattern '{text}': {e}"))?,
+        );
+    }
+    if patterns.is_empty() {
+        return Err("nothing to hide: give patterns (itemset syntax: a,b c)".to_string());
+    }
+    let report = spec
+        .sanitizer(false)
+        .run_domain_threaded(&mut db, &|| ItemsetMatchEngine::<Sat64>::new(&patterns));
+    if !report.hidden {
+        return Err("internal: sanitizer failed to hide itemset patterns".to_string());
+    }
+    let mut outcome = empty_outcome();
+    accumulate(&mut outcome, &report);
+    outcome.release = seqhide_data::io::itemset_db_to_text(&alphabet, &db);
+    Ok(outcome)
+}
+
+fn sanitize_timed(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
+    let (mut alphabet, mut db) =
+        seqhide_data::io::parse_timed_db(&spec.db).map_err(|e| e.to_string())?;
+    let tc = spec.time_constraints()?;
+    let mut patterns = Vec::new();
+    for text in &spec.patterns {
+        let seq = Sequence::parse(text, &mut alphabet);
+        patterns.push(
+            TimedPattern::new(seq, tc.clone()).map_err(|e| format!("pattern '{text}': {e}"))?,
+        );
+    }
+    if patterns.is_empty() {
+        return Err("nothing to hide: give patterns (plain symbols; gaps in ticks)".to_string());
+    }
+    let report = spec
+        .sanitizer(false)
+        .run_domain_threaded(&mut db, &|| TimedDomain::<Sat64>::new(&patterns));
+    if !report.hidden {
+        return Err("internal: sanitizer failed to hide timed patterns".to_string());
+    }
+    let mut outcome = empty_outcome();
+    accumulate(&mut outcome, &report);
+    outcome.release = seqhide_data::io::timed_db_to_text(&alphabet, &db);
+    Ok(outcome)
+}
+
+fn empty_outcome() -> SanitizeOutcome {
+    SanitizeOutcome {
+        release: String::new(),
+        marks: 0,
+        sequences_sanitized: 0,
+        supporters_before: 0,
+        residual_supports: Vec::new(),
+        hidden: true,
+    }
+}
+
+/// One fully-decoded `verify` request (plain mode, like the CLI's
+/// `seqhide verify`).
+#[derive(Clone, Debug)]
+pub struct VerifySpec {
+    /// Database text (plain line format).
+    pub db: String,
+    /// Sensitive patterns (plain syntax).
+    pub patterns: Vec<String>,
+    /// Disclosure threshold ψ.
+    pub psi: usize,
+    /// Minimum gap between consecutive pattern elements.
+    pub min_gap: u64,
+    /// Maximum gap, if constrained.
+    pub max_gap: Option<u64>,
+    /// Maximum whole-match window, if constrained.
+    pub max_window: Option<u64>,
+}
+
+/// The executed `verify` outcome. Unlike the CLI (whose `verify` exits
+/// non-zero on a failed check), the service reports `hidden: false` as a
+/// successful *query* — an auditing client is asking, not asserting.
+#[derive(Clone, Debug)]
+pub struct VerifyOutcome {
+    /// Whether every pattern's support is ≤ ψ.
+    pub hidden: bool,
+    /// Support per pattern, in request order.
+    pub supports: Vec<usize>,
+}
+
+/// Executes one `verify` request.
+pub fn verify(spec: &VerifySpec) -> Result<VerifyOutcome, String> {
+    if spec.patterns.is_empty() {
+        return Err("give at least one pattern".to_string());
+    }
+    let mut db = SequenceDb::parse(&spec.db);
+    let min = spec.min_gap as usize;
+    let max = spec.max_gap.map(|g| g as usize);
+    if let Some(max) = max {
+        if max < min {
+            return Err("max_gap must be ≥ min_gap".to_string());
+        }
+    }
+    let mut cs = if min == 0 && max.is_none() {
+        ConstraintSet::none()
+    } else {
+        ConstraintSet::uniform_gap(Gap { min, max })
+    };
+    cs.max_window = spec.max_window.map(|w| w as usize);
+    let mut patterns = Vec::new();
+    for text in &spec.patterns {
+        let seq = Sequence::parse(text, db.alphabet_mut());
+        patterns.push(
+            SensitivePattern::new(seq, cs.clone()).map_err(|e| format!("pattern '{text}': {e}"))?,
+        );
+    }
+    let sh = SensitiveSet::from_patterns(patterns);
+    let report = seqhide_core::verify_hidden(&db, &sh, spec.psi);
+    Ok(VerifyOutcome {
+        hidden: report.hidden,
+        supports: report.supports,
+    })
+}
+
+/// The executed `stats` outcome, per line format.
+#[derive(Clone, Debug)]
+pub enum StatsOutcome {
+    /// Plain-mode shape summary.
+    Plain {
+        /// Number of sequences.
+        sequences: usize,
+        /// Total symbols across all sequences.
+        symbols_total: usize,
+        /// Mean sequence length.
+        avg_len: f64,
+        /// Longest sequence length.
+        max_len: usize,
+        /// Distinct symbols.
+        alphabet: usize,
+        /// Δ marks present.
+        marks: usize,
+    },
+    /// Itemset-mode shape summary.
+    Itemset {
+        /// Number of sequences.
+        sequences: usize,
+        /// Total elements across all sequences.
+        elements_total: usize,
+        /// Total live items across all elements.
+        items_total: usize,
+        /// Distinct items.
+        alphabet: usize,
+        /// Δ marks present.
+        marks: usize,
+    },
+    /// Timed-mode shape summary.
+    Timed {
+        /// Number of sequences.
+        sequences: usize,
+        /// Total events across all sequences.
+        events_total: usize,
+        /// Distinct symbols.
+        alphabet: usize,
+        /// Δ marks present.
+        marks: usize,
+    },
+}
+
+/// Executes one `stats` request over `db` text in `mode`'s line format.
+pub fn stats(db: &str, mode: Mode) -> Result<StatsOutcome, String> {
+    match mode {
+        Mode::Plain => {
+            let parsed = SequenceDb::parse(db);
+            let s = parsed.stats();
+            Ok(StatsOutcome::Plain {
+                sequences: s.len,
+                symbols_total: s.total_symbols,
+                avg_len: s.avg_len,
+                max_len: s.max_len,
+                alphabet: s.alphabet_len,
+                marks: s.marks,
+            })
+        }
+        Mode::Itemset => {
+            let (alphabet, parsed) = seqhide_data::io::parse_itemset_db(db);
+            Ok(StatsOutcome::Itemset {
+                sequences: parsed.len(),
+                elements_total: parsed.iter().map(seqhide_types::ItemsetSequence::len).sum(),
+                items_total: parsed
+                    .iter()
+                    .flat_map(|t| t.elements().iter())
+                    .map(seqhide_types::Itemset::live_len)
+                    .sum(),
+                alphabet: alphabet.len(),
+                marks: parsed
+                    .iter()
+                    .map(seqhide_types::ItemsetSequence::mark_count)
+                    .sum(),
+            })
+        }
+        Mode::Timed => {
+            let (alphabet, parsed) =
+                seqhide_data::io::parse_timed_db(db).map_err(|e| e.to_string())?;
+            Ok(StatsOutcome::Timed {
+                sequences: parsed.len(),
+                events_total: parsed.iter().map(seqhide_types::TimedSequence::len).sum(),
+                alphabet: alphabet.len(),
+                marks: parsed
+                    .iter()
+                    .map(seqhide_types::TimedSequence::mark_count)
+                    .sum(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain_spec(db: &str, patterns: &[&str]) -> SanitizeSpec {
+        SanitizeSpec {
+            db: db.to_string(),
+            mode: Mode::Plain,
+            patterns: patterns.iter().map(|s| s.to_string()).collect(),
+            regexes: Vec::new(),
+            psi: 0,
+            local: LocalStrategy::Heuristic,
+            global: GlobalStrategy::Heuristic,
+            seed: 0,
+            engine: EngineMode::default(),
+            exact: false,
+            min_gap: 0,
+            max_gap: None,
+            max_window: None,
+        }
+    }
+
+    #[test]
+    fn sanitize_hides_and_reports() {
+        let out = sanitize(&plain_spec("a b c\nb a c\na c\n", &["a c"])).unwrap();
+        assert!(out.hidden);
+        assert!(out.marks > 0);
+        assert_eq!(out.residual_supports, vec![0]);
+        // the release itself verifies clean
+        let v = verify(&VerifySpec {
+            db: out.release.clone(),
+            patterns: vec!["a c".to_string()],
+            psi: 0,
+            min_gap: 0,
+            max_gap: None,
+            max_window: None,
+        })
+        .unwrap();
+        assert!(v.hidden);
+        assert_eq!(v.supports, vec![0]);
+    }
+
+    #[test]
+    fn sanitize_rejects_empty_pattern_sets_and_bad_gaps() {
+        let e = sanitize(&plain_spec("a b\n", &[])).unwrap_err();
+        assert!(e.contains("nothing to hide"), "{e}");
+        let mut spec = plain_spec("a b\n", &["a b"]);
+        spec.min_gap = 3;
+        spec.max_gap = Some(1);
+        let e = sanitize(&spec).unwrap_err();
+        assert!(e.contains("max_gap must be ≥ min_gap"), "{e}");
+        let mut spec = plain_spec("a b\n", &["a b"]);
+        spec.mode = Mode::Itemset;
+        spec.regexes = vec!["a (b|c)".to_string()];
+        let e = sanitize(&spec).unwrap_err();
+        assert!(e.contains("plain mode only"), "{e}");
+    }
+
+    #[test]
+    fn stats_covers_all_three_modes() {
+        match stats("a b c\nb c\n", Mode::Plain).unwrap() {
+            StatsOutcome::Plain {
+                sequences,
+                alphabet,
+                ..
+            } => {
+                assert_eq!(sequences, 2);
+                assert_eq!(alphabet, 3);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match stats("bread,milk beer\n", Mode::Itemset).unwrap() {
+            StatsOutcome::Itemset {
+                sequences,
+                items_total,
+                ..
+            } => {
+                assert_eq!(sequences, 1);
+                assert_eq!(items_total, 3);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match stats("login@0 search@15\n", Mode::Timed).unwrap() {
+            StatsOutcome::Timed {
+                sequences,
+                events_total,
+                ..
+            } => {
+                assert_eq!(sequences, 1);
+                assert_eq!(events_total, 2);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(stats("x@\n", Mode::Timed).is_err());
+    }
+
+    #[test]
+    fn mode_parse_matches_cli_surface() {
+        assert_eq!(Mode::parse(None).unwrap(), Mode::Plain);
+        assert_eq!(Mode::parse(Some("itemset")).unwrap(), Mode::Itemset);
+        assert!(Mode::parse(Some("turbo")).is_err());
+    }
+}

@@ -1,0 +1,419 @@
+//! A minimal JSON value type, parser and renderer for the wire protocol.
+//!
+//! The build environment has no registry access, so `serde` is not an
+//! option; the protocol needs exactly one document per line in either
+//! direction, and this module implements just that much of RFC 8259:
+//! objects, arrays, strings (with full escape handling including
+//! `\uXXXX` surrogate pairs), numbers, booleans and null.
+//!
+//! Numbers are kept as their **raw source text** ([`Json::Num`]) rather
+//! than being forced through `f64` — request fields like `seed` are full
+//! 64-bit integers and must not lose precision in transit.
+
+use std::fmt::Write as _;
+
+/// One JSON value. Object members keep their source order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw token text (`"42"`, `"-1.5e3"`).
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in member order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match wins; `None` off objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is a non-negative integer token.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as a `usize`, if this is a non-negative integer token.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Builds an integer number value.
+    pub fn num(n: u64) -> Json {
+        Json::Num(n.to_string())
+    }
+
+    /// Renders the value as compact single-line JSON (the NDJSON framing
+    /// requires the document to contain no raw newlines; string escapes
+    /// guarantee that).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(raw) => out.push_str(raw),
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// JSON string escaping: quotes, backslashes and control characters;
+/// everything else (including multi-byte UTF-8 like `Δ`) passes raw.
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parses one JSON document from `text`, requiring nothing but
+/// whitespace after it.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing input at offset {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(format!("expected '{want}', found '{c}'")),
+            None => Err(format!("expected '{want}', found end of input")),
+        }
+    }
+
+    fn literal(&mut self, rest: &str, value: Json) -> Result<Json, String> {
+        for want in rest.chars() {
+            self.expect(want)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => self.string().map(Json::Str),
+            Some('t') => {
+                self.pos += 1;
+                self.literal("rue", Json::Bool(true))
+            }
+            Some('f') => {
+                self.pos += 1;
+                self.literal("alse", Json::Bool(false))
+            }
+            Some('n') => {
+                self.pos += 1;
+                self.literal("ull", Json::Null)
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected character '{c}'")),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Json::Obj(members)),
+                Some(c) => return Err(format!("expected ',' or '}}' in object, found '{c}'")),
+                None => return Err("unterminated object".to_string()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Json::Arr(items)),
+                Some(c) => return Err(format!("expected ',' or ']' in array, found '{c}'")),
+                None => return Err("unterminated array".to_string()),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{0008}'),
+                    Some('f') => out.push('\u{000c}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let hi = self.hex4()?;
+                        let c = if (0xd800..0xdc00).contains(&hi) {
+                            // surrogate pair: a low surrogate must follow
+                            self.expect('\\')?;
+                            self.expect('u')?;
+                            let lo = self.hex4()?;
+                            if !(0xdc00..0xe000).contains(&lo) {
+                                return Err("invalid low surrogate".to_string());
+                            }
+                            let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                            char::from_u32(cp).ok_or("invalid surrogate pair")?
+                        } else {
+                            char::from_u32(hi).ok_or("lone surrogate escape")?
+                        };
+                        out.push(c);
+                    }
+                    Some(c) => return Err(format!("invalid escape '\\{c}'")),
+                    None => return Err("unterminated escape".to_string()),
+                },
+                Some(c) if (c as u32) < 0x20 => {
+                    return Err("raw control character in string".to_string())
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0;
+        for _ in 0..4 {
+            let c = self.bump().ok_or("truncated \\u escape")?;
+            v = v * 16
+                + c.to_digit(16)
+                    .ok_or_else(|| format!("bad hex digit '{c}'"))?;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Parser| {
+            let from = p.pos;
+            while p.peek().is_some_and(|c| c.is_ascii_digit()) {
+                p.pos += 1;
+            }
+            p.pos > from
+        };
+        if !digits(self) {
+            return Err("number has no digits".to_string());
+        }
+        if self.peek() == Some('.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err("number has no fraction digits".to_string());
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err("number has no exponent digits".to_string());
+            }
+        }
+        Ok(Json::Num(self.chars[start..self.pos].iter().collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("42").unwrap(), Json::Num("42".to_string()));
+        assert_eq!(parse("-1.5e3").unwrap(), Json::Num("-1.5e3".to_string()));
+        assert_eq!(parse("\"hi\"").unwrap(), Json::Str("hi".to_string()));
+        let v = parse(r#"{"a": [1, 2], "b": {"c": false}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn u64_numbers_keep_full_precision() {
+        let raw = u64::MAX.to_string();
+        assert_eq!(parse(&raw).unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line1\nline2\t\"quoted\" \\ Δ X2Y7 \u{0001}";
+        let rendered = Json::Str(original.to_string()).render();
+        assert!(!rendered.contains('\n'), "NDJSON framing broken");
+        assert_eq!(parse(&rendered).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // escaped surrogate pair decodes to one code point
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap().as_str(), Some("😀"));
+        // raw multi-byte UTF-8 also passes through
+        assert_eq!(parse(r#""Δ""#).unwrap().as_str(), Some("Δ"));
+        // a lone high surrogate is an error
+        assert!(parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,", "\"open", "{\"a\" 1}", "01x", "1 2", "nul"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn object_render_keeps_member_order() {
+        let v = Json::Obj(vec![
+            ("z".to_string(), Json::num(1)),
+            ("a".to_string(), Json::Bool(true)),
+        ]);
+        assert_eq!(v.render(), r#"{"z":1,"a":true}"#);
+    }
+}

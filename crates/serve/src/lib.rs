@@ -1,0 +1,45 @@
+//! # seqhide-serve
+//!
+//! A long-running sanitization **service**: a threaded TCP server that
+//! answers newline-delimited JSON requests by driving the exact same
+//! [`Sanitizer`]/[`PatternDomain`] machinery the CLI uses — so a served
+//! release is byte-identical to `seqhide hide`'s for the same
+//! (input, pattern class, algorithm, ψ, seed).
+//!
+//! Std-only by constraint and by design: the build environment has no
+//! registry access (no tokio, no serde), and the paper's workloads are
+//! CPU-bound batch sanitizations for which a fixed worker pool over a
+//! bounded queue is the honest architecture — the interesting parts are
+//! **backpressure** (a full queue sheds load with an `overloaded`
+//! response instead of buffering unboundedly) and **graceful drain** (a
+//! `shutdown` request lets admitted work finish, then every thread is
+//! joined before the process exits 0).
+//!
+//! Module map:
+//!
+//! * [`json`] — minimal JSON value/parser/renderer for the wire format;
+//! * [`protocol`] — request decoding, response building ([`docs`]:
+//!   `docs/SERVER.md` is the wire specification);
+//! * [`queue`] — the bounded Mutex+Condvar job queue;
+//! * [`exec`] — request execution against the sanitization crates;
+//! * [`server`] — acceptor, connection threads, worker pool, drain.
+//!
+//! Telemetry rides the workspace's `obs` feature: serve phases, request
+//! latency and queue-wait histograms, `queue_depth`/`inflight`
+//! high-water gauges, and a live `metrics` request that returns the
+//! snapshot diff since server start.
+//!
+//! [`Sanitizer`]: seqhide_core::Sanitizer
+//! [`PatternDomain`]: seqhide_core::PatternDomain
+//! [`docs`]: crate::protocol
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use server::{ServeOptions, ServeSummary, Server};

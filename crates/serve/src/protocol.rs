@@ -1,0 +1,588 @@
+//! The newline-delimited JSON wire protocol: request decoding and
+//! response building.
+//!
+//! One JSON object per line in each direction. Requests carry a `type`
+//! (`sanitize` | `verify` | `stats` | `health` | `metrics` | `shutdown`)
+//! and an optional `id`, which responses echo verbatim so clients can
+//! pipeline. Responses carry a `status`:
+//!
+//! * `ok` — the request executed; payload fields depend on the type.
+//! * `error` — the request was malformed or failed; `error` explains.
+//! * `overloaded` — the job queue was full; the request was **not**
+//!   executed and the client should retry later (the backpressure
+//!   contract: the server sheds load instead of buffering unboundedly).
+//! * `shutting_down` — the server is draining; no new work is admitted.
+//!
+//! Field names, defaults and error texts deliberately mirror the CLI
+//! (`seed` defaults to 0, `algorithm` to `hh`, `engine` to incremental,
+//! `mode` to plain), so a request with only `db`/`psi`/`patterns` set
+//! behaves exactly like the corresponding bare `seqhide hide` run.
+//! Unknown fields are rejected, as unknown flags are.
+//!
+//! The full specification with examples lives in `docs/SERVER.md`.
+
+use seqhide_core::{parse_algorithm, EngineMode};
+
+use crate::exec::{Mode, SanitizeOutcome, SanitizeSpec, StatsOutcome, VerifyOutcome, VerifySpec};
+use crate::json::{self, Json};
+
+/// One decoded request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Sanitize a database; executed on the worker pool.
+    Sanitize {
+        /// The decoded sanitize parameters.
+        spec: SanitizeSpec,
+        /// Artificial per-job delay (milliseconds) applied by the worker
+        /// before executing — a load-testing knob for driving the queue
+        /// into backpressure deterministically; 0 in normal operation.
+        delay_ms: u64,
+    },
+    /// Check the hiding requirement on a released database.
+    Verify(VerifySpec),
+    /// Summarise a database's shape.
+    Stats {
+        /// Database text.
+        db: String,
+        /// Its line format.
+        mode: Mode,
+    },
+    /// Liveness + load snapshot; answered inline, never queued.
+    Health,
+    /// Live telemetry snapshot; answered inline, never queued.
+    Metrics,
+    /// Begin graceful drain; answered inline.
+    Shutdown,
+}
+
+/// Decodes one request line. The `id` (echoed in every response) is
+/// returned even when decoding fails, so error responses stay
+/// correlatable.
+pub fn decode(line: &str) -> (Option<Json>, Result<Request, String>) {
+    let doc = match json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => return (None, Err(format!("bad JSON: {e}"))),
+    };
+    if !matches!(doc, Json::Obj(_)) {
+        return (None, Err("request must be a JSON object".to_string()));
+    }
+    let id = doc.get("id").cloned();
+    let request = decode_doc(&doc);
+    (id, request)
+}
+
+fn decode_doc(doc: &Json) -> Result<Request, String> {
+    let typ = match doc.get("type") {
+        Some(t) => t
+            .as_str()
+            .ok_or_else(|| "\"type\" must be a string".to_string())?,
+        None => return Err("missing \"type\"".to_string()),
+    };
+    match typ {
+        "sanitize" => {
+            known_fields(
+                doc,
+                &[
+                    "type",
+                    "id",
+                    "db",
+                    "mode",
+                    "patterns",
+                    "regexes",
+                    "psi",
+                    "algorithm",
+                    "seed",
+                    "engine",
+                    "exact",
+                    "min_gap",
+                    "max_gap",
+                    "max_window",
+                    "delay_ms",
+                ],
+            )?;
+            let algorithm = str_or(doc, "algorithm", "hh")?;
+            let (local, global) = parse_algorithm(&algorithm)
+                .ok_or_else(|| format!("unknown algorithm '{algorithm}' (hh|hr|rh|rr)"))?;
+            let engine = match opt_str(doc, "engine")? {
+                None => EngineMode::default(),
+                Some(v) => EngineMode::parse(&v)
+                    .ok_or_else(|| format!("unknown engine '{v}' (incremental|scratch)"))?,
+            };
+            let spec = SanitizeSpec {
+                db: required_str(doc, "db")?,
+                mode: Mode::parse(opt_str(doc, "mode")?.as_deref())?,
+                patterns: str_list(doc, "patterns")?,
+                regexes: str_list(doc, "regexes")?,
+                psi: required_usize(doc, "psi")?,
+                local,
+                global,
+                seed: u64_or(doc, "seed", 0)?,
+                engine,
+                exact: bool_or(doc, "exact", false)?,
+                min_gap: u64_or(doc, "min_gap", 0)?,
+                max_gap: opt_u64(doc, "max_gap")?,
+                max_window: opt_u64(doc, "max_window")?,
+            };
+            Ok(Request::Sanitize {
+                spec,
+                delay_ms: u64_or(doc, "delay_ms", 0)?,
+            })
+        }
+        "verify" => {
+            known_fields(
+                doc,
+                &[
+                    "type",
+                    "id",
+                    "db",
+                    "patterns",
+                    "psi",
+                    "min_gap",
+                    "max_gap",
+                    "max_window",
+                ],
+            )?;
+            Ok(Request::Verify(VerifySpec {
+                db: required_str(doc, "db")?,
+                patterns: str_list(doc, "patterns")?,
+                psi: required_usize(doc, "psi")?,
+                min_gap: u64_or(doc, "min_gap", 0)?,
+                max_gap: opt_u64(doc, "max_gap")?,
+                max_window: opt_u64(doc, "max_window")?,
+            }))
+        }
+        "stats" => {
+            known_fields(doc, &["type", "id", "db", "mode"])?;
+            Ok(Request::Stats {
+                db: required_str(doc, "db")?,
+                mode: Mode::parse(opt_str(doc, "mode")?.as_deref())?,
+            })
+        }
+        "health" => {
+            known_fields(doc, &["type", "id"])?;
+            Ok(Request::Health)
+        }
+        "metrics" => {
+            known_fields(doc, &["type", "id"])?;
+            Ok(Request::Metrics)
+        }
+        "shutdown" => {
+            known_fields(doc, &["type", "id"])?;
+            Ok(Request::Shutdown)
+        }
+        other => Err(format!(
+            "unknown request type '{other}' (sanitize|verify|stats|health|metrics|shutdown)"
+        )),
+    }
+}
+
+fn known_fields(doc: &Json, allowed: &[&str]) -> Result<(), String> {
+    let Json::Obj(members) = doc else {
+        return Ok(());
+    };
+    for (key, _) in members {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("unknown field \"{key}\""));
+        }
+    }
+    Ok(())
+}
+
+fn required_str(doc: &Json, key: &str) -> Result<String, String> {
+    opt_str(doc, key)?.ok_or_else(|| format!("missing \"{key}\""))
+}
+
+fn opt_str(doc: &Json, key: &str) -> Result<Option<String>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("\"{key}\" must be a string")),
+    }
+}
+
+fn str_or(doc: &Json, key: &str, default: &str) -> Result<String, String> {
+    Ok(opt_str(doc, key)?.unwrap_or_else(|| default.to_string()))
+}
+
+fn str_list(doc: &Json, key: &str) -> Result<Vec<String>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(v) => {
+            let items = v
+                .as_array()
+                .ok_or_else(|| format!("\"{key}\" must be an array of strings"))?;
+            items
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .map(|s| s.to_string())
+                        .ok_or_else(|| format!("\"{key}\" must be an array of strings"))
+                })
+                .collect()
+        }
+    }
+}
+
+fn required_usize(doc: &Json, key: &str) -> Result<usize, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Err(format!("missing \"{key}\"")),
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
+fn opt_u64(doc: &Json, key: &str) -> Result<Option<u64>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
+fn u64_or(doc: &Json, key: &str, default: u64) -> Result<u64, String> {
+    Ok(opt_u64(doc, key)?.unwrap_or(default))
+}
+
+fn bool_or(doc: &Json, key: &str, default: bool) -> Result<bool, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| format!("\"{key}\" must be a boolean")),
+    }
+}
+
+/// The server-side load figures a `health` response reports.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthInfo {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Job queue capacity.
+    pub queue_capacity: usize,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Jobs currently executing on workers.
+    pub inflight: usize,
+    /// Requests received since startup (all types, including shed ones).
+    pub requests: u64,
+    /// Requests shed with `overloaded` since startup.
+    pub overloads: u64,
+    /// Jobs executed to completion since startup.
+    pub executed: u64,
+    /// Whether the server is draining toward shutdown.
+    pub draining: bool,
+}
+
+fn response(id: &Option<Json>, status: &str, rest: Vec<(String, Json)>) -> String {
+    let mut members = Vec::with_capacity(rest.len() + 2);
+    if let Some(id) = id {
+        members.push(("id".to_string(), id.clone()));
+    }
+    members.push(("status".to_string(), Json::Str(status.to_string())));
+    members.extend(rest);
+    Json::Obj(members).render()
+}
+
+fn field(key: &str, value: Json) -> (String, Json) {
+    (key.to_string(), value)
+}
+
+fn typ(name: &str) -> (String, Json) {
+    field("type", Json::Str(name.to_string()))
+}
+
+fn usize_list(values: &[usize]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::num(v as u64)).collect())
+}
+
+/// `ok` response for an executed `sanitize`.
+pub fn ok_sanitize(id: &Option<Json>, outcome: &SanitizeOutcome) -> String {
+    response(
+        id,
+        "ok",
+        vec![
+            typ("sanitize"),
+            field("hidden", Json::Bool(outcome.hidden)),
+            field("marks", Json::num(outcome.marks as u64)),
+            field(
+                "sequences_sanitized",
+                Json::num(outcome.sequences_sanitized as u64),
+            ),
+            field(
+                "supporters_before",
+                Json::num(outcome.supporters_before as u64),
+            ),
+            field("residual_supports", usize_list(&outcome.residual_supports)),
+            field("release", Json::Str(outcome.release.clone())),
+        ],
+    )
+}
+
+/// `ok` response for an executed `verify`.
+pub fn ok_verify(id: &Option<Json>, outcome: &VerifyOutcome) -> String {
+    response(
+        id,
+        "ok",
+        vec![
+            typ("verify"),
+            field("hidden", Json::Bool(outcome.hidden)),
+            field("supports", usize_list(&outcome.supports)),
+        ],
+    )
+}
+
+/// `ok` response for an executed `stats`.
+pub fn ok_stats(id: &Option<Json>, outcome: &StatsOutcome) -> String {
+    let fields = match *outcome {
+        StatsOutcome::Plain {
+            sequences,
+            symbols_total,
+            avg_len,
+            max_len,
+            alphabet,
+            marks,
+        } => vec![
+            typ("stats"),
+            field("mode", Json::Str("plain".to_string())),
+            field("sequences", Json::num(sequences as u64)),
+            field("symbols_total", Json::num(symbols_total as u64)),
+            field(
+                "avg_len",
+                Json::Num(if avg_len.is_finite() {
+                    format!("{avg_len}")
+                } else {
+                    "0".to_string()
+                }),
+            ),
+            field("max_len", Json::num(max_len as u64)),
+            field("alphabet", Json::num(alphabet as u64)),
+            field("marks", Json::num(marks as u64)),
+        ],
+        StatsOutcome::Itemset {
+            sequences,
+            elements_total,
+            items_total,
+            alphabet,
+            marks,
+        } => vec![
+            typ("stats"),
+            field("mode", Json::Str("itemset".to_string())),
+            field("sequences", Json::num(sequences as u64)),
+            field("elements_total", Json::num(elements_total as u64)),
+            field("items_total", Json::num(items_total as u64)),
+            field("alphabet", Json::num(alphabet as u64)),
+            field("marks", Json::num(marks as u64)),
+        ],
+        StatsOutcome::Timed {
+            sequences,
+            events_total,
+            alphabet,
+            marks,
+        } => vec![
+            typ("stats"),
+            field("mode", Json::Str("timed".to_string())),
+            field("sequences", Json::num(sequences as u64)),
+            field("events_total", Json::num(events_total as u64)),
+            field("alphabet", Json::num(alphabet as u64)),
+            field("marks", Json::num(marks as u64)),
+        ],
+    };
+    response(id, "ok", fields)
+}
+
+/// `ok` response for `health`.
+pub fn ok_health(id: &Option<Json>, info: &HealthInfo) -> String {
+    response(
+        id,
+        "ok",
+        vec![
+            typ("health"),
+            field("workers", Json::num(info.workers as u64)),
+            field("queue_capacity", Json::num(info.queue_capacity as u64)),
+            field("queue_depth", Json::num(info.queue_depth as u64)),
+            field("inflight", Json::num(info.inflight as u64)),
+            field("requests", Json::num(info.requests)),
+            field("overloads", Json::num(info.overloads)),
+            field("executed", Json::num(info.executed)),
+            field("draining", Json::Bool(info.draining)),
+        ],
+    )
+}
+
+/// `ok` response for `metrics`: embeds the rendered snapshot (the
+/// schema documented in `docs/OBSERVABILITY.md`) as a nested object.
+pub fn ok_metrics(id: &Option<Json>, snapshot_json: &str) -> String {
+    let embedded =
+        json::parse(snapshot_json).unwrap_or_else(|_| Json::Str(snapshot_json.to_string()));
+    response(id, "ok", vec![typ("metrics"), field("metrics", embedded)])
+}
+
+/// `ok` response for `shutdown`: the server acknowledges and begins
+/// draining.
+pub fn ok_shutdown(id: &Option<Json>) -> String {
+    response(
+        id,
+        "ok",
+        vec![typ("shutdown"), field("draining", Json::Bool(true))],
+    )
+}
+
+/// `error` response.
+pub fn error(id: &Option<Json>, message: &str) -> String {
+    response(
+        id,
+        "error",
+        vec![field("error", Json::Str(message.to_string()))],
+    )
+}
+
+/// `overloaded` response: the queue was full and the job was shed.
+pub fn overloaded(id: &Option<Json>, queue_capacity: usize) -> String {
+    response(
+        id,
+        "overloaded",
+        vec![field(
+            "error",
+            Json::Str(format!(
+                "job queue full ({queue_capacity} waiting); retry later"
+            )),
+        )],
+    )
+}
+
+/// `shutting_down` response: the server is draining; no new work.
+pub fn shutting_down(id: &Option<Json>) -> String {
+    response(
+        id,
+        "shutting_down",
+        vec![field(
+            "error",
+            Json::Str("server draining; no new work accepted".to_string()),
+        )],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqhide_core::{GlobalStrategy, LocalStrategy};
+
+    #[test]
+    fn sanitize_defaults_mirror_the_cli() {
+        let (id, req) = decode(r#"{"type":"sanitize","db":"a b\n","patterns":["a b"],"psi":0}"#);
+        assert!(id.is_none());
+        let Request::Sanitize { spec, delay_ms } = req.unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(spec.mode, Mode::Plain);
+        assert_eq!(spec.seed, 0);
+        assert_eq!(spec.local, LocalStrategy::Heuristic);
+        assert_eq!(spec.global, GlobalStrategy::Heuristic);
+        assert!(!spec.exact);
+        assert_eq!(spec.min_gap, 0);
+        assert_eq!(spec.max_gap, None);
+        assert_eq!(delay_ms, 0);
+    }
+
+    #[test]
+    fn sanitize_accepts_full_option_surface() {
+        let (_, req) = decode(
+            r#"{"id":7,"type":"sanitize","db":"a b\n","mode":"plain","patterns":["a b"],
+                "regexes":["a (b|c)"],"psi":1,"algorithm":"rr","seed":18446744073709551615,
+                "engine":"scratch","exact":true,"min_gap":1,"max_gap":4,"max_window":9,
+                "delay_ms":25}"#,
+        );
+        let Request::Sanitize { spec, delay_ms } = req.unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(spec.seed, u64::MAX, "u64 seeds must not lose precision");
+        assert_eq!(spec.local, LocalStrategy::Random);
+        assert_eq!(spec.global, GlobalStrategy::Random);
+        assert!(spec.exact);
+        assert_eq!(spec.max_gap, Some(4));
+        assert_eq!(spec.max_window, Some(9));
+        assert_eq!(delay_ms, 25);
+    }
+
+    #[test]
+    fn decode_errors_are_pointed_and_keep_the_id() {
+        let (id, req) = decode(r#"{"id":"x1","type":"sanitize","db":"a\n"}"#);
+        assert_eq!(id, Some(Json::Str("x1".to_string())));
+        assert!(req.unwrap_err().contains("missing \"psi\""));
+
+        let (_, req) = decode(r#"{"type":"sanitize","db":"a\n","psi":0,"turbo":true}"#);
+        assert!(req.unwrap_err().contains("unknown field \"turbo\""));
+
+        let (_, req) = decode(r#"{"type":"warp"}"#);
+        assert!(req.unwrap_err().contains("unknown request type 'warp'"));
+
+        let (_, req) = decode("[1,2]");
+        assert!(req.unwrap_err().contains("must be a JSON object"));
+
+        let (_, req) = decode("{nope");
+        assert!(req.unwrap_err().contains("bad JSON"));
+
+        let (_, req) = decode(r#"{"type":"sanitize","db":"a\n","psi":0,"algorithm":"xx"}"#);
+        assert!(req.unwrap_err().contains("unknown algorithm 'xx'"));
+    }
+
+    #[test]
+    fn control_requests_decode() {
+        assert!(matches!(
+            decode(r#"{"type":"health"}"#).1.unwrap(),
+            Request::Health
+        ));
+        assert!(matches!(
+            decode(r#"{"type":"metrics","id":1}"#).1.unwrap(),
+            Request::Metrics
+        ));
+        assert!(matches!(
+            decode(r#"{"type":"shutdown"}"#).1.unwrap(),
+            Request::Shutdown
+        ));
+        let (_, req) = decode(r#"{"type":"health","db":"a\n"}"#);
+        assert!(req.unwrap_err().contains("unknown field \"db\""));
+    }
+
+    #[test]
+    fn responses_are_single_line_json_with_echoed_ids() {
+        let id = Some(Json::num(42));
+        for line in [
+            error(&id, "boom\nboom"),
+            overloaded(&id, 8),
+            shutting_down(&id),
+            ok_shutdown(&id),
+        ] {
+            assert!(!line.contains('\n'), "NDJSON framing broken: {line}");
+            let doc = json::parse(&line).unwrap();
+            assert_eq!(doc.get("id").unwrap().as_u64(), Some(42));
+        }
+        let doc = json::parse(&overloaded(&id, 8)).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("overloaded"));
+        assert!(doc
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("queue full"));
+    }
+
+    #[test]
+    fn metrics_response_embeds_snapshot_as_object() {
+        let line = ok_metrics(&None, r#"{"schema_version": 3, "counters": {}}"#);
+        let doc = json::parse(&line).unwrap();
+        assert_eq!(
+            doc.get("metrics")
+                .unwrap()
+                .get("schema_version")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+    }
+}

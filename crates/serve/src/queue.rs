@@ -1,0 +1,167 @@
+//! The bounded job queue between the connection threads and the worker
+//! pool — the server's backpressure mechanism.
+//!
+//! Admission is **non-blocking**: [`BoundedQueue::try_push`] either
+//! admits the job or fails immediately with [`PushError::Full`], and the
+//! connection thread turns that into an `overloaded` response. Nothing
+//! in the server ever buffers an unbounded number of jobs; the queue's
+//! capacity *is* the memory bound for admitted-but-unstarted work.
+//!
+//! Shutdown is **draining**: [`BoundedQueue::close`] refuses new pushes
+//! but lets [`BoundedQueue::pop`] hand out everything already admitted;
+//! workers exit when the closed queue runs dry (`pop` → `None`).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity — shed the load.
+    Full(T),
+    /// The queue is closed (server draining) — no new work.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A Mutex+Condvar bounded MPMC queue (std-only; no external channels).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` waiting jobs.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0 — a zero-capacity queue would shed every
+    /// request; callers validate and report that before construction.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be ≥ 1");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting (excludes jobs a worker already popped).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits `item` without blocking. On success returns the queue depth
+    /// *including* the new item (the value the `queue_depth` high-water
+    /// gauge records); on failure hands the item back.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a job is available or the queue is closed **and**
+    /// drained; `None` means "no more work, ever" and the worker exits.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Refuses all future pushes and wakes every blocked `pop`; already
+    /// admitted jobs still drain.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        assert_eq!(q.try_push("c"), Err(PushError::Full("c")));
+        // popping one frees one slot
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.try_push("c"), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_admitted_work_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(10).unwrap();
+        q.try_push(20).unwrap();
+        q.close();
+        assert_eq!(q.try_push(30), Err(PushError::Closed(30)));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(20));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // the worker blocks on the empty queue until close
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.close();
+        assert_eq!(worker.join().unwrap(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be ≥ 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = BoundedQueue::<()>::new(0);
+    }
+}

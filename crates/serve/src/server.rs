@@ -1,0 +1,486 @@
+//! The server: threaded acceptor, bounded job queue, worker pool,
+//! graceful drain.
+//!
+//! ## Threading model (std-only; no async runtime)
+//!
+//! * **One acceptor** — the thread that calls [`Server::run`] loops on
+//!   `accept` and spawns a connection thread per client.
+//! * **One thread per connection** — reads NDJSON request lines,
+//!   answers `health`/`metrics`/`shutdown` inline, and submits
+//!   `sanitize`/`verify`/`stats` jobs to the queue, waiting for each
+//!   job's reply before reading the next line (per-connection FIFO;
+//!   concurrency comes from having many connections).
+//! * **A fixed worker pool** — `workers` threads popping jobs from one
+//!   [`BoundedQueue`]. Each worker owns its per-job domain state and
+//!   RNG seeding comes from the request, so results are deterministic
+//!   regardless of which worker runs the job.
+//!
+//! ## Backpressure
+//!
+//! Admission to the queue is non-blocking: when `queue_depth` jobs are
+//! already waiting, the connection thread answers `overloaded`
+//! immediately and drops the job. The queue capacity is the server's
+//! entire buffer for admitted-but-unstarted work — there is no hidden
+//! unbounded channel anywhere on the request path.
+//!
+//! ## Graceful drain
+//!
+//! A `shutdown` request flips the draining flag and closes the queue:
+//! new jobs are refused with `shutting_down`, already-admitted jobs
+//! run to completion and their responses are delivered, the acceptor
+//! is woken by a loopback self-connect, idle connection reads are
+//! unblocked via `TcpStream::shutdown(Read)` on registered clones, and
+//! [`Server::run`] joins every thread before returning its summary.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use seqhide_obs::{self as obs, Counter, Gauge, Hist, Phase};
+
+use crate::exec;
+use crate::json::Json;
+use crate::protocol::{self, HealthInfo, Request};
+use crate::queue::{BoundedQueue, PushError};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address, e.g. `127.0.0.1:7070` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker pool size (≥ 1).
+    pub workers: usize,
+    /// Bounded job-queue capacity (≥ 1): the most jobs that may wait
+    /// for a worker before the server sheds load with `overloaded`.
+    pub queue_depth: usize,
+}
+
+/// What a completed [`Server::run`] reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests received (all types, including malformed and shed).
+    pub requests: u64,
+    /// Requests shed with `overloaded`.
+    pub overloads: u64,
+    /// Jobs executed to completion on the worker pool.
+    pub executed: u64,
+}
+
+/// Work that goes through the queue (everything except the inline
+/// control requests).
+enum Work {
+    Sanitize(exec::SanitizeSpec),
+    Verify(exec::VerifySpec),
+    Stats { db: String, mode: exec::Mode },
+}
+
+/// One admitted job: the work, its correlation id, and the channel the
+/// owning connection thread blocks on for the rendered response line.
+struct Job {
+    work: Work,
+    id: Option<Json>,
+    delay_ms: u64,
+    enqueued: Instant,
+    reply: mpsc::Sender<String>,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    draining: AtomicBool,
+    inflight: AtomicUsize,
+    requests: AtomicU64,
+    overloads: AtomicU64,
+    executed: AtomicU64,
+    /// Read-half clones of live client sockets, for unblocking idle
+    /// reads at drain time. Entries for already-closed connections are
+    /// harmless (their `shutdown` just fails).
+    conns: Mutex<Vec<TcpStream>>,
+    workers: usize,
+    local_addr: SocketAddr,
+    /// Telemetry zero point: `metrics` responses report the diff since
+    /// the server started, not process-lifetime totals.
+    baseline: obs::Snapshot,
+}
+
+impl Shared {
+    fn health(&self) -> HealthInfo {
+        HealthInfo {
+            workers: self.workers,
+            queue_capacity: self.queue.capacity(),
+            queue_depth: self.queue.len(),
+            inflight: self.inflight.load(Ordering::SeqCst),
+            requests: self.requests.load(Ordering::SeqCst),
+            overloads: self.overloads.load(Ordering::SeqCst),
+            executed: self.executed.load(Ordering::SeqCst),
+            draining: self.draining.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Flips the server into draining mode (idempotent): refuses new
+    /// jobs, and wakes the acceptor with a loopback self-connect so the
+    /// accept loop observes the flag.
+    fn begin_drain(&self) {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            self.queue.close();
+            let _ = TcpStream::connect(self.local_addr);
+        }
+    }
+}
+
+/// A bound, not-yet-running sanitization server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state. Does not accept
+    /// connections until [`Server::run`].
+    pub fn bind(options: &ServeOptions) -> io::Result<Server> {
+        if options.workers == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "worker pool size must be ≥ 1",
+            ));
+        }
+        if options.queue_depth == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "queue depth must be ≥ 1 (a zero-capacity queue would shed every request)",
+            ));
+        }
+        let listener = TcpListener::bind(&options.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                queue: BoundedQueue::new(options.queue_depth),
+                draining: AtomicBool::new(false),
+                inflight: AtomicUsize::new(0),
+                requests: AtomicU64::new(0),
+                overloads: AtomicU64::new(0),
+                executed: AtomicU64::new(0),
+                conns: Mutex::new(Vec::new()),
+                workers: options.workers,
+                local_addr,
+                baseline: obs::snapshot(),
+            }),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Serves until a `shutdown` request, then drains and returns the
+    /// summary. Joins every worker and connection thread before
+    /// returning — when this comes back, all admitted work is done and
+    /// every response has been written.
+    pub fn run(self) -> io::Result<ServeSummary> {
+        let _serve_span = obs::span(Phase::Serve);
+        let shared = Arc::clone(&self.shared);
+
+        let workers: Vec<_> = (0..shared.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if shared.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => {
+                    // Transient accept failure (e.g. EMFILE under a low
+                    // ulimit): back off briefly instead of spinning.
+                    thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            let shared_conn = Arc::clone(&shared);
+            conns.push(thread::spawn(move || {
+                handle_connection(&shared_conn, stream);
+            }));
+            conns.retain(|handle| !handle.is_finished());
+        }
+
+        // Draining: unblock idle connection reads, let workers finish
+        // the admitted backlog, then join everything.
+        for conn in shared.conns.lock().expect("conns poisoned").drain(..) {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        for conn in conns {
+            let _ = conn.join();
+        }
+        Ok(ServeSummary {
+            requests: shared.requests.load(Ordering::SeqCst),
+            overloads: shared.overloads.load(Ordering::SeqCst),
+            executed: shared.executed.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// Worker thread body: pop, execute, reply; exit when the closed queue
+/// runs dry.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        obs::hist_record(
+            Hist::ServeQueueWaitNanos,
+            job.enqueued.elapsed().as_nanos() as u64,
+        );
+        let inflight = shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        obs::gauge_max(Gauge::Inflight, inflight as u64);
+        if job.delay_ms > 0 {
+            thread::sleep(Duration::from_millis(job.delay_ms));
+        }
+        let response = match &job.work {
+            Work::Sanitize(spec) => match exec::sanitize(spec) {
+                Ok(outcome) => protocol::ok_sanitize(&job.id, &outcome),
+                Err(e) => protocol::error(&job.id, &e),
+            },
+            Work::Verify(spec) => match exec::verify(spec) {
+                Ok(outcome) => protocol::ok_verify(&job.id, &outcome),
+                Err(e) => protocol::error(&job.id, &e),
+            },
+            Work::Stats { db, mode } => match exec::stats(db, *mode) {
+                Ok(outcome) => protocol::ok_stats(&job.id, &outcome),
+                Err(e) => protocol::error(&job.id, &e),
+            },
+        };
+        shared.executed.fetch_add(1, Ordering::SeqCst);
+        // A send failure means the connection thread is gone (client
+        // hung up mid-job); the work is done either way.
+        let _ = job.reply.send(response);
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Connection thread body: one NDJSON request per line, one response
+/// line each, until EOF or drain.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    // Register a clone so drain can unblock an idle `read_line`.
+    if let Ok(clone) = stream.try_clone() {
+        shared.conns.lock().expect("conns poisoned").push(clone);
+    }
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let _request_span = obs::span(Phase::ServeRequest);
+        shared.requests.fetch_add(1, Ordering::SeqCst);
+        obs::counter_add(Counter::ServeRequests, 1);
+        let (id, decoded) = protocol::decode(&line);
+        let response = match decoded {
+            Err(e) => protocol::error(&id, &e),
+            Ok(Request::Health) => protocol::ok_health(&id, &shared.health()),
+            Ok(Request::Metrics) => {
+                let diff = obs::snapshot().diff(&shared.baseline);
+                protocol::ok_metrics(&id, &diff.to_json())
+            }
+            Ok(Request::Shutdown) => {
+                shared.begin_drain();
+                protocol::ok_shutdown(&id)
+            }
+            Ok(heavy) => submit(shared, heavy, id),
+        };
+        let written = writeln!(stream, "{response}").and_then(|()| stream.flush());
+        obs::hist_record(Hist::ServeRequestNanos, started.elapsed().as_nanos() as u64);
+        if written.is_err() {
+            break;
+        }
+    }
+}
+
+/// Queues one heavy request and blocks for its reply; turns a full
+/// queue into `overloaded` and a closed one into `shutting_down`.
+fn submit(shared: &Shared, request: Request, id: Option<Json>) -> String {
+    let (work, delay_ms) = match request {
+        Request::Sanitize { spec, delay_ms } => (Work::Sanitize(spec), delay_ms),
+        Request::Verify(spec) => (Work::Verify(spec), 0),
+        Request::Stats { db, mode } => (Work::Stats { db, mode }, 0),
+        Request::Health | Request::Metrics | Request::Shutdown => {
+            unreachable!("control requests are answered inline")
+        }
+    };
+    let (reply, receive) = mpsc::channel();
+    let job = Job {
+        work,
+        id: id.clone(),
+        delay_ms,
+        enqueued: Instant::now(),
+        reply,
+    };
+    match shared.queue.try_push(job) {
+        Ok(depth) => {
+            obs::gauge_max(Gauge::QueueDepth, depth as u64);
+            receive
+                .recv()
+                .unwrap_or_else(|_| protocol::error(&id, "internal: worker dropped the job"))
+        }
+        Err(PushError::Full(_)) => {
+            shared.overloads.fetch_add(1, Ordering::SeqCst);
+            obs::counter_add(Counter::ServeOverloads, 1);
+            protocol::overloaded(&id, shared.queue.capacity())
+        }
+        Err(PushError::Closed(_)) => protocol::shutting_down(&id),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use std::io::BufRead;
+
+    fn start(workers: usize, queue_depth: usize) -> (SocketAddr, thread::JoinHandle<ServeSummary>) {
+        let server = Server::bind(&ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            queue_depth,
+        })
+        .expect("bind");
+        let addr = server.local_addr();
+        let handle = thread::spawn(move || server.run().expect("run"));
+        (addr, handle)
+    }
+
+    fn roundtrip(stream: &mut TcpStream, request: &str) -> Json {
+        writeln!(stream, "{request}").unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        json::parse(line.trim_end()).expect("response is JSON")
+    }
+
+    #[test]
+    fn serves_sanitize_health_and_drains_on_shutdown() {
+        let (addr, handle) = start(2, 4);
+        let mut client = TcpStream::connect(addr).unwrap();
+
+        let resp = roundtrip(
+            &mut client,
+            r#"{"id":1,"type":"sanitize","db":"a b c\nb a c\na c\n","patterns":["a c"],"psi":0}"#,
+        );
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(resp.get("hidden").unwrap().as_bool(), Some(true));
+        assert!(resp.get("release").unwrap().as_str().unwrap().contains('Δ'));
+
+        let resp = roundtrip(&mut client, r#"{"id":2,"type":"health"}"#);
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(resp.get("workers").unwrap().as_u64(), Some(2));
+        assert_eq!(resp.get("queue_capacity").unwrap().as_u64(), Some(4));
+        assert_eq!(resp.get("draining").unwrap().as_bool(), Some(false));
+
+        let resp = roundtrip(&mut client, r#"{"id":3,"type":"shutdown"}"#);
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(resp.get("draining").unwrap().as_bool(), Some(true));
+
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.executed, 1);
+        assert_eq!(summary.overloads, 0);
+    }
+
+    #[test]
+    fn malformed_and_failing_requests_get_error_responses() {
+        let (addr, handle) = start(1, 2);
+        let mut client = TcpStream::connect(addr).unwrap();
+
+        let resp = roundtrip(&mut client, "not json");
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("error"));
+
+        let resp = roundtrip(
+            &mut client,
+            r#"{"id":"v","type":"verify","db":"a b\n","patterns":[],"psi":0}"#,
+        );
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(resp.get("id").unwrap().as_str(), Some("v"));
+
+        roundtrip(&mut client, r#"{"type":"shutdown"}"#);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn requests_after_shutdown_are_refused_but_admitted_work_finishes() {
+        let (addr, handle) = start(1, 4);
+        let mut a = TcpStream::connect(addr).unwrap();
+        let mut b = TcpStream::connect(addr).unwrap();
+
+        // occupy the single worker so the next job waits in the queue
+        writeln!(
+            a,
+            r#"{{"id":"slow","type":"sanitize","db":"a b\n","patterns":["a b"],"psi":0,"delay_ms":300}}"#
+        )
+        .unwrap();
+        a.flush().unwrap();
+        thread::sleep(Duration::from_millis(50));
+
+        // a second job is admitted behind it, then shutdown begins
+        let queued = thread::spawn({
+            let addr2 = addr;
+            move || {
+                let mut c = TcpStream::connect(addr2).unwrap();
+                roundtrip(
+                    &mut c,
+                    r#"{"id":"queued","type":"stats","db":"a b\nc\n","mode":"plain"}"#,
+                )
+            }
+        });
+        thread::sleep(Duration::from_millis(50));
+        let resp = roundtrip(&mut b, r#"{"type":"shutdown"}"#);
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("ok"));
+
+        // post-drain submissions are refused...
+        let resp = roundtrip(
+            &mut b,
+            r#"{"id":"late","type":"stats","db":"a\n","mode":"plain"}"#,
+        );
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("shutting_down"));
+
+        // ...but both admitted jobs complete with ok responses
+        let resp = queued.join().unwrap();
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(resp.get("sequences").unwrap().as_u64(), Some(2));
+        let mut reader = BufReader::new(a.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = json::parse(line.trim_end()).unwrap();
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(resp.get("id").unwrap().as_str(), Some("slow"));
+
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.executed, 2);
+    }
+
+    #[test]
+    fn bind_rejects_degenerate_configurations() {
+        for (workers, queue_depth) in [(0, 8), (4, 0)] {
+            let err = Server::bind(&ServeOptions {
+                addr: "127.0.0.1:0".to_string(),
+                workers,
+                queue_depth,
+            })
+            .map(|server| server.local_addr())
+            .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        }
+    }
+}

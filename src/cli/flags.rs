@@ -66,6 +66,17 @@ pub(crate) const SPECS: &[FlagSpec] = &[
         boolean: &[],
     },
     FlagSpec {
+        command: "serve",
+        valued: &[
+            "addr",
+            "threads",
+            "queue-depth",
+            "ready-file",
+            "metrics-out",
+        ],
+        boolean: &["progress"],
+    },
+    FlagSpec {
         command: "attack",
         valued: &["original", "released", "train", "pattern"],
         boolean: &[],

@@ -95,13 +95,9 @@ impl HideConfig {
                 .ok_or_else(|| err(format!("unknown engine '{v}' (incremental|scratch)")))?,
         };
         let threads = flags.usize_or("threads", 1)?;
-        let (local, global) = match flags.one("algorithm").unwrap_or("hh") {
-            "hh" => (LocalStrategy::Heuristic, GlobalStrategy::Heuristic),
-            "hr" => (LocalStrategy::Heuristic, GlobalStrategy::Random),
-            "rh" => (LocalStrategy::Random, GlobalStrategy::Heuristic),
-            "rr" => (LocalStrategy::Random, GlobalStrategy::Random),
-            other => return Err(err(format!("unknown algorithm '{other}' (hh|hr|rh|rr)"))),
-        };
+        let algorithm = flags.one("algorithm").unwrap_or("hh");
+        let (local, global) = seqhide_core::parse_algorithm(algorithm)
+            .ok_or_else(|| err(format!("unknown algorithm '{algorithm}' (hh|hr|rh|rr)")))?;
         Ok(HideConfig {
             psi,
             seed,
@@ -405,6 +401,12 @@ fn cmd_hide_stream(flags: &Flags, cfg: &HideConfig, domain: Domain) -> Result<St
     }
     let db_path = flags.required("db")?.to_string();
     let batch_size = flags.usize_or("batch-size", 1024)?;
+    if batch_size == 0 {
+        return Err(err(
+            "--batch-size must be ≥ 1: pass 2 re-streams the database in batches and \
+             needs at least one resident sequence per batch",
+        ));
+    }
     let sanitizer = cfg.sanitizer(flags.has("exact"));
     let input = Path::new(&db_path);
 

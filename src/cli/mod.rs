@@ -6,6 +6,7 @@
 //! * `mine`   — list frequent patterns (`F(D, σ)`);
 //! * `hide`   — sanitize a database against sensitive patterns;
 //! * `verify` — check the hiding requirement on a released database;
+//! * `serve`  — run the long-lived sanitization service (TCP, NDJSON);
 //! * `gen`    — emit the calibrated TRUCKS-like / SYNTHETIC-like datasets.
 //!
 //! The implementation is a plain function from arguments to output text so
@@ -27,6 +28,7 @@ mod flags;
 mod gen;
 mod hide;
 mod mine;
+mod serve;
 mod stats;
 mod verify;
 
@@ -65,10 +67,12 @@ USAGE:
                  [--stream] [--batch-size N]
                  [--metrics-out FILE] [--progress]
   seqhide verify --db FILE --psi N (--pattern \"a b\")...
+  seqhide serve  [--addr HOST:PORT] [--threads N] [--queue-depth N]
+                 [--ready-file FILE] [--metrics-out FILE]
   seqhide attack --original FILE --released FILE [--train FILE]
                  (--pattern \"a b\")...
   seqhide gen    --dataset trucks|synthetic [--seed S] --out FILE
-  seqhide help
+  seqhide help | --version
 
 FORMATS (one sequence per line; '#' comments; marks render as Δ):
   plain    whitespace-separated symbols:      login search checkout
@@ -85,6 +89,16 @@ STREAMING:
                       and timed modes plus --regex — one class per run;
                       --post keep only.
   --batch-size N      sequences resident per pass-2 batch (default 1024)
+
+SERVING (protocol spec and ops runbook in docs/SERVER.md):
+  serve answers newline-delimited JSON requests (sanitize, verify,
+  stats, health, metrics, shutdown) over TCP. Releases are
+  byte-identical to the equivalent 'seqhide hide' run. A bounded job
+  queue (--queue-depth, default 64) feeds --threads workers (default:
+  available cores); when the queue is full the server responds
+  'overloaded' instead of buffering. 'shutdown' drains in-flight work
+  and exits 0. --addr defaults to 127.0.0.1:7070; port 0 picks a free
+  port, written to --ready-file for scripts.
 
 TELEMETRY:
   --metrics-out FILE  write the run's span/counter/histogram snapshot as
@@ -181,6 +195,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if matches!(command, "help" | "--help" | "-h") {
         return Ok(HELP.to_string());
     }
+    if matches!(command, "--version" | "-V" | "version") {
+        return Ok(format!("seqhide {}\n", env!("CARGO_PKG_VERSION")));
+    }
     let Some(spec) = FlagSpec::for_command(command) else {
         return Err(unknown_command_error(command));
     };
@@ -195,6 +212,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "mine" => mine::cmd_mine(&flags),
         "hide" => hide::cmd_hide(&flags),
         "verify" => verify::cmd_verify(&flags),
+        "serve" => serve::cmd_serve(&flags),
         "attack" => attack::cmd_attack(&flags),
         "gen" => gen::cmd_gen(&flags),
         _ => unreachable!("spec table covers every dispatched command"),

@@ -1,0 +1,51 @@
+//! `seqhide serve` — run the sanitization service.
+//!
+//! Binds the threaded TCP server from `seqhide-serve` and blocks until
+//! a `shutdown` request drains it. The listening banner goes to stderr
+//! (stdout is reserved for the final summary line, which the generic
+//! `--metrics-out` handling in [`super::run`] may extend); under
+//! `--ready-file` the bound address is also written to a file once the
+//! listener is up, so scripts using an ephemeral port (`--addr
+//! 127.0.0.1:0`) can discover it without racing the bind.
+
+use seqhide_serve::{ServeOptions, Server};
+
+use super::flags::Flags;
+use super::{err, CliError};
+
+pub(crate) fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
+    let addr = flags.one("addr").unwrap_or("127.0.0.1:7070").to_string();
+    let default_workers = std::thread::available_parallelism().map_or(4, usize::from);
+    let workers = flags.usize_or("threads", default_workers)?;
+    if workers == 0 {
+        return Err(err(
+            "--threads must be ≥ 1: the worker pool needs at least one thread to execute jobs",
+        ));
+    }
+    let queue_depth = flags.usize_or("queue-depth", 64)?;
+    if queue_depth == 0 {
+        return Err(err(
+            "--queue-depth must be ≥ 1: a zero-capacity queue would shed every request \
+             as overloaded (use a small value like 1 to exercise backpressure)",
+        ));
+    }
+    let server = Server::bind(&ServeOptions {
+        addr: addr.clone(),
+        workers,
+        queue_depth,
+    })
+    .map_err(|e| err(format!("cannot bind {addr}: {e}")))?;
+    let local = server.local_addr();
+    eprintln!(
+        "[seqhide serve] listening on {local} ({workers} worker(s), queue depth {queue_depth})"
+    );
+    if let Some(path) = flags.one("ready-file") {
+        std::fs::write(path, format!("{local}\n"))
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    }
+    let summary = server.run().map_err(|e| err(format!("serve: {e}")))?;
+    Ok(format!(
+        "serve: {} request(s), {} executed, {} shed as overloaded; drained clean\n",
+        summary.requests, summary.executed, summary.overloads
+    ))
+}

@@ -17,7 +17,10 @@
 //!   discusses (§4 stage 2, §5 constraints, §7 itemsets/time tags, §8
 //!   alternative heuristics and multiple thresholds);
 //! * [`data`] — trajectory simulator, grid discretization, and the
-//!   TRUCKS-like / SYNTHETIC-like dataset generators.
+//!   TRUCKS-like / SYNTHETIC-like dataset generators;
+//! * [`serve`] — the sanitization service: a threaded TCP server with a
+//!   bounded job queue, backpressure, and live telemetry (`seqhide
+//!   serve`; wire protocol in docs/SERVER.md).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@ pub use seqhide_match as matching;
 pub use seqhide_mine as mine;
 pub use seqhide_num as num;
 pub use seqhide_re as re;
+pub use seqhide_serve as serve;
 pub use seqhide_st as st;
 pub use seqhide_types as types;
 

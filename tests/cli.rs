@@ -519,7 +519,7 @@ fn metrics_out_writes_documented_schema() {
     assert!(out.contains("wrote metrics to"), "{out}");
     let json = fs::read_to_string(&metrics_path).unwrap();
     for key in [
-        "\"schema_version\": 2",
+        "\"schema_version\": 3",
         "\"obs_enabled\"",
         "\"phases\"",
         "\"counters\"",
@@ -587,7 +587,7 @@ fn metrics_out_written_on_command_error() {
     .unwrap_err();
     assert!(e.0.contains("unknown post strategy"), "{e}");
     let json = fs::read_to_string(&metrics_path).unwrap();
-    assert!(json.contains("\"schema_version\": 2"), "{json}");
+    assert!(json.contains("\"schema_version\": 3"), "{json}");
     assert!(
         json.contains("\"error\": \"unknown post strategy 'nonsense'"),
         "{json}"
@@ -951,4 +951,52 @@ fn report_flag_surfaces_engine_stats() {
         out.contains("cell repairs") && out.contains("fallback recounts"),
         "{out}"
     );
+}
+
+#[test]
+fn version_flag_is_globally_recognized() {
+    for invocation in [&["--version"][..], &["-V"], &["version"]] {
+        let out = run(&args(invocation)).unwrap();
+        assert_eq!(out, format!("seqhide {}\n", env!("CARGO_PKG_VERSION")));
+    }
+    // help mentions it
+    assert!(run(&args(&["help"])).unwrap().contains("--version"));
+}
+
+#[test]
+fn stream_batch_size_zero_is_a_pointed_error() {
+    let dir = tmpdir("batchzero");
+    let db = write_db(&dir, "db.seq", "a b c\na c\n");
+    let e = run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--psi",
+        "0",
+        "--pattern",
+        "a c",
+        "--stream",
+        "--batch-size",
+        "0",
+    ]))
+    .unwrap_err();
+    assert!(e.0.contains("--batch-size must be ≥ 1"), "{e}");
+}
+
+#[test]
+fn serve_rejects_degenerate_pool_and_queue_sizes() {
+    let e = run(&args(&["serve", "--addr", "127.0.0.1:0", "--threads", "0"])).unwrap_err();
+    assert!(e.0.contains("--threads must be ≥ 1"), "{e}");
+    let e = run(&args(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--queue-depth",
+        "0",
+    ]))
+    .unwrap_err();
+    assert!(e.0.contains("--queue-depth must be ≥ 1"), "{e}");
+    // unknown serve flags get the usual "did you mean"
+    let e = run(&args(&["serve", "--queue-dept", "4"])).unwrap_err();
+    assert!(e.0.contains("did you mean --queue-depth?"), "{e}");
 }
