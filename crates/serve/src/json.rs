@@ -148,12 +148,19 @@ fn escape_into(s: &str, out: &mut String) {
     }
 }
 
+/// The deepest container nesting [`parse`] accepts. The parser is
+/// recursive-descent, so without a cap a line of a few hundred thousand
+/// `[`s would overflow the calling thread's stack and abort the whole
+/// process; 128 levels is far beyond any legitimate request.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses one JSON document from `text`, requiring nothing but
 /// whitespace after it.
 pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
         chars: text.chars().collect(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -167,6 +174,7 @@ pub fn parse(text: &str) -> Result<Json, String> {
 struct Parser {
     chars: Vec<char>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -203,10 +211,23 @@ impl Parser {
         Ok(value)
     }
 
+    /// Recursion guard around one container parse (the error path
+    /// leaves `depth` stale, which is fine — a failed parse aborts the
+    /// whole document).
+    fn nested(&mut self, parse: fn(&mut Parser) -> Result<Json, String>) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        self.depth += 1;
+        let value = parse(self)?;
+        self.depth -= 1;
+        Ok(value)
+    }
+
     fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
-            Some('{') => self.object(),
-            Some('[') => self.array(),
+            Some('{') => self.nested(Parser::object),
+            Some('[') => self.nested(Parser::array),
             Some('"') => self.string().map(Json::Str),
             Some('t') => {
                 self.pos += 1;
@@ -406,6 +427,32 @@ mod tests {
         for bad in ["{", "[1,", "\"open", "{\"a\" 1}", "01x", "1 2", "nul"] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        // well past the limit: must error, not abort the process
+        let bomb = "[".repeat(500_000);
+        assert!(parse(&bomb).unwrap_err().contains("nesting"));
+        let bomb = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&bomb).unwrap_err().contains("nesting"));
+        // at the limit: fine
+        let deep = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&deep).is_ok());
+        // mixed containers count together
+        let mixed = format!(
+            "{}{{\"k\":1}}{}",
+            "[".repeat(MAX_DEPTH - 1),
+            "]".repeat(MAX_DEPTH - 1)
+        );
+        assert!(parse(&mixed).is_ok());
+        // depth resets between sibling values, it is not cumulative
+        let wide = format!("[{}]", vec!["[1]"; 64].join(","));
+        assert!(parse(&wide).is_ok());
     }
 
     #[test]

@@ -26,6 +26,13 @@ use seqhide_core::{parse_algorithm, EngineMode};
 use crate::exec::{Mode, SanitizeOutcome, SanitizeSpec, StatsOutcome, VerifyOutcome, VerifySpec};
 use crate::json::{self, Json};
 
+/// The largest `delay_ms` a `sanitize` request may carry. The field is
+/// a load-testing knob exposed on the wire, so it must not double as a
+/// denial-of-service lever: without a cap, a handful of requests with
+/// huge delays would put every worker to sleep and make the graceful
+/// drain (which joins workers) hang for as long.
+pub const MAX_DELAY_MS: u64 = 5_000;
+
 /// One decoded request.
 #[derive(Clone, Debug)]
 pub enum Request {
@@ -33,9 +40,10 @@ pub enum Request {
     Sanitize {
         /// The decoded sanitize parameters.
         spec: SanitizeSpec,
-        /// Artificial per-job delay (milliseconds) applied by the worker
-        /// before executing — a load-testing knob for driving the queue
-        /// into backpressure deterministically; 0 in normal operation.
+        /// Artificial per-job delay (milliseconds, capped at
+        /// [`MAX_DELAY_MS`]) applied by the worker before executing — a
+        /// load-testing knob for driving the queue into backpressure
+        /// deterministically; 0 in normal operation.
         delay_ms: u64,
     },
     /// Check the hiding requirement on a released database.
@@ -123,10 +131,13 @@ fn decode_doc(doc: &Json) -> Result<Request, String> {
                 max_gap: opt_u64(doc, "max_gap")?,
                 max_window: opt_u64(doc, "max_window")?,
             };
-            Ok(Request::Sanitize {
-                spec,
-                delay_ms: u64_or(doc, "delay_ms", 0)?,
-            })
+            let delay_ms = u64_or(doc, "delay_ms", 0)?;
+            if delay_ms > MAX_DELAY_MS {
+                return Err(format!(
+                    "\"delay_ms\" must be ≤ {MAX_DELAY_MS} (it is a load-testing knob, not a scheduler)"
+                ));
+            }
+            Ok(Request::Sanitize { spec, delay_ms })
         }
         "verify" => {
             known_fields(
@@ -529,6 +540,25 @@ mod tests {
 
         let (_, req) = decode(r#"{"type":"sanitize","db":"a\n","psi":0,"algorithm":"xx"}"#);
         assert!(req.unwrap_err().contains("unknown algorithm 'xx'"));
+    }
+
+    #[test]
+    fn delay_ms_beyond_the_cap_is_rejected() {
+        let line = format!(
+            r#"{{"type":"sanitize","db":"a\n","patterns":["a"],"psi":0,"delay_ms":{}}}"#,
+            MAX_DELAY_MS + 1
+        );
+        let (_, req) = decode(&line);
+        assert!(req.unwrap_err().contains("delay_ms"));
+
+        let line = format!(
+            r#"{{"type":"sanitize","db":"a\n","patterns":["a"],"psi":0,"delay_ms":{MAX_DELAY_MS}}}"#
+        );
+        let (_, req) = decode(&line);
+        let Request::Sanitize { delay_ms, .. } = req.unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(delay_ms, MAX_DELAY_MS);
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //! already waiting, the connection thread answers `overloaded`
 //! immediately and drops the job. The queue capacity is the server's
 //! entire buffer for admitted-but-unstarted work — there is no hidden
-//! unbounded channel anywhere on the request path.
+//! unbounded channel anywhere on the request path. The read path is
+//! bounded too: a request line may hold at most [`MAX_LINE_BYTES`],
+//! the JSON parser refuses pathological nesting, and the wire-exposed
+//! `delay_ms` test knob is capped, so no single client input can grow
+//! server memory, blow a thread stack, or wedge the worker pool.
 //!
 //! ## Graceful drain
 //!
@@ -32,7 +36,7 @@
 //! unblocked via `TcpStream::shutdown(Read)` on registered clones, and
 //! [`Server::run`] joins every thread before returning its summary.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read as _, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -77,6 +81,13 @@ enum Work {
     Stats { db: String, mode: exec::Mode },
 }
 
+/// The most bytes one request line may hold (the database rides inline
+/// in `sanitize` requests, so the bound is generous — but it exists: a
+/// client streaming newline-free bytes cannot grow server memory past
+/// this). An oversized line gets an `error` response and the connection
+/// is closed, because the line framing is lost mid-line.
+pub const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
+
 /// One admitted job: the work, its correlation id, and the channel the
 /// owning connection thread blocks on for the rendered response line.
 struct Job {
@@ -87,6 +98,19 @@ struct Job {
     reply: mpsc::Sender<String>,
 }
 
+/// Read-half clones of **live** client sockets, for unblocking idle
+/// reads at drain time. Entries are keyed by a connection id and
+/// removed when the connection thread returns, so a disconnected
+/// client's file descriptor is released immediately rather than held
+/// until shutdown. Once `closed`, registration shuts the socket down
+/// on the spot — a connection accepted just before drain can never
+/// slip in after the unblock pass and sit on an unbounded `read`.
+struct ConnRegistry {
+    closed: bool,
+    next_id: u64,
+    entries: Vec<(u64, TcpStream)>,
+}
+
 struct Shared {
     queue: BoundedQueue<Job>,
     draining: AtomicBool,
@@ -94,10 +118,12 @@ struct Shared {
     requests: AtomicU64,
     overloads: AtomicU64,
     executed: AtomicU64,
-    /// Read-half clones of live client sockets, for unblocking idle
-    /// reads at drain time. Entries for already-closed connections are
-    /// harmless (their `shutdown` just fails).
-    conns: Mutex<Vec<TcpStream>>,
+    /// Jobs ever admitted to the queue (still waiting, running, or
+    /// done). Lets tests synchronize on "the job is in" without racing
+    /// the pop/execute transitions that make `queue.len() + inflight`
+    /// sampling ambiguous.
+    admitted: AtomicU64,
+    conns: Mutex<ConnRegistry>,
     workers: usize,
     local_addr: SocketAddr,
     /// Telemetry zero point: `metrics` responses report the diff since
@@ -106,6 +132,42 @@ struct Shared {
 }
 
 impl Shared {
+    /// Registers a live connection for drain-time unblocking; the
+    /// returned id deregisters it. `None` means draining already began
+    /// — the clone's read half has been shut down, so the caller's next
+    /// read sees EOF and the connection winds down immediately.
+    fn register_conn(&self, clone: TcpStream) -> Option<u64> {
+        let mut registry = self.conns.lock().expect("conns poisoned");
+        if registry.closed {
+            let _ = clone.shutdown(Shutdown::Read);
+            return None;
+        }
+        let id = registry.next_id;
+        registry.next_id += 1;
+        registry.entries.push((id, clone));
+        Some(id)
+    }
+
+    /// Drops a finished connection's registry entry (and with it the
+    /// cloned socket, releasing the file descriptor).
+    fn deregister_conn(&self, id: u64) {
+        let mut registry = self.conns.lock().expect("conns poisoned");
+        if let Some(at) = registry.entries.iter().position(|(e, _)| *e == id) {
+            registry.entries.swap_remove(at);
+        }
+    }
+
+    /// Drain-time unblock pass: marks the registry closed and shuts
+    /// down the read half of every live connection. Connections that
+    /// try to register afterwards are shut down by `register_conn`.
+    fn close_conns(&self) {
+        let mut registry = self.conns.lock().expect("conns poisoned");
+        registry.closed = true;
+        for (_, conn) in registry.entries.drain(..) {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+    }
+
     fn health(&self) -> HealthInfo {
         HealthInfo {
             workers: self.workers,
@@ -163,7 +225,12 @@ impl Server {
                 requests: AtomicU64::new(0),
                 overloads: AtomicU64::new(0),
                 executed: AtomicU64::new(0),
-                conns: Mutex::new(Vec::new()),
+                admitted: AtomicU64::new(0),
+                conns: Mutex::new(ConnRegistry {
+                    closed: false,
+                    next_id: 0,
+                    entries: Vec::new(),
+                }),
                 workers: options.workers,
                 local_addr,
                 baseline: obs::snapshot(),
@@ -214,9 +281,7 @@ impl Server {
 
         // Draining: unblock idle connection reads, let workers finish
         // the admitted backlog, then join everything.
-        for conn in shared.conns.lock().expect("conns poisoned").drain(..) {
-            let _ = conn.shutdown(Shutdown::Read);
-        }
+        shared.close_conns();
         for worker in workers {
             let _ = worker.join();
         }
@@ -266,19 +331,84 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Connection thread body: one NDJSON request per line, one response
-/// line each, until EOF or drain.
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    // Register a clone so drain can unblock an idle `read_line`.
-    if let Ok(clone) = stream.try_clone() {
-        shared.conns.lock().expect("conns poisoned").push(clone);
+/// Connection thread body: registers the socket for drain-time
+/// unblocking, serves it, and deregisters on the way out so the
+/// registry only ever holds live connections.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let registered = stream
+        .try_clone()
+        .ok()
+        .and_then(|clone| shared.register_conn(clone));
+    serve_connection(shared, stream);
+    if let Some(id) = registered {
+        shared.deregister_conn(id);
     }
-    let reader = match stream.try_clone() {
+}
+
+/// One request line read with a hard size cap, or the reason to stop.
+enum LineRead {
+    Line(Vec<u8>),
+    /// The line hit [`MAX_LINE_BYTES`] without a newline — framing is
+    /// lost, so after answering the connection must close.
+    Oversized,
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, refusing to buffer more than
+/// [`MAX_LINE_BYTES`] (a final unterminated line at EOF still counts as
+/// a line). The per-call [`Read::take`] makes the cap a per-line bound,
+/// not a per-connection budget.
+fn read_bounded_line(reader: &mut BufReader<TcpStream>) -> io::Result<LineRead> {
+    let mut buf = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(MAX_LINE_BYTES as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+    } else if buf.len() > MAX_LINE_BYTES {
+        return Ok(LineRead::Oversized);
+    }
+    Ok(LineRead::Line(buf))
+}
+
+/// Serves one NDJSON request per line, one response line each, until
+/// EOF, drain, or an unrecoverable framing problem.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let mut reader = match stream.try_clone() {
         Ok(clone) => BufReader::new(clone),
         Err(_) => return,
     };
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    loop {
+        let line = match read_bounded_line(&mut reader) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::Oversized) => {
+                shared.requests.fetch_add(1, Ordering::SeqCst);
+                obs::counter_add(Counter::ServeRequests, 1);
+                let response = protocol::error(
+                    &None,
+                    &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                let _ = writeln!(stream, "{response}").and_then(|()| stream.flush());
+                return;
+            }
+            Ok(LineRead::Eof) | Err(_) => return,
+        };
+        let Ok(line) = std::str::from_utf8(&line) else {
+            shared.requests.fetch_add(1, Ordering::SeqCst);
+            obs::counter_add(Counter::ServeRequests, 1);
+            let response = protocol::error(&None, "request line is not valid UTF-8");
+            if writeln!(stream, "{response}")
+                .and_then(|()| stream.flush())
+                .is_err()
+            {
+                return;
+            }
+            continue;
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -286,7 +416,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         let _request_span = obs::span(Phase::ServeRequest);
         shared.requests.fetch_add(1, Ordering::SeqCst);
         obs::counter_add(Counter::ServeRequests, 1);
-        let (id, decoded) = protocol::decode(&line);
+        let (id, decoded) = protocol::decode(line);
         let response = match decoded {
             Err(e) => protocol::error(&id, &e),
             Ok(Request::Health) => protocol::ok_health(&id, &shared.health()),
@@ -303,7 +433,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         let written = writeln!(stream, "{response}").and_then(|()| stream.flush());
         obs::hist_record(Hist::ServeRequestNanos, started.elapsed().as_nanos() as u64);
         if written.is_err() {
-            break;
+            return;
         }
     }
 }
@@ -329,6 +459,7 @@ fn submit(shared: &Shared, request: Request, id: Option<Json>) -> String {
     };
     match shared.queue.try_push(job) {
         Ok(depth) => {
+            shared.admitted.fetch_add(1, Ordering::SeqCst);
             obs::gauge_max(Gauge::QueueDepth, depth as u64);
             receive
                 .recv()
@@ -418,9 +549,28 @@ mod tests {
         handle.join().unwrap();
     }
 
+    /// Blocks until `n` jobs have ever been admitted to the queue —
+    /// the synchronization point tests need before issuing `shutdown`,
+    /// since admitted work is exactly what the drain guarantees.
+    fn wait_for_admitted(shared: &Shared, n: u64) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while shared.admitted.load(Ordering::SeqCst) < n {
+            assert!(Instant::now() < deadline, "job {n} was never admitted");
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
     #[test]
     fn requests_after_shutdown_are_refused_but_admitted_work_finishes() {
-        let (addr, handle) = start(1, 4);
+        let server = Server::bind(&ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 4,
+        })
+        .expect("bind");
+        let shared = Arc::clone(&server.shared);
+        let addr = server.local_addr();
+        let handle = thread::spawn(move || server.run().expect("run"));
         let mut a = TcpStream::connect(addr).unwrap();
         let mut b = TcpStream::connect(addr).unwrap();
 
@@ -431,7 +581,7 @@ mod tests {
         )
         .unwrap();
         a.flush().unwrap();
-        thread::sleep(Duration::from_millis(50));
+        wait_for_admitted(&shared, 1);
 
         // a second job is admitted behind it, then shutdown begins
         let queued = thread::spawn({
@@ -444,16 +594,31 @@ mod tests {
                 )
             }
         });
-        thread::sleep(Duration::from_millis(50));
+        wait_for_admitted(&shared, 2);
         let resp = roundtrip(&mut b, r#"{"type":"shutdown"}"#);
         assert_eq!(resp.get("status").unwrap().as_str(), Some("ok"));
 
-        // post-drain submissions are refused...
-        let resp = roundtrip(
-            &mut b,
-            r#"{"id":"late","type":"stats","db":"a\n","mode":"plain"}"#,
-        );
-        assert_eq!(resp.get("status").unwrap().as_str(), Some("shutting_down"));
+        // Post-drain submissions are refused. The refusal takes one of
+        // two forms, racing the drain's unblock pass: a `shutting_down`
+        // response if the conn thread reads the line first, or a closed
+        // connection if `close_conns` got there first. Either way the
+        // job must not execute — `summary.executed` below pins that.
+        let refused = (|| -> io::Result<String> {
+            writeln!(
+                b,
+                r#"{{"id":"late","type":"stats","db":"a\n","mode":"plain"}}"#
+            )?;
+            b.flush()?;
+            let mut reader = BufReader::new(b.try_clone()?);
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            Ok(line)
+        })()
+        .unwrap_or_default();
+        if !refused.trim().is_empty() {
+            let resp = json::parse(refused.trim_end()).unwrap();
+            assert_eq!(resp.get("status").unwrap().as_str(), Some("shutting_down"));
+        }
 
         // ...but both admitted jobs complete with ok responses
         let resp = queued.join().unwrap();
@@ -468,6 +633,129 @@ mod tests {
 
         let summary = handle.join().unwrap();
         assert_eq!(summary.executed, 2);
+    }
+
+    #[test]
+    fn submissions_after_queue_close_get_shutting_down() {
+        let server = Server::bind(&ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 2,
+        })
+        .expect("bind");
+        server.shared.queue.close();
+        let (_, req) = protocol::decode(r#"{"type":"stats","db":"a\n","mode":"plain"}"#);
+        let response = submit(&server.shared, req.unwrap(), None);
+        let resp = json::parse(&response).unwrap();
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("shutting_down"));
+    }
+
+    #[test]
+    fn disconnected_clients_release_their_registry_entries() {
+        let server = Server::bind(&ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 2,
+        })
+        .expect("bind");
+        let shared = Arc::clone(&server.shared);
+        let addr = server.local_addr();
+        let handle = thread::spawn(move || server.run().expect("run"));
+
+        {
+            let mut client = TcpStream::connect(addr).unwrap();
+            roundtrip(&mut client, r#"{"type":"health"}"#);
+            assert_eq!(shared.conns.lock().unwrap().entries.len(), 1);
+        } // client hangs up here
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !shared.conns.lock().unwrap().entries.is_empty() {
+            assert!(Instant::now() < deadline, "registry entry never released");
+            thread::sleep(Duration::from_millis(10));
+        }
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        roundtrip(&mut client, r#"{"type":"shutdown"}"#);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn registrations_after_drain_are_shut_down_immediately() {
+        let server = Server::bind(&ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 2,
+        })
+        .expect("bind");
+        server.shared.close_conns();
+
+        // A connection that raced the drain and registers late: its read
+        // half must already be shut, not left to block forever.
+        let _client = TcpStream::connect(server.local_addr()).unwrap();
+        let (mut sock, _) = server.listener.accept().unwrap();
+        assert!(server
+            .shared
+            .register_conn(sock.try_clone().unwrap())
+            .is_none());
+        let mut buf = [0u8; 1];
+        use std::io::Read;
+        assert_eq!(
+            sock.read(&mut buf).unwrap(),
+            0,
+            "read should see EOF although the client never sent or closed anything"
+        );
+    }
+
+    #[test]
+    fn oversized_request_lines_get_an_error_and_the_connection_closes() {
+        let (addr, handle) = start(1, 2);
+        let mut client = TcpStream::connect(addr).unwrap();
+
+        let blob = vec![b'x'; MAX_LINE_BYTES + 1];
+        client.write_all(&blob).unwrap();
+        client.flush().unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = json::parse(line.trim_end()).unwrap();
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("error"));
+        assert!(resp
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("exceeds"));
+        // the server closed the connection: next read is EOF
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        roundtrip(&mut client, r#"{"type":"shutdown"}"#);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn invalid_utf8_lines_get_an_error_without_closing_the_connection() {
+        let (addr, handle) = start(1, 2);
+        let mut client = TcpStream::connect(addr).unwrap();
+
+        client.write_all(b"\xff\xfe\n").unwrap();
+        client.flush().unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = json::parse(line.trim_end()).unwrap();
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("error"));
+        assert!(resp
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("UTF-8"));
+
+        // the connection stays usable (framing was intact)
+        let resp = roundtrip(&mut client, r#"{"type":"shutdown"}"#);
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("ok"));
+        handle.join().unwrap();
     }
 
     #[test]
