@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
 """Concurrent smoke client for the CI serve-smoke job.
 
-Usage: serve_smoke.py ADDR_FILE DB_FILE EXPECT_HH_SEED0 EXPECT_RR_SEED7
+Usage: serve_smoke.py ADDR_FILE DB_FILE EXPECT_HH_SEED0 EXPECT_RR_SEED7 \
+                      EXPECT_STRING_SUB
 
 Hammers a running `seqhide serve` instance with concurrent sanitize
 requests and asserts every answered release is byte-identical to the CLI
-ground-truth files, that health and metrics stay responsive while the
-pool is loaded, and that a shutdown request is acknowledged as draining.
-The caller owns process-level checks (exit status, summary line).
+ground-truth files, that the `op` wire field round-trips (string-mode
+substitute parity plus the mark-only rejection), that health and metrics
+stay responsive while the pool is loaded, and that a shutdown request is
+acknowledged as draining. The caller owns process-level checks (exit
+status, summary line).
 """
 import json
 import socket
@@ -31,7 +34,7 @@ def rpc(addr, *requests):
 
 
 def main():
-    addr_file, db_file, expect_hh, expect_rr = sys.argv[1:5]
+    addr_file, db_file, expect_hh, expect_rr, expect_string = sys.argv[1:6]
     with open(addr_file) as fh:
         addr = fh.read().strip()
     with open(db_file) as fh:
@@ -41,6 +44,8 @@ def main():
         expected[("hh", 0)] = fh.read()
     with open(expect_rr) as fh:
         expected[("rr", 7)] = fh.read()
+    with open(expect_string) as fh:
+        expected_string = fh.read()
 
     failures = []
     ok_count = [0]
@@ -86,6 +91,39 @@ def main():
         sys.exit("\n".join(failures))
     assert ok_count[0] > 0, "every request was shed; nothing verified"
 
+    # The DistortOp wire field: a string-mode substitute release matches
+    # the CLI's `--domain string --op substitute` run byte for byte, and
+    # an edit op on a mark-only mode is shed with a pointed error.
+    (resp,) = rpc(
+        addr,
+        {
+            "id": "string-sub",
+            "type": "sanitize",
+            "db": db,
+            "mode": "string",
+            "patterns": [PATTERN],
+            "psi": PSI,
+            "op": "substitute",
+        },
+    )
+    assert resp.get("status") == "ok", resp
+    assert resp["release"] == expected_string, (
+        "string-mode substitute release diverged from the CLI"
+    )
+    (resp,) = rpc(
+        addr,
+        {
+            "id": "op-reject",
+            "type": "sanitize",
+            "db": db,
+            "patterns": [PATTERN],
+            "psi": PSI,
+            "op": "delete",
+        },
+    )
+    assert resp.get("status") == "error", resp
+    assert '"mode":"string"' in resp.get("error", ""), resp
+
     (metrics,) = rpc(addr, {"type": "metrics"})
     assert metrics["status"] == "ok", metrics
     snap = metrics["metrics"]
@@ -98,7 +136,8 @@ def main():
     assert bye["status"] == "ok" and bye["draining"] is True, bye
     print(
         "serve smoke: %d/%d releases byte-identical to the CLI; "
-        "health, metrics and shutdown all OK" % (ok_count[0], 2 * CLIENTS)
+        "string-mode op parity, health, metrics and shutdown all OK"
+        % (ok_count[0], 2 * CLIENTS)
     )
 
 

@@ -20,7 +20,7 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use seqhide_match::{supports, SensitiveSet};
+use seqhide_match::{supports, PatternDomain, SensitiveSet};
 use seqhide_obs::{self as obs, Phase};
 use seqhide_types::{SequenceDb, Symbol};
 
@@ -107,6 +107,45 @@ pub fn delete_markers_safe_with(
         extra_marks += added;
         current = delete_markers(&current);
         rounds += 1;
+    }
+}
+
+/// [`delete_markers_safe`] for **any** [`PatternDomain`] — the post-delete
+/// loop expressed through the same op semantics that drive sanitization,
+/// instead of a per-family special case bolted onto the plain path.
+///
+/// `delete` removes the marked slots of one sequence in place (plain:
+/// drop `Δ` symbols; itemset: drop `Δ` item slots and empty elements;
+/// timed: drop `Δ` events, tags untouched). After each deletion sweep the
+/// domain re-verifies every pattern against the shortened database; any
+/// family the deletion resurrected (index shifts shrink positional gaps)
+/// is re-sanitized through [`Sanitizer::run_domain`] and the loop repeats.
+/// Terminates for the usual reason: every continuing round adds ≥ 1 mark
+/// and the next sweep strictly shortens some sequence.
+pub fn delete_markers_safe_domain<D: PatternDomain>(
+    db: &mut [D::Seq],
+    domain: &mut D,
+    psi: usize,
+    sanitizer: &Sanitizer,
+    mut delete: impl FnMut(&mut D::Seq) -> usize,
+) -> DeleteReport {
+    let _span = obs::span(Phase::Post);
+    let mut rounds = 0;
+    let mut extra_marks = 0;
+    loop {
+        for t in db.iter_mut() {
+            delete(t);
+        }
+        rounds += 1;
+        let hidden = (0..domain.pattern_count())
+            .all(|k| db.iter().filter(|t| domain.supports_pattern(t, k)).count() <= psi);
+        if hidden {
+            return DeleteReport {
+                rounds,
+                extra_marks,
+            };
+        }
+        extra_marks += sanitizer.run_domain(db, domain).marks_introduced;
     }
 }
 
@@ -244,6 +283,88 @@ mod tests {
         assert_eq!(safe.total_marks(), 0);
         assert!(report.rounds >= 2);
         assert!(report.extra_marks >= 1);
+    }
+
+    #[test]
+    fn domain_delete_reverifies_gap_constrained_families() {
+        use seqhide_match::MatchEngine;
+        use seqhide_num::Sat64;
+        // The generic domain loop must catch the same resurrection the
+        // plain-path loop does: ⟨a Δ b⟩ under adjacent-gap a→⁰b glues
+        // into a fresh occurrence when the Δ is deleted.
+        let mut db = SequenceDb::parse("a x b\n");
+        let ab = Sequence::parse("a b", db.alphabet_mut());
+        let adj = SensitivePattern::new(ab, ConstraintSet::uniform_gap(Gap::adjacent())).unwrap();
+        let sh = SensitiveSet::from_patterns(vec![adj]);
+        db.sequences_mut()[0].mark(1); // collateral mark on x
+        let mut seqs: Vec<Sequence> = db.sequences().to_vec();
+        let mut domain = MatchEngine::<Sat64>::new(&sh);
+        let report = delete_markers_safe_domain(
+            &mut seqs,
+            &mut domain,
+            0,
+            &Sanitizer::hh(0),
+            |t: &mut Sequence| {
+                let before = t.len();
+                *t = t.without_marks();
+                before - t.len()
+            },
+        );
+        assert!(report.rounds >= 2, "deletion must have resurrected once");
+        assert!(report.extra_marks >= 1);
+        assert!(seqs.iter().all(|t| !t.has_marks()));
+        let mut check = MatchEngine::<Sat64>::new(&sh);
+        assert!(!check.supports_pattern(&seqs[0], 0));
+    }
+
+    #[test]
+    fn timed_domain_delete_converges_without_resurrection() {
+        use crate::timed::{
+            sanitize_timed_db, supports_timed, TimeConstraints, TimeGap, TimedDomain, TimedPattern,
+        };
+        use crate::LocalStrategy;
+        use seqhide_num::Sat64;
+        use seqhide_types::TimedSequence;
+        // Deleting a marked event leaves every surviving tag unchanged, so
+        // time-expressed gaps — unlike positional gaps — can never
+        // resurrect an occurrence: the loop must settle in one round.
+        let p = TimedPattern::new(
+            Sequence::from_ids([0, 1]),
+            TimeConstraints::uniform_gap(TimeGap {
+                min: 0,
+                max: Some(4),
+            }),
+        )
+        .unwrap();
+        let mut db = vec![
+            TimedSequence::from_pairs([(0, 0), (1, 2)]),
+            TimedSequence::from_pairs([(0, 0), (1, 9)]),
+        ];
+        let r = sanitize_timed_db(
+            &mut db,
+            std::slice::from_ref(&p),
+            0,
+            LocalStrategy::Heuristic,
+            0,
+        );
+        assert!(r.hidden && r.marks_introduced >= 1);
+        let mut domain = TimedDomain::<Sat64>::new(std::slice::from_ref(&p));
+        let report = delete_markers_safe_domain(
+            &mut db,
+            &mut domain,
+            0,
+            &Sanitizer::hh(0),
+            TimedSequence::delete_marked,
+        );
+        assert_eq!(
+            report,
+            DeleteReport {
+                rounds: 1,
+                extra_marks: 0
+            }
+        );
+        assert!(db.iter().all(|t| t.mark_count() == 0));
+        assert!(db.iter().all(|t| !supports_timed(t, &p)));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use rand::seq::IndexedRandom;
 use rand::Rng;
 use seqhide_num::Count;
 use seqhide_obs::Phase;
-use seqhide_types::{ItemsetSequence, Sequence, Symbol};
+use seqhide_types::{ItemsetSequence, OpKind, Sequence, Symbol};
 
 use crate::counting::matching_size;
 use crate::delta::{argmax_delta, delta_all};
@@ -86,6 +86,21 @@ pub enum LocalStrategy {
 /// position must strictly decrease the total occurrence count and
 /// introduce no new occurrences (marks match nothing — Theorem 1's
 /// argument), so the marking loop terminates.
+///
+/// # Edit-operation contract
+///
+/// `distort` applies the operator family the domain was configured with
+/// ([`set_op`](PatternDomain::set_op); `Mark` by default). The termination
+/// contract binds **every** family: a `Delete` must never splice two
+/// fragments into a fresh sensitive occurrence across the deletion
+/// junction, and a `Substitute` must never choose a replacement symbol
+/// that participates in one — when no safe edit exists at the chosen
+/// position the domain falls back to `Mark`, which is always safe.
+/// Deletion additionally shifts every later index, so any positional state
+/// (δ buffers, prefix tables, gap distances) must be re-derived, not
+/// repaired, after a delete; domains whose incremental repair assumes
+/// stable positions advertise `Mark` only via
+/// [`supported_ops`](PatternDomain::supported_ops).
 pub trait PatternDomain {
     /// The sequence type this domain sanitizes.
     type Seq: Default + Send;
@@ -107,6 +122,22 @@ pub trait PatternDomain {
     /// Number of sensitive patterns (arity of the residual-support
     /// vector).
     fn pattern_count(&self) -> usize;
+
+    /// The operator families this domain can apply. The default is the
+    /// paper's: Δ-marking only. Domains that re-derive their counts per
+    /// edit and enforce the no-new-occurrence guard may advertise
+    /// `Delete`/`Substitute` too.
+    fn supported_ops(&self) -> &'static [OpKind] {
+        &[OpKind::Mark]
+    }
+
+    /// Configures the operator family `distort` applies. Returns `false`
+    /// (leaving the domain unchanged) when `op` is not in
+    /// [`supported_ops`](PatternDomain::supported_ops) — callers surface
+    /// that as a capability error, they do not fall back silently.
+    fn set_op(&mut self, op: OpKind) -> bool {
+        op == OpKind::Mark
+    }
 
     /// Whether `t` supports at least one sensitive pattern. The default
     /// asks for the full count; implementations with a cheaper boolean
@@ -509,6 +540,20 @@ mod tests {
         // marking the paper's b kills every occurrence at once
         assert_eq!(PatternDomain::argmax(&mut eng, &mut t), None);
         assert!(!PatternDomain::supports_pattern(&mut eng, &t, 0));
+    }
+
+    /// All domains in this crate keep the paper's operator model: Δ-mark
+    /// only, and `set_op` refuses anything else without mutating state.
+    #[test]
+    fn mark_only_domains_reject_edit_ops() {
+        let (sh, _, _) = setup();
+        let mut eng = MatchEngine::<Sat64>::new(&sh);
+        assert_eq!(PatternDomain::supported_ops(&eng), &[OpKind::Mark]);
+        assert!(eng.set_op(OpKind::Mark));
+        assert!(!eng.set_op(OpKind::Delete));
+        assert!(!eng.set_op(OpKind::Substitute));
+        let mut scr = ScratchDomain::<Sat64>::new(&sh);
+        assert!(!scr.set_op(OpKind::Delete));
     }
 
     #[test]

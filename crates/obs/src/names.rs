@@ -18,6 +18,7 @@
 /// regex_sanitize
 /// itemset_sanitize
 /// timed_sanitize
+/// string_sanitize
 /// st_sanitize
 /// post
 /// stream_pass1
@@ -54,6 +55,8 @@ pub enum Phase {
     ItemsetSanitize,
     /// Timed-sequence sanitization sweep (§7.2).
     TimedSanitize,
+    /// Contiguous-substring sanitization sweep (string domain).
+    StringSanitize,
     /// Spatio-temporal sanitization sweep (§7.3).
     StSanitize,
     /// Δ-deletion / Δ-replacement post-processing.
@@ -70,7 +73,7 @@ pub enum Phase {
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// Every phase, in declaration order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -85,6 +88,7 @@ impl Phase {
         Phase::RegexSanitize,
         Phase::ItemsetSanitize,
         Phase::TimedSanitize,
+        Phase::StringSanitize,
         Phase::StSanitize,
         Phase::Post,
         Phase::StreamPass1,
@@ -107,6 +111,7 @@ impl Phase {
             Phase::RegexSanitize => "regex_sanitize",
             Phase::ItemsetSanitize => "itemset_sanitize",
             Phase::TimedSanitize => "timed_sanitize",
+            Phase::StringSanitize => "string_sanitize",
             Phase::StSanitize => "st_sanitize",
             Phase::Post => "post",
             Phase::StreamPass1 => "stream_pass1",
@@ -124,6 +129,7 @@ impl Phase {
             | Phase::RegexSanitize
             | Phase::ItemsetSanitize
             | Phase::TimedSanitize
+            | Phase::StringSanitize
             | Phase::StSanitize
             | Phase::Post
             | Phase::StreamPass1

@@ -20,7 +20,8 @@ use seqhide_match::itemset::ItemsetPattern;
 use seqhide_match::{ConstraintSet, Gap, ItemsetMatchEngine, SensitivePattern, SensitiveSet};
 use seqhide_num::Sat64;
 use seqhide_re::{RegexDomain, RegexPattern};
-use seqhide_types::{Sequence, SequenceDb};
+use seqhide_string::{StringDomain, StringPattern};
+use seqhide_types::{OpKind, Sequence, SequenceDb};
 
 /// Which line format (and pattern class) a request's `db` text uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,6 +32,10 @@ pub enum Mode {
     Itemset,
     /// `symbol@tick` events; gaps measured in elapsed ticks.
     Timed,
+    /// Plain line format, but patterns are *contiguous substrings* and
+    /// the `op` field selects the edit family (the CLI's
+    /// `--domain string`).
+    String,
 }
 
 impl Mode {
@@ -41,7 +46,10 @@ impl Mode {
             "plain" => Ok(Mode::Plain),
             "itemset" => Ok(Mode::Itemset),
             "timed" => Ok(Mode::Timed),
-            other => Err(format!("unknown mode '{other}' (plain|itemset|timed)")),
+            "string" => Ok(Mode::String),
+            other => Err(format!(
+                "unknown mode '{other}' (plain|itemset|timed|string)"
+            )),
         }
     }
 }
@@ -77,6 +85,9 @@ pub struct SanitizeSpec {
     pub max_gap: Option<u64>,
     /// Maximum whole-match window, if constrained.
     pub max_window: Option<u64>,
+    /// Distortion operator family (the CLI's `--op`); every mode except
+    /// `string` is Δ-mark-only and rejects `delete`/`substitute`.
+    pub op: OpKind,
 }
 
 /// The executed `sanitize` outcome. When a plain-mode request carries
@@ -156,13 +167,21 @@ fn accumulate(outcome: &mut SanitizeOutcome, report: &SanitizeReport) {
 
 /// Executes one `sanitize` request.
 pub fn sanitize(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
+    if spec.op != OpKind::Mark && spec.mode != Mode::String {
+        return Err(format!(
+            "op '{}': this mode is hidden by Δ-marks only; edit operations \
+             (delete|substitute) need \"mode\":\"string\"",
+            spec.op.name()
+        ));
+    }
     match spec.mode {
         Mode::Plain => sanitize_plain(spec),
-        Mode::Itemset | Mode::Timed if !spec.regexes.is_empty() => {
+        Mode::Itemset | Mode::Timed | Mode::String if !spec.regexes.is_empty() => {
             Err("regexes apply to plain mode only".to_string())
         }
         Mode::Itemset => sanitize_itemset(spec),
         Mode::Timed => sanitize_timed(spec),
+        Mode::String => sanitize_string(spec),
     }
 }
 
@@ -271,6 +290,36 @@ fn sanitize_timed(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
     let mut outcome = empty_outcome();
     accumulate(&mut outcome, &report);
     outcome.release = seqhide_data::io::timed_db_to_text(&alphabet, &db);
+    Ok(outcome)
+}
+
+/// String mode: contiguous substrings sanitized by the `op`-selected edit
+/// family, mirroring the CLI's `hide_string` — database parsed (and its
+/// symbols interned) before the patterns, so substitution candidate order
+/// matches and the release is byte-identical.
+fn sanitize_string(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
+    let mut db = SequenceDb::parse(&spec.db);
+    let mut patterns = Vec::new();
+    for text in &spec.patterns {
+        let seq = Sequence::parse(text, db.alphabet_mut());
+        patterns.push(StringPattern::new(seq).map_err(|e| format!("pattern '{text}': {e}"))?);
+    }
+    if patterns.is_empty() {
+        return Err("nothing to hide: give patterns (contiguous substrings)".to_string());
+    }
+    let sigma_len = db.alphabet().len();
+    let op = spec.op;
+    let report = spec
+        .sanitizer(false)
+        .run_domain_threaded(db.sequences_mut(), &|| {
+            StringDomain::<Sat64>::new(&patterns, sigma_len).with_op(op)
+        });
+    if !report.hidden {
+        return Err("internal: sanitizer failed to hide string patterns".to_string());
+    }
+    let mut outcome = empty_outcome();
+    accumulate(&mut outcome, &report);
+    outcome.release = db.to_text();
     Ok(outcome)
 }
 
@@ -395,7 +444,9 @@ pub enum StatsOutcome {
 /// Executes one `stats` request over `db` text in `mode`'s line format.
 pub fn stats(db: &str, mode: Mode) -> Result<StatsOutcome, String> {
     match mode {
-        Mode::Plain => {
+        // String mode shares the plain line format, so its shape
+        // summary is the plain one.
+        Mode::Plain | Mode::String => {
             let parsed = SequenceDb::parse(db);
             let s = parsed.stats();
             Ok(StatsOutcome::Plain {
@@ -459,6 +510,7 @@ mod tests {
             min_gap: 0,
             max_gap: None,
             max_window: None,
+            op: OpKind::Mark,
         }
     }
 
@@ -496,6 +548,32 @@ mod tests {
         spec.regexes = vec!["a (b|c)".to_string()];
         let e = sanitize(&spec).unwrap_err();
         assert!(e.contains("plain mode only"), "{e}");
+    }
+
+    #[test]
+    fn string_mode_edits_and_rejects_ops_elsewhere() {
+        // Substitution rewrites one position per sensitive occurrence;
+        // the release carries no Δ and no surviving occurrence.
+        let mut spec = plain_spec("a b c\na b d\n", &["a b"]);
+        spec.mode = Mode::String;
+        spec.op = OpKind::Substitute;
+        let out = sanitize(&spec).unwrap();
+        assert!(out.hidden);
+        assert!(out.marks > 0, "edits are counted in the marks field");
+        assert!(!out.release.contains('Δ'), "{}", out.release);
+        assert!(!out.release.contains("a b"), "{}", out.release);
+
+        // Deletion shortens the sequences instead.
+        spec.op = OpKind::Delete;
+        let out = sanitize(&spec).unwrap();
+        assert!(out.hidden);
+        assert!(!out.release.contains("a b"), "{}", out.release);
+
+        // Every other mode is Δ-mark-only.
+        let mut spec = plain_spec("a b\n", &["a b"]);
+        spec.op = OpKind::Delete;
+        let e = sanitize(&spec).unwrap_err();
+        assert!(e.contains("mode\":\"string"), "{e}");
     }
 
     #[test]

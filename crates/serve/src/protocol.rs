@@ -22,6 +22,7 @@
 //! The full specification with examples lives in `docs/SERVER.md`.
 
 use seqhide_core::{parse_algorithm, EngineMode};
+use seqhide_types::OpKind;
 
 use crate::exec::{Mode, SanitizeOutcome, SanitizeSpec, StatsOutcome, VerifyOutcome, VerifySpec};
 use crate::json::{self, Json};
@@ -105,6 +106,7 @@ fn decode_doc(doc: &Json) -> Result<Request, String> {
                     "min_gap",
                     "max_gap",
                     "max_window",
+                    "op",
                     "delay_ms",
                 ],
             )?;
@@ -115,6 +117,11 @@ fn decode_doc(doc: &Json) -> Result<Request, String> {
                 None => EngineMode::default(),
                 Some(v) => EngineMode::parse(&v)
                     .ok_or_else(|| format!("unknown engine '{v}' (incremental|scratch)"))?,
+            };
+            let op = match opt_str(doc, "op")? {
+                None => OpKind::Mark,
+                Some(v) => OpKind::parse(&v)
+                    .ok_or_else(|| format!("unknown op '{v}' (mark|delete|substitute)"))?,
             };
             let spec = SanitizeSpec {
                 db: required_str(doc, "db")?,
@@ -130,6 +137,7 @@ fn decode_doc(doc: &Json) -> Result<Request, String> {
                 min_gap: u64_or(doc, "min_gap", 0)?,
                 max_gap: opt_u64(doc, "max_gap")?,
                 max_window: opt_u64(doc, "max_window")?,
+                op,
             };
             let delay_ms = u64_or(doc, "delay_ms", 0)?;
             if delay_ms > MAX_DELAY_MS {
@@ -497,7 +505,26 @@ mod tests {
         assert!(!spec.exact);
         assert_eq!(spec.min_gap, 0);
         assert_eq!(spec.max_gap, None);
+        assert_eq!(spec.op, OpKind::Mark);
         assert_eq!(delay_ms, 0);
+    }
+
+    #[test]
+    fn sanitize_decodes_the_op_field() {
+        let (_, req) = decode(
+            r#"{"type":"sanitize","db":"a b\n","mode":"string","patterns":["a b"],
+                "psi":0,"op":"substitute"}"#,
+        );
+        let Request::Sanitize { spec, .. } = req.unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(spec.mode, Mode::String);
+        assert_eq!(spec.op, OpKind::Substitute);
+
+        let (_, req) = decode(r#"{"type":"sanitize","db":"a\n","psi":0,"op":"shred"}"#);
+        assert!(req
+            .unwrap_err()
+            .contains("unknown op 'shred' (mark|delete|substitute)"));
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! A hand-rolled Aho–Corasick automaton over interned symbol ids.
+//!
+//! The substring domain needs to enumerate every occurrence of every
+//! sensitive substring in one pass — occurrence spans feed both the
+//! per-position δ and the per-pattern residual-support check. No external
+//! string-matching crate is on the allow-list, so this is the classical
+//! construction (goto trie, BFS failure links, outputs merged along
+//! suffix links), specialised to what the domain asks:
+//!
+//! * transitions are sparse per-state sorted vectors — sensitive sets are
+//!   a handful of short patterns, not dictionaries;
+//! * the mark `Δ` (and any symbol absent from every pattern) resets
+//!   matching through the failure chain to the root, which is exactly the
+//!   "marks match nothing" semantics of the rest of the stack.
+
+use seqhide_types::Symbol;
+
+/// One trie state: sorted outgoing edges, failure link, and the patterns
+/// whose occurrences end here (own outputs plus everything inherited from
+/// the suffix chain).
+struct State {
+    edges: Vec<(u32, u32)>,
+    fail: u32,
+    outputs: Vec<u32>,
+}
+
+/// Aho–Corasick over a fixed pattern set. Patterns keep their input index
+/// (duplicates each report separately) and their length, so a match
+/// callback receives full spans.
+pub(crate) struct AhoCorasick {
+    states: Vec<State>,
+    lengths: Vec<usize>,
+}
+
+impl AhoCorasick {
+    /// Builds the automaton. Patterns must be non-empty and mark-free
+    /// (validated by [`StringPattern::new`](crate::StringPattern)).
+    pub(crate) fn new<'a, I>(patterns: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [Symbol]>,
+    {
+        let mut states = vec![State {
+            edges: Vec::new(),
+            fail: 0,
+            outputs: Vec::new(),
+        }];
+        let mut lengths = Vec::new();
+        for (k, pat) in patterns.into_iter().enumerate() {
+            debug_assert!(!pat.is_empty(), "substring patterns are non-empty");
+            let mut s = 0u32;
+            for &sym in pat {
+                debug_assert!(!sym.is_mark(), "substring patterns are mark-free");
+                let id = sym.id();
+                s = match states[s as usize].edges.binary_search_by_key(&id, |e| e.0) {
+                    Ok(i) => states[s as usize].edges[i].1,
+                    Err(i) => {
+                        let next = states.len() as u32;
+                        states[s as usize].edges.insert(i, (id, next));
+                        states.push(State {
+                            edges: Vec::new(),
+                            fail: 0,
+                            outputs: Vec::new(),
+                        });
+                        next
+                    }
+                };
+            }
+            states[s as usize].outputs.push(k as u32);
+            lengths.push(pat.len());
+        }
+        // BFS failure links; outputs inherit from the failure target so a
+        // single state visit reports every pattern ending at this position.
+        let mut queue: Vec<u32> = states[0].edges.iter().map(|&(_, n)| n).collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let s = queue[head];
+            head += 1;
+            let edges = states[s as usize].edges.clone();
+            for (sym, next) in edges {
+                let mut f = states[s as usize].fail;
+                let fail = loop {
+                    if let Ok(i) = states[f as usize].edges.binary_search_by_key(&sym, |e| e.0) {
+                        let cand = states[f as usize].edges[i].1;
+                        if cand != next {
+                            break cand;
+                        }
+                    }
+                    if f == 0 {
+                        break 0;
+                    }
+                    f = states[f as usize].fail;
+                };
+                states[next as usize].fail = fail;
+                let inherited = states[fail as usize].outputs.clone();
+                states[next as usize].outputs.extend(inherited);
+                queue.push(next);
+            }
+        }
+        AhoCorasick { states, lengths }
+    }
+
+    /// Length of the longest pattern.
+    pub(crate) fn max_len(&self) -> usize {
+        self.lengths.iter().copied().max().unwrap_or(0)
+    }
+
+    fn step(&self, mut s: u32, sym: Symbol) -> u32 {
+        if sym.is_mark() {
+            // Δ matches nothing: any in-flight occurrence dies here.
+            return 0;
+        }
+        let id = sym.id();
+        loop {
+            if let Ok(i) = self.states[s as usize]
+                .edges
+                .binary_search_by_key(&id, |e| e.0)
+            {
+                return self.states[s as usize].edges[i].1;
+            }
+            if s == 0 {
+                return 0;
+            }
+            s = self.states[s as usize].fail;
+        }
+    }
+
+    /// Calls `f(pattern, start, end)` (inclusive 0-based span) for every
+    /// occurrence of every pattern in `syms`, in end-position order.
+    pub(crate) fn for_each_occurrence<F: FnMut(usize, usize, usize)>(
+        &self,
+        syms: &[Symbol],
+        mut f: F,
+    ) {
+        let mut s = 0u32;
+        for (j, &sym) in syms.iter().enumerate() {
+            s = self.step(s, sym);
+            for &k in &self.states[s as usize].outputs {
+                let len = self.lengths[k as usize];
+                f(k as usize, j + 1 - len, j);
+            }
+        }
+    }
+
+    /// Total number of occurrences (all patterns) in `syms`.
+    pub(crate) fn count_occurrences(&self, syms: &[Symbol]) -> u64 {
+        let mut n = 0u64;
+        self.for_each_occurrence(syms, |_, _, _| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(ids: &[u32]) -> Vec<Symbol> {
+        ids.iter().map(|&i| Symbol::new(i)).collect()
+    }
+
+    #[test]
+    fn finds_overlapping_and_nested_occurrences() {
+        // patterns: "ab", "b", "bab" over a=0 b=1, text "abab"
+        let pats = [sym(&[0, 1]), sym(&[1]), sym(&[1, 0, 1])];
+        let ac = AhoCorasick::new(pats.iter().map(Vec::as_slice));
+        let text = sym(&[0, 1, 0, 1]);
+        let mut found = Vec::new();
+        ac.for_each_occurrence(&text, |k, s, e| found.push((k, s, e)));
+        found.sort_unstable();
+        assert_eq!(
+            found,
+            vec![(0, 0, 1), (0, 2, 3), (1, 1, 1), (1, 3, 3), (2, 1, 3)]
+        );
+        assert_eq!(ac.count_occurrences(&text), 5);
+        assert_eq!(ac.max_len(), 3);
+    }
+
+    #[test]
+    fn duplicate_patterns_each_report() {
+        let pats = [sym(&[4]), sym(&[4])];
+        let ac = AhoCorasick::new(pats.iter().map(Vec::as_slice));
+        assert_eq!(ac.count_occurrences(&sym(&[4, 4])), 4);
+    }
+
+    #[test]
+    fn mark_breaks_occurrences() {
+        let pats = [sym(&[0, 1])];
+        let ac = AhoCorasick::new(pats.iter().map(Vec::as_slice));
+        let mut text = sym(&[0, 1]);
+        assert_eq!(ac.count_occurrences(&text), 1);
+        text[1] = Symbol::MARK;
+        assert_eq!(ac.count_occurrences(&text), 0);
+        // a mark inside a would-be span also kills restarts cleanly
+        let text = vec![Symbol::new(0), Symbol::MARK, Symbol::new(0), Symbol::new(1)];
+        assert_eq!(ac.count_occurrences(&text), 1);
+    }
+
+    #[test]
+    fn foreign_symbols_reset_to_root() {
+        let pats = [sym(&[0, 0])];
+        let ac = AhoCorasick::new(pats.iter().map(Vec::as_slice));
+        assert_eq!(ac.count_occurrences(&sym(&[0, 9, 0, 0])), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Distortion measures M1/M2/M3 adapted to contiguous substrings.
+//!
+//! The paper's M2/M3 compare the *frequent subsequence* sets of `D` and
+//! `D'`; for the substring domain the analogous utility currency is the
+//! frequent **n-gram** set. One deliberate difference from
+//! `seqhide_core::metrics::distortion`: marking can only *lose* frequent
+//! patterns, but deletion and substitution can also *create* frequent
+//! n-grams that never occurred in `D` (a substitution writes a real
+//! symbol, a deletion makes two fragments adjacent) — so the ghost count
+//! here is load-bearing, not a paranoia check, and the mark-only
+//! `after ⊆ before` assertion of the subsequence metrics does not apply.
+
+use std::collections::HashSet;
+
+use seqhide_types::{Sequence, Symbol};
+
+/// Substring-adapted distortion: M1 plus the frequent-n-gram deltas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubstringDistortionReport {
+    /// M1: total edits applied (marks + deletes + substitutions).
+    pub m1_edits: usize,
+    /// Frequent n-grams of `before` (support ≥ σ, length ≤ `max_len`).
+    pub frequent_before: usize,
+    /// M2: n-grams frequent in `before` but no longer in `after` (lost).
+    pub m2_lost: usize,
+    /// M3: n-grams frequent in `after` that were not frequent in `before`
+    /// (ghosts — possible under delete/substitute, impossible under
+    /// mark-only sanitization).
+    pub m3_ghost: usize,
+}
+
+/// Every distinct n-gram of length `1..=max_len` with sequence-support
+/// ≥ `sigma` (marks never participate — an n-gram containing `Δ` is not a
+/// substring of `Σ*`).
+fn frequent_ngrams(db: &[Sequence], sigma: usize, max_len: usize) -> HashSet<Vec<Symbol>> {
+    use std::collections::HashMap;
+    let mut support: HashMap<Vec<Symbol>, usize> = HashMap::new();
+    let mut seen: HashSet<Vec<Symbol>> = HashSet::new();
+    for t in db {
+        seen.clear();
+        let syms = t.symbols();
+        for start in 0..syms.len() {
+            for len in 1..=max_len.min(syms.len() - start) {
+                let gram = &syms[start..start + len];
+                if gram[len - 1].is_mark() {
+                    break; // every longer gram from `start` contains Δ too
+                }
+                if seen.insert(gram.to_vec()) {
+                    *support.entry(gram.to_vec()).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    support
+        .into_iter()
+        .filter_map(|(g, n)| (n >= sigma).then_some(g))
+        .collect()
+}
+
+/// Measures substring distortion between `before` and `after` releases:
+/// frequent n-grams (support ≥ `sigma`, length ≤ `max_len`) lost (M2) and
+/// created (M3), with `m1_edits` supplied by the caller (edit counts live
+/// in the sanitize report / journal, not in the released text — a delete
+/// leaves no textual trace).
+pub fn substring_distortion(
+    before: &[Sequence],
+    after: &[Sequence],
+    sigma: usize,
+    max_len: usize,
+    m1_edits: usize,
+) -> SubstringDistortionReport {
+    let fb = frequent_ngrams(before, sigma, max_len);
+    let fa = frequent_ngrams(after, sigma, max_len);
+    SubstringDistortionReport {
+        m1_edits,
+        frequent_before: fb.len(),
+        m2_lost: fb.difference(&fa).count(),
+        m3_ghost: fa.difference(&fb).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqhide_types::Alphabet;
+
+    fn db(lines: &[&str], sigma: &mut Alphabet) -> Vec<Sequence> {
+        lines.iter().map(|l| Sequence::parse(l, sigma)).collect()
+    }
+
+    #[test]
+    fn mark_only_sanitization_loses_but_never_creates() {
+        let mut sigma = Alphabet::new();
+        let before = db(&["a b c", "a b d", "a b e"], &mut sigma);
+        let mut after = before.clone();
+        for t in &mut after {
+            t.mark(1); // kill every "a b"
+        }
+        let r = substring_distortion(&before, &after, 2, 2, 3);
+        assert_eq!(r.m1_edits, 3);
+        // lost: "b" and "a b" (support 3 → 0); "a" stays frequent
+        assert_eq!(r.m2_lost, 2);
+        assert_eq!(r.m3_ghost, 0);
+    }
+
+    #[test]
+    fn deletion_can_create_ghost_ngrams() {
+        let mut sigma = Alphabet::new();
+        let before = db(&["a x c", "a y c"], &mut sigma);
+        let mut after = before.clone();
+        for t in &mut after {
+            t.delete(1); // both become "a c": a fresh frequent bigram
+        }
+        let r = substring_distortion(&before, &after, 2, 2, 2);
+        assert_eq!(r.m3_ghost, 1); // "a c"
+        assert_eq!(r.m2_lost, 0); // "x"/"y" had support 1, never frequent
+    }
+
+    #[test]
+    fn ngrams_spanning_marks_do_not_count() {
+        let mut sigma = Alphabet::new();
+        let before = db(&["a b", "a b"], &mut sigma);
+        let mut after = before.clone();
+        after[0].mark(0);
+        after[1].mark(0);
+        let r = substring_distortion(&before, &after, 2, 2, 2);
+        // "a" and "a b" lost; "b" survives (Δ-grams are not substrings)
+        assert_eq!(r.m2_lost, 2);
+        assert_eq!(r.m3_ghost, 0);
+    }
+}

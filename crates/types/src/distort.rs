@@ -1,0 +1,192 @@
+//! Distortion operations beyond Δ-marking.
+//!
+//! The paper sanitizes by one fixed operation — replacing a symbol with the
+//! mark `Δ` — but the string-sanitization line of work (Bernardini et al.,
+//! arXiv:1906.11030; Mieno et al., arXiv:2007.08179) hides *contiguous
+//! substrings* by deletion and substitution. [`DistortOp`] names the three
+//! edit operations a sanitizer may apply to one position, [`OpKind`] is the
+//! operator *family* a run is configured with (substitution picks its
+//! replacement symbol per edit, so the CLI selects a kind, not a concrete
+//! op), and [`AppliedEdit`]/[`EditJournal`] record what was actually done to
+//! a sequence — the provenance a second-stage pass or an audit needs once
+//! deletion starts shifting indices.
+
+use std::fmt;
+
+use crate::Symbol;
+
+/// One concrete edit applied to a single position of a sequence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum DistortOp {
+    /// Replace the symbol with the mark `Δ` (the paper's operator).
+    /// Positions are preserved; `Δ` matches nothing.
+    Mark,
+    /// Remove the element entirely. Every later index shifts left by one,
+    /// so gap/window distances change — domains that accept deletion must
+    /// re-derive their counts after each delete, and must refuse a delete
+    /// that would splice a new sensitive occurrence together.
+    Delete,
+    /// Replace the symbol with another alphabet symbol. Unlike `Δ` the
+    /// replacement *can* participate in matches, so domains must verify the
+    /// chosen symbol creates no new sensitive occurrence before applying.
+    Substitute(Symbol),
+}
+
+impl DistortOp {
+    /// The family this concrete op belongs to.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            DistortOp::Mark => OpKind::Mark,
+            DistortOp::Delete => OpKind::Delete,
+            DistortOp::Substitute(_) => OpKind::Substitute,
+        }
+    }
+}
+
+/// The operator family a sanitization run is configured with
+/// (`hide --op mark|delete|substitute`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
+pub enum OpKind {
+    /// Δ-marking — supported by every domain.
+    #[default]
+    Mark,
+    /// Deletion — index-shifting; only domains that re-derive counts per
+    /// edit and guard against spliced occurrences accept it.
+    Delete,
+    /// Substitution with a non-Δ symbol chosen per edit.
+    Substitute,
+}
+
+impl OpKind {
+    /// All operator families, in CLI documentation order.
+    pub const ALL: [OpKind; 3] = [OpKind::Mark, OpKind::Delete, OpKind::Substitute];
+
+    /// Parses a CLI/wire name (`"mark"`, `"delete"`, `"substitute"`).
+    pub fn parse(name: &str) -> Option<OpKind> {
+        match name {
+            "mark" => Some(OpKind::Mark),
+            "delete" => Some(OpKind::Delete),
+            "substitute" => Some(OpKind::Substitute),
+            _ => None,
+        }
+    }
+
+    /// The stable CLI/wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Mark => "mark",
+            OpKind::Delete => "delete",
+            OpKind::Substitute => "substitute",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One edit as applied: the position it targeted and the concrete op.
+///
+/// For `Delete`, `pos` is the index *at application time* — earlier
+/// deletes in the same journal have already shifted it, so replaying a
+/// journal in order reproduces the edited sequence exactly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AppliedEdit {
+    /// 0-based position in the sequence as it stood when the edit ran.
+    pub pos: usize,
+    /// What was done there.
+    pub op: DistortOp,
+}
+
+/// The edit provenance of one sanitization run: every [`AppliedEdit`] in
+/// application order, with per-family tallies for reporting.
+#[derive(Clone, Debug, Default)]
+pub struct EditJournal {
+    edits: Vec<AppliedEdit>,
+}
+
+impl EditJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        EditJournal::default()
+    }
+
+    /// Records one applied edit.
+    pub fn record(&mut self, pos: usize, op: DistortOp) {
+        self.edits.push(AppliedEdit { pos, op });
+    }
+
+    /// The edits in application order.
+    pub fn edits(&self) -> &[AppliedEdit] {
+        &self.edits
+    }
+
+    /// Total number of edits.
+    pub fn len(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// Whether no edit was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Number of edits of the given family.
+    pub fn count_of(&self, kind: OpKind) -> usize {
+        self.edits.iter().filter(|e| e.op.kind() == kind).count()
+    }
+
+    /// Drops all recorded edits.
+    pub fn clear(&mut self) {
+        self.edits.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_kind_round_trips_names() {
+        for kind in OpKind::ALL {
+            assert_eq!(OpKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(OpKind::parse("replace"), None);
+        assert_eq!(OpKind::default(), OpKind::Mark);
+    }
+
+    #[test]
+    fn distort_op_kind_projection() {
+        assert_eq!(DistortOp::Mark.kind(), OpKind::Mark);
+        assert_eq!(DistortOp::Delete.kind(), OpKind::Delete);
+        assert_eq!(
+            DistortOp::Substitute(Symbol::new(3)).kind(),
+            OpKind::Substitute
+        );
+    }
+
+    #[test]
+    fn journal_records_and_tallies() {
+        let mut j = EditJournal::new();
+        assert!(j.is_empty());
+        j.record(2, DistortOp::Mark);
+        j.record(5, DistortOp::Delete);
+        j.record(1, DistortOp::Substitute(Symbol::new(7)));
+        j.record(0, DistortOp::Delete);
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.count_of(OpKind::Mark), 1);
+        assert_eq!(j.count_of(OpKind::Delete), 2);
+        assert_eq!(j.count_of(OpKind::Substitute), 1);
+        assert_eq!(
+            j.edits()[1],
+            AppliedEdit {
+                pos: 5,
+                op: DistortOp::Delete
+            }
+        );
+        j.clear();
+        assert!(j.is_empty());
+    }
+}

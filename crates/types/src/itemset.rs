@@ -87,6 +87,13 @@ impl Itemset {
         self.0.iter().copied().filter(|s| !s.is_mark())
     }
 
+    /// Removes every marked slot, returning how many were removed.
+    pub fn delete_marked(&mut self) -> usize {
+        let before = self.0.len();
+        self.0.retain(|s| !s.is_mark());
+        before - self.0.len()
+    }
+
     /// Renders with names from `alphabet`, e.g. `{a b Δ}`.
     pub fn render(&self, alphabet: &Alphabet) -> String {
         let body: Vec<String> = self.0.iter().map(|&s| alphabet.render(s)).collect();
@@ -151,6 +158,16 @@ impl ItemsetSequence {
     /// Total marked item slots across all elements (M1 contribution).
     pub fn mark_count(&self) -> usize {
         self.0.iter().map(Itemset::mark_count).sum()
+    }
+
+    /// Removes every marked slot and drops elements left empty, returning
+    /// the number of slots removed. Dropping an element shifts element
+    /// positions, so gap-constrained occurrences can reappear — run the
+    /// safe post-deletion loop when constraints are in play.
+    pub fn delete_marked(&mut self) -> usize {
+        let removed = self.0.iter_mut().map(Itemset::delete_marked).sum();
+        self.0.retain(|e| !e.is_empty());
+        removed
     }
 
     /// Renders with names from `alphabet`.
@@ -230,6 +247,17 @@ mod tests {
         t.elements_mut()[1].mark_item(Symbol::new(3));
         assert_eq!(t.mark_count(), 2);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn delete_marked_drops_slots_and_empty_elements() {
+        let mut t = ItemsetSequence::from_ids([vec![1, 2], vec![3], vec![4]]);
+        t.elements_mut()[0].mark_item(Symbol::new(1));
+        t.elements_mut()[1].mark_item(Symbol::new(3));
+        assert_eq!(t.delete_marked(), 2);
+        assert_eq!(t.len(), 2); // the all-marked {3} element is gone
+        assert_eq!(t.mark_count(), 0);
+        assert_eq!(t.elements()[0].items(), &[Symbol::new(2)]);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`Alphabet`] — an interner mapping symbol names (e.g. grid cells
 //!   `X6Y3`) to compact ids;
 //! * [`Sequence`] — a finite sequence of symbols, the element type of `D`;
+//! * [`DistortOp`] / [`OpKind`] / [`EditJournal`] — the sanitization edit
+//!   model (mark / delete / substitute) and per-sequence edit provenance;
 //! * [`SequenceDb`] — the database `D` itself;
 //! * [`Itemset`] / [`ItemsetSequence`] — the classical sequential-pattern
 //!   setting of §7.1 (sequences of sets of items);
@@ -27,6 +29,7 @@
 
 mod alphabet;
 mod db;
+mod distort;
 mod itemset;
 mod sequence;
 mod symbol;
@@ -34,6 +37,7 @@ mod timed;
 
 pub use alphabet::Alphabet;
 pub use db::{DbStats, SequenceDb};
+pub use distort::{AppliedEdit, DistortOp, EditJournal, OpKind};
 pub use itemset::{Itemset, ItemsetSequence};
 pub use sequence::Sequence;
 pub use symbol::Symbol;

@@ -94,6 +94,17 @@ impl Sequence {
         std::mem::replace(&mut self.0[pos], s)
     }
 
+    /// Removes the element at 0-based `pos` **in place**, returning the
+    /// removed symbol — the `DistortOp::Delete` sanitization operator.
+    /// Every later index shifts left by one; callers tracking positions
+    /// (δ buffers, gap distances) must re-derive them afterwards.
+    ///
+    /// # Panics
+    /// Panics if `pos` is out of bounds.
+    pub fn delete(&mut self, pos: usize) -> Symbol {
+        self.0.remove(pos)
+    }
+
     /// Number of marked (`Δ`) positions — one sequence's contribution to the
     /// paper's distortion measure M1.
     pub fn mark_count(&self) -> usize {
@@ -224,6 +235,15 @@ mod tests {
         let t = Sequence::from_ids([1, 2, 3]);
         assert_eq!(t.without_index(0), Sequence::from_ids([2, 3]));
         assert_eq!(t.without_index(2), Sequence::from_ids([1, 2]));
+    }
+
+    #[test]
+    fn delete_removes_in_place_and_shifts() {
+        let mut t = Sequence::from_ids([1, 2, 3]);
+        assert_eq!(t.delete(1), Symbol::new(2));
+        assert_eq!(t, Sequence::from_ids([1, 3]));
+        assert_eq!(t.delete(0), Symbol::new(1));
+        assert_eq!(t, Sequence::from_ids([3]));
     }
 
     #[test]

@@ -91,6 +91,16 @@ impl TimedSequence {
         self.0.iter().filter(|e| e.symbol.is_mark()).count()
     }
 
+    /// Removes every marked event, returning how many were removed. The
+    /// surviving events keep their time tags, so — unlike positional
+    /// gaps in plain sequences — time-expressed constraints are evaluated
+    /// identically before and after deletion.
+    pub fn delete_marked(&mut self) -> usize {
+        let before = self.0.len();
+        self.0.retain(|e| !e.symbol.is_mark());
+        before - self.0.len()
+    }
+
     /// The untimed symbol sequence (the projection the matching engine works
     /// on; constraint translation happens in the caller).
     pub fn to_sequence(&self) -> Sequence {
@@ -162,6 +172,17 @@ mod tests {
         let old = t.mark(0);
         assert_eq!(old, Symbol::new(7));
         assert_eq!(t.mark_count(), 1);
+    }
+
+    #[test]
+    fn delete_marked_keeps_survivor_tags() {
+        let mut t = TimedSequence::from_pairs([(1, 0), (2, 5), (3, 9)]);
+        t.mark(1);
+        assert_eq!(t.delete_marked(), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.time_at(0), 0);
+        assert_eq!(t.time_at(1), 9); // tags survive deletion unchanged
+        assert_eq!(t.delete_marked(), 0);
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub(crate) const SPECS: &[FlagSpec] = &[
             "pattern",
             "regex",
             "mode",
+            "domain",
+            "op",
             "algorithm",
             "seed",
             "min-gap",

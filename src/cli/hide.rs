@@ -7,7 +7,12 @@
 //! same generic core — [`Sanitizer::run_domain_threaded`] in memory,
 //! [`Sanitizer::run_streaming_domain`] under `--stream` — so `--stream`,
 //! `--threads`, `--seed` and the four HH/HR/RH/RR algorithms behave
-//! identically across plain, itemset, timed and regex patterns.
+//! identically across plain, itemset, timed, regex and string patterns.
+//!
+//! `--op mark|delete|substitute` selects the distortion operator family
+//! ([`OpKind`]); only the substring domain (`--domain string`) accepts
+//! edit operations, every other domain is Δ-mark-only and rejects them
+//! up front.
 
 use std::io::Write;
 use std::path::Path;
@@ -21,25 +26,54 @@ use seqhide_match::itemset::ItemsetPattern;
 use seqhide_match::{ItemsetMatchEngine, SensitivePattern, SensitiveSet};
 use seqhide_num::Sat64;
 use seqhide_re::{sanitize_regex_db, RegexDomain, RegexPattern};
-use seqhide_types::{Alphabet, Sequence};
+use seqhide_string::{StringDomain, StringPattern};
+use seqhide_types::{Alphabet, ItemsetSequence, OpKind, Sequence, TimedSequence};
 
 use super::flags::Flags;
 use super::{constraints, err, load_db, mode, read_text, sensitive_set, CliError};
 
-/// Which pattern class a `hide` invocation targets. `--mode` picks the
-/// database line format (plain/itemset/timed); within plain mode a run
-/// that gives only `--regex` patterns is the regex domain.
+/// Which pattern class a `hide` invocation targets. `--domain` names it
+/// directly; otherwise `--mode` picks the database line format
+/// (plain/itemset/timed), and within plain mode a run that gives only
+/// `--regex` patterns is the regex domain.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Domain {
     Plain,
     Itemset,
     Timed,
     Regex,
+    String,
 }
 
 impl Domain {
     fn parse(flags: &Flags) -> Result<Domain, CliError> {
-        Ok(match mode(flags)? {
+        let inferred = mode(flags)?;
+        if let Some(v) = flags.one("domain") {
+            let domain = match v {
+                "plain" => Domain::Plain,
+                "itemset" => Domain::Itemset,
+                "timed" => Domain::Timed,
+                "regex" => Domain::Regex,
+                "string" => Domain::String,
+                other => {
+                    return Err(err(format!(
+                        "unknown domain '{other}' (plain|itemset|timed|regex|string)"
+                    )))
+                }
+            };
+            let line_format = match domain {
+                Domain::Plain | Domain::Regex | Domain::String => "plain",
+                Domain::Itemset => "itemset",
+                Domain::Timed => "timed",
+            };
+            if flags.one("mode").is_some() && inferred != line_format {
+                return Err(err(format!(
+                    "--domain {v} reads {line_format}-format input; drop --mode {inferred}"
+                )));
+            }
+            return Ok(domain);
+        }
+        Ok(match inferred {
             "itemset" => Domain::Itemset,
             "timed" => Domain::Timed,
             _ => {
@@ -59,6 +93,7 @@ impl Domain {
             Domain::Itemset => "itemset patterns",
             Domain::Timed => "timed patterns",
             Domain::Regex => "regex patterns",
+            Domain::String => "string patterns",
         }
     }
 
@@ -68,6 +103,7 @@ impl Domain {
             Domain::Plain | Domain::Regex => "marks",
             Domain::Itemset => "item marks",
             Domain::Timed => "event marks",
+            Domain::String => "edits",
         }
     }
 }
@@ -80,6 +116,7 @@ struct HideConfig {
     threads: usize,
     local: LocalStrategy,
     global: GlobalStrategy,
+    op: OpKind,
 }
 
 impl HideConfig {
@@ -98,6 +135,11 @@ impl HideConfig {
         let algorithm = flags.one("algorithm").unwrap_or("hh");
         let (local, global) = seqhide_core::parse_algorithm(algorithm)
             .ok_or_else(|| err(format!("unknown algorithm '{algorithm}' (hh|hr|rh|rr)")))?;
+        let op = match flags.one("op") {
+            None => OpKind::Mark,
+            Some(v) => OpKind::parse(v)
+                .ok_or_else(|| err(format!("unknown op '{v}' (mark|delete|substitute)")))?,
+        };
         Ok(HideConfig {
             psi,
             seed,
@@ -105,6 +147,7 @@ impl HideConfig {
             threads,
             local,
             global,
+            op,
         })
     }
 
@@ -120,12 +163,21 @@ impl HideConfig {
 pub(crate) fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
     let cfg = HideConfig::parse(flags)?;
     let domain = Domain::parse(flags)?;
+    if cfg.op != OpKind::Mark && domain != Domain::String {
+        return Err(err(format!(
+            "--op {}: {} are hidden by Δ-marks only; edit operations \
+             (delete|substitute) need the substring domain — did you mean --domain string?",
+            cfg.op.name(),
+            domain.noun()
+        )));
+    }
     if flags.has("stream") {
         return cmd_hide_stream(flags, &cfg, domain);
     }
     match domain {
         Domain::Itemset => hide_itemset(flags, &cfg),
         Domain::Timed => hide_timed(flags, &cfg),
+        Domain::String => hide_string(flags, &cfg),
         Domain::Plain | Domain::Regex => hide_plain(flags, &cfg),
     }
 }
@@ -210,6 +262,55 @@ fn regex_patterns(flags: &Flags, alphabet: &mut Alphabet) -> Result<Vec<RegexPat
         .collect()
 }
 
+/// Parses `--pattern` values as contiguous sensitive substrings.
+fn string_patterns(flags: &Flags, alphabet: &mut Alphabet) -> Result<Vec<StringPattern>, CliError> {
+    let mut patterns = Vec::new();
+    for text in flags.all("pattern") {
+        let seq = Sequence::parse(text, alphabet);
+        patterns
+            .push(StringPattern::new(seq).map_err(|e| err(format!("--pattern '{text}': {e}")))?);
+    }
+    if patterns.is_empty() {
+        return Err(err(
+            "nothing to hide: give --pattern (a contiguous substring)",
+        ));
+    }
+    Ok(patterns)
+}
+
+/// Applies the `--post` stage to a mark-only non-plain domain: `delete`
+/// runs the generic safe delete → re-verify → re-sanitize loop
+/// ([`seqhide_core::post::delete_markers_safe_domain`]) so that index
+/// shifts cannot resurrect constrained occurrences; `replace` writes
+/// plain alphabet symbols and stays plain-mode-only.
+fn post_domain<D: seqhide_match::PatternDomain>(
+    flags: &Flags,
+    cfg: &HideConfig,
+    db: &mut [D::Seq],
+    domain: &mut D,
+    delete: impl FnMut(&mut D::Seq) -> usize,
+) -> Result<Option<String>, CliError> {
+    match flags.one("post").unwrap_or("keep") {
+        "keep" => Ok(None),
+        "delete" => {
+            let dr = seqhide_core::post::delete_markers_safe_domain(
+                db,
+                domain,
+                cfg.psi,
+                &Sanitizer::new(cfg.local, cfg.global, cfg.psi),
+                delete,
+            );
+            Ok(Some(format!("post: deleted Δ ({} round(s))\n", dr.rounds)))
+        }
+        "replace" => Err(err(
+            "--post replace writes plain alphabet symbols; it applies to plain-mode runs only",
+        )),
+        other => Err(err(format!(
+            "unknown post strategy '{other}' (keep|delete|replace)"
+        ))),
+    }
+}
+
 fn hide_itemset(flags: &Flags, cfg: &HideConfig) -> Result<String, CliError> {
     let (mut alphabet, mut db) = seqhide_data::io::parse_itemset_db(&read_text(flags)?);
     let patterns = itemset_patterns(flags, &mut alphabet)?;
@@ -223,6 +324,19 @@ fn hide_itemset(flags: &Flags, cfg: &HideConfig) -> Result<String, CliError> {
         "itemset patterns: {} item marks in {} sequences; residual supports {:?}\n",
         report.marks_introduced, report.sequences_sanitized, report.residual_supports
     );
+    // Dropping emptied elements shifts positions, so gap-constrained
+    // itemset occurrences can resurrect — the generic safe loop
+    // re-verifies and re-sanitizes until the release is clean.
+    let post = post_domain(
+        flags,
+        cfg,
+        &mut db,
+        &mut ItemsetMatchEngine::<Sat64>::new(&patterns),
+        ItemsetSequence::delete_marked,
+    )?;
+    if let Some(line) = post {
+        out.push_str(&line);
+    }
     let text = seqhide_data::io::itemset_db_to_text(&alphabet, &db);
     if let Some(path) = flags.one("out") {
         std::fs::write(path, &text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
@@ -247,12 +361,68 @@ fn hide_timed(flags: &Flags, cfg: &HideConfig) -> Result<String, CliError> {
         "timed patterns: {} event marks in {} sequences; residual supports {:?}\n",
         report.marks_introduced, report.sequences_sanitized, report.residual_supports
     );
+    // Deleting a marked event preserves every surviving time tag, so
+    // time-expressed constraints cannot resurrect — but the generic safe
+    // loop re-verifies anyway rather than trusting that argument.
+    let post = post_domain(
+        flags,
+        cfg,
+        &mut db,
+        &mut TimedDomain::<Sat64>::new(&patterns),
+        TimedSequence::delete_marked,
+    )?;
+    if let Some(line) = post {
+        out.push_str(&line);
+    }
     let text = seqhide_data::io::timed_db_to_text(&alphabet, &db);
     if let Some(path) = flags.one("out") {
         std::fs::write(path, &text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
         out.push_str(&format!("wrote {path}\n"));
     } else {
         out.push_str(&text);
+    }
+    Ok(out)
+}
+
+/// In-memory substring hide: sensitive substrings sanitized by the
+/// `--op`-selected edit family. The substitution family picks replacement
+/// candidates in interned-id order, so the database is parsed (and its
+/// symbols interned) before the patterns — the same order the streaming
+/// path replays with its pre-pass.
+fn hide_string(flags: &Flags, cfg: &HideConfig) -> Result<String, CliError> {
+    if flags.one("post").unwrap_or("keep") != "keep" {
+        return Err(err(
+            "--domain string edits during sanitization (--op delete|substitute); \
+             --post delete/replace apply to Δ-marked plain-mode releases",
+        ));
+    }
+    if !flags.all("regex").is_empty() {
+        return Err(err(
+            "--regex applies to plain mode only: the string domain hides --pattern substrings",
+        ));
+    }
+    let mut db = load_db(flags)?;
+    let patterns = string_patterns(flags, db.alphabet_mut())?;
+    let sigma_len = db.alphabet().len();
+    let op = cfg.op;
+    let report = cfg
+        .sanitizer(false)
+        .run_domain_threaded(db.sequences_mut(), &|| {
+            StringDomain::<Sat64>::new(&patterns, sigma_len).with_op(op)
+        });
+    if !report.hidden {
+        return Err(err("internal: sanitizer failed to hide string patterns"));
+    }
+    let mut out = format!(
+        "string patterns: {} edits in {} sequences; residual supports {:?}\n",
+        report.marks_introduced, report.sequences_sanitized, report.residual_supports
+    );
+    if let Some(path) = flags.one("out") {
+        seqhide_data::io::write_db(path, &db)
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote {path}\n"));
+    } else {
+        out.push_str(&db.to_text());
     }
     Ok(out)
 }
@@ -394,7 +564,9 @@ fn cmd_hide_stream(flags: &Flags, cfg: &HideConfig, domain: Domain) -> Result<St
             "--stream writes incrementally; --post delete/replace need the full database in memory",
         ));
     }
-    if matches!(domain, Domain::Itemset | Domain::Timed) && !flags.all("regex").is_empty() {
+    if matches!(domain, Domain::Itemset | Domain::Timed | Domain::String)
+        && !flags.all("regex").is_empty()
+    {
         return Err(err(
             "--stream hides one pattern class per run: --regex applies to plain mode only",
         ));
@@ -485,6 +657,35 @@ fn cmd_hide_stream(flags: &Flags, cfg: &HideConfig, domain: Domain) -> Result<St
                     &mut alphabet,
                     &TimedCodec,
                     &|| TimedDomain::<Sat64>::new(&patterns),
+                    batch_size,
+                    sink,
+                )
+            })?
+        }
+        Domain::String => {
+            // The substitution family tries replacement symbols in
+            // interned-id order, so the release depends on intern order.
+            // Pre-intern the database's symbols in file order (what the
+            // in-memory path sees) before the patterns', so both paths
+            // release identical bytes. One extra sequential pass, O(1)
+            // resident memory — the itemset branch above does the same.
+            let mut alphabet = Alphabet::new();
+            let pre_io = |e: std::io::Error| err(format!("cannot stream {db_path}: {e}"));
+            let mut reader = SeqReader::open(input).map_err(pre_io)?;
+            while reader
+                .next_record(&PlainCodec, &mut alphabet)
+                .map_err(pre_io)?
+                .is_some()
+            {}
+            let patterns = string_patterns(flags, &mut alphabet)?;
+            let sigma_len = alphabet.len();
+            let op = cfg.op;
+            with_stream_sink(flags, &db_path, |sink| {
+                sanitizer.run_streaming_domain(
+                    input,
+                    &mut alphabet,
+                    &PlainCodec,
+                    &|| StringDomain::<Sat64>::new(&patterns, sigma_len).with_op(op),
                     batch_size,
                     sink,
                 )

@@ -60,7 +60,9 @@ USAGE:
                  [--min-gap G] [--max-gap G] [--max-window W]
                  [--metrics-out FILE] [--progress]
   seqhide hide   --db FILE --psi N (--pattern \"a b\")... [--regex \"a (b|c)+ d\"]...
-                 [--mode plain|itemset|timed] [--algorithm hh|hr|rh|rr]
+                 [--mode plain|itemset|timed]
+                 [--domain plain|itemset|timed|regex|string]
+                 [--op mark|delete|substitute] [--algorithm hh|hr|rh|rr]
                  [--seed S] [--exact] [--min-gap G] [--max-gap G] [--max-window W]
                  [--engine incremental|scratch] [--threads N]
                  [--post keep|delete|replace] [--out FILE] [--report]
@@ -81,13 +83,24 @@ FORMATS (one sequence per line; '#' comments; marks render as Δ):
 In itemset mode --pattern uses the itemset syntax; in timed mode
 --min-gap/--max-gap/--max-window are elapsed ticks, not index distances.
 
+DOMAINS AND OPERATORS:
+  --domain names the pattern class directly (otherwise inferred from
+  --mode and --regex). --domain string hides *contiguous substrings* of
+  plain-format input and is the only domain accepting edit operations:
+    --op mark        Δ-mark the chosen position (default, every domain)
+    --op delete      remove the element; refused (Δ fallback) when the
+                     deletion would splice a fresh sensitive occurrence
+    --op substitute  rewrite with the first alphabet symbol creating no
+                     sensitive occurrence; Δ fallback when none exists
+  Every other domain is Δ-mark-only and rejects --op delete|substitute.
+
 STREAMING:
   --stream            two-pass bounded-memory pipeline: never holds more
                       than --batch-size sequences resident; output is
                       byte-identical to the in-memory path on the same
-                      seed. Every pattern class streams — plain, itemset
-                      and timed modes plus --regex — one class per run;
-                      --post keep only.
+                      seed. Every pattern class streams — plain, itemset,
+                      timed, --regex and --domain string — one class per
+                      run; --post keep only.
   --batch-size N      sequences resident per pass-2 batch (default 1024)
 
 SERVING (protocol spec and ops runbook in docs/SERVER.md):

@@ -16,6 +16,9 @@
 //!   measures M1/M2/M3, verification, and every extension the paper
 //!   discusses (§4 stage 2, §5 constraints, §7 itemsets/time tags, §8
 //!   alternative heuristics and multiple thresholds);
+//! * [`string`] — the substring-sanitization domain: Aho–Corasick
+//!   occurrence counting and sanitize-by-edit (delete/substitute)
+//!   distortion with the no-new-occurrence guarantee;
 //! * [`data`] — trajectory simulator, grid discretization, and the
 //!   TRUCKS-like / SYNTHETIC-like dataset generators;
 //! * [`serve`] — the sanitization service: a threaded TCP server with a
@@ -51,6 +54,7 @@ pub use seqhide_num as num;
 pub use seqhide_re as re;
 pub use seqhide_serve as serve;
 pub use seqhide_st as st;
+pub use seqhide_string as string;
 pub use seqhide_types as types;
 
 /// One-stop imports for typical use.

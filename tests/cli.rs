@@ -983,6 +983,288 @@ fn stream_batch_size_zero_is_a_pointed_error() {
     assert!(e.0.contains("--batch-size must be ≥ 1"), "{e}");
 }
 
+/// Satellite of the DistortOp refactor: every Δ-mark-only domain must
+/// reject `--op delete|substitute` with a pointed "did you mean" error,
+/// while `--op mark` (the default, spelled out) passes everywhere and the
+/// string domain accepts all three operator families.
+#[test]
+fn edit_ops_are_rejected_outside_the_string_domain() {
+    let dir = tmpdir("opmatrix");
+    let pdb = write_db(&dir, "plain.seq", "a b\nb a\n");
+    let idb = write_db(&dir, "baskets.db", "a,b c\nc a\n");
+    let tdb = write_db(&dir, "events.db", "a@0 b@5\nb@0 a@9\n");
+    let mark_only: &[(&str, &[&str])] = &[
+        ("plain patterns", &["--db", &pdb, "--pattern", "a b"]),
+        (
+            "itemset patterns",
+            &["--db", &idb, "--mode", "itemset", "--pattern", "a b"],
+        ),
+        (
+            "timed patterns",
+            &["--db", &tdb, "--mode", "timed", "--pattern", "a b"],
+        ),
+        ("regex patterns", &["--db", &pdb, "--regex", "a b"]),
+    ];
+    for (noun, common) in mark_only {
+        for op in ["delete", "substitute"] {
+            let mut a = args(&["hide", "--psi", "0", "--op", op]);
+            a.extend(args(common));
+            let e = run(&a).unwrap_err();
+            assert!(
+                e.0.contains(noun) && e.0.contains("did you mean --domain string?"),
+                "{noun} --op {op}: {e}"
+            );
+        }
+        // spelling out the default is fine everywhere
+        let mut a = args(&["hide", "--psi", "0", "--op", "mark"]);
+        a.extend(args(common));
+        let out = run(&a).unwrap_or_else(|e| panic!("{noun} --op mark: {e}"));
+        assert!(out.contains(noun), "{noun}: {out}");
+    }
+    // the string domain accepts all three families
+    for op in ["mark", "delete", "substitute"] {
+        let out = run(&args(&[
+            "hide",
+            "--db",
+            &pdb,
+            "--domain",
+            "string",
+            "--psi",
+            "0",
+            "--pattern",
+            "a b",
+            "--op",
+            op,
+        ]))
+        .unwrap_or_else(|e| panic!("string --op {op}: {e}"));
+        assert!(out.contains("string patterns:"), "{out}");
+    }
+    // bad values and conflicting mode/domain pairs are pointed errors
+    let e = run(&args(&[
+        "hide",
+        "--db",
+        &pdb,
+        "--psi",
+        "0",
+        "--pattern",
+        "a",
+        "--op",
+        "shred",
+    ]))
+    .unwrap_err();
+    assert!(
+        e.0.contains("unknown op 'shred' (mark|delete|substitute)"),
+        "{e}"
+    );
+    let e = run(&args(&[
+        "hide",
+        "--db",
+        &pdb,
+        "--psi",
+        "0",
+        "--pattern",
+        "a",
+        "--domain",
+        "str",
+    ]))
+    .unwrap_err();
+    assert!(
+        e.0.contains("unknown domain 'str' (plain|itemset|timed|regex|string)"),
+        "{e}"
+    );
+    let e = run(&args(&[
+        "hide",
+        "--db",
+        &pdb,
+        "--psi",
+        "0",
+        "--pattern",
+        "a",
+        "--domain",
+        "string",
+        "--mode",
+        "itemset",
+    ]))
+    .unwrap_err();
+    assert!(
+        e.0.contains("--domain string reads plain-format input; drop --mode itemset"),
+        "{e}"
+    );
+}
+
+/// The substring domain's edit operators at the CLI surface: `--op delete`
+/// and `--op substitute` release databases with **zero** Δ marks and zero
+/// surviving sensitive occurrences, and `--stream` reproduces the
+/// in-memory bytes exactly for every operator family.
+#[test]
+fn string_domain_edits_and_streams_identically() {
+    let dir = tmpdir("stringdomain");
+    let db = write_db(&dir, "db.seq", "a b c\na b d\nc a b\nb a\na b a b\n");
+    for op in ["mark", "delete", "substitute"] {
+        for algorithm in ["hh", "rr"] {
+            let mem_path = dir.join("mem.seq").to_string_lossy().into_owned();
+            let stream_path = dir.join("stream.seq").to_string_lossy().into_owned();
+            let common = [
+                "--db",
+                &db,
+                "--domain",
+                "string",
+                "--psi",
+                "0",
+                "--pattern",
+                "a b",
+                "--op",
+                op,
+                "--algorithm",
+                algorithm,
+                "--seed",
+                "9",
+                "--threads",
+                "2",
+            ];
+            let mut mem_args = args(&["hide"]);
+            mem_args.extend(args(&common));
+            mem_args.extend(args(&["--out", &mem_path]));
+            let out = run(&mem_args).unwrap_or_else(|e| panic!("{op}/{algorithm} mem: {e}"));
+            assert!(out.contains("string patterns:"), "{out}");
+            assert!(out.contains("residual supports [0]"), "{out}");
+            let mut stream_args = args(&["hide"]);
+            stream_args.extend(args(&common));
+            stream_args.extend(args(&[
+                "--stream",
+                "--batch-size",
+                "2",
+                "--out",
+                &stream_path,
+            ]));
+            run(&stream_args).unwrap_or_else(|e| panic!("{op}/{algorithm} stream: {e}"));
+            let mem = fs::read_to_string(&mem_path).unwrap();
+            assert_eq!(
+                mem,
+                fs::read_to_string(&stream_path).unwrap(),
+                "op={op} algorithm={algorithm}"
+            );
+            // edit operators must leave neither marks nor occurrences
+            if op != "mark" {
+                assert!(!mem.contains('Δ'), "op={op}: {mem}");
+                for line in mem.lines() {
+                    assert!(!line.contains("a b"), "op={op} resurrected: {mem}");
+                }
+            }
+        }
+    }
+    // untouched sequences survive byte-for-byte
+    let out = run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--domain",
+        "string",
+        "--psi",
+        "0",
+        "--pattern",
+        "a b",
+        "--op",
+        "delete",
+    ]))
+    .unwrap();
+    assert!(out.contains("b a\n"), "{out}");
+    // string hides edit in place: the Δ post-stages don't apply
+    let e = run(&args(&[
+        "hide",
+        "--db",
+        &db,
+        "--domain",
+        "string",
+        "--psi",
+        "0",
+        "--pattern",
+        "a b",
+        "--post",
+        "delete",
+    ]))
+    .unwrap_err();
+    assert!(
+        e.0.contains("--domain string edits during sanitization"),
+        "{e}"
+    );
+}
+
+/// Regression for the generalized `--post delete`: constrained non-plain
+/// domains used to skip re-verification entirely. The itemset case is the
+/// resurrection trap — deleting a marked item empties its element, the
+/// element is dropped, and the neighbours become adjacent, re-creating a
+/// max-gap-0 occurrence the old code would have shipped. The timed case
+/// proves the converse: deletion preserves surviving tick tags, so a
+/// time-expressed gap can never resurrect and one round suffices.
+#[test]
+fn post_delete_reverifies_constrained_domains() {
+    let dir = tmpdir("postdomains");
+    // itemset: hide x collaterally, a…b glued adjacent by element dropping
+    let idb = write_db(&dir, "baskets.db", "a x b\n");
+    let out_path = dir.join("rel.db").to_string_lossy().into_owned();
+    let out = run(&args(&[
+        "hide",
+        "--db",
+        &idb,
+        "--mode",
+        "itemset",
+        "--psi",
+        "0",
+        "--pattern",
+        "x",
+        "--pattern",
+        "a b",
+        "--max-gap",
+        "0",
+        "--post",
+        "delete",
+        "--out",
+        &out_path,
+    ]))
+    .unwrap();
+    assert!(out.contains("post: deleted Δ"), "{out}");
+    assert!(
+        !out.contains("(1 round(s))"),
+        "resurrection not caught: {out}"
+    );
+    let released = fs::read_to_string(&out_path).unwrap();
+    assert!(!released.contains('Δ'), "{released}");
+    assert!(!released.contains('x'), "{released}");
+    for line in released.lines() {
+        assert!(
+            !line.contains("a b"),
+            "itemset pattern resurrected: {released}"
+        );
+    }
+    // timed: tick tags survive deletion, so one round converges
+    let tdb = write_db(&dir, "events.db", "test@0 arv@24\ntest@0 arv@200\n");
+    let out_path = dir.join("rel2.db").to_string_lossy().into_owned();
+    let out = run(&args(&[
+        "hide",
+        "--db",
+        &tdb,
+        "--mode",
+        "timed",
+        "--psi",
+        "0",
+        "--pattern",
+        "test arv",
+        "--max-gap",
+        "72",
+        "--post",
+        "delete",
+        "--out",
+        &out_path,
+    ]))
+    .unwrap();
+    assert!(out.contains("post: deleted Δ (1 round(s))"), "{out}");
+    let released = fs::read_to_string(&out_path).unwrap();
+    assert!(!released.contains('Δ'), "{released}");
+    // the wide-gap row is untouched
+    assert!(released.contains("test@0 arv@200"), "{released}");
+}
+
 #[test]
 fn serve_rejects_degenerate_pool_and_queue_sizes() {
     let e = run(&args(&["serve", "--addr", "127.0.0.1:0", "--threads", "0"])).unwrap_err();

@@ -202,6 +202,94 @@ fn served_releases_are_byte_identical_to_cli_across_domains_and_algorithms() {
     assert_eq!(summary.overloads, 0);
 }
 
+/// The DistortOp wire field: `"mode":"string"` releases under each
+/// operator family are byte-identical to the CLI's `--domain string
+/// --op` runs on the same seed, and an edit op on a Δ-mark-only mode is
+/// rejected with the pointed error, mirroring the CLI's.
+#[test]
+fn string_mode_op_round_trip_matches_cli() {
+    let dir = tmpdir("string-op");
+    let (addr, handle) = start(2, 8);
+    let db = "a b c\na b d\nc a b\nb a\na b a b\n";
+    let db_path = dir.join("db.seq").to_string_lossy().into_owned();
+    fs::write(&db_path, db).unwrap();
+    for op in ["mark", "delete", "substitute"] {
+        for algorithm in ["hh", "rr"] {
+            let resp = send_one(
+                addr,
+                &obj(vec![
+                    ("type", Json::Str("sanitize".to_string())),
+                    ("db", Json::Str(db.to_string())),
+                    ("mode", Json::Str("string".to_string())),
+                    ("patterns", str_arr(&["a b"])),
+                    ("psi", Json::num(0)),
+                    ("op", Json::Str(op.to_string())),
+                    ("algorithm", Json::Str(algorithm.to_string())),
+                    ("seed", Json::num(9)),
+                ]),
+            );
+            assert_eq!(
+                resp.get("status").and_then(Json::as_str),
+                Some("ok"),
+                "{op}/{algorithm}: {resp:?}"
+            );
+            assert_eq!(resp.get("hidden").and_then(Json::as_bool), Some(true));
+            let served = resp.get("release").and_then(Json::as_str).unwrap();
+            let out_path = dir
+                .join(format!("{op}-{algorithm}.out"))
+                .to_string_lossy()
+                .into_owned();
+            cli(&args(&[
+                "hide",
+                "--db",
+                &db_path,
+                "--domain",
+                "string",
+                "--psi",
+                "0",
+                "--pattern",
+                "a b",
+                "--op",
+                op,
+                "--algorithm",
+                algorithm,
+                "--seed",
+                "9",
+                "--out",
+                &out_path,
+            ]))
+            .unwrap();
+            let expected = fs::read_to_string(&out_path).unwrap();
+            assert_eq!(
+                served, expected,
+                "{op}/{algorithm}: served release diverges from CLI"
+            );
+            if op != "mark" {
+                assert!(!served.contains('Δ'), "{op}: {served}");
+            }
+        }
+    }
+    // an edit op outside string mode is shed with the pointed error
+    let resp = send_one(
+        addr,
+        &obj(vec![
+            ("type", Json::Str("sanitize".to_string())),
+            ("db", Json::Str("a b\n".to_string())),
+            ("patterns", str_arr(&["a b"])),
+            ("psi", Json::num(0)),
+            ("op", Json::Str("delete".to_string())),
+        ]),
+    );
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+    assert!(resp
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("\"mode\":\"string\""));
+    send_one(addr, r#"{"type":"shutdown"}"#);
+    handle.join().unwrap();
+}
+
 /// Verify and stats answered over the wire match the CLI's semantics.
 #[test]
 fn verify_and_stats_requests_execute_on_the_pool() {

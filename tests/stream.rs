@@ -20,6 +20,8 @@ use seqhide::matching::{ItemsetMatchEngine, SensitiveSet};
 use seqhide::num::Sat64;
 use seqhide::prelude::*;
 use seqhide::re::{RegexDomain, RegexPattern};
+use seqhide::string::{StringDomain, StringPattern};
+use seqhide::types::OpKind;
 
 static CASE: AtomicU64 = AtomicU64::new(0);
 
@@ -460,6 +462,87 @@ proptest! {
             plain_db_to_text,
             "regex",
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String domain: HH/HR/RH/RR × threads × batch × the three DistortOp
+// families. The substitution operator breaks ties by ascending interned
+// symbol id, so — like itemset — both paths must intern the database
+// before the patterns; `SequenceDb::parse` on the input text reproduces
+// the streaming pre-pass's file-order interning exactly.
+// ---------------------------------------------------------------------------
+
+fn build_string_patterns(texts: &[String], alphabet: &mut Alphabet) -> Vec<StringPattern> {
+    texts
+        .iter()
+        .map(|p| StringPattern::new(Sequence::parse(p, alphabet)).unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn string_streaming_is_byte_identical_and_creates_no_occurrences(
+        text in text_strategy(),
+        patterns in pattern_strategy(),
+        op in prop::sample::select(vec![OpKind::Mark, OpKind::Delete, OpKind::Substitute]),
+        psi in 0usize..3,
+        knobs in strategy_matrix(),
+    ) {
+        let batch = knobs.3;
+        let sanitizer = domain_sanitizer(knobs, psi);
+        // in-memory oracle: database interned first, patterns after (the
+        // CLI order on both of its paths)
+        let mut db = SequenceDb::parse(&text);
+        let pats = build_string_patterns(&patterns, db.alphabet_mut());
+        let sigma_len = db.alphabet().len();
+        let mem_report = sanitizer.run_domain_threaded(db.sequences_mut(), &|| {
+            StringDomain::<Sat64>::new(&pats, sigma_len).with_op(op)
+        });
+        let mem = db.to_text();
+        prop_assert!(mem_report.hidden, "op={op}: not hidden");
+        // streamed release over a fresh file-order alphabet
+        let path = write_case(&text);
+        let mut alphabet = SequenceDb::parse(&text).alphabet().clone();
+        let spats = build_string_patterns(&patterns, &mut alphabet);
+        let s_sigma = alphabet.len();
+        let mut out = Vec::new();
+        let stream_report = sanitizer
+            .run_streaming_domain(
+                &path,
+                &mut alphabet,
+                &PlainCodec,
+                &|| StringDomain::<Sat64>::new(&spats, s_sigma).with_op(op),
+                batch,
+                &mut out,
+            )
+            .unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let streamed = String::from_utf8(out).unwrap();
+        prop_assert_eq!(&streamed, &mem, "op={} released bytes diverged", op);
+        prop_assert_eq!(&stream_report.report, &mem_report, "op={} reports diverged", op);
+        // The no-new-occurrence invariant, re-counted from the released
+        // bytes with a fresh engine: an edit may destroy occurrences and
+        // may not create any, so every pattern's support is ≤ ψ no matter
+        // which operator family ran.
+        let mut released = SequenceDb::parse(&mem);
+        let rpats = build_string_patterns(&patterns, released.alphabet_mut());
+        let rsigma = released.alphabet().len();
+        let mut verifier = StringDomain::<Sat64>::new(&rpats, rsigma);
+        for k in 0..rpats.len() {
+            let mut supporters = 0;
+            for t in released.sequences() {
+                if seqhide::matching::PatternDomain::supports_pattern(&mut verifier, t, k) {
+                    supporters += 1;
+                }
+            }
+            prop_assert!(
+                supporters <= psi,
+                "op={op}: pattern {k} support {supporters} > ψ {psi} in:\n{mem}"
+            );
+        }
     }
 }
 
