@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Sanity checks for the CI serve-load-smoke job.
+
+Usage: check_bench_serve.py BENCH_SERVE_JSON [PROM_FILE]
+
+Asserts BENCH_serve.json (written by `seqhide loadgen`) carries the
+named fields with sane values: some traffic was served, the shed rate
+is a fraction, the latency quantiles are ordered, and the accounting
+adds up. With PROM_FILE (a saved `GET /metrics` scrape body), also
+runs a minimal Prometheus text-format check over every line.
+"""
+import json
+import sys
+
+
+def check_bench(path):
+    with open(path) as fh:
+        bench = json.load(fh)
+    assert bench["bench"] == "serve", bench
+    for key in (
+        "clients",
+        "duration_secs",
+        "requests",
+        "ok",
+        "overloaded",
+        "errors",
+        "throughput_rps",
+        "shed_rate",
+        "drain_ms",
+        "latency_ns",
+        "mix",
+    ):
+        assert key in bench, "missing %s in %s" % (key, path)
+    assert bench["requests"] > 0, "loadgen sent no requests"
+    assert (
+        bench["requests"] == bench["ok"] + bench["overloaded"] + bench["errors"]
+    ), "request accounting does not add up: %s" % bench
+    assert bench["errors"] == 0, "loadgen saw error responses: %s" % bench
+    assert 0.0 <= bench["shed_rate"] <= 1.0, bench["shed_rate"]
+    assert bench["throughput_rps"] > 0, bench["throughput_rps"]
+    assert bench["drain_ms"] >= 0, bench["drain_ms"]
+    lat = bench["latency_ns"]
+    for key in ("count", "mean", "p50", "p95", "p99", "max"):
+        assert key in lat, "missing latency_ns.%s" % key
+    assert lat["count"] == bench["requests"], lat
+    assert lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"], lat
+    assert lat["p50"] > 0, lat
+    sent = sum(t["sent"] for t in bench["mix"])
+    assert sent == bench["requests"], "mix counts disagree with total"
+    print(
+        "BENCH_serve.json OK: %d requests, %.1f req/s, p50 %dus p99 %dus, "
+        "shed rate %.4f, drain %dms"
+        % (
+            bench["requests"],
+            bench["throughput_rps"],
+            lat["p50"] // 1000,
+            lat["p99"] // 1000,
+            bench["shed_rate"],
+            bench["drain_ms"],
+        )
+    )
+
+
+def check_prometheus(path):
+    """Minimal line-format check: comments are HELP/TYPE, samples are
+    `name[{labels}] value` with a float value and a seqhide_ prefix."""
+    samples = 0
+    with open(path) as fh:
+        for line in fh.read().splitlines():
+            if not line:
+                continue
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE ")), line
+                continue
+            series, _, value = line.rpartition(" ")
+            float(value)  # raises on malformed samples
+            name = series.split("{", 1)[0]
+            assert name.startswith("seqhide_"), line
+            assert all(
+                c.isalnum() or c in "_:" for c in name
+            ), "bad metric name: %s" % line
+            samples += 1
+    assert samples > 0, "scrape body has no samples"
+    print("Prometheus scrape OK: %d samples" % samples)
+
+
+def main():
+    check_bench(sys.argv[1])
+    if len(sys.argv) > 2:
+        check_prometheus(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()

@@ -36,7 +36,9 @@ def rpc(addr, *requests):
 def main():
     addr_file, db_file, expect_hh, expect_rr, expect_string = sys.argv[1:6]
     with open(addr_file) as fh:
-        addr = fh.read().strip()
+        # first line is the wire address; a second line (the Prometheus
+        # scrape address) appears when --metrics-addr is set
+        addr = fh.read().splitlines()[0].strip()
     with open(db_file) as fh:
         db = fh.read()
     expected = {}

@@ -59,6 +59,7 @@
 
 mod names;
 pub mod progress;
+mod prometheus;
 mod snapshot;
 
 pub use names::{Counter, Gauge, Hist, Phase};
@@ -119,16 +120,7 @@ mod imp {
     };
     pub(crate) static GAUGES: [AtomicU64; Gauge::COUNT] = [ZERO; Gauge::COUNT];
 
-    /// Log2 bucket index: 0 holds the value 0, bucket `b > 0` holds
-    /// `[2^(b-1), 2^b)`, the last bucket is open-ended.
-    #[inline]
-    pub(crate) fn bucket_of(v: u64) -> usize {
-        if v == 0 {
-            0
-        } else {
-            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
-        }
-    }
+    pub(crate) use crate::snapshot::bucket_of;
 
     /// RAII span: stamps `Instant::now()` on entry, adds the elapsed
     /// nanoseconds to the phase's slot on drop.

@@ -209,6 +209,22 @@ impl Counter {
             Counter::ServeOverloads => "serve_overloads",
         }
     }
+
+    /// One-line description (the Prometheus `# HELP` text).
+    pub const fn help(self) -> &'static str {
+        match self {
+            Counter::MarksIntroduced => "Delta marks introduced (paper distortion measure M1)",
+            Counter::EngineCellRepairs => "Incremental DP-table cell repairs applied by the engine",
+            Counter::FallbackRecounts => "Buffered max-window recounts the engine could not avoid",
+            Counter::VictimsProcessed => "Victim sequences fully sanitized",
+            Counter::PatternsChecked => "Patterns whose support was counted",
+            Counter::TrackedAllocs => "Heap allocations observed on instrumented paths",
+            Counter::StSuppressed => "Samples suppressed by the spatio-temporal sanitizer",
+            Counter::StDisplaced => "Samples displaced by the spatio-temporal sanitizer",
+            Counter::ServeRequests => "Requests handled by seqhide serve (every type and status)",
+            Counter::ServeOverloads => "Requests shed because the serve job queue was full",
+        }
+    }
 }
 
 /// Fixed-bucket histogram identity. Buckets are log2: bucket 0 holds the
@@ -248,6 +264,20 @@ impl Hist {
             Hist::ServeQueueWaitNanos => "serve_queue_wait_nanos",
         }
     }
+
+    /// One-line description (the Prometheus `# HELP` text).
+    pub const fn help(self) -> &'static str {
+        match self {
+            Hist::VictimMarks => "Marks introduced per victim sequence",
+            Hist::VictimNanos => "Wall nanoseconds spent sanitizing one victim sequence",
+            Hist::ServeRequestNanos => {
+                "Wall nanoseconds per served request, decode through response write"
+            }
+            Hist::ServeQueueWaitNanos => {
+                "Wall nanoseconds one queued job waited before a worker picked it up"
+            }
+        }
+    }
 }
 
 /// High-water-mark gauge identity. Gauges keep the *maximum* value ever
@@ -281,6 +311,15 @@ impl Gauge {
             Gauge::PeakResidentBatch => "peak_resident_batch",
             Gauge::QueueDepth => "queue_depth",
             Gauge::Inflight => "inflight",
+        }
+    }
+
+    /// One-line description (the Prometheus `# HELP` text).
+    pub const fn help(self) -> &'static str {
+        match self {
+            Gauge::PeakResidentBatch => "Peak bytes resident in one streaming batch",
+            Gauge::QueueDepth => "High-water mark of jobs waiting in the serve bounded queue",
+            Gauge::Inflight => "High-water mark of jobs executing concurrently in the worker pool",
         }
     }
 }

@@ -1,0 +1,206 @@
+//! Prometheus text-exposition rendering of a [`Snapshot`].
+//!
+//! [`Snapshot::to_prometheus`] turns a captured snapshot into the standard
+//! text format (version 0.0.4): `# HELP`/`# TYPE` headers, `_total`
+//! counters, gauges, and histograms with cumulative `le` buckets derived
+//! from the log2 buckets. Values are emitted as the same raw integers the
+//! JSON schema carries (nanoseconds stay nanoseconds), so a scrape and a
+//! `metrics` wire reply taken from the same snapshot agree exactly.
+//!
+//! The renderer is unconditional code over plain `Snapshot` values: under
+//! `--no-default-features` it compiles identically and renders the empty
+//! snapshot (all series present, all values zero), so scrape endpoints
+//! stay well-formed in obs-off builds.
+
+use std::fmt::Write as _;
+
+use crate::names::{Counter, Gauge, Hist, Phase};
+use crate::snapshot::{bucket_bounds, Snapshot, HIST_BUCKETS};
+
+/// Every metric family is prefixed with this namespace.
+const PREFIX: &str = "seqhide";
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (content type `text/plain; version=0.0.4`).
+    ///
+    /// Family layout:
+    ///
+    /// * each [`Counter`] becomes `seqhide_<name>_total`;
+    /// * each [`Gauge`] becomes `seqhide_<name>`;
+    /// * phases become two families with a `phase` label,
+    ///   `seqhide_phase_calls_total` and `seqhide_phase_nanoseconds_total`,
+    ///   one series per [`Phase`] (all phases present, zero or not, so
+    ///   series never appear and disappear between scrapes);
+    /// * each [`Hist`] becomes a native histogram family
+    ///   `seqhide_<name>` with cumulative `_bucket{le="..."}` series (the
+    ///   log2 buckets' inclusive upper bounds), a final `+Inf` bucket,
+    ///   and `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(16 * 1024);
+
+        let _ = writeln!(
+            out,
+            "# HELP {PREFIX}_obs_enabled Whether instrumentation is compiled into this build"
+        );
+        let _ = writeln!(out, "# TYPE {PREFIX}_obs_enabled gauge");
+        let _ = writeln!(out, "{PREFIX}_obs_enabled {}", u8::from(self.enabled()));
+
+        for c in Counter::ALL {
+            let name = format!("{PREFIX}_{}_total", c.name());
+            let _ = writeln!(out, "# HELP {name} {}", c.help());
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", self.counter(c));
+        }
+
+        for g in Gauge::ALL {
+            let name = format!("{PREFIX}_{}", g.name());
+            let _ = writeln!(out, "# HELP {name} {}", g.help());
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", self.gauge(g));
+        }
+
+        let calls = format!("{PREFIX}_phase_calls_total");
+        let _ = writeln!(out, "# HELP {calls} Span entries per pipeline phase");
+        let _ = writeln!(out, "# TYPE {calls} counter");
+        for p in Phase::ALL {
+            let _ = writeln!(
+                out,
+                "{calls}{{phase=\"{}\"}} {}",
+                p.name(),
+                self.phase(p).calls
+            );
+        }
+        let ns = format!("{PREFIX}_phase_nanoseconds_total");
+        let _ = writeln!(
+            out,
+            "# HELP {ns} Inclusive wall nanoseconds per pipeline phase"
+        );
+        let _ = writeln!(out, "# TYPE {ns} counter");
+        for p in Phase::ALL {
+            let _ = writeln!(
+                out,
+                "{ns}{{phase=\"{}\"}} {}",
+                p.name(),
+                self.phase(p).total_ns
+            );
+        }
+
+        for h in Hist::ALL {
+            let name = format!("{PREFIX}_{}", h.name());
+            let stat = self.hist(h);
+            let _ = writeln!(out, "# HELP {name} {}", h.help());
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for b in 0..HIST_BUCKETS - 1 {
+                cum += stat.buckets[b];
+                let (_, hi) = bucket_bounds(b);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{hi}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", stat.count);
+            let _ = writeln!(out, "{name}_sum {}", stat.sum);
+            let _ = writeln!(out, "{name}_count {}", stat.count);
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistStat;
+
+    /// Minimal exposition-format line checker: every line is a comment or
+    /// `name{labels} value` with a valid metric name and integer value.
+    fn assert_valid_exposition(text: &str) {
+        for line in text.lines() {
+            if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+                panic!("no value separator in line: {line}");
+            });
+            let name = series.split('{').next().unwrap();
+            assert!(
+                !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in line: {line}"
+            );
+            if let Some(rest) = series.strip_prefix(name) {
+                if !rest.is_empty() {
+                    assert!(
+                        rest.starts_with('{') && rest.ends_with('}'),
+                        "bad label block in line: {line}"
+                    );
+                }
+            }
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "bad value in line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_all_families() {
+        let text = Snapshot::default().to_prometheus();
+        assert_valid_exposition(&text);
+        for c in Counter::ALL {
+            let family = format!("seqhide_{}_total", c.name());
+            assert!(
+                text.contains(&format!("# TYPE {family} counter")),
+                "{family}"
+            );
+            assert!(text.contains(&format!("{family} 0")), "{family}");
+        }
+        for g in Gauge::ALL {
+            assert!(text.contains(&format!("seqhide_{} 0", g.name())));
+        }
+        for p in Phase::ALL {
+            assert!(text.contains(&format!(
+                "seqhide_phase_calls_total{{phase=\"{}\"}} 0",
+                p.name()
+            )));
+        }
+        for h in Hist::ALL {
+            assert!(text.contains(&format!("# TYPE seqhide_{} histogram", h.name())));
+            assert!(text.contains(&format!("seqhide_{}_bucket{{le=\"+Inf\"}} 0", h.name())));
+            assert!(text.contains(&format!("seqhide_{}_count 0", h.name())));
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_agree_with_count() {
+        let mut h = HistStat::default();
+        for v in [0u64, 1, 1, 3, 100, 5000] {
+            h.record(v);
+        }
+        let mut snap = Snapshot::default();
+        snap.set_hist_for_test(Hist::VictimMarks, h.clone());
+        let text = snap.to_prometheus();
+        assert_valid_exposition(&text);
+        // cumulative counts never decrease and end at the total
+        let mut prev = 0u64;
+        let mut inf = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("seqhide_victim_marks_bucket{le=\"") {
+                let (le, v) = rest.split_once("\"} ").unwrap();
+                let v: u64 = v.parse().unwrap();
+                assert!(v >= prev, "bucket counts must be cumulative: {line}");
+                prev = v;
+                if le == "+Inf" {
+                    inf = Some(v);
+                }
+            }
+        }
+        assert_eq!(inf, Some(h.count));
+        assert!(text.contains(&format!("seqhide_victim_marks_sum {}", h.sum)));
+        // le="0" bucket holds exactly the zero observations
+        assert!(text.contains("seqhide_victim_marks_bucket{le=\"0\"} 1"));
+        // le="1" is cumulative: zero + the two ones
+        assert!(text.contains("seqhide_victim_marks_bucket{le=\"1\"} 3"));
+    }
+}

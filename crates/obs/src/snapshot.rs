@@ -23,6 +23,12 @@ pub struct PhaseStat {
 }
 
 /// One histogram's captured state.
+///
+/// `HistStat` is also a plain value type callers may populate themselves
+/// ([`HistStat::record`]) — client-side latency histograms (e.g.
+/// `seqhide loadgen`) use the same log2 buckets and the same
+/// [`HistStat::quantile`] estimator as the global sinks, so numbers on
+/// both sides of the wire are comparable.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistStat {
     /// Observations recorded.
@@ -43,6 +49,71 @@ impl Default for HistStat {
             max: 0,
             buckets: [0; HIST_BUCKETS],
         }
+    }
+}
+
+impl HistStat {
+    /// Records one observation into this value (non-atomic — for local
+    /// histograms owned by a single thread, not the global sinks).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into this value (bucket-wise addition; `max` keeps
+    /// the larger). Used to merge per-thread histograms.
+    pub fn merge(&mut self, other: &HistStat) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation inside the log2 bucket holding the target rank.
+    ///
+    /// The bucket's upper bound is clamped to the observed `max`, so the
+    /// open-ended last bucket and the top of the distribution stay
+    /// finite. Accuracy is bounded by bucket width — at most a factor of
+    /// 2 — which is plenty for latency percentiles; exact values are
+    /// not recoverable from a bucketed histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let prev = cum as f64;
+            cum += c;
+            if cum as f64 >= target {
+                let (lo, hi) = bucket_bounds(b);
+                let hi = hi.min(self.max);
+                if hi <= lo {
+                    return lo;
+                }
+                let frac = ((target - prev) / c as f64).clamp(0.0, 1.0);
+                let est = lo as f64 + frac * ((hi - lo) as f64 + 1.0);
+                return (est.round() as u64).min(hi);
+            }
+        }
+        self.max
     }
 }
 
@@ -139,11 +210,16 @@ impl Snapshot {
         self.gauges[g as usize]
     }
 
-    /// Renders the stable JSON schema (`schema_version` 3):
+    #[cfg(test)]
+    pub(crate) fn set_hist_for_test(&mut self, h: Hist, stat: HistStat) {
+        self.hists[h as usize] = stat;
+    }
+
+    /// Renders the stable JSON schema (`schema_version` 4):
     ///
     /// ```json
     /// {
-    ///   "schema_version": 3,
+    ///   "schema_version": 4,
     ///   "obs_enabled": true,
     ///   "phases": [
     ///     {"name": "sanitize", "parent": null, "calls": 1, "total_ns": 12345}
@@ -152,6 +228,7 @@ impl Snapshot {
     ///   "gauges": {"peak_resident_batch": 65536, ...},
     ///   "histograms": {
     ///     "victim_marks": {"count": 3, "sum": 7, "max": 4,
+    ///                      "p50": 2, "p90": 4, "p99": 4,
     ///                      "buckets": [[0, 0, 1], [4, 7, 2]]}
     ///   }
     /// }
@@ -164,8 +241,10 @@ impl Snapshot {
     /// `seqhide serve` keys (`serve`/`serve_request` phases,
     /// `serve_requests`/`serve_overloads` counters,
     /// `queue_depth`/`inflight` gauges, `serve_request_nanos`/
-    /// `serve_queue_wait_nanos` histograms); everything present in
-    /// earlier versions is unchanged.
+    /// `serve_queue_wait_nanos` histograms); version 4 added the
+    /// `p50`/`p90`/`p99` quantile estimates ([`HistStat::quantile`]) to
+    /// every histogram object; everything present in earlier versions is
+    /// unchanged.
     pub fn to_json(&self) -> String {
         self.render(None)
     }
@@ -173,7 +252,7 @@ impl Snapshot {
     /// Renders the same schema with an additional `"error"` string field
     /// right after `obs_enabled` — the shape `--metrics-out` writes when
     /// the command fails, so a failed run's telemetry survives. Readers
-    /// treat the field's absence as success; `schema_version` stays 3
+    /// treat the field's absence as success; `schema_version` stays 4
     /// (additive, optional key).
     pub fn to_json_with_error(&self, error: &str) -> String {
         self.render(Some(error))
@@ -181,7 +260,7 @@ impl Snapshot {
 
     fn render(&self, error: Option<&str>) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema_version\": 3,\n");
+        out.push_str("{\n  \"schema_version\": 4,\n");
         let _ = writeln!(out, "  \"obs_enabled\": {},", self.enabled());
         if let Some(error) = error {
             let _ = writeln!(out, "  \"error\": \"{}\",", escape_json(error));
@@ -233,11 +312,15 @@ impl Snapshot {
             let stat = self.hist(*h);
             let _ = write!(
                 out,
-                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [",
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
                 h.name(),
                 stat.count,
                 stat.sum,
-                stat.max
+                stat.max,
+                stat.quantile(0.50),
+                stat.quantile(0.90),
+                stat.quantile(0.99)
             );
             let mut firstb = true;
             for (b, &count) in stat.buckets.iter().enumerate() {
@@ -278,8 +361,19 @@ fn escape_json(s: &str) -> String {
     out
 }
 
+/// Log2 bucket index: 0 holds the value 0, bucket `b > 0` holds
+/// `[2^(b-1), 2^b)`, the last bucket is open-ended.
+#[inline]
+pub(crate) fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
 /// Inclusive `[lower, upper]` value bounds of log2 bucket `b`.
-fn bucket_bounds(b: usize) -> (u64, u64) {
+pub(crate) fn bucket_bounds(b: usize) -> (u64, u64) {
     if b == 0 {
         (0, 0)
     } else if b == HIST_BUCKETS - 1 {
@@ -296,7 +390,7 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_stable_schema() {
         let json = Snapshot::default().to_json();
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
         assert!(json.contains("\"phases\": []"));
         assert!(json.contains("\"marks_introduced\": 0"));
         assert!(json.contains("\"peak_resident_batch\": 0"));
@@ -308,15 +402,108 @@ mod tests {
         assert!(json.contains("\"inflight\": 0"));
         assert!(json.contains("\"serve_request_nanos\""));
         assert!(json.contains("\"serve_queue_wait_nanos\""));
+        // version-4 quantile keys are always present
+        assert!(json.contains("\"p50\": 0"));
+        assert!(json.contains("\"p90\": 0"));
+        assert!(json.contains("\"p99\": 0"));
     }
 
     #[test]
     fn error_field_is_injected_and_escaped() {
         let json = Snapshot::default().to_json_with_error("cannot read \"/tmp/x\"\nline 2");
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
         assert!(json.contains("\"error\": \"cannot read \\\"/tmp/x\\\"\\nline 2\""));
         // the plain renderer never emits the key
         assert!(!Snapshot::default().to_json().contains("\"error\""));
+    }
+
+    #[test]
+    fn quantiles_on_a_uniform_distribution() {
+        // 1..=1024 uniformly: the true q-quantile is ≈ 1024·q. Within a
+        // log2 bucket the mass really is uniform, so linear interpolation
+        // should land within a few counts of the truth.
+        let mut h = HistStat::default();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        for (q, truth) in [(0.50, 512i64), (0.90, 922), (0.99, 1014)] {
+            let est = h.quantile(q) as i64;
+            assert!(
+                (est - truth).abs() <= 8,
+                "q={q}: estimate {est} too far from {truth}"
+            );
+        }
+        // order holds and extremes clamp to the observed range
+        assert!(h.quantile(0.99) >= h.quantile(0.90));
+        assert!(h.quantile(0.90) >= h.quantile(0.50));
+        assert_eq!(h.quantile(1.0), 1024);
+        assert!(h.quantile(0.0) <= 1);
+    }
+
+    #[test]
+    fn quantiles_on_point_masses() {
+        // all mass at zero → every quantile is 0 (bucket 0 is exact)
+        let mut zeros = HistStat::default();
+        for _ in 0..100 {
+            zeros.record(0);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(zeros.quantile(q), 0);
+        }
+        // empty histogram
+        assert_eq!(HistStat::default().quantile(0.5), 0);
+        // a constant value is pinned to within its bucket, capped at max
+        let mut constant = HistStat::default();
+        for _ in 0..1000 {
+            constant.record(100);
+        }
+        let p50 = constant.quantile(0.5);
+        assert!(
+            (64..=100).contains(&p50),
+            "p50 {p50} outside bucket [64, 100]"
+        );
+        assert_eq!(constant.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn quantiles_on_a_bimodal_distribution() {
+        // 90 fast requests near 1000, 10 slow near 1_000_000: p50 must sit
+        // in the fast mode's bucket and p99 in the slow mode's bucket.
+        let mut h = HistStat::default();
+        for _ in 0..90 {
+            h.record(1000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!(
+            (512..=1024).contains(&p50),
+            "p50 {p50} not in the fast mode"
+        );
+        assert!(
+            (524_288..=1_000_000).contains(&p99),
+            "p99 {p99} not in the slow mode"
+        );
+    }
+
+    #[test]
+    fn hist_record_and_merge_match_manual_totals() {
+        let mut a = HistStat::default();
+        let mut b = HistStat::default();
+        for v in [1u64, 5, 9] {
+            a.record(v);
+        }
+        for v in [2u64, 1024] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count, 5);
+        assert_eq!(a.sum, 1 + 5 + 9 + 2 + 1024);
+        assert_eq!(a.max, 1024);
+        assert_eq!(a.buckets.iter().sum::<u64>(), 5);
+        assert!((a.mean() - 1041.0 / 5.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Minimal plain-HTTP metrics listener (`--metrics-addr`): enough
+//! HTTP/1.1 for a Prometheus scraper, nothing more.
+//!
+//! The listener serves `GET` only, one request per connection
+//! (`Connection: close`), on a thread of its own so scrapes never
+//! compete with NDJSON clients for the acceptor:
+//!
+//! * `GET /metrics` — the snapshot diff since server start in the
+//!   Prometheus text exposition format;
+//! * `GET /metrics.json` — the same snapshot as the JSON schema
+//!   (`docs/OBSERVABILITY.md`);
+//! * `GET /healthz` — the `health` payload as a JSON object.
+//!
+//! Values come from the same `Snapshot::diff(baseline)` a `metrics`
+//! wire request uses, so a scrape and an NDJSON reply taken together
+//! agree. The request head is read bounded ([`MAX_HEAD_BYTES`]) with a
+//! read timeout, so a stalled or abusive scraper cannot pin the thread.
+
+use std::io::{self, BufRead, BufReader, Read as _, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use seqhide_obs as obs;
+
+use crate::protocol;
+use crate::server::Shared;
+
+/// The most bytes one HTTP request head (request line + headers) may
+/// occupy before the connection is answered 400 and dropped.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Accept loop for the metrics listener; exits when the server drains
+/// (the drain self-connects to wake a blocked `accept`).
+pub(crate) fn run_metrics_listener(listener: TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.is_draining() {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                let _ = handle(stream, shared);
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Serves one request on one connection, then closes it.
+fn handle(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    let mut head_budget = MAX_HEAD_BYTES as u64;
+    let n = reader
+        .by_ref()
+        .take(head_budget)
+        .read_line(&mut request_line)?;
+    if n == 0 {
+        return Ok(());
+    }
+    head_budget -= n as u64;
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    // Drain the rest of the head (bounded) so the client sees the
+    // response rather than a reset while still sending headers.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        let n = reader.by_ref().take(head_budget).read_line(&mut header)?;
+        if n == 0 || header.trim().is_empty() {
+            break;
+        }
+        head_budget -= n as u64;
+        if head_budget == 0 {
+            return respond(stream, 400, "text/plain; charset=utf-8", "head too large\n");
+        }
+    }
+
+    if method != "GET" {
+        return respond(
+            stream,
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed; this endpoint serves GET only\n",
+        );
+    }
+    match path {
+        "/metrics" => {
+            let body = obs::snapshot().diff(shared.baseline()).to_prometheus();
+            respond(
+                stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/metrics.json" => {
+            let body = obs::snapshot().diff(shared.baseline()).to_json();
+            respond(stream, 200, "application/json", &body)
+        }
+        "/healthz" => {
+            let body = protocol::health_body(&shared.health());
+            respond(stream, 200, "application/json", &body)
+        }
+        _ => respond(
+            stream,
+            404,
+            "text/plain; charset=utf-8",
+            "not found; try /metrics, /metrics.json or /healthz\n",
+        ),
+    }
+}
+
+fn respond(mut stream: TcpStream, code: u16, content_type: &str, body: &str) -> io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}

@@ -22,12 +22,20 @@
 //!   `docs/SERVER.md` is the wire specification);
 //! * [`queue`] — the bounded Mutex+Condvar job queue;
 //! * [`exec`] — request execution against the sanitization crates;
-//! * [`server`] — acceptor, connection threads, worker pool, drain.
+//! * [`server`] — acceptor, connection threads, worker pool, drain;
+//! * [`trace`] — per-request trace journal: request ids, event
+//!   timelines, the `timings` breakdown, the slow-request ring;
+//! * [`http`] — the plain-HTTP metrics listener (`GET /metrics`
+//!   Prometheus scrapes, `--metrics-addr`);
+//! * [`loadgen`] — the concurrent load generator behind
+//!   `seqhide loadgen` (zipfian request mixes, client-side latency
+//!   histograms, the `BENCH_serve.json` report).
 //!
 //! Telemetry rides the workspace's `obs` feature: serve phases, request
 //! latency and queue-wait histograms, `queue_depth`/`inflight`
-//! high-water gauges, and a live `metrics` request that returns the
-//! snapshot diff since server start.
+//! high-water gauges, a live `metrics` request that returns the
+//! snapshot diff since server start (JSON or Prometheus text), and a
+//! `debug` request that dumps the slowest-request journal.
 //!
 //! [`Sanitizer`]: seqhide_core::Sanitizer
 //! [`PatternDomain`]: seqhide_core::PatternDomain
@@ -37,9 +45,12 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod http;
 pub mod json;
+pub mod loadgen;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod trace;
 
 pub use server::{ServeOptions, ServeSummary, Server};

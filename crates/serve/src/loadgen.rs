@@ -1,0 +1,525 @@
+//! Concurrent load generator for a running serve instance — the core
+//! of `seqhide loadgen`.
+//!
+//! N client threads each hold one connection and issue requests
+//! back-to-back (one outstanding request per connection, matching the
+//! per-connection FIFO the server implements; aggregate concurrency is
+//! the client count). Each iteration draws a request template from a
+//! **zipfian** mix over pattern/domain classes — a head-heavy plain
+//! sanitize plus a tail of string/itemset/timed/verify/stats/health
+//! requests — so the server sees the skewed, mixed traffic a real
+//! deployment would, not one uniform request repeated.
+//!
+//! Latency is recorded client-side into [`HistStat`] values (the same
+//! log2 buckets and quantile estimator as the server's telemetry), so
+//! the p50/p95/p99 in `BENCH_serve.json` are directly comparable to
+//! the server's `serve_request_nanos` histogram.
+//!
+//! Everything here is std-only and deterministic given `seed`: the
+//! per-client RNG is an inline splitmix64 (the serve crate carries no
+//! rand dependency), and the synthetic workload database comes from
+//! `seqhide_data::markov_db`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use seqhide_obs::HistStat;
+
+use crate::json::Json;
+
+/// Load-generation parameters.
+#[derive(Clone, Debug)]
+pub struct LoadgenOptions {
+    /// Server address, e.g. `127.0.0.1:7070`.
+    pub addr: String,
+    /// Concurrent client connections (≥ 1).
+    pub clients: usize,
+    /// How long each client keeps issuing requests.
+    pub duration: Duration,
+    /// Hiding threshold ψ sent in sanitize/verify requests.
+    pub psi: usize,
+    /// RNG seed: workload database + per-client request draws.
+    pub seed: u64,
+    /// Workload database text; `None` synthesizes one from the seed.
+    pub db: Option<String>,
+    /// Synthetic database size (sequences) when `db` is `None`.
+    pub sequences: usize,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            addr: String::new(),
+            clients: 8,
+            duration: Duration::from_secs(5),
+            psi: 50,
+            seed: 0,
+            db: None,
+            sequences: 64,
+        }
+    }
+}
+
+/// One template's share of the traffic in the final report.
+#[derive(Clone, Debug)]
+pub struct TemplateCount {
+    /// Template name (e.g. `plain-hh`).
+    pub name: &'static str,
+    /// Requests sent from this template.
+    pub sent: u64,
+}
+
+/// What a load run measured.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Requests sent (and answered — the client loop is synchronous).
+    pub requests: u64,
+    /// Responses with status `ok`.
+    pub ok: u64,
+    /// Responses with status `overloaded` (shed by backpressure).
+    pub overloaded: u64,
+    /// Any other status (errors, `shutting_down`).
+    pub errors: u64,
+    /// Wall time from first request to the last response.
+    pub elapsed: Duration,
+    /// How long past the configured deadline the last straggling
+    /// response took to arrive — the observed drain time of requests
+    /// in flight when the load stopped.
+    pub drain: Duration,
+    /// Client-side latency histogram (nanoseconds per request).
+    pub latency: HistStat,
+    /// Per-template request counts, mix order (heaviest first).
+    pub mix: Vec<TemplateCount>,
+}
+
+impl LoadReport {
+    /// Fraction of requests shed with `overloaded` (0 when none sent).
+    pub fn shed_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.overloaded as f64 / self.requests as f64
+        }
+    }
+
+    /// Requests per second over the measured window.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / secs
+        }
+    }
+
+    /// Renders the `BENCH_serve.json` document.
+    pub fn to_bench_json(&self, options: &LoadgenOptions) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n  \"bench\": \"serve\",\n");
+        let _ = writeln!(out, "  \"clients\": {},", options.clients);
+        let _ = writeln!(
+            out,
+            "  \"duration_secs\": {:.3},",
+            options.duration.as_secs_f64()
+        );
+        let _ = writeln!(out, "  \"psi\": {},", options.psi);
+        let _ = writeln!(out, "  \"seed\": {},", options.seed);
+        let _ = writeln!(out, "  \"requests\": {},", self.requests);
+        let _ = writeln!(out, "  \"ok\": {},", self.ok);
+        let _ = writeln!(out, "  \"overloaded\": {},", self.overloaded);
+        let _ = writeln!(out, "  \"errors\": {},", self.errors);
+        let _ = writeln!(
+            out,
+            "  \"elapsed_secs\": {:.3},",
+            self.elapsed.as_secs_f64()
+        );
+        let _ = writeln!(out, "  \"throughput_rps\": {:.1},", self.throughput_rps());
+        let _ = writeln!(out, "  \"shed_rate\": {:.4},", self.shed_rate());
+        let _ = writeln!(out, "  \"drain_ms\": {},", self.drain.as_millis());
+        let _ = writeln!(out, "  \"latency_ns\": {{");
+        let _ = writeln!(out, "    \"count\": {},", self.latency.count);
+        let _ = writeln!(out, "    \"mean\": {:.0},", self.latency.mean());
+        let _ = writeln!(out, "    \"p50\": {},", self.latency.quantile(0.50));
+        let _ = writeln!(out, "    \"p95\": {},", self.latency.quantile(0.95));
+        let _ = writeln!(out, "    \"p99\": {},", self.latency.quantile(0.99));
+        let _ = writeln!(out, "    \"max\": {}", self.latency.max);
+        let _ = writeln!(out, "  }},");
+        out.push_str("  \"mix\": [\n");
+        for (i, t) in self.mix.iter().enumerate() {
+            let comma = if i + 1 < self.mix.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"template\": \"{}\", \"sent\": {}}}{comma}",
+                t.name, t.sent
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// splitmix64: tiny, well-mixed, std-only.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One pre-rendered request line plus its display name.
+struct Template {
+    name: &'static str,
+    line: String,
+}
+
+const ITEMSET_DB: &str = "bread,milk beer bread,diapers\nbeer bread,milk diapers\nbread,milk beer\nmilk beer,diapers bread\n";
+const TIMED_DB: &str = "a@1 b@3 c@6 a@9\nb@2 a@4 c@7\na@1 c@2 b@5 a@8\nc@3 a@5 b@9\n";
+
+/// Builds the zipfian template mix for a plain-format workload
+/// database: a head of plain sanitizes, then string/verify/itemset/
+/// timed/stats/health tails. Patterns are drawn from the database's
+/// own first sequence so every sanitize has real work to do.
+fn build_templates(db: &str, psi: usize, seed: u64) -> Result<Vec<Template>, String> {
+    let first_line = db
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| "workload database is empty".to_string())?;
+    let tokens: Vec<&str> = first_line
+        .split_whitespace()
+        .filter(|t| *t != "Δ")
+        .collect();
+    if tokens.len() < 2 {
+        return Err("workload database's first sequence has fewer than 2 symbols".to_string());
+    }
+    let head = tokens[..tokens.len().min(3)].join(" ");
+    let tail = if tokens.len() >= 4 {
+        tokens[tokens.len() - 2..].join(" ")
+    } else {
+        tokens[..2].join(" ")
+    };
+
+    let req = |name: &'static str, fields: Vec<(String, Json)>| Template {
+        name,
+        line: Json::Obj(fields).render(),
+    };
+    let s = |v: &str| Json::Str(v.to_string());
+    let pats = |ps: &[&str]| Json::Arr(ps.iter().map(|p| Json::Str(p.to_string())).collect());
+
+    Ok(vec![
+        req(
+            "plain-hh",
+            vec![
+                ("type".to_string(), s("sanitize")),
+                ("db".to_string(), s(db)),
+                ("patterns".to_string(), pats(&[&head, &tail])),
+                ("psi".to_string(), Json::num(psi as u64)),
+            ],
+        ),
+        req(
+            "plain-rr",
+            vec![
+                ("type".to_string(), s("sanitize")),
+                ("db".to_string(), s(db)),
+                ("patterns".to_string(), pats(&[&head])),
+                ("psi".to_string(), Json::num(psi as u64)),
+                ("algorithm".to_string(), s("rr")),
+                ("seed".to_string(), Json::num(seed)),
+            ],
+        ),
+        req(
+            "string-substitute",
+            vec![
+                ("type".to_string(), s("sanitize")),
+                ("db".to_string(), s(db)),
+                ("mode".to_string(), s("string")),
+                ("patterns".to_string(), pats(&[&head])),
+                ("psi".to_string(), Json::num(psi as u64)),
+                ("op".to_string(), s("substitute")),
+            ],
+        ),
+        req(
+            "verify",
+            vec![
+                ("type".to_string(), s("verify")),
+                ("db".to_string(), s(db)),
+                ("patterns".to_string(), pats(&[&head, &tail])),
+                ("psi".to_string(), Json::num(psi as u64)),
+            ],
+        ),
+        req(
+            "itemset",
+            vec![
+                ("type".to_string(), s("sanitize")),
+                ("db".to_string(), s(ITEMSET_DB)),
+                ("mode".to_string(), s("itemset")),
+                ("patterns".to_string(), pats(&["bread,milk beer"])),
+                ("psi".to_string(), Json::num(1)),
+            ],
+        ),
+        req(
+            "timed",
+            vec![
+                ("type".to_string(), s("sanitize")),
+                ("db".to_string(), s(TIMED_DB)),
+                ("mode".to_string(), s("timed")),
+                ("patterns".to_string(), pats(&["a c"])),
+                ("psi".to_string(), Json::num(1)),
+            ],
+        ),
+        req(
+            "stats",
+            vec![
+                ("type".to_string(), s("stats")),
+                ("db".to_string(), s(db)),
+                ("mode".to_string(), s("plain")),
+            ],
+        ),
+        req("health", vec![("type".to_string(), s("health"))]),
+    ])
+}
+
+/// Cumulative zipfian weights over `n` ranks (weight of rank r is
+/// 1/(r+1)), normalized to [0, 1].
+fn zipf_cumulative(n: usize) -> Vec<f64> {
+    let weights: Vec<f64> = (0..n).map(|r| 1.0 / (r as f64 + 1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cum = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            cum += w / total;
+            cum
+        })
+        .collect()
+}
+
+struct ClientStats {
+    hist: HistStat,
+    ok: u64,
+    overloaded: u64,
+    errors: u64,
+    sent: Vec<u64>,
+    last_response: Option<Instant>,
+}
+
+fn client_loop(
+    addr: &str,
+    templates: &[Template],
+    cum: &[f64],
+    deadline: Instant,
+    seed: u64,
+) -> Result<ClientStats, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("clone socket: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut rng = seed;
+    let mut stats = ClientStats {
+        hist: HistStat::default(),
+        ok: 0,
+        overloaded: 0,
+        errors: 0,
+        sent: vec![0; templates.len()],
+        last_response: None,
+    };
+    let mut line = String::new();
+    while Instant::now() < deadline {
+        let u = splitmix64(&mut rng) as f64 / u64::MAX as f64;
+        let pick = cum.iter().position(|&c| u <= c).unwrap_or(cum.len() - 1);
+        let template = &templates[pick];
+        let started = Instant::now();
+        writeln!(writer, "{}", template.line).map_err(|e| format!("send: {e}"))?;
+        writer.flush().map_err(|e| format!("send: {e}"))?;
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection mid-run".to_string());
+        }
+        let now = Instant::now();
+        stats
+            .hist
+            .record(now.duration_since(started).as_nanos() as u64);
+        stats.last_response = Some(now);
+        stats.sent[pick] += 1;
+        // Responses render `status` as one of a closed set; substring
+        // classification avoids parsing multi-megabyte release payloads
+        // on the measurement path.
+        if line.contains("\"status\":\"ok\"") {
+            stats.ok += 1;
+        } else if line.contains("\"status\":\"overloaded\"") {
+            stats.overloaded += 1;
+        } else {
+            stats.errors += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// Runs the load: builds the workload and templates, drives
+/// `options.clients` connections for `options.duration`, and merges
+/// the per-client measurements.
+pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
+    if options.clients == 0 {
+        return Err("client count must be ≥ 1".to_string());
+    }
+    let db = match &options.db {
+        Some(text) => text.clone(),
+        None => seqhide_data::markov_db(options.seed, options.sequences.max(1), (32, 32), 12, 0.8)
+            .to_text(),
+    };
+    let templates = build_templates(&db, options.psi, options.seed)?;
+    let cum = zipf_cumulative(templates.len());
+
+    let started = Instant::now();
+    let deadline = started + options.duration;
+    let results: Vec<Result<ClientStats, String>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.clients)
+            .map(|i| {
+                let addr = options.addr.as_str();
+                let templates = &templates;
+                let cum = &cum;
+                let seed = options.seed.wrapping_add(0x5EED).wrapping_add(i as u64);
+                scope.spawn(move || client_loop(addr, templates, cum, deadline, seed))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("client thread panicked".to_string()))
+            })
+            .collect()
+    });
+
+    let mut report = LoadReport {
+        requests: 0,
+        ok: 0,
+        overloaded: 0,
+        errors: 0,
+        elapsed: Duration::ZERO,
+        drain: Duration::ZERO,
+        latency: HistStat::default(),
+        mix: templates
+            .iter()
+            .map(|t| TemplateCount {
+                name: t.name,
+                sent: 0,
+            })
+            .collect(),
+    };
+    let mut last_response: Option<Instant> = None;
+    let mut first_error = None;
+    for result in results {
+        match result {
+            Ok(stats) => {
+                report.ok += stats.ok;
+                report.overloaded += stats.overloaded;
+                report.errors += stats.errors;
+                report.latency.merge(&stats.hist);
+                for (slot, sent) in report.mix.iter_mut().zip(&stats.sent) {
+                    slot.sent += sent;
+                }
+                last_response = match (last_response, stats.last_response) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            Err(e) => first_error = first_error.or(Some(e)),
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    report.requests = report.ok + report.overloaded + report.errors;
+    if let Some(last) = last_response {
+        report.elapsed = last.duration_since(started);
+        report.drain = last.saturating_duration_since(deadline);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_cumulative_is_monotone_and_normalized() {
+        let cum = zipf_cumulative(8);
+        assert_eq!(cum.len(), 8);
+        assert!(cum.windows(2).all(|w| w[0] < w[1]));
+        assert!((cum[7] - 1.0).abs() < 1e-12);
+        // rank 0 carries the zipfian head: more than a quarter of mass
+        assert!(cum[0] > 0.25);
+    }
+
+    #[test]
+    fn templates_cover_the_domain_mix() {
+        let db = "a b c d e f g h\nb c a d\n";
+        let templates = build_templates(db, 2, 7).unwrap();
+        let names: Vec<&str> = templates.iter().map(|t| t.name).collect();
+        for expected in [
+            "plain-hh",
+            "plain-rr",
+            "string-substitute",
+            "verify",
+            "itemset",
+            "timed",
+            "stats",
+            "health",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        // every line is valid single-line JSON
+        for t in &templates {
+            assert!(!t.line.contains('\n'));
+            crate::json::parse(&t.line).expect("template line parses");
+        }
+        // degenerate databases are refused with pointed errors
+        assert!(build_templates("", 0, 0).is_err());
+        assert!(build_templates("a\n", 0, 0).is_err());
+    }
+
+    #[test]
+    fn bench_json_has_the_named_fields() {
+        let mut latency = HistStat::default();
+        for v in [1000u64, 2000, 4000, 100_000] {
+            latency.record(v);
+        }
+        let report = LoadReport {
+            requests: 4,
+            ok: 3,
+            overloaded: 1,
+            errors: 0,
+            elapsed: Duration::from_millis(2000),
+            drain: Duration::from_millis(12),
+            latency,
+            mix: vec![TemplateCount {
+                name: "plain-hh",
+                sent: 4,
+            }],
+        };
+        let json = report.to_bench_json(&LoadgenOptions::default());
+        for key in [
+            "\"bench\": \"serve\"",
+            "\"throughput_rps\"",
+            "\"shed_rate\": 0.2500",
+            "\"drain_ms\": 12",
+            "\"p50\"",
+            "\"p95\"",
+            "\"p99\"",
+            "\"mix\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!((report.shed_rate() - 0.25).abs() < 1e-12);
+        assert!((report.throughput_rps() - 2.0).abs() < 1e-9);
+        assert!(report.latency.quantile(0.99) >= report.latency.quantile(0.50));
+    }
+}

@@ -26,6 +26,7 @@ use seqhide_types::OpKind;
 
 use crate::exec::{Mode, SanitizeOutcome, SanitizeSpec, StatsOutcome, VerifyOutcome, VerifySpec};
 use crate::json::{self, Json};
+use crate::trace::Trace;
 
 /// The largest `delay_ms` a `sanitize` request may carry. The field is
 /// a load-testing knob exposed on the wire, so it must not double as a
@@ -59,9 +60,38 @@ pub enum Request {
     /// Liveness + load snapshot; answered inline, never queued.
     Health,
     /// Live telemetry snapshot; answered inline, never queued.
-    Metrics,
+    Metrics {
+        /// How the snapshot is rendered in the response.
+        format: MetricsFormat,
+    },
+    /// Dump the slow-request trace journal; answered inline.
+    Debug,
     /// Begin graceful drain; answered inline.
     Shutdown,
+}
+
+impl Request {
+    /// The request's wire type name (the trace journal's `kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Sanitize { .. } => "sanitize",
+            Request::Verify(_) => "verify",
+            Request::Stats { .. } => "stats",
+            Request::Health => "health",
+            Request::Metrics { .. } => "metrics",
+            Request::Debug => "debug",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// How a `metrics` response renders the snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// The JSON schema from `docs/OBSERVABILITY.md` (the default).
+    Json,
+    /// The Prometheus text exposition format, as a string field.
+    Prometheus,
 }
 
 /// Decodes one request line. The `id` (echoed in every response) is
@@ -182,15 +212,28 @@ fn decode_doc(doc: &Json) -> Result<Request, String> {
             Ok(Request::Health)
         }
         "metrics" => {
+            known_fields(doc, &["type", "id", "format"])?;
+            let format = match opt_str(doc, "format")?.as_deref() {
+                None | Some("json") => MetricsFormat::Json,
+                Some("prometheus") => MetricsFormat::Prometheus,
+                Some(other) => {
+                    return Err(format!(
+                        "unknown metrics format '{other}' (json|prometheus)"
+                    ))
+                }
+            };
+            Ok(Request::Metrics { format })
+        }
+        "debug" => {
             known_fields(doc, &["type", "id"])?;
-            Ok(Request::Metrics)
+            Ok(Request::Debug)
         }
         "shutdown" => {
             known_fields(doc, &["type", "id"])?;
             Ok(Request::Shutdown)
         }
         other => Err(format!(
-            "unknown request type '{other}' (sanitize|verify|stats|health|metrics|shutdown)"
+            "unknown request type '{other}' (sanitize|verify|stats|health|metrics|debug|shutdown)"
         )),
     }
 }
@@ -295,6 +338,15 @@ pub struct HealthInfo {
     pub executed: u64,
     /// Whether the server is draining toward shutdown.
     pub draining: bool,
+    /// Milliseconds since the server was bound — distinguishes a fresh
+    /// restart from a long-running instance.
+    pub uptime_ms: u64,
+    /// The serving crate's version.
+    pub version: &'static str,
+    /// Most jobs ever waiting in the queue at once.
+    pub queue_depth_high_water: u64,
+    /// Most jobs ever executing concurrently.
+    pub inflight_high_water: u64,
 }
 
 fn response(id: &Option<Json>, status: &str, rest: Vec<(String, Json)>) -> String {
@@ -414,23 +466,37 @@ pub fn ok_stats(id: &Option<Json>, outcome: &StatsOutcome) -> String {
     response(id, "ok", fields)
 }
 
+fn health_fields(info: &HealthInfo) -> Vec<(String, Json)> {
+    vec![
+        field("workers", Json::num(info.workers as u64)),
+        field("queue_capacity", Json::num(info.queue_capacity as u64)),
+        field("queue_depth", Json::num(info.queue_depth as u64)),
+        field("inflight", Json::num(info.inflight as u64)),
+        field("requests", Json::num(info.requests)),
+        field("overloads", Json::num(info.overloads)),
+        field("executed", Json::num(info.executed)),
+        field("draining", Json::Bool(info.draining)),
+        field("uptime_ms", Json::num(info.uptime_ms)),
+        field("version", Json::Str(info.version.to_string())),
+        field(
+            "queue_depth_high_water",
+            Json::num(info.queue_depth_high_water),
+        ),
+        field("inflight_high_water", Json::num(info.inflight_high_water)),
+    ]
+}
+
 /// `ok` response for `health`.
 pub fn ok_health(id: &Option<Json>, info: &HealthInfo) -> String {
-    response(
-        id,
-        "ok",
-        vec![
-            typ("health"),
-            field("workers", Json::num(info.workers as u64)),
-            field("queue_capacity", Json::num(info.queue_capacity as u64)),
-            field("queue_depth", Json::num(info.queue_depth as u64)),
-            field("inflight", Json::num(info.inflight as u64)),
-            field("requests", Json::num(info.requests)),
-            field("overloads", Json::num(info.overloads)),
-            field("executed", Json::num(info.executed)),
-            field("draining", Json::Bool(info.draining)),
-        ],
-    )
+    let mut fields = vec![typ("health")];
+    fields.extend(health_fields(info));
+    response(id, "ok", fields)
+}
+
+/// The `health` payload as a standalone JSON object — what the HTTP
+/// listener's `GET /healthz` returns.
+pub fn health_body(info: &HealthInfo) -> String {
+    Json::Obj(health_fields(info)).render()
 }
 
 /// `ok` response for `metrics`: embeds the rendered snapshot (the
@@ -439,6 +505,54 @@ pub fn ok_metrics(id: &Option<Json>, snapshot_json: &str) -> String {
     let embedded =
         json::parse(snapshot_json).unwrap_or_else(|_| Json::Str(snapshot_json.to_string()));
     response(id, "ok", vec![typ("metrics"), field("metrics", embedded)])
+}
+
+/// `ok` response for `metrics {"format":"prometheus"}`: the exposition
+/// text rides as one string field (NDJSON framing keeps it one line;
+/// the string carries `\n` escapes).
+pub fn ok_metrics_prometheus(id: &Option<Json>, exposition: &str) -> String {
+    response(
+        id,
+        "ok",
+        vec![
+            typ("metrics"),
+            field("format", Json::Str("prometheus".to_string())),
+            field("metrics", Json::Str(exposition.to_string())),
+        ],
+    )
+}
+
+/// `ok` response for `debug`: how many requests the journal has seen
+/// and the retained slowest traces (slowest first). Empty in obs-off
+/// builds, where the journal compiles out.
+pub fn ok_debug(id: &Option<Json>, recorded: u64, slowest: &[Trace]) -> String {
+    response(
+        id,
+        "ok",
+        vec![
+            typ("debug"),
+            field("tracked", Json::num(recorded)),
+            field(
+                "slowest",
+                Json::Arr(slowest.iter().map(Trace::to_json).collect()),
+            ),
+        ],
+    )
+}
+
+/// Splices a `timings` object into an already-rendered single-line
+/// JSON object response. Responses are rendered before the timings
+/// exist (serialization is itself one of the timed legs), so the
+/// breakdown is injected right before the closing brace instead of
+/// paying for a second full render of the payload.
+pub fn with_timings(line: String, timings: &Json) -> String {
+    debug_assert!(line.ends_with('}'), "response must be a JSON object");
+    let mut line = line;
+    line.pop();
+    line.push_str(",\"timings\":");
+    line.push_str(&timings.render());
+    line.push('}');
+    line
 }
 
 /// `ok` response for `shutdown`: the server acknowledges and begins
@@ -596,7 +710,21 @@ mod tests {
         ));
         assert!(matches!(
             decode(r#"{"type":"metrics","id":1}"#).1.unwrap(),
-            Request::Metrics
+            Request::Metrics {
+                format: MetricsFormat::Json
+            }
+        ));
+        assert!(matches!(
+            decode(r#"{"type":"metrics","format":"prometheus"}"#)
+                .1
+                .unwrap(),
+            Request::Metrics {
+                format: MetricsFormat::Prometheus
+            }
+        ));
+        assert!(matches!(
+            decode(r#"{"type":"debug"}"#).1.unwrap(),
+            Request::Debug
         ));
         assert!(matches!(
             decode(r#"{"type":"shutdown"}"#).1.unwrap(),
@@ -604,6 +732,59 @@ mod tests {
         ));
         let (_, req) = decode(r#"{"type":"health","db":"a\n"}"#);
         assert!(req.unwrap_err().contains("unknown field \"db\""));
+        let (_, req) = decode(r#"{"type":"metrics","format":"xml"}"#);
+        assert!(req
+            .unwrap_err()
+            .contains("unknown metrics format 'xml' (json|prometheus)"));
+    }
+
+    #[test]
+    fn with_timings_splices_into_the_response_object() {
+        let line = ok_shutdown(&Some(Json::num(9)));
+        let timings = crate::trace::Timings {
+            queue_wait_ns: 10,
+            parse_ns: 20,
+            sanitize_ns: 30,
+            serialize_ns: 40,
+        };
+        let spliced = with_timings(line, &timings.to_json(77));
+        let doc = json::parse(&spliced).expect("spliced line stays valid JSON");
+        let t = doc.get("timings").unwrap();
+        assert_eq!(t.get("req_id").unwrap().as_u64(), Some(77));
+        assert_eq!(t.get("queue_wait_ns").unwrap().as_u64(), Some(10));
+        assert_eq!(t.get("parse_ns").unwrap().as_u64(), Some(20));
+        assert_eq!(t.get("sanitize_ns").unwrap().as_u64(), Some(30));
+        assert_eq!(t.get("serialize_ns").unwrap().as_u64(), Some(40));
+        // the original payload is intact
+        assert_eq!(doc.get("id").unwrap().as_u64(), Some(9));
+        assert_eq!(doc.get("draining").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn health_payload_carries_operability_fields() {
+        let info = HealthInfo {
+            workers: 2,
+            queue_capacity: 8,
+            queue_depth: 1,
+            inflight: 2,
+            requests: 10,
+            overloads: 1,
+            executed: 7,
+            draining: false,
+            uptime_ms: 1234,
+            version: "9.9.9",
+            queue_depth_high_water: 5,
+            inflight_high_water: 2,
+        };
+        let doc = json::parse(&ok_health(&None, &info)).unwrap();
+        assert_eq!(doc.get("uptime_ms").unwrap().as_u64(), Some(1234));
+        assert_eq!(doc.get("version").unwrap().as_str(), Some("9.9.9"));
+        assert_eq!(doc.get("queue_depth_high_water").unwrap().as_u64(), Some(5));
+        assert_eq!(doc.get("inflight_high_water").unwrap().as_u64(), Some(2));
+        // the standalone /healthz body has the same fields, no envelope
+        let body = json::parse(&health_body(&info)).unwrap();
+        assert!(body.get("status").is_none());
+        assert_eq!(body.get("version").unwrap().as_str(), Some("9.9.9"));
     }
 
     #[test]

@@ -46,9 +46,11 @@ use std::time::{Duration, Instant};
 use seqhide_obs::{self as obs, Counter, Gauge, Hist, Phase};
 
 use crate::exec;
+use crate::http;
 use crate::json::Json;
-use crate::protocol::{self, HealthInfo, Request};
+use crate::protocol::{self, HealthInfo, MetricsFormat, Request};
 use crate::queue::{BoundedQueue, PushError};
+use crate::trace::{SlowRing, Timings, Trace, TraceEvent, SLOW_RING_K};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -60,6 +62,10 @@ pub struct ServeOptions {
     /// Bounded job-queue capacity (≥ 1): the most jobs that may wait
     /// for a worker before the server sheds load with `overloaded`.
     pub queue_depth: usize,
+    /// Optional bind address for the plain-HTTP metrics listener
+    /// (`GET /metrics` Prometheus scrapes; see [`crate::http`]). `None`
+    /// disables the listener.
+    pub metrics_addr: Option<String>,
 }
 
 /// What a completed [`Server::run`] reports.
@@ -88,14 +94,16 @@ enum Work {
 /// is closed, because the line framing is lost mid-line.
 pub const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
 
-/// One admitted job: the work, its correlation id, and the channel the
-/// owning connection thread blocks on for the rendered response line.
+/// One admitted job: the work, its correlation id, its trace, and the
+/// channel the owning connection thread blocks on for the rendered
+/// response line (the trace rides back with it so the connection
+/// thread can stamp the final event and journal the request).
 struct Job {
     work: Work,
     id: Option<Json>,
     delay_ms: u64,
-    enqueued: Instant,
-    reply: mpsc::Sender<String>,
+    trace: Trace,
+    reply: mpsc::Sender<(String, Trace)>,
 }
 
 /// Read-half clones of **live** client sockets, for unblocking idle
@@ -111,7 +119,7 @@ struct ConnRegistry {
     entries: Vec<(u64, TcpStream)>,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     queue: BoundedQueue<Job>,
     draining: AtomicBool,
     inflight: AtomicUsize,
@@ -126,6 +134,17 @@ struct Shared {
     conns: Mutex<ConnRegistry>,
     workers: usize,
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+    /// When the server was bound (for `uptime_ms` in `health`).
+    started: Instant,
+    /// Server-unique request id source (first request gets 1).
+    next_req_id: AtomicU64,
+    /// Plain high-water marks mirrored outside the obs gauges so
+    /// `health` reports them in obs-off builds too.
+    queue_depth_hw: AtomicU64,
+    inflight_hw: AtomicU64,
+    /// Journal of the slowest requests (no-op when obs is compiled out).
+    slow: SlowRing,
     /// Telemetry zero point: `metrics` responses report the diff since
     /// the server started, not process-lifetime totals.
     baseline: obs::Snapshot,
@@ -168,7 +187,7 @@ impl Shared {
         }
     }
 
-    fn health(&self) -> HealthInfo {
+    pub(crate) fn health(&self) -> HealthInfo {
         HealthInfo {
             workers: self.workers,
             queue_capacity: self.queue.capacity(),
@@ -178,16 +197,32 @@ impl Shared {
             overloads: self.overloads.load(Ordering::SeqCst),
             executed: self.executed.load(Ordering::SeqCst),
             draining: self.draining.load(Ordering::SeqCst),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            version: env!("CARGO_PKG_VERSION"),
+            queue_depth_high_water: self.queue_depth_hw.load(Ordering::SeqCst),
+            inflight_high_water: self.inflight_hw.load(Ordering::SeqCst),
         }
     }
 
+    pub(crate) fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn baseline(&self) -> &obs::Snapshot {
+        &self.baseline
+    }
+
     /// Flips the server into draining mode (idempotent): refuses new
-    /// jobs, and wakes the acceptor with a loopback self-connect so the
-    /// accept loop observes the flag.
+    /// jobs, and wakes the acceptor — and the metrics listener, if any
+    /// — with loopback self-connects so the accept loops observe the
+    /// flag.
     fn begin_drain(&self) {
         if !self.draining.swap(true, Ordering::SeqCst) {
             self.queue.close();
             let _ = TcpStream::connect(self.local_addr);
+            if let Some(metrics_addr) = self.metrics_addr {
+                let _ = TcpStream::connect(metrics_addr);
+            }
         }
     }
 }
@@ -195,6 +230,7 @@ impl Shared {
 /// A bound, not-yet-running sanitization server.
 pub struct Server {
     listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
     shared: Arc<Shared>,
 }
 
@@ -216,8 +252,17 @@ impl Server {
         }
         let listener = TcpListener::bind(&options.addr)?;
         let local_addr = listener.local_addr()?;
+        let metrics_listener = match &options.metrics_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(listener) => Some(listener.local_addr()?),
+            None => None,
+        };
         Ok(Server {
             listener,
+            metrics_listener,
             shared: Arc::new(Shared {
                 queue: BoundedQueue::new(options.queue_depth),
                 draining: AtomicBool::new(false),
@@ -233,6 +278,12 @@ impl Server {
                 }),
                 workers: options.workers,
                 local_addr,
+                metrics_addr,
+                started: Instant::now(),
+                next_req_id: AtomicU64::new(1),
+                queue_depth_hw: AtomicU64::new(0),
+                inflight_hw: AtomicU64::new(0),
+                slow: SlowRing::new(SLOW_RING_K),
                 baseline: obs::snapshot(),
             }),
         })
@@ -243,6 +294,12 @@ impl Server {
         self.shared.local_addr
     }
 
+    /// The bound metrics-listener address, when `--metrics-addr` was
+    /// configured (useful with port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.shared.metrics_addr
+    }
+
     /// Serves until a `shutdown` request, then drains and returns the
     /// summary. Joins every worker and connection thread before
     /// returning — when this comes back, all admitted work is done and
@@ -250,6 +307,11 @@ impl Server {
     pub fn run(self) -> io::Result<ServeSummary> {
         let _serve_span = obs::span(Phase::Serve);
         let shared = Arc::clone(&self.shared);
+
+        let metrics_thread = self.metrics_listener.map(|listener| {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || http::run_metrics_listener(listener, &shared))
+        });
 
         let workers: Vec<_> = (0..shared.workers)
             .map(|_| {
@@ -288,6 +350,9 @@ impl Server {
         for conn in conns {
             let _ = conn.join();
         }
+        if let Some(handle) = metrics_thread {
+            let _ = handle.join();
+        }
         Ok(ServeSummary {
             requests: shared.requests.load(Ordering::SeqCst),
             overloads: shared.overloads.load(Ordering::SeqCst),
@@ -299,34 +364,55 @@ impl Server {
 /// Worker thread body: pop, execute, reply; exit when the closed queue
 /// runs dry.
 fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
-        obs::hist_record(
-            Hist::ServeQueueWaitNanos,
-            job.enqueued.elapsed().as_nanos() as u64,
-        );
+    while let Some(mut job) = shared.queue.pop() {
+        let dequeued = job.trace.stamp(TraceEvent::Dequeued);
+        let wait_ns = dequeued.saturating_sub(job.trace.at(TraceEvent::Admitted).unwrap_or(0));
+        obs::hist_record(Hist::ServeQueueWaitNanos, wait_ns);
         let inflight = shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        shared
+            .inflight_hw
+            .fetch_max(inflight as u64, Ordering::SeqCst);
         obs::gauge_max(Gauge::Inflight, inflight as u64);
         if job.delay_ms > 0 {
             thread::sleep(Duration::from_millis(job.delay_ms));
         }
+        job.trace.stamp(TraceEvent::ExecStart);
         let response = match &job.work {
-            Work::Sanitize(spec) => match exec::sanitize(spec) {
-                Ok(outcome) => protocol::ok_sanitize(&job.id, &outcome),
-                Err(e) => protocol::error(&job.id, &e),
-            },
-            Work::Verify(spec) => match exec::verify(spec) {
-                Ok(outcome) => protocol::ok_verify(&job.id, &outcome),
-                Err(e) => protocol::error(&job.id, &e),
-            },
-            Work::Stats { db, mode } => match exec::stats(db, *mode) {
-                Ok(outcome) => protocol::ok_stats(&job.id, &outcome),
-                Err(e) => protocol::error(&job.id, &e),
-            },
+            Work::Sanitize(spec) => {
+                let result = exec::sanitize(spec);
+                job.trace.stamp(TraceEvent::ExecEnd);
+                match result {
+                    Ok(outcome) => {
+                        let render_started = Instant::now();
+                        let line = protocol::ok_sanitize(&job.id, &outcome);
+                        let serialize_ns = render_started.elapsed().as_nanos() as u64;
+                        let timings = Timings::from_trace(&job.trace, serialize_ns);
+                        protocol::with_timings(line, &timings.to_json(job.trace.req_id))
+                    }
+                    Err(e) => protocol::error(&job.id, &e),
+                }
+            }
+            Work::Verify(spec) => {
+                let result = exec::verify(spec);
+                job.trace.stamp(TraceEvent::ExecEnd);
+                match result {
+                    Ok(outcome) => protocol::ok_verify(&job.id, &outcome),
+                    Err(e) => protocol::error(&job.id, &e),
+                }
+            }
+            Work::Stats { db, mode } => {
+                let result = exec::stats(db, *mode);
+                job.trace.stamp(TraceEvent::ExecEnd);
+                match result {
+                    Ok(outcome) => protocol::ok_stats(&job.id, &outcome),
+                    Err(e) => protocol::error(&job.id, &e),
+                }
+            }
         };
         shared.executed.fetch_add(1, Ordering::SeqCst);
         // A send failure means the connection thread is gone (client
         // hung up mid-job); the work is done either way.
-        let _ = job.reply.send(response);
+        let _ = job.reply.send((response, job.trace));
         shared.inflight.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -412,26 +498,42 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
         if line.trim().is_empty() {
             continue;
         }
-        let started = Instant::now();
         let _request_span = obs::span(Phase::ServeRequest);
         shared.requests.fetch_add(1, Ordering::SeqCst);
         obs::counter_add(Counter::ServeRequests, 1);
+        let mut trace = Trace::start(shared.next_req_id.fetch_add(1, Ordering::SeqCst));
         let (id, decoded) = protocol::decode(line);
-        let response = match decoded {
-            Err(e) => protocol::error(&id, &e),
-            Ok(Request::Health) => protocol::ok_health(&id, &shared.health()),
-            Ok(Request::Metrics) => {
+        if let Ok(request) = &decoded {
+            trace.kind = request.kind();
+            trace.stamp(TraceEvent::Parsed);
+        }
+        let (response, mut trace) = match decoded {
+            Err(e) => (protocol::error(&id, &e), trace),
+            Ok(Request::Health) => (protocol::ok_health(&id, &shared.health()), trace),
+            Ok(Request::Metrics { format }) => {
                 let diff = obs::snapshot().diff(&shared.baseline);
-                protocol::ok_metrics(&id, &diff.to_json())
+                let response = match format {
+                    MetricsFormat::Json => protocol::ok_metrics(&id, &diff.to_json()),
+                    MetricsFormat::Prometheus => {
+                        protocol::ok_metrics_prometheus(&id, &diff.to_prometheus())
+                    }
+                };
+                (response, trace)
+            }
+            Ok(Request::Debug) => {
+                let (recorded, slowest) = shared.slow.dump();
+                (protocol::ok_debug(&id, recorded, &slowest), trace)
             }
             Ok(Request::Shutdown) => {
                 shared.begin_drain();
-                protocol::ok_shutdown(&id)
+                (protocol::ok_shutdown(&id), trace)
             }
-            Ok(heavy) => submit(shared, heavy, id),
+            Ok(heavy) => submit(shared, heavy, id, trace),
         };
         let written = writeln!(stream, "{response}").and_then(|()| stream.flush());
-        obs::hist_record(Hist::ServeRequestNanos, started.elapsed().as_nanos() as u64);
+        let total_ns = trace.stamp(TraceEvent::ResponseWritten);
+        obs::hist_record(Hist::ServeRequestNanos, total_ns);
+        shared.slow.record(trace);
         if written.is_err() {
             return;
         }
@@ -439,38 +541,58 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
 }
 
 /// Queues one heavy request and blocks for its reply; turns a full
-/// queue into `overloaded` and a closed one into `shutting_down`.
-fn submit(shared: &Shared, request: Request, id: Option<Json>) -> String {
+/// queue into `overloaded` and a closed one into `shutting_down`. The
+/// trace rides into the queue with the job and comes back with the
+/// response (a shed or refused job hands its trace straight back).
+fn submit(
+    shared: &Shared,
+    request: Request,
+    id: Option<Json>,
+    mut trace: Trace,
+) -> (String, Trace) {
     let (work, delay_ms) = match request {
         Request::Sanitize { spec, delay_ms } => (Work::Sanitize(spec), delay_ms),
         Request::Verify(spec) => (Work::Verify(spec), 0),
         Request::Stats { db, mode } => (Work::Stats { db, mode }, 0),
-        Request::Health | Request::Metrics | Request::Shutdown => {
+        Request::Health | Request::Metrics { .. } | Request::Debug | Request::Shutdown => {
             unreachable!("control requests are answered inline")
         }
     };
+    trace.stamp(TraceEvent::Admitted);
     let (reply, receive) = mpsc::channel();
     let job = Job {
         work,
         id: id.clone(),
         delay_ms,
-        enqueued: Instant::now(),
+        trace,
         reply,
     };
     match shared.queue.try_push(job) {
         Ok(depth) => {
             shared.admitted.fetch_add(1, Ordering::SeqCst);
+            shared
+                .queue_depth_hw
+                .fetch_max(depth as u64, Ordering::SeqCst);
             obs::gauge_max(Gauge::QueueDepth, depth as u64);
-            receive
-                .recv()
-                .unwrap_or_else(|_| protocol::error(&id, "internal: worker dropped the job"))
+            receive.recv().unwrap_or_else(|_| {
+                (
+                    protocol::error(&id, "internal: worker dropped the job"),
+                    Trace::start(0),
+                )
+            })
         }
-        Err(PushError::Full(_)) => {
+        Err(PushError::Full(job)) => {
             shared.overloads.fetch_add(1, Ordering::SeqCst);
             obs::counter_add(Counter::ServeOverloads, 1);
-            protocol::overloaded(&id, shared.queue.capacity())
+            let mut trace = job.trace;
+            trace.retract(TraceEvent::Admitted);
+            (protocol::overloaded(&id, shared.queue.capacity()), trace)
         }
-        Err(PushError::Closed(_)) => protocol::shutting_down(&id),
+        Err(PushError::Closed(job)) => {
+            let mut trace = job.trace;
+            trace.retract(TraceEvent::Admitted);
+            (protocol::shutting_down(&id), trace)
+        }
     }
 }
 
@@ -485,6 +607,7 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             workers,
             queue_depth,
+            metrics_addr: None,
         })
         .expect("bind");
         let addr = server.local_addr();
@@ -566,6 +689,7 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             workers: 1,
             queue_depth: 4,
+            metrics_addr: None,
         })
         .expect("bind");
         let shared = Arc::clone(&server.shared);
@@ -641,11 +765,12 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             workers: 1,
             queue_depth: 2,
+            metrics_addr: None,
         })
         .expect("bind");
         server.shared.queue.close();
         let (_, req) = protocol::decode(r#"{"type":"stats","db":"a\n","mode":"plain"}"#);
-        let response = submit(&server.shared, req.unwrap(), None);
+        let (response, _trace) = submit(&server.shared, req.unwrap(), None, Trace::start(1));
         let resp = json::parse(&response).unwrap();
         assert_eq!(resp.get("status").unwrap().as_str(), Some("shutting_down"));
     }
@@ -656,6 +781,7 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             workers: 1,
             queue_depth: 2,
+            metrics_addr: None,
         })
         .expect("bind");
         let shared = Arc::clone(&server.shared);
@@ -684,6 +810,7 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             workers: 1,
             queue_depth: 2,
+            metrics_addr: None,
         })
         .expect("bind");
         server.shared.close_conns();
@@ -765,6 +892,7 @@ mod tests {
                 addr: "127.0.0.1:0".to_string(),
                 workers,
                 queue_depth,
+                metrics_addr: None,
             })
             .map(|server| server.local_addr())
             .unwrap_err();

@@ -74,9 +74,24 @@ pub(crate) const SPECS: &[FlagSpec] = &[
             "threads",
             "queue-depth",
             "ready-file",
+            "metrics-addr",
             "metrics-out",
         ],
         boolean: &["progress"],
+    },
+    FlagSpec {
+        command: "loadgen",
+        valued: &[
+            "addr",
+            "clients",
+            "duration-secs",
+            "psi",
+            "seed",
+            "db",
+            "sequences",
+            "out",
+        ],
+        boolean: &["shutdown"],
     },
     FlagSpec {
         command: "attack",

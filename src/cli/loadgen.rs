@@ -1,0 +1,86 @@
+//! `seqhide loadgen` — drive a running serve instance with concurrent
+//! load and record `BENCH_serve.json`.
+//!
+//! A thin wrapper over [`seqhide_serve::loadgen`]: N client threads
+//! issue a zipfian pattern/domain mix against `--addr` for
+//! `--duration-secs`, latencies are histogrammed client-side, and the
+//! merged report (throughput, p50/p95/p99, shed rate, drain time) is
+//! written to `--out` (default `BENCH_serve.json`). `--shutdown` sends
+//! a `shutdown` request after the run so scripted pipelines (CI's
+//! serve-load-smoke job) can drain the server without a second tool.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use seqhide_serve::loadgen::{run, LoadgenOptions};
+
+use super::flags::Flags;
+use super::{err, CliError};
+
+pub(crate) fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
+    let addr = flags.required("addr")?.to_string();
+    let clients = flags.usize_or("clients", 8)?;
+    if clients == 0 {
+        return Err(err("--clients must be ≥ 1"));
+    }
+    let duration_secs = flags.u64_or("duration-secs", 5)?;
+    if duration_secs == 0 {
+        return Err(err("--duration-secs must be ≥ 1"));
+    }
+    let db = match flags.one("db") {
+        None => None,
+        Some(path) => Some(
+            std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?,
+        ),
+    };
+    let options = LoadgenOptions {
+        addr,
+        clients,
+        duration: Duration::from_secs(duration_secs),
+        psi: flags.usize_or("psi", 50)?,
+        seed: flags.u64_or("seed", 0)?,
+        db,
+        sequences: flags.usize_or("sequences", 64)?,
+    };
+    eprintln!(
+        "[seqhide loadgen] {} client(s) against {} for {}s",
+        options.clients, options.addr, duration_secs
+    );
+    let report = run(&options).map_err(err)?;
+    let out_path = flags.one("out").unwrap_or("BENCH_serve.json");
+    std::fs::write(out_path, report.to_bench_json(&options))
+        .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+    if flags.has("shutdown") {
+        send_shutdown(&options.addr)?;
+    }
+    Ok(format!(
+        "loadgen: {} request(s) in {:.1}s — {:.1} req/s, p50 {}µs p95 {}µs p99 {}µs, \
+         shed rate {:.4}, drain {}ms; wrote {out_path}\n",
+        report.requests,
+        report.elapsed.as_secs_f64(),
+        report.throughput_rps(),
+        report.latency.quantile(0.50) / 1_000,
+        report.latency.quantile(0.95) / 1_000,
+        report.latency.quantile(0.99) / 1_000,
+        report.shed_rate(),
+        report.drain.as_millis(),
+    ))
+}
+
+/// Sends a `shutdown` request and waits for the acknowledgement, so the
+/// caller can rely on the server having begun its drain.
+fn send_shutdown(addr: &str) -> Result<(), CliError> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| err(format!("shutdown: connect {addr}: {e}")))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| err(format!("shutdown: {e}")))?;
+    writeln!(writer, r#"{{"type":"shutdown"}}"#).map_err(|e| err(format!("shutdown: {e}")))?;
+    writer.flush().map_err(|e| err(format!("shutdown: {e}")))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| err(format!("shutdown: {e}")))?;
+    Ok(())
+}

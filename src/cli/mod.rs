@@ -7,6 +7,8 @@
 //! * `hide`   — sanitize a database against sensitive patterns;
 //! * `verify` — check the hiding requirement on a released database;
 //! * `serve`  — run the long-lived sanitization service (TCP, NDJSON);
+//! * `loadgen` — drive a serve instance with concurrent load and record
+//!   `BENCH_serve.json`;
 //! * `gen`    — emit the calibrated TRUCKS-like / SYNTHETIC-like datasets.
 //!
 //! The implementation is a plain function from arguments to output text so
@@ -27,6 +29,7 @@ mod attack;
 mod flags;
 mod gen;
 mod hide;
+mod loadgen;
 mod mine;
 mod serve;
 mod stats;
@@ -70,7 +73,11 @@ USAGE:
                  [--metrics-out FILE] [--progress]
   seqhide verify --db FILE --psi N (--pattern \"a b\")...
   seqhide serve  [--addr HOST:PORT] [--threads N] [--queue-depth N]
-                 [--ready-file FILE] [--metrics-out FILE]
+                 [--ready-file FILE] [--metrics-addr HOST:PORT]
+                 [--metrics-out FILE]
+  seqhide loadgen --addr HOST:PORT [--clients N] [--duration-secs S]
+                 [--psi N] [--seed S] [--db FILE] [--sequences N]
+                 [--out FILE] [--shutdown]
   seqhide attack --original FILE --released FILE [--train FILE]
                  (--pattern \"a b\")...
   seqhide gen    --dataset trucks|synthetic [--seed S] --out FILE
@@ -105,13 +112,20 @@ STREAMING:
 
 SERVING (protocol spec and ops runbook in docs/SERVER.md):
   serve answers newline-delimited JSON requests (sanitize, verify,
-  stats, health, metrics, shutdown) over TCP. Releases are
+  stats, health, metrics, debug, shutdown) over TCP. Releases are
   byte-identical to the equivalent 'seqhide hide' run. A bounded job
   queue (--queue-depth, default 64) feeds --threads workers (default:
   available cores); when the queue is full the server responds
   'overloaded' instead of buffering. 'shutdown' drains in-flight work
   and exits 0. --addr defaults to 127.0.0.1:7070; port 0 picks a free
-  port, written to --ready-file for scripts.
+  port, written to --ready-file for scripts (first line; the scrape
+  address follows on a second line when --metrics-addr is set).
+  --metrics-addr adds a plain-HTTP listener serving GET /metrics
+  (Prometheus text), /metrics.json, and /healthz for scrapers.
+  loadgen drives a running server with a zipfian request mix from N
+  client connections and writes BENCH_serve.json (throughput,
+  p50/p95/p99 latency, shed rate, drain time); --shutdown drains the
+  server afterwards.
 
 TELEMETRY:
   --metrics-out FILE  write the run's span/counter/histogram snapshot as
@@ -226,6 +240,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "hide" => hide::cmd_hide(&flags),
         "verify" => verify::cmd_verify(&flags),
         "serve" => serve::cmd_serve(&flags),
+        "loadgen" => loadgen::cmd_loadgen(&flags),
         "attack" => attack::cmd_attack(&flags),
         "gen" => gen::cmd_gen(&flags),
         _ => unreachable!("spec table covers every dispatched command"),

@@ -4,9 +4,11 @@
 //! a `shutdown` request drains it. The listening banner goes to stderr
 //! (stdout is reserved for the final summary line, which the generic
 //! `--metrics-out` handling in [`super::run`] may extend); under
-//! `--ready-file` the bound address is also written to a file once the
-//! listener is up, so scripts using an ephemeral port (`--addr
-//! 127.0.0.1:0`) can discover it without racing the bind.
+//! `--ready-file` the bound addresses are also written to a file once
+//! the listeners are up — wire address on the first line, Prometheus
+//! scrape address (when `--metrics-addr` is set) on the second — so
+//! scripts using ephemeral ports (`--addr 127.0.0.1:0`) can discover
+//! them without racing the bind.
 
 use seqhide_serve::{ServeOptions, Server};
 
@@ -29,19 +31,27 @@ pub(crate) fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
              as overloaded (use a small value like 1 to exercise backpressure)",
         ));
     }
+    let metrics_addr = flags.one("metrics-addr").map(str::to_string);
     let server = Server::bind(&ServeOptions {
         addr: addr.clone(),
         workers,
         queue_depth,
+        metrics_addr: metrics_addr.clone(),
     })
     .map_err(|e| err(format!("cannot bind {addr}: {e}")))?;
     let local = server.local_addr();
     eprintln!(
         "[seqhide serve] listening on {local} ({workers} worker(s), queue depth {queue_depth})"
     );
+    if let Some(scrape) = server.metrics_addr() {
+        eprintln!("[seqhide serve] Prometheus scrape endpoint on http://{scrape}/metrics");
+    }
     if let Some(path) = flags.one("ready-file") {
-        std::fs::write(path, format!("{local}\n"))
-            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        let mut contents = format!("{local}\n");
+        if let Some(scrape) = server.metrics_addr() {
+            contents.push_str(&format!("{scrape}\n"));
+        }
+        std::fs::write(path, contents).map_err(|e| err(format!("cannot write {path}: {e}")))?;
     }
     let summary = server.run().map_err(|e| err(format!("serve: {e}")))?;
     Ok(format!(

@@ -519,7 +519,7 @@ fn metrics_out_writes_documented_schema() {
     assert!(out.contains("wrote metrics to"), "{out}");
     let json = fs::read_to_string(&metrics_path).unwrap();
     for key in [
-        "\"schema_version\": 3",
+        "\"schema_version\": 4",
         "\"obs_enabled\"",
         "\"phases\"",
         "\"counters\"",
@@ -587,7 +587,7 @@ fn metrics_out_written_on_command_error() {
     .unwrap_err();
     assert!(e.0.contains("unknown post strategy"), "{e}");
     let json = fs::read_to_string(&metrics_path).unwrap();
-    assert!(json.contains("\"schema_version\": 3"), "{json}");
+    assert!(json.contains("\"schema_version\": 4"), "{json}");
     assert!(
         json.contains("\"error\": \"unknown post strategy 'nonsense'"),
         "{json}"

@@ -28,6 +28,7 @@ fn start(workers: usize, queue_depth: usize) -> (SocketAddr, thread::JoinHandle<
         addr: "127.0.0.1:0".to_string(),
         workers,
         queue_depth,
+        metrics_addr: None,
     })
     .expect("bind");
     let addr = server.local_addr();
@@ -423,20 +424,29 @@ fn cli_serve_subcommand_end_to_end() {
             "8",
             "--ready-file",
             &ready_arg,
+            "--metrics-addr",
+            "127.0.0.1:0",
         ]))
     });
 
-    let mut addr = None;
+    // first line: wire address; second line: the Prometheus scrape address
+    let mut addrs = None;
     for _ in 0..400 {
         if let Ok(text) = fs::read_to_string(&ready) {
-            if let Ok(parsed) = text.trim().parse::<SocketAddr>() {
-                addr = Some(parsed);
-                break;
+            let lines: Vec<&str> = text.lines().collect();
+            if lines.len() == 2 {
+                if let (Ok(wire), Ok(scrape)) = (
+                    lines[0].parse::<SocketAddr>(),
+                    lines[1].parse::<SocketAddr>(),
+                ) {
+                    addrs = Some((wire, scrape));
+                    break;
+                }
             }
         }
         thread::sleep(Duration::from_millis(5));
     }
-    let addr = addr.expect("ready file never appeared");
+    let (addr, scrape) = addrs.expect("ready file never appeared");
 
     let resp = send_one(
         addr,
@@ -453,8 +463,8 @@ fn cli_serve_subcommand_end_to_end() {
     let metrics = resp.get("metrics").expect("metrics payload");
     assert_eq!(
         metrics.get("schema_version").and_then(Json::as_u64),
-        Some(3),
-        "live snapshot carries the v3 schema"
+        Some(4),
+        "live snapshot carries the v4 schema"
     );
     if seqhide_obs::is_enabled() {
         let requests = metrics
@@ -465,6 +475,38 @@ fn cli_serve_subcommand_end_to_end() {
         assert!(requests >= 1, "live counter should have seen the sanitize");
     }
 
+    // HTTP scrapes don't count as wire requests, so back-to-back GETs of
+    // /metrics.json and /metrics see the same totals: the Prometheus
+    // counter must equal the JSON snapshot's value exactly.
+    let (status, body) = http_get(scrape, "/metrics.json");
+    assert_eq!(status, 200, "{body}");
+    let snap = json::parse(&body).expect("/metrics.json is JSON");
+    let (status, exposition) = http_get(scrape, "/metrics");
+    assert_eq!(status, 200, "{exposition}");
+    assert_prometheus_exposition(&exposition);
+    if seqhide_obs::is_enabled() {
+        let json_requests = snap
+            .get("counters")
+            .and_then(|c| c.get("serve_requests"))
+            .and_then(Json::as_u64)
+            .expect("serve_requests in JSON scrape");
+        assert_eq!(
+            prometheus_value(&exposition, "seqhide_serve_requests_total"),
+            Some(json_requests as f64),
+            "scrape and JSON snapshot disagree:\n{exposition}"
+        );
+    }
+    let (status, health) = http_get(scrape, "/healthz");
+    assert_eq!(status, 200, "{health}");
+    let health = json::parse(&health).expect("/healthz is JSON");
+    assert_eq!(
+        health.get("version").and_then(Json::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(health.get("uptime_ms").and_then(Json::as_u64).is_some());
+    let (status, _) = http_get(scrape, "/nope");
+    assert_eq!(status, 404);
+
     let resp = send_one(addr, r#"{"type":"shutdown"}"#);
     assert_eq!(resp.get("draining").and_then(Json::as_bool), Some(true));
     let out = handle.join().unwrap().unwrap();
@@ -473,4 +515,257 @@ fn cli_serve_subcommand_end_to_end() {
         out.contains("3 request(s)") || out.contains("executed"),
         "{out}"
     );
+}
+
+/// Minimal HTTP/1.1 GET: returns (status, body). The metrics listener
+/// closes after one response, so read-to-EOF then split on the blank
+/// line.
+fn http_get(addr: SocketAddr, path: &str) -> (u32, String) {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr).expect("connect scrape listener");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read HTTP response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("HTTP head/body split");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, body.to_string())
+}
+
+/// Minimal Prometheus text-format checker: every non-empty line is a
+/// `# HELP`/`# TYPE` comment or a `name[{labels}] value` sample whose
+/// value parses as a float and whose name is a valid metric identifier.
+fn assert_prometheus_exposition(text: &str) {
+    let mut samples = 0;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            assert!(
+                comment.starts_with("HELP ") || comment.starts_with("TYPE "),
+                "bad comment line: {line}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name: {line}"
+        );
+        if let Some(rest) = series.strip_prefix(name) {
+            if !rest.is_empty() {
+                assert!(
+                    rest.starts_with('{') && rest.ends_with('}'),
+                    "bad label set: {line}"
+                );
+            }
+        }
+        assert!(name.starts_with("seqhide_"), "unprefixed metric: {line}");
+        samples += 1;
+    }
+    assert!(samples > 0, "exposition has no samples:\n{text}");
+}
+
+/// Value of an unlabelled series in an exposition, if present.
+fn prometheus_value(text: &str, series: &str) -> Option<f64> {
+    text.lines()
+        .find_map(|l| l.strip_prefix(series).and_then(|r| r.strip_prefix(' ')))
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn sanitize_responses_carry_a_timings_breakdown() {
+    let (addr, handle) = start(1, 4);
+    let resp = send_one(
+        addr,
+        r#"{"id":9,"type":"sanitize","db":"a b c\nb a c\na c\n","patterns":["a c"],"psi":0}"#,
+    );
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    let timings = resp.get("timings").expect("timings object");
+    assert!(timings.get("req_id").and_then(Json::as_u64).is_some());
+    for leg in ["queue_wait_ns", "parse_ns", "sanitize_ns", "serialize_ns"] {
+        assert!(
+            timings.get(leg).and_then(Json::as_u64).is_some(),
+            "missing {leg} in {resp:?}"
+        );
+    }
+    send_one(addr, r#"{"type":"shutdown"}"#);
+    handle.join().unwrap();
+}
+
+#[test]
+fn health_reports_uptime_version_and_high_water_marks() {
+    let (addr, handle) = start(2, 4);
+    // one sanitize first so the in-flight high-water mark is ≥ 1
+    send_one(
+        addr,
+        r#"{"type":"sanitize","db":"a b\nb a\n","patterns":["a b"],"psi":0}"#,
+    );
+    let resp = send_one(addr, r#"{"type":"health"}"#);
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        resp.get("version").and_then(Json::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(resp.get("uptime_ms").and_then(Json::as_u64).is_some());
+    assert!(
+        resp.get("inflight_high_water").and_then(Json::as_u64) >= Some(1),
+        "{resp:?}"
+    );
+    assert!(resp
+        .get("queue_depth_high_water")
+        .and_then(Json::as_u64)
+        .is_some());
+    send_one(addr, r#"{"type":"shutdown"}"#);
+    handle.join().unwrap();
+}
+
+#[test]
+fn debug_dumps_a_slow_request_journal() {
+    let (addr, handle) = start(1, 4);
+    send_one(
+        addr,
+        r#"{"type":"sanitize","db":"a b c\nb a c\n","patterns":["a b"],"psi":0}"#,
+    );
+    let resp = send_one(addr, r#"{"id":3,"type":"debug"}"#);
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    let tracked = resp.get("tracked").and_then(Json::as_u64).unwrap();
+    let slowest = resp.get("slowest").and_then(Json::as_array).unwrap();
+    if seqhide_obs::is_enabled() {
+        assert!(tracked >= 1, "{resp:?}");
+        assert!(!slowest.is_empty(), "{resp:?}");
+        let trace = &slowest[0];
+        assert!(trace.get("req_id").and_then(Json::as_u64).is_some());
+        assert!(trace.get("total_ns").and_then(Json::as_u64).is_some());
+        let events = trace.get("events").and_then(Json::as_array).unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("event").and_then(Json::as_str))
+            .collect();
+        for expected in ["received", "parsed", "admitted", "dequeued", "exec_start"] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        // timestamps are monotonic within the timeline
+        let stamps: Vec<u64> = events
+            .iter()
+            .filter_map(|e| e.get("at_ns").and_then(Json::as_u64))
+            .collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "{stamps:?}");
+    } else {
+        assert_eq!(tracked, 0, "obs-off build retains no traces");
+        assert!(slowest.is_empty());
+    }
+    send_one(addr, r#"{"type":"shutdown"}"#);
+    handle.join().unwrap();
+}
+
+/// Scrapes under live load: wire `metrics` counters are monotonic across
+/// consecutive reads while sanitize traffic is in flight, and the
+/// Prometheus wire variant stays well-formed throughout.
+#[test]
+fn concurrent_metrics_scrapes_stay_monotonic_under_load() {
+    let (addr, handle) = start(2, 16);
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let loaders: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = std::sync::Arc::clone(&stop);
+            thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    send_one(
+                        addr,
+                        r#"{"type":"sanitize","db":"a b c\nb a c\na c\n","patterns":["a c"],"psi":0,"delay_ms":2}"#,
+                    );
+                }
+            })
+        })
+        .collect();
+
+    let mut last = 0u64;
+    for _ in 0..5 {
+        let resp = send_one(addr, r#"{"type":"metrics"}"#);
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        if seqhide_obs::is_enabled() {
+            let requests = resp
+                .get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get("serve_requests"))
+                .and_then(Json::as_u64)
+                .expect("serve_requests counter");
+            assert!(
+                requests >= last,
+                "counter went backwards: {last} -> {requests}"
+            );
+            last = requests;
+        }
+        let resp = send_one(addr, r#"{"type":"metrics","format":"prometheus"}"#);
+        assert_eq!(
+            resp.get("format").and_then(Json::as_str),
+            Some("prometheus")
+        );
+        let exposition = resp
+            .get("metrics")
+            .and_then(Json::as_str)
+            .expect("exposition string");
+        assert_prometheus_exposition(exposition);
+    }
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for loader in loaders {
+        loader.join().unwrap();
+    }
+    send_one(addr, r#"{"type":"shutdown"}"#);
+    handle.join().unwrap();
+}
+
+/// In-process loadgen against an in-process server: the report counts
+/// every response, latency quantiles are ordered, and the BENCH JSON
+/// carries the named fields CI asserts on.
+#[test]
+fn loadgen_drives_a_server_and_reports() {
+    use seqhide::serve::loadgen::{self, LoadgenOptions};
+    let (addr, handle) = start(2, 8);
+    let report = loadgen::run(&LoadgenOptions {
+        addr: addr.to_string(),
+        clients: 3,
+        duration: Duration::from_millis(400),
+        psi: 2,
+        seed: 11,
+        db: None,
+        sequences: 12,
+    })
+    .expect("loadgen run");
+    assert!(report.requests > 0);
+    assert_eq!(
+        report.requests,
+        report.ok + report.overloaded + report.errors
+    );
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert_eq!(report.latency.count, report.requests);
+    assert!(report.latency.quantile(0.99) >= report.latency.quantile(0.50));
+    assert!(report.shed_rate() >= 0.0 && report.shed_rate() <= 1.0);
+    let json = report.to_bench_json(&LoadgenOptions::default());
+    for key in [
+        "\"bench\": \"serve\"",
+        "\"throughput_rps\"",
+        "\"p99\"",
+        "\"drain_ms\"",
+    ] {
+        assert!(json.contains(key), "missing {key}");
+    }
+    send_one(addr, r#"{"type":"shutdown"}"#);
+    handle.join().unwrap();
 }
