@@ -2,15 +2,21 @@
 """Concurrent smoke client for the CI serve-smoke job.
 
 Usage: serve_smoke.py ADDR_FILE DB_FILE EXPECT_HH_SEED0 EXPECT_RR_SEED7 \
-                      EXPECT_STRING_SUB
+                      EXPECT_STRING_SUB [PHASE]
 
 Hammers a running `seqhide serve` instance with concurrent sanitize
 requests and asserts every answered release is byte-identical to the CLI
-ground-truth files, that the `op` wire field round-trips (string-mode
-substitute parity plus the mark-only rejection), that health and metrics
-stay responsive while the pool is loaded, and that a shutdown request is
-acknowledged as draining. The caller owns process-level checks (exit
-status, summary line).
+ground-truth files — both shipping the database inline and referencing
+it as an interned dataset — that the `op` wire field round-trips
+(string-mode substitute parity plus the mark-only rejection), that
+health and metrics stay responsive while the pool is loaded, and that a
+shutdown request is acknowledged as draining.
+
+PHASE is "initial" (default) or "restart". The initial phase loads the
+database once as dataset "smoke"; the restart phase expects a fresh
+server over the same --data-dir to have re-attached it from disk
+(origin "reattach") without any reload. The caller owns process-level
+checks (exit status, summary line, store-file presence).
 """
 import json
 import socket
@@ -20,6 +26,7 @@ import threading
 CLIENTS = 8
 PATTERN = "X2Y7 X3Y7"
 PSI = 50
+DATASET = "smoke"
 
 
 def rpc(addr, *requests):
@@ -35,6 +42,8 @@ def rpc(addr, *requests):
 
 def main():
     addr_file, db_file, expect_hh, expect_rr, expect_string = sys.argv[1:6]
+    phase = sys.argv[6] if len(sys.argv) > 6 else "initial"
+    assert phase in ("initial", "restart"), phase
     with open(addr_file) as fh:
         # first line is the wire address; a second line (the Prometheus
         # scrape address) appears when --metrics-addr is set
@@ -49,32 +58,55 @@ def main():
     with open(expect_string) as fh:
         expected_string = fh.read()
 
+    # Dataset registry: the initial phase interns the database once; the
+    # restart phase finds it re-attached from --data-dir instead. Either
+    # way, clients below reference it by name and a duplicate load is
+    # refused (the registry never silently replaces).
+    if phase == "initial":
+        (resp,) = rpc(addr, {"type": "load", "name": DATASET, "db": db})
+        assert resp.get("status") == "ok", resp
+        assert resp["bytes"] == len(db.encode("utf-8")), resp
+    (resp,) = rpc(addr, {"type": "datasets"})
+    assert resp.get("status") == "ok", resp
+    rows = {row["name"]: row for row in resp["datasets"]}
+    assert DATASET in rows, resp
+    want_origin = "inline" if phase == "initial" else "reattach"
+    assert rows[DATASET]["origin"] == want_origin, rows[DATASET]
+    (resp,) = rpc(addr, {"type": "load", "name": DATASET, "db": db})
+    assert resp.get("status") == "error", resp
+    assert "already loaded" in resp.get("error", ""), resp
+
     failures = []
     ok_count = [0]
 
     def client(tid):
         try:
             for (algo, seed), release in sorted(expected.items()):
-                req = {
-                    "id": "%d-%s-%d" % (tid, algo, seed),
+                base = {
                     "type": "sanitize",
-                    "db": db,
                     "patterns": [PATTERN],
                     "psi": PSI,
                     "algorithm": algo,
                     "seed": seed,
                 }
-                (resp,) = rpc(addr, req)
-                if resp.get("status") == "overloaded":
-                    # A legitimate shed under the deliberately small CI
-                    # queue; parity is asserted on every answered request.
-                    continue
-                assert resp.get("status") == "ok", resp
-                assert resp["release"] == release, (
-                    "client %d: %s/seed %d release diverged from the CLI"
-                    % (tid, algo, seed)
-                )
-                ok_count[0] += 1
+                for transport, db_field in (
+                    ("inline", {"db": db}),
+                    ("dataset", {"dataset": DATASET}),
+                ):
+                    req = dict(base, **db_field)
+                    req["id"] = "%d-%s-%d-%s" % (tid, algo, seed, transport)
+                    (resp,) = rpc(addr, req)
+                    if resp.get("status") == "overloaded":
+                        # A legitimate shed under the deliberately small
+                        # CI queue; parity is asserted on every answered
+                        # request.
+                        continue
+                    assert resp.get("status") == "ok", resp
+                    assert resp["release"] == release, (
+                        "client %d: %s/seed %d via %s release diverged "
+                        "from the CLI" % (tid, algo, seed, transport)
+                    )
+                    ok_count[0] += 1
         except Exception as exc:  # collected for the main thread
             failures.append("client %d: %r" % (tid, exc))
 
@@ -131,15 +163,16 @@ def main():
     snap = metrics["metrics"]
     assert "schema_version" in snap, snap
     if snap.get("obs_enabled"):
-        # 2 sanitize requests per client plus the health probe above.
+        # 4 sanitize requests per client plus the health probe above.
         assert snap["counters"]["serve_requests"] >= 2 * CLIENTS, snap
 
     (bye,) = rpc(addr, {"type": "shutdown"})
     assert bye["status"] == "ok" and bye["draining"] is True, bye
     print(
-        "serve smoke: %d/%d releases byte-identical to the CLI; "
-        "string-mode op parity, health, metrics and shutdown all OK"
-        % (ok_count[0], 2 * CLIENTS)
+        "serve smoke (%s): %d/%d releases byte-identical to the CLI "
+        "(inline and dataset '%s'); string-mode op parity, health, "
+        "metrics and shutdown all OK"
+        % (phase, ok_count[0], 4 * CLIENTS, DATASET)
     )
 
 

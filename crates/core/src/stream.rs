@@ -41,7 +41,8 @@
 //! it stays sublinear in `|D|`.
 
 use std::collections::HashMap;
-use std::io::{self, Write};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
 use std::path::Path;
 
 use seqhide_data::stream::{PlainCodec, SeqReader, StreamCodec};
@@ -86,6 +87,12 @@ impl StreamReport {
     }
 }
 
+/// Adapts a file path to the reader-factory contract of the `_from`
+/// entry points: each call reopens the file from the top.
+fn open_factory(input: &Path) -> impl Fn() -> io::Result<Box<dyn BufRead>> + '_ {
+    move || Ok(Box::new(BufReader::new(File::open(input)?)) as Box<dyn BufRead>)
+}
+
 impl Sanitizer {
     /// Streams `input` through the two-pass pipeline, writing the
     /// sanitized database to `sink` and keeping at most `batch_size`
@@ -107,33 +114,49 @@ impl Sanitizer {
         batch_size: usize,
         sink: &mut dyn Write,
     ) -> io::Result<StreamReport> {
+        self.run_streaming_from(&open_factory(input), alphabet, sh, batch_size, sink)
+    }
+
+    /// [`Sanitizer::run_streaming`] over any rewindable source: `open`
+    /// is called once per pass and must return a fresh reader over the
+    /// same bytes each time (a file reopen, a shard-store cursor, an
+    /// in-memory slice). This is what lets the serve registry stream
+    /// disk-backed datasets without materializing them to a temp file.
+    pub fn run_streaming_from(
+        &self,
+        open: &dyn Fn() -> io::Result<Box<dyn BufRead>>,
+        alphabet: &mut Alphabet,
+        sh: &SensitiveSet,
+        batch_size: usize,
+        sink: &mut dyn Write,
+    ) -> io::Result<StreamReport> {
         match (self.exact_counts(), self.engine()) {
-            (false, EngineMode::Incremental) => self.run_streaming_domain(
-                input,
+            (false, EngineMode::Incremental) => self.run_streaming_domain_from(
+                open,
                 alphabet,
                 &PlainCodec,
                 &|| MatchEngine::<Sat64>::new(sh),
                 batch_size,
                 sink,
             ),
-            (true, EngineMode::Incremental) => self.run_streaming_domain(
-                input,
+            (true, EngineMode::Incremental) => self.run_streaming_domain_from(
+                open,
                 alphabet,
                 &PlainCodec,
                 &|| MatchEngine::<BigCount>::new(sh),
                 batch_size,
                 sink,
             ),
-            (false, EngineMode::Scratch) => self.run_streaming_domain(
-                input,
+            (false, EngineMode::Scratch) => self.run_streaming_domain_from(
+                open,
                 alphabet,
                 &PlainCodec,
                 &|| ScratchDomain::<Sat64>::new(sh),
                 batch_size,
                 sink,
             ),
-            (true, EngineMode::Scratch) => self.run_streaming_domain(
-                input,
+            (true, EngineMode::Scratch) => self.run_streaming_domain_from(
+                open,
                 alphabet,
                 &PlainCodec,
                 &|| ScratchDomain::<BigCount>::new(sh),
@@ -166,6 +189,24 @@ impl Sanitizer {
         D: PatternDomain,
         K: StreamCodec<Seq = D::Seq>,
     {
+        self.run_streaming_domain_from(&open_factory(input), alphabet, codec, make, batch_size, sink)
+    }
+
+    /// [`Sanitizer::run_streaming_domain`] over any rewindable source
+    /// (see [`Sanitizer::run_streaming_from`] for the `open` contract).
+    pub fn run_streaming_domain_from<D, K>(
+        &self,
+        open: &dyn Fn() -> io::Result<Box<dyn BufRead>>,
+        alphabet: &mut Alphabet,
+        codec: &K,
+        make: &(dyn Fn() -> D + Sync),
+        batch_size: usize,
+        sink: &mut dyn Write,
+    ) -> io::Result<StreamReport>
+    where
+        D: PatternDomain,
+        K: StreamCodec<Seq = D::Seq>,
+    {
         let batch_size = batch_size.max(1);
         let strategy = self.global();
         let mut main = make();
@@ -174,7 +215,7 @@ impl Sanitizer {
         // supporter, nothing else.
         let (stats, sequences_total) = {
             let _span = obs::span(Phase::StreamPass1);
-            let mut reader = SeqReader::open(input)?;
+            let mut reader = SeqReader::new(open()?);
             let mut stats: Vec<SupporterStat<D::Count>> = Vec::new();
             let mut ordinal = 0usize;
             while let Some(t) = reader.next_record(codec, alphabet)? {
@@ -201,7 +242,7 @@ impl Sanitizer {
         // Pass 2: batched sanitize + incremental write + residual tally.
         let _span = obs::span(Phase::StreamPass2);
         obs::progress::begin("sanitize (stream)", victims.len() as u64);
-        let mut reader = SeqReader::open(input)?;
+        let mut reader = SeqReader::new(open()?);
         let mut stats_total = EngineStats::default();
         let mut residual = vec![0usize; main.pattern_count()];
         let mut marks = 0usize;

@@ -1,0 +1,217 @@
+//! Shard compression for the persistent dataset store: a tiny, std-only
+//! byte-oriented LZ codec.
+//!
+//! The build environment has no registry access, so no deflate/zstd —
+//! this is a deliberately small LZ77 variant tuned for the repetitive
+//! sequence-database text the store holds (grid symbols like `X2Y7`
+//! recur constantly, so back-references pay off quickly):
+//!
+//! * greedy matcher over a 4-byte rolling hash, single-slot table;
+//! * matches of 4..=131 bytes, distances up to 64 KiB, varint-encoded;
+//! * literal runs of up to 128 bytes behind a one-byte control token.
+//!
+//! The format is self-delimiting given the declared raw length, and
+//! [`decompress`] validates every token against it, so a truncated or
+//! corrupted shard is an error, never garbage output. Ratios are modest
+//! (2–4× on sequence text) — the goal is bounded disk for standing
+//! datasets, not competition with real entropy coders.
+
+use std::io;
+
+/// Shortest back-reference worth a token (control byte + 1–3 distance
+/// bytes must beat copying the bytes literally).
+const MIN_MATCH: usize = 4;
+/// Longest back-reference one token encodes (`0x7f + MIN_MATCH`).
+const MAX_MATCH: usize = 131;
+/// Longest literal run one token encodes.
+const MAX_LITERAL_RUN: usize = 128;
+/// Matcher window: distances beyond this are not representable cheaply
+/// enough to bother with.
+const MAX_DISTANCE: usize = 64 * 1024;
+/// Hash table slots (power of two).
+const HASH_SLOTS: usize = 1 << 14;
+
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> 18) as usize & (HASH_SLOTS - 1)
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| corrupt("varint runs past the shard"))?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(corrupt("varint wider than 64 bits"));
+        }
+    }
+}
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt shard: {what}"))
+}
+
+fn flush_literals(out: &mut Vec<u8>, raw: &[u8], mut from: usize, to: usize) {
+    while from < to {
+        let run = (to - from).min(MAX_LITERAL_RUN);
+        out.push((run - 1) as u8);
+        out.extend_from_slice(&raw[from..from + run]);
+        from += run;
+    }
+}
+
+/// Compresses `raw` into the shard token format, raw length first.
+pub fn compress(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raw.len() / 2 + 16);
+    push_varint(&mut out, raw.len() as u64);
+    let mut table = vec![usize::MAX; HASH_SLOTS];
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+    while pos + MIN_MATCH <= raw.len() {
+        let slot = hash4(&raw[pos..]);
+        let candidate = table[slot];
+        table[slot] = pos;
+        let found = candidate != usize::MAX
+            && pos - candidate <= MAX_DISTANCE
+            && raw[candidate..candidate + MIN_MATCH] == raw[pos..pos + MIN_MATCH];
+        if !found {
+            pos += 1;
+            continue;
+        }
+        let mut len = MIN_MATCH;
+        let limit = (raw.len() - pos).min(MAX_MATCH);
+        while len < limit && raw[candidate + len] == raw[pos + len] {
+            len += 1;
+        }
+        flush_literals(&mut out, raw, literal_start, pos);
+        out.push(0x80 | (len - MIN_MATCH) as u8);
+        push_varint(&mut out, (pos - candidate) as u64);
+        pos += len;
+        literal_start = pos;
+    }
+    flush_literals(&mut out, raw, literal_start, raw.len());
+    out
+}
+
+/// Decompresses one shard produced by [`compress`], validating every
+/// token against the declared raw length.
+pub fn decompress(shard: &[u8]) -> io::Result<Vec<u8>> {
+    let mut pos = 0usize;
+    let raw_len = read_varint(shard, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(raw_len);
+    while pos < shard.len() {
+        let control = shard[pos];
+        pos += 1;
+        if control & 0x80 == 0 {
+            let run = control as usize + 1;
+            let end = pos
+                .checked_add(run)
+                .filter(|&e| e <= shard.len())
+                .ok_or_else(|| corrupt("literal run past the shard"))?;
+            out.extend_from_slice(&shard[pos..end]);
+            pos = end;
+        } else {
+            let len = (control & 0x7f) as usize + MIN_MATCH;
+            let distance = read_varint(shard, &mut pos)? as usize;
+            if distance == 0 || distance > out.len() {
+                return Err(corrupt("back-reference before the start"));
+            }
+            let from = out.len() - distance;
+            // Overlapping copies are legal (distance < len repeats).
+            for i in 0..len {
+                let byte = out[from + i];
+                out.push(byte);
+            }
+        }
+        if out.len() > raw_len {
+            return Err(corrupt("output exceeds the declared raw length"));
+        }
+    }
+    if out.len() != raw_len {
+        return Err(corrupt("output shorter than the declared raw length"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(raw: &[u8]) {
+        let packed = compress(raw);
+        assert_eq!(decompress(&packed).unwrap(), raw, "len {}", raw.len());
+    }
+
+    #[test]
+    fn roundtrips_edge_shapes() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"aaaa"); // shortest possible match, overlapping copy
+        roundtrip(&vec![b'z'; 10_000]); // long run, chained matches
+        roundtrip("Δ mark Δ mark Δ mark\n".as_bytes());
+    }
+
+    #[test]
+    fn roundtrips_sequence_text_and_shrinks_it() {
+        let line = "X2Y7 X3Y7 X4Y6 X5Y5 X2Y7\n";
+        let text: String = line.repeat(400);
+        let packed = compress(text.as_bytes());
+        assert!(
+            packed.len() < text.len() / 2,
+            "repetitive sequence text should compress well: {} vs {}",
+            packed.len(),
+            text.len()
+        );
+        assert_eq!(decompress(&packed).unwrap(), text.as_bytes());
+    }
+
+    #[test]
+    fn roundtrips_pseudorandom_bytes() {
+        // splitmix64-ish stream: incompressible, exercises literal paths.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut raw = Vec::new();
+        for _ in 0..5_000 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            raw.extend_from_slice(&z.to_le_bytes());
+        }
+        roundtrip(&raw);
+    }
+
+    #[test]
+    fn corrupt_shards_error_instead_of_garbage() {
+        let packed = compress(b"hello hello hello hello");
+        // truncation
+        assert!(decompress(&packed[..packed.len() - 2]).is_err());
+        // raw-length lie
+        let mut lying = packed.clone();
+        lying[0] = lying[0].wrapping_add(1);
+        assert!(decompress(&lying).is_err());
+        // back-reference before the start
+        assert!(decompress(&[4, 0x80, 7]).is_err());
+        // varint running past the end
+        assert!(decompress(&[0xff]).is_err());
+    }
+}

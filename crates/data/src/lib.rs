@@ -24,16 +24,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compress;
 pub mod generate;
 pub mod grid;
 pub mod io;
 pub mod random;
+pub mod store;
 pub mod stream;
 pub mod trajectory;
 
 pub use generate::{synthetic_like, trucks_like, Dataset};
 pub use grid::Grid;
 pub use random::{markov_db, random_db, zipf_db};
+pub use store::{ShardStore, ShardStoreReader, ShardStoreWriter};
 pub use stream::{
     ItemsetCodec, PlainCodec, SeqReader, SeqWriter, ShardWriter, StreamCodec, TimedCodec,
 };

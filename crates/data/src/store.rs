@@ -1,0 +1,521 @@
+//! Persistent, immutable dataset store: the on-disk half of the serve
+//! registry.
+//!
+//! A [`ShardStore`] holds one sequence database as a single file of
+//! [`compress`]ed shards plus a footer index, so a server can:
+//!
+//! * re-attach standing datasets across restarts without re-shipping
+//!   them over the wire (`serve --data-dir`);
+//! * stream databases larger than RAM shard-by-shard through the
+//!   two-pass sanitization path, with exactly one decompressed shard
+//!   resident at a time;
+//! * seek pass 2 back to the start cheaply (each [`reader`] call is an
+//!   independent cursor over the same immutable file).
+//!
+//! ## File format (`*.sqds`)
+//!
+//! ```text
+//! "SQDS1\n"                                  6-byte magic
+//! shard 0 .. shard N-1                       compress::compress() output, back to back
+//! footer: N × { offset, compressed_len,      4 × u64 LE per shard
+//!               raw_len, sequence_count }
+//! trailer: shard_count, total_raw_bytes,     5 × u64 LE + 8-byte end magic
+//!          total_sequences, footer_offset,
+//!          "SQDSEND1"
+//! ```
+//!
+//! Everything is written to a temp file and renamed into place, so a
+//! crash mid-write never leaves a half-readable store. The raw text
+//! round-trips byte-exactly: `ShardStore` is a container, not a parser
+//! — codec-level concerns (itemsets, timestamps) stay in
+//! [`crate::stream`].
+//!
+//! Open stores keep a live [`File`] handle, so on POSIX an unlink (the
+//! registry's `unload`) does not disturb readers mid-stream: the inode
+//! stays alive until the last handle drops.
+
+use std::fs::{self, File};
+use std::io::{self, BufRead, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::compress;
+
+const MAGIC: &[u8; 6] = b"SQDS1\n";
+const END_MAGIC: &[u8; 8] = b"SQDSEND1";
+
+/// Raw bytes per shard before the writer cuts a new one (always at a
+/// line boundary, so a shard is independently meaningful text).
+pub const DEFAULT_SHARD_RAW_BYTES: usize = 4 * 1024 * 1024;
+
+/// Index entry for one shard.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardMeta {
+    /// Byte offset of the compressed shard within the store file.
+    pub offset: u64,
+    /// Compressed length in bytes.
+    pub compressed_len: u64,
+    /// Decompressed length in bytes.
+    pub raw_len: u64,
+    /// Number of data lines (non-blank, non-`#`) in the shard.
+    pub sequence_count: u64,
+}
+
+fn corrupt(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt dataset store: {what}"))
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(raw)
+}
+
+/// Builds a store file incrementally from database text.
+///
+/// Feed text in arbitrary chunks with [`write`](Self::write) (it cuts
+/// shards at line boundaries), then [`commit`](Self::commit) to
+/// atomically rename the finished store into place. Dropping an
+/// uncommitted writer removes the temp file.
+pub struct ShardStoreWriter {
+    final_path: PathBuf,
+    tmp_path: PathBuf,
+    file: Option<File>,
+    /// Raw text accumulated for the shard under construction.
+    pending: Vec<u8>,
+    shard_raw_bytes: usize,
+    shards: Vec<ShardMeta>,
+    offset: u64,
+    total_raw: u64,
+    total_seqs: u64,
+}
+
+impl ShardStoreWriter {
+    /// Starts a store at `path` (written as `path` + `.tmp` until
+    /// commit) with the default shard size.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Self::with_shard_size(path, DEFAULT_SHARD_RAW_BYTES)
+    }
+
+    /// Starts a store with an explicit raw-bytes-per-shard cut point
+    /// (tests use tiny shards to exercise multi-shard paths).
+    pub fn with_shard_size(path: &Path, shard_raw_bytes: usize) -> io::Result<Self> {
+        let tmp_path = {
+            let mut name = path.as_os_str().to_os_string();
+            name.push(".tmp");
+            PathBuf::from(name)
+        };
+        let mut file = File::create(&tmp_path)?;
+        file.write_all(MAGIC)?;
+        Ok(ShardStoreWriter {
+            final_path: path.to_path_buf(),
+            tmp_path,
+            file: Some(file),
+            pending: Vec::new(),
+            shard_raw_bytes: shard_raw_bytes.max(1),
+            shards: Vec::new(),
+            offset: MAGIC.len() as u64,
+            total_raw: 0,
+            total_seqs: 0,
+        })
+    }
+
+    /// Appends a chunk of database text (need not end at a line
+    /// boundary — shard cuts only happen at `\n`).
+    pub fn write(&mut self, chunk: &[u8]) -> io::Result<()> {
+        self.pending.extend_from_slice(chunk);
+        while self.pending.len() >= self.shard_raw_bytes {
+            // Cut at the last newline within the pending buffer so a
+            // line never straddles shards; if none, keep accumulating
+            // (one pathological line = one oversized shard).
+            let Some(cut) = self.pending[..].iter().rposition(|&b| b == b'\n') else {
+                break;
+            };
+            self.flush_shard(cut + 1)?;
+            if self.pending.len() < self.shard_raw_bytes {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_shard(&mut self, upto: usize) -> io::Result<()> {
+        if upto == 0 {
+            return Ok(());
+        }
+        let raw: Vec<u8> = self.pending.drain(..upto).collect();
+        let seqs = count_sequences(&raw);
+        let packed = compress::compress(&raw);
+        let file = self.file.as_mut().expect("writer already committed");
+        file.write_all(&packed)?;
+        self.shards.push(ShardMeta {
+            offset: self.offset,
+            compressed_len: packed.len() as u64,
+            raw_len: raw.len() as u64,
+            sequence_count: seqs,
+        });
+        self.offset += packed.len() as u64;
+        self.total_raw += raw.len() as u64;
+        self.total_seqs += seqs;
+        Ok(())
+    }
+
+    /// Writes the footer and atomically renames the store into place,
+    /// returning the opened store.
+    pub fn commit(mut self) -> io::Result<ShardStore> {
+        let upto = self.pending.len();
+        self.flush_shard(upto)?;
+        let footer_offset = self.offset;
+        let mut tail = Vec::with_capacity(self.shards.len() * 32 + 48);
+        for shard in &self.shards {
+            push_u64(&mut tail, shard.offset);
+            push_u64(&mut tail, shard.compressed_len);
+            push_u64(&mut tail, shard.raw_len);
+            push_u64(&mut tail, shard.sequence_count);
+        }
+        push_u64(&mut tail, self.shards.len() as u64);
+        push_u64(&mut tail, self.total_raw);
+        push_u64(&mut tail, self.total_seqs);
+        push_u64(&mut tail, footer_offset);
+        tail.extend_from_slice(END_MAGIC);
+        let mut file = self.file.take().expect("writer already committed");
+        file.write_all(&tail)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&self.tmp_path, &self.final_path)?;
+        ShardStore::open(&self.final_path)
+    }
+}
+
+impl Drop for ShardStoreWriter {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            let _ = fs::remove_file(&self.tmp_path);
+        }
+    }
+}
+
+fn count_sequences(raw: &[u8]) -> u64 {
+    let mut count = 0u64;
+    for line in raw.split(|&b| b == b'\n') {
+        let trimmed = line
+            .iter()
+            .position(|b| !b.is_ascii_whitespace())
+            .map(|at| &line[at..]);
+        match trimmed {
+            Some(rest) if rest.first() != Some(&b'#') => count += 1,
+            _ => {}
+        }
+    }
+    count
+}
+
+/// An open, immutable dataset store.
+///
+/// Clone-free sharing: wrap it in an `Arc` and hand out
+/// [`reader`](Self::reader) cursors — each is an independent handle
+/// over the same file, so concurrent streams (or pass 1 + pass 2 of
+/// the streaming sanitizer) never contend on a seek position.
+pub struct ShardStore {
+    path: PathBuf,
+    file: File,
+    shards: Vec<ShardMeta>,
+    total_raw: u64,
+    total_seqs: u64,
+}
+
+impl ShardStore {
+    /// Opens and validates a store file, keeping a live handle.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let trailer_len = (8 * 4 + END_MAGIC.len()) as u64;
+        if len < MAGIC.len() as u64 + trailer_len {
+            return Err(corrupt("file shorter than magic + trailer"));
+        }
+        let mut magic = [0u8; 6];
+        file.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(corrupt("bad magic (not a .sqds file)"));
+        }
+        file.seek(SeekFrom::End(-(trailer_len as i64)))?;
+        let mut trailer = vec![0u8; trailer_len as usize];
+        file.read_exact(&mut trailer)?;
+        if &trailer[32..] != END_MAGIC {
+            return Err(corrupt("bad end magic (truncated write?)"));
+        }
+        let shard_count = read_u64(&trailer, 0);
+        let total_raw = read_u64(&trailer, 8);
+        let total_seqs = read_u64(&trailer, 16);
+        let footer_offset = read_u64(&trailer, 24);
+        let footer_len = shard_count
+            .checked_mul(32)
+            .ok_or_else(|| corrupt("shard count overflows"))?;
+        if footer_offset
+            .checked_add(footer_len)
+            .map_or(true, |end| end != len - trailer_len)
+        {
+            return Err(corrupt("footer does not abut the trailer"));
+        }
+        file.seek(SeekFrom::Start(footer_offset))?;
+        let mut footer = vec![0u8; footer_len as usize];
+        file.read_exact(&mut footer)?;
+        let mut shards = Vec::with_capacity(shard_count as usize);
+        let mut expect_offset = MAGIC.len() as u64;
+        let mut sum_raw = 0u64;
+        let mut sum_seqs = 0u64;
+        for i in 0..shard_count as usize {
+            let meta = ShardMeta {
+                offset: read_u64(&footer, i * 32),
+                compressed_len: read_u64(&footer, i * 32 + 8),
+                raw_len: read_u64(&footer, i * 32 + 16),
+                sequence_count: read_u64(&footer, i * 32 + 24),
+            };
+            if meta.offset != expect_offset {
+                return Err(corrupt("shard offsets are not contiguous"));
+            }
+            expect_offset += meta.compressed_len;
+            sum_raw += meta.raw_len;
+            sum_seqs += meta.sequence_count;
+            shards.push(meta);
+        }
+        if expect_offset != footer_offset {
+            return Err(corrupt("shards do not fill the data region"));
+        }
+        if sum_raw != total_raw || sum_seqs != total_seqs {
+            return Err(corrupt("trailer totals disagree with the footer"));
+        }
+        Ok(ShardStore { path: path.to_path_buf(), file, shards, total_raw, total_seqs })
+    }
+
+    /// The path the store was opened from (may already be unlinked).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Decompressed size of the whole database in bytes.
+    pub fn raw_bytes(&self) -> u64 {
+        self.total_raw
+    }
+
+    /// Number of data lines (sequences) across all shards.
+    pub fn sequences(&self) -> u64 {
+        self.total_seqs
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// On-disk size of the store file in bytes.
+    pub fn stored_bytes(&self) -> u64 {
+        self.file.metadata().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// A fresh `BufRead` cursor over the decompressed database text.
+    ///
+    /// Each reader clones the live handle, so it works even after the
+    /// file has been unlinked, and never moves another reader's
+    /// position.
+    pub fn reader(&self) -> io::Result<ShardStoreReader> {
+        Ok(ShardStoreReader {
+            file: self.file.try_clone()?,
+            shards: self.shards.clone(),
+            next_shard: 0,
+            current: Vec::new(),
+            pos: 0,
+        })
+    }
+
+    /// Materializes the full database text (callers gate on
+    /// [`raw_bytes`](Self::raw_bytes) first).
+    pub fn read_to_string(&self) -> io::Result<String> {
+        let mut reader = self.reader()?;
+        let mut text = String::with_capacity(self.total_raw as usize);
+        reader.read_to_string(&mut text)?;
+        Ok(text)
+    }
+}
+
+/// Streaming cursor over a [`ShardStore`]: decompresses one shard at a
+/// time, so residency is one shard's raw bytes regardless of dataset
+/// size.
+pub struct ShardStoreReader {
+    file: File,
+    shards: Vec<ShardMeta>,
+    next_shard: usize,
+    current: Vec<u8>,
+    pos: usize,
+}
+
+impl ShardStoreReader {
+    fn load_next_shard(&mut self) -> io::Result<bool> {
+        let Some(meta) = self.shards.get(self.next_shard).copied() else {
+            return Ok(false);
+        };
+        self.next_shard += 1;
+        self.file.seek(SeekFrom::Start(meta.offset))?;
+        let mut packed = vec![0u8; meta.compressed_len as usize];
+        self.file.read_exact(&mut packed)?;
+        let raw = compress::decompress(&packed)?;
+        if raw.len() as u64 != meta.raw_len {
+            return Err(corrupt("shard raw length disagrees with the footer"));
+        }
+        self.current = raw;
+        self.pos = 0;
+        Ok(true)
+    }
+}
+
+impl Read for ShardStoreReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let available = self.fill_buf()?;
+        let n = available.len().min(buf.len());
+        buf[..n].copy_from_slice(&available[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl BufRead for ShardStoreReader {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        while self.pos >= self.current.len() {
+            if !self.load_next_shard()? {
+                return Ok(&[]);
+            }
+        }
+        Ok(&self.current[self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.current.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("seqhide-store-test-{}-{tag}.sqds", std::process::id()));
+        p
+    }
+
+    fn build(path: &Path, text: &str, shard_bytes: usize) -> ShardStore {
+        let mut writer = ShardStoreWriter::with_shard_size(path, shard_bytes).unwrap();
+        // Feed in awkward chunk sizes to exercise mid-line boundaries.
+        for chunk in text.as_bytes().chunks(7) {
+            writer.write(chunk).unwrap();
+        }
+        writer.commit().unwrap()
+    }
+
+    #[test]
+    fn roundtrips_byte_exact_across_many_small_shards() {
+        let path = tmp_path("roundtrip");
+        let mut text = String::from("# header comment\n\n");
+        for i in 0..500 {
+            text.push_str(&format!("X{}Y{} X2Y7 X3Y7 X{}Y6\n", i % 10, i % 7, i % 9));
+        }
+        let store = build(&path, &text, 256);
+        assert!(store.shard_count() > 3, "tiny shards should yield several");
+        assert_eq!(store.raw_bytes(), text.len() as u64);
+        assert_eq!(store.sequences(), 500);
+        assert_eq!(store.read_to_string().unwrap(), text);
+        // Streaming line-by-line sees the same lines as the source text.
+        let mut reader = store.reader().unwrap();
+        let mut line = String::new();
+        let mut got = Vec::new();
+        while reader.read_line(&mut line).unwrap() > 0 {
+            got.push(line.clone());
+            line.clear();
+        }
+        let want: Vec<String> = text.split_inclusive('\n').map(String::from).collect();
+        assert_eq!(got, want);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shards_cut_only_at_line_boundaries() {
+        let path = tmp_path("boundaries");
+        let text = "abcdefghij\n".repeat(100);
+        let store = build(&path, &text, 64);
+        let mut reader = store.reader().unwrap();
+        // Every fill_buf window must start at a line start: decompress
+        // shard-by-shard and check the last byte of each shard.
+        loop {
+            let window = reader.fill_buf().unwrap();
+            if window.is_empty() {
+                break;
+            }
+            assert_eq!(window.last(), Some(&b'\n'), "shard split a line");
+            let n = window.len();
+            reader.consume(n);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn readers_survive_unlink_and_are_independent() {
+        let path = tmp_path("unlink");
+        let text = "one two three\nfour five\n".repeat(50);
+        let store = build(&path, &text, 128);
+        let mut first = store.reader().unwrap();
+        std::fs::remove_file(&path).unwrap(); // registry unload
+        let mut a = String::new();
+        first.read_to_string(&mut a).unwrap();
+        let mut second = store.reader().unwrap(); // opened post-unlink
+        let mut b = String::new();
+        second.read_to_string(&mut b).unwrap();
+        assert_eq!(a, text);
+        assert_eq!(b, text);
+    }
+
+    #[test]
+    fn no_trailing_newline_still_roundtrips() {
+        let path = tmp_path("notrail");
+        let text = "alpha beta\ngamma delta"; // final line unterminated
+        let store = build(&path, text, 8);
+        assert_eq!(store.read_to_string().unwrap(), text);
+        assert_eq!(store.sequences(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_and_mangled_files_are_rejected() {
+        let path = tmp_path("mangle");
+        let store = build(&path, &"line of text here\n".repeat(40), 64);
+        drop(store);
+        let good = std::fs::read(&path).unwrap();
+        // Truncation loses the trailer.
+        std::fs::write(&path, &good[..good.len() - 5]).unwrap();
+        assert!(ShardStore::open(&path).is_err());
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'Z';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(ShardStore::open(&path).is_err());
+        // Restore and confirm the checks pass again.
+        std::fs::write(&path, &good).unwrap();
+        assert!(ShardStore::open(&path).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_writer_leaves_no_temp_file() {
+        let path = tmp_path("abort");
+        {
+            let mut writer = ShardStoreWriter::create(&path).unwrap();
+            writer.write(b"half a data").unwrap();
+        } // dropped without commit
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(!Path::new(&tmp).exists());
+        assert!(!path.exists());
+    }
+}

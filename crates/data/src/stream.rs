@@ -257,6 +257,7 @@ static SHARD_SEQ: AtomicU64 = AtomicU64::new(0);
 pub struct ShardWriter {
     buf: Vec<u8>,
     spill_limit: usize,
+    peak_resident: usize,
     shard_dir: PathBuf,
     shard_tag: u64,
     shards: Vec<PathBuf>,
@@ -269,6 +270,7 @@ impl ShardWriter {
         ShardWriter {
             buf: Vec::new(),
             spill_limit,
+            peak_resident: 0,
             shard_dir: shard_dir.into(),
             shard_tag: SHARD_SEQ.fetch_add(1, Ordering::Relaxed),
             shards: Vec::new(),
@@ -278,6 +280,12 @@ impl ShardWriter {
     /// Bytes currently resident in memory (excludes spilled shards).
     pub fn resident_bytes(&self) -> usize {
         self.buf.len()
+    }
+
+    /// Most bytes ever resident at once — the writer's true memory
+    /// footprint, bounded by `max(spill_limit, largest single write)`.
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_resident
     }
 
     /// Number of shards spilled so far.
@@ -335,7 +343,16 @@ impl ShardWriter {
 
 impl Write for ShardWriter {
     fn write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        // Spill *before* extending when the incoming slice would push the
+        // buffer past the limit: a single large write (one long itemset
+        // line, say) must not stack on top of an already-full buffer.
+        // Peak residency is max(spill_limit, len of the largest write),
+        // never their sum.
+        if !self.buf.is_empty() && self.buf.len() + bytes.len() > self.spill_limit {
+            self.spill()?;
+        }
         self.buf.extend_from_slice(bytes);
+        self.peak_resident = self.peak_resident.max(self.buf.len());
         if self.buf.len() > self.spill_limit {
             self.spill()?;
         }
@@ -420,6 +437,41 @@ mod tests {
         assert!(w.shard_count() >= 2, "spill limit not honored");
         assert!(w.resident_bytes() <= 8 + 5);
         assert_eq!(w.finish_to_string().unwrap(), payload);
+    }
+
+    #[test]
+    fn shard_writer_peak_residency_is_bounded_by_limit_plus_chunk() {
+        let dir = std::env::temp_dir().join("seqhide-shard-test-peak");
+        fs::create_dir_all(&dir).unwrap();
+        let spill_limit = 8;
+        let mut w = ShardWriter::new(&dir, spill_limit);
+        // A mixed workload whose largest single write (one long "line")
+        // far exceeds the spill limit.
+        let big = vec![b'x'; 100];
+        let chunks: Vec<&[u8]> = vec![b"abcde", b"fg", &big, b"hij", &big, b"k"];
+        let max_chunk = chunks.iter().map(|c| c.len()).max().unwrap();
+        let mut expected = Vec::new();
+        for chunk in &chunks {
+            w.write_all(chunk).unwrap();
+            assert!(
+                w.resident_bytes() <= spill_limit + max_chunk,
+                "resident {} blew past limit {} + max chunk {}",
+                w.resident_bytes(),
+                spill_limit,
+                max_chunk
+            );
+            expected.extend_from_slice(chunk);
+        }
+        // The stronger bound the spill-before-extend order guarantees:
+        // a large write never stacks on top of an already-full buffer.
+        assert!(
+            w.peak_resident_bytes() <= spill_limit.max(max_chunk),
+            "peak resident {} exceeds max(spill_limit {}, max chunk {})",
+            w.peak_resident_bytes(),
+            spill_limit,
+            max_chunk
+        );
+        assert_eq!(w.finish_to_string().unwrap().as_bytes(), &expected[..]);
     }
 
     #[test]

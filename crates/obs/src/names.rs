@@ -174,11 +174,16 @@ pub enum Counter {
     ServeRequests,
     /// Requests shed by `seqhide serve` because the job queue was full.
     ServeOverloads,
+    /// Datasets interned into the serve registry (`load` requests that
+    /// committed, plus `--data-dir` re-attaches at startup).
+    DatasetLoads,
+    /// Datasets removed from the serve registry by `unload`.
+    DatasetUnloads,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 12;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -192,6 +197,8 @@ impl Counter {
         Counter::StDisplaced,
         Counter::ServeRequests,
         Counter::ServeOverloads,
+        Counter::DatasetLoads,
+        Counter::DatasetUnloads,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -207,6 +214,8 @@ impl Counter {
             Counter::StDisplaced => "st_displaced",
             Counter::ServeRequests => "serve_requests",
             Counter::ServeOverloads => "serve_overloads",
+            Counter::DatasetLoads => "dataset_loads",
+            Counter::DatasetUnloads => "dataset_unloads",
         }
     }
 
@@ -223,6 +232,8 @@ impl Counter {
             Counter::StDisplaced => "Samples displaced by the spatio-temporal sanitizer",
             Counter::ServeRequests => "Requests handled by seqhide serve (every type and status)",
             Counter::ServeOverloads => "Requests shed because the serve job queue was full",
+            Counter::DatasetLoads => "Datasets interned into the serve registry (loads + re-attaches)",
+            Counter::DatasetUnloads => "Datasets removed from the serve registry by unload",
         }
     }
 }
@@ -295,15 +306,25 @@ pub enum Gauge {
     /// High-water mark of jobs being executed concurrently by the
     /// `seqhide serve` worker pool.
     Inflight,
+    /// High-water mark of datasets resident in the serve registry.
+    DatasetsResident,
+    /// High-water mark of dataset bytes pinned in memory by the serve
+    /// registry (materialized snapshots; disk-backed datasets count 0).
+    DatasetBytesPinned,
 }
 
 impl Gauge {
     /// Number of gauges.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 5;
 
     /// Every gauge, in declaration order.
-    pub const ALL: [Gauge; Gauge::COUNT] =
-        [Gauge::PeakResidentBatch, Gauge::QueueDepth, Gauge::Inflight];
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::PeakResidentBatch,
+        Gauge::QueueDepth,
+        Gauge::Inflight,
+        Gauge::DatasetsResident,
+        Gauge::DatasetBytesPinned,
+    ];
 
     /// Stable snake_case name (the JSON key).
     pub const fn name(self) -> &'static str {
@@ -311,6 +332,8 @@ impl Gauge {
             Gauge::PeakResidentBatch => "peak_resident_batch",
             Gauge::QueueDepth => "queue_depth",
             Gauge::Inflight => "inflight",
+            Gauge::DatasetsResident => "datasets_resident",
+            Gauge::DatasetBytesPinned => "dataset_bytes_pinned",
         }
     }
 
@@ -320,6 +343,10 @@ impl Gauge {
             Gauge::PeakResidentBatch => "Peak bytes resident in one streaming batch",
             Gauge::QueueDepth => "High-water mark of jobs waiting in the serve bounded queue",
             Gauge::Inflight => "High-water mark of jobs executing concurrently in the worker pool",
+            Gauge::DatasetsResident => "High-water mark of datasets resident in the serve registry",
+            Gauge::DatasetBytesPinned => {
+                "High-water mark of dataset bytes pinned in memory by the registry"
+            }
         }
     }
 }

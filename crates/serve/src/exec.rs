@@ -12,16 +12,83 @@
 //!
 //! [`PatternDomain`]: seqhide_core::PatternDomain
 
+use std::fmt;
+use std::io::BufRead;
+use std::sync::Arc;
+
 use seqhide_core::timed::{TimeConstraints, TimeGap, TimedPattern};
 use seqhide_core::{
     EngineMode, GlobalStrategy, LocalStrategy, SanitizeReport, Sanitizer, TimedDomain,
 };
+use seqhide_data::stream::{SeqReader, ShardWriter};
 use seqhide_match::itemset::ItemsetPattern;
 use seqhide_match::{ConstraintSet, Gap, ItemsetMatchEngine, SensitivePattern, SensitiveSet};
 use seqhide_num::Sat64;
 use seqhide_re::{RegexDomain, RegexPattern};
 use seqhide_string::{StringDomain, StringPattern};
-use seqhide_types::{OpKind, Sequence, SequenceDb};
+use seqhide_types::{Alphabet, OpKind, Sequence, SequenceDb};
+
+use crate::registry::DatasetSnapshot;
+
+/// Pass-2 batch size for disk-streamed dataset sanitizes: bounds
+/// resident sequences, not correctness (streaming output is
+/// byte-identical at any batch size).
+const STREAM_BATCH_SEQS: usize = 1024;
+
+/// Resident-buffer bound for the disk-streamed output writer; past it,
+/// finished batches spill to temp shards until response render.
+const STREAM_SPILL_BYTES: usize = 8 * 1024 * 1024;
+
+/// Where a request's database text comes from.
+#[derive(Clone)]
+pub enum DbSource {
+    /// Shipped inline in the request (`"db"`).
+    Inline(Arc<str>),
+    /// Referenced by name (`"dataset"`), not yet resolved against the
+    /// registry — the server resolves this to [`DbSource::Dataset`]
+    /// before the job is queued; reaching exec unresolved is a bug.
+    Named(String),
+    /// A resolved registry snapshot; the held `Arc` keeps the dataset
+    /// alive through execution even if it is unloaded meanwhile.
+    Dataset(Arc<DatasetSnapshot>),
+}
+
+impl DbSource {
+    /// The full database text. Errors for disk-streamed datasets over
+    /// the resident cap (callers with a streaming path check
+    /// [`DatasetSnapshot::streams_from_disk`] first).
+    pub fn text(&self) -> Result<Arc<str>, String> {
+        match self {
+            DbSource::Inline(text) => Ok(Arc::clone(text)),
+            DbSource::Dataset(snapshot) => snapshot.text(),
+            DbSource::Named(name) => Err(format!(
+                "internal: dataset '{name}' reached execution unresolved"
+            )),
+        }
+    }
+}
+
+impl From<&str> for DbSource {
+    fn from(text: &str) -> Self {
+        DbSource::Inline(Arc::from(text))
+    }
+}
+
+impl From<String> for DbSource {
+    fn from(text: String) -> Self {
+        DbSource::Inline(Arc::from(text))
+    }
+}
+
+impl fmt::Debug for DbSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbSource::Inline(text) => write!(f, "Inline({} bytes)", text.len()),
+            DbSource::Named(name) => write!(f, "Named({name:?})"),
+            DbSource::Dataset(snapshot) => write!(f, "Dataset({:?})", snapshot.name()),
+        }
+    }
+}
 
 /// Which line format (and pattern class) a request's `db` text uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,8 +124,9 @@ impl Mode {
 /// One fully-decoded `sanitize` request.
 #[derive(Clone, Debug)]
 pub struct SanitizeSpec {
-    /// Database text in `mode`'s line format.
-    pub db: String,
+    /// Database text (inline or a resolved dataset) in `mode`'s line
+    /// format.
+    pub db: DbSource,
     /// The line format / pattern class.
     pub mode: Mode,
     /// Sensitive patterns, in `mode`'s pattern syntax.
@@ -174,6 +242,18 @@ pub fn sanitize(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
             spec.op.name()
         ));
     }
+    if let DbSource::Dataset(snapshot) = &spec.db {
+        if snapshot.streams_from_disk() {
+            return match spec.mode {
+                Mode::Plain => sanitize_plain_streamed(spec, snapshot),
+                _ => Err(format!(
+                    "dataset '{}' is over the resident cap and served from disk; \
+                     only plain-mode sanitize can stream it",
+                    snapshot.name()
+                )),
+            };
+        }
+    }
     match spec.mode {
         Mode::Plain => sanitize_plain(spec),
         Mode::Itemset | Mode::Timed | Mode::String if !spec.regexes.is_empty() => {
@@ -185,11 +265,64 @@ pub fn sanitize(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
     }
 }
 
+/// Plain-mode sanitize over a disk-backed dataset too large to
+/// materialize: the two-pass streaming driver reads the shard store
+/// twice (one decompressed shard resident at a time) and the output
+/// spills through a [`ShardWriter`], so peak memory is bounded by the
+/// batch size + spill limit, not `|D|`. Output is byte-identical to
+/// the in-memory path on the same text (the core streaming parity
+/// invariant).
+fn sanitize_plain_streamed(
+    spec: &SanitizeSpec,
+    snapshot: &DatasetSnapshot,
+) -> Result<SanitizeOutcome, String> {
+    if !spec.regexes.is_empty() {
+        return Err(format!(
+            "dataset '{}' is over the resident cap and served from disk; regexes \
+             are not supported on disk-streamed datasets",
+            snapshot.name()
+        ));
+    }
+    let cs = spec.constraints()?;
+    let mut alphabet = Alphabet::new();
+    let mut patterns = Vec::new();
+    for text in &spec.patterns {
+        let seq = Sequence::parse(text, &mut alphabet);
+        patterns.push(
+            SensitivePattern::new(seq, cs.clone()).map_err(|e| format!("pattern '{text}': {e}"))?,
+        );
+    }
+    let sh = SensitiveSet::from_patterns(patterns);
+    if sh.is_empty() {
+        return Err("nothing to hide: give patterns and/or regexes".to_string());
+    }
+    let open = || {
+        snapshot
+            .open_reader()
+            .map(|reader| reader as Box<dyn BufRead>)
+    };
+    let mut out = ShardWriter::new(std::env::temp_dir(), STREAM_SPILL_BYTES);
+    let report = spec
+        .sanitizer(spec.exact)
+        .run_streaming_from(&open, &mut alphabet, &sh, STREAM_BATCH_SEQS, &mut out)
+        .map_err(|e| format!("dataset '{}': {e}", snapshot.name()))?;
+    if !report.report.hidden {
+        return Err("internal: sanitizer failed to hide plain patterns".to_string());
+    }
+    let mut outcome = empty_outcome();
+    accumulate(&mut outcome, &report.report);
+    outcome.release = out
+        .finish_to_string()
+        .map_err(|e| format!("dataset '{}': {e}", snapshot.name()))?;
+    Ok(outcome)
+}
+
 /// Plain mode: plain `S_h` and/or regex patterns, mirroring the CLI's
 /// `hide_plain` (plain family first, then the regex sweep, over the same
 /// database value).
 fn sanitize_plain(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
-    let mut db = SequenceDb::parse(&spec.db);
+    let text = spec.db.text()?;
+    let mut db = SequenceDb::parse(&text);
     let cs = spec.constraints()?;
     let mut patterns = Vec::new();
     for text in &spec.patterns {
@@ -232,7 +365,8 @@ fn sanitize_plain(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
 }
 
 fn sanitize_itemset(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
-    let (mut alphabet, mut db) = seqhide_data::io::parse_itemset_db(&spec.db);
+    let text = spec.db.text()?;
+    let (mut alphabet, mut db) = seqhide_data::io::parse_itemset_db(&text);
     let cs = spec.constraints()?;
     let mut patterns = Vec::new();
     for text in &spec.patterns {
@@ -268,8 +402,9 @@ fn sanitize_itemset(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
 }
 
 fn sanitize_timed(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
+    let text = spec.db.text()?;
     let (mut alphabet, mut db) =
-        seqhide_data::io::parse_timed_db(&spec.db).map_err(|e| e.to_string())?;
+        seqhide_data::io::parse_timed_db(&text).map_err(|e| e.to_string())?;
     let tc = spec.time_constraints()?;
     let mut patterns = Vec::new();
     for text in &spec.patterns {
@@ -298,7 +433,8 @@ fn sanitize_timed(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
 /// symbols interned) before the patterns, so substitution candidate order
 /// matches and the release is byte-identical.
 fn sanitize_string(spec: &SanitizeSpec) -> Result<SanitizeOutcome, String> {
-    let mut db = SequenceDb::parse(&spec.db);
+    let text = spec.db.text()?;
+    let mut db = SequenceDb::parse(&text);
     let mut patterns = Vec::new();
     for text in &spec.patterns {
         let seq = Sequence::parse(text, db.alphabet_mut());
@@ -338,8 +474,8 @@ fn empty_outcome() -> SanitizeOutcome {
 /// `seqhide verify`).
 #[derive(Clone, Debug)]
 pub struct VerifySpec {
-    /// Database text (plain line format).
-    pub db: String,
+    /// Database text (inline or a resolved dataset; plain line format).
+    pub db: DbSource,
     /// Sensitive patterns (plain syntax).
     pub patterns: Vec<String>,
     /// Disclosure threshold ψ.
@@ -368,7 +504,8 @@ pub fn verify(spec: &VerifySpec) -> Result<VerifyOutcome, String> {
     if spec.patterns.is_empty() {
         return Err("give at least one pattern".to_string());
     }
-    let mut db = SequenceDb::parse(&spec.db);
+    let text = spec.db.text()?;
+    let mut db = SequenceDb::parse(&text);
     let min = spec.min_gap as usize;
     let max = spec.max_gap.map(|g| g as usize);
     if let Some(max) = max {
@@ -442,7 +579,21 @@ pub enum StatsOutcome {
 }
 
 /// Executes one `stats` request over `db` text in `mode`'s line format.
-pub fn stats(db: &str, mode: Mode) -> Result<StatsOutcome, String> {
+pub fn stats(db: &DbSource, mode: Mode) -> Result<StatsOutcome, String> {
+    if let DbSource::Dataset(snapshot) = db {
+        if snapshot.streams_from_disk() {
+            return match mode {
+                Mode::Plain | Mode::String => stats_plain_streamed(snapshot),
+                _ => Err(format!(
+                    "dataset '{}' is over the resident cap and served from disk; \
+                     only plain-format stats can stream it",
+                    snapshot.name()
+                )),
+            };
+        }
+    }
+    let db = db.text()?;
+    let db: &str = &db;
     match mode {
         // String mode shares the plain line format, so its shape
         // summary is the plain one.
@@ -491,13 +642,40 @@ pub fn stats(db: &str, mode: Mode) -> Result<StatsOutcome, String> {
     }
 }
 
+/// Plain-format stats streamed over a disk-backed dataset: one pass,
+/// one decompressed shard resident, same formulas as
+/// [`SequenceDb::stats`].
+fn stats_plain_streamed(snapshot: &DatasetSnapshot) -> Result<StatsOutcome, String> {
+    let mut alphabet = Alphabet::new();
+    let mut reader = SeqReader::new(snapshot.open_reader().map_err(|e| e.to_string())?);
+    let (mut sequences, mut symbols_total, mut max_len, mut marks) = (0usize, 0usize, 0usize, 0);
+    while let Some(t) = reader.next_seq(&mut alphabet).map_err(|e| e.to_string())? {
+        sequences += 1;
+        symbols_total += t.len();
+        max_len = max_len.max(t.len());
+        marks += t.mark_count();
+    }
+    Ok(StatsOutcome::Plain {
+        sequences,
+        symbols_total,
+        avg_len: if sequences == 0 {
+            0.0
+        } else {
+            symbols_total as f64 / sequences as f64
+        },
+        max_len,
+        alphabet: alphabet.len(),
+        marks,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn plain_spec(db: &str, patterns: &[&str]) -> SanitizeSpec {
         SanitizeSpec {
-            db: db.to_string(),
+            db: DbSource::from(db),
             mode: Mode::Plain,
             patterns: patterns.iter().map(|s| s.to_string()).collect(),
             regexes: Vec::new(),
@@ -522,7 +700,7 @@ mod tests {
         assert_eq!(out.residual_supports, vec![0]);
         // the release itself verifies clean
         let v = verify(&VerifySpec {
-            db: out.release.clone(),
+            db: DbSource::from(out.release.clone()),
             patterns: vec!["a c".to_string()],
             psi: 0,
             min_gap: 0,
@@ -578,7 +756,7 @@ mod tests {
 
     #[test]
     fn stats_covers_all_three_modes() {
-        match stats("a b c\nb c\n", Mode::Plain).unwrap() {
+        match stats(&DbSource::from("a b c\nb c\n"), Mode::Plain).unwrap() {
             StatsOutcome::Plain {
                 sequences,
                 alphabet,
@@ -589,7 +767,7 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
-        match stats("bread,milk beer\n", Mode::Itemset).unwrap() {
+        match stats(&DbSource::from("bread,milk beer\n"), Mode::Itemset).unwrap() {
             StatsOutcome::Itemset {
                 sequences,
                 items_total,
@@ -600,7 +778,7 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
-        match stats("login@0 search@15\n", Mode::Timed).unwrap() {
+        match stats(&DbSource::from("login@0 search@15\n"), Mode::Timed).unwrap() {
             StatsOutcome::Timed {
                 sequences,
                 events_total,
@@ -611,7 +789,7 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
-        assert!(stats("x@\n", Mode::Timed).is_err());
+        assert!(stats(&DbSource::from("x@\n"), Mode::Timed).is_err());
     }
 
     #[test]

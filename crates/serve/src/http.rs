@@ -18,6 +18,8 @@
 
 use std::io::{self, BufRead, BufReader, Read as _, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
@@ -30,16 +32,39 @@ use crate::server::Shared;
 /// occupy before the connection is answered 400 and dropped.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 
+/// Most HTTP connections served concurrently. Beyond this, new
+/// connections are dropped on accept — a scraper sees a reset and
+/// retries, which beats letting a connection flood spawn unbounded
+/// threads.
+pub const MAX_HTTP_CONNS: usize = 32;
+
 /// Accept loop for the metrics listener; exits when the server drains
 /// (the drain self-connects to wake a blocked `accept`).
-pub(crate) fn run_metrics_listener(listener: TcpListener, shared: &Shared) {
+///
+/// Each connection is served on a short-lived thread of its own, so a
+/// stalled client — one that connects and then sends nothing for up to
+/// the 5-second read timeout — delays only itself, never the scrape
+/// arriving behind it. The thread count is bounded by
+/// [`MAX_HTTP_CONNS`].
+pub(crate) fn run_metrics_listener(listener: TcpListener, shared: &Arc<Shared>) {
+    let live = Arc::new(AtomicUsize::new(0));
     for stream in listener.incoming() {
         if shared.is_draining() {
             break;
         }
         match stream {
             Ok(stream) => {
-                let _ = handle(stream, shared);
+                if live.fetch_add(1, Ordering::SeqCst) >= MAX_HTTP_CONNS {
+                    // Over the cap: undo and drop the connection.
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                let live = Arc::clone(&live);
+                let shared = Arc::clone(shared);
+                thread::spawn(move || {
+                    let _ = handle(stream, &shared);
+                    live.fetch_sub(1, Ordering::SeqCst);
+                });
             }
             Err(_) => thread::sleep(Duration::from_millis(10)),
         }
@@ -59,6 +84,17 @@ fn handle(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     if n == 0 {
         return Ok(());
     }
+    if !request_line.ends_with('\n') {
+        // Either the line filled the whole budget without a newline (a
+        // cap-length junk blast must not be parsed as if truncation were
+        // the request) or the client hung up mid-line; 400 both.
+        let message = if n as u64 == head_budget {
+            "head too large\n"
+        } else {
+            "malformed request head\n"
+        };
+        return respond(stream, 400, "text/plain; charset=utf-8", message);
+    }
     head_budget -= n as u64;
 
     let mut parts = request_line.split_whitespace();
@@ -69,14 +105,22 @@ fn handle(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     // response rather than a reset while still sending headers.
     let mut header = String::new();
     loop {
+        // Checked at the top: a `take(0)` read returning 0 must read as
+        // "budget exhausted", not as end-of-head.
+        if head_budget == 0 {
+            return respond(stream, 400, "text/plain; charset=utf-8", "head too large\n");
+        }
         header.clear();
         let n = reader.by_ref().take(head_budget).read_line(&mut header)?;
-        if n == 0 || header.trim().is_empty() {
+        if n == 0 {
             break;
         }
         head_budget -= n as u64;
-        if head_budget == 0 {
+        if !header.ends_with('\n') && head_budget == 0 {
             return respond(stream, 400, "text/plain; charset=utf-8", "head too large\n");
+        }
+        if header.trim().is_empty() {
+            break;
         }
     }
 

@@ -21,6 +21,9 @@
 //! * [`protocol`] — request decoding, response building ([`docs`]:
 //!   `docs/SERVER.md` is the wire specification);
 //! * [`queue`] — the bounded Mutex+Condvar job queue;
+//! * [`registry`] — named dataset snapshots (`load`/`unload`/
+//!   `datasets`), interned once and referenced by `dataset: "name"`,
+//!   persisted to `--data-dir` as compressed shard stores;
 //! * [`exec`] — request execution against the sanitization crates;
 //! * [`server`] — acceptor, connection threads, worker pool, drain;
 //! * [`trace`] — per-request trace journal: request ids, event
@@ -50,7 +53,9 @@ pub mod json;
 pub mod loadgen;
 pub mod protocol;
 pub mod queue;
+pub mod registry;
 pub mod server;
 pub mod trace;
 
+pub use registry::{DatasetInfo, DatasetRegistry, DatasetSnapshot, RegistryLimits};
 pub use server::{ServeOptions, ServeSummary, Server};

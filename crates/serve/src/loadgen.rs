@@ -46,6 +46,12 @@ pub struct LoadgenOptions {
     pub db: Option<String>,
     /// Synthetic database size (sequences) when `db` is `None`.
     pub sequences: usize,
+    /// When set, the workload database is `load`ed onto the server once
+    /// under this name before the run and every db-carrying template
+    /// references it with `dataset` — so the load measures the
+    /// interned-dataset request path instead of re-shipping the database
+    /// in every request body.
+    pub dataset: Option<String>,
 }
 
 impl Default for LoadgenOptions {
@@ -58,6 +64,7 @@ impl Default for LoadgenOptions {
             seed: 0,
             db: None,
             sequences: 64,
+            dataset: None,
         }
     }
 }
@@ -127,6 +134,12 @@ impl LoadReport {
         );
         let _ = writeln!(out, "  \"psi\": {},", options.psi);
         let _ = writeln!(out, "  \"seed\": {},", options.seed);
+        match &options.dataset {
+            Some(name) => {
+                let _ = writeln!(out, "  \"dataset\": {},", Json::Str(name.clone()).render());
+            }
+            None => out.push_str("  \"dataset\": null,\n"),
+        }
         let _ = writeln!(out, "  \"requests\": {},", self.requests);
         let _ = writeln!(out, "  \"ok\": {},", self.ok);
         let _ = writeln!(out, "  \"overloaded\": {},", self.overloaded);
@@ -183,7 +196,12 @@ const TIMED_DB: &str = "a@1 b@3 c@6 a@9\nb@2 a@4 c@7\na@1 c@2 b@5 a@8\nc@3 a@5 b
 /// database: a head of plain sanitizes, then string/verify/itemset/
 /// timed/stats/health tails. Patterns are drawn from the database's
 /// own first sequence so every sanitize has real work to do.
-fn build_templates(db: &str, psi: usize, seed: u64) -> Result<Vec<Template>, String> {
+fn build_templates(
+    db: &str,
+    psi: usize,
+    seed: u64,
+    dataset: Option<&str>,
+) -> Result<Vec<Template>, String> {
     let first_line = db
         .lines()
         .find(|l| !l.trim().is_empty())
@@ -208,13 +226,20 @@ fn build_templates(db: &str, psi: usize, seed: u64) -> Result<Vec<Template>, Str
     };
     let s = |v: &str| Json::Str(v.to_string());
     let pats = |ps: &[&str]| Json::Arr(ps.iter().map(|p| Json::Str(p.to_string())).collect());
+    // The workload database field: the full text inline, or a reference
+    // to the pre-loaded dataset (the itemset/timed templates keep their
+    // tiny inline databases either way).
+    let workload_db = || match dataset {
+        Some(name) => ("dataset".to_string(), s(name)),
+        None => ("db".to_string(), s(db)),
+    };
 
     Ok(vec![
         req(
             "plain-hh",
             vec![
                 ("type".to_string(), s("sanitize")),
-                ("db".to_string(), s(db)),
+                workload_db(),
                 ("patterns".to_string(), pats(&[&head, &tail])),
                 ("psi".to_string(), Json::num(psi as u64)),
             ],
@@ -223,7 +248,7 @@ fn build_templates(db: &str, psi: usize, seed: u64) -> Result<Vec<Template>, Str
             "plain-rr",
             vec![
                 ("type".to_string(), s("sanitize")),
-                ("db".to_string(), s(db)),
+                workload_db(),
                 ("patterns".to_string(), pats(&[&head])),
                 ("psi".to_string(), Json::num(psi as u64)),
                 ("algorithm".to_string(), s("rr")),
@@ -234,7 +259,7 @@ fn build_templates(db: &str, psi: usize, seed: u64) -> Result<Vec<Template>, Str
             "string-substitute",
             vec![
                 ("type".to_string(), s("sanitize")),
-                ("db".to_string(), s(db)),
+                workload_db(),
                 ("mode".to_string(), s("string")),
                 ("patterns".to_string(), pats(&[&head])),
                 ("psi".to_string(), Json::num(psi as u64)),
@@ -245,7 +270,7 @@ fn build_templates(db: &str, psi: usize, seed: u64) -> Result<Vec<Template>, Str
             "verify",
             vec![
                 ("type".to_string(), s("verify")),
-                ("db".to_string(), s(db)),
+                workload_db(),
                 ("patterns".to_string(), pats(&[&head, &tail])),
                 ("psi".to_string(), Json::num(psi as u64)),
             ],
@@ -274,7 +299,7 @@ fn build_templates(db: &str, psi: usize, seed: u64) -> Result<Vec<Template>, Str
             "stats",
             vec![
                 ("type".to_string(), s("stats")),
-                ("db".to_string(), s(db)),
+                workload_db(),
                 ("mode".to_string(), s("plain")),
             ],
         ),
@@ -362,6 +387,34 @@ fn client_loop(
     Ok(stats)
 }
 
+/// Interns the workload database on the server once, before any client
+/// starts. An "already loaded" refusal is accepted as success so
+/// repeated runs against one server reuse the interned copy (whatever
+/// text it holds — replacing it is an explicit `unload` away).
+fn preload_dataset(addr: &str, name: &str, db: &str) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("clone socket: {e}"))?;
+    let request = Json::Obj(vec![
+        ("type".to_string(), Json::Str("load".to_string())),
+        ("name".to_string(), Json::Str(name.to_string())),
+        ("db".to_string(), Json::Str(db.to_string())),
+    ])
+    .render();
+    writeln!(writer, "{request}").map_err(|e| format!("load '{name}': {e}"))?;
+    writer.flush().map_err(|e| format!("load '{name}': {e}"))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("load '{name}': {e}"))?;
+    if line.contains("\"status\":\"ok\"") || line.contains("already loaded") {
+        Ok(())
+    } else {
+        Err(format!("load '{name}' failed: {}", line.trim()))
+    }
+}
+
 /// Runs the load: builds the workload and templates, drives
 /// `options.clients` connections for `options.duration`, and merges
 /// the per-client measurements.
@@ -374,7 +427,10 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
         None => seqhide_data::markov_db(options.seed, options.sequences.max(1), (32, 32), 12, 0.8)
             .to_text(),
     };
-    let templates = build_templates(&db, options.psi, options.seed)?;
+    if let Some(name) = &options.dataset {
+        preload_dataset(&options.addr, name, &db)?;
+    }
+    let templates = build_templates(&db, options.psi, options.seed, options.dataset.as_deref())?;
     let cum = zipf_cumulative(templates.len());
 
     let started = Instant::now();
@@ -462,7 +518,7 @@ mod tests {
     #[test]
     fn templates_cover_the_domain_mix() {
         let db = "a b c d e f g h\nb c a d\n";
-        let templates = build_templates(db, 2, 7).unwrap();
+        let templates = build_templates(db, 2, 7, None).unwrap();
         let names: Vec<&str> = templates.iter().map(|t| t.name).collect();
         for expected in [
             "plain-hh",
@@ -482,8 +538,27 @@ mod tests {
             crate::json::parse(&t.line).expect("template line parses");
         }
         // degenerate databases are refused with pointed errors
-        assert!(build_templates("", 0, 0).is_err());
-        assert!(build_templates("a\n", 0, 0).is_err());
+        assert!(build_templates("", 0, 0, None).is_err());
+        assert!(build_templates("a\n", 0, 0, None).is_err());
+    }
+
+    #[test]
+    fn dataset_mode_references_instead_of_shipping() {
+        let db = "alpha beta gamma delta\nbeta alpha gamma\n";
+        let templates = build_templates(db, 2, 7, Some("corp")).unwrap();
+        for t in &templates {
+            let doc = crate::json::parse(&t.line).unwrap();
+            match t.name {
+                // the workload-db templates reference the dataset...
+                "plain-hh" | "plain-rr" | "string-substitute" | "verify" | "stats" => {
+                    assert_eq!(doc.get("dataset").unwrap().as_str(), Some("corp"), "{}", t.name);
+                    assert!(doc.get("db").is_none(), "{} still ships the db", t.name);
+                }
+                // ...while the tiny fixed-domain ones stay inline
+                "itemset" | "timed" => assert!(doc.get("db").is_some(), "{}", t.name),
+                _ => {}
+            }
+        }
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //! response building.
 //!
 //! One JSON object per line in each direction. Requests carry a `type`
-//! (`sanitize` | `verify` | `stats` | `health` | `metrics` | `shutdown`)
-//! and an optional `id`, which responses echo verbatim so clients can
+//! (`sanitize` | `verify` | `stats` | `load` | `load_chunk` | `unload`
+//! | `datasets` | `health` | `metrics` | `debug` | `shutdown`) and an
+//! optional `id`, which responses echo verbatim so clients can
 //! pipeline. Responses carry a `status`:
 //!
 //! * `ok` — the request executed; payload fields depend on the type.
@@ -19,13 +20,21 @@
 //! behaves exactly like the corresponding bare `seqhide hide` run.
 //! Unknown fields are rejected, as unknown flags are.
 //!
+//! `sanitize`/`verify`/`stats` take the database either inline (`db`)
+//! or by reference to a previously `load`ed dataset (`dataset`), so a
+//! database interned once can back any number of requests without
+//! being re-shipped on each one.
+//!
 //! The full specification with examples lives in `docs/SERVER.md`.
 
 use seqhide_core::{parse_algorithm, EngineMode};
 use seqhide_types::OpKind;
 
-use crate::exec::{Mode, SanitizeOutcome, SanitizeSpec, StatsOutcome, VerifyOutcome, VerifySpec};
+use crate::exec::{
+    DbSource, Mode, SanitizeOutcome, SanitizeSpec, StatsOutcome, VerifyOutcome, VerifySpec,
+};
 use crate::json::{self, Json};
+use crate::registry::DatasetInfo;
 use crate::trace::Trace;
 
 /// The largest `delay_ms` a `sanitize` request may carry. The field is
@@ -52,11 +61,33 @@ pub enum Request {
     Verify(VerifySpec),
     /// Summarise a database's shape.
     Stats {
-        /// Database text.
-        db: String,
+        /// Database text (inline or a dataset reference).
+        db: DbSource,
         /// Its line format.
         mode: Mode,
     },
+    /// Intern a database into the dataset registry; answered inline.
+    Load {
+        /// The name to register under.
+        name: String,
+        /// Where the text comes from.
+        source: LoadSource,
+    },
+    /// One chunk of a `{"chunks": true}` load in progress on this
+    /// connection; answered inline.
+    LoadChunk {
+        /// The chunk's text.
+        data: String,
+        /// Whether this is the final chunk (commits the dataset).
+        last: bool,
+    },
+    /// Remove a dataset from the registry; answered inline.
+    Unload {
+        /// The dataset to remove.
+        name: String,
+    },
+    /// List the registry's datasets; answered inline.
+    Datasets,
     /// Liveness + load snapshot; answered inline, never queued.
     Health,
     /// Live telemetry snapshot; answered inline, never queued.
@@ -77,12 +108,31 @@ impl Request {
             Request::Sanitize { .. } => "sanitize",
             Request::Verify(_) => "verify",
             Request::Stats { .. } => "stats",
+            Request::Load { .. } => "load",
+            Request::LoadChunk { .. } => "load_chunk",
+            Request::Unload { .. } => "unload",
+            Request::Datasets => "datasets",
             Request::Health => "health",
             Request::Metrics { .. } => "metrics",
             Request::Debug => "debug",
             Request::Shutdown => "shutdown",
         }
     }
+}
+
+/// Where a `load` request's database text comes from. Exactly one of
+/// the three — `db` (inline text), `path` (a server-side file), or
+/// `chunks: true` (streamed over this connection in `load_chunk`
+/// requests) — may be given.
+#[derive(Clone, Debug)]
+pub enum LoadSource {
+    /// The full text rides in the request's `db` field.
+    Inline(String),
+    /// The server reads the file at this path itself — the client never
+    /// ships the bytes at all.
+    Path(String),
+    /// The text follows in `load_chunk` requests on this connection.
+    Chunked,
 }
 
 /// How a `metrics` response renders the snapshot.
@@ -125,6 +175,7 @@ fn decode_doc(doc: &Json) -> Result<Request, String> {
                     "type",
                     "id",
                     "db",
+                    "dataset",
                     "mode",
                     "patterns",
                     "regexes",
@@ -154,7 +205,7 @@ fn decode_doc(doc: &Json) -> Result<Request, String> {
                     .ok_or_else(|| format!("unknown op '{v}' (mark|delete|substitute)"))?,
             };
             let spec = SanitizeSpec {
-                db: required_str(doc, "db")?,
+                db: db_source(doc)?,
                 mode: Mode::parse(opt_str(doc, "mode")?.as_deref())?,
                 patterns: str_list(doc, "patterns")?,
                 regexes: str_list(doc, "regexes")?,
@@ -184,6 +235,7 @@ fn decode_doc(doc: &Json) -> Result<Request, String> {
                     "type",
                     "id",
                     "db",
+                    "dataset",
                     "patterns",
                     "psi",
                     "min_gap",
@@ -192,7 +244,7 @@ fn decode_doc(doc: &Json) -> Result<Request, String> {
                 ],
             )?;
             Ok(Request::Verify(VerifySpec {
-                db: required_str(doc, "db")?,
+                db: db_source(doc)?,
                 patterns: str_list(doc, "patterns")?,
                 psi: required_usize(doc, "psi")?,
                 min_gap: u64_or(doc, "min_gap", 0)?,
@@ -201,11 +253,51 @@ fn decode_doc(doc: &Json) -> Result<Request, String> {
             }))
         }
         "stats" => {
-            known_fields(doc, &["type", "id", "db", "mode"])?;
+            known_fields(doc, &["type", "id", "db", "dataset", "mode"])?;
             Ok(Request::Stats {
-                db: required_str(doc, "db")?,
+                db: db_source(doc)?,
                 mode: Mode::parse(opt_str(doc, "mode")?.as_deref())?,
             })
+        }
+        "load" => {
+            known_fields(doc, &["type", "id", "name", "db", "path", "chunks"])?;
+            let name = required_str(doc, "name")?;
+            let db = opt_str(doc, "db")?;
+            let path = opt_str(doc, "path")?;
+            let chunks = bool_or(doc, "chunks", false)?;
+            let source = match (db, path, chunks) {
+                (Some(text), None, false) => LoadSource::Inline(text),
+                (None, Some(path), false) => LoadSource::Path(path),
+                (None, None, true) => LoadSource::Chunked,
+                (None, None, false) => {
+                    return Err(
+                        "load needs a source: \"db\" (inline text), \"path\" (server-side file), or \"chunks\": true (streamed)".to_string(),
+                    )
+                }
+                _ => {
+                    return Err(
+                        "give exactly one of \"db\", \"path\", or \"chunks\": true".to_string(),
+                    )
+                }
+            };
+            Ok(Request::Load { name, source })
+        }
+        "load_chunk" => {
+            known_fields(doc, &["type", "id", "data", "last"])?;
+            Ok(Request::LoadChunk {
+                data: required_str(doc, "data")?,
+                last: bool_or(doc, "last", false)?,
+            })
+        }
+        "unload" => {
+            known_fields(doc, &["type", "id", "name"])?;
+            Ok(Request::Unload {
+                name: required_str(doc, "name")?,
+            })
+        }
+        "datasets" => {
+            known_fields(doc, &["type", "id"])?;
+            Ok(Request::Datasets)
         }
         "health" => {
             known_fields(doc, &["type", "id"])?;
@@ -233,7 +325,7 @@ fn decode_doc(doc: &Json) -> Result<Request, String> {
             Ok(Request::Shutdown)
         }
         other => Err(format!(
-            "unknown request type '{other}' (sanitize|verify|stats|health|metrics|debug|shutdown)"
+            "unknown request type '{other}' (sanitize|verify|stats|load|load_chunk|unload|datasets|health|metrics|debug|shutdown)"
         )),
     }
 }
@@ -248,6 +340,22 @@ fn known_fields(doc: &Json, allowed: &[&str]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Decodes the database reference shared by `sanitize`/`verify`/
+/// `stats`: inline text in `db`, or a registered dataset's name in
+/// `dataset` — exactly one of the two.
+fn db_source(doc: &Json) -> Result<DbSource, String> {
+    let db = opt_str(doc, "db")?;
+    let dataset = opt_str(doc, "dataset")?;
+    match (db, dataset) {
+        (Some(_), Some(_)) => {
+            Err("give either \"db\" or \"dataset\", not both".to_string())
+        }
+        (Some(text), None) => Ok(DbSource::from(text)),
+        (None, Some(name)) => Ok(DbSource::Named(name)),
+        (None, None) => Err("missing \"db\" (or \"dataset\")".to_string()),
+    }
 }
 
 fn required_str(doc: &Json, key: &str) -> Result<String, String> {
@@ -555,6 +663,84 @@ pub fn with_timings(line: String, timings: &Json) -> String {
     line
 }
 
+fn dataset_fields(info: &DatasetInfo) -> Vec<(String, Json)> {
+    vec![
+        field("name", Json::Str(info.name.clone())),
+        field("bytes", Json::num(info.bytes)),
+        field("sequences", Json::num(info.sequences)),
+        field("shards", Json::num(info.shards as u64)),
+        field("origin", Json::Str(info.origin.to_string())),
+        field("resident", Json::Bool(info.resident)),
+    ]
+}
+
+/// `ok` response for a committed `load` (inline, path, or the final
+/// chunk of a streamed load): the interned dataset's shape.
+pub fn ok_load(id: &Option<Json>, info: &DatasetInfo) -> String {
+    let mut fields = vec![typ("load")];
+    fields.extend(dataset_fields(info));
+    response(id, "ok", fields)
+}
+
+/// `ok` response for a `load` with `chunks: true`: staging is open on
+/// this connection and `load_chunk` requests may follow.
+pub fn ok_load_staged(id: &Option<Json>, name: &str) -> String {
+    response(
+        id,
+        "ok",
+        vec![
+            typ("load"),
+            field("name", Json::Str(name.to_string())),
+            field("staged", Json::Bool(true)),
+        ],
+    )
+}
+
+/// `ok` response for a non-final `load_chunk`: bytes staged so far.
+pub fn ok_load_chunk(id: &Option<Json>, received_bytes: u64) -> String {
+    response(
+        id,
+        "ok",
+        vec![
+            typ("load_chunk"),
+            field("received_bytes", Json::num(received_bytes)),
+        ],
+    )
+}
+
+/// `ok` response for `unload`.
+pub fn ok_unload(id: &Option<Json>, name: &str) -> String {
+    response(
+        id,
+        "ok",
+        vec![
+            typ("unload"),
+            field("name", Json::Str(name.to_string())),
+            field("unloaded", Json::Bool(true)),
+        ],
+    )
+}
+
+/// `ok` response for `datasets`: every registered dataset's shape,
+/// sorted by name.
+pub fn ok_datasets(id: &Option<Json>, rows: &[DatasetInfo]) -> String {
+    response(
+        id,
+        "ok",
+        vec![
+            typ("datasets"),
+            field(
+                "datasets",
+                Json::Arr(
+                    rows.iter()
+                        .map(|info| Json::Obj(dataset_fields(info)))
+                        .collect(),
+                ),
+            ),
+        ],
+    )
+}
+
 /// `ok` response for `shutdown`: the server acknowledges and begins
 /// draining.
 pub fn ok_shutdown(id: &Option<Json>) -> String {
@@ -736,6 +922,129 @@ mod tests {
         assert!(req
             .unwrap_err()
             .contains("unknown metrics format 'xml' (json|prometheus)"));
+    }
+
+    #[test]
+    fn db_and_dataset_are_mutually_exclusive_alternatives() {
+        let (_, req) = decode(r#"{"type":"sanitize","dataset":"corp","patterns":["a"],"psi":1}"#);
+        let Request::Sanitize { spec, .. } = req.unwrap() else {
+            panic!("wrong variant");
+        };
+        assert!(matches!(&spec.db, DbSource::Named(n) if n == "corp"));
+
+        let (_, req) = decode(r#"{"type":"verify","dataset":"corp","patterns":["a"],"psi":1}"#);
+        let Request::Verify(spec) = req.unwrap() else {
+            panic!("wrong variant");
+        };
+        assert!(matches!(&spec.db, DbSource::Named(n) if n == "corp"));
+
+        let (_, req) = decode(r#"{"type":"stats","dataset":"corp"}"#);
+        assert!(matches!(
+            req.unwrap(),
+            Request::Stats {
+                db: DbSource::Named(_),
+                ..
+            }
+        ));
+
+        let (_, req) =
+            decode(r#"{"type":"sanitize","db":"a\n","dataset":"corp","patterns":["a"],"psi":1}"#);
+        assert!(req
+            .unwrap_err()
+            .contains("either \"db\" or \"dataset\", not both"));
+
+        let (_, req) = decode(r#"{"type":"stats"}"#);
+        assert!(req.unwrap_err().contains("missing \"db\" (or \"dataset\")"));
+    }
+
+    #[test]
+    fn load_decodes_exactly_one_source() {
+        let (_, req) = decode(r#"{"type":"load","name":"corp","db":"a b\n"}"#);
+        let Request::Load { name, source } = req.unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(name, "corp");
+        assert!(matches!(source, LoadSource::Inline(t) if t == "a b\n"));
+
+        let (_, req) = decode(r#"{"type":"load","name":"corp","path":"/tmp/db.txt"}"#);
+        assert!(matches!(
+            req.unwrap(),
+            Request::Load {
+                source: LoadSource::Path(_),
+                ..
+            }
+        ));
+
+        let (_, req) = decode(r#"{"type":"load","name":"corp","chunks":true}"#);
+        assert!(matches!(
+            req.unwrap(),
+            Request::Load {
+                source: LoadSource::Chunked,
+                ..
+            }
+        ));
+
+        let (_, req) = decode(r#"{"type":"load","name":"corp"}"#);
+        assert!(req.unwrap_err().contains("load needs a source"));
+        let (_, req) = decode(r#"{"type":"load","name":"corp","db":"a\n","chunks":true}"#);
+        assert!(req.unwrap_err().contains("exactly one of"));
+        let (_, req) = decode(r#"{"type":"load","db":"a\n"}"#);
+        assert!(req.unwrap_err().contains("missing \"name\""));
+    }
+
+    #[test]
+    fn registry_control_requests_decode() {
+        let (_, req) = decode(r#"{"type":"load_chunk","data":"a b\n"}"#);
+        let Request::LoadChunk { data, last } = req.unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(data, "a b\n");
+        assert!(!last);
+
+        let (_, req) = decode(r#"{"type":"load_chunk","data":"","last":true}"#);
+        assert!(matches!(req.unwrap(), Request::LoadChunk { last: true, .. }));
+
+        let (_, req) = decode(r#"{"type":"unload","name":"corp"}"#);
+        assert!(matches!(req.unwrap(), Request::Unload { name } if name == "corp"));
+
+        assert!(matches!(
+            decode(r#"{"type":"datasets"}"#).1.unwrap(),
+            Request::Datasets
+        ));
+        let (_, req) = decode(r#"{"type":"datasets","name":"corp"}"#);
+        assert!(req.unwrap_err().contains("unknown field \"name\""));
+    }
+
+    #[test]
+    fn dataset_responses_carry_the_snapshot_shape() {
+        let info = DatasetInfo {
+            name: "corp".to_string(),
+            bytes: 120,
+            sequences: 10,
+            shards: 0,
+            origin: "inline",
+            resident: true,
+        };
+        let doc = json::parse(&ok_load(&Some(Json::num(3)), &info)).unwrap();
+        assert_eq!(doc.get("id").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("type").unwrap().as_str(), Some("load"));
+        assert_eq!(doc.get("bytes").unwrap().as_u64(), Some(120));
+        assert_eq!(doc.get("sequences").unwrap().as_u64(), Some(10));
+        assert_eq!(doc.get("resident").unwrap().as_bool(), Some(true));
+
+        let doc = json::parse(&ok_load_staged(&None, "corp")).unwrap();
+        assert_eq!(doc.get("staged").unwrap().as_bool(), Some(true));
+
+        let doc = json::parse(&ok_load_chunk(&None, 512)).unwrap();
+        assert_eq!(doc.get("received_bytes").unwrap().as_u64(), Some(512));
+
+        let doc = json::parse(&ok_unload(&None, "corp")).unwrap();
+        assert_eq!(doc.get("unloaded").unwrap().as_bool(), Some(true));
+
+        let doc = json::parse(&ok_datasets(&None, &[info])).unwrap();
+        let rows = doc.get("datasets").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("name").unwrap().as_str(), Some("corp"));
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 use std::io::{self, BufRead, BufReader, Read as _, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
@@ -45,11 +46,12 @@ use std::time::{Duration, Instant};
 
 use seqhide_obs::{self as obs, Counter, Gauge, Hist, Phase};
 
-use crate::exec;
+use crate::exec::{self, DbSource};
 use crate::http;
 use crate::json::Json;
-use crate::protocol::{self, HealthInfo, MetricsFormat, Request};
+use crate::protocol::{self, HealthInfo, LoadSource, MetricsFormat, Request};
 use crate::queue::{BoundedQueue, PushError};
+use crate::registry::{DatasetRegistry, LoadStaging, RegistryLimits};
 use crate::trace::{SlowRing, Timings, Trace, TraceEvent, SLOW_RING_K};
 
 /// Server configuration.
@@ -66,6 +68,11 @@ pub struct ServeOptions {
     /// (`GET /metrics` Prometheus scrapes; see [`crate::http`]). `None`
     /// disables the listener.
     pub metrics_addr: Option<String>,
+    /// Optional dataset persistence directory: loaded datasets are
+    /// written there as compressed shard stores and re-attached at
+    /// startup (see [`crate::registry`]). `None` keeps the registry
+    /// memory-only.
+    pub data_dir: Option<String>,
 }
 
 /// What a completed [`Server::run`] reports.
@@ -84,7 +91,7 @@ pub struct ServeSummary {
 enum Work {
     Sanitize(exec::SanitizeSpec),
     Verify(exec::VerifySpec),
-    Stats { db: String, mode: exec::Mode },
+    Stats { db: DbSource, mode: exec::Mode },
 }
 
 /// The most bytes one request line may hold (the database rides inline
@@ -145,6 +152,8 @@ pub(crate) struct Shared {
     inflight_hw: AtomicU64,
     /// Journal of the slowest requests (no-op when obs is compiled out).
     slow: SlowRing,
+    /// Named dataset snapshots (`load`/`unload`/`datasets`).
+    registry: Arc<DatasetRegistry>,
     /// Telemetry zero point: `metrics` responses report the diff since
     /// the server started, not process-lifetime totals.
     baseline: obs::Snapshot,
@@ -232,6 +241,7 @@ pub struct Server {
     listener: TcpListener,
     metrics_listener: Option<TcpListener>,
     shared: Arc<Shared>,
+    reattached: usize,
 }
 
 impl Server {
@@ -260,9 +270,14 @@ impl Server {
             Some(listener) => Some(listener.local_addr()?),
             None => None,
         };
+        let (registry, reattached) = DatasetRegistry::new(
+            options.data_dir.as_ref().map(PathBuf::from),
+            RegistryLimits::default(),
+        )?;
         Ok(Server {
             listener,
             metrics_listener,
+            reattached,
             shared: Arc::new(Shared {
                 queue: BoundedQueue::new(options.queue_depth),
                 draining: AtomicBool::new(false),
@@ -284,9 +299,16 @@ impl Server {
                 queue_depth_hw: AtomicU64::new(0),
                 inflight_hw: AtomicU64::new(0),
                 slow: SlowRing::new(SLOW_RING_K),
+                registry: Arc::new(registry),
                 baseline: obs::snapshot(),
             }),
         })
+    }
+
+    /// How many datasets the registry re-attached from `--data-dir` at
+    /// bind time (0 without a data dir).
+    pub fn reattached_datasets(&self) -> usize {
+        self.reattached
     }
 
     /// The bound address (useful with port 0).
@@ -468,6 +490,10 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
         Ok(clone) => BufReader::new(clone),
         Err(_) => return,
     };
+    // At most one chunked load may be in flight per connection; it is
+    // dropped (and its temp store file removed) if the client
+    // disconnects before the final chunk.
+    let mut staging: Option<LoadStaging> = None;
     loop {
         let line = match read_bounded_line(&mut reader) {
             Ok(LineRead::Line(line)) => line,
@@ -528,6 +554,75 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
                 shared.begin_drain();
                 (protocol::ok_shutdown(&id), trace)
             }
+            Ok(Request::Load { name, source }) => {
+                let response = if staging.is_some() {
+                    protocol::error(
+                        &id,
+                        "a chunked load is already in progress on this connection \
+                         (finish it with \"last\": true first)",
+                    )
+                } else {
+                    match source {
+                        LoadSource::Chunked => match shared.registry.begin_load(&name, "chunks") {
+                            Ok(opened) => {
+                                staging = Some(opened);
+                                protocol::ok_load_staged(&id, &name)
+                            }
+                            Err(e) => protocol::error(&id, &e),
+                        },
+                        LoadSource::Inline(text) => {
+                            match shared.registry.load(&name, "inline", &text) {
+                                Ok(info) => protocol::ok_load(&id, &info),
+                                Err(e) => protocol::error(&id, &e),
+                            }
+                        }
+                        LoadSource::Path(path) => match std::fs::read_to_string(&path) {
+                            Ok(text) => match shared.registry.load(&name, "path", &text) {
+                                Ok(info) => protocol::ok_load(&id, &info),
+                                Err(e) => protocol::error(&id, &e),
+                            },
+                            Err(e) => protocol::error(&id, &format!("cannot read '{path}': {e}")),
+                        },
+                    }
+                };
+                (response, trace)
+            }
+            Ok(Request::LoadChunk { data, last }) => {
+                let response = match staging.as_mut() {
+                    None => protocol::error(
+                        &id,
+                        "no chunked load in progress (send {\"type\":\"load\",\"chunks\":true} first)",
+                    ),
+                    Some(open) => match open.push(&data) {
+                        Err(e) => {
+                            // The staging is unusable; drop it so the
+                            // temp file goes away.
+                            staging = None;
+                            protocol::error(&id, &e)
+                        }
+                        Ok(()) => {
+                            if last {
+                                let open = staging.take().expect("staging is Some here");
+                                match open.commit() {
+                                    Ok(info) => protocol::ok_load(&id, &info),
+                                    Err(e) => protocol::error(&id, &e),
+                                }
+                            } else {
+                                protocol::ok_load_chunk(&id, open.bytes_staged())
+                            }
+                        }
+                    },
+                };
+                (response, trace)
+            }
+            Ok(Request::Unload { name }) => {
+                let response = match shared.registry.unload(&name) {
+                    Ok(()) => protocol::ok_unload(&id, &name),
+                    Err(e) => protocol::error(&id, &e),
+                };
+                (response, trace)
+            }
+            Ok(Request::Datasets) => (protocol::ok_datasets(&id, &shared.registry.list()), trace),
             Ok(heavy) => submit(shared, heavy, id, trace),
         };
         let written = writeln!(stream, "{response}").and_then(|()| stream.flush());
@@ -550,14 +645,37 @@ fn submit(
     id: Option<Json>,
     mut trace: Trace,
 ) -> (String, Trace) {
-    let (work, delay_ms) = match request {
+    let (mut work, delay_ms) = match request {
         Request::Sanitize { spec, delay_ms } => (Work::Sanitize(spec), delay_ms),
         Request::Verify(spec) => (Work::Verify(spec), 0),
         Request::Stats { db, mode } => (Work::Stats { db, mode }, 0),
-        Request::Health | Request::Metrics { .. } | Request::Debug | Request::Shutdown => {
-            unreachable!("control requests are answered inline")
-        }
+        _ => unreachable!("control requests are answered inline"),
     };
+    // Resolve a `dataset` reference to its snapshot now, on the
+    // connection thread: the job carries the `Arc` through the queue, so
+    // an unload racing ahead of the worker cannot pull the data out from
+    // under it.
+    {
+        let db = match &mut work {
+            Work::Sanitize(spec) => &mut spec.db,
+            Work::Verify(spec) => &mut spec.db,
+            Work::Stats { db, .. } => db,
+        };
+        if let DbSource::Named(name) = db {
+            match shared.registry.get(name) {
+                Some(snapshot) => {
+                    trace.dataset = Some(name.clone());
+                    *db = DbSource::Dataset(snapshot);
+                }
+                None => {
+                    return (
+                        protocol::error(&id, &format!("unknown dataset '{name}' (load it first)")),
+                        trace,
+                    )
+                }
+            }
+        }
+    }
     trace.stamp(TraceEvent::Admitted);
     let (reply, receive) = mpsc::channel();
     let job = Job {
@@ -608,6 +726,7 @@ mod tests {
             workers,
             queue_depth,
             metrics_addr: None,
+            data_dir: None,
         })
         .expect("bind");
         let addr = server.local_addr();
@@ -690,6 +809,7 @@ mod tests {
             workers: 1,
             queue_depth: 4,
             metrics_addr: None,
+            data_dir: None,
         })
         .expect("bind");
         let shared = Arc::clone(&server.shared);
@@ -766,6 +886,7 @@ mod tests {
             workers: 1,
             queue_depth: 2,
             metrics_addr: None,
+            data_dir: None,
         })
         .expect("bind");
         server.shared.queue.close();
@@ -782,6 +903,7 @@ mod tests {
             workers: 1,
             queue_depth: 2,
             metrics_addr: None,
+            data_dir: None,
         })
         .expect("bind");
         let shared = Arc::clone(&server.shared);
@@ -811,6 +933,7 @@ mod tests {
             workers: 1,
             queue_depth: 2,
             metrics_addr: None,
+            data_dir: None,
         })
         .expect("bind");
         server.shared.close_conns();
@@ -885,6 +1008,85 @@ mod tests {
         handle.join().unwrap();
     }
 
+    fn start_with_metrics() -> (SocketAddr, SocketAddr, thread::JoinHandle<ServeSummary>) {
+        let server = Server::bind(&ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 2,
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            data_dir: None,
+        })
+        .expect("bind");
+        let addr = server.local_addr();
+        let metrics_addr = server.metrics_addr().unwrap();
+        let handle = thread::spawn(move || server.run().expect("run"));
+        (addr, metrics_addr, handle)
+    }
+
+    /// Sends raw bytes as one HTTP request and reads the full response.
+    fn http_request(addr: SocketAddr, raw: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw).unwrap();
+        stream.flush().unwrap();
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut response = String::new();
+        let mut reader = BufReader::new(stream);
+        reader.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn shutdown_server(addr: SocketAddr, handle: thread::JoinHandle<ServeSummary>) {
+        let mut client = TcpStream::connect(addr).unwrap();
+        roundtrip(&mut client, r#"{"type":"shutdown"}"#);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stalled_http_client_does_not_delay_concurrent_scrapes() {
+        let (addr, metrics_addr, handle) = start_with_metrics();
+        // A client that connects and then goes silent pins only its own
+        // short-lived connection thread (for up to the 5s read timeout),
+        // never the scrape arriving behind it.
+        let stalled = TcpStream::connect(metrics_addr).unwrap();
+        thread::sleep(Duration::from_millis(50));
+        let started = Instant::now();
+        let response = http_request(metrics_addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "health scrape waited on the stalled client"
+        );
+        drop(stalled);
+        shutdown_server(addr, handle);
+    }
+
+    #[test]
+    fn cap_filling_request_line_without_newline_gets_400() {
+        let (addr, metrics_addr, handle) = start_with_metrics();
+        let blob = vec![b'G'; http::MAX_HEAD_BYTES];
+        let response = http_request(metrics_addr, &blob);
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("head too large"), "{response}");
+        shutdown_server(addr, handle);
+    }
+
+    #[test]
+    fn head_exactly_exhausting_the_budget_gets_400() {
+        let (addr, metrics_addr, handle) = start_with_metrics();
+        // A request line that consumes the whole head budget, newline
+        // included: the next header read's `take(0)` must not be
+        // mistaken for end-of-head (which would serve this as a normal
+        // /healthz scrape).
+        let mut line = String::from("GET /healthz HTTP/1.1");
+        line.push_str(&" ".repeat(http::MAX_HEAD_BYTES - line.len() - 1));
+        line.push('\n');
+        assert_eq!(line.len(), http::MAX_HEAD_BYTES);
+        let response = http_request(metrics_addr, line.as_bytes());
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("head too large"), "{response}");
+        shutdown_server(addr, handle);
+    }
+
     #[test]
     fn bind_rejects_degenerate_configurations() {
         for (workers, queue_depth) in [(0, 8), (4, 0)] {
@@ -893,6 +1095,7 @@ mod tests {
                 workers,
                 queue_depth,
                 metrics_addr: None,
+                data_dir: None,
             })
             .map(|server| server.local_addr())
             .unwrap_err();

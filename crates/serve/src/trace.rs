@@ -70,6 +70,9 @@ pub struct Trace {
     pub req_id: u64,
     /// Request type name once known (`"unparsed"` until decode).
     pub kind: &'static str,
+    /// Registered dataset name, when the request referenced one by
+    /// `dataset` instead of shipping the text inline.
+    pub dataset: Option<String>,
     started: Instant,
     events: Vec<(TraceEvent, u64)>,
 }
@@ -80,6 +83,7 @@ impl Trace {
         Trace {
             req_id,
             kind: "unparsed",
+            dataset: None,
             started: Instant::now(),
             events: vec![(TraceEvent::Received, 0)],
         }
@@ -141,12 +145,16 @@ impl Trace {
                 ])
             })
             .collect();
-        Json::Obj(vec![
+        let mut members = vec![
             ("req_id".to_string(), Json::num(self.req_id)),
             ("kind".to_string(), Json::Str(self.kind.to_string())),
-            ("total_ns".to_string(), Json::num(self.total_ns())),
-            ("events".to_string(), Json::Arr(events)),
-        ])
+        ];
+        if let Some(dataset) = &self.dataset {
+            members.push(("dataset".to_string(), Json::Str(dataset.clone())));
+        }
+        members.push(("total_ns".to_string(), Json::num(self.total_ns())));
+        members.push(("events".to_string(), Json::Arr(events)));
+        Json::Obj(members)
     }
 }
 

@@ -76,6 +76,7 @@ pub(crate) const SPECS: &[FlagSpec] = &[
             "ready-file",
             "metrics-addr",
             "metrics-out",
+            "data-dir",
         ],
         boolean: &["progress"],
     },
@@ -88,6 +89,7 @@ pub(crate) const SPECS: &[FlagSpec] = &[
             "psi",
             "seed",
             "db",
+            "dataset",
             "sequences",
             "out",
         ],

@@ -42,6 +42,7 @@ pub(crate) fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
         seed: flags.u64_or("seed", 0)?,
         db,
         sequences: flags.usize_or("sequences", 64)?,
+        dataset: flags.one("dataset").map(str::to_string),
     };
     eprintln!(
         "[seqhide loadgen] {} client(s) against {} for {}s",

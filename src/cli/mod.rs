@@ -74,10 +74,10 @@ USAGE:
   seqhide verify --db FILE --psi N (--pattern \"a b\")...
   seqhide serve  [--addr HOST:PORT] [--threads N] [--queue-depth N]
                  [--ready-file FILE] [--metrics-addr HOST:PORT]
-                 [--metrics-out FILE]
+                 [--data-dir DIR] [--metrics-out FILE]
   seqhide loadgen --addr HOST:PORT [--clients N] [--duration-secs S]
-                 [--psi N] [--seed S] [--db FILE] [--sequences N]
-                 [--out FILE] [--shutdown]
+                 [--psi N] [--seed S] [--db FILE] [--dataset NAME]
+                 [--sequences N] [--out FILE] [--shutdown]
   seqhide attack --original FILE --released FILE [--train FILE]
                  (--pattern \"a b\")...
   seqhide gen    --dataset trucks|synthetic [--seed S] --out FILE
@@ -112,20 +112,25 @@ STREAMING:
 
 SERVING (protocol spec and ops runbook in docs/SERVER.md):
   serve answers newline-delimited JSON requests (sanitize, verify,
-  stats, health, metrics, debug, shutdown) over TCP. Releases are
-  byte-identical to the equivalent 'seqhide hide' run. A bounded job
-  queue (--queue-depth, default 64) feeds --threads workers (default:
-  available cores); when the queue is full the server responds
-  'overloaded' instead of buffering. 'shutdown' drains in-flight work
-  and exits 0. --addr defaults to 127.0.0.1:7070; port 0 picks a free
-  port, written to --ready-file for scripts (first line; the scrape
-  address follows on a second line when --metrics-addr is set).
-  --metrics-addr adds a plain-HTTP listener serving GET /metrics
-  (Prometheus text), /metrics.json, and /healthz for scrapers.
+  stats, load, load_chunk, unload, datasets, health, metrics, debug,
+  shutdown) over TCP. Releases are byte-identical to the equivalent
+  'seqhide hide' run. A bounded job queue (--queue-depth, default 64)
+  feeds --threads workers (default: available cores); when the queue is
+  full the server responds 'overloaded' instead of buffering.
+  'shutdown' drains in-flight work and exits 0. --addr defaults to
+  127.0.0.1:7070; port 0 picks a free port, written to --ready-file for
+  scripts (first line; the scrape address follows on a second line when
+  --metrics-addr is set). --metrics-addr adds a plain-HTTP listener
+  serving GET /metrics (Prometheus text), /metrics.json, and /healthz
+  for scrapers. 'load' interns a database once under a name and
+  sanitize/verify/stats requests reference it with dataset:\"name\"
+  instead of shipping the text; --data-dir DIR persists loaded datasets
+  as compressed shard stores and re-attaches them after a restart.
   loadgen drives a running server with a zipfian request mix from N
   client connections and writes BENCH_serve.json (throughput,
-  p50/p95/p99 latency, shed rate, drain time); --shutdown drains the
-  server afterwards.
+  p50/p95/p99 latency, shed rate, drain time); --dataset NAME loads the
+  workload database once and references it by name; --shutdown drains
+  the server afterwards.
 
 TELEMETRY:
   --metrics-out FILE  write the run's span/counter/histogram snapshot as

@@ -32,17 +32,25 @@ pub(crate) fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
         ));
     }
     let metrics_addr = flags.one("metrics-addr").map(str::to_string);
+    let data_dir = flags.one("data-dir").map(str::to_string);
     let server = Server::bind(&ServeOptions {
         addr: addr.clone(),
         workers,
         queue_depth,
         metrics_addr: metrics_addr.clone(),
+        data_dir: data_dir.clone(),
     })
     .map_err(|e| err(format!("cannot bind {addr}: {e}")))?;
     let local = server.local_addr();
     eprintln!(
         "[seqhide serve] listening on {local} ({workers} worker(s), queue depth {queue_depth})"
     );
+    if let Some(dir) = &data_dir {
+        eprintln!(
+            "[seqhide serve] dataset store in {dir} ({} dataset(s) re-attached)",
+            server.reattached_datasets()
+        );
+    }
     if let Some(scrape) = server.metrics_addr() {
         eprintln!("[seqhide serve] Prometheus scrape endpoint on http://{scrape}/metrics");
     }

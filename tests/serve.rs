@@ -24,11 +24,20 @@ fn tmpdir(name: &str) -> PathBuf {
 }
 
 fn start(workers: usize, queue_depth: usize) -> (SocketAddr, thread::JoinHandle<ServeSummary>) {
+    start_with_dir(workers, queue_depth, None)
+}
+
+fn start_with_dir(
+    workers: usize,
+    queue_depth: usize,
+    data_dir: Option<&std::path::Path>,
+) -> (SocketAddr, thread::JoinHandle<ServeSummary>) {
     let server = Server::bind(&ServeOptions {
         addr: "127.0.0.1:0".to_string(),
         workers,
         queue_depth,
         metrics_addr: None,
+        data_dir: data_dir.map(|d| d.to_string_lossy().into_owned()),
     })
     .expect("bind");
     let addr = server.local_addr();
@@ -102,9 +111,24 @@ const CASES: &[ParityCase] = &[
 ];
 
 fn sanitize_request(case: &ParityCase, algorithm: &str, seed: u64) -> String {
+    sanitize_request_from(case, algorithm, seed, None)
+}
+
+/// The same sanitize request with the database either inline or as a
+/// `dataset` reference.
+fn sanitize_request_from(
+    case: &ParityCase,
+    algorithm: &str,
+    seed: u64,
+    dataset: Option<&str>,
+) -> String {
+    let db_field = match dataset {
+        Some(name) => ("dataset", Json::Str(name.to_string())),
+        None => ("db", Json::Str(case.db.to_string())),
+    };
     let mut members = vec![
         ("type", Json::Str("sanitize".to_string())),
-        ("db", Json::Str(case.db.to_string())),
+        db_field,
         ("mode", Json::Str(case.mode.to_string())),
         ("psi", Json::num(0)),
         ("algorithm", Json::Str(algorithm.to_string())),
@@ -731,6 +755,311 @@ fn concurrent_metrics_scrapes_stay_monotonic_under_load() {
     handle.join().unwrap();
 }
 
+/// One request on an already-open connection; reads one response line.
+fn send_on(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    request: &str,
+) -> Json {
+    writeln!(stream, "{request}").unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    json::parse(line.trim_end()).expect("response is JSON")
+}
+
+fn load_request(name: &str, db: &str) -> String {
+    obj(vec![
+        ("type", Json::Str("load".to_string())),
+        ("name", Json::Str(name.to_string())),
+        ("db", Json::Str(db.to_string())),
+    ])
+}
+
+/// The tentpole guarantee on the wire: a sanitize that references an
+/// interned dataset by name is **byte-identical** to one shipping the
+/// same database inline, for every pattern class and every HH/HR/RH/RR
+/// algorithm — interning must not perturb results, only transport.
+#[test]
+fn dataset_referenced_sanitize_is_byte_identical_to_inline() {
+    let (addr, handle) = start(2, 16);
+    for case in CASES {
+        let name = format!("ds-{}", case.name);
+        let resp = send_one(addr, &load_request(&name, case.db));
+        assert_eq!(
+            resp.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{}: {resp:?}",
+            case.name
+        );
+        assert_eq!(resp.get("name").and_then(Json::as_str), Some(name.as_str()));
+        assert_eq!(
+            resp.get("bytes").and_then(Json::as_u64),
+            Some(case.db.len() as u64)
+        );
+        assert_eq!(resp.get("origin").and_then(Json::as_str), Some("inline"));
+        for algorithm in ["hh", "hr", "rh", "rr"] {
+            let inline = send_one(addr, &sanitize_request(case, algorithm, 7));
+            let by_name = send_one(
+                addr,
+                &sanitize_request_from(case, algorithm, 7, Some(&name)),
+            );
+            assert_eq!(
+                by_name.get("status").and_then(Json::as_str),
+                Some("ok"),
+                "{}/{algorithm}: {by_name:?}",
+                case.name
+            );
+            assert_eq!(
+                by_name.get("release").and_then(Json::as_str),
+                inline.get("release").and_then(Json::as_str),
+                "{}/{algorithm}: dataset-referenced release diverges from inline",
+                case.name
+            );
+            assert_eq!(
+                by_name.get("marks").and_then(Json::as_u64),
+                inline.get("marks").and_then(Json::as_u64),
+                "{}/{algorithm}",
+                case.name
+            );
+        }
+    }
+    let resp = send_one(addr, r#"{"type":"datasets"}"#);
+    let rows = resp.get("datasets").and_then(Json::as_array).unwrap();
+    assert_eq!(rows.len(), CASES.len(), "{resp:?}");
+    // sorted by name, each row carries the full shape
+    let names: Vec<&str> = rows
+        .iter()
+        .filter_map(|r| r.get("name").and_then(Json::as_str))
+        .collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "listing not sorted: {names:?}");
+    send_one(addr, r#"{"type":"shutdown"}"#);
+    handle.join().unwrap();
+}
+
+/// Registry lifecycle on the wire: duplicate names are refused,
+/// unloading while a sanitize holds the snapshot does not disturb the
+/// in-flight job, and the name is gone afterwards.
+#[test]
+fn unload_during_inflight_sanitize_completes_then_name_is_gone() {
+    let (addr, handle) = start(1, 4);
+    let db = "a b\nb a\na b a\n";
+    let resp = send_one(addr, &load_request("race", db));
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+
+    // a second load under the same name is refused, not replaced
+    let resp = send_one(addr, &load_request("race", "x y\n"));
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+    assert!(
+        resp.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("already loaded"),
+        "{resp:?}"
+    );
+
+    // a slow sanitize resolves the name to a snapshot at admission...
+    let mut slow = TcpStream::connect(addr).unwrap();
+    writeln!(
+        slow,
+        r#"{{"id":"slow","type":"sanitize","dataset":"race","patterns":["a b"],"psi":0,"delay_ms":400}}"#
+    )
+    .unwrap();
+    slow.flush().unwrap();
+    for _ in 0..400 {
+        let h = send_one(addr, r#"{"type":"health"}"#);
+        if h.get("inflight").and_then(Json::as_u64) == Some(1) {
+            break;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    // ...so unloading mid-flight succeeds without breaking the job
+    let resp = send_one(addr, r#"{"type":"unload","name":"race"}"#);
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(resp.get("unloaded").and_then(Json::as_bool), Some(true));
+
+    let mut line = String::new();
+    BufReader::new(slow).read_line(&mut line).unwrap();
+    let resp = json::parse(line.trim_end()).unwrap();
+    assert_eq!(
+        resp.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "in-flight sanitize broken by unload: {line}"
+    );
+    assert!(resp
+        .get("release")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains('Δ'));
+
+    // the name no longer resolves
+    let resp = send_one(
+        addr,
+        r#"{"type":"sanitize","dataset":"race","patterns":["a b"],"psi":0}"#,
+    );
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+    assert!(
+        resp.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("unknown dataset"),
+        "{resp:?}"
+    );
+    let resp = send_one(addr, r#"{"type":"unload","name":"race"}"#);
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+
+    send_one(addr, r#"{"type":"shutdown"}"#);
+    handle.join().unwrap();
+}
+
+/// The two other load transports — a server-side `path` and a chunked
+/// stream on one connection — intern the same bytes as an inline load,
+/// shown by identical sanitize releases and listing rows.
+#[test]
+fn path_and_chunked_loads_match_inline() {
+    let dir = tmpdir("load-transports");
+    let (addr, handle) = start(1, 4);
+    let db = "a b c\nb a c\nc c a\na c\n";
+    let db_path = dir.join("transport.db");
+    fs::write(&db_path, db).unwrap();
+
+    let resp = send_one(addr, &load_request("by-inline", db));
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+
+    let resp = send_one(
+        addr,
+        &obj(vec![
+            ("type", Json::Str("load".to_string())),
+            ("name", Json::Str("by-path".to_string())),
+            ("path", Json::Str(db_path.to_string_lossy().into_owned())),
+        ]),
+    );
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"), "{resp:?}");
+    assert_eq!(resp.get("origin").and_then(Json::as_str), Some("path"));
+    assert_eq!(resp.get("bytes").and_then(Json::as_u64), Some(db.len() as u64));
+
+    // chunked: staging lives on the connection; split mid-line to show
+    // reassembly is byte-oriented, not line-oriented
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let resp = send_on(
+        &mut stream,
+        &mut reader,
+        r#"{"type":"load","name":"by-chunks","chunks":true}"#,
+    );
+    assert_eq!(resp.get("staged").and_then(Json::as_bool), Some(true), "{resp:?}");
+    let (first, second) = db.split_at(9);
+    let resp = send_on(
+        &mut stream,
+        &mut reader,
+        &obj(vec![
+            ("type", Json::Str("load_chunk".to_string())),
+            ("data", Json::Str(first.to_string())),
+        ]),
+    );
+    assert_eq!(
+        resp.get("received_bytes").and_then(Json::as_u64),
+        Some(first.len() as u64),
+        "{resp:?}"
+    );
+    let resp = send_on(
+        &mut stream,
+        &mut reader,
+        &obj(vec![
+            ("type", Json::Str("load_chunk".to_string())),
+            ("data", Json::Str(second.to_string())),
+            ("last", Json::Bool(true)),
+        ]),
+    );
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"), "{resp:?}");
+    assert_eq!(resp.get("origin").and_then(Json::as_str), Some("chunks"));
+    assert_eq!(resp.get("bytes").and_then(Json::as_u64), Some(db.len() as u64));
+    assert_eq!(resp.get("sequences").and_then(Json::as_u64), Some(4));
+
+    // all three transports produce the same release
+    let sanitize = |dataset: &str| {
+        let resp = send_one(
+            addr,
+            &obj(vec![
+                ("type", Json::Str("sanitize".to_string())),
+                ("dataset", Json::Str(dataset.to_string())),
+                ("patterns", str_arr(&["a c"])),
+                ("psi", Json::num(0)),
+                ("seed", Json::num(3)),
+            ]),
+        );
+        assert_eq!(
+            resp.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{dataset}: {resp:?}"
+        );
+        resp.get("release").and_then(Json::as_str).unwrap().to_string()
+    };
+    let inline = sanitize("by-inline");
+    assert_eq!(sanitize("by-path"), inline);
+    assert_eq!(sanitize("by-chunks"), inline);
+
+    send_one(addr, r#"{"type":"shutdown"}"#);
+    handle.join().unwrap();
+}
+
+/// Restart persistence: a dataset loaded into a `--data-dir` server is
+/// re-attached by a fresh server over the same directory and serves the
+/// identical release; unloading removes its store file.
+#[test]
+fn data_dir_datasets_survive_a_server_restart() {
+    let dir = tmpdir("restart").join("store");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    let db = "a b c\nb a c\nc c a\na c\na b a b\n";
+    let case_request = |name: &str| {
+        obj(vec![
+            ("type", Json::Str("sanitize".to_string())),
+            ("dataset", Json::Str(name.to_string())),
+            ("patterns", str_arr(&["a c", "a b"])),
+            ("psi", Json::num(0)),
+            ("seed", Json::num(5)),
+        ])
+    };
+
+    let (addr, handle) = start_with_dir(1, 4, Some(&dir));
+    let resp = send_one(addr, &load_request("trucks", db));
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"), "{resp:?}");
+    assert!(resp.get("shards").and_then(Json::as_u64) >= Some(1), "{resp:?}");
+    assert!(dir.join("trucks.sqds").exists(), "store file not committed");
+    let before = send_one(addr, &case_request("trucks"));
+    assert_eq!(before.get("status").and_then(Json::as_str), Some("ok"));
+    send_one(addr, r#"{"type":"shutdown"}"#);
+    handle.join().unwrap();
+
+    // a fresh server over the same directory re-attaches the dataset
+    let (addr, handle) = start_with_dir(1, 4, Some(&dir));
+    let resp = send_one(addr, r#"{"type":"datasets"}"#);
+    let rows = resp.get("datasets").and_then(Json::as_array).unwrap();
+    assert_eq!(rows.len(), 1, "{resp:?}");
+    assert_eq!(rows[0].get("name").and_then(Json::as_str), Some("trucks"));
+    assert_eq!(rows[0].get("origin").and_then(Json::as_str), Some("reattach"));
+    let after = send_one(addr, &case_request("trucks"));
+    assert_eq!(
+        after.get("release").and_then(Json::as_str),
+        before.get("release").and_then(Json::as_str),
+        "re-attached dataset serves a different release"
+    );
+
+    let resp = send_one(addr, r#"{"type":"unload","name":"trucks"}"#);
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(
+        !dir.join("trucks.sqds").exists(),
+        "unload left the store file behind"
+    );
+    send_one(addr, r#"{"type":"shutdown"}"#);
+    handle.join().unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// In-process loadgen against an in-process server: the report counts
 /// every response, latency quantiles are ordered, and the BENCH JSON
 /// carries the named fields CI asserts on.
@@ -746,6 +1075,7 @@ fn loadgen_drives_a_server_and_reports() {
         seed: 11,
         db: None,
         sequences: 12,
+        dataset: None,
     })
     .expect("loadgen run");
     assert!(report.requests > 0);
