@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Scripted delta-stream client for the CI delta-smoke job.
+
+Usage: delta_smoke.py ADDR_FILE DB_FILE FINAL_DB_OUT RELEASE_OUT
+
+Loads DB_FILE onto a running `seqhide serve` instance as dataset
+"churn", then applies a scripted stream of `delta` batches — appends
+drawn from the database's own lines plus removals spread over the
+current ordinals — mirroring every edit client-side. Asserts along the
+way:
+
+ * every delta response is ok and the dataset version climbs by
+   exactly one per applied batch;
+ * the reported sequence count always matches the client-side mirror;
+ * an out-of-range removal is refused with a pointed error and does
+   not move the version;
+ * the `datasets` listing reports the final version and a non-zero
+   last_modified stamp.
+
+The final batch asks for the post-delta release. The mirror database is
+written to FINAL_DB_OUT and the release to RELEASE_OUT; the caller
+re-sanitizes FINAL_DB_OUT from scratch with the CLI and byte-compares —
+the delta path must be nothing but a faster route to the same release.
+"""
+import json
+import socket
+import sys
+
+PATTERN = "X2Y7 X3Y7"
+PSI = 50
+DATASET = "churn"
+ROUNDS = 6
+
+
+def rpc(addr, *requests):
+    """One connection, N pipelined request lines, N response objects."""
+    host, port = addr.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=60) as sock:
+        f = sock.makefile("rw", encoding="utf-8", newline="\n")
+        for req in requests:
+            f.write(json.dumps(req) + "\n")
+        f.flush()
+        return [json.loads(f.readline()) for _ in requests]
+
+
+def delta(addr, add, remove, want_release=False):
+    (resp,) = rpc(
+        addr,
+        {
+            "type": "delta",
+            "dataset": DATASET,
+            "add": add,
+            "remove": remove,
+            "patterns": [PATTERN],
+            "psi": PSI,
+            "release": want_release,
+        },
+    )
+    return resp
+
+
+def main():
+    addr_file, db_file, final_out, release_out = sys.argv[1:5]
+    with open(addr_file) as fh:
+        addr = fh.read().splitlines()[0].strip()
+    with open(db_file) as fh:
+        mirror = [l for l in fh.read().splitlines() if l.strip()]
+    assert len(mirror) >= ROUNDS * 4, "database too small for the script"
+
+    (resp,) = rpc(
+        addr, {"type": "load", "name": DATASET, "db": "\n".join(mirror) + "\n"}
+    )
+    assert resp.get("status") == "ok", resp
+
+    version = 1
+    for r in range(ROUNDS):
+        # appends recycle the database's own lines (guaranteed parseable
+        # in the dataset's alphabet-compatible format) ...
+        add = [mirror[(r * 7 + k) % len(mirror)] for k in range(3)]
+        # ... removals spread over the current ordinal range, distinct
+        remove = sorted({(r + 1) * k % len(mirror) for k in (1, 5, 11)})
+        last = r == ROUNDS - 1
+        resp = delta(addr, add, remove, want_release=last)
+        assert resp.get("status") == "ok", resp
+        version += 1
+        assert resp["version"] == version, (resp["version"], version)
+        mirror = [l for i, l in enumerate(mirror) if i not in remove] + add
+        assert resp["sequences"] == len(mirror), (resp["sequences"], len(mirror))
+        assert resp["added"] == len(add) and resp["removed"] == len(remove), resp
+        if last:
+            release = resp["release"]
+
+    # a refused batch moves nothing
+    resp = delta(addr, [], [len(mirror) + 7])
+    assert resp.get("status") == "error", resp
+    assert str(len(mirror) + 7) in resp.get("error", ""), resp
+    (resp,) = rpc(addr, {"type": "datasets"})
+    rows = {row["name"]: row for row in resp["datasets"]}
+    assert rows[DATASET]["version"] == version, rows[DATASET]
+    assert rows[DATASET]["last_modified"] > 0, rows[DATASET]
+
+    with open(final_out, "w") as fh:
+        fh.write("\n".join(mirror) + "\n")
+    with open(release_out, "w") as fh:
+        fh.write(release)
+
+    (bye,) = rpc(addr, {"type": "shutdown"})
+    assert bye["status"] == "ok" and bye["draining"] is True, bye
+    print(
+        "delta smoke: %d batches applied, version 1 -> %d, %d sequences; "
+        "release captured for from-scratch comparison"
+        % (ROUNDS, version, len(mirror))
+    )
+
+
+if __name__ == "__main__":
+    main()

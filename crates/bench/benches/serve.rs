@@ -30,6 +30,7 @@ fn main() {
         workers,
         queue_depth: 64,
         metrics_addr: None,
+        data_dir: None,
     })
     .expect("bind bench server");
     let addr = server.local_addr();
@@ -43,6 +44,8 @@ fn main() {
         seed: 42,
         db: None,
         sequences: 64,
+        dataset: None,
+        delta_fraction: 0.0,
     };
     eprintln!(
         "serve bench: {} client(s) against {} worker(s) for {:?}",

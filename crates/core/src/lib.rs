@@ -52,7 +52,9 @@
 #![warn(missing_docs)]
 
 pub mod attack;
+pub mod delta;
 pub mod global;
+pub mod index;
 pub mod itemset;
 pub mod local;
 pub mod metrics;
@@ -63,7 +65,9 @@ pub mod stream;
 pub mod timed;
 pub mod verify;
 
+pub use delta::{DeltaReport, DeltaState, SeqDelta};
 pub use global::GlobalStrategy;
+pub use index::SupporterIndex;
 pub use local::{sanitize_victim, EngineMode, LocalStrategy};
 pub use metrics::{distortion, DistortionReport};
 pub use problem::{DisclosureThresholds, HidingProblem};

@@ -10,7 +10,8 @@ use seqhide_num::{BigCount, Sat64};
 use seqhide_obs::{self as obs, Phase};
 use seqhide_types::SequenceDb;
 
-use crate::global::{select_victims, select_victims_from_stats, GlobalStrategy, SupporterStat};
+use crate::global::{select_victims, GlobalStrategy};
+use crate::index::SupporterIndex;
 use crate::local::{sanitize_victim, EngineMode, LocalStrategy};
 use crate::problem::DisclosureThresholds;
 use crate::verify::verify_hidden_domain;
@@ -296,11 +297,8 @@ impl Sanitizer {
             let _span = obs::span(Phase::SelectVictims);
             Vec::new()
         } else {
-            let stats: Vec<SupporterStat<D::Count>> = sup
-                .iter()
-                .map(|&i| SupporterStat::measure_domain(domain, i, self.global, &db[i]))
-                .collect();
-            select_victims_from_stats(&stats, self.psi, self.global, rng)
+            let index = SupporterIndex::measure(domain, &sup, db, self.global);
+            index.select(self.psi, self.global, rng)
         };
         (sup.len(), victims)
     }

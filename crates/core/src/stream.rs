@@ -5,10 +5,11 @@
 //! The paper's algorithm (§4) is naturally two-pass:
 //!
 //! 1. **Pass 1** streams the database once, keeping only a
-//!    [`SupporterStat`] per *supporting* sequence — the ordinal plus the
+//!    [`SupporterStat`](crate::global::SupporterStat) per *supporting* sequence — the ordinal plus the
 //!    one statistic the global strategy sorts by (matching-set size for
-//!    the paper's heuristic, per Lemma 2). Victim selection then runs on
-//!    that small index via [`select_victims_from_stats`], which is the
+//!    the paper's heuristic, per Lemma 2) in a
+//!    [`SupporterIndex`]. Victim selection then runs on that small index
+//!    via [`crate::global::select_victims_from_stats`], which is the
 //!    exact code path [`select_victims`](crate::global::select_victims)
 //!    delegates to in memory.
 //! 2. **Pass 2** re-streams the file in batches of `batch_size`
@@ -54,7 +55,7 @@ use seqhide_types::Alphabet;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::global::{select_victims_from_stats, SupporterStat};
+use crate::index::SupporterIndex;
 use crate::local::EngineMode;
 use crate::sanitizer::{SanitizeReport, Sanitizer};
 use crate::verify::VerifyReport;
@@ -171,7 +172,7 @@ impl Sanitizer {
     /// its line format. Output and report are byte-identical to loading
     /// the whole file and calling [`Sanitizer::run_domain_threaded`]
     /// with the same `make` — both paths select victims through
-    /// [`select_victims_from_stats`] and key each victim's RNG by its
+    /// [`crate::global::select_victims_from_stats`] and key each victim's RNG by its
     /// *selection* ordinal, so batching and scheduling cannot change a
     /// single mark.
     ///
@@ -189,7 +190,14 @@ impl Sanitizer {
         D: PatternDomain,
         K: StreamCodec<Seq = D::Seq>,
     {
-        self.run_streaming_domain_from(&open_factory(input), alphabet, codec, make, batch_size, sink)
+        self.run_streaming_domain_from(
+            &open_factory(input),
+            alphabet,
+            codec,
+            make,
+            batch_size,
+            sink,
+        )
     }
 
     /// [`Sanitizer::run_streaming_domain`] over any rewindable source
@@ -212,29 +220,25 @@ impl Sanitizer {
         let mut main = make();
 
         // Pass 1: supporter scan — retain (ordinal, sort key) per
-        // supporter, nothing else.
-        let (stats, sequences_total) = {
+        // supporter into a SupporterIndex, nothing else.
+        let (index, sequences_total) = {
             let _span = obs::span(Phase::StreamPass1);
             let mut reader = SeqReader::new(open()?);
-            let mut stats: Vec<SupporterStat<D::Count>> = Vec::new();
+            let mut index: SupporterIndex<D::Count> = SupporterIndex::new();
             let mut ordinal = 0usize;
             while let Some(t) = reader.next_record(codec, alphabet)? {
-                if main.is_supporter(&t) {
-                    stats.push(SupporterStat::measure_domain(
-                        &mut main, ordinal, strategy, &t,
-                    ));
-                }
+                index.record(&mut main, ordinal, strategy, &t);
                 ordinal += 1;
             }
-            (stats, ordinal)
+            (index, ordinal)
         };
-        let supporters_before = stats.len();
+        let supporters_before = index.len();
 
         // Victim selection on the small index — the same code path (and
         // the same RNG stream) as the in-memory Sanitizer::run.
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed());
-        let victims = select_victims_from_stats(&stats, self.psi(), strategy, &mut rng);
-        drop(stats);
+        let victims = index.select(self.psi(), strategy, &mut rng);
+        drop(index);
         // database ordinal → selection ordinal (the per-victim RNG key)
         let selection_ordinal: HashMap<usize, usize> =
             victims.iter().enumerate().map(|(o, &i)| (i, o)).collect();

@@ -9,7 +9,7 @@
 //! * stream databases larger than RAM shard-by-shard through the
 //!   two-pass sanitization path, with exactly one decompressed shard
 //!   resident at a time;
-//! * seek pass 2 back to the start cheaply (each [`reader`] call is an
+//! * seek pass 2 back to the start cheaply (each [`ShardStore::reader`] call is an
 //!   independent cursor over the same immutable file).
 //!
 //! ## File format (`*.sqds`)
@@ -61,7 +61,10 @@ pub struct ShardMeta {
 }
 
 fn corrupt(what: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt dataset store: {what}"))
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("corrupt dataset store: {what}"),
+    )
 }
 
 fn push_u64(out: &mut Vec<u8>, v: u64) {
@@ -256,7 +259,7 @@ impl ShardStore {
             .ok_or_else(|| corrupt("shard count overflows"))?;
         if footer_offset
             .checked_add(footer_len)
-            .map_or(true, |end| end != len - trailer_len)
+            .is_none_or(|end| end != len - trailer_len)
         {
             return Err(corrupt("footer does not abut the trailer"));
         }
@@ -288,7 +291,13 @@ impl ShardStore {
         if sum_raw != total_raw || sum_seqs != total_seqs {
             return Err(corrupt("trailer totals disagree with the footer"));
         }
-        Ok(ShardStore { path: path.to_path_buf(), file, shards, total_raw, total_seqs })
+        Ok(ShardStore {
+            path: path.to_path_buf(),
+            file,
+            shards,
+            total_raw,
+            total_seqs,
+        })
     }
 
     /// The path the store was opened from (may already be unlinked).
@@ -402,7 +411,10 @@ mod tests {
 
     fn tmp_path(tag: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("seqhide-store-test-{}-{tag}.sqds", std::process::id()));
+        p.push(format!(
+            "seqhide-store-test-{}-{tag}.sqds",
+            std::process::id()
+        ));
         p
     }
 

@@ -23,6 +23,7 @@
 /// post
 /// stream_pass1
 /// stream_pass2
+/// delta_apply
 /// serve
 /// └── serve_request
 /// ```
@@ -65,6 +66,9 @@ pub enum Phase {
     StreamPass1,
     /// Streaming pass 2: batched sanitize + incremental write.
     StreamPass2,
+    /// One `DeltaState::apply_delta` — incremental re-sanitization of a
+    /// mutated database from the persistent supporter index.
+    DeltaApply,
     /// One whole `seqhide serve` lifetime (bind through drained shutdown).
     Serve,
     /// One served request: decode, queue wait, execution, response write.
@@ -73,7 +77,7 @@ pub enum Phase {
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 19;
 
     /// Every phase, in declaration order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -93,6 +97,7 @@ impl Phase {
         Phase::Post,
         Phase::StreamPass1,
         Phase::StreamPass2,
+        Phase::DeltaApply,
         Phase::Serve,
         Phase::ServeRequest,
     ];
@@ -116,6 +121,7 @@ impl Phase {
             Phase::Post => "post",
             Phase::StreamPass1 => "stream_pass1",
             Phase::StreamPass2 => "stream_pass2",
+            Phase::DeltaApply => "delta_apply",
             Phase::Serve => "serve",
             Phase::ServeRequest => "serve_request",
         }
@@ -134,6 +140,7 @@ impl Phase {
             | Phase::Post
             | Phase::StreamPass1
             | Phase::StreamPass2
+            | Phase::DeltaApply
             | Phase::Serve => None,
             Phase::ServeRequest => Some(Phase::Serve),
             Phase::SelectVictims | Phase::LocalSanitize | Phase::Verify => Some(Phase::Sanitize),
@@ -179,11 +186,19 @@ pub enum Counter {
     DatasetLoads,
     /// Datasets removed from the serve registry by `unload`.
     DatasetUnloads,
+    /// Completed `apply_delta` calls (batch, CLI `--delta`, serve `delta`).
+    DeltaApplies,
+    /// Victim sequences re-marked by delta applies (victim status or
+    /// selection ordinal flipped, or the sequence is newly added).
+    DeltaRemarked,
+    /// Total victim sequences selected across delta applies (re-marked
+    /// plus carried over unchanged) — compare with `delta_remarked`.
+    DeltaVictims,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 15;
 
     /// Every counter, in declaration order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -199,6 +214,9 @@ impl Counter {
         Counter::ServeOverloads,
         Counter::DatasetLoads,
         Counter::DatasetUnloads,
+        Counter::DeltaApplies,
+        Counter::DeltaRemarked,
+        Counter::DeltaVictims,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -216,6 +234,9 @@ impl Counter {
             Counter::ServeOverloads => "serve_overloads",
             Counter::DatasetLoads => "dataset_loads",
             Counter::DatasetUnloads => "dataset_unloads",
+            Counter::DeltaApplies => "delta_applies",
+            Counter::DeltaRemarked => "delta_remarked",
+            Counter::DeltaVictims => "delta_victims",
         }
     }
 
@@ -232,8 +253,13 @@ impl Counter {
             Counter::StDisplaced => "Samples displaced by the spatio-temporal sanitizer",
             Counter::ServeRequests => "Requests handled by seqhide serve (every type and status)",
             Counter::ServeOverloads => "Requests shed because the serve job queue was full",
-            Counter::DatasetLoads => "Datasets interned into the serve registry (loads + re-attaches)",
+            Counter::DatasetLoads => {
+                "Datasets interned into the serve registry (loads + re-attaches)"
+            }
             Counter::DatasetUnloads => "Datasets removed from the serve registry by unload",
+            Counter::DeltaApplies => "Completed apply_delta calls (incremental re-sanitization)",
+            Counter::DeltaRemarked => "Victim sequences re-marked by delta applies",
+            Counter::DeltaVictims => "Total victim sequences selected across delta applies",
         }
     }
 }

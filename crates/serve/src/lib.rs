@@ -25,6 +25,10 @@
 //!   `datasets`), interned once and referenced by `dataset: "name"`,
 //!   persisted to `--data-dir` as compressed shard stores;
 //! * [`exec`] — request execution against the sanitization crates;
+//! * [`delta`] — the `delta` wire op: per-dataset incremental
+//!   sanitization sessions over the persistent supporter index,
+//!   in-place registry mutation under versioned snapshots, `.sqdi`
+//!   index persistence beside the shard store;
 //! * [`server`] — acceptor, connection threads, worker pool, drain;
 //! * [`trace`] — per-request trace journal: request ids, event
 //!   timelines, the `timings` breakdown, the slow-request ring;
@@ -47,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod exec;
 pub mod http;
 pub mod json;

@@ -52,6 +52,11 @@ pub struct LoadgenOptions {
     /// interned-dataset request path instead of re-shipping the database
     /// in every request body.
     pub dataset: Option<String>,
+    /// Fraction of requests issued as `delta` mutations against the
+    /// pre-loaded dataset (each appends one sequence and retires
+    /// ordinal 0, so the dataset keeps its size while its content
+    /// churns). Requires `dataset`; 0 disables the mutation template.
+    pub delta_fraction: f64,
 }
 
 impl Default for LoadgenOptions {
@@ -65,6 +70,7 @@ impl Default for LoadgenOptions {
             db: None,
             sequences: 64,
             dataset: None,
+            delta_fraction: 0.0,
         }
     }
 }
@@ -97,6 +103,10 @@ pub struct LoadReport {
     pub drain: Duration,
     /// Client-side latency histogram (nanoseconds per request).
     pub latency: HistStat,
+    /// Latency of `delta` requests alone (empty when the mutation
+    /// template is disabled) — deltas serialize on the server's session
+    /// lock, so their tail is worth watching separately.
+    pub delta_latency: HistStat,
     /// Per-template request counts, mix order (heaviest first).
     pub mix: Vec<TemplateCount>,
 }
@@ -140,6 +150,7 @@ impl LoadReport {
             }
             None => out.push_str("  \"dataset\": null,\n"),
         }
+        let _ = writeln!(out, "  \"delta_fraction\": {:.4},", options.delta_fraction);
         let _ = writeln!(out, "  \"requests\": {},", self.requests);
         let _ = writeln!(out, "  \"ok\": {},", self.ok);
         let _ = writeln!(out, "  \"overloaded\": {},", self.overloaded);
@@ -159,6 +170,12 @@ impl LoadReport {
         let _ = writeln!(out, "    \"p95\": {},", self.latency.quantile(0.95));
         let _ = writeln!(out, "    \"p99\": {},", self.latency.quantile(0.99));
         let _ = writeln!(out, "    \"max\": {}", self.latency.max);
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"delta_latency_ns\": {{");
+        let _ = writeln!(out, "    \"count\": {},", self.delta_latency.count);
+        let _ = writeln!(out, "    \"p50\": {},", self.delta_latency.quantile(0.50));
+        let _ = writeln!(out, "    \"p99\": {},", self.delta_latency.quantile(0.99));
+        let _ = writeln!(out, "    \"max\": {}", self.delta_latency.max);
         let _ = writeln!(out, "  }},");
         out.push_str("  \"mix\": [\n");
         for (i, t) in self.mix.iter().enumerate() {
@@ -202,23 +219,7 @@ fn build_templates(
     seed: u64,
     dataset: Option<&str>,
 ) -> Result<Vec<Template>, String> {
-    let first_line = db
-        .lines()
-        .find(|l| !l.trim().is_empty())
-        .ok_or_else(|| "workload database is empty".to_string())?;
-    let tokens: Vec<&str> = first_line
-        .split_whitespace()
-        .filter(|t| *t != "Δ")
-        .collect();
-    if tokens.len() < 2 {
-        return Err("workload database's first sequence has fewer than 2 symbols".to_string());
-    }
-    let head = tokens[..tokens.len().min(3)].join(" ");
-    let tail = if tokens.len() >= 4 {
-        tokens[tokens.len() - 2..].join(" ")
-    } else {
-        tokens[..2].join(" ")
-    };
+    let (head, tail, _) = workload_patterns(db)?;
 
     let req = |name: &'static str, fields: Vec<(String, Json)>| Template {
         name,
@@ -307,6 +308,51 @@ fn build_templates(
     ])
 }
 
+/// Pattern material drawn from the workload database's first sequence:
+/// a head prefix, a tail suffix, and the full (Δ-stripped) line itself.
+fn workload_patterns(db: &str) -> Result<(String, String, String), String> {
+    let first_line = db
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| "workload database is empty".to_string())?;
+    let tokens: Vec<&str> = first_line
+        .split_whitespace()
+        .filter(|t| *t != "Δ")
+        .collect();
+    if tokens.len() < 2 {
+        return Err("workload database's first sequence has fewer than 2 symbols".to_string());
+    }
+    let head = tokens[..tokens.len().min(3)].join(" ");
+    let tail = if tokens.len() >= 4 {
+        tokens[tokens.len() - 2..].join(" ")
+    } else {
+        tokens[..2].join(" ")
+    };
+    Ok((head, tail, tokens.join(" ")))
+}
+
+/// The mutation template behind `--delta-fraction`: one `delta` that
+/// appends the database's own first sequence and retires ordinal 0 —
+/// the dataset keeps its size while its content churns, and the
+/// pattern/ψ choice mirrors `plain-hh` so the incremental path does
+/// comparable selection work.
+fn delta_template(db: &str, psi: usize, dataset: &str) -> Result<Template, String> {
+    let (head, tail, add_line) = workload_patterns(db)?;
+    let s = |v: &str| Json::Str(v.to_string());
+    Ok(Template {
+        name: "delta",
+        line: Json::Obj(vec![
+            ("type".to_string(), s("delta")),
+            ("dataset".to_string(), s(dataset)),
+            ("add".to_string(), Json::Arr(vec![s(&add_line)])),
+            ("remove".to_string(), Json::Arr(vec![Json::num(0)])),
+            ("patterns".to_string(), Json::Arr(vec![s(&head), s(&tail)])),
+            ("psi".to_string(), Json::num(psi as u64)),
+        ])
+        .render(),
+    })
+}
+
 /// Cumulative zipfian weights over `n` ranks (weight of rank r is
 /// 1/(r+1)), normalized to [0, 1].
 fn zipf_cumulative(n: usize) -> Vec<f64> {
@@ -324,6 +370,7 @@ fn zipf_cumulative(n: usize) -> Vec<f64> {
 
 struct ClientStats {
     hist: HistStat,
+    delta_hist: HistStat,
     ok: u64,
     overloaded: u64,
     errors: u64,
@@ -335,6 +382,7 @@ fn client_loop(
     addr: &str,
     templates: &[Template],
     cum: &[f64],
+    delta: Option<(usize, f64)>,
     deadline: Instant,
     seed: u64,
 ) -> Result<ClientStats, String> {
@@ -346,6 +394,7 @@ fn client_loop(
     let mut rng = seed;
     let mut stats = ClientStats {
         hist: HistStat::default(),
+        delta_hist: HistStat::default(),
         ok: 0,
         overloaded: 0,
         errors: 0,
@@ -354,8 +403,15 @@ fn client_loop(
     };
     let mut line = String::new();
     while Instant::now() < deadline {
-        let u = splitmix64(&mut rng) as f64 / u64::MAX as f64;
-        let pick = cum.iter().position(|&c| u <= c).unwrap_or(cum.len() - 1);
+        // The mutation gate draws first (when enabled); misses fall
+        // through to the zipfian mix over the read templates.
+        let pick = match delta {
+            Some((at, fraction)) if splitmix64(&mut rng) as f64 / u64::MAX as f64 <= fraction => at,
+            _ => {
+                let u = splitmix64(&mut rng) as f64 / u64::MAX as f64;
+                cum.iter().position(|&c| u <= c).unwrap_or(cum.len() - 1)
+            }
+        };
         let template = &templates[pick];
         let started = Instant::now();
         writeln!(writer, "{}", template.line).map_err(|e| format!("send: {e}"))?;
@@ -368,9 +424,11 @@ fn client_loop(
             return Err("server closed the connection mid-run".to_string());
         }
         let now = Instant::now();
-        stats
-            .hist
-            .record(now.duration_since(started).as_nanos() as u64);
+        let elapsed_ns = now.duration_since(started).as_nanos() as u64;
+        stats.hist.record(elapsed_ns);
+        if delta.is_some_and(|(at, _)| at == pick) {
+            stats.delta_hist.record(elapsed_ns);
+        }
         stats.last_response = Some(now);
         stats.sent[pick] += 1;
         // Responses render `status` as one of a closed set; substring
@@ -427,11 +485,28 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
         None => seqhide_data::markov_db(options.seed, options.sequences.max(1), (32, 32), 12, 0.8)
             .to_text(),
     };
+    if !(0.0..=1.0).contains(&options.delta_fraction) {
+        return Err("delta fraction must be within [0, 1]".to_string());
+    }
     if let Some(name) = &options.dataset {
         preload_dataset(&options.addr, name, &db)?;
     }
-    let templates = build_templates(&db, options.psi, options.seed, options.dataset.as_deref())?;
+    let mut templates =
+        build_templates(&db, options.psi, options.seed, options.dataset.as_deref())?;
+    // The zipfian mix covers the read templates only; the mutation
+    // template (appended last) is drawn by its own fraction gate.
     let cum = zipf_cumulative(templates.len());
+    let delta = if options.delta_fraction > 0.0 {
+        let Some(name) = &options.dataset else {
+            return Err(
+                "delta traffic needs a named dataset to mutate (set --dataset)".to_string(),
+            );
+        };
+        templates.push(delta_template(&db, options.psi, name)?);
+        Some((templates.len() - 1, options.delta_fraction))
+    } else {
+        None
+    };
 
     let started = Instant::now();
     let deadline = started + options.duration;
@@ -442,7 +517,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
                 let templates = &templates;
                 let cum = &cum;
                 let seed = options.seed.wrapping_add(0x5EED).wrapping_add(i as u64);
-                scope.spawn(move || client_loop(addr, templates, cum, deadline, seed))
+                scope.spawn(move || client_loop(addr, templates, cum, delta, deadline, seed))
             })
             .collect();
         handles
@@ -462,6 +537,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
         elapsed: Duration::ZERO,
         drain: Duration::ZERO,
         latency: HistStat::default(),
+        delta_latency: HistStat::default(),
         mix: templates
             .iter()
             .map(|t| TemplateCount {
@@ -479,6 +555,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
                 report.overloaded += stats.overloaded;
                 report.errors += stats.errors;
                 report.latency.merge(&stats.hist);
+                report.delta_latency.merge(&stats.delta_hist);
                 for (slot, sent) in report.mix.iter_mut().zip(&stats.sent) {
                     slot.sent += sent;
                 }
@@ -551,7 +628,12 @@ mod tests {
             match t.name {
                 // the workload-db templates reference the dataset...
                 "plain-hh" | "plain-rr" | "string-substitute" | "verify" | "stats" => {
-                    assert_eq!(doc.get("dataset").unwrap().as_str(), Some("corp"), "{}", t.name);
+                    assert_eq!(
+                        doc.get("dataset").unwrap().as_str(),
+                        Some("corp"),
+                        "{}",
+                        t.name
+                    );
                     assert!(doc.get("db").is_none(), "{} still ships the db", t.name);
                 }
                 // ...while the tiny fixed-domain ones stay inline
@@ -559,6 +641,30 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn delta_template_mutates_in_place() {
+        let db = "alpha beta gamma delta\nbeta alpha gamma\n";
+        let t = delta_template(db, 3, "corp").unwrap();
+        let doc = crate::json::parse(&t.line).unwrap();
+        assert_eq!(doc.get("type").unwrap().as_str(), Some("delta"));
+        assert_eq!(doc.get("dataset").unwrap().as_str(), Some("corp"));
+        // one append (the db's own first line), one retirement: the
+        // dataset's size holds steady while its content churns
+        let add = doc.get("add").unwrap();
+        let Json::Arr(add) = add else {
+            panic!("add is an array")
+        };
+        assert_eq!(add.len(), 1);
+        assert_eq!(add[0].as_str(), Some("alpha beta gamma delta"));
+        let remove = doc.get("remove").unwrap();
+        let Json::Arr(remove) = remove else {
+            panic!("remove is an array")
+        };
+        assert_eq!(remove.len(), 1);
+        assert_eq!(remove[0].as_u64(), Some(0));
+        assert!(doc.get("patterns").is_some());
     }
 
     #[test]
@@ -575,6 +681,7 @@ mod tests {
             elapsed: Duration::from_millis(2000),
             drain: Duration::from_millis(12),
             latency,
+            delta_latency: HistStat::default(),
             mix: vec![TemplateCount {
                 name: "plain-hh",
                 sent: 4,
@@ -589,6 +696,8 @@ mod tests {
             "\"p50\"",
             "\"p95\"",
             "\"p99\"",
+            "\"delta_fraction\": 0.0000",
+            "\"delta_latency_ns\"",
             "\"mix\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

@@ -2,10 +2,10 @@
 //! response building.
 //!
 //! One JSON object per line in each direction. Requests carry a `type`
-//! (`sanitize` | `verify` | `stats` | `load` | `load_chunk` | `unload`
-//! | `datasets` | `health` | `metrics` | `debug` | `shutdown`) and an
-//! optional `id`, which responses echo verbatim so clients can
-//! pipeline. Responses carry a `status`:
+//! (`sanitize` | `verify` | `stats` | `delta` | `load` | `load_chunk`
+//! | `unload` | `datasets` | `health` | `metrics` | `debug` |
+//! `shutdown`) and an optional `id`, which responses echo verbatim so
+//! clients can pipeline. Responses carry a `status`:
 //!
 //! * `ok` — the request executed; payload fields depend on the type.
 //! * `error` — the request was malformed or failed; `error` explains.
@@ -30,6 +30,7 @@
 use seqhide_core::{parse_algorithm, EngineMode};
 use seqhide_types::OpKind;
 
+use crate::delta::{DeltaOutcome, DeltaSpec};
 use crate::exec::{
     DbSource, Mode, SanitizeOutcome, SanitizeSpec, StatsOutcome, VerifyOutcome, VerifySpec,
 };
@@ -66,6 +67,9 @@ pub enum Request {
         /// Its line format.
         mode: Mode,
     },
+    /// Mutate a loaded dataset in place and re-sanitize it
+    /// incrementally; executed on the worker pool.
+    Delta(DeltaSpec),
     /// Intern a database into the dataset registry; answered inline.
     Load {
         /// The name to register under.
@@ -108,6 +112,7 @@ impl Request {
             Request::Sanitize { .. } => "sanitize",
             Request::Verify(_) => "verify",
             Request::Stats { .. } => "stats",
+            Request::Delta(_) => "delta",
             Request::Load { .. } => "load",
             Request::LoadChunk { .. } => "load_chunk",
             Request::Unload { .. } => "unload",
@@ -259,6 +264,59 @@ fn decode_doc(doc: &Json) -> Result<Request, String> {
                 mode: Mode::parse(opt_str(doc, "mode")?.as_deref())?,
             })
         }
+        "delta" => {
+            known_fields(
+                doc,
+                &[
+                    "type",
+                    "id",
+                    "dataset",
+                    "add",
+                    "remove",
+                    "mode",
+                    "patterns",
+                    "psi",
+                    "algorithm",
+                    "seed",
+                    "engine",
+                    "min_gap",
+                    "max_gap",
+                    "max_window",
+                    "op",
+                    "release",
+                ],
+            )?;
+            let algorithm = str_or(doc, "algorithm", "hh")?;
+            let (local, global) = parse_algorithm(&algorithm)
+                .ok_or_else(|| format!("unknown algorithm '{algorithm}' (hh|hr|rh|rr)"))?;
+            let engine = match opt_str(doc, "engine")? {
+                None => EngineMode::default(),
+                Some(v) => EngineMode::parse(&v)
+                    .ok_or_else(|| format!("unknown engine '{v}' (incremental|scratch)"))?,
+            };
+            let op = match opt_str(doc, "op")? {
+                None => OpKind::Mark,
+                Some(v) => OpKind::parse(&v)
+                    .ok_or_else(|| format!("unknown op '{v}' (mark|delete|substitute)"))?,
+            };
+            Ok(Request::Delta(DeltaSpec {
+                dataset: required_str(doc, "dataset")?,
+                add: str_list(doc, "add")?,
+                remove: usize_list_field(doc, "remove")?,
+                mode: Mode::parse(opt_str(doc, "mode")?.as_deref())?,
+                patterns: str_list(doc, "patterns")?,
+                psi: required_usize(doc, "psi")?,
+                local,
+                global,
+                seed: u64_or(doc, "seed", 0)?,
+                engine,
+                min_gap: u64_or(doc, "min_gap", 0)?,
+                max_gap: opt_u64(doc, "max_gap")?,
+                max_window: opt_u64(doc, "max_window")?,
+                op,
+                want_release: bool_or(doc, "release", false)?,
+            }))
+        }
         "load" => {
             known_fields(doc, &["type", "id", "name", "db", "path", "chunks"])?;
             let name = required_str(doc, "name")?;
@@ -325,7 +383,7 @@ fn decode_doc(doc: &Json) -> Result<Request, String> {
             Ok(Request::Shutdown)
         }
         other => Err(format!(
-            "unknown request type '{other}' (sanitize|verify|stats|load|load_chunk|unload|datasets|health|metrics|debug|shutdown)"
+            "unknown request type '{other}' (sanitize|verify|stats|delta|load|load_chunk|unload|datasets|health|metrics|debug|shutdown)"
         )),
     }
 }
@@ -349,9 +407,7 @@ fn db_source(doc: &Json) -> Result<DbSource, String> {
     let db = opt_str(doc, "db")?;
     let dataset = opt_str(doc, "dataset")?;
     match (db, dataset) {
-        (Some(_), Some(_)) => {
-            Err("give either \"db\" or \"dataset\", not both".to_string())
-        }
+        (Some(_), Some(_)) => Err("give either \"db\" or \"dataset\", not both".to_string()),
         (Some(text), None) => Ok(DbSource::from(text)),
         (None, Some(name)) => Ok(DbSource::Named(name)),
         (None, None) => Err("missing \"db\" (or \"dataset\")".to_string()),
@@ -389,6 +445,25 @@ fn str_list(doc: &Json, key: &str) -> Result<Vec<String>, String> {
                     item.as_str()
                         .map(|s| s.to_string())
                         .ok_or_else(|| format!("\"{key}\" must be an array of strings"))
+                })
+                .collect()
+        }
+    }
+}
+
+fn usize_list_field(doc: &Json, key: &str) -> Result<Vec<usize>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(v) => {
+            let items = v
+                .as_array()
+                .ok_or_else(|| format!("\"{key}\" must be an array of non-negative integers"))?;
+            items
+                .iter()
+                .map(|item| {
+                    item.as_usize().ok_or_else(|| {
+                        format!("\"{key}\" must be an array of non-negative integers")
+                    })
                 })
                 .collect()
         }
@@ -671,7 +746,41 @@ fn dataset_fields(info: &DatasetInfo) -> Vec<(String, Json)> {
         field("shards", Json::num(info.shards as u64)),
         field("origin", Json::Str(info.origin.to_string())),
         field("resident", Json::Bool(info.resident)),
+        field("version", Json::num(info.version)),
+        field("last_modified", Json::num(info.last_modified_ms)),
     ]
+}
+
+/// `ok` response for an executed `delta`: the mutated dataset's new
+/// shape plus the incremental-work breakdown. The post-delta release
+/// rides along only when the request asked for it (`release: true`) —
+/// it is the whole database, not just the touched part.
+pub fn ok_delta(id: &Option<Json>, outcome: &DeltaOutcome) -> String {
+    let mut fields = vec![
+        typ("delta"),
+        field("dataset", Json::Str(outcome.dataset.clone())),
+        field("version", Json::num(outcome.version)),
+        field("sequences", Json::num(outcome.sequences)),
+        field("added", Json::num(outcome.added as u64)),
+        field("removed", Json::num(outcome.removed as u64)),
+        field("remarked", Json::num(outcome.remarked as u64)),
+        field("restored", Json::num(outcome.restored as u64)),
+        field("hidden", Json::Bool(outcome.hidden)),
+        field("marks", Json::num(outcome.marks as u64)),
+        field(
+            "sequences_sanitized",
+            Json::num(outcome.sequences_sanitized as u64),
+        ),
+        field(
+            "supporters_before",
+            Json::num(outcome.supporters_before as u64),
+        ),
+        field("residual_supports", usize_list(&outcome.residual_supports)),
+    ];
+    if let Some(release) = &outcome.release {
+        fields.push(field("release", Json::Str(release.clone())));
+    }
+    response(id, "ok", fields)
 }
 
 /// `ok` response for a committed `load` (inline, path, or the final
@@ -958,6 +1067,65 @@ mod tests {
     }
 
     #[test]
+    fn delta_decodes_and_validates() {
+        let (_, req) = decode(
+            r#"{"type":"delta","dataset":"corp","add":["a b","c"],"remove":[0,3],
+                "patterns":["a b"],"psi":1,"algorithm":"hr","seed":9,"release":true}"#,
+        );
+        let Request::Delta(spec) = req.unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(spec.dataset, "corp");
+        assert_eq!(spec.add, vec!["a b".to_string(), "c".to_string()]);
+        assert_eq!(spec.remove, vec![0, 3]);
+        assert_eq!(spec.psi, 1);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.local, LocalStrategy::Heuristic);
+        assert_eq!(spec.global, GlobalStrategy::Random);
+        assert!(spec.want_release);
+
+        let (_, req) = decode(r#"{"type":"delta","patterns":["a"],"psi":1}"#);
+        assert!(req.unwrap_err().contains("missing \"dataset\""));
+        let (_, req) = decode(r#"{"type":"delta","dataset":"d","psi":1,"remove":["zero"]}"#);
+        assert!(req
+            .unwrap_err()
+            .contains("\"remove\" must be an array of non-negative integers"));
+        // inline db text makes no sense for an in-place mutation
+        let (_, req) = decode(r#"{"type":"delta","db":"a\n","psi":1}"#);
+        assert!(req.unwrap_err().contains("unknown field \"db\""));
+        // exact sessions are not supported; the field is rejected
+        let (_, req) = decode(r#"{"type":"delta","dataset":"d","psi":1,"exact":true}"#);
+        assert!(req.unwrap_err().contains("unknown field \"exact\""));
+    }
+
+    #[test]
+    fn delta_response_carries_outcome_and_optional_release() {
+        let mut outcome = DeltaOutcome {
+            dataset: "corp".to_string(),
+            version: 4,
+            sequences: 12,
+            added: 2,
+            removed: 1,
+            remarked: 3,
+            restored: 1,
+            hidden: true,
+            marks: 7,
+            sequences_sanitized: 5,
+            supporters_before: 6,
+            residual_supports: vec![1, 0],
+            release: None,
+        };
+        let doc = json::parse(&ok_delta(&Some(Json::num(2)), &outcome)).unwrap();
+        assert_eq!(doc.get("version").unwrap().as_u64(), Some(4));
+        assert_eq!(doc.get("remarked").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("restored").unwrap().as_u64(), Some(1));
+        assert!(doc.get("release").is_none());
+        outcome.release = Some("a Δ\n".to_string());
+        let doc = json::parse(&ok_delta(&None, &outcome)).unwrap();
+        assert_eq!(doc.get("release").unwrap().as_str(), Some("a Δ\n"));
+    }
+
+    #[test]
     fn load_decodes_exactly_one_source() {
         let (_, req) = decode(r#"{"type":"load","name":"corp","db":"a b\n"}"#);
         let Request::Load { name, source } = req.unwrap() else {
@@ -1002,7 +1170,10 @@ mod tests {
         assert!(!last);
 
         let (_, req) = decode(r#"{"type":"load_chunk","data":"","last":true}"#);
-        assert!(matches!(req.unwrap(), Request::LoadChunk { last: true, .. }));
+        assert!(matches!(
+            req.unwrap(),
+            Request::LoadChunk { last: true, .. }
+        ));
 
         let (_, req) = decode(r#"{"type":"unload","name":"corp"}"#);
         assert!(matches!(req.unwrap(), Request::Unload { name } if name == "corp"));
@@ -1024,6 +1195,8 @@ mod tests {
             shards: 0,
             origin: "inline",
             resident: true,
+            version: 3,
+            last_modified_ms: 1_700_000_000_000,
         };
         let doc = json::parse(&ok_load(&Some(Json::num(3)), &info)).unwrap();
         assert_eq!(doc.get("id").unwrap().as_u64(), Some(3));
@@ -1031,6 +1204,11 @@ mod tests {
         assert_eq!(doc.get("bytes").unwrap().as_u64(), Some(120));
         assert_eq!(doc.get("sequences").unwrap().as_u64(), Some(10));
         assert_eq!(doc.get("resident").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("version").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            doc.get("last_modified").unwrap().as_u64(),
+            Some(1_700_000_000_000)
+        );
 
         let doc = json::parse(&ok_load_staged(&None, "corp")).unwrap();
         assert_eq!(doc.get("staged").unwrap().as_bool(), Some(true));

@@ -31,9 +31,10 @@
 use std::collections::HashMap;
 use std::fs;
 use std::io::{self, BufRead, Cursor};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use seqhide_data::store::{ShardStore, ShardStoreWriter};
 use seqhide_obs::{self as obs, Counter, Gauge};
@@ -85,6 +86,13 @@ pub struct DatasetSnapshot {
     /// The registry's pinned-bytes ledger, bumped when this snapshot
     /// materializes (shared so lazy materialization is accounted).
     pinned: Arc<AtomicU64>,
+    /// Mutation counter: 1 at load, +1 per applied delta. Snapshots are
+    /// still immutable — a delta *replaces* the snapshot under the name
+    /// with a higher-versioned one; holders of the old `Arc` keep the
+    /// pre-delta bytes.
+    version: u64,
+    /// Unix-epoch milliseconds of the load or latest delta.
+    last_modified_ms: u64,
 }
 
 /// Wraps the shared text so a [`Cursor`] can serve it as bytes.
@@ -117,9 +125,20 @@ impl DatasetSnapshot {
         self.shards
     }
 
-    /// How the dataset arrived: `inline`, `path`, `chunks`, `reattach`.
+    /// How the dataset arrived: `inline`, `path`, `chunks`, `reattach`,
+    /// `delta`.
     pub fn origin(&self) -> &'static str {
         self.origin
+    }
+
+    /// Mutation counter: 1 at load, +1 per applied delta.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Unix-epoch milliseconds of the load or latest delta.
+    pub fn last_modified_ms(&self) -> u64 {
+        self.last_modified_ms
     }
 
     /// Whether the full text is currently materialized in memory.
@@ -200,6 +219,10 @@ pub struct DatasetInfo {
     pub origin: &'static str,
     /// Whether the text is materialized in memory right now.
     pub resident: bool,
+    /// Mutation counter: 1 at load, +1 per applied delta.
+    pub version: u64,
+    /// Unix-epoch milliseconds of the load or latest delta.
+    pub last_modified_ms: u64,
 }
 
 fn info_of(snapshot: &DatasetSnapshot) -> DatasetInfo {
@@ -210,7 +233,33 @@ fn info_of(snapshot: &DatasetSnapshot) -> DatasetInfo {
         shards: snapshot.shards,
         origin: snapshot.origin,
         resident: snapshot.is_resident(),
+        version: snapshot.version,
+        last_modified_ms: snapshot.last_modified_ms,
     }
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Reads the `version` header of a persisted supporter-index sidecar
+/// (`<name>.sqdi`, written by the serve delta session layer) so a
+/// re-attached dataset resumes its mutation counter across restarts.
+fn sqdi_version(path: &Path) -> Option<u64> {
+    let file = fs::File::open(path).ok()?;
+    let mut lines = io::BufReader::new(file).lines();
+    if lines.next()?.ok()?.trim() != "sqdi 1" {
+        return None;
+    }
+    for line in lines.take(4) {
+        if let Some(v) = line.ok()?.strip_prefix("version ") {
+            return v.trim().parse().ok();
+        }
+    }
+    None
 }
 
 /// Validates a dataset name: it becomes a file stem under the data
@@ -287,7 +336,19 @@ impl DatasetRegistry {
                 let Ok(store) = ShardStore::open(&path) else {
                     continue;
                 };
-                let snapshot = registry.snapshot_from_store(name.to_string(), store, "reattach");
+                let mut snapshot =
+                    registry.snapshot_from_store(name.to_string(), store, "reattach");
+                // Resume the mutation counter from the index sidecar (if
+                // the dataset had delta sessions) and date the snapshot
+                // by the store file, not the restart.
+                if let Some(v) = sqdi_version(&path.with_extension("sqdi")) {
+                    snapshot.version = v;
+                }
+                if let Ok(modified) = fs::metadata(&path).and_then(|m| m.modified()) {
+                    if let Ok(d) = modified.duration_since(UNIX_EPOCH) {
+                        snapshot.last_modified_ms = d.as_millis() as u64;
+                    }
+                }
                 registry
                     .inner
                     .lock()
@@ -322,13 +383,23 @@ impl DatasetRegistry {
             backing: Backing::Store(store),
             resident: OnceLock::new(),
             pinned: Arc::clone(&self.pinned),
+            version: 1,
+            last_modified_ms: now_ms(),
         }
+    }
+
+    /// The persistence directory, when the server was started with one.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.data_dir.as_deref()
     }
 
     fn record_gauges(&self) {
         let count = self.inner.lock().expect("registry poisoned").len();
         obs::gauge_max(Gauge::DatasetsResident, count as u64);
-        obs::gauge_max(Gauge::DatasetBytesPinned, self.pinned.load(Ordering::SeqCst));
+        obs::gauge_max(
+            Gauge::DatasetBytesPinned,
+            self.pinned.load(Ordering::SeqCst),
+        );
     }
 
     /// Begins a load: validates the name, checks the duplicate and
@@ -396,9 +467,93 @@ impl DatasetRegistry {
             .ok_or_else(|| format!("unknown dataset '{name}' (nothing to unload)"))?;
         if let Backing::Store(store) = &removed.backing {
             let _ = fs::remove_file(store.path());
+            let _ = fs::remove_file(store.path().with_extension("sqdi"));
         }
         obs::counter_add(Counter::DatasetUnloads, 1);
         Ok(())
+    }
+
+    /// Replaces a loaded dataset's content in place (the `delta` wire
+    /// op): publishes a new snapshot under the same name with
+    /// `version + 1`. With a data dir the new content is written through
+    /// a temp store file and renamed over the old one atomically — the
+    /// old snapshot's open handle keeps serving any in-flight requests
+    /// that resolved before the delta. Deltas need the database
+    /// resident, so the new content must fit the resident cap.
+    pub fn replace(self: &Arc<Self>, name: &str, text: &str) -> Result<DatasetInfo, String> {
+        let old = self
+            .get(name)
+            .ok_or_else(|| format!("unknown dataset '{name}' (load it before applying deltas)"))?;
+        let bytes = text.len() as u64;
+        if bytes > self.limits.max_dataset_bytes {
+            return Err(format!(
+                "dataset '{name}' exceeds the {}-byte size limit",
+                self.limits.max_dataset_bytes
+            ));
+        }
+        if bytes > self.limits.resident_cap {
+            return Err(format!(
+                "dataset '{name}' would be {bytes} bytes after this delta, over the \
+                 {}-byte resident cap; deltas need the database resident",
+                self.limits.resident_cap
+            ));
+        }
+        let mut snapshot = match &self.data_dir {
+            Some(dir) => {
+                let path = dir.join(format!("{name}.sqds"));
+                let mut writer =
+                    ShardStoreWriter::create(&path).map_err(|e| format!("data dir: {e}"))?;
+                writer
+                    .write(text.as_bytes())
+                    .map_err(|e| format!("dataset '{name}': {e}"))?;
+                let store = writer
+                    .commit()
+                    .map_err(|e| format!("dataset '{name}': {e}"))?;
+                let snapshot = self.snapshot_from_store(name.to_string(), store, "delta");
+                // The text is already in memory; pin it so the next
+                // request doesn't pay a decompression pass.
+                if snapshot.resident.set(text.into()).is_ok() {
+                    self.pinned.fetch_add(snapshot.bytes, Ordering::SeqCst);
+                }
+                snapshot
+            }
+            None => {
+                self.pinned.fetch_add(bytes, Ordering::SeqCst);
+                DatasetSnapshot {
+                    name: name.to_string(),
+                    bytes,
+                    sequences: count_lines(text),
+                    shards: 0,
+                    origin: "delta",
+                    resident_cap: self.limits.resident_cap,
+                    backing: Backing::Memory(text.into()),
+                    resident: OnceLock::new(),
+                    pinned: Arc::clone(&self.pinned),
+                    version: 1,
+                    last_modified_ms: 0,
+                }
+            }
+        };
+        snapshot.version = old.version + 1;
+        snapshot.last_modified_ms = now_ms();
+        let snapshot = Arc::new(snapshot);
+        let info = info_of(&snapshot);
+        {
+            let mut inner = self.inner.lock().expect("registry poisoned");
+            if !inner.contains_key(name) {
+                // Unloaded while we were writing; don't resurrect it.
+                drop(inner);
+                if let Backing::Store(store) = &snapshot.backing {
+                    let _ = fs::remove_file(store.path());
+                }
+                return Err(format!(
+                    "unknown dataset '{name}' (load it before applying deltas)"
+                ));
+            }
+            inner.insert(name.to_string(), snapshot);
+        }
+        self.record_gauges();
+        Ok(info)
     }
 
     /// Resolves a name to its snapshot.
@@ -423,7 +578,11 @@ impl DatasetRegistry {
         rows
     }
 
-    fn commit_snapshot(&self, name: &str, snapshot: DatasetSnapshot) -> Result<DatasetInfo, String> {
+    fn commit_snapshot(
+        &self,
+        name: &str,
+        snapshot: DatasetSnapshot,
+    ) -> Result<DatasetInfo, String> {
         let snapshot = Arc::new(snapshot);
         let info = info_of(&snapshot);
         {
@@ -545,6 +704,8 @@ impl LoadStaging {
                     backing: Backing::Memory(text.into()),
                     resident: OnceLock::new(),
                     pinned: Arc::clone(&registry.pinned),
+                    version: 1,
+                    last_modified_ms: now_ms(),
                 }
             }
             (None, None) => unreachable!("memory-only staging errors before dropping its text"),
@@ -563,8 +724,7 @@ mod tests {
     use super::*;
 
     fn mem_registry() -> Arc<DatasetRegistry> {
-        let (registry, reattached) =
-            DatasetRegistry::new(None, RegistryLimits::default()).unwrap();
+        let (registry, reattached) = DatasetRegistry::new(None, RegistryLimits::default()).unwrap();
         assert_eq!(reattached, 0);
         Arc::new(registry)
     }
@@ -581,7 +741,9 @@ mod tests {
     #[test]
     fn load_get_list_unload_lifecycle() {
         let registry = mem_registry();
-        let info = registry.load("trucks", "inline", "a b c\n# note\n\nb c\n").unwrap();
+        let info = registry
+            .load("trucks", "inline", "a b c\n# note\n\nb c\n")
+            .unwrap();
         assert_eq!(info.sequences, 2);
         assert_eq!(info.origin, "inline");
         assert!(info.resident);
@@ -699,6 +861,47 @@ mod tests {
         let mut again = String::new();
         io::Read::read_to_string(&mut reader, &mut again).unwrap();
         assert_eq!(again, text);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replace_bumps_version_and_keeps_old_arcs() {
+        let registry = mem_registry();
+        let info = registry.load("d", "inline", "a b\n").unwrap();
+        assert_eq!(info.version, 1);
+        let old = registry.get("d").unwrap();
+        let info = registry.replace("d", "a b\nc d\n").unwrap();
+        assert_eq!(info.version, 2);
+        assert_eq!(info.origin, "delta");
+        assert!(info.last_modified_ms > 0);
+        // Holders of the pre-delta Arc keep the old bytes.
+        assert_eq!(&*old.text().unwrap(), "a b\n");
+        assert_eq!(old.version(), 1);
+        let new = registry.get("d").unwrap();
+        assert_eq!(&*new.text().unwrap(), "a b\nc d\n");
+        assert_eq!(new.version(), 2);
+        assert!(registry.replace("missing", "x\n").is_err());
+    }
+
+    #[test]
+    fn replace_persists_through_data_dir() {
+        let dir = tmp_dir("replace");
+        {
+            let (registry, _) =
+                DatasetRegistry::new(Some(dir.clone()), RegistryLimits::default()).unwrap();
+            let registry = Arc::new(registry);
+            registry.load("d", "inline", "a b\n").unwrap();
+            let info = registry.replace("d", "a b\nc d\n").unwrap();
+            assert_eq!(info.version, 2);
+        } // restart
+        let (registry, reattached) =
+            DatasetRegistry::new(Some(dir.clone()), RegistryLimits::default()).unwrap();
+        assert_eq!(reattached, 1);
+        let registry = Arc::new(registry);
+        let snapshot = registry.get("d").unwrap();
+        assert_eq!(&*snapshot.text().unwrap(), "a b\nc d\n");
+        // No .sqdi sidecar was written here, so the counter restarts.
+        assert_eq!(snapshot.version(), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -7,7 +7,7 @@
 //!   `accept` and spawns a connection thread per client.
 //! * **One thread per connection** — reads NDJSON request lines,
 //!   answers `health`/`metrics`/`shutdown` inline, and submits
-//!   `sanitize`/`verify`/`stats` jobs to the queue, waiting for each
+//!   `sanitize`/`verify`/`stats`/`delta` jobs to the queue, waiting for each
 //!   job's reply before reading the next line (per-connection FIFO;
 //!   concurrency comes from having many connections).
 //! * **A fixed worker pool** — `workers` threads popping jobs from one
@@ -46,6 +46,7 @@ use std::time::{Duration, Instant};
 
 use seqhide_obs::{self as obs, Counter, Gauge, Hist, Phase};
 
+use crate::delta::{DeltaSessions, DeltaSpec};
 use crate::exec::{self, DbSource};
 use crate::http;
 use crate::json::Json;
@@ -92,6 +93,7 @@ enum Work {
     Sanitize(exec::SanitizeSpec),
     Verify(exec::VerifySpec),
     Stats { db: DbSource, mode: exec::Mode },
+    Delta(DeltaSpec),
 }
 
 /// The most bytes one request line may hold (the database rides inline
@@ -154,6 +156,9 @@ pub(crate) struct Shared {
     slow: SlowRing,
     /// Named dataset snapshots (`load`/`unload`/`datasets`).
     registry: Arc<DatasetRegistry>,
+    /// Per-dataset incremental-sanitization sessions behind the `delta`
+    /// wire op.
+    deltas: DeltaSessions,
     /// Telemetry zero point: `metrics` responses report the diff since
     /// the server started, not process-lifetime totals.
     baseline: obs::Snapshot,
@@ -300,6 +305,7 @@ impl Server {
                 inflight_hw: AtomicU64::new(0),
                 slow: SlowRing::new(SLOW_RING_K),
                 registry: Arc::new(registry),
+                deltas: DeltaSessions::new(),
                 baseline: obs::snapshot(),
             }),
         })
@@ -427,6 +433,17 @@ fn worker_loop(shared: &Shared) {
                 job.trace.stamp(TraceEvent::ExecEnd);
                 match result {
                     Ok(outcome) => protocol::ok_stats(&job.id, &outcome),
+                    Err(e) => protocol::error(&job.id, &e),
+                }
+            }
+            Work::Delta(spec) => {
+                let result = shared.deltas.execute(&shared.registry, spec);
+                job.trace.stamp(TraceEvent::ExecEnd);
+                match result {
+                    Ok(outcome) => {
+                        job.trace.dataset_version = Some(outcome.version);
+                        protocol::ok_delta(&job.id, &outcome)
+                    }
                     Err(e) => protocol::error(&job.id, &e),
                 }
             }
@@ -617,7 +634,12 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
             }
             Ok(Request::Unload { name }) => {
                 let response = match shared.registry.unload(&name) {
-                    Ok(()) => protocol::ok_unload(&id, &name),
+                    Ok(()) => {
+                        // The dataset is gone; its delta session (if any)
+                        // describes text that no longer exists.
+                        shared.deltas.forget(&name);
+                        protocol::ok_unload(&id, &name)
+                    }
                     Err(e) => protocol::error(&id, &e),
                 };
                 (response, trace)
@@ -649,29 +671,42 @@ fn submit(
         Request::Sanitize { spec, delay_ms } => (Work::Sanitize(spec), delay_ms),
         Request::Verify(spec) => (Work::Verify(spec), 0),
         Request::Stats { db, mode } => (Work::Stats { db, mode }, 0),
+        Request::Delta(spec) => (Work::Delta(spec), 0),
         _ => unreachable!("control requests are answered inline"),
     };
     // Resolve a `dataset` reference to its snapshot now, on the
     // connection thread: the job carries the `Arc` through the queue, so
     // an unload racing ahead of the worker cannot pull the data out from
-    // under it.
+    // under it. A `delta` is the exception — it mutates the registry
+    // entry by name, so resolution happens inside the serialized session
+    // (only the trace's dataset tag is stamped here).
     {
         let db = match &mut work {
-            Work::Sanitize(spec) => &mut spec.db,
-            Work::Verify(spec) => &mut spec.db,
-            Work::Stats { db, .. } => db,
+            Work::Sanitize(spec) => Some(&mut spec.db),
+            Work::Verify(spec) => Some(&mut spec.db),
+            Work::Stats { db, .. } => Some(db),
+            Work::Delta(spec) => {
+                trace.dataset = Some(spec.dataset.clone());
+                None
+            }
         };
-        if let DbSource::Named(name) = db {
-            match shared.registry.get(name) {
-                Some(snapshot) => {
-                    trace.dataset = Some(name.clone());
-                    *db = DbSource::Dataset(snapshot);
-                }
-                None => {
-                    return (
-                        protocol::error(&id, &format!("unknown dataset '{name}' (load it first)")),
-                        trace,
-                    )
+        if let Some(db) = db {
+            if let DbSource::Named(name) = db {
+                match shared.registry.get(name) {
+                    Some(snapshot) => {
+                        trace.dataset = Some(name.clone());
+                        trace.dataset_version = Some(snapshot.version());
+                        *db = DbSource::Dataset(snapshot);
+                    }
+                    None => {
+                        return (
+                            protocol::error(
+                                &id,
+                                &format!("unknown dataset '{name}' (load it first)"),
+                            ),
+                            trace,
+                        )
+                    }
                 }
             }
         }

@@ -73,6 +73,10 @@ pub struct Trace {
     /// Registered dataset name, when the request referenced one by
     /// `dataset` instead of shipping the text inline.
     pub dataset: Option<String>,
+    /// The dataset's registry version as seen by this request: the
+    /// snapshot version it resolved against, or for a `delta`, the
+    /// version it produced.
+    pub dataset_version: Option<u64>,
     started: Instant,
     events: Vec<(TraceEvent, u64)>,
 }
@@ -84,6 +88,7 @@ impl Trace {
             req_id,
             kind: "unparsed",
             dataset: None,
+            dataset_version: None,
             started: Instant::now(),
             events: vec![(TraceEvent::Received, 0)],
         }
@@ -151,6 +156,9 @@ impl Trace {
         ];
         if let Some(dataset) = &self.dataset {
             members.push(("dataset".to_string(), Json::Str(dataset.clone())));
+        }
+        if let Some(version) = self.dataset_version {
+            members.push(("dataset_version".to_string(), Json::num(version)));
         }
         members.push(("total_ns".to_string(), Json::num(self.total_ns())));
         members.push(("events".to_string(), Json::Arr(events)));

@@ -59,6 +59,7 @@ pub(crate) const SPECS: &[FlagSpec] = &[
             "out",
             "batch-size",
             "metrics-out",
+            "delta",
         ],
         boolean: &["exact", "report", "progress", "stream"],
     },
@@ -92,6 +93,7 @@ pub(crate) const SPECS: &[FlagSpec] = &[
             "dataset",
             "sequences",
             "out",
+            "delta-fraction",
         ],
         boolean: &["shutdown"],
     },

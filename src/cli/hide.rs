@@ -19,12 +19,15 @@ use std::path::Path;
 
 use seqhide_core::timed::{TimeConstraints, TimeGap, TimedPattern};
 use seqhide_core::{
-    EngineMode, GlobalStrategy, LocalStrategy, Sanitizer, StreamReport, TimedDomain,
+    DeltaReport, DeltaState, EngineMode, GlobalStrategy, LocalStrategy, Sanitizer, SeqDelta,
+    StreamReport, TimedDomain,
 };
 use seqhide_data::stream::{ItemsetCodec, PlainCodec, SeqReader, TimedCodec};
 use seqhide_match::itemset::ItemsetPattern;
-use seqhide_match::{ItemsetMatchEngine, SensitivePattern, SensitiveSet};
-use seqhide_num::Sat64;
+use seqhide_match::{
+    ItemsetMatchEngine, MatchEngine, ScratchDomain, SensitivePattern, SensitiveSet,
+};
+use seqhide_num::{BigCount, Sat64};
 use seqhide_re::{sanitize_regex_db, RegexDomain, RegexPattern};
 use seqhide_string::{StringDomain, StringPattern};
 use seqhide_types::{Alphabet, ItemsetSequence, OpKind, Sequence, TimedSequence};
@@ -171,6 +174,9 @@ pub(crate) fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
             domain.noun()
         )));
     }
+    if let Some(edits) = flags.one("delta") {
+        return hide_delta(flags, &cfg, domain, edits);
+    }
     if flags.has("stream") {
         return cmd_hide_stream(flags, &cfg, domain);
     }
@@ -179,6 +185,278 @@ pub(crate) fn cmd_hide(flags: &Flags) -> Result<String, CliError> {
         Domain::Timed => hide_timed(flags, &cfg),
         Domain::String => hide_string(flags, &cfg),
         Domain::Plain | Domain::Regex => hide_plain(flags, &cfg),
+    }
+}
+
+/// Appended lines (tagged with their 1-based edits-file line number)
+/// plus removed 0-based database ordinals.
+type Edits = (Vec<(usize, String)>, Vec<usize>);
+
+/// Parses the `--delta` edits file: `+ <sequence line>` appends a
+/// sequence (in the run's database line format), `- <n>` removes the
+/// 0-based data-line ordinal `n` from the current database; blank lines
+/// and `#` comments are skipped. The whole file is applied as one batch
+/// through [`DeltaState::apply_delta`]. Added lines carry their 1-based
+/// edits-file line number for error messages.
+fn parse_edits(path: &str) -> Result<Edits, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('+') {
+            added.push((i + 1, rest.trim().to_string()));
+        } else if let Some(rest) = line.strip_prefix('-') {
+            let ord = rest.trim().parse().map_err(|_| {
+                err(format!(
+                    "--delta line {}: '-' needs a 0-based sequence ordinal, got '{}'",
+                    i + 1,
+                    rest.trim()
+                ))
+            })?;
+            removed.push(ord);
+        } else {
+            return Err(err(format!(
+                "--delta line {}: expected '+ <sequence>' or '- <ordinal>'",
+                i + 1
+            )));
+        }
+    }
+    Ok((added, removed))
+}
+
+/// Builds a [`DeltaState`] over `originals` and applies the one edits
+/// batch. The released content is byte-identical to a full hide of the
+/// mutated database on the same seed (pinned by tests/delta.rs) — the
+/// delta path is only ever a faster route to the same release.
+fn run_delta<D>(
+    config: &Sanitizer,
+    domain: &mut D,
+    originals: Vec<D::Seq>,
+    added: Vec<D::Seq>,
+    removed: Vec<usize>,
+) -> Result<(DeltaReport, Vec<D::Seq>), CliError>
+where
+    D: seqhide_match::PatternDomain,
+    D::Seq: Clone,
+{
+    let mut state = DeltaState::build(config, domain, originals);
+    let report = state
+        .apply_delta(domain, SeqDelta { added, removed })
+        .map_err(|e| err(format!("--delta: {e}")))?;
+    Ok((report, state.released().to_vec()))
+}
+
+/// Renders plain-mode sequences in [`seqhide_types::SequenceDb::to_text`]
+/// format (space-joined symbols, one line each, marks as `Δ`).
+fn render_plain(alphabet: &Alphabet, seqs: &[Sequence]) -> String {
+    let mut out = String::new();
+    for t in seqs {
+        let words: Vec<String> = t.iter().map(|&s| alphabet.render(s)).collect();
+        out.push_str(&words.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats the delta head lines and writes the release to `--out` or the
+/// response body — the delta-path counterpart of each domain's tail.
+fn finish_delta(
+    flags: &Flags,
+    domain: Domain,
+    report: &DeltaReport,
+    text: String,
+) -> Result<String, CliError> {
+    let r = &report.report;
+    let mut out = format!(
+        "{}: {} {} in {} sequences; residual supports {:?}\n",
+        domain.noun(),
+        r.marks_introduced,
+        domain.unit(),
+        r.sequences_sanitized,
+        r.residual_supports
+    );
+    out.push_str(&format!(
+        "delta: +{} -{} sequences; {} re-marked, {} restored\n",
+        report.added, report.removed, report.remarked, report.restored
+    ));
+    if !r.hidden {
+        return Err(err(format!(
+            "internal: sanitizer failed to hide {}",
+            domain.noun()
+        )));
+    }
+    if let Some(path) = flags.one("out") {
+        std::fs::write(path, &text).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote {path}\n"));
+    } else {
+        out.push_str(&text);
+    }
+    Ok(out)
+}
+
+/// `hide --delta <edits-file>`: sanitize the database, then absorb one
+/// mutation batch incrementally through the persistent supporter index
+/// ([`seqhide_core::delta`]) instead of re-sanitizing from scratch. The
+/// printed report and release describe the post-delta database and are
+/// byte-identical to a fresh `hide` of it on the same seed.
+fn hide_delta(
+    flags: &Flags,
+    cfg: &HideConfig,
+    domain: Domain,
+    edits: &str,
+) -> Result<String, CliError> {
+    if flags.has("stream") {
+        return Err(err(
+            "--delta applies one in-memory edits batch; it cannot be combined with --stream",
+        ));
+    }
+    if flags.one("post").unwrap_or("keep") != "keep" {
+        return Err(err("--delta maintains a Δ-marked release incrementally; \
+             --post delete/replace need a full-database pass"));
+    }
+    if cfg.op == OpKind::Substitute {
+        return Err(err(
+            "--delta cannot replay --op substitute: replacement symbols depend on \
+             alphabet interning order, which differs once edits are interned after \
+             the patterns — use --op mark or --op delete",
+        ));
+    }
+    if domain == Domain::Regex || !flags.all("regex").is_empty() {
+        return Err(err(
+            "--delta maintains a per-pattern supporter index; --regex patterns \
+             are not supported — give --pattern",
+        ));
+    }
+    let (added_lines, removed) = parse_edits(edits)?;
+    match domain {
+        Domain::Plain => {
+            let mut db = load_db(flags)?;
+            let sh = sensitive_set(flags, &mut db)?;
+            if sh.is_empty() {
+                return Err(err("nothing to hide: give --pattern"));
+            }
+            let added: Vec<Sequence> = added_lines
+                .iter()
+                .map(|(_, l)| Sequence::parse(l, db.alphabet_mut()))
+                .collect();
+            let exact = flags.has("exact");
+            let config = cfg.sanitizer(exact);
+            let originals = db.sequences().to_vec();
+            // The same (exact × engine) dispatch the full path routes
+            // through Sanitizer::run — the delta state drives the domain
+            // directly, so the arms are spelled out here.
+            let (report, released) = match (exact, cfg.engine) {
+                (false, EngineMode::Incremental) => run_delta(
+                    &config,
+                    &mut MatchEngine::<Sat64>::new(&sh),
+                    originals,
+                    added,
+                    removed,
+                )?,
+                (true, EngineMode::Incremental) => run_delta(
+                    &config,
+                    &mut MatchEngine::<BigCount>::new(&sh),
+                    originals,
+                    added,
+                    removed,
+                )?,
+                (false, EngineMode::Scratch) => run_delta(
+                    &config,
+                    &mut ScratchDomain::<Sat64>::new(&sh),
+                    originals,
+                    added,
+                    removed,
+                )?,
+                (true, EngineMode::Scratch) => run_delta(
+                    &config,
+                    &mut ScratchDomain::<BigCount>::new(&sh),
+                    originals,
+                    added,
+                    removed,
+                )?,
+            };
+            finish_delta(
+                flags,
+                Domain::Plain,
+                &report,
+                render_plain(db.alphabet(), &released),
+            )
+        }
+        Domain::Itemset => {
+            let (mut alphabet, db) = seqhide_data::io::parse_itemset_db(&read_text(flags)?);
+            let patterns = itemset_patterns(flags, &mut alphabet)?;
+            let added: Vec<ItemsetSequence> = added_lines
+                .iter()
+                .map(|(_, l)| seqhide_data::io::parse_itemset_line(l, &mut alphabet))
+                .collect();
+            let (report, released) = run_delta(
+                &cfg.sanitizer(false),
+                &mut ItemsetMatchEngine::<Sat64>::new(&patterns),
+                db,
+                added,
+                removed,
+            )?;
+            finish_delta(
+                flags,
+                Domain::Itemset,
+                &report,
+                seqhide_data::io::itemset_db_to_text(&alphabet, &released),
+            )
+        }
+        Domain::Timed => {
+            let (mut alphabet, db) = seqhide_data::io::parse_timed_db(&read_text(flags)?)
+                .map_err(|e| err(e.to_string()))?;
+            let patterns = timed_patterns(flags, &mut alphabet)?;
+            let mut added = Vec::new();
+            for (lineno, l) in &added_lines {
+                added.push(
+                    seqhide_data::io::parse_timed_line(*lineno, l, &mut alphabet)
+                        .map_err(|e| err(format!("--delta: {e}")))?,
+                );
+            }
+            let (report, released) = run_delta(
+                &cfg.sanitizer(false),
+                &mut TimedDomain::<Sat64>::new(&patterns),
+                db,
+                added,
+                removed,
+            )?;
+            finish_delta(
+                flags,
+                Domain::Timed,
+                &report,
+                seqhide_data::io::timed_db_to_text(&alphabet, &released),
+            )
+        }
+        Domain::String => {
+            let mut db = load_db(flags)?;
+            let patterns = string_patterns(flags, db.alphabet_mut())?;
+            let added: Vec<Sequence> = added_lines
+                .iter()
+                .map(|(_, l)| Sequence::parse(l, db.alphabet_mut()))
+                .collect();
+            let sigma_len = db.alphabet().len();
+            let originals = db.sequences().to_vec();
+            let (report, released) = run_delta(
+                &cfg.sanitizer(false),
+                &mut StringDomain::<Sat64>::new(&patterns, sigma_len).with_op(cfg.op),
+                originals,
+                added,
+                removed,
+            )?;
+            finish_delta(
+                flags,
+                Domain::String,
+                &report,
+                render_plain(db.alphabet(), &released),
+            )
+        }
+        Domain::Regex => unreachable!("rejected above"),
     }
 }
 

@@ -43,7 +43,24 @@ pub(crate) fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
         db,
         sequences: flags.usize_or("sequences", 64)?,
         dataset: flags.one("dataset").map(str::to_string),
+        delta_fraction: match flags.one("delta-fraction") {
+            None => 0.0,
+            Some(raw) => {
+                let f: f64 = raw
+                    .parse()
+                    .map_err(|_| err(format!("--delta-fraction: '{raw}' is not a number")))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(err("--delta-fraction must be within [0, 1]"));
+                }
+                f
+            }
+        },
     };
+    if options.delta_fraction > 0.0 && options.dataset.is_none() {
+        return Err(err(
+            "--delta-fraction needs --dataset (deltas mutate a named dataset)",
+        ));
+    }
     eprintln!(
         "[seqhide loadgen] {} client(s) against {} for {}s",
         options.clients, options.addr, duration_secs
@@ -55,9 +72,19 @@ pub(crate) fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
     if flags.has("shutdown") {
         send_shutdown(&options.addr)?;
     }
+    let delta_note = if report.delta_latency.count > 0 {
+        format!(
+            " ({} delta(s), p50 {}µs p99 {}µs)",
+            report.delta_latency.count,
+            report.delta_latency.quantile(0.50) / 1_000,
+            report.delta_latency.quantile(0.99) / 1_000,
+        )
+    } else {
+        String::new()
+    };
     Ok(format!(
         "loadgen: {} request(s) in {:.1}s — {:.1} req/s, p50 {}µs p95 {}µs p99 {}µs, \
-         shed rate {:.4}, drain {}ms; wrote {out_path}\n",
+         shed rate {:.4}, drain {}ms{delta_note}; wrote {out_path}\n",
         report.requests,
         report.elapsed.as_secs_f64(),
         report.throughput_rps(),

@@ -69,7 +69,7 @@ USAGE:
                  [--seed S] [--exact] [--min-gap G] [--max-gap G] [--max-window W]
                  [--engine incremental|scratch] [--threads N]
                  [--post keep|delete|replace] [--out FILE] [--report]
-                 [--stream] [--batch-size N]
+                 [--stream] [--batch-size N] [--delta FILE]
                  [--metrics-out FILE] [--progress]
   seqhide verify --db FILE --psi N (--pattern \"a b\")...
   seqhide serve  [--addr HOST:PORT] [--threads N] [--queue-depth N]
@@ -77,7 +77,8 @@ USAGE:
                  [--data-dir DIR] [--metrics-out FILE]
   seqhide loadgen --addr HOST:PORT [--clients N] [--duration-secs S]
                  [--psi N] [--seed S] [--db FILE] [--dataset NAME]
-                 [--sequences N] [--out FILE] [--shutdown]
+                 [--sequences N] [--delta-fraction F] [--out FILE]
+                 [--shutdown]
   seqhide attack --original FILE --released FILE [--train FILE]
                  (--pattern \"a b\")...
   seqhide gen    --dataset trucks|synthetic [--seed S] --out FILE
@@ -110,10 +111,21 @@ STREAMING:
                       run; --post keep only.
   --batch-size N      sequences resident per pass-2 batch (default 1024)
 
+DELTAS:
+  --delta FILE        sanitize, then absorb FILE's edits incrementally
+                      through the persistent supporter index instead of
+                      re-sanitizing from scratch. One edit per line:
+                      '+ <sequence>' appends (database line format),
+                      '- <n>' removes the 0-based data-line ordinal n;
+                      '#' comments and blank lines skipped. Output equals
+                      a fresh hide of the mutated database on the same
+                      seed. Plain/itemset/timed/string domains; --op
+                      mark|delete; excludes --stream, --post and --regex.
+
 SERVING (protocol spec and ops runbook in docs/SERVER.md):
   serve answers newline-delimited JSON requests (sanitize, verify,
-  stats, load, load_chunk, unload, datasets, health, metrics, debug,
-  shutdown) over TCP. Releases are byte-identical to the equivalent
+  stats, delta, load, load_chunk, unload, datasets, health, metrics,
+  debug, shutdown) over TCP. Releases are byte-identical to the equivalent
   'seqhide hide' run. A bounded job queue (--queue-depth, default 64)
   feeds --threads workers (default: available cores); when the queue is
   full the server responds 'overloaded' instead of buffering.
@@ -124,8 +136,11 @@ SERVING (protocol spec and ops runbook in docs/SERVER.md):
   serving GET /metrics (Prometheus text), /metrics.json, and /healthz
   for scrapers. 'load' interns a database once under a name and
   sanitize/verify/stats requests reference it with dataset:\"name\"
-  instead of shipping the text; --data-dir DIR persists loaded datasets
-  as compressed shard stores and re-attaches them after a restart.
+  instead of shipping the text; 'delta' mutates a loaded dataset in
+  place (append/remove sequences) and re-sanitizes it incrementally,
+  bumping its version; --data-dir DIR persists loaded datasets as
+  compressed shard stores (plus .sqdi supporter indexes for delta
+  sessions) and re-attaches them after a restart.
   loadgen drives a running server with a zipfian request mix from N
   client connections and writes BENCH_serve.json (throughput,
   p50/p95/p99 latency, shed rate, drain time); --dataset NAME loads the

@@ -1,0 +1,436 @@
+//! Property tests pinning [`DeltaState::apply_delta`] byte-identical to
+//! full re-sanitization of the mutated database on the same seed — the
+//! incremental path may only ever be a *faster* route to the exact same
+//! release. Covered: HH/HR/RH/RR (plus the §8 AutoCorrelation/Length
+//! globals) × plain/itemset/timed/string × engine modes × thread counts,
+//! with empty deltas, deltas that empty the database, and ψ values that
+//! straddle the supporter count (boundary flips) arising from the
+//! generators.
+
+use proptest::prelude::*;
+use seqhide::core::delta::{DeltaReport, DeltaState, SeqDelta};
+use seqhide::core::timed::{TimeConstraints, TimedPattern};
+use seqhide::core::{
+    EngineMode, GlobalStrategy, LocalStrategy, SanitizeReport, Sanitizer, TimedDomain,
+};
+use seqhide::matching::itemset::ItemsetPattern;
+use seqhide::matching::{
+    ConstraintSet, ItemsetMatchEngine, MatchEngine, ScratchDomain, SensitiveSet,
+};
+use seqhide::num::{BigCount, Sat64};
+use seqhide::string::{StringDomain, StringPattern};
+use seqhide::types::{Alphabet, Sequence};
+
+/// The algorithmic report fields — engine work counters
+/// (`engine_repairs`/`fallback_recounts`) legitimately differ between the
+/// incremental and full paths, exactly as between engine modes.
+fn same_outcome(a: &SanitizeReport, b: &SanitizeReport) -> bool {
+    a.marks_introduced == b.marks_introduced
+        && a.sequences_sanitized == b.sequences_sanitized
+        && a.supporters_before == b.supporters_before
+        && a.residual_supports == b.residual_supports
+        && a.hidden == b.hidden
+}
+
+/// Applies the delta plan to pristine content: the database a full
+/// re-sanitization would start from.
+fn mutate<S: Clone>(originals: &[S], added: &[S], removed: &[usize]) -> Vec<S> {
+    let mut removed: Vec<usize> = removed.to_vec();
+    removed.sort_unstable();
+    removed.dedup();
+    let mut out: Vec<S> = originals
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !removed.contains(i))
+        .map(|(_, t)| t.clone())
+        .collect();
+    out.extend(added.iter().cloned());
+    out
+}
+
+/// Clamps raw removal indices into the current database (empty dbs get
+/// no removals).
+fn clamp_removals(raw: &[usize], len: usize) -> Vec<usize> {
+    if len == 0 {
+        return Vec::new();
+    }
+    raw.iter().map(|&r| r % len).collect()
+}
+
+fn strategy_pair() -> impl Strategy<Value = (LocalStrategy, GlobalStrategy)> {
+    (
+        prop::sample::select(vec![LocalStrategy::Heuristic, LocalStrategy::Random]),
+        prop::sample::select(vec![
+            GlobalStrategy::Heuristic,
+            GlobalStrategy::Random,
+            GlobalStrategy::AutoCorrelation,
+            GlobalStrategy::Length,
+        ]),
+    )
+}
+
+fn rows() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..5, 0..=8), 0..=10)
+}
+
+fn patterns() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..5, 1..=3), 1..=2)
+}
+
+/// Runs one plain-domain scenario end to end: build, apply one delta,
+/// compare against a fresh full run on the mutated database (also
+/// exercised threaded — the full path must agree with itself too).
+#[allow(clippy::too_many_arguments)]
+fn check_plain(
+    rows: &[Vec<u32>],
+    added_rows: &[Vec<u32>],
+    removed_raw: &[usize],
+    pats: &[Vec<u32>],
+    psi: usize,
+    seed: u64,
+    local: LocalStrategy,
+    global: GlobalStrategy,
+    engine: EngineMode,
+    exact: bool,
+    threads: usize,
+) -> Result<(DeltaReport, SanitizeReport), TestCaseError> {
+    let originals: Vec<Sequence> = rows.iter().map(|r| Sequence::from_ids(r.clone())).collect();
+    let added: Vec<Sequence> = added_rows
+        .iter()
+        .map(|r| Sequence::from_ids(r.clone()))
+        .collect();
+    let removed = clamp_removals(removed_raw, originals.len());
+    let sh = SensitiveSet::new(pats.iter().map(|p| Sequence::from_ids(p.clone())).collect());
+    let config = Sanitizer::new(local, global, psi)
+        .with_seed(seed)
+        .with_engine(engine)
+        .with_exact_counts(exact);
+
+    let delta = SeqDelta {
+        added: added.clone(),
+        removed: removed.clone(),
+    };
+    let (delta_report, released) = match (exact, engine) {
+        (false, EngineMode::Incremental) => {
+            let mut domain = MatchEngine::<Sat64>::new(&sh);
+            let mut state = DeltaState::build(&config, &mut domain, originals.clone());
+            let r = state.apply_delta(&mut domain, delta).unwrap();
+            (r, state.released().to_vec())
+        }
+        (true, EngineMode::Incremental) => {
+            let mut domain = MatchEngine::<BigCount>::new(&sh);
+            let mut state = DeltaState::build(&config, &mut domain, originals.clone());
+            let r = state.apply_delta(&mut domain, delta).unwrap();
+            (r, state.released().to_vec())
+        }
+        (false, EngineMode::Scratch) => {
+            let mut domain = ScratchDomain::<Sat64>::new(&sh);
+            let mut state = DeltaState::build(&config, &mut domain, originals.clone());
+            let r = state.apply_delta(&mut domain, delta).unwrap();
+            (r, state.released().to_vec())
+        }
+        (true, EngineMode::Scratch) => {
+            let mut domain = ScratchDomain::<BigCount>::new(&sh);
+            let mut state = DeltaState::build(&config, &mut domain, originals.clone());
+            let r = state.apply_delta(&mut domain, delta).unwrap();
+            (r, state.released().to_vec())
+        }
+    };
+
+    let mut mutated = mutate(&originals, &added, &removed);
+    let full = match (exact, engine) {
+        (false, EngineMode::Incremental) => config
+            .with_threads(threads)
+            .run_domain_threaded(&mut mutated, &|| MatchEngine::<Sat64>::new(&sh)),
+        (true, EngineMode::Incremental) => config
+            .with_threads(threads)
+            .run_domain_threaded(&mut mutated, &|| MatchEngine::<BigCount>::new(&sh)),
+        (false, EngineMode::Scratch) => config
+            .with_threads(threads)
+            .run_domain_threaded(&mut mutated, &|| ScratchDomain::<Sat64>::new(&sh)),
+        (true, EngineMode::Scratch) => config
+            .with_threads(threads)
+            .run_domain_threaded(&mut mutated, &|| ScratchDomain::<BigCount>::new(&sh)),
+    };
+    prop_assert_eq!(&released, &mutated, "released content diverged");
+    prop_assert!(
+        same_outcome(&delta_report.report, &full),
+        "reports diverged: delta {:?} vs full {:?}",
+        delta_report.report,
+        full
+    );
+    Ok((delta_report, full))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline invariant: one delta == full re-sanitization, across
+    /// the whole strategy/engine/thread/arithmetic matrix.
+    #[test]
+    fn plain_delta_equals_full_resanitize(
+        rows in rows(),
+        added in prop::collection::vec(prop::collection::vec(0u32..5, 0..=8), 0..=4),
+        removed in prop::collection::vec(0usize..64, 0..=4),
+        pats in patterns(),
+        psi in 0usize..6,
+        seed in 0u64..4,
+        (local, global) in strategy_pair(),
+        engine in prop::sample::select(vec![EngineMode::Incremental, EngineMode::Scratch]),
+        exact in prop::sample::select(vec![false, true]),
+        threads in 1usize..4,
+    ) {
+        check_plain(
+            &rows, &added, &removed, &pats, psi, seed, local, global, engine, exact, threads,
+        )?;
+    }
+
+    /// An empty delta re-marks and restores nothing — selection is
+    /// identical, so every victim carries over.
+    #[test]
+    fn empty_delta_is_a_noop(
+        rows in rows(),
+        pats in patterns(),
+        psi in 0usize..4,
+        (local, global) in strategy_pair(),
+    ) {
+        let (report, _) = check_plain(
+            &rows, &[], &[], &pats, psi, 7, local, global,
+            EngineMode::Incremental, false, 1,
+        )?;
+        prop_assert_eq!(report.remarked, 0);
+        prop_assert_eq!(report.restored, 0);
+    }
+
+    /// Removing every sequence empties the database and the report.
+    #[test]
+    fn delta_emptying_database(
+        rows in prop::collection::vec(prop::collection::vec(0u32..5, 0..=8), 1..=8),
+        pats in patterns(),
+        psi in 0usize..4,
+        (local, global) in strategy_pair(),
+    ) {
+        let removed: Vec<usize> = (0..rows.len()).collect();
+        let (report, _) = check_plain(
+            &rows, &[], &removed, &pats, psi, 3, local, global,
+            EngineMode::Incremental, false, 1,
+        )?;
+        prop_assert_eq!(report.report.supporters_before, 0);
+        prop_assert_eq!(report.report.sequences_sanitized, 0);
+        prop_assert!(report.report.hidden);
+    }
+
+    /// A chain of deltas stays equivalent to full re-sanitization of the
+    /// final database (state does not drift across applies).
+    #[test]
+    fn chained_deltas_stay_equivalent(
+        rows in rows(),
+        add1 in prop::collection::vec(prop::collection::vec(0u32..5, 0..=6), 0..=3),
+        rm1 in prop::collection::vec(0usize..64, 0..=3),
+        add2 in prop::collection::vec(prop::collection::vec(0u32..5, 0..=6), 0..=3),
+        rm2 in prop::collection::vec(0usize..64, 0..=3),
+        pats in patterns(),
+        psi in 0usize..5,
+        seed in 0u64..4,
+        (local, global) in strategy_pair(),
+    ) {
+        let originals: Vec<Sequence> =
+            rows.iter().map(|r| Sequence::from_ids(r.clone())).collect();
+        let sh = SensitiveSet::new(
+            pats.iter().map(|p| Sequence::from_ids(p.clone())).collect(),
+        );
+        let config = Sanitizer::new(local, global, psi).with_seed(seed);
+        let mut domain = MatchEngine::<Sat64>::new(&sh);
+        let mut state = DeltaState::build(&config, &mut domain, originals.clone());
+
+        let a1: Vec<Sequence> = add1.iter().map(|r| Sequence::from_ids(r.clone())).collect();
+        let r1 = clamp_removals(&rm1, state.len());
+        state
+            .apply_delta(&mut domain, SeqDelta { added: a1.clone(), removed: r1.clone() })
+            .unwrap();
+        let after1 = mutate(&originals, &a1, &r1);
+
+        let a2: Vec<Sequence> = add2.iter().map(|r| Sequence::from_ids(r.clone())).collect();
+        let r2 = clamp_removals(&rm2, state.len());
+        let report = state
+            .apply_delta(&mut domain, SeqDelta { added: a2.clone(), removed: r2.clone() })
+            .unwrap();
+        let mut final_db = mutate(&after1, &a2, &r2);
+
+        let full = config.run_domain_threaded(&mut final_db, &|| MatchEngine::<Sat64>::new(&sh));
+        prop_assert_eq!(state.released(), &final_db[..]);
+        prop_assert!(same_outcome(&report.report, &full));
+    }
+
+    /// ψ straddling the supporter count: deltas that push the database
+    /// across the "nothing to do" boundary in both directions.
+    #[test]
+    fn psi_boundary_flips(
+        n_sup in 0usize..6,
+        extra in 0usize..3,
+        psi in 0usize..6,
+        seed in 0u64..4,
+        (local, global) in strategy_pair(),
+    ) {
+        // n_sup identical supporters of "0 1", plus noise rows.
+        let mut rows: Vec<Vec<u32>> = (0..n_sup).map(|_| vec![0, 1, 2]).collect();
+        rows.extend((0..extra).map(|_| vec![3, 4]));
+        // Add supporters until selection must flip from empty to
+        // non-empty (or grow), then remove down across the boundary.
+        let added: Vec<Vec<u32>> = (0..psi + 1).map(|_| vec![0, 1]).collect();
+        check_plain(
+            &rows, &added, &[], &[vec![0, 1]], psi, seed, local, global,
+            EngineMode::Incremental, false, 2,
+        )?;
+        let removed: Vec<usize> = (0..n_sup.min(2)).collect();
+        check_plain(
+            &rows, &[], &removed, &[vec![0, 1]], psi, seed, local, global,
+            EngineMode::Incremental, false, 2,
+        )?;
+    }
+
+    /// Itemset domain: hierarchical two-level marking, engine-backed.
+    #[test]
+    fn itemset_delta_equals_full_resanitize(
+        rows in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0u32..4, 1..=2), 0..=5),
+            0..=8,
+        ),
+        added in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0u32..4, 1..=2), 0..=5),
+            0..=3,
+        ),
+        removed in prop::collection::vec(0usize..64, 0..=3),
+        psi in 0usize..4,
+        seed in 0u64..4,
+        (local, global) in strategy_pair(),
+        threads in 1usize..3,
+    ) {
+        use seqhide::types::{Itemset, ItemsetSequence, Symbol};
+        let build = |rows: &[Vec<Vec<u32>>]| -> Vec<ItemsetSequence> {
+            rows.iter()
+                .map(|row| {
+                    ItemsetSequence::new(
+                        row.iter()
+                            .map(|e| Itemset::new(e.iter().map(|&i| Symbol::new(i)).collect()))
+                            .collect(),
+                    )
+                })
+                .collect()
+        };
+        let originals = build(&rows);
+        let added = build(&added);
+        let removed = clamp_removals(&removed, originals.len());
+        let pattern = ItemsetPattern::new(
+            ItemsetSequence::new(vec![Itemset::new(vec![Symbol::new(0), Symbol::new(1)])]),
+            ConstraintSet::none(),
+        )
+        .unwrap();
+        let patterns = vec![pattern];
+        let config = Sanitizer::new(local, global, psi).with_seed(seed);
+
+        let mut domain = ItemsetMatchEngine::<Sat64>::new(&patterns);
+        let mut state = DeltaState::build(&config, &mut domain, originals.clone());
+        let report = state
+            .apply_delta(&mut domain, SeqDelta { added: added.clone(), removed: removed.clone() })
+            .unwrap();
+
+        let mut mutated = mutate(&originals, &added, &removed);
+        let full = config
+            .with_threads(threads)
+            .run_domain_threaded(&mut mutated, &|| ItemsetMatchEngine::<Sat64>::new(&patterns));
+        prop_assert_eq!(state.released(), &mutated[..]);
+        prop_assert!(same_outcome(&report.report, &full));
+    }
+
+    /// Timed domain: real-time-tagged events.
+    #[test]
+    fn timed_delta_equals_full_resanitize(
+        rows in prop::collection::vec(prop::collection::vec(0u32..4, 0..=6), 0..=8),
+        added in prop::collection::vec(prop::collection::vec(0u32..4, 0..=6), 0..=3),
+        removed in prop::collection::vec(0usize..64, 0..=3),
+        psi in 0usize..4,
+        seed in 0u64..4,
+        (local, global) in strategy_pair(),
+        threads in 1usize..3,
+    ) {
+        use seqhide::types::{Symbol, TimedEvent, TimedSequence};
+        let build = |rows: &[Vec<u32>]| -> Vec<TimedSequence> {
+            rows.iter()
+                .map(|row| {
+                    TimedSequence::new(
+                        row.iter()
+                            .enumerate()
+                            .map(|(i, &s)| TimedEvent {
+                                symbol: Symbol::new(s),
+                                time: (i as u64) * 3,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect()
+        };
+        let originals = build(&rows);
+        let added = build(&added);
+        let removed = clamp_removals(&removed, originals.len());
+        let pattern = TimedPattern::new(
+            Sequence::from_ids(vec![0, 1]),
+            TimeConstraints::none(),
+        )
+        .unwrap();
+        let patterns = vec![pattern];
+        let config = Sanitizer::new(local, global, psi).with_seed(seed);
+
+        let mut domain = TimedDomain::<Sat64>::new(&patterns);
+        let mut state = DeltaState::build(&config, &mut domain, originals.clone());
+        let report = state
+            .apply_delta(&mut domain, SeqDelta { added: added.clone(), removed: removed.clone() })
+            .unwrap();
+
+        let mut mutated = mutate(&originals, &added, &removed);
+        let full = config
+            .with_threads(threads)
+            .run_domain_threaded(&mut mutated, &|| TimedDomain::<Sat64>::new(&patterns));
+        prop_assert_eq!(state.released(), &mutated[..]);
+        prop_assert!(same_outcome(&report.report, &full));
+    }
+
+    /// String domain (contiguous substrings, Δ-marking op): the delta
+    /// path must agree with a full run for the default mark operator.
+    #[test]
+    fn string_delta_equals_full_resanitize(
+        rows in rows(),
+        added in prop::collection::vec(prop::collection::vec(0u32..5, 0..=8), 0..=3),
+        removed in prop::collection::vec(0usize..64, 0..=3),
+        psi in 0usize..4,
+        seed in 0u64..4,
+        (local, global) in strategy_pair(),
+        threads in 1usize..3,
+    ) {
+        let originals: Vec<Sequence> =
+            rows.iter().map(|r| Sequence::from_ids(r.clone())).collect();
+        let added: Vec<Sequence> =
+            added.iter().map(|r| Sequence::from_ids(r.clone())).collect();
+        let removed = clamp_removals(&removed, originals.len());
+        let alphabet = Alphabet::anonymous(5);
+        let patterns =
+            vec![StringPattern::new(Sequence::from_ids(vec![0, 1])).unwrap()];
+        let sigma_len = alphabet.len();
+        let config = Sanitizer::new(local, global, psi).with_seed(seed);
+
+        let mut domain = StringDomain::<Sat64>::new(&patterns, sigma_len);
+        let mut state = DeltaState::build(&config, &mut domain, originals.clone());
+        let report = state
+            .apply_delta(&mut domain, SeqDelta { added: added.clone(), removed: removed.clone() })
+            .unwrap();
+
+        let mut mutated = mutate(&originals, &added, &removed);
+        let full = config
+            .with_threads(threads)
+            .run_domain_threaded(&mut mutated, &|| {
+                StringDomain::<Sat64>::new(&patterns, sigma_len)
+            });
+        prop_assert_eq!(state.released(), &mutated[..]);
+        prop_assert!(same_outcome(&report.report, &full));
+    }
+}

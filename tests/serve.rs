@@ -756,11 +756,7 @@ fn concurrent_metrics_scrapes_stay_monotonic_under_load() {
 }
 
 /// One request on an already-open connection; reads one response line.
-fn send_on(
-    stream: &mut TcpStream,
-    reader: &mut BufReader<TcpStream>,
-    request: &str,
-) -> Json {
+fn send_on(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, request: &str) -> Json {
     writeln!(stream, "{request}").unwrap();
     stream.flush().unwrap();
     let mut line = String::new();
@@ -937,9 +933,16 @@ fn path_and_chunked_loads_match_inline() {
             ("path", Json::Str(db_path.to_string_lossy().into_owned())),
         ]),
     );
-    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"), "{resp:?}");
+    assert_eq!(
+        resp.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "{resp:?}"
+    );
     assert_eq!(resp.get("origin").and_then(Json::as_str), Some("path"));
-    assert_eq!(resp.get("bytes").and_then(Json::as_u64), Some(db.len() as u64));
+    assert_eq!(
+        resp.get("bytes").and_then(Json::as_u64),
+        Some(db.len() as u64)
+    );
 
     // chunked: staging lives on the connection; split mid-line to show
     // reassembly is byte-oriented, not line-oriented
@@ -950,7 +953,11 @@ fn path_and_chunked_loads_match_inline() {
         &mut reader,
         r#"{"type":"load","name":"by-chunks","chunks":true}"#,
     );
-    assert_eq!(resp.get("staged").and_then(Json::as_bool), Some(true), "{resp:?}");
+    assert_eq!(
+        resp.get("staged").and_then(Json::as_bool),
+        Some(true),
+        "{resp:?}"
+    );
     let (first, second) = db.split_at(9);
     let resp = send_on(
         &mut stream,
@@ -974,9 +981,16 @@ fn path_and_chunked_loads_match_inline() {
             ("last", Json::Bool(true)),
         ]),
     );
-    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"), "{resp:?}");
+    assert_eq!(
+        resp.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "{resp:?}"
+    );
     assert_eq!(resp.get("origin").and_then(Json::as_str), Some("chunks"));
-    assert_eq!(resp.get("bytes").and_then(Json::as_u64), Some(db.len() as u64));
+    assert_eq!(
+        resp.get("bytes").and_then(Json::as_u64),
+        Some(db.len() as u64)
+    );
     assert_eq!(resp.get("sequences").and_then(Json::as_u64), Some(4));
 
     // all three transports produce the same release
@@ -996,7 +1010,10 @@ fn path_and_chunked_loads_match_inline() {
             Some("ok"),
             "{dataset}: {resp:?}"
         );
-        resp.get("release").and_then(Json::as_str).unwrap().to_string()
+        resp.get("release")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string()
     };
     let inline = sanitize("by-inline");
     assert_eq!(sanitize("by-path"), inline);
@@ -1027,8 +1044,15 @@ fn data_dir_datasets_survive_a_server_restart() {
 
     let (addr, handle) = start_with_dir(1, 4, Some(&dir));
     let resp = send_one(addr, &load_request("trucks", db));
-    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"), "{resp:?}");
-    assert!(resp.get("shards").and_then(Json::as_u64) >= Some(1), "{resp:?}");
+    assert_eq!(
+        resp.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "{resp:?}"
+    );
+    assert!(
+        resp.get("shards").and_then(Json::as_u64) >= Some(1),
+        "{resp:?}"
+    );
     assert!(dir.join("trucks.sqds").exists(), "store file not committed");
     let before = send_one(addr, &case_request("trucks"));
     assert_eq!(before.get("status").and_then(Json::as_str), Some("ok"));
@@ -1041,7 +1065,10 @@ fn data_dir_datasets_survive_a_server_restart() {
     let rows = resp.get("datasets").and_then(Json::as_array).unwrap();
     assert_eq!(rows.len(), 1, "{resp:?}");
     assert_eq!(rows[0].get("name").and_then(Json::as_str), Some("trucks"));
-    assert_eq!(rows[0].get("origin").and_then(Json::as_str), Some("reattach"));
+    assert_eq!(
+        rows[0].get("origin").and_then(Json::as_str),
+        Some("reattach")
+    );
     let after = send_one(addr, &case_request("trucks"));
     assert_eq!(
         after.get("release").and_then(Json::as_str),
@@ -1076,6 +1103,7 @@ fn loadgen_drives_a_server_and_reports() {
         db: None,
         sequences: 12,
         dataset: None,
+        delta_fraction: 0.0,
     })
     .expect("loadgen run");
     assert!(report.requests > 0);
@@ -1096,6 +1124,186 @@ fn loadgen_drives_a_server_and_reports() {
     ] {
         assert!(json.contains(key), "missing {key}");
     }
+    send_one(addr, r#"{"type":"shutdown"}"#);
+    handle.join().unwrap();
+}
+
+/// A loadgen run with mutation traffic: `delta_fraction` draws `delta`
+/// requests against the pre-loaded dataset, every one succeeds, and the
+/// delta latency histogram plus the BENCH fields are populated.
+#[test]
+fn loadgen_delta_traffic_mutates_the_dataset() {
+    use seqhide::serve::loadgen::{self, LoadgenOptions};
+    let (addr, handle) = start(2, 8);
+    let options = LoadgenOptions {
+        addr: addr.to_string(),
+        clients: 2,
+        duration: Duration::from_millis(400),
+        psi: 2,
+        seed: 3,
+        db: None,
+        sequences: 12,
+        dataset: Some("churn".to_string()),
+        delta_fraction: 0.5,
+    };
+    let report = loadgen::run(&options).expect("loadgen run");
+    assert_eq!(report.errors, 0, "{report:?}");
+    let delta_sent = report
+        .mix
+        .iter()
+        .find(|t| t.name == "delta")
+        .map(|t| t.sent)
+        .unwrap_or(0);
+    assert!(delta_sent > 0, "no delta requests drawn: {:?}", report.mix);
+    assert_eq!(report.delta_latency.count, delta_sent);
+    let json = report.to_bench_json(&options);
+    assert!(json.contains("\"delta_fraction\": 0.5000"), "{json}");
+    assert!(json.contains("\"delta_latency_ns\""), "{json}");
+    // the dataset's version climbed by exactly the applied deltas
+    let resp = send_one(addr, r#"{"type":"datasets"}"#);
+    let rows = resp.get("datasets").and_then(Json::as_array).unwrap();
+    assert_eq!(rows[0].get("name").and_then(Json::as_str), Some("churn"));
+    assert_eq!(
+        rows[0].get("version").and_then(Json::as_u64),
+        Some(1 + delta_sent),
+        "{resp:?}"
+    );
+    send_one(addr, r#"{"type":"shutdown"}"#);
+    handle.join().unwrap();
+}
+
+/// The `delta` wire op end to end: a stream of mutations climbs the
+/// dataset's version, each post-delta release is byte-identical to a
+/// fresh inline sanitize of the mutated database under the same
+/// (algorithm, ψ, seed), a refused batch leaves the version alone, and
+/// the `datasets` listing reports `version` + `last_modified`.
+#[test]
+fn delta_stream_matches_fresh_sanitize_and_versions_climb() {
+    let (addr, handle) = start(2, 8);
+    let resp = send_one(
+        addr,
+        &load_request("churn", "a b c\nb a c\nc c a\na c\nb b\n"),
+    );
+    assert_eq!(
+        resp.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "{resp:?}"
+    );
+
+    // the client-side mirror of the database the deltas produce
+    let mut lines: Vec<String> = ["a b c", "b a c", "c c a", "a c", "b b"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let edits: &[(&[&str], &[usize])] =
+        &[(&["c a c", "a c b"], &[1]), (&[], &[0, 2]), (&["a c"], &[])];
+    for (round, (add, remove)) in edits.iter().enumerate() {
+        let request = obj(vec![
+            ("type", Json::Str("delta".to_string())),
+            ("dataset", Json::Str("churn".to_string())),
+            ("add", str_arr(add)),
+            (
+                "remove",
+                Json::Arr(remove.iter().map(|&o| Json::num(o as u64)).collect()),
+            ),
+            ("patterns", str_arr(&["a c"])),
+            ("psi", Json::num(1)),
+            ("algorithm", Json::Str("rr".to_string())),
+            ("seed", Json::num(7)),
+            ("release", Json::Bool(true)),
+        ]);
+        let resp = send_one(addr, &request);
+        assert_eq!(
+            resp.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "round {round}: {resp:?}"
+        );
+        assert_eq!(
+            resp.get("version").and_then(Json::as_u64),
+            Some(round as u64 + 2),
+            "round {round}: {resp:?}"
+        );
+        // apply the same edit to the mirror: ordinals vanish, adds append
+        lines = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !remove.contains(i))
+            .map(|(_, l)| l.clone())
+            .chain(add.iter().map(|s| s.to_string()))
+            .collect();
+        assert_eq!(
+            resp.get("sequences").and_then(Json::as_u64),
+            Some(lines.len() as u64),
+            "round {round}"
+        );
+        // the post-delta release is byte-identical to sanitizing the
+        // mutated database from scratch with the same parameters
+        let mirror_text = lines.join("\n") + "\n";
+        let fresh = send_one(
+            addr,
+            &obj(vec![
+                ("type", Json::Str("sanitize".to_string())),
+                ("db", Json::Str(mirror_text)),
+                ("patterns", str_arr(&["a c"])),
+                ("psi", Json::num(1)),
+                ("algorithm", Json::Str("rr".to_string())),
+                ("seed", Json::num(7)),
+            ]),
+        );
+        assert_eq!(
+            resp.get("release").and_then(Json::as_str),
+            fresh.get("release").and_then(Json::as_str),
+            "round {round}: delta release diverges from fresh sanitize"
+        );
+        assert_eq!(
+            resp.get("marks").and_then(Json::as_u64),
+            fresh.get("marks").and_then(Json::as_u64),
+            "round {round}"
+        );
+        assert_eq!(
+            resp.get("residual_supports"),
+            fresh.get("residual_supports"),
+            "round {round}"
+        );
+    }
+
+    // a refused batch reports the bad ordinal and moves nothing
+    let resp = send_one(
+        addr,
+        r#"{"type":"delta","dataset":"churn","add":[],"remove":[99],"patterns":["a c"],"psi":1}"#,
+    );
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+    assert!(
+        resp.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("99"),
+        "{resp:?}"
+    );
+    let resp = send_one(addr, r#"{"type":"datasets"}"#);
+    let rows = resp.get("datasets").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        rows[0].get("version").and_then(Json::as_u64),
+        Some(4),
+        "{resp:?}"
+    );
+    assert!(
+        rows[0].get("last_modified").and_then(Json::as_u64) > Some(0),
+        "{resp:?}"
+    );
+    // a delta against an unknown dataset is pointed, not a panic
+    let resp = send_one(
+        addr,
+        r#"{"type":"delta","dataset":"ghost","add":[],"remove":[],"patterns":["a"],"psi":0}"#,
+    );
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+    assert!(
+        resp.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("unknown dataset 'ghost'"),
+        "{resp:?}"
+    );
     send_one(addr, r#"{"type":"shutdown"}"#);
     handle.join().unwrap();
 }
