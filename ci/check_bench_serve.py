@@ -1,16 +1,29 @@
 #!/usr/bin/env python3
-"""Sanity checks for the CI serve-load-smoke job.
+"""Sanity checks for the CI serve-load-smoke and fairness-smoke jobs.
 
 Usage: check_bench_serve.py BENCH_SERVE_JSON [PROM_FILE]
+       check_bench_serve.py fairness CONTENDED_JSON SOLO_JSON
 
-Asserts BENCH_serve.json (written by `seqhide loadgen`) carries the
-named fields with sane values: some traffic was served, the shed rate
-is a fraction, the latency quantiles are ordered, and the accounting
-adds up. With PROM_FILE (a saved `GET /metrics` scrape body), also
-runs a minimal Prometheus text-format check over every line.
+Default mode asserts BENCH_serve.json (written by `seqhide loadgen`)
+carries the named fields with sane values: some traffic was served, the
+shed rate is a fraction, the latency quantiles are ordered, and the
+accounting adds up — including the per-tenant rows and Jain fairness
+index a `--tenants` run records. With PROM_FILE (a saved `GET /metrics`
+scrape body), also runs a minimal Prometheus text-format check over
+every line.
+
+Fairness mode compares a contended 1-hog run (tenant "t0" is the hog)
+against a hog-free solo baseline over the same light tenants and
+asserts the admission-control contract: every light tenant's p99 stays
+within 3x its solo p99, the hog absorbed every shed (light tenants shed
+nothing), and the Jain index over the equal-weight lights is >= 0.9.
 """
 import json
 import sys
+
+HOG = "t0"  # loadgen's tenant-0 token; hog traffic lands here
+P99_SLACK = 3.0
+JAIN_FLOOR = 0.9
 
 
 def check_bench(path):
@@ -32,10 +45,19 @@ def check_bench(path):
     ):
         assert key in bench, "missing %s in %s" % (key, path)
     assert bench["requests"] > 0, "loadgen sent no requests"
+    tenants = bench.get("tenants", [])
+    quota_sheds = sum(t["quota_exceeded"] for t in tenants)
     assert (
-        bench["requests"] == bench["ok"] + bench["overloaded"] + bench["errors"]
+        bench["requests"]
+        == bench["ok"] + bench["overloaded"] + quota_sheds + bench["errors"]
     ), "request accounting does not add up: %s" % bench
     assert bench["errors"] == 0, "loadgen saw error responses: %s" % bench
+    if tenants:
+        check_tenants(bench, tenants)
+    else:
+        assert "jain_fairness" not in bench, (
+            "jain_fairness without a tenants section: %s" % bench
+        )
     assert 0.0 <= bench["shed_rate"] <= 1.0, bench["shed_rate"]
     assert bench["throughput_rps"] > 0, bench["throughput_rps"]
     assert bench["drain_ms"] >= 0, bench["drain_ms"]
@@ -58,6 +80,76 @@ def check_bench(path):
             bench["shed_rate"],
             bench["drain_ms"],
         )
+    )
+
+
+def check_tenants(bench, tenants):
+    """Per-tenant rows of a `--tenants` run: complete fields, per-row
+    accounting, ordered quantiles, and totals that match the globals."""
+    for row in tenants:
+        for key in (
+            "tenant",
+            "clients",
+            "requests",
+            "ok",
+            "overloaded",
+            "quota_exceeded",
+            "p50_ns",
+            "p99_ns",
+        ):
+            assert key in row, "missing tenants[].%s: %s" % (key, row)
+        assert (
+            row["requests"]
+            >= row["ok"] + row["overloaded"] + row["quota_exceeded"]
+        ), "tenant accounting does not add up: %s" % row
+        if row["requests"] > 0:
+            assert row["p50_ns"] <= row["p99_ns"], row
+    tokens = [t["tenant"] for t in tenants]
+    assert len(tokens) == len(set(tokens)), "duplicate tenant rows: %s" % tokens
+    assert sum(t["clients"] for t in tenants) == bench["clients"], tenants
+    assert sum(t["requests"] for t in tenants) == bench["requests"], tenants
+    assert 0.0 <= bench["jain_fairness"] <= 1.0, bench["jain_fairness"]
+
+
+def check_fairness(contended_path, solo_path):
+    """1-hog-vs-lights contract: lights keep their solo latency (within
+    P99_SLACK), the hog absorbs every shed, Jain >= JAIN_FLOOR."""
+    with open(contended_path) as fh:
+        contended = json.load(fh)
+    with open(solo_path) as fh:
+        solo = json.load(fh)
+    rows = {t["tenant"]: t for t in contended.get("tenants", [])}
+    solo_rows = {t["tenant"]: t for t in solo.get("tenants", [])}
+    assert rows, "%s has no tenants section" % contended_path
+    assert HOG in rows, "no hog row %r in %s" % (HOG, sorted(rows))
+    hog = rows[HOG]
+    assert hog["requests"] > 0, "the hog sent no traffic: %s" % hog
+    hog_sheds = hog["overloaded"] + hog["quota_exceeded"]
+    assert hog_sheds > 0, "the hog was never shed: %s" % hog
+    lights = {tok: row for tok, row in rows.items() if tok != HOG}
+    assert lights, "no light tenants in %s" % contended_path
+    for tok, row in sorted(lights.items()):
+        assert row["requests"] > 0, "light %s sent no traffic: %s" % (tok, row)
+        assert row["overloaded"] == 0 and row["quota_exceeded"] == 0, (
+            "light tenant %s was shed: %s" % (tok, row)
+        )
+        base = solo_rows.get(tok)
+        assert base and base["requests"] > 0, (
+            "no solo baseline traffic for %s in %s" % (tok, solo_path)
+        )
+        assert row["p99_ns"] <= P99_SLACK * base["p99_ns"], (
+            "light %s p99 %dns exceeds %.1fx solo p99 %dns"
+            % (tok, row["p99_ns"], P99_SLACK, base["p99_ns"])
+        )
+    jain = contended["jain_fairness"]
+    assert jain >= JAIN_FLOOR, "Jain fairness %.4f below %.1f" % (
+        jain,
+        JAIN_FLOOR,
+    )
+    print(
+        "fairness OK: %d light tenant(s) within %.0fx solo p99, hog shed "
+        "%d time(s) (lights 0), Jain %.4f"
+        % (len(lights), P99_SLACK, hog_sheds, jain)
     )
 
 
@@ -85,6 +177,12 @@ def check_prometheus(path):
 
 
 def main():
+    if sys.argv[1] == "fairness":
+        contended, solo = sys.argv[2], sys.argv[3]
+        check_bench(contended)
+        check_bench(solo)
+        check_fairness(contended, solo)
+        return
     check_bench(sys.argv[1])
     if len(sys.argv) > 2:
         check_prometheus(sys.argv[2])

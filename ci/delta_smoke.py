@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Scripted delta-stream client for the CI delta-smoke job.
 
-Usage: delta_smoke.py ADDR_FILE DB_FILE FINAL_DB_OUT RELEASE_OUT
+Usage: delta_smoke.py ADDR_FILE DB_FILE FINAL_DB_OUT RELEASE_OUT \
+                      [TENANT_TOKEN]
 
 Loads DB_FILE onto a running `seqhide serve` instance as dataset
 "churn", then applies a scripted stream of `delta` batches — appends
@@ -21,6 +22,11 @@ The final batch asks for the post-delta release. The mirror database is
 written to FINAL_DB_OUT and the release to RELEASE_OUT; the caller
 re-sanitizes FINAL_DB_OUT from scratch with the CLI and byte-compares —
 the delta path must be nothing but a faster route to the same release.
+
+TENANT_TOKEN, when given, rides as the `tenant` field on every request:
+against a --tenants server the load makes that tenant the dataset's
+owner and every delta exercises the ownership check; against a
+default-mode server it is accepted and ignored.
 """
 import json
 import socket
@@ -30,6 +36,7 @@ PATTERN = "X2Y7 X3Y7"
 PSI = 50
 DATASET = "churn"
 ROUNDS = 6
+TENANT = None  # optional token stamped on every request (argv[5])
 
 
 def rpc(addr, *requests):
@@ -38,6 +45,8 @@ def rpc(addr, *requests):
     with socket.create_connection((host, int(port)), timeout=60) as sock:
         f = sock.makefile("rw", encoding="utf-8", newline="\n")
         for req in requests:
+            if TENANT is not None:
+                req = dict(req, tenant=TENANT)
             f.write(json.dumps(req) + "\n")
         f.flush()
         return [json.loads(f.readline()) for _ in requests]
@@ -60,7 +69,10 @@ def delta(addr, add, remove, want_release=False):
 
 
 def main():
+    global TENANT
     addr_file, db_file, final_out, release_out = sys.argv[1:5]
+    if len(sys.argv) > 5:
+        TENANT = sys.argv[5]
     with open(addr_file) as fh:
         addr = fh.read().splitlines()[0].strip()
     with open(db_file) as fh:
@@ -98,6 +110,9 @@ def main():
     rows = {row["name"]: row for row in resp["datasets"]}
     assert rows[DATASET]["version"] == version, rows[DATASET]
     assert rows[DATASET]["last_modified"] > 0, rows[DATASET]
+    if "owner" in rows[DATASET]:
+        # multi-tenant server: the loading tenant owns the dataset
+        assert rows[DATASET]["owner"], rows[DATASET]
 
     with open(final_out, "w") as fh:
         fh.write("\n".join(mirror) + "\n")
@@ -107,9 +122,9 @@ def main():
     (bye,) = rpc(addr, {"type": "shutdown"})
     assert bye["status"] == "ok" and bye["draining"] is True, bye
     print(
-        "delta smoke: %d batches applied, version 1 -> %d, %d sequences; "
+        "delta smoke%s: %d batches applied, version 1 -> %d, %d sequences; "
         "release captured for from-scratch comparison"
-        % (ROUNDS, version, len(mirror))
+        % (" (tenant %r)" % TENANT if TENANT else "", ROUNDS, version, len(mirror))
     )
 
 

@@ -2,7 +2,7 @@
 """Concurrent smoke client for the CI serve-smoke job.
 
 Usage: serve_smoke.py ADDR_FILE DB_FILE EXPECT_HH_SEED0 EXPECT_RR_SEED7 \
-                      EXPECT_STRING_SUB [PHASE]
+                      EXPECT_STRING_SUB [PHASE] [TENANT_TOKEN]
 
 Hammers a running `seqhide serve` instance with concurrent sanitize
 requests and asserts every answered release is byte-identical to the CLI
@@ -17,6 +17,13 @@ database once as dataset "smoke"; the restart phase expects a fresh
 server over the same --data-dir to have re-attached it from disk
 (origin "reattach") without any reload. The caller owns process-level
 checks (exit status, summary line, store-file presence).
+
+TENANT_TOKEN, when given, is stamped as the `tenant` field on every
+request. Against a default-mode server (no --tenants) the token is
+accepted and ignored — the responses must stay byte-identical — and
+against a --tenants config it must resolve, so the same script
+exercises both the permissive single-tenant default and an explicit
+tenant end-to-end.
 """
 import json
 import socket
@@ -27,6 +34,7 @@ CLIENTS = 8
 PATTERN = "X2Y7 X3Y7"
 PSI = 50
 DATASET = "smoke"
+TENANT = None  # optional token stamped on every request (argv[7])
 
 
 def rpc(addr, *requests):
@@ -35,15 +43,20 @@ def rpc(addr, *requests):
     with socket.create_connection((host, int(port)), timeout=60) as sock:
         f = sock.makefile("rw", encoding="utf-8", newline="\n")
         for req in requests:
+            if TENANT is not None:
+                req = dict(req, tenant=TENANT)
             f.write(json.dumps(req) + "\n")
         f.flush()
         return [json.loads(f.readline()) for _ in requests]
 
 
 def main():
+    global TENANT
     addr_file, db_file, expect_hh, expect_rr, expect_string = sys.argv[1:6]
     phase = sys.argv[6] if len(sys.argv) > 6 else "initial"
     assert phase in ("initial", "restart"), phase
+    if len(sys.argv) > 7:
+        TENANT = sys.argv[7]
     with open(addr_file) as fh:
         # first line is the wire address; a second line (the Prometheus
         # scrape address) appears when --metrics-addr is set
@@ -169,10 +182,16 @@ def main():
     (bye,) = rpc(addr, {"type": "shutdown"})
     assert bye["status"] == "ok" and bye["draining"] is True, bye
     print(
-        "serve smoke (%s): %d/%d releases byte-identical to the CLI "
+        "serve smoke (%s%s): %d/%d releases byte-identical to the CLI "
         "(inline and dataset '%s'); string-mode op parity, health, "
         "metrics and shutdown all OK"
-        % (phase, ok_count[0], 4 * CLIENTS, DATASET)
+        % (
+            phase,
+            ", tenant %r" % TENANT if TENANT else "",
+            ok_count[0],
+            4 * CLIENTS,
+            DATASET,
+        )
     )
 
 

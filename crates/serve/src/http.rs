@@ -134,7 +134,11 @@ fn handle(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     }
     match path {
         "/metrics" => {
-            let body = obs::snapshot().diff(shared.baseline()).to_prometheus();
+            // Per-tenant labeled series ride along in multi-tenant mode
+            // (empty string otherwise, keeping single-tenant scrape
+            // output unchanged).
+            let mut body = obs::snapshot().diff(shared.baseline()).to_prometheus();
+            body.push_str(&shared.tenant_metrics());
             respond(
                 stream,
                 200,

@@ -20,7 +20,11 @@
 //! * [`json`] — minimal JSON value/parser/renderer for the wire format;
 //! * [`protocol`] — request decoding, response building ([`docs`]:
 //!   `docs/SERVER.md` is the wire specification);
-//! * [`queue`] — the bounded Mutex+Condvar job queue;
+//! * [`queue`] — the bounded Mutex+Condvar job queue: per-tenant lanes
+//!   drained by deficit-weighted round robin under one global bound;
+//! * [`tenant`] — multi-tenant admission control: the `--tenants`
+//!   config (tokens, weights, quotas, rate limits), per-tenant
+//!   accounting, the pinned-bytes ledger;
 //! * [`registry`] — named dataset snapshots (`load`/`unload`/
 //!   `datasets`), interned once and referenced by `dataset: "name"`,
 //!   persisted to `--data-dir` as compressed shard stores;
@@ -60,7 +64,9 @@ pub mod protocol;
 pub mod queue;
 pub mod registry;
 pub mod server;
+pub mod tenant;
 pub mod trace;
 
 pub use registry::{DatasetInfo, DatasetRegistry, DatasetSnapshot, RegistryLimits};
 pub use server::{ServeOptions, ServeSummary, Server};
+pub use tenant::{TenantConfig, TenantId, TenantRegistry};

@@ -57,6 +57,18 @@ pub struct LoadgenOptions {
     /// ordinal 0, so the dataset keeps its size while its content
     /// churns). Requires `dataset`; 0 disables the mutation template.
     pub delta_fraction: f64,
+    /// Multi-tenant mode: stamp every request with a tenant token
+    /// (`t0`..`t{N-1}`, matching a server `--tenants` config that names
+    /// those tokens) and report per-tenant latency and shed counts.
+    /// 0 disables tenant stamping entirely (single-tenant traffic).
+    pub tenants: usize,
+    /// Fraction of the clients assigned to the **hog** tenant `t0`,
+    /// which issues `delay_ms`-laden sanitizes that pin workers; the
+    /// remaining clients spread round-robin over the light tenants
+    /// `t1..`. The adversarial mix behind the fairness bench: light
+    /// tenants should keep their latency while the hog absorbs the
+    /// shedding. 0 sends no hog traffic.
+    pub hog_fraction: f64,
 }
 
 impl Default for LoadgenOptions {
@@ -71,6 +83,8 @@ impl Default for LoadgenOptions {
             sequences: 64,
             dataset: None,
             delta_fraction: 0.0,
+            tenants: 0,
+            hog_fraction: 0.0,
         }
     }
 }
@@ -82,6 +96,37 @@ pub struct TemplateCount {
     pub name: &'static str,
     /// Requests sent from this template.
     pub sent: u64,
+}
+
+/// One tenant's share of a multi-tenant load run.
+#[derive(Clone, Debug)]
+pub struct TenantLoad {
+    /// The tenant token the clients stamped (`t0`, `t1`, ...).
+    pub token: String,
+    /// Clients assigned to this tenant.
+    pub clients: usize,
+    /// Requests sent by this tenant's clients.
+    pub requests: u64,
+    /// Responses with status `ok`.
+    pub ok: u64,
+    /// Responses with status `overloaded` (global or rate shedding).
+    pub overloaded: u64,
+    /// Responses with status `quota_exceeded` (the tenant's own quota).
+    pub quota_exceeded: u64,
+    /// This tenant's client-side latency histogram.
+    pub latency: HistStat,
+}
+
+/// Jain's fairness index over a set of per-tenant shares: 1.0 when all
+/// shares are equal, approaching 1/n when one tenant takes everything.
+/// An empty or all-zero set reads as perfectly fair.
+pub fn jain_index(shares: &[f64]) -> f64 {
+    let sum: f64 = shares.iter().sum();
+    let sumsq: f64 = shares.iter().map(|v| v * v).sum();
+    if sumsq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (shares.len() as f64 * sumsq)
 }
 
 /// What a load run measured.
@@ -109,6 +154,12 @@ pub struct LoadReport {
     pub delta_latency: HistStat,
     /// Per-template request counts, mix order (heaviest first).
     pub mix: Vec<TemplateCount>,
+    /// Per-tenant breakdown (empty in single-tenant runs).
+    pub tenants: Vec<TenantLoad>,
+    /// Jain's fairness index over the **light** tenants' `ok`
+    /// throughput (the hog is throttled by design, so it is excluded
+    /// when light tenants carried traffic). 1.0 in single-tenant runs.
+    pub jain_fairness: f64,
 }
 
 impl LoadReport {
@@ -177,6 +228,30 @@ impl LoadReport {
         let _ = writeln!(out, "    \"p99\": {},", self.delta_latency.quantile(0.99));
         let _ = writeln!(out, "    \"max\": {}", self.delta_latency.max);
         let _ = writeln!(out, "  }},");
+        // The per-tenant section appears only in multi-tenant runs, so
+        // single-tenant BENCH_serve.json documents are unchanged.
+        if !self.tenants.is_empty() {
+            out.push_str("  \"tenants\": [\n");
+            for (i, t) in self.tenants.iter().enumerate() {
+                let comma = if i + 1 < self.tenants.len() { "," } else { "" };
+                let _ = writeln!(
+                    out,
+                    "    {{\"tenant\": {}, \"clients\": {}, \"requests\": {}, \"ok\": {}, \
+                     \"overloaded\": {}, \"quota_exceeded\": {}, \"p50_ns\": {}, \
+                     \"p99_ns\": {}}}{comma}",
+                    Json::Str(t.token.clone()).render(),
+                    t.clients,
+                    t.requests,
+                    t.ok,
+                    t.overloaded,
+                    t.quota_exceeded,
+                    t.latency.quantile(0.50),
+                    t.latency.quantile(0.99),
+                );
+            }
+            out.push_str("  ],\n");
+            let _ = writeln!(out, "  \"jain_fairness\": {:.4},", self.jain_fairness);
+        }
         out.push_str("  \"mix\": [\n");
         for (i, t) in self.mix.iter().enumerate() {
             let comma = if i + 1 < self.mix.len() { "," } else { "" };
@@ -213,17 +288,36 @@ const TIMED_DB: &str = "a@1 b@3 c@6 a@9\nb@2 a@4 c@7\na@1 c@2 b@5 a@8\nc@3 a@5 b
 /// database: a head of plain sanitizes, then string/verify/itemset/
 /// timed/stats/health tails. Patterns are drawn from the database's
 /// own first sequence so every sanitize has real work to do.
+///
+/// `tenant` bakes a token into every rendered line (multi-tenant runs);
+/// `hog_delay_ms` > 0 adds a `delay_ms` knob to the sanitize templates,
+/// turning the set into the worker-pinning hog workload.
 fn build_templates(
     db: &str,
     psi: usize,
     seed: u64,
     dataset: Option<&str>,
+    tenant: Option<&str>,
+    hog_delay_ms: u64,
 ) -> Result<Vec<Template>, String> {
     let (head, tail, _) = workload_patterns(db)?;
 
-    let req = |name: &'static str, fields: Vec<(String, Json)>| Template {
-        name,
-        line: Json::Obj(fields).render(),
+    let req = |name: &'static str, fields: Vec<(String, Json)>| {
+        let mut fields = fields;
+        if let Some(token) = tenant {
+            fields.push(("tenant".to_string(), Json::Str(token.to_string())));
+        }
+        if hog_delay_ms > 0
+            && fields
+                .iter()
+                .any(|(k, v)| k == "type" && v.as_str() == Some("sanitize"))
+        {
+            fields.push(("delay_ms".to_string(), Json::num(hog_delay_ms)));
+        }
+        Template {
+            name,
+            line: Json::Obj(fields).render(),
+        }
     };
     let s = |v: &str| Json::Str(v.to_string());
     let pats = |ps: &[&str]| Json::Arr(ps.iter().map(|p| Json::Str(p.to_string())).collect());
@@ -353,6 +447,12 @@ fn delta_template(db: &str, psi: usize, dataset: &str) -> Result<Template, Strin
     })
 }
 
+/// The tenant token clients stamp for tenant index `i` — the contract
+/// a fairness-bench `--tenants` server config has to name.
+fn tenant_token(i: usize) -> String {
+    format!("t{i}")
+}
+
 /// Cumulative zipfian weights over `n` ranks (weight of rank r is
 /// 1/(r+1)), normalized to [0, 1].
 fn zipf_cumulative(n: usize) -> Vec<f64> {
@@ -373,6 +473,7 @@ struct ClientStats {
     delta_hist: HistStat,
     ok: u64,
     overloaded: u64,
+    quota: u64,
     errors: u64,
     sent: Vec<u64>,
     last_response: Option<Instant>,
@@ -397,6 +498,7 @@ fn client_loop(
         delta_hist: HistStat::default(),
         ok: 0,
         overloaded: 0,
+        quota: 0,
         errors: 0,
         sent: vec![0; templates.len()],
         last_response: None,
@@ -438,6 +540,8 @@ fn client_loop(
             stats.ok += 1;
         } else if line.contains("\"status\":\"overloaded\"") {
             stats.overloaded += 1;
+        } else if line.contains("\"status\":\"quota_exceeded\"") {
+            stats.quota += 1;
         } else {
             stats.errors += 1;
         }
@@ -449,17 +553,20 @@ fn client_loop(
 /// starts. An "already loaded" refusal is accepted as success so
 /// repeated runs against one server reuse the interned copy (whatever
 /// text it holds — replacing it is an explicit `unload` away).
-fn preload_dataset(addr: &str, name: &str, db: &str) -> Result<(), String> {
+fn preload_dataset(addr: &str, name: &str, db: &str, tenant: Option<&str>) -> Result<(), String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let mut writer = stream
         .try_clone()
         .map_err(|e| format!("clone socket: {e}"))?;
-    let request = Json::Obj(vec![
+    let mut fields = vec![
         ("type".to_string(), Json::Str("load".to_string())),
         ("name".to_string(), Json::Str(name.to_string())),
         ("db".to_string(), Json::Str(db.to_string())),
-    ])
-    .render();
+    ];
+    if let Some(token) = tenant {
+        fields.push(("tenant".to_string(), Json::Str(token.to_string())));
+    }
+    let request = Json::Obj(fields).render();
     writeln!(writer, "{request}").map_err(|e| format!("load '{name}': {e}"))?;
     writer.flush().map_err(|e| format!("load '{name}': {e}"))?;
     let mut line = String::new();
@@ -488,25 +595,92 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
     if !(0.0..=1.0).contains(&options.delta_fraction) {
         return Err("delta fraction must be within [0, 1]".to_string());
     }
-    if let Some(name) = &options.dataset {
-        preload_dataset(&options.addr, name, &db)?;
+    if !(0.0..=1.0).contains(&options.hog_fraction) {
+        return Err("hog fraction must be within [0, 1]".to_string());
     }
-    let mut templates =
-        build_templates(&db, options.psi, options.seed, options.dataset.as_deref())?;
+    if options.tenants == 0 && options.hog_fraction > 0.0 {
+        return Err(
+            "hog traffic needs tenant lanes to be unfair across (set --tenants)".to_string(),
+        );
+    }
+    let multi = options.tenants > 0;
+    if multi && options.delta_fraction > 0.0 {
+        return Err(
+            "delta traffic and --tenants are mutually exclusive (the mutated dataset \
+             would be owned by one tenant; every other tenant's deltas would be refused)"
+                .to_string(),
+        );
+    }
+    if let Some(name) = &options.dataset {
+        // In multi-tenant mode tenant 0 loads (and therefore owns) the
+        // workload dataset; the read templates reference it freely.
+        let token = multi.then(|| tenant_token(0));
+        preload_dataset(&options.addr, name, &db, token.as_deref())?;
+    }
+    // One template set per tenant (same names, same order — the mix
+    // report merges by index), tokens baked into the rendered lines.
+    // Tenant 0 is the hog when hog traffic is enabled: its sanitizes
+    // carry a worker-pinning `delay_ms`.
+    const HOG_DELAY_MS: u64 = 20;
+    let mut sets: Vec<Vec<Template>> = if multi {
+        (0..options.tenants)
+            .map(|i| {
+                let delay = if i == 0 && options.hog_fraction > 0.0 {
+                    HOG_DELAY_MS
+                } else {
+                    0
+                };
+                build_templates(
+                    &db,
+                    options.psi,
+                    options.seed,
+                    options.dataset.as_deref(),
+                    Some(&tenant_token(i)),
+                    delay,
+                )
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        vec![build_templates(
+            &db,
+            options.psi,
+            options.seed,
+            options.dataset.as_deref(),
+            None,
+            0,
+        )?]
+    };
     // The zipfian mix covers the read templates only; the mutation
     // template (appended last) is drawn by its own fraction gate.
-    let cum = zipf_cumulative(templates.len());
+    let cum = zipf_cumulative(sets[0].len());
     let delta = if options.delta_fraction > 0.0 {
         let Some(name) = &options.dataset else {
             return Err(
                 "delta traffic needs a named dataset to mutate (set --dataset)".to_string(),
             );
         };
-        templates.push(delta_template(&db, options.psi, name)?);
-        Some((templates.len() - 1, options.delta_fraction))
+        sets[0].push(delta_template(&db, options.psi, name)?);
+        Some((sets[0].len() - 1, options.delta_fraction))
     } else {
         None
     };
+    // Client → tenant assignment: the first `hog_fraction` share of the
+    // clients goes to the hog `t0`, the rest round-robin over the light
+    // tenants (everything lands on `t0` when it is the only tenant).
+    let hog_clients = if multi {
+        (((options.clients as f64) * options.hog_fraction).round() as usize).min(options.clients)
+    } else {
+        0
+    };
+    let assignment: Vec<usize> = (0..options.clients)
+        .map(|i| {
+            if !multi || options.tenants == 1 || i < hog_clients {
+                0
+            } else {
+                1 + (i - hog_clients) % (options.tenants - 1)
+            }
+        })
+        .collect();
 
     let started = Instant::now();
     let deadline = started + options.duration;
@@ -514,7 +688,7 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
         let handles: Vec<_> = (0..options.clients)
             .map(|i| {
                 let addr = options.addr.as_str();
-                let templates = &templates;
+                let templates = &sets[assignment[i]];
                 let cum = &cum;
                 let seed = options.seed.wrapping_add(0x5EED).wrapping_add(i as u64);
                 scope.spawn(move || client_loop(addr, templates, cum, delta, deadline, seed))
@@ -538,26 +712,53 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
         drain: Duration::ZERO,
         latency: HistStat::default(),
         delta_latency: HistStat::default(),
-        mix: templates
+        mix: sets[0]
             .iter()
             .map(|t| TemplateCount {
                 name: t.name,
                 sent: 0,
             })
             .collect(),
+        tenants: if multi {
+            (0..options.tenants)
+                .map(|i| TenantLoad {
+                    token: tenant_token(i),
+                    clients: 0,
+                    requests: 0,
+                    ok: 0,
+                    overloaded: 0,
+                    quota_exceeded: 0,
+                    latency: HistStat::default(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        },
+        jain_fairness: 1.0,
     };
     let mut last_response: Option<Instant> = None;
+    let mut quota_total = 0u64;
     let mut first_error = None;
-    for result in results {
+    for (result, tenant) in results.into_iter().zip(assignment) {
         match result {
             Ok(stats) => {
                 report.ok += stats.ok;
                 report.overloaded += stats.overloaded;
                 report.errors += stats.errors;
+                quota_total += stats.quota;
                 report.latency.merge(&stats.hist);
                 report.delta_latency.merge(&stats.delta_hist);
                 for (slot, sent) in report.mix.iter_mut().zip(&stats.sent) {
                     slot.sent += sent;
+                }
+                if multi {
+                    let row = &mut report.tenants[tenant];
+                    row.clients += 1;
+                    row.requests += stats.ok + stats.overloaded + stats.quota + stats.errors;
+                    row.ok += stats.ok;
+                    row.overloaded += stats.overloaded;
+                    row.quota_exceeded += stats.quota;
+                    row.latency.merge(&stats.hist);
                 }
                 last_response = match (last_response, stats.last_response) {
                     (Some(a), Some(b)) => Some(a.max(b)),
@@ -570,10 +771,34 @@ pub fn run(options: &LoadgenOptions) -> Result<LoadReport, String> {
     if let Some(e) = first_error {
         return Err(e);
     }
-    report.requests = report.ok + report.overloaded + report.errors;
+    report.requests = report.ok + report.overloaded + quota_total + report.errors;
     if let Some(last) = last_response {
         report.elapsed = last.duration_since(started);
         report.drain = last.saturating_duration_since(deadline);
+    }
+    if multi {
+        // Fairness is judged among the light tenants that carried
+        // traffic — the hog's share is *supposed* to collapse under
+        // contention. A run with no light traffic falls back to every
+        // tenant that had clients.
+        let lights: Vec<f64> = report
+            .tenants
+            .iter()
+            .enumerate()
+            .filter(|(i, row)| *i != 0 && row.clients > 0)
+            .map(|(_, row)| row.ok as f64)
+            .collect();
+        report.jain_fairness = if lights.is_empty() {
+            let all: Vec<f64> = report
+                .tenants
+                .iter()
+                .filter(|row| row.clients > 0)
+                .map(|row| row.ok as f64)
+                .collect();
+            jain_index(&all)
+        } else {
+            jain_index(&lights)
+        };
     }
     Ok(report)
 }
@@ -595,7 +820,7 @@ mod tests {
     #[test]
     fn templates_cover_the_domain_mix() {
         let db = "a b c d e f g h\nb c a d\n";
-        let templates = build_templates(db, 2, 7, None).unwrap();
+        let templates = build_templates(db, 2, 7, None, None, 0).unwrap();
         let names: Vec<&str> = templates.iter().map(|t| t.name).collect();
         for expected in [
             "plain-hh",
@@ -615,14 +840,14 @@ mod tests {
             crate::json::parse(&t.line).expect("template line parses");
         }
         // degenerate databases are refused with pointed errors
-        assert!(build_templates("", 0, 0, None).is_err());
-        assert!(build_templates("a\n", 0, 0, None).is_err());
+        assert!(build_templates("", 0, 0, None, None, 0).is_err());
+        assert!(build_templates("a\n", 0, 0, None, None, 0).is_err());
     }
 
     #[test]
     fn dataset_mode_references_instead_of_shipping() {
         let db = "alpha beta gamma delta\nbeta alpha gamma\n";
-        let templates = build_templates(db, 2, 7, Some("corp")).unwrap();
+        let templates = build_templates(db, 2, 7, Some("corp"), None, 0).unwrap();
         for t in &templates {
             let doc = crate::json::parse(&t.line).unwrap();
             match t.name {
@@ -686,6 +911,8 @@ mod tests {
                 name: "plain-hh",
                 sent: 4,
             }],
+            tenants: Vec::new(),
+            jain_fairness: 1.0,
         };
         let json = report.to_bench_json(&LoadgenOptions::default());
         for key in [
@@ -705,5 +932,115 @@ mod tests {
         assert!((report.shed_rate() - 0.25).abs() < 1e-12);
         assert!((report.throughput_rps() - 2.0).abs() < 1e-9);
         assert!(report.latency.quantile(0.99) >= report.latency.quantile(0.50));
+        // single-tenant reports carry no tenant section at all
+        assert!(!json.contains("\"tenants\""));
+        assert!(!json.contains("\"jain_fairness\""));
+    }
+
+    #[test]
+    fn tenant_templates_stamp_tokens_and_hog_delay() {
+        let db = "a b c d e f g h\nb c a d\n";
+        let light = build_templates(db, 2, 7, None, Some("t1"), 0).unwrap();
+        for t in &light {
+            let doc = crate::json::parse(&t.line).unwrap();
+            assert_eq!(
+                doc.get("tenant").unwrap().as_str(),
+                Some("t1"),
+                "{}",
+                t.name
+            );
+            assert!(doc.get("delay_ms").is_none(), "{} has a delay", t.name);
+        }
+        let hog = build_templates(db, 2, 7, None, Some("t0"), 20).unwrap();
+        for t in &hog {
+            let doc = crate::json::parse(&t.line).unwrap();
+            assert_eq!(
+                doc.get("tenant").unwrap().as_str(),
+                Some("t0"),
+                "{}",
+                t.name
+            );
+            // only the sanitize templates pin workers; the rest of the
+            // mix is untouched
+            let is_sanitize = doc.get("type").unwrap().as_str() == Some("sanitize");
+            assert_eq!(
+                doc.get("delay_ms").and_then(|d| d.as_u64()),
+                is_sanitize.then_some(20),
+                "{}",
+                t.name
+            );
+        }
+        // identical names in identical order: the mix report merges by
+        // index across tenant sets
+        let names: Vec<&str> = light.iter().map(|t| t.name).collect();
+        assert_eq!(names, hog.iter().map(|t| t.name).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jain_index_reads_equality_and_collapse() {
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
+        // one tenant taking everything bottoms out at 1/n
+        assert!((jain_index(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        // mild skew stays high
+        assert!(jain_index(&[10.0, 9.0, 11.0]) > 0.99);
+    }
+
+    #[test]
+    fn multi_tenant_bench_json_carries_the_fairness_section() {
+        let mut light = HistStat::default();
+        light.record(1_000);
+        let report = LoadReport {
+            requests: 30,
+            ok: 24,
+            overloaded: 4,
+            errors: 0,
+            elapsed: Duration::from_millis(1000),
+            drain: Duration::ZERO,
+            latency: light.clone(),
+            delta_latency: HistStat::default(),
+            mix: vec![TemplateCount {
+                name: "plain-hh",
+                sent: 30,
+            }],
+            tenants: vec![
+                TenantLoad {
+                    token: "t0".to_string(),
+                    clients: 2,
+                    requests: 10,
+                    ok: 4,
+                    overloaded: 4,
+                    quota_exceeded: 2,
+                    latency: light.clone(),
+                },
+                TenantLoad {
+                    token: "t1".to_string(),
+                    clients: 1,
+                    requests: 10,
+                    ok: 10,
+                    overloaded: 0,
+                    quota_exceeded: 0,
+                    latency: light,
+                },
+            ],
+            jain_fairness: 0.97,
+        };
+        let options = LoadgenOptions {
+            tenants: 2,
+            hog_fraction: 0.5,
+            ..LoadgenOptions::default()
+        };
+        let json = report.to_bench_json(&options);
+        for key in [
+            "\"tenants\": [",
+            "\"tenant\": \"t0\"",
+            "\"tenant\": \"t1\"",
+            "\"quota_exceeded\": 2",
+            "\"p99_ns\"",
+            "\"jain_fairness\": 0.9700",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 }

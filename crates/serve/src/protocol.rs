@@ -9,10 +9,20 @@
 //!
 //! * `ok` — the request executed; payload fields depend on the type.
 //! * `error` — the request was malformed or failed; `error` explains.
-//! * `overloaded` — the job queue was full; the request was **not**
-//!   executed and the client should retry later (the backpressure
-//!   contract: the server sheds load instead of buffering unboundedly).
+//! * `overloaded` — the job queue was full (or, multi-tenant, the
+//!   tenant is over its request rate — then `retry_after_ms` hints how
+//!   long to back off); the request was **not** executed and the client
+//!   should retry later (the backpressure contract: the server sheds
+//!   load instead of buffering unboundedly).
+//! * `quota_exceeded` — multi-tenant only: the requesting tenant is
+//!   over one of its own quotas (`max_queued`, `max_pinned_bytes`);
+//!   other tenants are unaffected and retrying without freeing
+//!   resources will fail again.
 //! * `shutting_down` — the server is draining; no new work is admitted.
+//!
+//! Every request may carry a `tenant` field (the tenant's token). With
+//! no `--tenants` config the field is accepted and ignored; with one,
+//! it selects the tenant whose weight/quotas govern the request.
 //!
 //! Field names, defaults and error texts deliberately mirror the CLI
 //! (`seed` defaults to 0, `algorithm` to `hh`, `engine` to incremental,
@@ -149,20 +159,24 @@ pub enum MetricsFormat {
     Prometheus,
 }
 
-/// Decodes one request line. The `id` (echoed in every response) is
-/// returned even when decoding fails, so error responses stay
-/// correlatable.
-pub fn decode(line: &str) -> (Option<Json>, Result<Request, String>) {
+/// Decodes one request line. The `id` (echoed in every response) and
+/// the `tenant` token are returned even when decoding fails, so error
+/// responses stay correlatable and attributable.
+pub fn decode(line: &str) -> (Option<Json>, Option<String>, Result<Request, String>) {
     let doc = match json::parse(line) {
         Ok(doc) => doc,
-        Err(e) => return (None, Err(format!("bad JSON: {e}"))),
+        Err(e) => return (None, None, Err(format!("bad JSON: {e}"))),
     };
     if !matches!(doc, Json::Obj(_)) {
-        return (None, Err("request must be a JSON object".to_string()));
+        return (None, None, Err("request must be a JSON object".to_string()));
     }
     let id = doc.get("id").cloned();
+    let tenant = match opt_str(&doc, "tenant") {
+        Ok(token) => token,
+        Err(e) => return (id, None, Err(e)),
+    };
     let request = decode_doc(&doc);
-    (id, request)
+    (id, tenant, request)
 }
 
 fn decode_doc(doc: &Json) -> Result<Request, String> {
@@ -393,7 +407,8 @@ fn known_fields(doc: &Json, allowed: &[&str]) -> Result<(), String> {
         return Ok(());
     };
     for (key, _) in members {
-        if !allowed.contains(&key.as_str()) {
+        // `tenant` rides on every request type (admission control)
+        if key != "tenant" && !allowed.contains(&key.as_str()) {
             return Err(format!("unknown field \"{key}\""));
         }
     }
@@ -503,7 +518,7 @@ fn bool_or(doc: &Json, key: &str, default: bool) -> Result<bool, String> {
 }
 
 /// The server-side load figures a `health` response reports.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct HealthInfo {
     /// Worker threads in the pool.
     pub workers: usize,
@@ -530,6 +545,10 @@ pub struct HealthInfo {
     pub queue_depth_high_water: u64,
     /// Most jobs ever executing concurrently.
     pub inflight_high_water: u64,
+    /// Per-tenant `(name, sub-queue high-water)` rows — `Some` only in
+    /// multi-tenant mode, so the single-tenant default stays
+    /// byte-identical to the tenant-blind payload.
+    pub tenants: Option<Vec<(String, u64)>>,
 }
 
 fn response(id: &Option<Json>, status: &str, rest: Vec<(String, Json)>) -> String {
@@ -650,7 +669,7 @@ pub fn ok_stats(id: &Option<Json>, outcome: &StatsOutcome) -> String {
 }
 
 fn health_fields(info: &HealthInfo) -> Vec<(String, Json)> {
-    vec![
+    let mut fields = vec![
         field("workers", Json::num(info.workers as u64)),
         field("queue_capacity", Json::num(info.queue_capacity as u64)),
         field("queue_depth", Json::num(info.queue_depth as u64)),
@@ -666,7 +685,20 @@ fn health_fields(info: &HealthInfo) -> Vec<(String, Json)> {
             Json::num(info.queue_depth_high_water),
         ),
         field("inflight_high_water", Json::num(info.inflight_high_water)),
-    ]
+    ];
+    if let Some(tenants) = &info.tenants {
+        fields.push(field("tenants", Json::num(tenants.len() as u64)));
+        fields.push(field(
+            "tenant_queue_high_water",
+            Json::Obj(
+                tenants
+                    .iter()
+                    .map(|(name, hw)| (name.clone(), Json::num(*hw)))
+                    .collect(),
+            ),
+        ));
+    }
+    fields
 }
 
 /// `ok` response for `health`.
@@ -739,7 +771,7 @@ pub fn with_timings(line: String, timings: &Json) -> String {
 }
 
 fn dataset_fields(info: &DatasetInfo) -> Vec<(String, Json)> {
-    vec![
+    let mut fields = vec![
         field("name", Json::Str(info.name.clone())),
         field("bytes", Json::num(info.bytes)),
         field("sequences", Json::num(info.sequences)),
@@ -748,7 +780,13 @@ fn dataset_fields(info: &DatasetInfo) -> Vec<(String, Json)> {
         field("resident", Json::Bool(info.resident)),
         field("version", Json::num(info.version)),
         field("last_modified", Json::num(info.last_modified_ms)),
-    ]
+    ];
+    // only set in multi-tenant mode, so the tenant-blind listing is
+    // byte-identical to the pre-tenancy one
+    if let Some(owner) = &info.owner {
+        fields.push(field("owner", Json::Str(owner.clone())));
+    }
+    fields
 }
 
 /// `ok` response for an executed `delta`: the mutated dataset's new
@@ -883,6 +921,36 @@ pub fn overloaded(id: &Option<Json>, queue_capacity: usize) -> String {
     )
 }
 
+/// `quota_exceeded` response: the requesting tenant is over one of its
+/// own quotas (`max_queued`, `max_pinned_bytes`). Unlike `overloaded`,
+/// this says nothing about overall server load — only this tenant is
+/// affected, and retrying without freeing resources will fail again.
+pub fn quota_exceeded(id: &Option<Json>, message: &str) -> String {
+    response(
+        id,
+        "quota_exceeded",
+        vec![field("error", Json::Str(message.to_string()))],
+    )
+}
+
+/// `overloaded` response for a rate-limited tenant: the token bucket is
+/// empty, and `retry_after_ms` hints how long until a token accrues.
+pub fn overloaded_rate_limited(id: &Option<Json>, tenant: &str, retry_after_ms: u64) -> String {
+    response(
+        id,
+        "overloaded",
+        vec![
+            field(
+                "error",
+                Json::Str(format!(
+                    "tenant '{tenant}' over its request rate; retry in {retry_after_ms}ms"
+                )),
+            ),
+            field("retry_after_ms", Json::num(retry_after_ms)),
+        ],
+    )
+}
+
 /// `shutting_down` response: the server is draining; no new work.
 pub fn shutting_down(id: &Option<Json>) -> String {
     response(
@@ -902,7 +970,7 @@ mod tests {
 
     #[test]
     fn sanitize_defaults_mirror_the_cli() {
-        let (id, req) = decode(r#"{"type":"sanitize","db":"a b\n","patterns":["a b"],"psi":0}"#);
+        let (id, _, req) = decode(r#"{"type":"sanitize","db":"a b\n","patterns":["a b"],"psi":0}"#);
         assert!(id.is_none());
         let Request::Sanitize { spec, delay_ms } = req.unwrap() else {
             panic!("wrong variant");
@@ -920,7 +988,7 @@ mod tests {
 
     #[test]
     fn sanitize_decodes_the_op_field() {
-        let (_, req) = decode(
+        let (_, _, req) = decode(
             r#"{"type":"sanitize","db":"a b\n","mode":"string","patterns":["a b"],
                 "psi":0,"op":"substitute"}"#,
         );
@@ -930,7 +998,7 @@ mod tests {
         assert_eq!(spec.mode, Mode::String);
         assert_eq!(spec.op, OpKind::Substitute);
 
-        let (_, req) = decode(r#"{"type":"sanitize","db":"a\n","psi":0,"op":"shred"}"#);
+        let (_, _, req) = decode(r#"{"type":"sanitize","db":"a\n","psi":0,"op":"shred"}"#);
         assert!(req
             .unwrap_err()
             .contains("unknown op 'shred' (mark|delete|substitute)"));
@@ -938,7 +1006,7 @@ mod tests {
 
     #[test]
     fn sanitize_accepts_full_option_surface() {
-        let (_, req) = decode(
+        let (_, _, req) = decode(
             r#"{"id":7,"type":"sanitize","db":"a b\n","mode":"plain","patterns":["a b"],
                 "regexes":["a (b|c)"],"psi":1,"algorithm":"rr","seed":18446744073709551615,
                 "engine":"scratch","exact":true,"min_gap":1,"max_gap":4,"max_window":9,
@@ -958,23 +1026,23 @@ mod tests {
 
     #[test]
     fn decode_errors_are_pointed_and_keep_the_id() {
-        let (id, req) = decode(r#"{"id":"x1","type":"sanitize","db":"a\n"}"#);
+        let (id, _, req) = decode(r#"{"id":"x1","type":"sanitize","db":"a\n"}"#);
         assert_eq!(id, Some(Json::Str("x1".to_string())));
         assert!(req.unwrap_err().contains("missing \"psi\""));
 
-        let (_, req) = decode(r#"{"type":"sanitize","db":"a\n","psi":0,"turbo":true}"#);
+        let (_, _, req) = decode(r#"{"type":"sanitize","db":"a\n","psi":0,"turbo":true}"#);
         assert!(req.unwrap_err().contains("unknown field \"turbo\""));
 
-        let (_, req) = decode(r#"{"type":"warp"}"#);
+        let (_, _, req) = decode(r#"{"type":"warp"}"#);
         assert!(req.unwrap_err().contains("unknown request type 'warp'"));
 
-        let (_, req) = decode("[1,2]");
+        let (_, _, req) = decode("[1,2]");
         assert!(req.unwrap_err().contains("must be a JSON object"));
 
-        let (_, req) = decode("{nope");
+        let (_, _, req) = decode("{nope");
         assert!(req.unwrap_err().contains("bad JSON"));
 
-        let (_, req) = decode(r#"{"type":"sanitize","db":"a\n","psi":0,"algorithm":"xx"}"#);
+        let (_, _, req) = decode(r#"{"type":"sanitize","db":"a\n","psi":0,"algorithm":"xx"}"#);
         assert!(req.unwrap_err().contains("unknown algorithm 'xx'"));
     }
 
@@ -984,13 +1052,13 @@ mod tests {
             r#"{{"type":"sanitize","db":"a\n","patterns":["a"],"psi":0,"delay_ms":{}}}"#,
             MAX_DELAY_MS + 1
         );
-        let (_, req) = decode(&line);
+        let (_, _, req) = decode(&line);
         assert!(req.unwrap_err().contains("delay_ms"));
 
         let line = format!(
             r#"{{"type":"sanitize","db":"a\n","patterns":["a"],"psi":0,"delay_ms":{MAX_DELAY_MS}}}"#
         );
-        let (_, req) = decode(&line);
+        let (_, _, req) = decode(&line);
         let Request::Sanitize { delay_ms, .. } = req.unwrap() else {
             panic!("wrong variant");
         };
@@ -1000,34 +1068,34 @@ mod tests {
     #[test]
     fn control_requests_decode() {
         assert!(matches!(
-            decode(r#"{"type":"health"}"#).1.unwrap(),
+            decode(r#"{"type":"health"}"#).2.unwrap(),
             Request::Health
         ));
         assert!(matches!(
-            decode(r#"{"type":"metrics","id":1}"#).1.unwrap(),
+            decode(r#"{"type":"metrics","id":1}"#).2.unwrap(),
             Request::Metrics {
                 format: MetricsFormat::Json
             }
         ));
         assert!(matches!(
             decode(r#"{"type":"metrics","format":"prometheus"}"#)
-                .1
+                .2
                 .unwrap(),
             Request::Metrics {
                 format: MetricsFormat::Prometheus
             }
         ));
         assert!(matches!(
-            decode(r#"{"type":"debug"}"#).1.unwrap(),
+            decode(r#"{"type":"debug"}"#).2.unwrap(),
             Request::Debug
         ));
         assert!(matches!(
-            decode(r#"{"type":"shutdown"}"#).1.unwrap(),
+            decode(r#"{"type":"shutdown"}"#).2.unwrap(),
             Request::Shutdown
         ));
-        let (_, req) = decode(r#"{"type":"health","db":"a\n"}"#);
+        let (_, _, req) = decode(r#"{"type":"health","db":"a\n"}"#);
         assert!(req.unwrap_err().contains("unknown field \"db\""));
-        let (_, req) = decode(r#"{"type":"metrics","format":"xml"}"#);
+        let (_, _, req) = decode(r#"{"type":"metrics","format":"xml"}"#);
         assert!(req
             .unwrap_err()
             .contains("unknown metrics format 'xml' (json|prometheus)"));
@@ -1035,19 +1103,20 @@ mod tests {
 
     #[test]
     fn db_and_dataset_are_mutually_exclusive_alternatives() {
-        let (_, req) = decode(r#"{"type":"sanitize","dataset":"corp","patterns":["a"],"psi":1}"#);
+        let (_, _, req) =
+            decode(r#"{"type":"sanitize","dataset":"corp","patterns":["a"],"psi":1}"#);
         let Request::Sanitize { spec, .. } = req.unwrap() else {
             panic!("wrong variant");
         };
         assert!(matches!(&spec.db, DbSource::Named(n) if n == "corp"));
 
-        let (_, req) = decode(r#"{"type":"verify","dataset":"corp","patterns":["a"],"psi":1}"#);
+        let (_, _, req) = decode(r#"{"type":"verify","dataset":"corp","patterns":["a"],"psi":1}"#);
         let Request::Verify(spec) = req.unwrap() else {
             panic!("wrong variant");
         };
         assert!(matches!(&spec.db, DbSource::Named(n) if n == "corp"));
 
-        let (_, req) = decode(r#"{"type":"stats","dataset":"corp"}"#);
+        let (_, _, req) = decode(r#"{"type":"stats","dataset":"corp"}"#);
         assert!(matches!(
             req.unwrap(),
             Request::Stats {
@@ -1056,19 +1125,19 @@ mod tests {
             }
         ));
 
-        let (_, req) =
+        let (_, _, req) =
             decode(r#"{"type":"sanitize","db":"a\n","dataset":"corp","patterns":["a"],"psi":1}"#);
         assert!(req
             .unwrap_err()
             .contains("either \"db\" or \"dataset\", not both"));
 
-        let (_, req) = decode(r#"{"type":"stats"}"#);
+        let (_, _, req) = decode(r#"{"type":"stats"}"#);
         assert!(req.unwrap_err().contains("missing \"db\" (or \"dataset\")"));
     }
 
     #[test]
     fn delta_decodes_and_validates() {
-        let (_, req) = decode(
+        let (_, _, req) = decode(
             r#"{"type":"delta","dataset":"corp","add":["a b","c"],"remove":[0,3],
                 "patterns":["a b"],"psi":1,"algorithm":"hr","seed":9,"release":true}"#,
         );
@@ -1084,17 +1153,17 @@ mod tests {
         assert_eq!(spec.global, GlobalStrategy::Random);
         assert!(spec.want_release);
 
-        let (_, req) = decode(r#"{"type":"delta","patterns":["a"],"psi":1}"#);
+        let (_, _, req) = decode(r#"{"type":"delta","patterns":["a"],"psi":1}"#);
         assert!(req.unwrap_err().contains("missing \"dataset\""));
-        let (_, req) = decode(r#"{"type":"delta","dataset":"d","psi":1,"remove":["zero"]}"#);
+        let (_, _, req) = decode(r#"{"type":"delta","dataset":"d","psi":1,"remove":["zero"]}"#);
         assert!(req
             .unwrap_err()
             .contains("\"remove\" must be an array of non-negative integers"));
         // inline db text makes no sense for an in-place mutation
-        let (_, req) = decode(r#"{"type":"delta","db":"a\n","psi":1}"#);
+        let (_, _, req) = decode(r#"{"type":"delta","db":"a\n","psi":1}"#);
         assert!(req.unwrap_err().contains("unknown field \"db\""));
         // exact sessions are not supported; the field is rejected
-        let (_, req) = decode(r#"{"type":"delta","dataset":"d","psi":1,"exact":true}"#);
+        let (_, _, req) = decode(r#"{"type":"delta","dataset":"d","psi":1,"exact":true}"#);
         assert!(req.unwrap_err().contains("unknown field \"exact\""));
     }
 
@@ -1127,14 +1196,14 @@ mod tests {
 
     #[test]
     fn load_decodes_exactly_one_source() {
-        let (_, req) = decode(r#"{"type":"load","name":"corp","db":"a b\n"}"#);
+        let (_, _, req) = decode(r#"{"type":"load","name":"corp","db":"a b\n"}"#);
         let Request::Load { name, source } = req.unwrap() else {
             panic!("wrong variant");
         };
         assert_eq!(name, "corp");
         assert!(matches!(source, LoadSource::Inline(t) if t == "a b\n"));
 
-        let (_, req) = decode(r#"{"type":"load","name":"corp","path":"/tmp/db.txt"}"#);
+        let (_, _, req) = decode(r#"{"type":"load","name":"corp","path":"/tmp/db.txt"}"#);
         assert!(matches!(
             req.unwrap(),
             Request::Load {
@@ -1143,7 +1212,7 @@ mod tests {
             }
         ));
 
-        let (_, req) = decode(r#"{"type":"load","name":"corp","chunks":true}"#);
+        let (_, _, req) = decode(r#"{"type":"load","name":"corp","chunks":true}"#);
         assert!(matches!(
             req.unwrap(),
             Request::Load {
@@ -1152,37 +1221,37 @@ mod tests {
             }
         ));
 
-        let (_, req) = decode(r#"{"type":"load","name":"corp"}"#);
+        let (_, _, req) = decode(r#"{"type":"load","name":"corp"}"#);
         assert!(req.unwrap_err().contains("load needs a source"));
-        let (_, req) = decode(r#"{"type":"load","name":"corp","db":"a\n","chunks":true}"#);
+        let (_, _, req) = decode(r#"{"type":"load","name":"corp","db":"a\n","chunks":true}"#);
         assert!(req.unwrap_err().contains("exactly one of"));
-        let (_, req) = decode(r#"{"type":"load","db":"a\n"}"#);
+        let (_, _, req) = decode(r#"{"type":"load","db":"a\n"}"#);
         assert!(req.unwrap_err().contains("missing \"name\""));
     }
 
     #[test]
     fn registry_control_requests_decode() {
-        let (_, req) = decode(r#"{"type":"load_chunk","data":"a b\n"}"#);
+        let (_, _, req) = decode(r#"{"type":"load_chunk","data":"a b\n"}"#);
         let Request::LoadChunk { data, last } = req.unwrap() else {
             panic!("wrong variant");
         };
         assert_eq!(data, "a b\n");
         assert!(!last);
 
-        let (_, req) = decode(r#"{"type":"load_chunk","data":"","last":true}"#);
+        let (_, _, req) = decode(r#"{"type":"load_chunk","data":"","last":true}"#);
         assert!(matches!(
             req.unwrap(),
             Request::LoadChunk { last: true, .. }
         ));
 
-        let (_, req) = decode(r#"{"type":"unload","name":"corp"}"#);
+        let (_, _, req) = decode(r#"{"type":"unload","name":"corp"}"#);
         assert!(matches!(req.unwrap(), Request::Unload { name } if name == "corp"));
 
         assert!(matches!(
-            decode(r#"{"type":"datasets"}"#).1.unwrap(),
+            decode(r#"{"type":"datasets"}"#).2.unwrap(),
             Request::Datasets
         ));
-        let (_, req) = decode(r#"{"type":"datasets","name":"corp"}"#);
+        let (_, _, req) = decode(r#"{"type":"datasets","name":"corp"}"#);
         assert!(req.unwrap_err().contains("unknown field \"name\""));
     }
 
@@ -1197,6 +1266,7 @@ mod tests {
             resident: true,
             version: 3,
             last_modified_ms: 1_700_000_000_000,
+            owner: None,
         };
         let doc = json::parse(&ok_load(&Some(Json::num(3)), &info)).unwrap();
         assert_eq!(doc.get("id").unwrap().as_u64(), Some(3));
@@ -1262,6 +1332,7 @@ mod tests {
             version: "9.9.9",
             queue_depth_high_water: 5,
             inflight_high_water: 2,
+            tenants: None,
         };
         let doc = json::parse(&ok_health(&None, &info)).unwrap();
         assert_eq!(doc.get("uptime_ms").unwrap().as_u64(), Some(1234));
@@ -1309,5 +1380,108 @@ mod tests {
                 .as_u64(),
             Some(3)
         );
+    }
+
+    #[test]
+    fn tenant_token_rides_on_every_request_type() {
+        for line in [
+            r#"{"type":"sanitize","tenant":"tok","db":"a\n","patterns":["a"],"psi":0}"#,
+            r#"{"type":"verify","tenant":"tok","db":"a\n","patterns":["a"],"psi":0}"#,
+            r#"{"type":"stats","tenant":"tok","db":"a\n"}"#,
+            r#"{"type":"delta","tenant":"tok","dataset":"d","psi":0}"#,
+            r#"{"type":"load","tenant":"tok","name":"d","db":"a\n"}"#,
+            r#"{"type":"load_chunk","tenant":"tok","data":"a\n"}"#,
+            r#"{"type":"unload","tenant":"tok","name":"d"}"#,
+            r#"{"type":"datasets","tenant":"tok"}"#,
+            r#"{"type":"health","tenant":"tok"}"#,
+            r#"{"type":"metrics","tenant":"tok"}"#,
+            r#"{"type":"debug","tenant":"tok"}"#,
+            r#"{"type":"shutdown","tenant":"tok"}"#,
+        ] {
+            let (_, tenant, req) = decode(line);
+            assert_eq!(tenant.as_deref(), Some("tok"), "{line}");
+            req.unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        // absent → None; non-string → pointed error that keeps the id
+        let (_, tenant, req) = decode(r#"{"type":"health"}"#);
+        assert_eq!(tenant, None);
+        req.unwrap();
+        let (id, tenant, req) = decode(r#"{"id":3,"type":"health","tenant":7}"#);
+        assert_eq!(id, Some(Json::num(3)));
+        assert_eq!(tenant, None);
+        assert!(req.unwrap_err().contains("\"tenant\" must be a string"));
+    }
+
+    #[test]
+    fn quota_and_rate_limit_responses_are_distinct() {
+        let id = Some(Json::num(5));
+        let doc = json::parse(&quota_exceeded(&id, "tenant 'a' over max_queued (2)")).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("quota_exceeded"));
+        assert!(doc
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("max_queued"));
+        assert!(doc.get("retry_after_ms").is_none());
+
+        let doc = json::parse(&overloaded_rate_limited(&id, "a", 40)).unwrap();
+        assert_eq!(doc.get("status").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(doc.get("retry_after_ms").unwrap().as_u64(), Some(40));
+        assert!(doc.get("error").unwrap().as_str().unwrap().contains("40ms"));
+        // the classic global-overload body has no retry hint
+        assert!(json::parse(&overloaded(&id, 8))
+            .unwrap()
+            .get("retry_after_ms")
+            .is_none());
+    }
+
+    #[test]
+    fn multi_tenant_health_and_datasets_carry_tenant_rows() {
+        let mut info = HealthInfo {
+            workers: 2,
+            queue_capacity: 8,
+            queue_depth: 0,
+            inflight: 0,
+            requests: 0,
+            overloads: 0,
+            executed: 0,
+            draining: false,
+            uptime_ms: 1,
+            version: "0",
+            queue_depth_high_water: 0,
+            inflight_high_water: 0,
+            tenants: Some(vec![("alpha".to_string(), 3), ("beta".to_string(), 0)]),
+        };
+        let doc = json::parse(&ok_health(&None, &info)).unwrap();
+        assert_eq!(doc.get("tenants").unwrap().as_u64(), Some(2));
+        let hw = doc.get("tenant_queue_high_water").unwrap();
+        assert_eq!(hw.get("alpha").unwrap().as_u64(), Some(3));
+        assert_eq!(hw.get("beta").unwrap().as_u64(), Some(0));
+        // single-tenant default: the fields don't exist at all
+        info.tenants = None;
+        let doc = json::parse(&ok_health(&None, &info)).unwrap();
+        assert!(doc.get("tenants").is_none());
+        assert!(doc.get("tenant_queue_high_water").is_none());
+
+        let mut ds = DatasetInfo {
+            name: "corp".to_string(),
+            bytes: 9,
+            sequences: 1,
+            shards: 0,
+            origin: "inline",
+            resident: true,
+            version: 1,
+            last_modified_ms: 0,
+            owner: Some("alpha".to_string()),
+        };
+        let doc = json::parse(&ok_datasets(&None, std::slice::from_ref(&ds))).unwrap();
+        let rows = doc.get("datasets").unwrap().as_array().unwrap();
+        assert_eq!(rows[0].get("owner").unwrap().as_str(), Some("alpha"));
+        ds.owner = None;
+        let doc = json::parse(&ok_datasets(&None, &[ds])).unwrap();
+        assert!(doc.get("datasets").unwrap().as_array().unwrap()[0]
+            .get("owner")
+            .is_none());
     }
 }

@@ -1,15 +1,35 @@
 //! The bounded job queue between the connection threads and the worker
-//! pool — the server's backpressure mechanism.
+//! pool — the server's backpressure mechanism, now with per-tenant
+//! sub-queues ("lanes") drained by deficit-weighted round robin.
 //!
-//! Admission is **non-blocking**: [`BoundedQueue::try_push`] either
-//! admits the job or fails immediately with [`PushError::Full`], and the
-//! connection thread turns that into an `overloaded` response. Nothing
-//! in the server ever buffers an unbounded number of jobs; the queue's
-//! capacity *is* the memory bound for admitted-but-unstarted work.
+//! Admission is **non-blocking**: [`BoundedQueue::try_push_lane`] either
+//! admits the job or fails immediately — [`PushError::Full`] when the
+//! *global* capacity is exhausted (shed `overloaded`, exactly as before
+//! tenancy existed), [`PushError::LaneFull`] when the job's own lane is
+//! over its `max_queued` quota (shed `quota_exceeded`). Nothing in the
+//! server ever buffers an unbounded number of jobs; the global capacity
+//! *is* the memory bound for admitted-but-unstarted work.
+//!
+//! Scheduling is **deficit-weighted round robin** with unit job cost:
+//! active lanes sit in a rotation, and each lane spends one deficit
+//! credit (refilled to its weight when exhausted) per job it hands to a
+//! worker, so under contention throughput divides proportionally to
+//! weight. A lane becoming active joins the *back* of the rotation —
+//! an idle tenant's first request waits at most one job from each other
+//! active lane, never behind any single tenant's backlog. Per-lane
+//! order is strict FIFO.
+//!
+//! `max_inflight` is enforced here by **deferral, not shedding**: a
+//! lane at its in-flight cap is skipped by [`BoundedQueue::pop`] until a
+//! worker reports [`BoundedQueue::complete`], at which point its queued
+//! jobs become eligible again. The single-lane constructor
+//! [`BoundedQueue::new`] (weight 1, no quotas) behaves exactly like the
+//! tenant-blind FIFO queue it replaced.
 //!
 //! Shutdown is **draining**: [`BoundedQueue::close`] refuses new pushes
-//! but lets [`BoundedQueue::pop`] hand out everything already admitted;
-//! workers exit when the closed queue runs dry (`pop` → `None`).
+//! but lets `pop` hand out everything already admitted — including jobs
+//! parked behind an in-flight cap, which drain as completions free the
+//! lane; workers exit when the closed queue runs dry (`pop` → `None`).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -17,18 +37,63 @@ use std::sync::{Condvar, Mutex};
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
 pub enum PushError<T> {
-    /// The queue is at capacity — shed the load.
+    /// The global queue is at capacity — shed the load (`overloaded`).
     Full(T),
+    /// The job's own lane is over its `max_queued` quota — refuse just
+    /// this tenant (`quota_exceeded`); other lanes are unaffected.
+    LaneFull(T),
     /// The queue is closed (server draining) — no new work.
     Closed(T),
 }
 
-struct Inner<T> {
+/// Static per-lane scheduling parameters (one lane per tenant).
+#[derive(Clone, Debug)]
+pub struct QueueLane {
+    /// Deficit-round-robin weight (≥ 1).
+    pub weight: u64,
+    /// Most jobs allowed to wait in this lane (`None` = global bound
+    /// only). Beyond it pushes fail [`PushError::LaneFull`].
+    pub max_queued: Option<usize>,
+    /// Most of this lane's jobs executing on workers at once (`None` =
+    /// unlimited). At the cap the lane is deferred, never shed.
+    pub max_inflight: Option<usize>,
+}
+
+impl QueueLane {
+    /// A permissive lane: weight 1, no quotas — the tenant-blind
+    /// default.
+    pub fn permissive() -> QueueLane {
+        QueueLane {
+            weight: 1,
+            max_queued: None,
+            max_inflight: None,
+        }
+    }
+}
+
+struct Lane<T> {
     items: VecDeque<T>,
+    weight: u64,
+    max_queued: Option<usize>,
+    max_inflight: Option<usize>,
+    /// Remaining DRR credits in the current round (0 = refill on next
+    /// visit).
+    deficit: u64,
+    /// Jobs popped but not yet [`BoundedQueue::complete`]d.
+    inflight: usize,
+}
+
+struct Inner<T> {
+    lanes: Vec<Lane<T>>,
+    /// Rotation of lane indices with at least one queued job.
+    active: VecDeque<usize>,
+    /// Total queued jobs across all lanes (the global bound).
+    queued: usize,
     closed: bool,
 }
 
-/// A Mutex+Condvar bounded MPMC queue (std-only; no external channels).
+/// A Mutex+Condvar bounded MPMC queue (std-only; no external channels)
+/// with deficit-weighted-round-robin lanes.
 pub struct BoundedQueue<T> {
     inner: Mutex<Inner<T>>,
     ready: Condvar,
@@ -36,16 +101,39 @@ pub struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
-    /// A queue admitting at most `capacity` waiting jobs.
+    /// A single permissive-lane queue admitting at most `capacity`
+    /// waiting jobs — drop-in FIFO behavior for the tenant-blind server.
     ///
     /// # Panics
     /// Panics if `capacity` is 0 — a zero-capacity queue would shed every
     /// request; callers validate and report that before construction.
     pub fn new(capacity: usize) -> Self {
+        Self::with_lanes(capacity, vec![QueueLane::permissive()])
+    }
+
+    /// A queue with one lane per entry of `lanes` (index = lane id),
+    /// sharing a global bound of `capacity` waiting jobs.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is 0 or `lanes` is empty.
+    pub fn with_lanes(capacity: usize, lanes: Vec<QueueLane>) -> Self {
         assert!(capacity > 0, "queue capacity must be ≥ 1");
+        assert!(!lanes.is_empty(), "queue needs at least one lane");
         BoundedQueue {
             inner: Mutex::new(Inner {
-                items: VecDeque::with_capacity(capacity),
+                lanes: lanes
+                    .into_iter()
+                    .map(|lane| Lane {
+                        items: VecDeque::new(),
+                        weight: lane.weight.max(1),
+                        max_queued: lane.max_queued,
+                        max_inflight: lane.max_inflight,
+                        deficit: 0,
+                        inflight: 0,
+                    })
+                    .collect(),
+                active: VecDeque::new(),
+                queued: 0,
                 closed: false,
             }),
             ready: Condvar::new(),
@@ -53,14 +141,15 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// The configured capacity.
+    /// The configured global capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Jobs currently waiting (excludes jobs a worker already popped).
+    /// Jobs currently waiting across all lanes (excludes jobs a worker
+    /// already popped).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        self.inner.lock().expect("queue poisoned").queued
     }
 
     /// Whether no jobs are waiting.
@@ -68,36 +157,109 @@ impl<T> BoundedQueue<T> {
         self.len() == 0
     }
 
-    /// Admits `item` without blocking. On success returns the queue depth
-    /// *including* the new item (the value the `queue_depth` high-water
-    /// gauge records); on failure hands the item back.
+    /// Jobs currently waiting in one lane.
+    pub fn lane_len(&self, lane: usize) -> usize {
+        self.inner.lock().expect("queue poisoned").lanes[lane]
+            .items
+            .len()
+    }
+
+    /// Admits `item` into lane 0 without blocking — the single-lane
+    /// path. On success returns the global queue depth *including* the
+    /// new item (the value the `queue_depth` high-water gauge records);
+    /// on failure hands the item back.
     pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        self.try_push_lane(0, item).map(|(depth, _)| depth)
+    }
+
+    /// Admits `item` into `lane` without blocking. On success returns
+    /// `(global depth, lane depth)` including the new item; on failure
+    /// hands the item back. The lane's `max_queued` quota is checked
+    /// *before* global capacity, so a tenant over its own allowance is
+    /// classified [`PushError::LaneFull`] even when the queue is also
+    /// full.
+    pub fn try_push_lane(&self, lane: usize, item: T) -> Result<(usize, usize), PushError<T>> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         if inner.closed {
             return Err(PushError::Closed(item));
         }
-        if inner.items.len() >= self.capacity {
+        let depth = inner.lanes[lane].items.len();
+        if inner.lanes[lane].max_queued.is_some_and(|cap| depth >= cap) {
+            return Err(PushError::LaneFull(item));
+        }
+        if inner.queued >= self.capacity {
             return Err(PushError::Full(item));
         }
-        inner.items.push_back(item);
-        let depth = inner.items.len();
+        inner.lanes[lane].items.push_back(item);
+        let lane_depth = depth + 1;
+        if lane_depth == 1 {
+            // newly active: join the BACK of the rotation, so this
+            // lane waits at most one job per other active lane
+            inner.active.push_back(lane);
+        }
+        inner.queued += 1;
+        let global = inner.queued;
         self.ready.notify_one();
-        Ok(depth)
+        Ok((global, lane_depth))
+    }
+
+    /// One DRR scheduling decision, or `None` when every active lane is
+    /// at its in-flight cap (caller waits for a completion).
+    fn pop_locked(inner: &mut Inner<T>) -> Option<T> {
+        for _ in 0..inner.active.len() {
+            let lane_ix = *inner.active.front().expect("active rotation nonempty");
+            let lane = &mut inner.lanes[lane_ix];
+            if lane.max_inflight.is_some_and(|cap| lane.inflight >= cap) {
+                inner.active.rotate_left(1);
+                continue;
+            }
+            if lane.deficit == 0 {
+                lane.deficit = lane.weight;
+            }
+            lane.deficit -= 1;
+            let item = lane.items.pop_front().expect("active lane nonempty");
+            lane.inflight += 1;
+            inner.queued -= 1;
+            if lane.items.is_empty() {
+                // leaving the rotation forfeits unspent credits — a
+                // returning lane must not burst past its weight
+                lane.deficit = 0;
+                inner.active.pop_front();
+            } else if lane.deficit == 0 {
+                inner.active.rotate_left(1);
+            }
+            return Some(item);
+        }
+        None
     }
 
     /// Blocks until a job is available or the queue is closed **and**
     /// drained; `None` means "no more work, ever" and the worker exits.
+    /// Jobs parked behind a lane's in-flight cap don't count as drained
+    /// until handed out, so close + pop still delivers every admitted
+    /// job.
     pub fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
-            if let Some(item) = inner.items.pop_front() {
-                return Some(item);
-            }
-            if inner.closed {
+            if inner.queued > 0 {
+                if let Some(item) = Self::pop_locked(&mut inner) {
+                    return Some(item);
+                }
+                // every active lane is inflight-capped: wait for a
+                // complete() to free one
+            } else if inner.closed {
                 return None;
             }
             inner = self.ready.wait(inner).expect("queue poisoned");
         }
+    }
+
+    /// Reports one of `lane`'s jobs finished executing, freeing an
+    /// in-flight slot and waking workers parked on a capped lane.
+    pub fn complete(&self, lane: usize) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.lanes[lane].inflight = inner.lanes[lane].inflight.saturating_sub(1);
+        self.ready.notify_all();
     }
 
     /// Refuses all future pushes and wakes every blocked `pop`; already
@@ -111,7 +273,19 @@ impl<T> BoundedQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use std::sync::Arc;
+
+    fn lanes(specs: &[(u64, Option<usize>, Option<usize>)]) -> Vec<QueueLane> {
+        specs
+            .iter()
+            .map(|&(weight, max_queued, max_inflight)| QueueLane {
+                weight,
+                max_queued,
+                max_inflight,
+            })
+            .collect()
+    }
 
     #[test]
     fn push_pop_is_fifo() {
@@ -163,5 +337,176 @@ mod tests {
     #[should_panic(expected = "capacity must be ≥ 1")]
     fn zero_capacity_is_rejected() {
         let _ = BoundedQueue::<()>::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_are_rejected() {
+        let _ = BoundedQueue::<()>::with_lanes(4, vec![]);
+    }
+
+    #[test]
+    fn weighted_drain_divides_capacity_by_weight() {
+        // lane 0 weight 2, lane 1 weight 1: a full round serves 2:1
+        let q = BoundedQueue::with_lanes(16, lanes(&[(2, None, None), (1, None, None)]));
+        for i in 0..6 {
+            q.try_push_lane(0, format!("a{i}")).unwrap();
+            q.try_push_lane(1, format!("b{i}")).unwrap();
+        }
+        let order: Vec<String> = std::iter::from_fn(|| q.pop()).take(9).collect();
+        assert_eq!(
+            order,
+            ["a0", "a1", "b0", "a2", "a3", "b1", "a4", "a5", "b2"]
+        );
+    }
+
+    #[test]
+    fn idle_lane_never_waits_behind_a_hogs_backlog() {
+        let q = BoundedQueue::with_lanes(64, lanes(&[(1, None, None), (1, None, None)]));
+        for i in 0..40 {
+            q.try_push_lane(0, format!("hog{i}")).unwrap();
+        }
+        assert_eq!(q.pop().unwrap(), "hog0");
+        // a light tenant arrives late, behind 39 queued hog jobs…
+        q.try_push_lane(1, "light".to_string()).unwrap();
+        // …and is served after at most one more hog job (one DRR visit
+        // per other active lane), not after the backlog
+        let next_two: Vec<String> = std::iter::from_fn(|| q.pop()).take(2).collect();
+        assert!(
+            next_two.contains(&"light".to_string()),
+            "light job stuck behind hog backlog: {next_two:?}"
+        );
+    }
+
+    #[test]
+    fn lane_quota_sheds_lane_full_before_global_full() {
+        let q = BoundedQueue::with_lanes(2, lanes(&[(1, Some(1), None), (1, None, None)]));
+        q.try_push_lane(0, "a").unwrap();
+        // lane 0 over its own quota → LaneFull, even with global room
+        assert_eq!(q.try_push_lane(0, "b"), Err(PushError::LaneFull("b")));
+        q.try_push_lane(1, "c").unwrap();
+        // global capacity exhausted → Full for the unquota'd lane
+        assert_eq!(q.try_push_lane(1, "d"), Err(PushError::Full("d")));
+        // …but a capped lane still reports its own quota first
+        assert_eq!(q.try_push_lane(0, "e"), Err(PushError::LaneFull("e")));
+    }
+
+    #[test]
+    fn inflight_cap_defers_instead_of_shedding() {
+        let q = Arc::new(BoundedQueue::with_lanes(
+            8,
+            lanes(&[(1, None, Some(1)), (1, None, None)]),
+        ));
+        q.try_push_lane(0, "a0").unwrap();
+        q.try_push_lane(0, "a1").unwrap();
+        q.try_push_lane(1, "b0").unwrap();
+        assert_eq!(q.pop(), Some("a0")); // lane 0 now at its cap
+        assert_eq!(q.pop(), Some("b0")); // lane 0 skipped, not shed
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // a1 only becomes eligible once a0 completes
+        q.complete(0);
+        assert_eq!(worker.join().unwrap(), Some("a1"));
+    }
+
+    #[test]
+    fn close_drains_jobs_parked_behind_an_inflight_cap() {
+        let q = Arc::new(BoundedQueue::with_lanes(8, lanes(&[(1, None, Some(1))])));
+        q.try_push_lane(0, "first").unwrap();
+        q.try_push_lane(0, "parked").unwrap();
+        assert_eq!(q.pop(), Some("first"));
+        q.close();
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || (q.pop(), q.pop()))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.complete(0);
+        // the parked job still drains after close; only then None
+        assert_eq!(worker.join().unwrap(), (Some("parked"), None));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// DRR drain preserves per-lane FIFO and the queue never holds
+        /// more than `capacity` jobs, under arbitrary interleavings of
+        /// weighted pushes, pops, and completions.
+        #[test]
+        fn drr_preserves_per_lane_fifo_within_global_capacity(
+            weights in prop::collection::vec(1u64..4, 1..=4),
+            capacity in 1usize..12,
+            ops in prop::collection::vec((0usize..6, 0u8..4), 1..=64),
+        ) {
+            let nlanes = weights.len();
+            let q = BoundedQueue::with_lanes(
+                capacity,
+                weights
+                    .iter()
+                    .map(|&w| QueueLane { weight: w, max_queued: None, max_inflight: Some(2) })
+                    .collect(),
+            );
+            let mut pushed = vec![0u64; nlanes]; // per-lane sequence numbers
+            let mut popped = vec![0u64; nlanes];
+            let mut inflight = vec![0usize; nlanes];
+            let mut queued = 0usize;
+            for (lane_seed, op) in ops {
+                let lane = lane_seed % nlanes;
+                match op {
+                    0 | 1 => match q.try_push_lane(lane, (lane, pushed[lane])) {
+                        Ok((global, _)) => {
+                            pushed[lane] += 1;
+                            queued += 1;
+                            prop_assert_eq!(global, queued);
+                            prop_assert!(queued <= capacity, "global bound exceeded");
+                        }
+                        Err(PushError::Full(_)) => prop_assert_eq!(queued, capacity),
+                        Err(e) => prop_assert!(false, "unexpected push error: {:?}", e),
+                    },
+                    2 => {
+                        // pop only when a lane is serviceable, else pop would block
+                        let serviceable = (0..nlanes).any(|l| {
+                            q.lane_len(l) > 0 && inflight[l] < 2
+                        });
+                        if serviceable {
+                            let (l, seq) = q.pop().expect("open queue with eligible work");
+                            prop_assert_eq!(seq, popped[l], "lane {} out of FIFO order", l);
+                            popped[l] += 1;
+                            inflight[l] += 1;
+                            queued -= 1;
+                        }
+                    }
+                    _ => {
+                        if inflight[lane] > 0 {
+                            q.complete(lane);
+                            inflight[lane] -= 1;
+                        }
+                    }
+                }
+            }
+            // drain whatever remains: completions free the caps, then
+            // per-lane FIFO must hold to the last job
+            q.close();
+            loop {
+                for (l, n) in inflight.iter_mut().enumerate() {
+                    for _ in 0..*n {
+                        q.complete(l);
+                    }
+                    *n = 0;
+                }
+                match q.pop() {
+                    Some((l, seq)) => {
+                        prop_assert_eq!(seq, popped[l], "lane {} out of FIFO order in drain", l);
+                        popped[l] += 1;
+                        inflight[l] += 1;
+                    }
+                    None => break,
+                }
+            }
+            prop_assert_eq!(pushed, popped, "close() lost admitted jobs");
+        }
     }
 }

@@ -93,6 +93,10 @@ pub struct DatasetSnapshot {
     version: u64,
     /// Unix-epoch milliseconds of the load or latest delta.
     last_modified_ms: u64,
+    /// The tenant that loaded the dataset — set only in multi-tenant
+    /// mode. `None` (single-tenant loads, restart re-attaches) means any
+    /// requester may manage it.
+    owner: Option<String>,
 }
 
 /// Wraps the shared text so a [`Cursor`] can serve it as bytes.
@@ -139,6 +143,11 @@ impl DatasetSnapshot {
     /// Unix-epoch milliseconds of the load or latest delta.
     pub fn last_modified_ms(&self) -> u64 {
         self.last_modified_ms
+    }
+
+    /// The owning tenant's name, when loaded under a `--tenants` config.
+    pub fn owner(&self) -> Option<&str> {
+        self.owner.as_deref()
     }
 
     /// Whether the full text is currently materialized in memory.
@@ -223,6 +232,8 @@ pub struct DatasetInfo {
     pub version: u64,
     /// Unix-epoch milliseconds of the load or latest delta.
     pub last_modified_ms: u64,
+    /// The owning tenant's name (multi-tenant mode only).
+    pub owner: Option<String>,
 }
 
 fn info_of(snapshot: &DatasetSnapshot) -> DatasetInfo {
@@ -235,6 +246,7 @@ fn info_of(snapshot: &DatasetSnapshot) -> DatasetInfo {
         resident: snapshot.is_resident(),
         version: snapshot.version,
         last_modified_ms: snapshot.last_modified_ms,
+        owner: snapshot.owner.clone(),
     }
 }
 
@@ -385,6 +397,7 @@ impl DatasetRegistry {
             pinned: Arc::clone(&self.pinned),
             version: 1,
             last_modified_ms: now_ms(),
+            owner: None,
         }
     }
 
@@ -410,6 +423,17 @@ impl DatasetRegistry {
         self: &Arc<Self>,
         name: &str,
         origin: &'static str,
+    ) -> Result<LoadStaging, String> {
+        self.begin_load_as(name, origin, None)
+    }
+
+    /// [`begin_load`](Self::begin_load) with an owning tenant recorded
+    /// on the committed snapshot (multi-tenant mode).
+    pub fn begin_load_as(
+        self: &Arc<Self>,
+        name: &str,
+        origin: &'static str,
+        owner: Option<String>,
     ) -> Result<LoadStaging, String> {
         validate_name(name)?;
         {
@@ -440,6 +464,7 @@ impl DatasetRegistry {
             writer,
             resident_acc: Some(String::new()),
             bytes: 0,
+            owner,
         })
     }
 
@@ -451,7 +476,19 @@ impl DatasetRegistry {
         origin: &'static str,
         text: &str,
     ) -> Result<DatasetInfo, String> {
-        let mut staging = self.begin_load(name, origin)?;
+        self.load_as(name, origin, text, None)
+    }
+
+    /// [`load`](Self::load) with an owning tenant recorded on the
+    /// snapshot (multi-tenant mode).
+    pub fn load_as(
+        self: &Arc<Self>,
+        name: &str,
+        origin: &'static str,
+        text: &str,
+        owner: Option<String>,
+    ) -> Result<DatasetInfo, String> {
+        let mut staging = self.begin_load_as(name, origin, owner)?;
         staging.push(text)?;
         staging.commit()
     }
@@ -459,12 +496,29 @@ impl DatasetRegistry {
     /// Removes a dataset by name, unlinking its store file if it has
     /// one. In-flight requests holding the `Arc` complete unaffected.
     pub fn unload(&self, name: &str) -> Result<(), String> {
-        let removed = self
-            .inner
-            .lock()
-            .expect("registry poisoned")
-            .remove(name)
-            .ok_or_else(|| format!("unknown dataset '{name}' (nothing to unload)"))?;
+        self.unload_as(name, None)
+    }
+
+    /// [`unload`](Self::unload) on behalf of a tenant: refused when the
+    /// dataset is owned by a *different* tenant. `requester: None`
+    /// bypasses the check (single-tenant mode); ownerless datasets
+    /// (re-attached after a restart) may be unloaded by anyone.
+    pub fn unload_as(&self, name: &str, requester: Option<&str>) -> Result<(), String> {
+        let removed = {
+            let mut inner = self.inner.lock().expect("registry poisoned");
+            let snapshot = inner
+                .get(name)
+                .ok_or_else(|| format!("unknown dataset '{name}' (nothing to unload)"))?;
+            if let (Some(requester), Some(owner)) = (requester, snapshot.owner.as_deref()) {
+                if requester != owner {
+                    return Err(format!(
+                        "dataset '{name}' is owned by tenant '{owner}'; \
+                         tenant '{requester}' may not unload it"
+                    ));
+                }
+            }
+            inner.remove(name).expect("present under the same lock")
+        };
         if let Backing::Store(store) = &removed.backing {
             let _ = fs::remove_file(store.path());
             let _ = fs::remove_file(store.path().with_extension("sqdi"));
@@ -531,11 +585,14 @@ impl DatasetRegistry {
                     pinned: Arc::clone(&self.pinned),
                     version: 1,
                     last_modified_ms: 0,
+                    owner: None,
                 }
             }
         };
         snapshot.version = old.version + 1;
         snapshot.last_modified_ms = now_ms();
+        // a delta mutates in place; ownership carries over
+        snapshot.owner = old.owner.clone();
         let snapshot = Arc::new(snapshot);
         let info = info_of(&snapshot);
         {
@@ -628,6 +685,8 @@ pub struct LoadStaging {
     /// streaming; memory-only loads then fail at the next push).
     resident_acc: Option<String>,
     bytes: u64,
+    /// The tenant the committed snapshot will belong to.
+    owner: Option<String>,
 }
 
 impl LoadStaging {
@@ -675,7 +734,8 @@ impl LoadStaging {
     pub fn commit(self) -> Result<DatasetInfo, String> {
         let registry = Arc::clone(&self.registry);
         let name = self.name.clone();
-        let snapshot = match (self.writer, self.resident_acc) {
+        let owner = self.owner;
+        let mut snapshot = match (self.writer, self.resident_acc) {
             (Some(writer), resident_acc) => {
                 let store = writer
                     .commit()
@@ -706,10 +766,12 @@ impl LoadStaging {
                     pinned: Arc::clone(&registry.pinned),
                     version: 1,
                     last_modified_ms: now_ms(),
+                    owner: None,
                 }
             }
             (None, None) => unreachable!("memory-only staging errors before dropping its text"),
         };
+        snapshot.owner = owner;
         let info = registry.commit_snapshot(&name, snapshot);
         if info.is_err() {
             // Roll the pin back; commit_snapshot already removed the file.
@@ -925,5 +987,37 @@ mod tests {
         assert!(!dir.join("dropped.sqds").exists());
         assert!(!dir.join("dropped.sqds.tmp").exists());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ownership_guards_unload_and_survives_replace() {
+        let registry = mem_registry();
+        registry
+            .load_as("d", "inline", "a b\n", Some("alpha".to_string()))
+            .unwrap();
+        assert_eq!(registry.get("d").unwrap().owner(), Some("alpha"));
+        assert_eq!(registry.list()[0].owner.as_deref(), Some("alpha"));
+
+        // a different tenant may not unload it; the owner (or the
+        // single-tenant bypass) may
+        let e = registry.unload_as("d", Some("beta")).unwrap_err();
+        assert!(e.contains("owned by tenant 'alpha'"), "{e}");
+        assert!(e.contains("'beta'"), "{e}");
+        assert!(
+            registry.get("d").is_some(),
+            "refused unload must not remove"
+        );
+
+        // a delta replace keeps the owner
+        registry.replace("d", "a b\nc d\n").unwrap();
+        assert_eq!(registry.get("d").unwrap().owner(), Some("alpha"));
+
+        registry.unload_as("d", Some("alpha")).unwrap();
+        assert!(registry.get("d").is_none());
+
+        // ownerless datasets (plain load / reattach) accept any requester
+        registry.load("free", "inline", "a\n").unwrap();
+        assert_eq!(registry.get("free").unwrap().owner(), None);
+        registry.unload_as("free", Some("beta")).unwrap();
     }
 }

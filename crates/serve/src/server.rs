@@ -15,13 +15,21 @@
 //!   RNG seeding comes from the request, so results are deterministic
 //!   regardless of which worker runs the job.
 //!
-//! ## Backpressure
+//! ## Backpressure and multi-tenant admission
 //!
 //! Admission to the queue is non-blocking: when `queue_depth` jobs are
 //! already waiting, the connection thread answers `overloaded`
 //! immediately and drops the job. The queue capacity is the server's
 //! entire buffer for admitted-but-unstarted work — there is no hidden
-//! unbounded channel anywhere on the request path. The read path is
+//! unbounded channel anywhere on the request path. With a `--tenants`
+//! config the single FIFO becomes per-tenant lanes drained by
+//! deficit-weighted round robin (see [`crate::queue`]): each request's
+//! `tenant` token picks its lane, per-tenant quotas shed with
+//! `quota_exceeded` *before* the global bound sheds with `overloaded`,
+//! and a tenant over its request rate is answered `overloaded` with a
+//! `retry_after_ms` hint. Without the config a permissive default
+//! tenant keeps every response byte-identical to the single-tenant
+//! server. The read path is
 //! bounded too: a request line may hold at most [`MAX_LINE_BYTES`],
 //! the JSON parser refuses pathological nesting, and the wire-exposed
 //! `delay_ms` test knob is capped, so no single client input can grow
@@ -53,6 +61,7 @@ use crate::json::Json;
 use crate::protocol::{self, HealthInfo, LoadSource, MetricsFormat, Request};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::{DatasetRegistry, LoadStaging, RegistryLimits};
+use crate::tenant::{TenantConfig, TenantId, TenantRegistry};
 use crate::trace::{SlowRing, Timings, Trace, TraceEvent, SLOW_RING_K};
 
 /// Server configuration.
@@ -74,6 +83,11 @@ pub struct ServeOptions {
     /// startup (see [`crate::registry`]). `None` keeps the registry
     /// memory-only.
     pub data_dir: Option<String>,
+    /// Optional multi-tenant admission config (`--tenants FILE`, parsed
+    /// by [`crate::tenant::load_tenants_file`]). `None` runs the server
+    /// with one permissive default tenant: no quotas, no rate limits,
+    /// responses byte-identical to the pre-tenant wire format.
+    pub tenants: Option<Vec<TenantConfig>>,
 }
 
 /// What a completed [`Server::run`] reports.
@@ -110,6 +124,9 @@ pub const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
 struct Job {
     work: Work,
     id: Option<Json>,
+    /// Which queue lane admitted the job (the resolved tenant); the
+    /// worker's `complete` call re-opens this lane's in-flight slot.
+    tenant: TenantId,
     delay_ms: u64,
     trace: Trace,
     reply: mpsc::Sender<(String, Trace)>,
@@ -159,6 +176,9 @@ pub(crate) struct Shared {
     /// Per-dataset incremental-sanitization sessions behind the `delta`
     /// wire op.
     deltas: DeltaSessions,
+    /// Token → tenant resolution, per-tenant accounting, quotas. A
+    /// permissive single-tenant registry when `--tenants` is absent.
+    tenants: Arc<TenantRegistry>,
     /// Telemetry zero point: `metrics` responses report the diff since
     /// the server started, not process-lifetime totals.
     baseline: obs::Snapshot,
@@ -215,6 +235,22 @@ impl Shared {
             version: env!("CARGO_PKG_VERSION"),
             queue_depth_high_water: self.queue_depth_hw.load(Ordering::SeqCst),
             inflight_high_water: self.inflight_hw.load(Ordering::SeqCst),
+            tenants: if self.tenants.is_multi() {
+                Some(self.tenants.queue_high_waters())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Per-tenant Prometheus exposition appended to `/metrics` scrapes
+    /// and `metrics` wire responses; empty in single-tenant mode so the
+    /// default server's scrape output is byte-identical.
+    pub(crate) fn tenant_metrics(&self) -> String {
+        if self.tenants.is_multi() {
+            self.tenants.prometheus_text()
+        } else {
+            String::new()
         }
     }
 
@@ -279,12 +315,16 @@ impl Server {
             options.data_dir.as_ref().map(PathBuf::from),
             RegistryLimits::default(),
         )?;
+        let tenants = Arc::new(match &options.tenants {
+            Some(configs) => TenantRegistry::from_configs(configs.clone()),
+            None => TenantRegistry::single_default(),
+        });
         Ok(Server {
             listener,
             metrics_listener,
             reattached,
             shared: Arc::new(Shared {
-                queue: BoundedQueue::new(options.queue_depth),
+                queue: BoundedQueue::with_lanes(options.queue_depth, tenants.lanes()),
                 draining: AtomicBool::new(false),
                 inflight: AtomicUsize::new(0),
                 requests: AtomicU64::new(0),
@@ -306,6 +346,7 @@ impl Server {
                 slow: SlowRing::new(SLOW_RING_K),
                 registry: Arc::new(registry),
                 deltas: DeltaSessions::new(),
+                tenants,
                 baseline: obs::snapshot(),
             }),
         })
@@ -401,6 +442,7 @@ fn worker_loop(shared: &Shared) {
             .inflight_hw
             .fetch_max(inflight as u64, Ordering::SeqCst);
         obs::gauge_max(Gauge::Inflight, inflight as u64);
+        let occupied = Instant::now();
         if job.delay_ms > 0 {
             thread::sleep(Duration::from_millis(job.delay_ms));
         }
@@ -437,10 +479,35 @@ fn worker_loop(shared: &Shared) {
                 }
             }
             Work::Delta(spec) => {
+                // A delta grows or shrinks the dataset in place; in
+                // multi-tenant mode the owner's pinned-bytes ledger is
+                // adjusted by the size change after the fact (the delta
+                // already applied, so the adjustment is unconditional —
+                // the hard gate is at `load` time).
+                let before = if shared.tenants.is_multi() {
+                    shared.registry.get(&spec.dataset).map(|s| s.bytes())
+                } else {
+                    None
+                };
                 let result = shared.deltas.execute(&shared.registry, spec);
                 job.trace.stamp(TraceEvent::ExecEnd);
                 match result {
                     Ok(outcome) => {
+                        if let (Some(before), Some(after)) =
+                            (before, shared.registry.get(&spec.dataset))
+                        {
+                            let owner = after
+                                .owner()
+                                .and_then(|owner| shared.tenants.by_name(owner));
+                            if let Some(owner) = owner {
+                                let now = after.bytes();
+                                if now >= before {
+                                    owner.charge_pinned_unchecked(now - before);
+                                } else {
+                                    owner.credit_pinned(before - now);
+                                }
+                            }
+                        }
                         job.trace.dataset_version = Some(outcome.version);
                         protocol::ok_delta(&job.id, &outcome)
                     }
@@ -449,10 +516,17 @@ fn worker_loop(shared: &Shared) {
             }
         };
         shared.executed.fetch_add(1, Ordering::SeqCst);
+        shared
+            .tenants
+            .get(job.tenant)
+            .add_occupancy_ns(occupied.elapsed().as_nanos() as u64);
         // A send failure means the connection thread is gone (client
         // hung up mid-job); the work is done either way.
         let _ = job.reply.send((response, job.trace));
         shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        // Re-open the lane's in-flight slot last, so a capped tenant's
+        // next job is only popped once this one has fully retired.
+        shared.queue.complete(job.tenant);
     }
 }
 
@@ -509,8 +583,10 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     };
     // At most one chunked load may be in flight per connection; it is
     // dropped (and its temp store file removed) if the client
-    // disconnects before the final chunk.
-    let mut staging: Option<LoadStaging> = None;
+    // disconnects before the final chunk. The tenant that opened it is
+    // remembered so the commit charges the opener's ledger even if a
+    // different token sends the final chunk.
+    let mut staging: Option<(LoadStaging, TenantId)> = None;
     loop {
         let line = match read_bounded_line(&mut reader) {
             Ok(LineRead::Line(line)) => line,
@@ -545,107 +621,23 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
         shared.requests.fetch_add(1, Ordering::SeqCst);
         obs::counter_add(Counter::ServeRequests, 1);
         let mut trace = Trace::start(shared.next_req_id.fetch_add(1, Ordering::SeqCst));
-        let (id, decoded) = protocol::decode(line);
+        let (id, token, decoded) = protocol::decode(line);
         if let Ok(request) = &decoded {
             trace.kind = request.kind();
             trace.stamp(TraceEvent::Parsed);
         }
         let (response, mut trace) = match decoded {
             Err(e) => (protocol::error(&id, &e), trace),
-            Ok(Request::Health) => (protocol::ok_health(&id, &shared.health()), trace),
-            Ok(Request::Metrics { format }) => {
-                let diff = obs::snapshot().diff(&shared.baseline);
-                let response = match format {
-                    MetricsFormat::Json => protocol::ok_metrics(&id, &diff.to_json()),
-                    MetricsFormat::Prometheus => {
-                        protocol::ok_metrics_prometheus(&id, &diff.to_prometheus())
+            Ok(request) => match shared.tenants.resolve(token.as_deref()) {
+                Err(e) => (protocol::error(&id, &e), trace),
+                Ok(tenant) => {
+                    shared.tenants.get(tenant).record_request();
+                    if shared.tenants.is_multi() {
+                        trace.tenant = Some(shared.tenants.get(tenant).name().to_string());
                     }
-                };
-                (response, trace)
-            }
-            Ok(Request::Debug) => {
-                let (recorded, slowest) = shared.slow.dump();
-                (protocol::ok_debug(&id, recorded, &slowest), trace)
-            }
-            Ok(Request::Shutdown) => {
-                shared.begin_drain();
-                (protocol::ok_shutdown(&id), trace)
-            }
-            Ok(Request::Load { name, source }) => {
-                let response = if staging.is_some() {
-                    protocol::error(
-                        &id,
-                        "a chunked load is already in progress on this connection \
-                         (finish it with \"last\": true first)",
-                    )
-                } else {
-                    match source {
-                        LoadSource::Chunked => match shared.registry.begin_load(&name, "chunks") {
-                            Ok(opened) => {
-                                staging = Some(opened);
-                                protocol::ok_load_staged(&id, &name)
-                            }
-                            Err(e) => protocol::error(&id, &e),
-                        },
-                        LoadSource::Inline(text) => {
-                            match shared.registry.load(&name, "inline", &text) {
-                                Ok(info) => protocol::ok_load(&id, &info),
-                                Err(e) => protocol::error(&id, &e),
-                            }
-                        }
-                        LoadSource::Path(path) => match std::fs::read_to_string(&path) {
-                            Ok(text) => match shared.registry.load(&name, "path", &text) {
-                                Ok(info) => protocol::ok_load(&id, &info),
-                                Err(e) => protocol::error(&id, &e),
-                            },
-                            Err(e) => protocol::error(&id, &format!("cannot read '{path}': {e}")),
-                        },
-                    }
-                };
-                (response, trace)
-            }
-            Ok(Request::LoadChunk { data, last }) => {
-                let response = match staging.as_mut() {
-                    None => protocol::error(
-                        &id,
-                        "no chunked load in progress (send {\"type\":\"load\",\"chunks\":true} first)",
-                    ),
-                    Some(open) => match open.push(&data) {
-                        Err(e) => {
-                            // The staging is unusable; drop it so the
-                            // temp file goes away.
-                            staging = None;
-                            protocol::error(&id, &e)
-                        }
-                        Ok(()) => {
-                            if last {
-                                let open = staging.take().expect("staging is Some here");
-                                match open.commit() {
-                                    Ok(info) => protocol::ok_load(&id, &info),
-                                    Err(e) => protocol::error(&id, &e),
-                                }
-                            } else {
-                                protocol::ok_load_chunk(&id, open.bytes_staged())
-                            }
-                        }
-                    },
-                };
-                (response, trace)
-            }
-            Ok(Request::Unload { name }) => {
-                let response = match shared.registry.unload(&name) {
-                    Ok(()) => {
-                        // The dataset is gone; its delta session (if any)
-                        // describes text that no longer exists.
-                        shared.deltas.forget(&name);
-                        protocol::ok_unload(&id, &name)
-                    }
-                    Err(e) => protocol::error(&id, &e),
-                };
-                (response, trace)
-            }
-            Ok(Request::Datasets) => (protocol::ok_datasets(&id, &shared.registry.list()), trace),
-            Ok(heavy) => submit(shared, heavy, id, trace),
+                    dispatch(shared, request, tenant, id, trace, &mut staging)
+                }
+            },
         };
         let written = writeln!(stream, "{response}").and_then(|()| stream.flush());
         let total_ns = trace.stamp(TraceEvent::ResponseWritten);
@@ -657,16 +649,211 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
+/// Answers one decoded request on behalf of a resolved tenant: control
+/// requests inline, heavy requests via [`submit`]. In multi-tenant mode
+/// the registry ops run the ownership and pinned-bytes checks; in
+/// single-tenant mode every path is byte-identical to the pre-tenant
+/// server.
+fn dispatch(
+    shared: &Shared,
+    request: Request,
+    tenant: TenantId,
+    id: Option<Json>,
+    trace: Trace,
+    staging: &mut Option<(LoadStaging, TenantId)>,
+) -> (String, Trace) {
+    let multi = shared.tenants.is_multi();
+    // The committed snapshot records its owning tenant only in multi
+    // mode, so single-tenant `datasets` output stays unchanged.
+    let owner = || multi.then(|| shared.tenants.get(tenant).name().to_string());
+    match request {
+        Request::Health => (protocol::ok_health(&id, &shared.health()), trace),
+        Request::Metrics { format } => {
+            let diff = obs::snapshot().diff(&shared.baseline);
+            let response = match format {
+                MetricsFormat::Json => protocol::ok_metrics(&id, &diff.to_json()),
+                MetricsFormat::Prometheus => {
+                    let mut text = diff.to_prometheus();
+                    text.push_str(&shared.tenant_metrics());
+                    protocol::ok_metrics_prometheus(&id, &text)
+                }
+            };
+            (response, trace)
+        }
+        Request::Debug => {
+            let (recorded, slowest) = shared.slow.dump();
+            (protocol::ok_debug(&id, recorded, &slowest), trace)
+        }
+        Request::Shutdown => {
+            shared.begin_drain();
+            (protocol::ok_shutdown(&id), trace)
+        }
+        Request::Load { name, source } => {
+            let response = if staging.is_some() {
+                protocol::error(
+                    &id,
+                    "a chunked load is already in progress on this connection \
+                     (finish it with \"last\": true first)",
+                )
+            } else {
+                match source {
+                    LoadSource::Chunked => {
+                        match shared.registry.begin_load_as(&name, "chunks", owner()) {
+                            Ok(opened) => {
+                                *staging = Some((opened, tenant));
+                                protocol::ok_load_staged(&id, &name)
+                            }
+                            Err(e) => protocol::error(&id, &e),
+                        }
+                    }
+                    LoadSource::Inline(text) => {
+                        load_charged(shared, tenant, &id, &name, "inline", &text)
+                    }
+                    LoadSource::Path(path) => match std::fs::read_to_string(&path) {
+                        Ok(text) => load_charged(shared, tenant, &id, &name, "path", &text),
+                        Err(e) => protocol::error(&id, &format!("cannot read '{path}': {e}")),
+                    },
+                }
+            };
+            (response, trace)
+        }
+        Request::LoadChunk { data, last } => {
+            let response = match staging.as_mut() {
+                None => protocol::error(
+                    &id,
+                    "no chunked load in progress (send {\"type\":\"load\",\"chunks\":true} first)",
+                ),
+                Some((open, _)) => match open.push(&data) {
+                    Err(e) => {
+                        // The staging is unusable; drop it so the
+                        // temp file goes away.
+                        *staging = None;
+                        protocol::error(&id, &e)
+                    }
+                    Ok(()) => {
+                        if last {
+                            let (open, charge_to) = staging.take().expect("staging is Some here");
+                            commit_charged(shared, charge_to, &id, open)
+                        } else {
+                            protocol::ok_load_chunk(&id, open.bytes_staged())
+                        }
+                    }
+                },
+            };
+            (response, trace)
+        }
+        Request::Unload { name } => {
+            // Snapshot first: a successful unload credits the owner's
+            // pinned-bytes ledger with what the dataset occupied.
+            let prior = multi.then(|| shared.registry.get(&name)).flatten();
+            let requester = owner();
+            let response = match shared.registry.unload_as(&name, requester.as_deref()) {
+                Ok(()) => {
+                    if let Some(snapshot) = prior {
+                        let owner = snapshot
+                            .owner()
+                            .and_then(|owner| shared.tenants.by_name(owner));
+                        if let Some(owner) = owner {
+                            owner.credit_pinned(snapshot.bytes());
+                        }
+                    }
+                    // The dataset is gone; its delta session (if any)
+                    // describes text that no longer exists.
+                    shared.deltas.forget(&name);
+                    protocol::ok_unload(&id, &name)
+                }
+                Err(e) => protocol::error(&id, &e),
+            };
+            (response, trace)
+        }
+        Request::Datasets => (protocol::ok_datasets(&id, &shared.registry.list()), trace),
+        heavy => submit(shared, heavy, tenant, id, trace),
+    }
+}
+
+/// One-shot load with the tenant's pinned-bytes quota enforced up
+/// front: the charge happens before the load (refused loads answer
+/// `quota_exceeded`), and a load that then fails refunds it. In
+/// single-tenant mode the ledger is bypassed entirely.
+fn load_charged(
+    shared: &Shared,
+    tenant: TenantId,
+    id: &Option<Json>,
+    name: &str,
+    origin: &'static str,
+    text: &str,
+) -> String {
+    let multi = shared.tenants.is_multi();
+    let bytes = text.len() as u64;
+    if multi {
+        if let Err(e) = shared.tenants.get(tenant).try_charge_pinned(bytes) {
+            return protocol::quota_exceeded(id, &e);
+        }
+    }
+    let owner = multi.then(|| shared.tenants.get(tenant).name().to_string());
+    match shared.registry.load_as(name, origin, text, owner) {
+        Ok(info) => protocol::ok_load(id, &info),
+        Err(e) => {
+            if multi {
+                shared.tenants.get(tenant).credit_pinned(bytes);
+            }
+            protocol::error(id, &e)
+        }
+    }
+}
+
+/// Commits a finished chunked load, charging the opener's pinned-bytes
+/// ledger for the staged size first; a refused charge drops the staging
+/// (removing its temp store file) and answers `quota_exceeded`.
+fn commit_charged(
+    shared: &Shared,
+    tenant: TenantId,
+    id: &Option<Json>,
+    open: LoadStaging,
+) -> String {
+    let multi = shared.tenants.is_multi();
+    let bytes = open.bytes_staged();
+    if multi {
+        if let Err(e) = shared.tenants.get(tenant).try_charge_pinned(bytes) {
+            return protocol::quota_exceeded(id, &e);
+        }
+    }
+    match open.commit() {
+        Ok(info) => protocol::ok_load(id, &info),
+        Err(e) => {
+            if multi {
+                shared.tenants.get(tenant).credit_pinned(bytes);
+            }
+            protocol::error(id, &e)
+        }
+    }
+}
+
 /// Queues one heavy request and blocks for its reply; turns a full
-/// queue into `overloaded` and a closed one into `shutting_down`. The
-/// trace rides into the queue with the job and comes back with the
-/// response (a shed or refused job hands its trace straight back).
+/// queue into `overloaded` and a closed one into `shutting_down`, a
+/// full tenant lane into `quota_exceeded`, and an over-rate tenant into
+/// `overloaded` with a `retry_after_ms` hint. The trace rides into the
+/// queue with the job and comes back with the response (a shed or
+/// refused job hands its trace straight back).
 fn submit(
     shared: &Shared,
     request: Request,
+    tenant: TenantId,
     id: Option<Json>,
     mut trace: Trace,
 ) -> (String, Trace) {
+    // The request-rate gate comes first: an over-rate tenant is shed
+    // before any per-request resolution work is done on its behalf.
+    if let Err(retry_after_ms) = shared.tenants.get(tenant).check_rate() {
+        let t = shared.tenants.get(tenant);
+        t.record_shed();
+        shared.overloads.fetch_add(1, Ordering::SeqCst);
+        obs::counter_add(Counter::ServeOverloads, 1);
+        return (
+            protocol::overloaded_rate_limited(&id, t.name(), retry_after_ms),
+            trace,
+        );
+    }
     let (mut work, delay_ms) = match request {
         Request::Sanitize { spec, delay_ms } => (Work::Sanitize(spec), delay_ms),
         Request::Verify(spec) => (Work::Verify(spec), 0),
@@ -687,6 +874,31 @@ fn submit(
             Work::Stats { db, .. } => Some(db),
             Work::Delta(spec) => {
                 trace.dataset = Some(spec.dataset.clone());
+                // A delta mutates the dataset in place, so ownership is
+                // enforced like `unload`: only the owning tenant (or
+                // anyone, for ownerless re-attached datasets) may apply
+                // one. An unknown dataset falls through — the delta
+                // session produces the canonical error for that.
+                if shared.tenants.is_multi() {
+                    if let Some(snapshot) = shared.registry.get(&spec.dataset) {
+                        let requester = shared.tenants.get(tenant).name();
+                        if let Some(owner) = snapshot.owner() {
+                            if owner != requester {
+                                return (
+                                    protocol::error(
+                                        &id,
+                                        &format!(
+                                            "dataset '{}' is owned by tenant '{owner}'; \
+                                             tenant '{requester}' may not apply deltas to it",
+                                            spec.dataset
+                                        ),
+                                    ),
+                                    trace,
+                                );
+                            }
+                        }
+                    }
+                }
                 None
             }
         };
@@ -716,17 +928,22 @@ fn submit(
     let job = Job {
         work,
         id: id.clone(),
+        tenant,
         delay_ms,
         trace,
         reply,
     };
-    match shared.queue.try_push(job) {
-        Ok(depth) => {
+    match shared.queue.try_push_lane(tenant, job) {
+        Ok((depth, lane_depth)) => {
             shared.admitted.fetch_add(1, Ordering::SeqCst);
             shared
                 .queue_depth_hw
                 .fetch_max(depth as u64, Ordering::SeqCst);
             obs::gauge_max(Gauge::QueueDepth, depth as u64);
+            shared
+                .tenants
+                .get(tenant)
+                .note_queue_depth(lane_depth as u64);
             receive.recv().unwrap_or_else(|_| {
                 (
                     protocol::error(&id, "internal: worker dropped the job"),
@@ -734,9 +951,30 @@ fn submit(
                 )
             })
         }
+        Err(PushError::LaneFull(job)) => {
+            // The tenant's own queue quota, not the shared bound: shed
+            // with the distinct status so clients (and dashboards) can
+            // tell "you are over budget" from "the server is busy".
+            let t = shared.tenants.get(tenant);
+            t.record_quota_shed();
+            let mut trace = job.trace;
+            trace.retract(TraceEvent::Admitted);
+            let max_queued = t.config().max_queued.unwrap_or(0);
+            (
+                protocol::quota_exceeded(
+                    &id,
+                    &format!(
+                        "tenant '{}' job queue is full ({max_queued} waiting); retry later",
+                        t.name()
+                    ),
+                ),
+                trace,
+            )
+        }
         Err(PushError::Full(job)) => {
             shared.overloads.fetch_add(1, Ordering::SeqCst);
             obs::counter_add(Counter::ServeOverloads, 1);
+            shared.tenants.get(tenant).record_shed();
             let mut trace = job.trace;
             trace.retract(TraceEvent::Admitted);
             (protocol::overloaded(&id, shared.queue.capacity()), trace)
@@ -762,6 +1000,7 @@ mod tests {
             queue_depth,
             metrics_addr: None,
             data_dir: None,
+            tenants: None,
         })
         .expect("bind");
         let addr = server.local_addr();
@@ -845,6 +1084,7 @@ mod tests {
             queue_depth: 4,
             metrics_addr: None,
             data_dir: None,
+            tenants: None,
         })
         .expect("bind");
         let shared = Arc::clone(&server.shared);
@@ -922,11 +1162,12 @@ mod tests {
             queue_depth: 2,
             metrics_addr: None,
             data_dir: None,
+            tenants: None,
         })
         .expect("bind");
         server.shared.queue.close();
-        let (_, req) = protocol::decode(r#"{"type":"stats","db":"a\n","mode":"plain"}"#);
-        let (response, _trace) = submit(&server.shared, req.unwrap(), None, Trace::start(1));
+        let (_, _, req) = protocol::decode(r#"{"type":"stats","db":"a\n","mode":"plain"}"#);
+        let (response, _trace) = submit(&server.shared, req.unwrap(), 0, None, Trace::start(1));
         let resp = json::parse(&response).unwrap();
         assert_eq!(resp.get("status").unwrap().as_str(), Some("shutting_down"));
     }
@@ -939,6 +1180,7 @@ mod tests {
             queue_depth: 2,
             metrics_addr: None,
             data_dir: None,
+            tenants: None,
         })
         .expect("bind");
         let shared = Arc::clone(&server.shared);
@@ -969,6 +1211,7 @@ mod tests {
             queue_depth: 2,
             metrics_addr: None,
             data_dir: None,
+            tenants: None,
         })
         .expect("bind");
         server.shared.close_conns();
@@ -1050,6 +1293,7 @@ mod tests {
             queue_depth: 2,
             metrics_addr: Some("127.0.0.1:0".to_string()),
             data_dir: None,
+            tenants: None,
         })
         .expect("bind");
         let addr = server.local_addr();
@@ -1131,6 +1375,7 @@ mod tests {
                 queue_depth,
                 metrics_addr: None,
                 data_dir: None,
+                tenants: None,
             })
             .map(|server| server.local_addr())
             .unwrap_err();

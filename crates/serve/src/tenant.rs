@@ -1,0 +1,863 @@
+//! Multi-tenant admission control: who a request belongs to, what that
+//! tenant is allowed to consume, and the live per-tenant accounting the
+//! scheduler and the metrics exposition read.
+//!
+//! A [`TenantRegistry`] is built either from a `serve --tenants FILE`
+//! config (multi-tenant mode) or as the **permissive single-tenant
+//! default** (no config): one tenant with weight 1, no quotas, and no
+//! token requirement, so a server started without `--tenants` behaves
+//! byte-identically to a tenant-blind one — the `tenant` request field
+//! is accepted and ignored, and no tenant-only response fields appear.
+//!
+//! In multi-tenant mode every request resolves its `tenant` token to a
+//! [`TenantId`]; admission then applies, in order:
+//!
+//! 1. **token-bucket request rate** (`rate` / `burst`) — over-rate
+//!    requests are shed `overloaded` with a `retry_after_ms` hint;
+//! 2. **per-tenant queue quota** (`max_queued`) — a tenant over its own
+//!    backlog allowance is shed `quota_exceeded`, distinct from the
+//!    global `overloaded`;
+//! 3. **global queue capacity** — unchanged from the tenant-blind
+//!    server: shed `overloaded`.
+//!
+//! `max_inflight` is not a shed: the scheduler simply skips a capped
+//! tenant's sub-queue until one of its jobs completes, so a tenant can
+//! never occupy more workers than its cap while everyone else drains
+//! normally. `max_pinned_bytes` bounds the dataset bytes a tenant may
+//! keep loaded (the per-tenant pinned ledger lives here, charged at
+//! `load` and credited at `unload`).
+//!
+//! ## Config file format
+//!
+//! Line-based, `#` comments, one `tenant <name>` header per block
+//! followed by `key = value` lines:
+//!
+//! ```text
+//! tenant alpha
+//!   token = alpha-secret
+//!   weight = 4
+//!   max_inflight = 2
+//!   max_queued = 8
+//!   max_pinned_bytes = 1048576
+//!   rate = 100        # requests per second
+//!   burst = 20
+//!   default = true    # tokenless requests map here (at most one)
+//! ```
+//!
+//! Parse errors are pointed and line-numbered, with "did you mean"
+//! suggestions for near-miss keys — a typo cannot silently fall back to
+//! a default, matching the CLI's unknown-flag behavior.
+//!
+//! All per-tenant counters are plain atomics (not the static obs enums,
+//! which cannot carry dynamic labels), so they work — and `health`
+//! reports them — in obs-off builds too. [`TenantRegistry::
+//! prometheus_text`] renders them as labeled Prometheus series appended
+//! to the exposition in multi-tenant mode.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::queue::QueueLane;
+
+/// A tenant's index into the registry (and its queue lane).
+pub type TenantId = usize;
+
+/// One tenant's configuration: identity, scheduling weight, quotas.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantConfig {
+    /// Display name (the Prometheus `tenant` label, the `owner` column).
+    pub name: String,
+    /// The secret presented in the request's `tenant` field.
+    pub token: String,
+    /// Deficit-round-robin weight (≥ 1): under contention, capacity
+    /// divides proportionally to weight.
+    pub weight: u64,
+    /// Most jobs of this tenant executing on workers at once; further
+    /// jobs wait in the tenant's sub-queue (deferred, not shed).
+    pub max_inflight: Option<usize>,
+    /// Most jobs of this tenant waiting in its sub-queue; beyond it the
+    /// request is shed `quota_exceeded`.
+    pub max_queued: Option<usize>,
+    /// Most dataset bytes this tenant may keep loaded.
+    pub max_pinned_bytes: Option<u64>,
+    /// Token-bucket refill rate in requests per second.
+    pub rate: Option<f64>,
+    /// Token-bucket burst size (defaults to 1 when `rate` is set).
+    pub burst: Option<u64>,
+    /// Whether tokenless requests map to this tenant (at most one).
+    pub default: bool,
+}
+
+impl TenantConfig {
+    /// A permissive tenant: weight 1, no quotas, no rate limit.
+    fn permissive(name: &str, token: &str, default: bool) -> TenantConfig {
+        TenantConfig {
+            name: name.to_string(),
+            token: token.to_string(),
+            weight: 1,
+            max_inflight: None,
+            max_queued: None,
+            max_pinned_bytes: None,
+            rate: None,
+            burst: None,
+            default,
+        }
+    }
+}
+
+/// Token-bucket state (guarded; touched once per admitted request).
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// One tenant at runtime: its config plus live accounting.
+pub struct Tenant {
+    config: TenantConfig,
+    /// Requests attributed to this tenant (all types, including shed).
+    requests: AtomicU64,
+    /// Requests shed `overloaded` (global queue full or over-rate).
+    sheds: AtomicU64,
+    /// Requests refused `quota_exceeded` (per-tenant quota hit).
+    quota_sheds: AtomicU64,
+    /// Accumulated worker execution time (exec start → end) in ns.
+    occupancy_ns: AtomicU64,
+    /// Most jobs ever waiting in this tenant's sub-queue at once.
+    queue_depth_hw: AtomicU64,
+    /// Dataset bytes currently loaded under this tenant's ownership.
+    pinned_bytes: AtomicU64,
+    bucket: Option<Mutex<Bucket>>,
+}
+
+impl Tenant {
+    fn new(config: TenantConfig) -> Tenant {
+        let bucket = config.rate.map(|_| {
+            Mutex::new(Bucket {
+                tokens: config.burst.unwrap_or(1).max(1) as f64,
+                last: Instant::now(),
+            })
+        });
+        Tenant {
+            config,
+            requests: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            quota_sheds: AtomicU64::new(0),
+            occupancy_ns: AtomicU64::new(0),
+            queue_depth_hw: AtomicU64::new(0),
+            pinned_bytes: AtomicU64::new(0),
+            bucket,
+        }
+    }
+
+    /// The tenant's display name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// The tenant's scheduling weight.
+    pub fn weight(&self) -> u64 {
+        self.config.weight
+    }
+
+    /// The tenant's full configuration.
+    pub fn config(&self) -> &TenantConfig {
+        &self.config
+    }
+
+    /// Counts one request attributed to this tenant.
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one `overloaded` shed (global queue full or over-rate).
+    pub fn record_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one `quota_exceeded` refusal.
+    pub fn record_quota_shed(&self) {
+        self.quota_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds one job's execution time to the occupancy counter.
+    pub fn add_occupancy_ns(&self, ns: u64) {
+        self.occupancy_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Raises the sub-queue high-water mark to `depth` if higher.
+    pub fn note_queue_depth(&self, depth: u64) {
+        self.queue_depth_hw.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// The sub-queue high-water mark (for `health`).
+    pub fn queue_depth_high_water(&self) -> u64 {
+        self.queue_depth_hw.load(Ordering::Relaxed)
+    }
+
+    /// Dataset bytes currently charged to this tenant.
+    pub fn pinned_bytes(&self) -> u64 {
+        self.pinned_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Atomically charges `bytes` against the pinned ledger, refusing
+    /// (and leaving the ledger untouched) if `max_pinned_bytes` would be
+    /// exceeded.
+    pub fn try_charge_pinned(&self, bytes: u64) -> Result<(), String> {
+        let limit = self.config.max_pinned_bytes;
+        let mut current = self.pinned_bytes.load(Ordering::SeqCst);
+        loop {
+            let next = current.saturating_add(bytes);
+            if let Some(cap) = limit {
+                if next > cap {
+                    return Err(format!(
+                        "tenant '{}' pinned-bytes quota exceeded: {current} loaded + {bytes} \
+                         requested > {cap} allowed (unload a dataset first)",
+                        self.config.name
+                    ));
+                }
+            }
+            match self.pinned_bytes.compare_exchange(
+                current,
+                next,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    /// Credits `bytes` back to the pinned ledger (dataset unloaded).
+    pub fn credit_pinned(&self, bytes: u64) {
+        let mut current = self.pinned_bytes.load(Ordering::SeqCst);
+        loop {
+            let next = current.saturating_sub(bytes);
+            match self.pinned_bytes.compare_exchange(
+                current,
+                next,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return,
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    /// Charges `bytes` without a quota check — for post-hoc growth a
+    /// `delta` already committed (quotas gate `load`, not mutation).
+    pub fn charge_pinned_unchecked(&self, bytes: u64) {
+        self.pinned_bytes.fetch_add(bytes, Ordering::SeqCst);
+    }
+
+    /// Draws one token from the rate bucket. `Err` carries the
+    /// `retry_after_ms` hint: how long until the next token accrues.
+    /// Always `Ok` for tenants without a configured rate.
+    pub fn check_rate(&self) -> Result<(), u64> {
+        let Some(bucket) = &self.bucket else {
+            return Ok(());
+        };
+        let rate = self.config.rate.expect("bucket exists only with a rate");
+        let burst = self.config.burst.unwrap_or(1).max(1) as f64;
+        let mut b = bucket.lock().expect("rate bucket poisoned");
+        let now = Instant::now();
+        let dt = now.duration_since(b.last).as_secs_f64();
+        b.last = now;
+        b.tokens = (b.tokens + dt * rate).min(burst);
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            Ok(())
+        } else {
+            let ms = ((1.0 - b.tokens) / rate * 1000.0).ceil() as u64;
+            Err(ms.max(1))
+        }
+    }
+}
+
+/// The tenant registry: token resolution plus per-tenant runtime state.
+pub struct TenantRegistry {
+    tenants: Vec<Tenant>,
+    by_token: HashMap<String, TenantId>,
+    default_id: Option<TenantId>,
+    multi: bool,
+}
+
+impl TenantRegistry {
+    /// The permissive single-tenant default (no `--tenants` config):
+    /// every request — any token or none — maps to one unlimited
+    /// tenant, and no tenant-only response fields are emitted.
+    pub fn single_default() -> TenantRegistry {
+        TenantRegistry {
+            tenants: vec![Tenant::new(TenantConfig::permissive("default", "", true))],
+            by_token: HashMap::new(),
+            default_id: Some(0),
+            multi: false,
+        }
+    }
+
+    /// A multi-tenant registry from parsed configs (the `--tenants`
+    /// file). Configs are assumed validated by [`parse_tenants`].
+    pub fn from_configs(configs: Vec<TenantConfig>) -> TenantRegistry {
+        let mut by_token = HashMap::new();
+        let mut default_id = None;
+        for (id, config) in configs.iter().enumerate() {
+            by_token.insert(config.token.clone(), id);
+            if config.default {
+                default_id = Some(id);
+            }
+        }
+        TenantRegistry {
+            tenants: configs.into_iter().map(Tenant::new).collect(),
+            by_token,
+            default_id,
+            multi: true,
+        }
+    }
+
+    /// Whether an explicit `--tenants` config is active. `false` means
+    /// the permissive single-tenant default, whose wire behavior is
+    /// byte-identical to a tenant-blind server.
+    pub fn is_multi(&self) -> bool {
+        self.multi
+    }
+
+    /// Number of configured tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the registry holds no tenants (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// The tenant at `id`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id — ids only come from
+    /// [`TenantRegistry::resolve`], so this indicates a server bug.
+    pub fn get(&self, id: TenantId) -> &Tenant {
+        &self.tenants[id]
+    }
+
+    /// All tenants, in config order (= lane order).
+    pub fn iter(&self) -> impl Iterator<Item = &Tenant> {
+        self.tenants.iter()
+    }
+
+    /// Looks a tenant up by display name (the dataset `owner` column).
+    pub fn by_name(&self, name: &str) -> Option<&Tenant> {
+        self.tenants.iter().find(|t| t.config.name == name)
+    }
+
+    /// Maps a request's `tenant` token to an id. In single-default mode
+    /// every token (or none) resolves to the one tenant; in
+    /// multi-tenant mode an unknown token is refused, and a missing one
+    /// is refused unless a tenant is marked `default = true`.
+    pub fn resolve(&self, token: Option<&str>) -> Result<TenantId, String> {
+        if !self.multi {
+            return Ok(0);
+        }
+        match token {
+            Some(token) => self.by_token.get(token).copied().ok_or_else(|| {
+                "unknown tenant token (check the \"tenant\" field against the server's \
+                 --tenants config)"
+                    .to_string()
+            }),
+            None => self.default_id.ok_or_else(|| {
+                "missing \"tenant\" token and the server has no default tenant \
+                 (every request must carry one)"
+                    .to_string()
+            }),
+        }
+    }
+
+    /// The scheduler lanes, one per tenant in config order.
+    pub fn lanes(&self) -> Vec<QueueLane> {
+        self.tenants
+            .iter()
+            .map(|t| QueueLane {
+                weight: t.config.weight,
+                max_queued: t.config.max_queued,
+                max_inflight: t.config.max_inflight,
+            })
+            .collect()
+    }
+
+    /// `(name, sub-queue high-water)` rows for the `health` response.
+    pub fn queue_high_waters(&self) -> Vec<(String, u64)> {
+        self.tenants
+            .iter()
+            .map(|t| (t.config.name.clone(), t.queue_depth_high_water()))
+            .collect()
+    }
+
+    /// Renders the per-tenant counters as Prometheus text exposition
+    /// lines (labeled series; appended to the obs exposition in
+    /// multi-tenant mode).
+    pub fn prometheus_text(&self) -> String {
+        /// One exposition family: (name, type, help, per-tenant reader).
+        type Series = (&'static str, &'static str, &'static str, fn(&Tenant) -> u64);
+        let mut out = String::new();
+        let series: [Series; 4] = [
+            (
+                "seqhide_tenant_requests_total",
+                "counter",
+                "Requests attributed to each tenant (all types, including shed).",
+                |t| t.requests.load(Ordering::Relaxed),
+            ),
+            (
+                "seqhide_tenant_occupancy_nanos_total",
+                "counter",
+                "Accumulated worker execution time per tenant in nanoseconds.",
+                |t| t.occupancy_ns.load(Ordering::Relaxed),
+            ),
+            (
+                "seqhide_tenant_queue_depth_high_water",
+                "gauge",
+                "Most jobs ever waiting in each tenant's sub-queue at once.",
+                |t| t.queue_depth_hw.load(Ordering::Relaxed),
+            ),
+            (
+                "seqhide_tenant_pinned_bytes",
+                "gauge",
+                "Dataset bytes currently loaded under each tenant's ownership.",
+                |t| t.pinned_bytes.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, kind, help, read) in series {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for t in &self.tenants {
+                let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {}", t.config.name, read(t));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP seqhide_tenant_sheds_total Requests refused per tenant, by reason."
+        );
+        let _ = writeln!(out, "# TYPE seqhide_tenant_sheds_total counter");
+        for t in &self.tenants {
+            let _ = writeln!(
+                out,
+                "seqhide_tenant_sheds_total{{tenant=\"{}\",reason=\"overloaded\"}} {}",
+                t.config.name,
+                t.sheds.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "seqhide_tenant_sheds_total{{tenant=\"{}\",reason=\"quota\"}} {}",
+                t.config.name,
+                t.quota_sheds.load(Ordering::Relaxed)
+            );
+        }
+        out
+    }
+}
+
+/// The keys a tenant block accepts (the "did you mean" vocabulary).
+const TENANT_KEYS: &[&str] = &[
+    "token",
+    "weight",
+    "max_inflight",
+    "max_queued",
+    "max_pinned_bytes",
+    "rate",
+    "burst",
+    "default",
+];
+
+/// Levenshtein edit distance, for near-miss key suggestions. Local to
+/// this module: the CLI's copy lives in the binary crate, out of reach.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+fn suggest(key: &str) -> String {
+    TENANT_KEYS
+        .iter()
+        .map(|cand| (levenshtein(key, cand), *cand))
+        .min()
+        .filter(|&(d, cand)| d <= 2 || cand.starts_with(key))
+        .map(|(_, cand)| format!(" (did you mean '{cand}'?)"))
+        .unwrap_or_default()
+}
+
+/// Reads and parses a `--tenants` file.
+pub fn load_tenants_file(path: &str) -> Result<Vec<TenantConfig>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read tenants file {path}: {e}"))?;
+    parse_tenants(&text, path)
+}
+
+/// Parses tenants-file text. `origin` labels error messages (the file
+/// path, or a test tag). Every error is line-numbered and pointed.
+pub fn parse_tenants(text: &str, origin: &str) -> Result<Vec<TenantConfig>, String> {
+    let mut tenants: Vec<TenantConfig> = Vec::new();
+    let mut token_lines: HashMap<String, (String, usize)> = HashMap::new();
+    let mut default_seen: Option<String> = None;
+    let mut open: Option<TenantConfig> = None;
+
+    let finish =
+        |tenants: &mut Vec<TenantConfig>, open: Option<TenantConfig>| -> Result<(), String> {
+            if let Some(t) = open {
+                if t.token.is_empty() {
+                    return Err(format!(
+                        "{origin}: tenant '{}' has no token (every tenant needs \
+                         'token = <secret>')",
+                        t.name
+                    ));
+                }
+                tenants.push(t);
+            }
+            Ok(())
+        };
+
+    for (ix, raw) in text.lines().enumerate() {
+        let lineno = ix + 1;
+        let line = match raw.find('#') {
+            Some(at) => &raw[..at],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) =
+            line.strip_prefix("tenant ")
+                .or(if line == "tenant" { Some("") } else { None })
+        {
+            let name = rest.trim();
+            if name.is_empty() {
+                return Err(format!(
+                    "{origin}:{lineno}: 'tenant' needs a name ('tenant <name>')"
+                ));
+            }
+            if let Some(bad) = name
+                .chars()
+                .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+            {
+                return Err(format!(
+                    "{origin}:{lineno}: tenant name contains '{bad}'; allowed: letters, \
+                     digits, '.', '_', '-'"
+                ));
+            }
+            if tenants.iter().any(|t| t.name == name)
+                || open.as_ref().is_some_and(|t| t.name == name)
+            {
+                return Err(format!("{origin}:{lineno}: duplicate tenant name '{name}'"));
+            }
+            finish(&mut tenants, open.take())?;
+            open = Some(TenantConfig::permissive(name, "", false));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "{origin}:{lineno}: expected 'key = value' or 'tenant <name>', got '{line}'"
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let Some(t) = open.as_mut() else {
+            return Err(format!(
+                "{origin}:{lineno}: '{key} = ...' before any 'tenant <name>' line"
+            ));
+        };
+        let num = |what: &str| -> Result<u64, String> {
+            value.parse::<u64>().map_err(|_| {
+                format!("{origin}:{lineno}: {what}: '{value}' is not a non-negative integer")
+            })
+        };
+        match key {
+            "token" => {
+                if value.is_empty() {
+                    return Err(format!("{origin}:{lineno}: token must not be empty"));
+                }
+                if let Some((owner, at)) = token_lines.get(value) {
+                    return Err(format!(
+                        "{origin}:{lineno}: duplicate token '{value}' (already used by \
+                         tenant '{owner}' on line {at})"
+                    ));
+                }
+                token_lines.insert(value.to_string(), (t.name.clone(), lineno));
+                t.token = value.to_string();
+            }
+            "weight" => {
+                let w = num("weight")?;
+                if w == 0 {
+                    return Err(format!(
+                        "{origin}:{lineno}: weight must be ≥ 1 (0 would starve tenant \
+                         '{}' forever)",
+                        t.name
+                    ));
+                }
+                t.weight = w;
+            }
+            "max_inflight" => t.max_inflight = Some(num("max_inflight")?.max(1) as usize),
+            "max_queued" => t.max_queued = Some(num("max_queued")? as usize),
+            "max_pinned_bytes" => t.max_pinned_bytes = Some(num("max_pinned_bytes")?),
+            "rate" => {
+                let r: f64 = value
+                    .parse()
+                    .map_err(|_| format!("{origin}:{lineno}: rate: '{value}' is not a number"))?;
+                if !(r > 0.0 && r.is_finite()) {
+                    return Err(format!(
+                        "{origin}:{lineno}: rate must be a positive requests-per-second \
+                         value, got '{value}'"
+                    ));
+                }
+                t.rate = Some(r);
+            }
+            "burst" => {
+                let b = num("burst")?;
+                if b == 0 {
+                    return Err(format!(
+                        "{origin}:{lineno}: burst must be ≥ 1 (a zero burst would shed \
+                         every request)"
+                    ));
+                }
+                t.burst = Some(b);
+            }
+            "default" => {
+                let v = match value {
+                    "true" => true,
+                    "false" => false,
+                    _ => {
+                        return Err(format!(
+                            "{origin}:{lineno}: default must be 'true' or 'false', got \
+                             '{value}'"
+                        ))
+                    }
+                };
+                if v {
+                    if let Some(other) = &default_seen {
+                        return Err(format!(
+                            "{origin}:{lineno}: 'default = true' already set on tenant \
+                             '{other}' (only one tenant may be the default)"
+                        ));
+                    }
+                    default_seen = Some(t.name.clone());
+                }
+                t.default = v;
+            }
+            other => {
+                return Err(format!(
+                    "{origin}:{lineno}: unknown key '{other}'{}",
+                    suggest(other)
+                ));
+            }
+        }
+    }
+    finish(&mut tenants, open)?;
+    if tenants.is_empty() {
+        return Err(format!(
+            "{origin}: no tenants defined (need at least one 'tenant <name>' block)"
+        ));
+    }
+    Ok(tenants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# demo config
+tenant alpha
+  token = alpha-secret
+  weight = 4
+  max_inflight = 2
+  max_queued = 8
+  max_pinned_bytes = 1048576
+  rate = 100.5  # rps
+  burst = 20
+  default = true
+
+tenant beta
+  token = beta-secret
+";
+
+    #[test]
+    fn parses_a_full_config() {
+        let tenants = parse_tenants(GOOD, "t.conf").unwrap();
+        assert_eq!(tenants.len(), 2);
+        let a = &tenants[0];
+        assert_eq!(a.name, "alpha");
+        assert_eq!(a.token, "alpha-secret");
+        assert_eq!(a.weight, 4);
+        assert_eq!(a.max_inflight, Some(2));
+        assert_eq!(a.max_queued, Some(8));
+        assert_eq!(a.max_pinned_bytes, Some(1_048_576));
+        assert_eq!(a.rate, Some(100.5));
+        assert_eq!(a.burst, Some(20));
+        assert!(a.default);
+        let b = &tenants[1];
+        assert_eq!(b.weight, 1, "weight defaults to 1");
+        assert_eq!(b.max_queued, None);
+        assert!(!b.default);
+    }
+
+    #[test]
+    fn parse_errors_are_line_numbered_and_pointed() {
+        let e = parse_tenants("tenant a\n token = s\n weigth = 2\n", "t.conf").unwrap_err();
+        assert!(
+            e.contains("t.conf:3") && e.contains("unknown key 'weigth'"),
+            "{e}"
+        );
+        assert!(e.contains("did you mean 'weight'?"), "{e}");
+
+        let e =
+            parse_tenants("tenant a\n token = s\ntenant b\n token = s\n", "t.conf").unwrap_err();
+        assert!(
+            e.contains("t.conf:4") && e.contains("duplicate token 's'"),
+            "{e}"
+        );
+        assert!(e.contains("tenant 'a'") && e.contains("line 2"), "{e}");
+
+        let e = parse_tenants("tenant a\n token = s\n weight = 0\n", "t.conf").unwrap_err();
+        assert!(
+            e.contains("t.conf:3") && e.contains("weight must be ≥ 1"),
+            "{e}"
+        );
+        assert!(e.contains("starve tenant 'a'"), "{e}");
+
+        let e = parse_tenants("token = s\n", "t.conf").unwrap_err();
+        assert!(
+            e.contains("t.conf:1") && e.contains("before any 'tenant"),
+            "{e}"
+        );
+
+        let e = parse_tenants("tenant a\n", "t.conf").unwrap_err();
+        assert!(e.contains("tenant 'a' has no token"), "{e}");
+
+        let e = parse_tenants("tenant a\n token = s\ntenant a\n", "t.conf").unwrap_err();
+        assert!(
+            e.contains("t.conf:3") && e.contains("duplicate tenant name 'a'"),
+            "{e}"
+        );
+
+        let e = parse_tenants("", "t.conf").unwrap_err();
+        assert!(e.contains("no tenants defined"), "{e}");
+
+        let e = parse_tenants(
+            "tenant a\n token = s\n default = true\ntenant b\n token = u\n default = true\n",
+            "t.conf",
+        )
+        .unwrap_err();
+        assert!(
+            e.contains("t.conf:6") && e.contains("already set on tenant 'a'"),
+            "{e}"
+        );
+
+        let e = parse_tenants("tenant a\n gibberish\n", "t.conf").unwrap_err();
+        assert!(e.contains("expected 'key = value'"), "{e}");
+    }
+
+    #[test]
+    fn resolve_covers_default_and_unknown_tokens() {
+        let registry = TenantRegistry::from_configs(parse_tenants(GOOD, "t.conf").unwrap());
+        assert!(registry.is_multi());
+        assert_eq!(registry.resolve(Some("alpha-secret")), Ok(0));
+        assert_eq!(registry.resolve(Some("beta-secret")), Ok(1));
+        assert_eq!(registry.resolve(None), Ok(0), "alpha is the default");
+        assert!(registry.resolve(Some("nope")).is_err());
+
+        let no_default = TenantRegistry::from_configs(
+            parse_tenants("tenant only\n token = s\n", "t.conf").unwrap(),
+        );
+        assert!(no_default.resolve(None).is_err());
+
+        let single = TenantRegistry::single_default();
+        assert!(!single.is_multi());
+        assert_eq!(single.resolve(None), Ok(0));
+        assert_eq!(single.resolve(Some("anything")), Ok(0));
+    }
+
+    #[test]
+    fn pinned_ledger_charges_and_credits_atomically() {
+        let registry = TenantRegistry::from_configs(
+            parse_tenants("tenant a\n token = s\n max_pinned_bytes = 100\n", "t").unwrap(),
+        );
+        let t = registry.get(0);
+        t.try_charge_pinned(60).unwrap();
+        t.try_charge_pinned(40).unwrap();
+        let e = t.try_charge_pinned(1).unwrap_err();
+        assert!(e.contains("quota exceeded"), "{e}");
+        assert_eq!(t.pinned_bytes(), 100);
+        t.credit_pinned(50);
+        t.try_charge_pinned(30).unwrap();
+        assert_eq!(t.pinned_bytes(), 80);
+        // unlimited tenants never refuse
+        let free = TenantRegistry::single_default();
+        free.get(0).try_charge_pinned(u64::MAX / 2).unwrap();
+    }
+
+    #[test]
+    fn rate_bucket_sheds_past_the_burst_and_hints_retry() {
+        let registry = TenantRegistry::from_configs(
+            parse_tenants("tenant a\n token = s\n rate = 5\n burst = 2\n", "t").unwrap(),
+        );
+        let t = registry.get(0);
+        assert!(t.check_rate().is_ok());
+        assert!(t.check_rate().is_ok());
+        let retry = t.check_rate().unwrap_err();
+        // at 5 rps a token accrues within 200ms
+        assert!((1..=200).contains(&retry), "retry_after_ms = {retry}");
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        assert!(t.check_rate().is_ok(), "tokens refill with time");
+        // unlimited tenants are never rate-limited
+        assert!(TenantRegistry::single_default().get(0).check_rate().is_ok());
+    }
+
+    #[test]
+    fn prometheus_text_renders_labeled_series() {
+        let registry = TenantRegistry::from_configs(parse_tenants(GOOD, "t.conf").unwrap());
+        registry.get(0).record_request();
+        registry.get(0).record_shed();
+        registry.get(1).record_quota_shed();
+        registry.get(1).add_occupancy_ns(1234);
+        let text = registry.prometheus_text();
+        assert!(text.contains("# TYPE seqhide_tenant_requests_total counter"));
+        assert!(text.contains("seqhide_tenant_requests_total{tenant=\"alpha\"} 1"));
+        assert!(text.contains("seqhide_tenant_requests_total{tenant=\"beta\"} 0"));
+        assert!(
+            text.contains("seqhide_tenant_sheds_total{tenant=\"alpha\",reason=\"overloaded\"} 1")
+        );
+        assert!(text.contains("seqhide_tenant_sheds_total{tenant=\"beta\",reason=\"quota\"} 1"));
+        assert!(text.contains("seqhide_tenant_occupancy_nanos_total{tenant=\"beta\"} 1234"));
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.starts_with("seqhide_"),
+                "stray exposition line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn lanes_mirror_config_order() {
+        let registry = TenantRegistry::from_configs(parse_tenants(GOOD, "t.conf").unwrap());
+        let lanes = registry.lanes();
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0].weight, 4);
+        assert_eq!(lanes[0].max_queued, Some(8));
+        assert_eq!(lanes[0].max_inflight, Some(2));
+        assert_eq!(lanes[1].weight, 1);
+        assert_eq!(lanes[1].max_queued, None);
+    }
+}

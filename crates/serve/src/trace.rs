@@ -70,6 +70,9 @@ pub struct Trace {
     pub req_id: u64,
     /// Request type name once known (`"unparsed"` until decode).
     pub kind: &'static str,
+    /// The resolved tenant's name — stamped only in multi-tenant mode,
+    /// so single-default `debug` output stays byte-identical.
+    pub tenant: Option<String>,
     /// Registered dataset name, when the request referenced one by
     /// `dataset` instead of shipping the text inline.
     pub dataset: Option<String>,
@@ -87,6 +90,7 @@ impl Trace {
         Trace {
             req_id,
             kind: "unparsed",
+            tenant: None,
             dataset: None,
             dataset_version: None,
             started: Instant::now(),
@@ -154,6 +158,9 @@ impl Trace {
             ("req_id".to_string(), Json::num(self.req_id)),
             ("kind".to_string(), Json::Str(self.kind.to_string())),
         ];
+        if let Some(tenant) = &self.tenant {
+            members.push(("tenant".to_string(), Json::Str(tenant.clone())));
+        }
         if let Some(dataset) = &self.dataset {
             members.push(("dataset".to_string(), Json::Str(dataset.clone())));
         }
@@ -323,6 +330,10 @@ mod tests {
         assert!(json.contains("\"req_id\":7"));
         assert!(json.contains("\"kind\":\"sanitize\""));
         assert!(json.contains("\"event\":\"response_written\""));
+        // tenant appears only when stamped (multi-tenant mode)
+        assert!(!json.contains("\"tenant\""));
+        t.tenant = Some("alpha".to_string());
+        assert!(t.to_json().render().contains("\"tenant\":\"alpha\""));
     }
 
     #[test]

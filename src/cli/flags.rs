@@ -78,6 +78,7 @@ pub(crate) const SPECS: &[FlagSpec] = &[
             "metrics-addr",
             "metrics-out",
             "data-dir",
+            "tenants",
         ],
         boolean: &["progress"],
     },
@@ -94,6 +95,8 @@ pub(crate) const SPECS: &[FlagSpec] = &[
             "sequences",
             "out",
             "delta-fraction",
+            "tenants",
+            "hog-fraction",
         ],
         boolean: &["shutdown"],
     },

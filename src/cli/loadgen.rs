@@ -55,11 +55,39 @@ pub(crate) fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
                 f
             }
         },
+        tenants: flags.usize_or("tenants", 0)?,
+        hog_fraction: match flags.one("hog-fraction") {
+            None => 0.0,
+            Some(raw) => {
+                let f: f64 = raw
+                    .parse()
+                    .map_err(|_| err(format!("--hog-fraction: '{raw}' is not a number")))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(err("--hog-fraction must be within [0, 1]"));
+                }
+                f
+            }
+        },
     };
     if options.delta_fraction > 0.0 && options.dataset.is_none() {
         return Err(err(
             "--delta-fraction needs --dataset (deltas mutate a named dataset)",
         ));
+    }
+    if options.hog_fraction > 0.0 && options.tenants < 2 {
+        return Err(err(
+            "--hog-fraction needs --tenants ≥ 2 (one hog plus at least one light \
+             tenant to be unfair to)",
+        ));
+    }
+    if options.tenants > 0 {
+        eprintln!(
+            "[seqhide loadgen] multi-tenant mix: {} tenant(s), hog fraction {:.2} \
+             (tokens t0..t{})",
+            options.tenants,
+            options.hog_fraction,
+            options.tenants - 1
+        );
     }
     eprintln!(
         "[seqhide loadgen] {} client(s) against {} for {}s",
@@ -70,7 +98,10 @@ pub(crate) fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
     std::fs::write(out_path, report.to_bench_json(&options))
         .map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
     if flags.has("shutdown") {
-        send_shutdown(&options.addr)?;
+        // A multi-tenant server with no default tenant refuses untagged
+        // requests, so the shutdown rides on tenant 0's token.
+        let token = (options.tenants > 0).then_some("t0");
+        send_shutdown(&options.addr, token)?;
     }
     let delta_note = if report.delta_latency.count > 0 {
         format!(
@@ -82,9 +113,14 @@ pub(crate) fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
     } else {
         String::new()
     };
+    let fairness_note = if report.tenants.is_empty() {
+        String::new()
+    } else {
+        format!(" (Jain fairness {:.4})", report.jain_fairness)
+    };
     Ok(format!(
         "loadgen: {} request(s) in {:.1}s — {:.1} req/s, p50 {}µs p95 {}µs p99 {}µs, \
-         shed rate {:.4}, drain {}ms{delta_note}; wrote {out_path}\n",
+         shed rate {:.4}, drain {}ms{delta_note}{fairness_note}; wrote {out_path}\n",
         report.requests,
         report.elapsed.as_secs_f64(),
         report.throughput_rps(),
@@ -97,18 +133,30 @@ pub(crate) fn cmd_loadgen(flags: &Flags) -> Result<String, CliError> {
 }
 
 /// Sends a `shutdown` request and waits for the acknowledgement, so the
-/// caller can rely on the server having begun its drain.
-fn send_shutdown(addr: &str) -> Result<(), CliError> {
+/// caller can rely on the server having begun its drain. An error
+/// response (e.g. an unresolved tenant token) is a hard failure — the
+/// server would otherwise keep running after "successful" shutdown.
+fn send_shutdown(addr: &str, tenant: Option<&str>) -> Result<(), CliError> {
     let stream =
         TcpStream::connect(addr).map_err(|e| err(format!("shutdown: connect {addr}: {e}")))?;
     let mut writer = stream
         .try_clone()
         .map_err(|e| err(format!("shutdown: {e}")))?;
-    writeln!(writer, r#"{{"type":"shutdown"}}"#).map_err(|e| err(format!("shutdown: {e}")))?;
+    let request = match tenant {
+        Some(token) => format!(r#"{{"type":"shutdown","tenant":"{token}"}}"#),
+        None => r#"{"type":"shutdown"}"#.to_string(),
+    };
+    writeln!(writer, "{request}").map_err(|e| err(format!("shutdown: {e}")))?;
     writer.flush().map_err(|e| err(format!("shutdown: {e}")))?;
     let mut line = String::new();
     BufReader::new(stream)
         .read_line(&mut line)
         .map_err(|e| err(format!("shutdown: {e}")))?;
+    if !line.contains(r#""draining":true"#) {
+        return Err(err(format!(
+            "shutdown was not acknowledged as draining: {}",
+            line.trim()
+        )));
+    }
     Ok(())
 }

@@ -33,18 +33,30 @@ pub(crate) fn cmd_serve(flags: &Flags) -> Result<String, CliError> {
     }
     let metrics_addr = flags.one("metrics-addr").map(str::to_string);
     let data_dir = flags.one("data-dir").map(str::to_string);
+    let tenants = match flags.one("tenants") {
+        None => None,
+        Some(path) => Some(seqhide_serve::tenant::load_tenants_file(path).map_err(err)?),
+    };
+    let tenant_count = tenants.as_ref().map(Vec::len);
     let server = Server::bind(&ServeOptions {
         addr: addr.clone(),
         workers,
         queue_depth,
         metrics_addr: metrics_addr.clone(),
         data_dir: data_dir.clone(),
+        tenants,
     })
     .map_err(|e| err(format!("cannot bind {addr}: {e}")))?;
     let local = server.local_addr();
     eprintln!(
         "[seqhide serve] listening on {local} ({workers} worker(s), queue depth {queue_depth})"
     );
+    if let Some(count) = tenant_count {
+        eprintln!(
+            "[seqhide serve] multi-tenant admission on: {count} tenant(s), \
+             deficit-weighted fair scheduling"
+        );
+    }
     if let Some(dir) = &data_dir {
         eprintln!(
             "[seqhide serve] dataset store in {dir} ({} dataset(s) re-attached)",

@@ -38,6 +38,28 @@ fn start_with_dir(
         queue_depth,
         metrics_addr: None,
         data_dir: data_dir.map(|d| d.to_string_lossy().into_owned()),
+        tenants: None,
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    (addr, thread::spawn(move || server.run().expect("run")))
+}
+
+/// A multi-tenant server: parses `config` with the same parser
+/// `--tenants FILE` uses, so these tests cover the full config path.
+fn start_with_tenants(
+    workers: usize,
+    queue_depth: usize,
+    config: &str,
+) -> (SocketAddr, thread::JoinHandle<ServeSummary>) {
+    let tenants = seqhide::serve::tenant::parse_tenants(config, "test.conf").expect("config");
+    let server = Server::bind(&ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth,
+        metrics_addr: None,
+        data_dir: None,
+        tenants: Some(tenants),
     })
     .expect("bind");
     let addr = server.local_addr();
@@ -1104,6 +1126,8 @@ fn loadgen_drives_a_server_and_reports() {
         sequences: 12,
         dataset: None,
         delta_fraction: 0.0,
+        tenants: 0,
+        hog_fraction: 0.0,
     })
     .expect("loadgen run");
     assert!(report.requests > 0);
@@ -1145,6 +1169,8 @@ fn loadgen_delta_traffic_mutates_the_dataset() {
         sequences: 12,
         dataset: Some("churn".to_string()),
         delta_fraction: 0.5,
+        tenants: 0,
+        hog_fraction: 0.0,
     };
     let report = loadgen::run(&options).expect("loadgen run");
     assert_eq!(report.errors, 0, "{report:?}");
@@ -1306,4 +1332,438 @@ fn delta_stream_matches_fresh_sanitize_and_versions_climb() {
     );
     send_one(addr, r#"{"type":"shutdown"}"#);
     handle.join().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Multi-tenant admission control
+// ---------------------------------------------------------------------
+
+/// Writes a request and returns the stream without reading the reply,
+/// so the job sits in the server (running or queued) while the test
+/// arranges the next step. Read the buffered response later.
+fn send_async(addr: SocketAddr, request: &str) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    writeln!(stream, "{request}").unwrap();
+    stream.flush().unwrap();
+    stream
+}
+
+fn read_response(stream: TcpStream) -> Json {
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    json::parse(line.trim_end()).expect("response is JSON")
+}
+
+fn status_of(resp: &Json) -> Option<&str> {
+    resp.get("status").and_then(Json::as_str)
+}
+
+/// Polls `health` (a control op — answered inline, never queued) until
+/// the server reports the given queue depth and inflight count, so
+/// tests sequence on observed state instead of racy sleeps.
+fn wait_for_state(addr: SocketAddr, token: &str, queue_depth: u64, inflight: u64) {
+    let request = format!(r#"{{"type":"health","tenant":"{token}"}}"#);
+    for _ in 0..500 {
+        let resp = send_one(addr, &request);
+        if resp.get("queue_depth").and_then(Json::as_u64) == Some(queue_depth)
+            && resp.get("inflight").and_then(Json::as_u64) == Some(inflight)
+        {
+            return;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    panic!("server never reached queue_depth={queue_depth} inflight={inflight}");
+}
+
+/// Like [`wait_for_state`] but only requires the inflight count, for
+/// tests where the queue is draining while we watch.
+fn wait_for_inflight(addr: SocketAddr, token: &str, inflight: u64) {
+    let request = format!(r#"{{"type":"health","tenant":"{token}"}}"#);
+    for _ in 0..500 {
+        let resp = send_one(addr, &request);
+        if resp.get("inflight").and_then(Json::as_u64) == Some(inflight) {
+            return;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    panic!("server never reached inflight={inflight}");
+}
+
+#[test]
+fn default_mode_accepts_and_ignores_tenant_tokens() {
+    let (addr, handle) = start(1, 4);
+    // any token (or none) resolves to the permissive default tenant
+    let resp = send_one(
+        addr,
+        r#"{"type":"sanitize","db":"a b c\nb a c\na c\n","patterns":["a c"],"psi":0,"tenant":"whoever"}"#,
+    );
+    assert_eq!(status_of(&resp), Some("ok"));
+    let resp = send_one(addr, r#"{"type":"health","tenant":"smoke"}"#);
+    assert_eq!(status_of(&resp), Some("ok"));
+    // single-tenant responses carry none of the tenant-only fields
+    assert!(resp.get("tenants").is_none(), "{resp:?}");
+    assert!(resp.get("tenant_queue_high_water").is_none(), "{resp:?}");
+    let resp = send_one(
+        addr,
+        r#"{"type":"load","name":"plain","db":"a b\n","tenant":"smoke"}"#,
+    );
+    assert_eq!(status_of(&resp), Some("ok"));
+    let resp = send_one(addr, r#"{"type":"datasets"}"#);
+    let rows = resp.get("datasets").and_then(Json::as_array).unwrap();
+    assert!(rows[0].get("owner").is_none(), "{resp:?}");
+    send_one(addr, r#"{"type":"shutdown"}"#);
+    handle.join().unwrap();
+}
+
+#[test]
+fn unknown_tokens_are_refused_in_multi_tenant_mode() {
+    let (addr, handle) = start_with_tenants(
+        1,
+        4,
+        "tenant alpha\ntoken = a-key\n\ntenant beta\ntoken = b-key\n",
+    );
+    let resp = send_one(addr, r#"{"type":"health","tenant":"nope"}"#);
+    assert_eq!(status_of(&resp), Some("error"));
+    assert!(
+        resp.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("unknown tenant token"),
+        "{resp:?}"
+    );
+    // no default tenant in this config: a missing token is refused too
+    let resp = send_one(addr, r#"{"type":"health"}"#);
+    assert_eq!(status_of(&resp), Some("error"));
+    assert!(
+        resp.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("no default tenant"),
+        "{resp:?}"
+    );
+    send_one(addr, r#"{"type":"shutdown","tenant":"a-key"}"#);
+    handle.join().unwrap();
+}
+
+#[test]
+fn a_hogs_backlog_does_not_starve_a_light_tenants_first_request() {
+    // One worker, a deep global queue: the hog parks a backlog of slow
+    // jobs, then the light tenant's *first* request arrives. Weighted
+    // fair drain must run it after at most one more hog job, so it
+    // finishes well before the hog's backlog.
+    let (addr, handle) = start_with_tenants(
+        1,
+        16,
+        "tenant hog\ntoken = hog-key\n\ntenant light\ntoken = light-key\n",
+    );
+    let slow = r#"{"type":"sanitize","db":"a b\n","patterns":["a b"],"psi":0,"delay_ms":300,"tenant":"hog-key"}"#;
+    let backlog: Vec<TcpStream> = (0..6).map(|_| send_async(addr, slow)).collect();
+    // the worker must have started the first hog job so the rest queue
+    wait_for_inflight(addr, "hog-key", 1);
+    let light_started = std::time::Instant::now();
+    let resp = send_one(
+        addr,
+        r#"{"type":"stats","db":"a b\nc\n","mode":"plain","tenant":"light-key"}"#,
+    );
+    let light_elapsed = light_started.elapsed();
+    assert_eq!(status_of(&resp), Some("ok"));
+    // 6 hog jobs × 300ms serialize to ~1.8s; the light request must not
+    // have waited out that backlog (at most the running job + one more
+    // hog job ahead of it, plus scheduling slack)
+    assert!(
+        light_elapsed < Duration::from_millis(1200),
+        "light tenant waited {light_elapsed:?} behind the hog's backlog"
+    );
+    for stream in backlog {
+        assert_eq!(status_of(&read_response(stream)), Some("ok"));
+    }
+    send_one(addr, r#"{"type":"shutdown","tenant":"light-key"}"#);
+    handle.join().unwrap();
+}
+
+#[test]
+fn quota_exceeded_and_overloaded_shed_distinctly() {
+    // capped tenant: 1 queued job at most; roomy tenant: no quota.
+    // Global capacity 2. The capped tenant's second queued job sheds as
+    // quota_exceeded (its own budget), the roomy tenant's overflow
+    // sheds as overloaded (the shared bound) — different statuses,
+    // different meanings.
+    let (addr, handle) = start_with_tenants(
+        1,
+        2,
+        "tenant capped\ntoken = cap-key\nmax_queued = 1\n\ntenant roomy\ntoken = room-key\n",
+    );
+    let slow = r#"{"type":"sanitize","db":"a b\n","patterns":["a b"],"psi":0,"delay_ms":3000,"tenant":"cap-key"}"#;
+    let running = send_async(addr, slow);
+    wait_for_state(addr, "cap-key", 0, 1); // worker picked it up
+    let queued = send_async(
+        addr,
+        r#"{"type":"stats","db":"a\n","mode":"plain","tenant":"cap-key"}"#,
+    );
+    wait_for_state(addr, "cap-key", 1, 1); // it is in the lane
+    let resp = send_one(
+        addr,
+        r#"{"type":"stats","db":"a\n","mode":"plain","tenant":"cap-key"}"#,
+    );
+    assert_eq!(status_of(&resp), Some("quota_exceeded"), "{resp:?}");
+    assert!(
+        resp.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("tenant 'capped'"),
+        "{resp:?}"
+    );
+    // the roomy tenant fills the remaining global slot...
+    let filler = send_async(
+        addr,
+        r#"{"type":"stats","db":"a\n","mode":"plain","tenant":"room-key"}"#,
+    );
+    wait_for_state(addr, "room-key", 2, 1);
+    // ...and its next job hits the shared bound: classic overloaded
+    let resp = send_one(
+        addr,
+        r#"{"type":"stats","db":"a\n","mode":"plain","tenant":"room-key"}"#,
+    );
+    assert_eq!(status_of(&resp), Some("overloaded"), "{resp:?}");
+    assert!(
+        resp.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("job queue full (2 waiting)"),
+        "{resp:?}"
+    );
+    for stream in [running, queued, filler] {
+        assert_eq!(status_of(&read_response(stream)), Some("ok"));
+    }
+    send_one(addr, r#"{"type":"shutdown","tenant":"room-key"}"#);
+    handle.join().unwrap();
+}
+
+#[test]
+fn rate_limited_tenants_get_a_retry_after_hint() {
+    let (addr, handle) = start_with_tenants(
+        2,
+        8,
+        "tenant throttled\ntoken = thr-key\nrate = 0.5\nburst = 1\n\ntenant free\ntoken = free-key\ndefault = true\n",
+    );
+    // burst of 1: the first heavy request passes, the second sheds
+    let resp = send_one(
+        addr,
+        r#"{"type":"stats","db":"a b\n","mode":"plain","tenant":"thr-key"}"#,
+    );
+    assert_eq!(status_of(&resp), Some("ok"));
+    let resp = send_one(
+        addr,
+        r#"{"type":"stats","db":"a b\n","mode":"plain","tenant":"thr-key"}"#,
+    );
+    assert_eq!(status_of(&resp), Some("overloaded"), "{resp:?}");
+    let retry = resp.get("retry_after_ms").and_then(Json::as_u64).unwrap();
+    assert!(retry > 0, "{resp:?}");
+    // control requests are not rate-gated, and other tenants are free
+    assert_eq!(
+        status_of(&send_one(addr, r#"{"type":"health","tenant":"thr-key"}"#)),
+        Some("ok")
+    );
+    assert_eq!(
+        status_of(&send_one(
+            addr,
+            r#"{"type":"stats","db":"a b\n","mode":"plain","tenant":"free-key"}"#
+        )),
+        Some("ok")
+    );
+    send_one(addr, r#"{"type":"shutdown","tenant":"free-key"}"#);
+    handle.join().unwrap();
+}
+
+#[test]
+fn pinned_bytes_quota_gates_loads_and_unload_frees_budget() {
+    let (addr, handle) =
+        start_with_tenants(1, 4, "tenant small\ntoken = s-key\nmax_pinned_bytes = 64\n");
+    // 100 bytes: over budget outright, and the dataset must not exist
+    let big = "x".repeat(99) + "\n";
+    let resp = send_one(
+        addr,
+        &obj(vec![
+            ("type", Json::Str("load".to_string())),
+            ("name", Json::Str("big".to_string())),
+            ("db", Json::Str(big)),
+            ("tenant", Json::Str("s-key".to_string())),
+        ]),
+    );
+    assert_eq!(status_of(&resp), Some("quota_exceeded"), "{resp:?}");
+    assert!(
+        resp.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("pinned-bytes quota"),
+        "{resp:?}"
+    );
+    // 32 bytes fits; a second 40-byte load would breach 64
+    let first = "a".repeat(31) + "\n";
+    let second = "b".repeat(39) + "\n";
+    let load = |name: &str, text: &str| {
+        obj(vec![
+            ("type", Json::Str("load".to_string())),
+            ("name", Json::Str(name.to_string())),
+            ("db", Json::Str(text.to_string())),
+            ("tenant", Json::Str("s-key".to_string())),
+        ])
+    };
+    assert_eq!(
+        status_of(&send_one(addr, &load("first", &first))),
+        Some("ok")
+    );
+    let resp = send_one(addr, &load("second", &second));
+    assert_eq!(status_of(&resp), Some("quota_exceeded"), "{resp:?}");
+    // unloading refunds the ledger and the refused load now fits
+    assert_eq!(
+        status_of(&send_one(
+            addr,
+            r#"{"type":"unload","name":"first","tenant":"s-key"}"#
+        )),
+        Some("ok")
+    );
+    assert_eq!(
+        status_of(&send_one(addr, &load("second", &second))),
+        Some("ok")
+    );
+    send_one(addr, r#"{"type":"shutdown","tenant":"s-key"}"#);
+    handle.join().unwrap();
+}
+
+#[test]
+fn dataset_ownership_guards_unload_and_delta() {
+    let (addr, handle) = start_with_tenants(
+        1,
+        4,
+        "tenant alpha\ntoken = a-key\n\ntenant beta\ntoken = b-key\n",
+    );
+    let resp = send_one(
+        addr,
+        r#"{"type":"load","name":"corp","db":"a b c\nb a c\na c\n","tenant":"a-key"}"#,
+    );
+    assert_eq!(status_of(&resp), Some("ok"));
+    // the owner is visible in the listing
+    let resp = send_one(addr, r#"{"type":"datasets","tenant":"b-key"}"#);
+    let rows = resp.get("datasets").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        rows[0].get("owner").and_then(Json::as_str),
+        Some("alpha"),
+        "{resp:?}"
+    );
+    // another tenant may read it, but not unload or mutate it
+    let resp = send_one(
+        addr,
+        r#"{"type":"sanitize","dataset":"corp","patterns":["a c"],"psi":0,"tenant":"b-key"}"#,
+    );
+    assert_eq!(status_of(&resp), Some("ok"), "{resp:?}");
+    let resp = send_one(addr, r#"{"type":"unload","name":"corp","tenant":"b-key"}"#);
+    assert_eq!(status_of(&resp), Some("error"));
+    assert!(
+        resp.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("owned by tenant 'alpha'"),
+        "{resp:?}"
+    );
+    let resp = send_one(
+        addr,
+        r#"{"type":"delta","dataset":"corp","add":["c c"],"remove":[],"patterns":["a c"],"psi":0,"tenant":"b-key"}"#,
+    );
+    assert_eq!(status_of(&resp), Some("error"));
+    assert!(
+        resp.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("may not apply deltas"),
+        "{resp:?}"
+    );
+    // the owner can do both
+    let resp = send_one(
+        addr,
+        r#"{"type":"delta","dataset":"corp","add":["c c"],"remove":[],"patterns":["a c"],"psi":0,"tenant":"a-key"}"#,
+    );
+    assert_eq!(status_of(&resp), Some("ok"), "{resp:?}");
+    assert_eq!(
+        status_of(&send_one(
+            addr,
+            r#"{"type":"unload","name":"corp","tenant":"a-key"}"#
+        )),
+        Some("ok")
+    );
+    send_one(addr, r#"{"type":"shutdown","tenant":"a-key"}"#);
+    handle.join().unwrap();
+}
+
+#[test]
+fn multi_tenant_health_and_metrics_carry_per_tenant_rows() {
+    let (addr, handle) = start_with_tenants(
+        1,
+        4,
+        "tenant alpha\ntoken = a-key\nweight = 3\n\ntenant beta\ntoken = b-key\n",
+    );
+    // drive one heavy request through each tenant's lane
+    for token in ["a-key", "b-key"] {
+        let resp = send_one(
+            addr,
+            &obj(vec![
+                ("type", Json::Str("stats".to_string())),
+                ("db", Json::Str("a b\nc\n".to_string())),
+                ("mode", Json::Str("plain".to_string())),
+                ("tenant", Json::Str(token.to_string())),
+            ]),
+        );
+        assert_eq!(status_of(&resp), Some("ok"));
+    }
+    let resp = send_one(addr, r#"{"type":"health","tenant":"a-key"}"#);
+    assert_eq!(
+        resp.get("tenants").and_then(Json::as_u64),
+        Some(2),
+        "{resp:?}"
+    );
+    let hw = resp.get("tenant_queue_high_water").unwrap();
+    assert!(hw.get("alpha").and_then(Json::as_u64).is_some(), "{resp:?}");
+    assert!(hw.get("beta").and_then(Json::as_u64).is_some(), "{resp:?}");
+    // the wire metrics carry labeled per-tenant series
+    let resp = send_one(
+        addr,
+        r#"{"type":"metrics","format":"prometheus","tenant":"b-key"}"#,
+    );
+    let text = resp.get("metrics").and_then(Json::as_str).unwrap();
+    assert!(
+        text.contains("seqhide_tenant_requests_total{tenant=\"alpha\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("seqhide_tenant_requests_total{tenant=\"beta\"}"),
+        "{text}"
+    );
+    send_one(addr, r#"{"type":"shutdown","tenant":"a-key"}"#);
+    handle.join().unwrap();
+}
+
+#[test]
+fn drain_delivers_jobs_parked_behind_an_inflight_cap() {
+    // serialized tenant: one job running, one parked behind the
+    // in-flight cap (deferred, NOT shed). Shutdown must deliver both —
+    // the drain guarantee covers capped sub-queues too.
+    let (addr, handle) = start_with_tenants(
+        2,
+        8,
+        "tenant serialized\ntoken = ser-key\nmax_inflight = 1\n",
+    );
+    let slow = r#"{"type":"sanitize","db":"a b\n","patterns":["a b"],"psi":0,"delay_ms":500,"tenant":"ser-key"}"#;
+    let first = send_async(addr, slow);
+    wait_for_state(addr, "ser-key", 0, 1);
+    let parked = send_async(
+        addr,
+        r#"{"type":"stats","db":"a b\nc\n","mode":"plain","tenant":"ser-key"}"#,
+    );
+    // the cap defers the parked job: queued 1, inflight still 1
+    wait_for_state(addr, "ser-key", 1, 1);
+    send_one(addr, r#"{"type":"shutdown","tenant":"ser-key"}"#);
+    assert_eq!(status_of(&read_response(first)), Some("ok"));
+    assert_eq!(status_of(&read_response(parked)), Some("ok"));
+    let summary = handle.join().unwrap();
+    assert_eq!(summary.executed, 2);
 }
